@@ -1,0 +1,166 @@
+//! One-call analysis drivers.
+
+use std::fmt;
+
+use arrayflow_core::{Direction, Mode};
+use arrayflow_graph::{build_loop_graph, LoopGraph};
+use arrayflow_ir::{Loop, Program, Stmt, SymbolTable};
+
+use crate::instances::{
+    dependences, redundant_stores, reuse_pairs, Dep, Instance, RedundantStore, Reuse,
+};
+use crate::sites::{enumerate_sites, Site};
+use crate::spec::GK;
+
+/// Errors from the analysis drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The program body is not a single `do` loop.
+    NotASingleLoop,
+    /// The target loop is not in normalized form (`do i = 1, UB` step 1);
+    /// run [`arrayflow_ir::normalize()`] first.
+    NotNormalized,
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::NotASingleLoop => {
+                write!(f, "program body is not a single do-loop")
+            }
+            AnalyzeError::NotNormalized => {
+                write!(f, "loop is not normalized (lower bound 1, step 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// The complete analysis of one loop level: the flow graph, the classified
+/// reference sites, and all four solved framework instances.
+#[derive(Debug, Clone)]
+pub struct LoopAnalysis {
+    /// Symbol table extended with linearization stride symbols.
+    pub symbols: SymbolTable,
+    /// The loop flow graph.
+    pub graph: LoopGraph,
+    /// Classified reference sites.
+    pub sites: Vec<Site>,
+    /// Must-reaching definitions (§3.5).
+    pub reaching: Instance,
+    /// δ-available values (§4.1.1).
+    pub available: Instance,
+    /// δ-busy stores — backward must (§4.2.1).
+    pub busy: Instance,
+    /// δ-reaching references — may (§4.3).
+    pub reaching_refs: Instance,
+}
+
+impl LoopAnalysis {
+    /// Analyzes one normalized loop.
+    pub fn of_loop(l: &Loop, symbols: &SymbolTable) -> Result<Self, AnalyzeError> {
+        if !l.is_normalized() {
+            return Err(AnalyzeError::NotNormalized);
+        }
+        let graph = build_loop_graph(l);
+        let (sites, lin) = enumerate_sites(l, &graph, symbols);
+        let reaching = Instance::run(&graph, &sites, GK::REACHING_DEFS, Direction::Forward, Mode::Must);
+        let available = Instance::run(&graph, &sites, GK::AVAILABLE, Direction::Forward, Mode::Must);
+        let busy = Instance::run(&graph, &sites, GK::BUSY_STORES, Direction::Backward, Mode::Must);
+        let reaching_refs =
+            Instance::run(&graph, &sites, GK::REACHING_REFS, Direction::Forward, Mode::May);
+        Ok(Self {
+            symbols: lin.symbols,
+            graph,
+            sites,
+            reaching,
+            available,
+            busy,
+            reaching_refs,
+        })
+    }
+
+    /// All guaranteed constant-distance reuse pairs (§4.1.1).
+    pub fn reuse_pairs(&self) -> Vec<Reuse> {
+        reuse_pairs(&self.graph, &self.sites, &self.available)
+    }
+
+    /// All δ-redundant stores (§4.2.1).
+    pub fn redundant_stores(&self) -> Vec<RedundantStore> {
+        redundant_stores(&self.graph, &self.sites, &self.busy)
+    }
+
+    /// All potential dependences with distance at most `max_distance`
+    /// (§4.3).
+    pub fn dependences(&self, max_distance: u64) -> Vec<Dep> {
+        dependences(&self.graph, &self.sites, &self.reaching_refs, max_distance)
+    }
+
+    /// Renders a site as source text, e.g. `A[i + 2]`.
+    pub fn site_text(&self, site: usize) -> String {
+        self.site_text_of_ref(&self.sites[site].aref)
+    }
+
+    /// Renders an arbitrary array reference with this analysis' symbols.
+    pub fn site_text_of_ref(&self, aref: &arrayflow_ir::ArrayRef) -> String {
+        arrayflow_ir::pretty::ref_to_string(&self.symbols, aref)
+    }
+
+    /// Renders a tracked generating reference.
+    pub fn site_text_of(&self, gen: &arrayflow_core::GenRef) -> String {
+        self.site_text_of_ref(&gen.aref)
+    }
+}
+
+/// Analyzes the outermost loop of a single-loop program.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::NotASingleLoop`] unless the program body is one
+/// `do` loop, and [`AnalyzeError::NotNormalized`] if normalization is
+/// needed first.
+///
+/// # Example
+///
+/// ```
+/// let p = arrayflow_ir::parse_program(
+///     "do i = 1, 100 A[i+2] := A[i] + x; end").unwrap();
+/// let a = arrayflow_analyses::analyze_loop(&p).unwrap();
+/// let reuses = a.reuse_pairs();
+/// assert_eq!(reuses.len(), 1);
+/// assert_eq!(reuses[0].distance, 2);
+/// ```
+pub fn analyze_loop(program: &Program) -> Result<LoopAnalysis, AnalyzeError> {
+    let l = program.sole_loop().ok_or(AnalyzeError::NotASingleLoop)?;
+    LoopAnalysis::of_loop(l, &program.symbols)
+}
+
+/// Analyzes every loop of a (possibly nested) program, innermost first —
+/// the hierarchical scheme of §3.2. Each returned analysis is with respect
+/// to that loop's own induction variable, with deeper loops summarized.
+pub fn analyze_nest(program: &Program) -> Result<Vec<LoopAnalysis>, AnalyzeError> {
+    let mut loops: Vec<&Loop> = Vec::new();
+    fn collect<'a>(body: &'a [Stmt], out: &mut Vec<&'a Loop>) {
+        for stmt in body {
+            match stmt {
+                Stmt::Do(l) => {
+                    collect(&l.body, out);
+                    out.push(l);
+                }
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    collect(then_blk, out);
+                    collect(else_blk, out);
+                }
+                Stmt::Assign(_) => {}
+            }
+        }
+    }
+    collect(&program.body, &mut loops);
+    loops
+        .into_iter()
+        .map(|l| LoopAnalysis::of_loop(l, &program.symbols))
+        .collect()
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Framework instances for array reference analysis.
+//!
+//! This crate instantiates the `arrayflow-core` data flow framework with the
+//! (G, K) parameter pairs the paper develops, and interprets the fixed
+//! points back in source terms:
+//!
+//! | Instance | G | K | Direction | Mode | Used for |
+//! |---|---|---|---|---|---|
+//! | must-reaching definitions | defs | defs | forward | must | guaranteed value reuse (§3.5) |
+//! | δ-available values | defs ∪ uses | defs | forward | must | live ranges, register pipelining, load elimination (§4.1, §4.2.2) |
+//! | δ-busy stores | defs | uses | backward | must | redundant store elimination (§4.2.1) |
+//! | δ-reaching references | defs ∪ uses | defs | forward | may | dependence distances, controlled unrolling (§4.3) |
+//!
+//! Entry points: [`analyze_loop`] for single loops, [`analyze_nest`] for
+//! loop nests (hierarchical, innermost first — §3.2), or [`Instance::run`]
+//! for custom (G, K) combinations.
+
+pub mod driver;
+pub mod instances;
+pub mod nestvec;
+pub mod report;
+pub mod scalars;
+pub mod sites;
+pub mod spec;
+
+pub use driver::{analyze_loop, analyze_nest, AnalyzeError, LoopAnalysis};
+pub use instances::{
+    best_reuse, dependences, redundant_stores, reuse_pairs, Dep, DepKind, Instance,
+    RedundantStore, Reuse,
+};
+pub use nestvec::{nest_distance_vectors, nest_sites, NestDep, NestError, NestSite};
+pub use scalars::{scalar_live_ranges, scalar_liveness, ScalarLiveness, ScalarRange};
+pub use sites::{constant_distance, enumerate_sites, Linearizer, Site};
+pub use spec::{build_spec, BuiltSpec, GK};

@@ -1,0 +1,373 @@
+//! Distance vectors for tight loop nests — the extension sketched in the
+//! paper's §3.6/§6 ("the distance information … must be expanded to a
+//! vector of distance values, one for each induction variable of an
+//! enclosing loop").
+//!
+//! The per-loop framework detects recurrences with respect to a *single*
+//! induction variable; Fig. 4's statement (3), `Z[i+1, j] := Z[i, j−1]`,
+//! recurs only with respect to `i` and `j` simultaneously. This module
+//! handles exactly that case for perfect nests: each pair of references to
+//! the same array yields an integer linear system
+//! `A·Δ = c₁ − c₂` (one equation per dimension, one unknown per loop), and
+//! a unique integer solution is the constant distance *vector*, ordered
+//! outermost loop first.
+
+use std::fmt;
+
+use arrayflow_ir::stmt::StmtId;
+use arrayflow_ir::{AffineSub, ArrayRef, Loop, Program, Stmt, VarId};
+
+/// A reference site within the innermost body of a perfect nest.
+#[derive(Debug, Clone)]
+pub struct NestSite {
+    /// The reference as written.
+    pub aref: ArrayRef,
+    /// Owning assignment.
+    pub stmt: StmtId,
+    /// True for definitions.
+    pub is_def: bool,
+    /// Row `d` holds the coefficients of each induction variable (outer
+    /// first) in dimension `d`'s subscript; `consts[d]` the constant term.
+    coeffs: Vec<Vec<i64>>,
+    consts: Vec<i64>,
+}
+
+/// A constant-distance relation between two references across the whole
+/// nest: the source instance at iteration vector `I − Δ` touches the same
+/// element as the sink at `I`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestDep {
+    /// Index of the source site (executes `Δ` earlier).
+    pub src: usize,
+    /// Index of the sink site.
+    pub dst: usize,
+    /// Distance per induction variable, outermost first.
+    pub distances: Vec<i64>,
+}
+
+impl NestDep {
+    /// True when the vector is lexicographically positive (a loop-carried
+    /// forward dependence) or all-zero (loop-independent).
+    pub fn is_lexicographically_nonnegative(&self) -> bool {
+        for &d in &self.distances {
+            if d > 0 {
+                return true;
+            }
+            if d < 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Errors from [`nest_distance_vectors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestError {
+    /// The program body is not a perfect loop nest (each level exactly one
+    /// statement which is the next loop, innermost level all assignments).
+    NotAPerfectNest,
+}
+
+impl fmt::Display for NestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestError::NotAPerfectNest => write!(f, "program is not a perfect loop nest"),
+        }
+    }
+}
+
+impl std::error::Error for NestError {}
+
+/// Collects the nest's induction variables (outer first) and the innermost
+/// body.
+fn nest_of(program: &Program) -> Result<(Vec<VarId>, &[Stmt]), NestError> {
+    let mut ivs = Vec::new();
+    let mut level: &Loop = match program.body.as_slice() {
+        [Stmt::Do(l)] => l,
+        _ => return Err(NestError::NotAPerfectNest),
+    };
+    loop {
+        ivs.push(level.iv);
+        match level.body.as_slice() {
+            [Stmt::Do(inner)] => level = inner,
+            body if body.iter().all(|s| matches!(s, Stmt::Assign(_))) && !body.is_empty() => {
+                return Ok((ivs, &level.body));
+            }
+            _ => return Err(NestError::NotAPerfectNest),
+        }
+    }
+}
+
+/// Extracts the multi-affine form of a reference with respect to the nest's
+/// induction variables. Returns `None` for non-affine subscripts or stray
+/// symbols.
+fn multi_affine(aref: &ArrayRef, ivs: &[VarId]) -> Option<(Vec<Vec<i64>>, Vec<i64>)> {
+    let mut coeffs = Vec::with_capacity(aref.subs.len());
+    let mut consts = Vec::with_capacity(aref.subs.len());
+    for sub in &aref.subs {
+        let mut row = Vec::with_capacity(ivs.len());
+        // Peel induction variables one at a time; what remains must be a
+        // plain integer.
+        let mut rest = AffineSub::from_expr(sub, *ivs.first()?)?;
+        row.push(rest.coef.as_constant()?);
+        for &iv in &ivs[1..] {
+            let c = rest.rest.coeff(iv);
+            row.push(c);
+            rest.rest = rest.rest.clone() - arrayflow_ir::LinExpr::term(iv, c);
+        }
+        let c = rest.rest.as_constant()?;
+        coeffs.push(row);
+        consts.push(c);
+    }
+    Some((coeffs, consts))
+}
+
+/// Enumerates the analyzable reference sites of a perfect nest.
+pub fn nest_sites(program: &Program) -> Result<(Vec<VarId>, Vec<NestSite>), NestError> {
+    let (ivs, body) = nest_of(program)?;
+    let mut sites = Vec::new();
+    for stmt in body {
+        let Stmt::Assign(a) = stmt else { unreachable!() };
+        let mut push = |aref: &ArrayRef, is_def: bool| {
+            if let Some((coeffs, consts)) = multi_affine(aref, &ivs) {
+                sites.push(NestSite {
+                    aref: aref.clone(),
+                    stmt: a.id,
+                    is_def,
+                    coeffs,
+                    consts,
+                });
+            }
+        };
+        for u in arrayflow_ir::visit::assign_uses(a) {
+            push(u, false);
+        }
+        if let Some(d) = arrayflow_ir::visit::assign_def(a) {
+            push(d, true);
+        }
+    }
+    Ok((ivs, sites))
+}
+
+/// Finds every constant distance *vector* between a definition and another
+/// reference of the same array in a perfect nest (the source must be a
+/// definition or the sink one — use↔use pairs carry no dependence).
+///
+/// # Errors
+///
+/// Returns [`NestError::NotAPerfectNest`] for programs outside the model.
+pub fn nest_distance_vectors(program: &Program) -> Result<Vec<NestDep>, NestError> {
+    let (ivs, sites) = nest_sites(program)?;
+    let n = ivs.len();
+    let mut out = Vec::new();
+    for (si, src) in sites.iter().enumerate() {
+        for (di, dst) in sites.iter().enumerate() {
+            if si == di || src.aref.array != dst.aref.array {
+                continue;
+            }
+            if !src.is_def && !dst.is_def {
+                continue;
+            }
+            if src.coeffs.len() != dst.coeffs.len() {
+                continue;
+            }
+            // src(I − Δ) = dst(I) for all I ⟺ per dimension:
+            //   Σ a_src,k (i_k − δ_k) + c_src = Σ a_dst,k i_k + c_dst
+            // ⟺ coefficients match and Σ a_src,k δ_k = c_src − c_dst.
+            if src.coeffs != dst.coeffs {
+                continue;
+            }
+            let rhs: Vec<i64> = src
+                .consts
+                .iter()
+                .zip(&dst.consts)
+                .map(|(a, b)| a - b)
+                .collect();
+            if let Some(delta) = solve_integer(&src.coeffs, &rhs, n) {
+                let dep = NestDep {
+                    src: si,
+                    dst: di,
+                    distances: delta,
+                };
+                // Keep forward (lexicographically positive) vectors, plus
+                // zero vectors when the source textually precedes the sink.
+                let keep = if dep.distances.iter().all(|&d| d == 0) {
+                    src.stmt <= dst.stmt && si != di && (src.is_def || dst.is_def) && si < di
+                } else {
+                    dep.is_lexicographically_nonnegative()
+                };
+                if keep {
+                    out.push(dep);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Solves `A·x = b` for a unique integer solution via fraction-free
+/// Gaussian elimination. Returns `None` when the system is inconsistent,
+/// underdetermined, or has a non-integer solution.
+fn solve_integer(a: &[Vec<i64>], b: &[i64], n: usize) -> Option<Vec<i64>> {
+    let rows = a.len();
+    let mut m: Vec<Vec<i128>> = (0..rows)
+        .map(|r| {
+            let mut row: Vec<i128> = a[r].iter().map(|&v| v as i128).collect();
+            row.push(b[r] as i128);
+            row
+        })
+        .collect();
+    let mut pivot_row = 0usize;
+    let mut pivots: Vec<Option<usize>> = vec![None; n];
+    for col in 0..n {
+        let Some(p) = (pivot_row..rows).find(|&r| m[r][col] != 0) else {
+            continue;
+        };
+        m.swap(pivot_row, p);
+        for r in 0..rows {
+            if r != pivot_row && m[r][col] != 0 {
+                let (f1, f2) = (m[pivot_row][col], m[r][col]);
+                let pivot = m[pivot_row].clone();
+                for (cell, &pv) in m[r].iter_mut().zip(pivot.iter()) {
+                    *cell = *cell * f1 - pv * f2;
+                }
+            }
+        }
+        pivots[col] = Some(pivot_row);
+        pivot_row += 1;
+    }
+    // Inconsistent rows?
+    if m.iter().skip(pivot_row).any(|row| row[n] != 0) {
+        return None;
+    }
+    // Unique solution requires a pivot in every column.
+    let mut x = vec![0i64; n];
+    for col in 0..n {
+        let r = pivots[col]?;
+        let (num, den) = (m[r][n], m[r][col]);
+        if den == 0 || num % den != 0 {
+            return None;
+        }
+        let v = num / den;
+        x[col] = i64::try_from(v).ok()?;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayflow_ir::parse_program;
+
+    fn fig4() -> Program {
+        parse_program(
+            "do j = 1, M
+               do i = 1, N
+                 X[i+1, j] := X[i, j];
+                 Y[i, j+1] := Y[i, j-1];
+                 Z[i+1, j] := Z[i, j-1];
+               end
+             end",
+        )
+        .unwrap()
+    }
+
+    fn vec_for(program: &Program, array: &str) -> Vec<Vec<i64>> {
+        let (_, sites) = nest_sites(program).unwrap();
+        nest_distance_vectors(program)
+            .unwrap()
+            .into_iter()
+            .filter(|d| {
+                program.array_name(sites[d.src].aref.array) == array && sites[d.src].is_def
+            })
+            .map(|d| d.distances)
+            .collect()
+    }
+
+    #[test]
+    fn fig4_statement_vectors() {
+        let p = fig4();
+        // Outer-first order is (j, i).
+        assert_eq!(vec_for(&p, "X"), vec![vec![0, 1]]);
+        assert_eq!(vec_for(&p, "Y"), vec![vec![2, 0]]);
+        // Statement (3): the diagonal recurrence the single-loop analysis
+        // cannot express — distance vector (1, 1).
+        assert_eq!(vec_for(&p, "Z"), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn vectors_are_lexicographically_positive() {
+        let p = fig4();
+        for d in nest_distance_vectors(&p).unwrap() {
+            assert!(d.is_lexicographically_nonnegative(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn imperfect_nest_is_rejected() {
+        let p = parse_program(
+            "do j = 1, 10
+               A[j] := 0;
+               do i = 1, 10 B[i] := A[j]; end
+             end",
+        )
+        .unwrap();
+        assert_eq!(
+            nest_distance_vectors(&p).unwrap_err(),
+            NestError::NotAPerfectNest
+        );
+    }
+
+    #[test]
+    fn three_deep_nest() {
+        let p = parse_program(
+            "do k = 1, 10
+               do j = 1, 10
+                 do i = 1, 10
+                   T[i+1, j+2, k] := T[i, j, k-1];
+                 end
+               end
+             end",
+        )
+        .unwrap();
+        let v = vec_for(&p, "T");
+        // Outer-first (k, j, i): T written at (i+1, j+2, k), read at
+        // (i, j, k−1): source (k', j', i') with i'+1 = i, j'+2 = j,
+        // k' = k−1 → Δ = (1, 2, 1).
+        assert_eq!(v, vec![vec![1, 2, 1]]);
+    }
+
+    #[test]
+    fn mismatched_coefficients_yield_nothing() {
+        let p = parse_program(
+            "do j = 1, 10
+               do i = 1, 10
+                 W[2*i, j] := W[i, j];
+               end
+             end",
+        )
+        .unwrap();
+        assert!(vec_for(&p, "W").is_empty());
+    }
+
+    #[test]
+    fn loop_independent_zero_vector() {
+        let p = parse_program(
+            "do j = 1, 10
+               do i = 1, 10
+                 V[i, j] := 1;
+                 U[i, j] := V[i, j];
+               end
+             end",
+        )
+        .unwrap();
+        let deps = nest_distance_vectors(&p).unwrap();
+        let (_, sites) = nest_sites(&p).unwrap();
+        assert!(deps.iter().any(|d| {
+            sites[d.src].is_def
+                && p.array_name(sites[d.src].aref.array) == "V"
+                && d.distances == vec![0, 0]
+        }));
+    }
+}

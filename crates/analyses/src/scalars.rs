@@ -1,0 +1,340 @@
+//! Conventional scalar data flow over the loop flow graph.
+//!
+//! The paper's integrated register allocation (§4.1.1) assumes "live ranges
+//! of scalar variables are determined using conventional methods \[ASU86\]".
+//! This module supplies them: classical backward liveness over the same
+//! loop flow graph the array framework uses (with the `exit → entry` back
+//! edge), plus live-range extraction with occurrence counts, so scalar and
+//! subscripted live ranges can compete in one interference graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use arrayflow_graph::{LoopGraph, NodeId, NodeKind};
+use arrayflow_ir::{Expr, LValue, VarId};
+
+/// Per-node scalar uses and definitions.
+#[derive(Debug, Clone, Default)]
+pub struct UseDef {
+    /// Scalars read by the node (before any definition it makes).
+    pub uses: BTreeSet<VarId>,
+    /// Scalars written by the node.
+    pub defs: BTreeSet<VarId>,
+}
+
+fn scalars_in_expr(e: &Expr, out: &mut BTreeSet<VarId>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Scalar(v) => {
+            out.insert(*v);
+        }
+        Expr::Elem(r) => {
+            for s in &r.subs {
+                scalars_in_expr(s, out);
+            }
+        }
+        Expr::Bin(_, l, r) => {
+            scalars_in_expr(l, out);
+            scalars_in_expr(r, out);
+        }
+    }
+}
+
+/// Computes each node's scalar USE/DEF sets.
+pub fn use_def(graph: &LoopGraph) -> Vec<UseDef> {
+    graph
+        .node_ids()
+        .map(|id| {
+            let mut ud = UseDef::default();
+            match &graph.node(id).kind {
+                NodeKind::Entry => {}
+                NodeKind::Assign { assign, .. } => {
+                    scalars_in_expr(&assign.rhs, &mut ud.uses);
+                    match &assign.lhs {
+                        LValue::Scalar(v) => {
+                            ud.defs.insert(*v);
+                        }
+                        LValue::Elem(r) => {
+                            for s in &r.subs {
+                                scalars_in_expr(s, &mut ud.uses);
+                            }
+                        }
+                    }
+                }
+                NodeKind::Test { cond } => {
+                    scalars_in_expr(&cond.lhs, &mut ud.uses);
+                    scalars_in_expr(&cond.rhs, &mut ud.uses);
+                }
+                NodeKind::Summary { inner } => {
+                    // Conservative: everything the inner loop touches is
+                    // both used and defined at the summary node.
+                    collect_block(&inner.body, &mut ud);
+                    ud.uses.insert(inner.iv);
+                    ud.defs.insert(inner.iv);
+                    let bounds = [inner.lower.to_expr(), inner.upper.to_expr()];
+                    for b in &bounds {
+                        scalars_in_expr(b, &mut ud.uses);
+                    }
+                }
+                NodeKind::Exit => {
+                    // i := i + 1
+                    ud.uses.insert(graph.iv);
+                    ud.defs.insert(graph.iv);
+                }
+            }
+            ud
+        })
+        .collect()
+}
+
+fn collect_block(block: &[arrayflow_ir::Stmt], ud: &mut UseDef) {
+    use arrayflow_ir::Stmt;
+    for stmt in block {
+        match stmt {
+            Stmt::Assign(a) => {
+                scalars_in_expr(&a.rhs, &mut ud.uses);
+                match &a.lhs {
+                    LValue::Scalar(v) => {
+                        ud.defs.insert(*v);
+                    }
+                    LValue::Elem(r) => {
+                        for s in &r.subs {
+                            scalars_in_expr(s, &mut ud.uses);
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                scalars_in_expr(&cond.lhs, &mut ud.uses);
+                scalars_in_expr(&cond.rhs, &mut ud.uses);
+                collect_block(then_blk, ud);
+                collect_block(else_blk, ud);
+            }
+            Stmt::Do(l) => {
+                ud.uses.insert(l.iv);
+                ud.defs.insert(l.iv);
+                collect_block(&l.body, ud);
+            }
+        }
+    }
+}
+
+/// Classical backward liveness: `live_in[n] = uses[n] ∪ (live_out[n] −
+/// defs[n])`, `live_out[n] = ⋃ live_in[succ]`, with the loop back edge
+/// `exit → entry` included (a scalar live at the loop top is live across
+/// the back edge).
+#[derive(Debug, Clone)]
+pub struct ScalarLiveness {
+    /// Live-in set per node (indexed by node).
+    pub live_in: Vec<BTreeSet<VarId>>,
+    /// Live-out set per node.
+    pub live_out: Vec<BTreeSet<VarId>>,
+    /// USE/DEF sets per node.
+    pub use_def: Vec<UseDef>,
+}
+
+/// Runs liveness to a fixed point (the graph is a single natural loop, so
+/// two backward passes suffice; we iterate to convergence regardless).
+pub fn scalar_liveness(graph: &LoopGraph) -> ScalarLiveness {
+    let ud = use_def(graph);
+    let n = graph.len();
+    let mut live_in: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+    let mut live_out: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+    loop {
+        let mut changed = false;
+        for &node in graph.rpo().iter().rev() {
+            let mut out = BTreeSet::new();
+            for &s in graph.succs(node) {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            if node == graph.exit() {
+                out.extend(live_in[graph.entry().index()].iter().copied());
+            }
+            let mut inp: BTreeSet<VarId> = ud[node.index()].uses.clone();
+            inp.extend(out.difference(&ud[node.index()].defs).copied());
+            if out != live_out[node.index()] || inp != live_in[node.index()] {
+                live_out[node.index()] = out;
+                live_in[node.index()] = inp;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ScalarLiveness {
+        live_in,
+        live_out,
+        use_def: ud,
+    }
+}
+
+/// A scalar live range: where the variable is live and how often it is
+/// touched — the inputs to the IRIG priority function (§4.1.2).
+#[derive(Debug, Clone)]
+pub struct ScalarRange {
+    /// The variable.
+    pub var: VarId,
+    /// Nodes where the variable is live on entry.
+    pub live_nodes: Vec<NodeId>,
+    /// Number of textual occurrences (uses + defs).
+    pub accesses: usize,
+    /// True if the range crosses the loop back edge (live at the loop top).
+    pub crosses_back_edge: bool,
+}
+
+impl ScalarRange {
+    /// Range length `|l|` in nodes.
+    pub fn len(&self) -> usize {
+        self.live_nodes.len().max(1)
+    }
+
+    /// True when the range is empty (a dead variable).
+    pub fn is_empty(&self) -> bool {
+        self.live_nodes.is_empty()
+    }
+
+    /// True if this range overlaps another (both live at some node).
+    pub fn interferes(&self, other: &ScalarRange) -> bool {
+        let a: BTreeSet<_> = self.live_nodes.iter().collect();
+        other.live_nodes.iter().any(|n| a.contains(n))
+    }
+}
+
+/// Extracts the live range of every scalar occurring in the loop
+/// (excluding the induction variable, which is reserved).
+pub fn scalar_live_ranges(graph: &LoopGraph) -> Vec<ScalarRange> {
+    let lv = scalar_liveness(graph);
+    let mut vars: BTreeMap<VarId, (Vec<NodeId>, usize)> = BTreeMap::new();
+    for node in graph.node_ids() {
+        let ud = &lv.use_def[node.index()];
+        for &v in ud.uses.iter().chain(ud.defs.iter()) {
+            vars.entry(v).or_default().1 += 1;
+        }
+    }
+    for node in graph.node_ids() {
+        for &v in &lv.live_in[node.index()] {
+            vars.entry(v).or_default().0.push(node);
+        }
+    }
+    vars.into_iter()
+        .filter(|&(v, _)| v != graph.iv)
+        .map(|(var, (live_nodes, accesses))| {
+            let crosses = lv.live_in[graph.entry().index()].contains(&var);
+            ScalarRange {
+                var,
+                live_nodes,
+                accesses,
+                crosses_back_edge: crosses,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayflow_graph::build_loop_graph;
+    use arrayflow_ir::parse_program;
+
+    fn ranges(src: &str) -> (arrayflow_ir::Program, Vec<ScalarRange>) {
+        let p = parse_program(src).unwrap();
+        let g = build_loop_graph(p.sole_loop().unwrap());
+        let r = scalar_live_ranges(&g);
+        (p, r)
+    }
+
+    fn range_of<'a>(
+        p: &arrayflow_ir::Program,
+        rs: &'a [ScalarRange],
+        name: &str,
+    ) -> &'a ScalarRange {
+        let v = p.symbols.lookup_var(name).unwrap();
+        rs.iter().find(|r| r.var == v).unwrap()
+    }
+
+    #[test]
+    fn accumulator_is_live_across_the_back_edge() {
+        let (p, rs) = ranges("do i = 1, 10 s := s + A[i]; end");
+        let s = range_of(&p, &rs, "s");
+        assert!(s.crosses_back_edge);
+        assert!(!s.is_empty());
+        assert_eq!(s.accesses, 2);
+    }
+
+    #[test]
+    fn local_temporary_is_short_lived() {
+        let (p, rs) = ranges(
+            "do i = 1, 10
+               t := A[i] * 2;
+               B[i] := t + 1;
+               u := B[i];
+               C[i] := u;
+             end",
+        );
+        let t = range_of(&p, &rs, "t");
+        let u = range_of(&p, &rs, "u");
+        assert!(!t.crosses_back_edge, "t is dead after its use");
+        assert!(!u.crosses_back_edge);
+        // t is live only between its def and its use; u likewise — and the
+        // two ranges do not overlap (t dies before u is born).
+        assert!(!t.interferes(u), "t: {t:?}, u: {u:?}");
+    }
+
+    #[test]
+    fn simultaneously_live_temporaries_interfere() {
+        let (p, rs) = ranges(
+            "do i = 1, 10
+               t := A[i];
+               u := B[i];
+               C[i] := t + u;
+             end",
+        );
+        let t = range_of(&p, &rs, "t");
+        let u = range_of(&p, &rs, "u");
+        assert!(t.interferes(u));
+    }
+
+    #[test]
+    fn read_only_symbol_is_live_everywhere() {
+        let (p, rs) = ranges("do i = 1, 10 A[i] := A[i] + x; end");
+        let x = range_of(&p, &rs, "x");
+        assert!(x.crosses_back_edge);
+        // Live at every node of the body.
+        let g = build_loop_graph(p.sole_loop().unwrap());
+        assert_eq!(x.live_nodes.len(), g.len());
+    }
+
+    #[test]
+    fn conditional_uses_keep_values_alive_on_both_paths() {
+        let (p, rs) = ranges(
+            "do i = 1, 10
+               t := A[i];
+               if x > 0 then B[i] := t; end
+             end",
+        );
+        let t = range_of(&p, &rs, "t");
+        assert!(!t.crosses_back_edge);
+        assert!(t.accesses >= 2);
+    }
+
+    #[test]
+    fn summary_nodes_are_conservative() {
+        let p = parse_program(
+            "do j = 1, 10
+               s := 0;
+               do i = 1, 5 s := s + A[i]; end
+               B[j] := s;
+             end",
+        )
+        .unwrap();
+        let g = build_loop_graph(p.sole_loop().unwrap());
+        let rs = scalar_live_ranges(&g);
+        let s = range_of(&p, &rs, "s");
+        assert!(s.accesses >= 3, "summary contributes uses and defs");
+        assert!(!s.is_empty());
+    }
+}

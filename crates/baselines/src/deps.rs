@@ -1,0 +1,154 @@
+//! Conventional data dependence tests (the paper's §1 comparison point).
+//!
+//! These tests answer the *disambiguation* question — can two references
+//! ever touch the same memory location — without any flow sensitivity:
+//! the classical GCD test and Banerjee's bounds test for single-index
+//! affine subscripts `a·i + b` over `i ∈ [1, UB]`.
+
+use arrayflow_ir::AffineSub;
+
+/// Verdict of a dependence test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The references can never overlap.
+    Independent,
+    /// The references may overlap (a dependence must be assumed).
+    MayDepend,
+}
+
+/// The GCD test: `a₁·i − a₂·i' = b₂ − b₁` has an integer solution only if
+/// `gcd(a₁, a₂)` divides `b₂ − b₁`. Ignores loop bounds.
+pub fn gcd_test(r1: &AffineSub, r2: &AffineSub) -> Verdict {
+    let (Some(a1), Some(b1)) = (r1.coef.as_constant(), r1.rest.as_constant()) else {
+        return Verdict::MayDepend;
+    };
+    let (Some(a2), Some(b2)) = (r2.coef.as_constant(), r2.rest.as_constant()) else {
+        return Verdict::MayDepend;
+    };
+    let g = gcd(a1.unsigned_abs(), a2.unsigned_abs());
+    if g == 0 {
+        // Both subscripts are invariant: overlap iff equal constants.
+        return if b1 == b2 {
+            Verdict::MayDepend
+        } else {
+            Verdict::Independent
+        };
+    }
+    if (b2 - b1).unsigned_abs() % g == 0 {
+        Verdict::MayDepend
+    } else {
+        Verdict::Independent
+    }
+}
+
+/// Banerjee's bounds test: the equation `a₁·i − a₂·i' = b₂ − b₁` is
+/// solvable over the real box `[1, UB]²` only if `b₂ − b₁` lies between the
+/// extreme values of the left-hand side.
+pub fn banerjee_test(r1: &AffineSub, r2: &AffineSub, ub: i64) -> Verdict {
+    let (Some(a1), Some(b1)) = (r1.coef.as_constant(), r1.rest.as_constant()) else {
+        return Verdict::MayDepend;
+    };
+    let (Some(a2), Some(b2)) = (r2.coef.as_constant(), r2.rest.as_constant()) else {
+        return Verdict::MayDepend;
+    };
+    let diff = b2 - b1;
+    let lo = min_of(a1, ub) - max_of(a2, ub);
+    let hi = max_of(a1, ub) - min_of(a2, ub);
+    if lo <= diff && diff <= hi {
+        Verdict::MayDepend
+    } else {
+        Verdict::Independent
+    }
+}
+
+/// Combined test: independent if *either* test proves independence.
+pub fn combined_test(r1: &AffineSub, r2: &AffineSub, ub: Option<i64>) -> Verdict {
+    if gcd_test(r1, r2) == Verdict::Independent {
+        return Verdict::Independent;
+    }
+    if let Some(ub) = ub {
+        if banerjee_test(r1, r2, ub) == Verdict::Independent {
+            return Verdict::Independent;
+        }
+    }
+    Verdict::MayDepend
+}
+
+fn min_of(a: i64, ub: i64) -> i64 {
+    if a >= 0 {
+        a
+    } else {
+        a * ub
+    }
+}
+
+fn max_of(a: i64, ub: i64) -> i64 {
+    if a >= 0 {
+        a * ub
+    } else {
+        a
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(a: i64, b: i64) -> AffineSub {
+        AffineSub::simple(a, b)
+    }
+
+    #[test]
+    fn gcd_rules_out_parity_conflicts() {
+        // 2i vs 2i' + 1: even vs odd, never equal.
+        assert_eq!(gcd_test(&s(2, 0), &s(2, 1)), Verdict::Independent);
+        assert_eq!(gcd_test(&s(2, 0), &s(2, 2)), Verdict::MayDepend);
+        assert_eq!(gcd_test(&s(2, 0), &s(4, 2)), Verdict::MayDepend);
+        assert_eq!(gcd_test(&s(3, 0), &s(6, 1)), Verdict::Independent);
+    }
+
+    #[test]
+    fn gcd_invariant_pairs() {
+        assert_eq!(gcd_test(&s(0, 5), &s(0, 5)), Verdict::MayDepend);
+        assert_eq!(gcd_test(&s(0, 5), &s(0, 6)), Verdict::Independent);
+    }
+
+    #[test]
+    fn banerjee_uses_the_bounds() {
+        // i vs i' + 100 with UB = 50: ranges [1,50] and [101,150] — disjoint.
+        assert_eq!(banerjee_test(&s(1, 0), &s(1, 100), 50), Verdict::Independent);
+        // With UB = 200 they overlap.
+        assert_eq!(banerjee_test(&s(1, 0), &s(1, 100), 200), Verdict::MayDepend);
+    }
+
+    #[test]
+    fn banerjee_negative_coefficients() {
+        // i vs -i' + 5, UB = 10: LHS = i + i' ∈ [2, 20]; diff = 5 → overlap.
+        assert_eq!(banerjee_test(&s(1, 0), &s(-1, 5), 10), Verdict::MayDepend);
+        // diff = 40 is out of range.
+        assert_eq!(banerjee_test(&s(1, 0), &s(-1, 40), 10), Verdict::Independent);
+    }
+
+    #[test]
+    fn combined_is_the_conjunction() {
+        assert_eq!(combined_test(&s(2, 0), &s(2, 1), Some(1000)), Verdict::Independent);
+        assert_eq!(combined_test(&s(1, 0), &s(1, 100), Some(50)), Verdict::Independent);
+        assert_eq!(combined_test(&s(1, 0), &s(1, 2), Some(50)), Verdict::MayDepend);
+        // Symbolic subscripts: always MayDepend.
+        let sym = AffineSub {
+            coef: arrayflow_ir::LinExpr::symbol(arrayflow_ir::VarId(99)),
+            rest: arrayflow_ir::LinExpr::zero(),
+        };
+        assert_eq!(combined_test(&sym, &s(1, 0), Some(10)), Verdict::MayDepend);
+    }
+}

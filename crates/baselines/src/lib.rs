@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Baseline analyses the paper compares against (§1, §5):
+//!
+//! * [`deps`] — conventional flow-insensitive dependence tests (GCD,
+//!   Banerjee);
+//! * [`scalar_replacement`] — dependence-based scalar replacement in the
+//!   style of Callahan/Carr/Kennedy (PLDI '90), which misses reuse under
+//!   conditional control flow;
+//! * [`instance_sim`] — explicit reference-instance propagation in the
+//!   style of Rau (LCPC '91), whose iteration count grows with the reuse
+//!   distance (and is unbounded without an age cap), where the framework
+//!   needs three passes.
+
+pub mod deps;
+pub mod instance_sim;
+pub mod scalar_replacement;
+
+pub use deps::{banerjee_test, combined_test, gcd_test, Verdict};
+pub use instance_sim::{reuses_from_state, simulate_available, EffortComparison, InstanceSim};
+pub use scalar_replacement::{
+    baseline_is_subsumed, compare_reuses, dependence_based_reuses, DepReuse, ReuseComparison,
+};

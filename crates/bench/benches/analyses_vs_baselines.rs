@@ -1,0 +1,61 @@
+//! E7's wall-clock companion: the framework's three-pass analysis versus
+//! explicit instance propagation (Rau-style), whose iteration count grows
+//! with the reuse distance; and versus the dependence-test baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arrayflow_analyses::analyze_loop;
+use arrayflow_baselines::{dependence_based_reuses, simulate_available};
+use arrayflow_workloads::{pair_sum, random_loop, LoopShape};
+
+fn bench_framework_vs_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framework_vs_instance_sim");
+    group.sample_size(10);
+    for d in [2i64, 8, 32] {
+        let p = pair_sum(200, d);
+        let a = analyze_loop(&p).unwrap();
+        group.bench_with_input(BenchmarkId::new("framework", d), &p, |b, p| {
+            b.iter(|| arrayflow_analyses::analyze_loop(std::hint::black_box(p)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("instance_sim", d),
+            &(a.graph.clone(), a.sites.clone()),
+            |b, (graph, sites)| {
+                b.iter(|| {
+                    simulate_available(
+                        std::hint::black_box(graph),
+                        std::hint::black_box(sites),
+                        64,
+                        500,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reuse_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse_detection");
+    group.sample_size(10);
+    let p = random_loop(
+        &LoopShape {
+            stmts: 40,
+            arrays: 4,
+            cond_pct: 40,
+            ..LoopShape::default()
+        },
+        11,
+    );
+    let a = analyze_loop(&p).unwrap();
+    group.bench_function("framework_reuse_pairs", |b| {
+        b.iter(|| std::hint::black_box(&a).reuse_pairs())
+    });
+    group.bench_function("dependence_based", |b| {
+        b.iter(|| dependence_based_reuses(std::hint::black_box(&a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_framework_vs_simulation, bench_reuse_detection);
+criterion_main!(benches);

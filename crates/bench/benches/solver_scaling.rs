@@ -1,0 +1,75 @@
+//! Solver scaling: analysis time as the loop body grows, for all four
+//! framework instances, plus the bounded (exactly-three-pass) schedule.
+//! The paper's claim is linear work — 3·N node visits for must-problems —
+//! and these benches show the wall-clock consequence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arrayflow_analyses::{build_spec, enumerate_sites, GK};
+use arrayflow_core::{solve, solve_bounded, Direction, Mode};
+use arrayflow_graph::build_loop_graph;
+use arrayflow_workloads::{random_loop, LoopShape};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    for stmts in [8usize, 32, 128, 512] {
+        let p = random_loop(
+            &LoopShape {
+                stmts,
+                arrays: 4,
+                cond_pct: 25,
+                ..LoopShape::default()
+            },
+            42,
+        );
+        let l = p.sole_loop().unwrap().clone();
+        let graph = build_loop_graph(&l);
+        let (sites, _) = enumerate_sites(&l, &graph, &p.symbols);
+
+        for (name, gk, dir, mode) in [
+            ("must_reaching", GK::REACHING_DEFS, Direction::Forward, Mode::Must),
+            ("available", GK::AVAILABLE, Direction::Forward, Mode::Must),
+            ("busy_bwd", GK::BUSY_STORES, Direction::Backward, Mode::Must),
+            ("reaching_may", GK::REACHING_REFS, Direction::Forward, Mode::May),
+        ] {
+            let built = build_spec(&sites, gk, dir, mode);
+            group.bench_with_input(
+                BenchmarkId::new(name, stmts),
+                &built.spec,
+                |b, spec| b.iter(|| solve(&graph, std::hint::black_box(spec))),
+            );
+        }
+        // The paper-exact schedule (no convergence check) vs run-to-fixpoint.
+        let built = build_spec(&sites, GK::AVAILABLE, Direction::Forward, Mode::Must);
+        group.bench_with_input(
+            BenchmarkId::new("available_bounded", stmts),
+            &built.spec,
+            |b, spec| b.iter(|| solve_bounded(&graph, std::hint::black_box(spec))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_loop_end_to_end");
+    group.sample_size(10);
+    for stmts in [8usize, 32, 128] {
+        let p = random_loop(
+            &LoopShape {
+                stmts,
+                arrays: 4,
+                cond_pct: 25,
+                ..LoopShape::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(stmts), &p, |b, p| {
+            b.iter(|| arrayflow_analyses::analyze_loop(std::hint::black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Flow function tables.
+//!
+//! For a fixed problem spec, every node's flow function over `Lᵐ` is fully
+//! determined by compile-time constants (paper §3.1): per tracked reference
+//! `d`, a node either *preserves* (`min(x, p)`), *generates after
+//! preserving* (`max(min(x, p), 0)` — the composition coincides with the
+//! paper's plain `max(x, 0)` whenever `p = ⊤`, which is every case the
+//! paper enumerates), or — for the increment node — applies `x⁺⁺`.
+//! [`FlowTable`] precomputes these constants once so the solver's passes are
+//! pure lattice arithmetic.
+
+use arrayflow_graph::{LoopGraph, NodeId};
+
+use crate::lattice::{Dist, DistVec};
+use crate::preserve::node_preserve;
+use crate::problem::{Direction, ProblemSpec};
+
+/// Per-node flow function data.
+#[derive(Debug, Clone)]
+pub struct NodeFlow {
+    /// Preserve constant per tracked reference (`⊤` = identity).
+    pub preserve: Vec<Dist>,
+    /// Whether the node generates each tracked reference.
+    pub generate: Vec<bool>,
+    /// Post-generate preserve constant per tracked reference: kills from
+    /// same-node sites that execute after the generator (see
+    /// [`crate::preserve::node_post_preserve`]). `⊤` when inapplicable.
+    pub post: Vec<Dist>,
+    /// True for the node that carries the `i := i + 1` increment in the
+    /// direction of flow.
+    pub increment: bool,
+}
+
+/// Precomputed flow functions for every node of a graph.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    rows: Vec<NodeFlow>,
+    ub: Option<i64>,
+}
+
+impl FlowTable {
+    /// Builds the table for `spec` over `graph`.
+    pub fn build(graph: &LoopGraph, spec: &ProblemSpec) -> Self {
+        let m = spec.width();
+        let increment_node = match spec.direction {
+            Direction::Forward => graph.exit(),
+            Direction::Backward => graph.entry(),
+        };
+        let rows = graph
+            .node_ids()
+            .map(|node| {
+                let increment = node == increment_node;
+                let mut preserve = vec![Dist::Top; m];
+                let mut generate = vec![false; m];
+                let mut post = vec![Dist::Top; m];
+                if !increment {
+                    for (d, gen) in spec.gens.iter().enumerate() {
+                        preserve[d] = node_preserve(
+                            gen,
+                            node,
+                            &spec.kills,
+                            graph,
+                            spec.direction,
+                            spec.mode,
+                        );
+                        generate[d] = gen.node == node;
+                        if generate[d] {
+                            post[d] = crate::preserve::node_post_preserve(
+                                gen,
+                                node,
+                                &spec.kills,
+                                graph,
+                                spec.direction,
+                                spec.mode,
+                            );
+                        }
+                    }
+                }
+                NodeFlow {
+                    preserve,
+                    generate,
+                    post,
+                    increment,
+                }
+            })
+            .collect();
+        Self { rows, ub: graph.ub }
+    }
+
+    /// The flow data for one node.
+    pub fn row(&self, node: NodeId) -> &NodeFlow {
+        &self.rows[node.index()]
+    }
+
+    /// Applies node `n`'s flow function: `out = fₙ(inp)`.
+    pub fn apply(&self, node: NodeId, inp: &[Dist], out: &mut DistVec) {
+        let row = &self.rows[node.index()];
+        out.clear();
+        if row.increment {
+            out.extend(inp.iter().map(|x| x.incr().normalize(self.ub)));
+            return;
+        }
+        for (d, &x) in inp.iter().enumerate() {
+            let mut v = x.min(row.preserve[d]);
+            if row.generate[d] {
+                v = v.max(Dist::Fin(0)).min(row.post[d]);
+            }
+            out.push(v.normalize(self.ub));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{KillKind, Mode, ProblemSpec};
+    use arrayflow_graph::build_loop_graph;
+    use arrayflow_ir::{parse_program, AffineSub, ArrayRef, Expr};
+
+    #[test]
+    fn table_matches_paper_fig3_functions() {
+        // The loop of Fig. 1; check the five flow functions of §3.5.
+        let p = parse_program(
+            "do i = 1, UB
+               C[i+2] := C[i] * 2;
+               B[2*i] := C[i] + x;
+               if C[i] == 0 then C[i] := B[i-1]; end
+               B[i] := C[i+1];
+             end",
+        )
+        .unwrap();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let c = p.symbols.lookup_array("C").unwrap();
+        let b = p.symbols.lookup_array("B").unwrap();
+        // Nodes: 0 entry, 1 C[i+2]:=, 2 B[2i]:=, 3 test, 4 C[i]:=, 5 B[i]:=, 6 exit.
+        let mut spec = ProblemSpec::new(Direction::Forward, Mode::Must);
+        let defs = [
+            (NodeId(1), c, AffineSub::simple(1, 2)),
+            (NodeId(2), b, AffineSub::simple(2, 0)),
+            (NodeId(4), c, AffineSub::simple(1, 0)),
+            (NodeId(5), b, AffineSub::simple(1, 0)),
+        ];
+        for (node, array, sub) in &defs {
+            spec.add_gen(
+                *node,
+                ArrayRef::new(*array, Expr::Const(0)),
+                sub.clone(),
+                true,
+                None,
+            );
+            spec.add_kill(*node, *array, KillKind::Exact(sub.clone()));
+        }
+        let table = FlowTable::build(&graph, &spec);
+
+        // f₁ = (max(x₁,0), x₂, x₃, x₄)
+        let r1 = table.row(NodeId(1));
+        assert_eq!(r1.generate, vec![true, false, false, false]);
+        assert_eq!(r1.preserve, vec![Dist::Top; 4]);
+        // f₂ = (x₁, max(x₂,0), x₃, x₄)
+        let r2 = table.row(NodeId(2));
+        assert_eq!(r2.generate, vec![false, true, false, false]);
+        assert_eq!(r2.preserve, vec![Dist::Top; 4]);
+        // f₄ (paper node 3) = (min(x₁,1), x₂, max(x₃,0), x₄)
+        let r4 = table.row(NodeId(4));
+        assert_eq!(r4.generate, vec![false, false, true, false]);
+        assert_eq!(
+            r4.preserve,
+            vec![Dist::Fin(1), Dist::Top, Dist::Top, Dist::Top]
+        );
+        // f₅ (paper node 4) = (x₁, min(x₂,0), x₃, max(x₄,0))
+        let r5 = table.row(NodeId(5));
+        assert_eq!(r5.generate, vec![false, false, false, true]);
+        assert_eq!(
+            r5.preserve,
+            vec![Dist::Top, Dist::Fin(0), Dist::Top, Dist::Top]
+        );
+        // exit applies ++
+        assert!(table.row(graph.exit()).increment);
+        let mut out = Vec::new();
+        table.apply(
+            graph.exit(),
+            &[Dist::Fin(1), Dist::Fin(0), Dist::Bottom, Dist::Top],
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![Dist::Fin(2), Dist::Fin(1), Dist::Bottom, Dist::Top]
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The chain lattice of iteration distances (paper §3, Fig. 2).
+//!
+//! A lattice value for a subscripted reference `r` denotes the range of the
+//! latest `x` *instances* of `r`: `⊥` means no instance, a finite `x` means
+//! instances up to maximal iteration distance `x`, and `⊤` means all
+//! instances (equivalently distance `UB − 1` in a loop with `UB` iterations).
+//!
+//! Must-problems use the meet `min`; may-problems use the dual `max`
+//! (paper §3.3 phrases this as reversing the lattice — we keep concrete
+//! distances and swap the operator, which is the same thing).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A maximal iteration distance: an element of the chain
+/// `⊥ < 0 < 1 < 2 < … < ⊤`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dist {
+    /// No instance (`⊥`).
+    Bottom,
+    /// Instances up to this maximal iteration distance.
+    Fin(u64),
+    /// All instances (`⊤`, i.e. distance `UB − 1`).
+    Top,
+}
+
+impl Dist {
+    /// The paper's `min` (meet of the must-lattice): `min(x, ⊥) = ⊥`,
+    /// `min(x, ⊤) = x`.
+    pub fn min(self, other: Dist) -> Dist {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The paper's dual `max` (meet of the may-lattice): `max(x, ⊥) = x`,
+    /// `max(x, ⊤) = ⊤`.
+    pub fn max(self, other: Dist) -> Dist {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The increment `x⁺⁺` applied by the `exit` node: `⊤⁺⁺ = ⊤`,
+    /// `⊥⁺⁺ = ⊥`, otherwise `x + 1` (paper §3.1.3).
+    pub fn incr(self) -> Dist {
+        match self {
+            Dist::Bottom => Dist::Bottom,
+            Dist::Fin(x) => Dist::Fin(x + 1),
+            Dist::Top => Dist::Top,
+        }
+    }
+
+    /// Canonicalizes with respect to a known trip count: every distance
+    /// `≥ UB − 1` covers all instances and collapses to `⊤`.
+    pub fn normalize(self, ub: Option<i64>) -> Dist {
+        match (self, ub) {
+            (Dist::Fin(x), Some(ub)) if ub >= 1 && x as i128 >= (ub - 1) as i128 => Dist::Top,
+            _ => self,
+        }
+    }
+
+    /// True iff at least the instance at distance `d` is covered.
+    pub fn covers(self, d: u64) -> bool {
+        match self {
+            Dist::Bottom => false,
+            Dist::Fin(x) => d <= x,
+            Dist::Top => true,
+        }
+    }
+
+    /// The finite distance, if this value is finite.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Dist::Fin(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// True for `⊥`.
+    pub fn is_bottom(self) -> bool {
+        self == Dist::Bottom
+    }
+
+    /// True for `⊤`.
+    pub fn is_top(self) -> bool {
+        self == Dist::Top
+    }
+}
+
+impl PartialOrd for Dist {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Dist::*;
+        match (self, other) {
+            (Bottom, Bottom) | (Top, Top) => Ordering::Equal,
+            (Bottom, _) => Ordering::Less,
+            (_, Bottom) => Ordering::Greater,
+            (Top, _) => Ordering::Greater,
+            (_, Top) => Ordering::Less,
+            (Fin(a), Fin(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dist::Bottom => write!(f, "⊥"),
+            Dist::Fin(x) => write!(f, "{x}"),
+            Dist::Top => write!(f, "⊤"),
+        }
+    }
+}
+
+impl From<u64> for Dist {
+    fn from(x: u64) -> Self {
+        Dist::Fin(x)
+    }
+}
+
+/// A tuple of lattice values, one per generating reference (an element of
+/// `Lᵐ` in the paper).
+pub type DistVec = Vec<Dist>;
+
+/// Component-wise must-meet of two tuples.
+pub fn meet_min(a: &mut DistVec, b: &[Dist]) {
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = (*x).min(y);
+    }
+}
+
+/// Component-wise may-meet of two tuples.
+pub fn meet_max(a: &mut DistVec, b: &[Dist]) {
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = (*x).max(y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dist() -> impl Strategy<Value = Dist> {
+        prop_oneof![
+            Just(Dist::Bottom),
+            (0u64..100).prop_map(Dist::Fin),
+            Just(Dist::Top),
+        ]
+    }
+
+    #[test]
+    fn chain_order() {
+        assert!(Dist::Bottom < Dist::Fin(0));
+        assert!(Dist::Fin(0) < Dist::Fin(1));
+        assert!(Dist::Fin(1000) < Dist::Top);
+        assert!(Dist::Bottom < Dist::Top);
+    }
+
+    #[test]
+    fn paper_min_max_identities() {
+        // ∀x: min(x, ⊥) = ⊥ and min(x, ⊤) = x
+        for x in [Dist::Bottom, Dist::Fin(3), Dist::Top] {
+            assert_eq!(x.min(Dist::Bottom), Dist::Bottom);
+            assert_eq!(x.min(Dist::Top), x);
+            // ∀x: max(x, ⊥) = x and max(x, ⊤) = ⊤
+            assert_eq!(x.max(Dist::Bottom), x);
+            assert_eq!(x.max(Dist::Top), Dist::Top);
+        }
+    }
+
+    #[test]
+    fn incr_fixes_extremes() {
+        assert_eq!(Dist::Bottom.incr(), Dist::Bottom);
+        assert_eq!(Dist::Top.incr(), Dist::Top);
+        assert_eq!(Dist::Fin(4).incr(), Dist::Fin(5));
+    }
+
+    #[test]
+    fn normalize_clamps_to_trip_count() {
+        assert_eq!(Dist::Fin(9).normalize(Some(10)), Dist::Top);
+        assert_eq!(Dist::Fin(8).normalize(Some(10)), Dist::Fin(8));
+        assert_eq!(Dist::Fin(9).normalize(None), Dist::Fin(9));
+        assert_eq!(Dist::Bottom.normalize(Some(2)), Dist::Bottom);
+    }
+
+    #[test]
+    fn covers_semantics() {
+        assert!(!Dist::Bottom.covers(0));
+        assert!(Dist::Fin(2).covers(0));
+        assert!(Dist::Fin(2).covers(2));
+        assert!(!Dist::Fin(2).covers(3));
+        assert!(Dist::Top.covers(u64::MAX));
+    }
+
+    proptest! {
+        #[test]
+        fn min_is_meet(a in arb_dist(), b in arb_dist(), c in arb_dist()) {
+            // Commutative, associative, idempotent, and a lower bound.
+            prop_assert_eq!(a.min(b), b.min(a));
+            prop_assert_eq!(a.min(b).min(c), a.min(b.min(c)));
+            prop_assert_eq!(a.min(a), a);
+            prop_assert!(a.min(b) <= a && a.min(b) <= b);
+        }
+
+        #[test]
+        fn max_is_join(a in arb_dist(), b in arb_dist()) {
+            prop_assert_eq!(a.max(b), b.max(a));
+            prop_assert_eq!(a.max(a), a);
+            prop_assert!(a.max(b) >= a && a.max(b) >= b);
+        }
+
+        #[test]
+        fn incr_is_monotone(a in arb_dist(), b in arb_dist()) {
+            if a <= b {
+                prop_assert!(a.incr() <= b.incr());
+            }
+        }
+
+        #[test]
+        fn absorption(a in arb_dist(), b in arb_dist()) {
+            prop_assert_eq!(a.min(a.max(b)), a);
+            prop_assert_eq!(a.max(a.min(b)), a);
+        }
+    }
+}

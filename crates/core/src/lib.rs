@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! The array reference data flow framework of Duesterwald, Gupta and Soffa
+//! (PLDI 1993) — the paper's primary contribution.
+//!
+//! The framework extends classical scalar data flow analysis to subscripted
+//! variables by replacing the binary lattice with a chain lattice of
+//! *iteration distances* ([`Dist`]): the fixed point at a program point
+//! records, per tracked reference, the maximal distance `δ` for which the
+//! data flow fact holds (e.g. "the latest δ instances of this definition
+//! must reach here").
+//!
+//! A concrete analysis is an instance of [`ProblemSpec`]: a set **G** of
+//! generating references, a set **K** of killing sites, a [`Direction`] and
+//! a [`Mode`]. Flow functions come in exactly two statement shapes —
+//! generate `max(x, 0)` and preserve `min(x, p)` with compile-time constant
+//! `p` (derived in [`preserve`]) — plus the increment `x⁺⁺` at the loop
+//! `exit` node. [`solve`] computes the fixed point in at most three passes
+//! over the loop body for must-problems and two for may-problems;
+//! [`solve_bounded`] runs exactly that schedule so the bound itself is
+//! testable.
+//!
+//! ```
+//! use arrayflow_core::{solve, Direction, Mode, ProblemSpec, KillKind, Dist};
+//! use arrayflow_graph::build_loop_graph;
+//! use arrayflow_ir::{parse_program, AffineSub, ArrayRef, Expr};
+//!
+//! // do i = 1, UB { A[i+1] := A[i]; } — must-reaching definitions of A[i+1].
+//! let p = parse_program("do i = 1, 100 A[i+1] := A[i]; end").unwrap();
+//! let g = build_loop_graph(p.sole_loop().unwrap());
+//! let a = p.symbols.lookup_array("A").unwrap();
+//! let mut spec = ProblemSpec::new(Direction::Forward, Mode::Must);
+//! let d = spec.add_gen(
+//!     arrayflow_graph::NodeId(1),
+//!     ArrayRef::new(a, Expr::Const(0)),
+//!     AffineSub::simple(1, 1),
+//!     true,
+//!     None,
+//! );
+//! spec.add_kill(arrayflow_graph::NodeId(1), a, KillKind::Exact(AffineSub::simple(1, 1)));
+//! let sol = solve(&g, &spec);
+//! // Every previous instance of A[i+1] reaches the top of the body.
+//! assert_eq!(sol.before_at(arrayflow_graph::NodeId(1), d), Dist::Top);
+//! ```
+
+pub mod flow;
+pub mod lattice;
+pub mod preserve;
+pub mod problem;
+pub mod solver;
+
+pub use flow::{FlowTable, NodeFlow};
+pub use lattice::{meet_max, meet_min, Dist, DistVec};
+pub use preserve::{node_preserve, preserve_constant};
+pub use problem::{Direction, GenRef, KillKind, KillSite, Mode, ProblemSpec, RefId};
+pub use solver::{solve, solve_bounded, solve_traced, Snapshot, Solution, SolveStats};

@@ -1,0 +1,659 @@
+//! Derivation of preserve constants (paper §3.1.2, §3.3, §3.4).
+//!
+//! For a generating reference `d = X[f₁(i)]` and a killing site
+//! `d' = X[f₂(i)] ∈ K[n]`, the preserve function at node `n` is
+//! `f(x) = min(x, p)` where the constant `p` bounds the previous instances
+//! of `d` that `d'` can never redefine. With `f₁(i) = a₁·i + b₁` and
+//! `f₂(i) = a₂·i + b₂`, a kill at distance `δ` requires `f₂(i) = f₁(i − δ)`,
+//! i.e. `δ = k(i) = ((a₁ − a₂)·i + (b₁ − b₂)) / a₁` — so the shape of the
+//! (rational, linear) function `k` over the iteration space `I = [1, UB]`
+//! decides `p`:
+//!
+//! * `k ≡ pr(d, n)` — every instance is killed: `p = ⊥`;
+//! * `k < pr` on all of `I` — nothing is killed: `p = ⊤`;
+//! * otherwise `p = ⌈min{k(i) | i ∈ I, k(i) > pr}⌉ − 1`.
+//!
+//! `pr(d, n) = 0` iff `d`'s node precedes `n` within the iteration, else 1.
+//! May-problems use the *definite kill* rule instead, and backward problems
+//! negate `k`'s numerator. Everything here is exact integer/rational
+//! arithmetic; symbolic coefficients are resolved through
+//! [`LinExpr::ratio`](arrayflow_ir::LinExpr::ratio), and undecidable cases
+//! fall back to the sound side of the respective mode.
+
+use arrayflow_graph::LoopGraph;
+
+use crate::lattice::Dist;
+use crate::problem::{Direction, GenRef, KillKind, KillSite, Mode};
+
+/// The `pr(d, n)` predicate: 0 if `d` occurs in a node that precedes `n`
+/// in the direction of information flow, 1 otherwise (paper §3.1.2).
+pub fn pr(gen: &GenRef, kill_node: arrayflow_graph::NodeId, graph: &LoopGraph, direction: Direction) -> u64 {
+    let before = match direction {
+        Direction::Forward => graph.precedes(gen.node, kill_node),
+        Direction::Backward => graph.precedes(kill_node, gen.node),
+    };
+    u64::from(!before)
+}
+
+/// Computes the preserve constant `p` for one (generator, kill site) pair.
+///
+/// Returns `⊤` when the kill site concerns a different array.
+pub fn preserve_constant(
+    gen: &GenRef,
+    kill: &KillSite,
+    graph: &LoopGraph,
+    direction: Direction,
+    mode: Mode,
+) -> Dist {
+    let pr = pr(gen, kill.node, graph, direction);
+    preserve_constant_with_pr(gen, kill, graph.ub, direction, mode, pr)
+}
+
+/// [`preserve_constant`] with an explicit `pr`. The post-generate kills of
+/// [`node_post_preserve`] force `pr = 0`: a killer executing *after* the
+/// generator within the same node can destroy even the instance created
+/// this iteration.
+pub fn preserve_constant_with_pr(
+    gen: &GenRef,
+    kill: &KillSite,
+    ub: Option<i64>,
+    direction: Direction,
+    mode: Mode,
+    pr: u64,
+) -> Dist {
+    if kill.array != gen.aref.array {
+        return Dist::Top;
+    }
+    let kill_sub = match &kill.kind {
+        KillKind::AllOfArray => {
+            // Summary nodes / non-affine definitions: assume the worst for
+            // must-information, the best (nothing definitely killed) for
+            // may-information (paper §3.2, §3.3).
+            return match mode {
+                Mode::Must => Dist::Bottom,
+                Mode::May => Dist::Top,
+            };
+        }
+        KillKind::Exact(sub) => sub,
+    };
+
+    // Numerator of k(i): forward (a₁−a₂)·i + (b₁−b₂); backward negated.
+    let (da, db) = match direction {
+        Direction::Forward => (
+            gen.sub.coef.clone() - kill_sub.coef.clone(),
+            gen.sub.rest.clone() - kill_sub.rest.clone(),
+        ),
+        Direction::Backward => (
+            kill_sub.coef.clone() - gen.sub.coef.clone(),
+            kill_sub.rest.clone() - gen.sub.rest.clone(),
+        ),
+    };
+    let denom = &gen.sub.coef;
+
+    if denom.is_zero() {
+        return invariant_generator(gen, kill_sub, pr, ub, mode);
+    }
+
+    // k(i) = qa·i + qb with qa = Δa/a₁ and qb = Δb/a₁, both exact rationals
+    // when they exist at all (symbolic parts must cancel).
+    let (Some(qa), Some(qb)) = (da.ratio(denom), db.ratio(denom)) else {
+        return undecidable(mode);
+    };
+
+    match mode {
+        Mode::May => definite_kill(qa, qb, pr, ub),
+        Mode::Must => must_constant(qa, qb, pr, ub, direction),
+    }
+}
+
+/// Sound fallback when the subscript relation cannot be decided.
+fn undecidable(mode: Mode) -> Dist {
+    match mode {
+        Mode::Must => Dist::Bottom,
+        Mode::May => Dist::Top,
+    }
+}
+
+/// The generator is loop-invariant (`a₁ = 0`): all its instances share one
+/// location, so any killer that can touch that location destroys them all.
+fn invariant_generator(
+    gen: &GenRef,
+    kill_sub: &arrayflow_ir::AffineSub,
+    pr: u64,
+    ub: Option<i64>,
+    mode: Mode,
+) -> Dist {
+    let diff = kill_sub.rest.clone() - gen.sub.rest.clone();
+    if kill_sub.coef.is_zero() {
+        // Invariant vs invariant: overlap iff b₂ = b₁.
+        if diff.is_zero() {
+            // Same location rewritten every iteration.
+            return match (mode, pr) {
+                (Mode::Must, _) => Dist::Bottom,
+                (Mode::May, 0) => Dist::Bottom,
+                (Mode::May, _) => Dist::Top, // δ < pr instances are unaffected
+            };
+        }
+        if let Some(c) = diff.as_constant() {
+            debug_assert!(c != 0);
+            return Dist::Top; // provably disjoint locations
+        }
+        return undecidable(mode);
+    }
+    // Invariant generator vs a sweeping killer a₂·i + b₂: the killer hits
+    // the location when a₂·i = b₁ − b₂ for some i ∈ I.
+    match mode {
+        Mode::May => Dist::Top, // never a definite per-distance kill
+        Mode::Must => {
+            let (Some(a2), Some(d)) = (kill_sub.coef.as_constant(), (-diff).as_constant())
+            else {
+                return Dist::Bottom;
+            };
+            if a2 != 0 && d % a2 == 0 {
+                let i0 = d / a2;
+                let hit = i0 >= 1 && ub.is_none_or(|ub| i0 <= ub);
+                if hit {
+                    return Dist::Bottom;
+                }
+            }
+            Dist::Top
+        }
+    }
+}
+
+/// Must-mode constant for `k(i) = qa·i + qb` (rationals as reduced
+/// `(num, den)` pairs with positive denominators).
+///
+/// A kill at distance `δ = k(i)` is only real when the killed instance
+/// *exists*: the generator must have run at iteration `i − δ ≥ 1`
+/// (forward), resp. will run at `i + δ ≤ UB` (backward). The paper's
+/// derivation leaves this implicit ("the range of previous instances");
+/// making it explicit is both necessary for precision (an invariant
+/// `X[3]` never kills instances of `X[i+4]`, because `i = −1` is outside
+/// the loop) and keeps the subsumption property over the dependence-based
+/// baseline.
+fn must_constant(
+    qa: (i64, i64),
+    qb: (i64, i64),
+    pr: u64,
+    ub: Option<i64>,
+    direction: Direction,
+) -> Dist {
+    let pr = pr as i128;
+    if qa.0 == 0 {
+        // k is the constant qb.
+        let (n, d) = (qb.0 as i128, qb.1 as i128);
+        if n < pr * d {
+            return Dist::Top; // k < pr: no instance killed
+        }
+        if d != 1 && n != pr * d {
+            // Non-integer constant: a kill would need an integer distance,
+            // so none ever occurs. (Slightly sharper than the paper's
+            // ⌈k⌉ − 1 approximation, and exact.)
+            return Dist::Top;
+        }
+        // Integer constant c ≥ pr: a kill at distance c needs a valid
+        // source iteration, i.e. the loop must run at least c + 1 times.
+        let c = n / d;
+        if let Some(ub) = ub {
+            if (ub as i128) < c + 1 {
+                return Dist::Top;
+            }
+        }
+        return if n == pr * d {
+            Dist::Bottom // k ≡ pr: every instance killed
+        } else {
+            Dist::Fin((c - 1) as u64) // c > pr: p = c − 1
+        };
+    }
+
+    // Common denominator: k(i) = (A·i + B) / Dn with Dn > 0.
+    let a = qa.0 as i128 * qb.1 as i128;
+    let b = qb.0 as i128 * qa.1 as i128;
+    let dn = qa.1 as i128 * qb.1 as i128;
+    debug_assert!(dn > 0);
+
+    // Feasible killing iterations satisfy, simultaneously:
+    //   1 ≤ i ≤ UB                              (iteration space)
+    //   instance existence (see above)
+    //   A·i + B ≥ pr·Dn (+1 for strict)         (kill depth)
+    // All are linear in i; intersect them into [lo, hi].
+    let mut lo: i128 = 1;
+    let mut hi: i128 = ub.map_or(i128::MAX / 4, |u| u as i128);
+    let add = |e: i128, f: i128, lo: &mut i128, hi: &mut i128, feasible: &mut bool| {
+        // constraint e·i ≥ f
+        match e.cmp(&0) {
+            std::cmp::Ordering::Greater => *lo = (*lo).max(ceil_div(f, e)),
+            std::cmp::Ordering::Less => *hi = (*hi).min(floor_div(f, e)),
+            std::cmp::Ordering::Equal => {
+                if f > 0 {
+                    *feasible = false;
+                }
+            }
+        }
+    };
+    let mut feasible = true;
+    match direction {
+        // i − k(i) ≥ 1  ⟺  (Dn − A)·i ≥ B + Dn
+        Direction::Forward => add(dn - a, b + dn, &mut lo, &mut hi, &mut feasible),
+        // i + k(i) ≤ UB ⟺ −(Dn + A)·i ≥ B − UB·Dn (only with a known UB)
+        Direction::Backward => {
+            if let Some(u) = ub {
+                add(-(dn + a), b - u as i128 * dn, &mut lo, &mut hi, &mut feasible);
+            }
+        }
+    }
+
+    // Exact hit at distance pr within the feasible range → ⊥ (the paper's
+    // case-1 answer extended to non-constant k; its ⌈min k > pr⌉ − 1
+    // approximation alone would be unsound here).
+    let c0 = pr * dn - b; // A·i == c0 ⟺ k(i) == pr
+    if feasible && c0 % a == 0 {
+        let i0 = c0 / a;
+        if i0 >= lo && i0 <= hi {
+            return Dist::Bottom;
+        }
+    }
+
+    // Strictly-above-pr kills: add A·i ≥ pr·Dn − B + 1 and take the minimum
+    // k over the interval (at the lo end when k increases, hi when it
+    // decreases).
+    add(a, pr * dn - b + 1, &mut lo, &mut hi, &mut feasible);
+    if !feasible || lo > hi {
+        return Dist::Top;
+    }
+    let i_star = if a > 0 { lo } else { hi };
+    let k_num = a * i_star + b;
+    debug_assert!(k_num > pr * dn);
+    let p = ceil_div(k_num, dn) - 1;
+    debug_assert!(p >= 0);
+    Dist::Fin(p as u64)
+}
+
+/// May-mode *definite kill* rule (paper §3.3): only a killer of the form
+/// `X[f(i) + c]` (constant k) definitely destroys instances — and only
+/// when the loop runs long enough (`UB ≥ c + 1`) for a killed instance to
+/// exist at all.
+fn definite_kill(qa: (i64, i64), qb: (i64, i64), pr: u64, ub: Option<i64>) -> Dist {
+    if qa.0 != 0 {
+        return Dist::Top;
+    }
+    let (n, d) = (qb.0 as i128, qb.1 as i128);
+    let pr = pr as i128;
+    if d == 1 && n >= pr {
+        let c = n;
+        if let Some(ub) = ub {
+            if (ub as i128) < c + 1 {
+                return Dist::Top;
+            }
+        }
+        if c == pr {
+            return Dist::Bottom; // kills every instance it can ever see
+        }
+        return Dist::Fin((c - 1) as u64);
+    }
+    Dist::Top
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b != 0);
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn floor_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b != 0);
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Combines the preserve constants of every kill site in a node that applies
+/// to `gen`: composition of `min`s is `min` of the constants.
+pub fn node_preserve(
+    gen: &GenRef,
+    node: arrayflow_graph::NodeId,
+    kills: &[KillSite],
+    graph: &LoopGraph,
+    direction: Direction,
+    mode: Mode,
+) -> Dist {
+    let mut p = Dist::Top;
+    for kill in kills.iter().filter(|k| k.node == node) {
+        p = p.min(preserve_constant(gen, kill, graph, direction, mode));
+    }
+    p
+}
+
+/// The *post-generate* preserve constant for a reference generated in
+/// `node`: kills from sites in the same node that execute **after** the
+/// generating reference in the direction of flow. Such a killer can destroy
+/// the distance-0 instance the node just created — a case the paper's
+/// `pr = 1` same-node convention does not cover (e.g. in
+/// `A[2i−1] := A[i+2] + 2`, the definition overwrites the element the use
+/// just read whenever `2i−1 = i+2`).
+///
+/// Within an assignment, uses execute before the definition; so forward
+/// problems post-kill use-generators by the statement's definition, and
+/// backward problems post-kill the definition by the statement's uses.
+/// Summary nodes have unknown internal order, so every non-self kill site
+/// applies. A kill site that *is* the generator never post-kills it.
+pub fn node_post_preserve(
+    gen: &GenRef,
+    node: arrayflow_graph::NodeId,
+    kills: &[KillSite],
+    graph: &LoopGraph,
+    direction: Direction,
+    mode: Mode,
+) -> Dist {
+    let is_summary = graph.node(node).is_summary();
+    let mut p = Dist::Top;
+    for kill in kills.iter().filter(|k| k.node == node) {
+        let self_site = match (gen.origin, kill.origin) {
+            (Some(a), Some(b)) => a == b,
+            // Hand-built specs without origins: a def kill with the
+            // generator's own subscript in the generator's node is the
+            // generator.
+            _ => {
+                gen.is_def == kill.is_def
+                    && matches!(&kill.kind, KillKind::Exact(s) if *s == gen.sub)
+            }
+        };
+        if self_site {
+            continue;
+        }
+        let applies = if is_summary {
+            true
+        } else {
+            match direction {
+                Direction::Forward => kill.is_def && !gen.is_def,
+                Direction::Backward => !kill.is_def && gen.is_def,
+            }
+        };
+        if !applies {
+            continue;
+        }
+        p = p.min(preserve_constant_with_pr(
+            gen, kill, graph.ub, direction, mode, 0,
+        ));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayflow_graph::{build_loop_graph, NodeId};
+    use arrayflow_ir::{parse_program, AffineSub};
+
+    /// Builds a two-statement loop `X[<gen>] := 0; X[<kill>] := 0;` and
+    /// returns the preserve constant of the *gen* (first statement) with
+    /// respect to the kill site in the *second* statement — i.e. pr = 0.
+    fn p_of(gen_sub: AffineSub, kill_sub: AffineSub, ub: Option<i64>, mode: Mode) -> Dist {
+        let ub_txt = ub.map_or("UB".to_string(), |u| u.to_string());
+        let prog = parse_program(&format!(
+            "do i = 1, {ub_txt} X[i] := 0; X[i+1] := 0; end"
+        ))
+        .unwrap();
+        let graph = build_loop_graph(prog.sole_loop().unwrap());
+        // Nodes: 0 = entry, 1 = first assign, 2 = second assign, 3 = exit.
+        let gen = GenRef {
+            id: crate::problem::RefId(0),
+            node: NodeId(1),
+            aref: arrayflow_ir::ArrayRef::new(
+                prog.symbols.lookup_array("X").unwrap(),
+                arrayflow_ir::Expr::Const(0),
+            ),
+            sub: gen_sub,
+            is_def: true,
+            stmt: None,
+            origin: None,
+        };
+        let kill = KillSite {
+            node: NodeId(2),
+            array: prog.symbols.lookup_array("X").unwrap(),
+            kind: KillKind::Exact(kill_sub),
+            is_def: true,
+            origin: None,
+        };
+        preserve_constant(&gen, &kill, &graph, Direction::Forward, mode)
+    }
+
+    #[test]
+    fn identical_references_kill_everything() {
+        // d = X[i], d' = X[i] in a later node: k ≡ 0 = pr → ⊥.
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 0), None, Mode::Must);
+        assert_eq!(p, Dist::Bottom);
+    }
+
+    #[test]
+    fn paper_case_no_kill() {
+        // d = X[i], d' = X[i+2]: k ≡ −2 < pr → ⊤ (the paper's example).
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 2), None, Mode::Must);
+        assert_eq!(p, Dist::Top);
+    }
+
+    #[test]
+    fn paper_case_constant_distance() {
+        // d = X[i+2], d' = X[i]: k ≡ 2 → p = 1 (the f₃ component of Fig. 3).
+        let p = p_of(AffineSub::simple(1, 2), AffineSub::simple(1, 0), None, Mode::Must);
+        assert_eq!(p, Dist::Fin(1));
+    }
+
+    #[test]
+    fn paper_case_fractional_slope() {
+        // d = X[2i], d' = X[i]: k(i) = i/2; min above 0 is k(1) = ½ → p = 0
+        // (the f₄ component of Fig. 3).
+        let p = p_of(AffineSub::simple(2, 0), AffineSub::simple(1, 0), None, Mode::Must);
+        assert_eq!(p, Dist::Fin(0));
+    }
+
+    #[test]
+    fn decreasing_k_with_unknown_bound() {
+        // d = X[i], d' = X[2i]: k(i) = −i < 0 everywhere → ⊤.
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(2, 0), None, Mode::Must);
+        assert_eq!(p, Dist::Top);
+    }
+
+    #[test]
+    fn k_crossing_pr_kills_everything() {
+        // d = X[i], d' = X[4 − i]: k(i) = 2i − 4 hits pr = 0 at i = 2 — the
+        // killer overwrites the *current* instance there, so nothing is
+        // preserved (the ⌈min k > pr⌉ − 1 shortcut alone would unsoundly
+        // report 1).
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(-1, 4), Some(10), Mode::Must);
+        assert_eq!(p, Dist::Bottom);
+    }
+
+    #[test]
+    fn k_missing_pr_by_parity_uses_min_above() {
+        // d = X[i], d' = X[5 − i]: k(i) = 2i − 5 is always odd, never 0;
+        // smallest qualifying value is k(3) = 1 → p = 0.
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(-1, 5), Some(10), Mode::Must);
+        assert_eq!(p, Dist::Fin(0));
+    }
+
+    #[test]
+    fn kills_of_preloop_instances_do_not_count() {
+        // d = X[i+100], d' = X[2i] with UB = 10: k(i) = 100 − i suggests
+        // kills at huge distances, but the "killed" instances would have
+        // been generated before iteration 1 — the killer only ever writes
+        // locations ≤ 20 while the generator writes ≥ 101. No kill: ⊤.
+        let p = p_of(AffineSub::simple(1, 100), AffineSub::simple(2, 0), Some(10), Mode::Must);
+        assert_eq!(p, Dist::Top);
+        // A genuine in-range kill: d = X[i], d' = X[2i−3], UB = 10:
+        // k(i) = 3 − i hits distance 0 at i = 3 (the killer rewrites the
+        // element the generator just wrote) → ⊥.
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(2, -3), Some(10), Mode::Must);
+        assert_eq!(p, Dist::Bottom);
+        // Clamp UB to 2: the distance-0 hit at i = 3 is outside the loop;
+        // the only real kill is δ = 1 at i = 2 (source iteration 1) → p = 0.
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(2, -3), Some(2), Mode::Must);
+        assert_eq!(p, Dist::Fin(0));
+    }
+
+    #[test]
+    fn non_integer_constant_k_never_kills() {
+        // d = X[2i+1], d' = X[2i]: k ≡ ((2−2)i + 1)/2 = ½ → no integer
+        // distance ever matches → ⊤ (odd vs even locations).
+        let p = p_of(AffineSub::simple(2, 1), AffineSub::simple(2, 0), None, Mode::Must);
+        assert_eq!(p, Dist::Top);
+    }
+
+    #[test]
+    fn may_mode_definite_kill() {
+        // d = X[i], d' = X[i+3]: k ≡ … wait for may we need the killer to
+        // overwrite *previous* instances: d = X[i+3], d' = X[i] gives
+        // k ≡ 3 > pr → p = 2.
+        let p = p_of(AffineSub::simple(1, 3), AffineSub::simple(1, 0), None, Mode::May);
+        assert_eq!(p, Dist::Fin(2));
+        // Identical refs: definite kill of everything.
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 0), None, Mode::May);
+        assert_eq!(p, Dist::Bottom);
+        // Different slopes: never definite → all preserved.
+        let p = p_of(AffineSub::simple(2, 0), AffineSub::simple(1, 0), None, Mode::May);
+        assert_eq!(p, Dist::Top);
+    }
+
+    #[test]
+    fn invariant_generator_cases() {
+        // X[5] vs X[5]: same location every iteration → ⊥ (must & may).
+        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(0, 5), None, Mode::Must);
+        assert_eq!(p, Dist::Bottom);
+        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(0, 5), None, Mode::May);
+        assert_eq!(p, Dist::Bottom);
+        // X[5] vs X[7]: disjoint → ⊤.
+        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(0, 7), None, Mode::Must);
+        assert_eq!(p, Dist::Top);
+        // X[5] vs X[i]: the sweep hits location 5 at i = 5 → ⊥ (must).
+        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(1, 0), Some(10), Mode::Must);
+        assert_eq!(p, Dist::Bottom);
+        // X[5] vs X[i] with UB = 3: never reaches 5 → ⊤.
+        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(1, 0), Some(3), Mode::Must);
+        assert_eq!(p, Dist::Top);
+        // X[5] vs X[2i]: 5 is odd → ⊤.
+        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(2, 0), Some(10), Mode::Must);
+        assert_eq!(p, Dist::Top);
+        // May-mode sweeping killer: never definite → ⊤.
+        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(1, 0), Some(10), Mode::May);
+        assert_eq!(p, Dist::Top);
+    }
+
+    #[test]
+    fn all_of_array_kills() {
+        let prog = parse_program("do i = 1, 10 X[i] := 0; X[i+1] := 0; end").unwrap();
+        let graph = build_loop_graph(prog.sole_loop().unwrap());
+        let x = prog.symbols.lookup_array("X").unwrap();
+        let gen = GenRef {
+            id: crate::problem::RefId(0),
+            node: NodeId(1),
+            aref: arrayflow_ir::ArrayRef::new(x, arrayflow_ir::Expr::Const(0)),
+            sub: AffineSub::simple(1, 0),
+            is_def: true,
+            stmt: None,
+            origin: None,
+        };
+        let kill = KillSite {
+            node: NodeId(2),
+            array: x,
+            kind: KillKind::AllOfArray,
+            is_def: true,
+            origin: None,
+        };
+        assert_eq!(
+            preserve_constant(&gen, &kill, &graph, Direction::Forward, Mode::Must),
+            Dist::Bottom
+        );
+        assert_eq!(
+            preserve_constant(&gen, &kill, &graph, Direction::Forward, Mode::May),
+            Dist::Top
+        );
+    }
+
+    #[test]
+    fn other_array_is_ignored() {
+        let prog = parse_program("do i = 1, 10 X[i] := 0; Y[i] := 0; end").unwrap();
+        let graph = build_loop_graph(prog.sole_loop().unwrap());
+        let gen = GenRef {
+            id: crate::problem::RefId(0),
+            node: NodeId(1),
+            aref: arrayflow_ir::ArrayRef::new(
+                prog.symbols.lookup_array("X").unwrap(),
+                arrayflow_ir::Expr::Const(0),
+            ),
+            sub: AffineSub::simple(1, 0),
+            is_def: true,
+            stmt: None,
+            origin: None,
+        };
+        let kill = KillSite {
+            node: NodeId(2),
+            array: prog.symbols.lookup_array("Y").unwrap(),
+            kind: KillKind::Exact(AffineSub::simple(1, 0)),
+            is_def: true,
+            origin: None,
+        };
+        assert_eq!(
+            preserve_constant(&gen, &kill, &graph, Direction::Forward, Mode::Must),
+            Dist::Top
+        );
+    }
+
+    #[test]
+    fn backward_direction_negates_k() {
+        // Backward (e.g. δ-busy stores): gen d = X[i], kill d' = X[i+1]
+        // *below* it. Backward k(i) = ((a₂−a₁)i + (b₂−b₁))/a₁ = 1 → p = 0
+        // … with pr: in backward flow the kill node (2) precedes the gen
+        // node (1)?? Information flows upward; gen at node 1, killer at
+        // node 2: node 2 does NOT precede node 1 in backward flow
+        // (backward order is 2 before 1 → precedes). So pr = 0 and k ≡ 1 >
+        // 0 → p = 0.
+        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 1), None, Mode::Must);
+        // forward control: gen in node 1, kill in node 2; backward flow
+        // visits node 2 first, so the kill site *precedes* the generator.
+        let prog = parse_program("do i = 1, 10 X[i] := 0; X[i+1] := 0; end").unwrap();
+        let graph = build_loop_graph(prog.sole_loop().unwrap());
+        let x = prog.symbols.lookup_array("X").unwrap();
+        // Generator is the *second* statement (node 2) for a backward
+        // problem; killer is the first (node 1).
+        let gen = GenRef {
+            id: crate::problem::RefId(0),
+            node: NodeId(2),
+            aref: arrayflow_ir::ArrayRef::new(x, arrayflow_ir::Expr::Const(0)),
+            sub: AffineSub::simple(1, 0),
+            is_def: true,
+            stmt: None,
+            origin: None,
+        };
+        let kill = KillSite {
+            node: NodeId(1),
+            array: x,
+            kind: KillKind::Exact(AffineSub::simple(1, 1)),
+            is_def: true,
+            origin: None,
+        };
+        let pb = preserve_constant(&gen, &kill, &graph, Direction::Backward, Mode::Must);
+        // Backward k ≡ ((1−1)i + (1−0))/1 = 1 > pr = 0 → p = 0.
+        assert_eq!(pb, Dist::Fin(0));
+        let _ = p;
+    }
+
+    #[test]
+    fn div_helpers() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(7, -2), -3);
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(7, -2), -4);
+        assert_eq!(floor_div(6, 3), 2);
+        assert_eq!(ceil_div(6, 3), 2);
+    }
+}

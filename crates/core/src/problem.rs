@@ -1,0 +1,176 @@
+//! Problem specifications: the (G, K) parameterization of the framework.
+//!
+//! A data flow problem over a loop flow graph is fully determined by
+//! (paper §3.1):
+//!
+//! * the set **G** of *generating* references — each becomes one lattice
+//!   component tracked through the loop;
+//! * the set **K** of *killing* sites — each contributes preserve constants
+//!   to the flow functions of its node;
+//! * a [`Direction`] (forward or backward, §3.4);
+//! * a [`Mode`] (must/all-paths or may/any-path, §3.3).
+//!
+//! The analyses crate constructs [`ProblemSpec`]s from IR loops; the solver
+//! in this crate consumes them.
+
+use arrayflow_graph::NodeId;
+use arrayflow_ir::stmt::StmtId;
+use arrayflow_ir::{AffineSub, ArrayId, ArrayRef};
+
+/// Index of a generating reference within a [`ProblemSpec`] (a component of
+/// the tuple lattice `Lᵐ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RefId(pub u32);
+
+impl RefId {
+    /// The index as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Propagation direction (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Information flows from control predecessors to successors and from
+    /// earlier to later iterations.
+    Forward,
+    /// Information flows from successors to predecessors and from later to
+    /// earlier iterations (e.g. δ-busy stores, live variables).
+    Backward,
+}
+
+/// All-paths vs any-path interpretation (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Must-information: an *underestimate*; meet is `min`; requires the
+    /// initialization pass; fixed point after `3·N` node visits.
+    Must,
+    /// May-information: an *overestimate*; meet is `max`; only *definite*
+    /// kills lower preserve constants; fixed point after `2·N` node visits.
+    May,
+}
+
+/// One generating reference (an element of G).
+#[derive(Debug, Clone)]
+pub struct GenRef {
+    /// Component index in the solution tuples.
+    pub id: RefId,
+    /// Node the reference occurs in.
+    pub node: NodeId,
+    /// The textual reference (after linearization for multi-dimensional
+    /// arrays).
+    pub aref: ArrayRef,
+    /// Affine form of the (linearized) subscript with respect to the
+    /// analyzed loop's induction variable.
+    pub sub: AffineSub,
+    /// True if the site writes the element.
+    pub is_def: bool,
+    /// Owning assignment, when there is one.
+    pub stmt: Option<StmtId>,
+    /// Identity of the originating site (set by the spec builder); used to
+    /// recognize a kill site that *is* this reference, so a definition is
+    /// never treated as destroying the instance it just created.
+    pub origin: Option<u32>,
+}
+
+/// How a kill site kills.
+#[derive(Debug, Clone)]
+pub enum KillKind {
+    /// An ordinary affine definition site: kills instances per the preserve
+    /// constant derivation of §3.1.2.
+    Exact(AffineSub),
+    /// Kills every instance of the array (used for summary nodes — §3.2 —
+    /// and for non-affine subscripts, where nothing better can be proven).
+    AllOfArray,
+}
+
+/// One killing site (an element of K).
+#[derive(Debug, Clone)]
+pub struct KillSite {
+    /// Node the kill occurs in.
+    pub node: NodeId,
+    /// Array whose instances are killed.
+    pub array: ArrayId,
+    /// Kill precision.
+    pub kind: KillKind,
+    /// True if the site writes (definition sites); uses can kill too (e.g.
+    /// δ-busy stores) but execute before their statement's definition.
+    pub is_def: bool,
+    /// Identity of the originating site (see [`GenRef::origin`]).
+    pub origin: Option<u32>,
+}
+
+/// A complete problem instance over one loop flow graph.
+#[derive(Debug, Clone)]
+pub struct ProblemSpec {
+    /// Propagation direction.
+    pub direction: Direction,
+    /// Must or may interpretation.
+    pub mode: Mode,
+    /// The generating references, indexed by [`RefId`].
+    pub gens: Vec<GenRef>,
+    /// The killing sites.
+    pub kills: Vec<KillSite>,
+}
+
+impl ProblemSpec {
+    /// Creates an empty spec with the given direction and mode.
+    pub fn new(direction: Direction, mode: Mode) -> Self {
+        Self {
+            direction,
+            mode,
+            gens: Vec::new(),
+            kills: Vec::new(),
+        }
+    }
+
+    /// Adds a generating reference, returning its component index.
+    pub fn add_gen(
+        &mut self,
+        node: NodeId,
+        aref: ArrayRef,
+        sub: AffineSub,
+        is_def: bool,
+        stmt: Option<StmtId>,
+    ) -> RefId {
+        let id = RefId(self.gens.len() as u32);
+        self.gens.push(GenRef {
+            id,
+            node,
+            aref,
+            sub,
+            is_def,
+            stmt,
+            origin: None,
+        });
+        id
+    }
+
+    /// Adds a killing site (assumed to be a definition; set
+    /// [`KillSite::is_def`] afterwards for use-kills).
+    pub fn add_kill(&mut self, node: NodeId, array: ArrayId, kind: KillKind) {
+        self.kills.push(KillSite {
+            node,
+            array,
+            kind,
+            is_def: true,
+            origin: None,
+        });
+    }
+
+    /// Number of tracked components (`m = |G|`).
+    pub fn width(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// The generating references located in `node`.
+    pub fn gens_in(&self, node: NodeId) -> impl Iterator<Item = &GenRef> {
+        self.gens.iter().filter(move |g| g.node == node)
+    }
+
+    /// The killing sites located in `node`.
+    pub fn kills_in(&self, node: NodeId) -> impl Iterator<Item = &KillSite> {
+        self.kills.iter().filter(move |k| k.node == node)
+    }
+}

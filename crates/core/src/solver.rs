@@ -1,0 +1,410 @@
+//! The fixed point solver (paper §3.2, §3.3).
+//!
+//! Must-problems run an *initialization pass* (reverse postorder over the
+//! acyclic body, ignoring the back edge, seeding `⊤` at generate sites)
+//! followed by iteration passes of the equation system
+//!
+//! ```text
+//! IN[n]  = ⨅ { OUT[m] | m ∈ pred(n) }          (pred(entry) ∋ exit)
+//! OUT[n] = fₙ(IN[n])
+//! ```
+//!
+//! Because the body is acyclic, the statement flow functions are idempotent
+//! and `f ∘ f_exit ∘ f` is weakly idempotent, the greatest fixed point is
+//! reached after **two** iteration passes — `3·N` node visits in total.
+//! May-problems start from "all instances" instead and converge after two
+//! passes (`2·N` visits) with the dual meet. The solver iterates to an
+//! observed fixed point, records how many passes actually changed values,
+//! and [`solve_bounded`] runs exactly the paper's schedule so the bound can
+//! be validated against the general solver.
+
+use arrayflow_graph::{LoopGraph, NodeId};
+
+use crate::flow::FlowTable;
+use crate::lattice::{meet_max, meet_min, Dist, DistVec};
+use crate::problem::{Direction, Mode, ProblemSpec};
+
+/// Solver instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Node visits in the initialization pass (0 for may-problems).
+    pub init_visits: usize,
+    /// Node visits across all iteration passes.
+    pub iter_visits: usize,
+    /// Iteration passes executed (including the final, unchanged one when
+    /// running to an observed fixed point).
+    pub passes: usize,
+    /// Iteration passes that changed at least one value.
+    pub changing_passes: usize,
+}
+
+impl SolveStats {
+    /// Total node visits (the paper's `3·N` / `2·N` metric counts only the
+    /// visits needed to *reach* the fixed point, i.e. init + changing
+    /// passes).
+    pub fn visits_to_fix(&self, nodes: usize) -> usize {
+        self.init_visits + self.changing_passes * nodes
+    }
+}
+
+/// The fixed point: one tuple per node on each side of its flow function.
+///
+/// Tuples are oriented in the direction of information flow: for a forward
+/// problem `before[n]` is the solution at node entry and `after[n]` at node
+/// exit; for a backward problem `before[n]` is at node *exit* (the paper's
+/// `IN` for backward problems) and `after[n]` at node entry.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Flow-order input of each node, indexed by node.
+    pub before: Vec<DistVec>,
+    /// Flow-order output of each node.
+    pub after: Vec<DistVec>,
+    /// Instrumentation.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// The solution component for reference `d` flowing into `node`.
+    pub fn before_at(&self, node: NodeId, d: crate::problem::RefId) -> Dist {
+        self.before[node.index()][d.index()]
+    }
+
+    /// The solution component for reference `d` flowing out of `node`.
+    pub fn after_at(&self, node: NodeId, d: crate::problem::RefId) -> Dist {
+        self.after[node.index()][d.index()]
+    }
+}
+
+struct View<'g> {
+    graph: &'g LoopGraph,
+    order: Vec<NodeId>,
+}
+
+impl<'g> View<'g> {
+    fn new(graph: &'g LoopGraph, direction: Direction) -> Self {
+        let order = match direction {
+            Direction::Forward => graph.rpo().to_vec(),
+            Direction::Backward => graph.rpo().iter().rev().copied().collect(),
+        };
+        Self { graph, order }
+    }
+
+    fn first(&self) -> NodeId {
+        self.order[0]
+    }
+
+    fn last(&self) -> NodeId {
+        *self.order.last().expect("graphs are non-empty")
+    }
+
+    fn preds(&self, node: NodeId, direction: Direction) -> &[NodeId] {
+        match direction {
+            Direction::Forward => self.graph.preds(node),
+            Direction::Backward => self.graph.succs(node),
+        }
+    }
+}
+
+/// Solves `spec` over `graph`, iterating to an observed fixed point.
+///
+/// # Panics
+///
+/// Panics if the fixed point is not reached within a generous pass budget —
+/// impossible for graphs produced by `arrayflow-graph`, whose bodies are
+/// acyclic.
+pub fn solve(graph: &LoopGraph, spec: &ProblemSpec) -> Solution {
+    solve_with_passes(graph, spec, usize::MAX)
+}
+
+/// Runs exactly the paper's schedule: the initialization pass (must) plus
+/// two iteration passes, without checking for convergence. The result
+/// equals [`solve`] on structured loop graphs — asserted throughout the
+/// test suite — which is precisely the paper's efficiency theorem.
+pub fn solve_bounded(graph: &LoopGraph, spec: &ProblemSpec) -> Solution {
+    solve_with_passes(graph, spec, 2)
+}
+
+/// One snapshot of the equation system's state: `(before, after)` tuples
+/// per node.
+pub type Snapshot = (Vec<DistVec>, Vec<DistVec>);
+
+/// Like [`solve`], additionally recording a [`Snapshot`] after the
+/// initialization pass (must-problems) and after every iteration pass —
+/// this regenerates the paper's Table 1 column by column.
+pub fn solve_traced(graph: &LoopGraph, spec: &ProblemSpec) -> (Solution, Vec<Snapshot>) {
+    let mut snapshots = Vec::new();
+    let sol = solve_impl(graph, spec, usize::MAX, Some(&mut snapshots));
+    (sol, snapshots)
+}
+
+fn solve_with_passes(graph: &LoopGraph, spec: &ProblemSpec, max_passes: usize) -> Solution {
+    solve_impl(graph, spec, max_passes, None)
+}
+
+fn solve_impl(
+    graph: &LoopGraph,
+    spec: &ProblemSpec,
+    max_passes: usize,
+    mut trace: Option<&mut Vec<Snapshot>>,
+) -> Solution {
+    let m = spec.width();
+    let n = graph.len();
+    let table = FlowTable::build(graph, spec);
+    let view = View::new(graph, spec.direction);
+    let mut stats = SolveStats::default();
+
+    let mut before: Vec<DistVec> = vec![vec![Dist::Bottom; m]; n];
+    let mut after: Vec<DistVec> = vec![vec![Dist::Bottom; m]; n];
+
+    match spec.mode {
+        Mode::Must => {
+            // Initialization pass: visits in flow order over the acyclic
+            // body; OUT⁰ = ⊤ at generate sites, IN⁰ propagated, kills
+            // ignored (paper §3.2).
+            for &node in &view.order {
+                stats.init_visits += 1;
+                let inp = if node == view.first() {
+                    vec![Dist::Bottom; m]
+                } else {
+                    meet_of_preds(&view, node, spec, &after, Mode::Must, m)
+                };
+                let row = table.row(node);
+                let out = inp
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &x)| if row.generate[d] { Dist::Top } else { x })
+                    .collect::<Vec<_>>();
+                before[node.index()] = inp;
+                after[node.index()] = out;
+            }
+        }
+        Mode::May => {
+            // Start from "all instances"; the preserve functions lower the
+            // values to the greatest fixed point within two passes (§3.3).
+            for v in before.iter_mut().chain(after.iter_mut()) {
+                v.fill(Dist::Top);
+            }
+        }
+    }
+    if let Some(trace) = trace.as_deref_mut() {
+        trace.push((before.clone(), after.clone()));
+    }
+
+    let hard_cap = 64;
+    let mut pass = 0;
+    loop {
+        pass += 1;
+        let mut changed = false;
+        for &node in &view.order {
+            stats.iter_visits += 1;
+            let inp = if node == view.first() {
+                // Only the back edge feeds the first node in flow order.
+                after[view.last().index()].clone()
+            } else {
+                meet_of_preds(&view, node, spec, &after, spec.mode, m)
+            };
+            let mut out = Vec::with_capacity(m);
+            table.apply(node, &inp, &mut out);
+            if before[node.index()] != inp {
+                before[node.index()] = inp;
+                changed = true;
+            }
+            if after[node.index()] != out {
+                after[node.index()] = out;
+                changed = true;
+            }
+        }
+        stats.passes = pass;
+        if changed {
+            stats.changing_passes = pass;
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push((before.clone(), after.clone()));
+        }
+        if pass >= max_passes || (!changed && max_passes == usize::MAX) {
+            break;
+        }
+        assert!(
+            pass < hard_cap,
+            "fixed point not reached within {hard_cap} passes — non-structured graph?"
+        );
+    }
+
+    Solution {
+        before,
+        after,
+        stats,
+    }
+}
+
+fn meet_of_preds(
+    view: &View<'_>,
+    node: NodeId,
+    spec: &ProblemSpec,
+    after: &[DistVec],
+    mode: Mode,
+    m: usize,
+) -> DistVec {
+    let preds = view.preds(node, spec.direction);
+    let mut acc = match mode {
+        Mode::Must => vec![Dist::Top; m],
+        Mode::May => vec![Dist::Bottom; m],
+    };
+    for &p in preds {
+        match mode {
+            Mode::Must => meet_min(&mut acc, &after[p.index()]),
+            Mode::May => meet_max(&mut acc, &after[p.index()]),
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{KillKind, RefId};
+    use arrayflow_graph::build_loop_graph;
+    use arrayflow_ir::{parse_program, AffineSub, ArrayRef, Expr};
+
+    /// Builds the must-reaching-definitions spec for the paper's Fig. 1 loop
+    /// by hand (the analyses crate automates this).
+    fn fig3_spec() -> (arrayflow_ir::Program, ProblemSpec) {
+        let p = parse_program(
+            "do i = 1, UB
+               C[i+2] := C[i] * 2;
+               B[2*i] := C[i] + x;
+               if C[i] == 0 then C[i] := B[i-1]; end
+               B[i] := C[i+1];
+             end",
+        )
+        .unwrap();
+        let c = p.symbols.lookup_array("C").unwrap();
+        let b = p.symbols.lookup_array("B").unwrap();
+        let mut spec = ProblemSpec::new(Direction::Forward, Mode::Must);
+        for (node, array, sub) in [
+            (NodeId(1), c, AffineSub::simple(1, 2)),
+            (NodeId(2), b, AffineSub::simple(2, 0)),
+            (NodeId(4), c, AffineSub::simple(1, 0)),
+            (NodeId(5), b, AffineSub::simple(1, 0)),
+        ] {
+            spec.add_gen(node, ArrayRef::new(array, Expr::Const(0)), sub.clone(), true, None);
+            spec.add_kill(node, array, KillKind::Exact(sub));
+        }
+        (p, spec)
+    }
+
+    fn tup(v: &[Dist]) -> Vec<Dist> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn reproduces_paper_table1_fixed_point() {
+        use Dist::{Bottom as B, Fin, Top as T};
+        let (p, spec) = fig3_spec();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+
+        // Paper node 1 (= our node 1): IN = (2, 1, ⊥, ⊤)
+        assert_eq!(sol.before[1], tup(&[Fin(2), Fin(1), B, T]));
+        assert_eq!(sol.after[1], tup(&[Fin(2), Fin(1), B, T]));
+        // Paper node 2: same IN, OUT
+        assert_eq!(sol.before[2], tup(&[Fin(2), Fin(1), B, T]));
+        assert_eq!(sol.after[2], tup(&[Fin(2), Fin(1), B, T]));
+        // Paper node 3 (guarded assign, our node 4): IN = (2,1,⊥,⊤), OUT = (1,1,0,⊤)
+        assert_eq!(sol.before[4], tup(&[Fin(2), Fin(1), B, T]));
+        assert_eq!(sol.after[4], tup(&[Fin(1), Fin(1), Fin(0), T]));
+        // Paper node 4 (our node 5): IN = (1,1,⊥,⊤), OUT = (1,0,⊥,⊤)
+        assert_eq!(sol.before[5], tup(&[Fin(1), Fin(1), B, T]));
+        assert_eq!(sol.after[5], tup(&[Fin(1), Fin(0), B, T]));
+        // Paper node 5 (exit, our node 6): IN = (1,0,⊥,⊤), OUT = (2,1,⊥,⊤)
+        assert_eq!(sol.before[6], tup(&[Fin(1), Fin(0), B, T]));
+        assert_eq!(sol.after[6], tup(&[Fin(2), Fin(1), B, T]));
+    }
+
+    #[test]
+    fn must_fixed_point_within_two_passes() {
+        let (p, spec) = fig3_spec();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        assert!(
+            sol.stats.changing_passes <= 2,
+            "paper bound violated: {:?}",
+            sol.stats
+        );
+        let bounded = solve_bounded(&graph, &spec);
+        assert_eq!(sol.before, bounded.before);
+        assert_eq!(sol.after, bounded.after);
+    }
+
+    #[test]
+    fn may_mode_converges_from_top() {
+        let (p, mut spec) = fig3_spec();
+        spec.mode = Mode::May;
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        assert!(sol.stats.changing_passes <= 2, "{:?}", sol.stats);
+        assert_eq!(sol.stats.init_visits, 0);
+        // May-reaching: along the path avoiding the guarded kill, instances
+        // of C[i+2] survive, so the may solution at node 5 covers at least
+        // what the must solution covers.
+        let must = solve(&graph, &fig3_spec().1);
+        for n in 0..graph.len() {
+            for d in 0..spec.width() {
+                assert!(
+                    sol.before[n][d] >= must.before[n][d],
+                    "may must dominate must at node {n} ref {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn may_reaching_sees_through_the_conditional() {
+        use Dist::Top as T;
+        let (p, mut spec) = fig3_spec();
+        spec.mode = Mode::May;
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        // C[i+2] instances *may* survive the conditional kill in node 4
+        // (the else path), so all instances may reach node 5.
+        assert_eq!(sol.before_at(NodeId(5), RefId(0)), T);
+    }
+
+    #[test]
+    fn solution_respects_ub_normalization() {
+        // Same loop with UB = 3: distances clamp at ⊤ = UB − 1 = 2.
+        let src = "do i = 1, 3
+               C[i+2] := C[i] * 2;
+               B[2*i] := C[i] + x;
+               if C[i] == 0 then C[i] := B[i-1]; end
+               B[i] := C[i+1];
+             end";
+        let p = parse_program(src).unwrap();
+        let c = p.symbols.lookup_array("C").unwrap();
+        let b = p.symbols.lookup_array("B").unwrap();
+        let mut spec = ProblemSpec::new(Direction::Forward, Mode::Must);
+        for (node, array, sub) in [
+            (NodeId(1), c, AffineSub::simple(1, 2)),
+            (NodeId(2), b, AffineSub::simple(2, 0)),
+            (NodeId(4), c, AffineSub::simple(1, 0)),
+            (NodeId(5), b, AffineSub::simple(1, 0)),
+        ] {
+            spec.add_gen(node, ArrayRef::new(array, Expr::Const(0)), sub.clone(), true, None);
+            spec.add_kill(node, array, KillKind::Exact(sub));
+        }
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        // IN[1] first component was 2 = UB − 1 → ⊤ after normalization.
+        assert_eq!(sol.before[1][0], Dist::Top);
+    }
+
+    #[test]
+    fn empty_spec_solves_trivially() {
+        let p = parse_program("do i = 1, 10 A[i] := 0; end").unwrap();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let spec = ProblemSpec::new(Direction::Forward, Mode::Must);
+        let sol = solve(&graph, &spec);
+        assert!(sol.before.iter().all(|v| v.is_empty()));
+        assert!(sol.stats.changing_passes <= 1);
+    }
+}

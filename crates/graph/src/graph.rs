@@ -1,0 +1,203 @@
+//! The loop flow graph structure and its traversal orders.
+
+use arrayflow_ir::{SymbolTable, VarId};
+
+use crate::node::{Node, NodeId, NodeKind};
+
+/// An acyclic single-entry/single-exit flow graph for one loop body, plus
+/// the implicit back edge `exit → entry` representing the transfer to the
+/// next iteration.
+#[derive(Debug, Clone)]
+pub struct LoopGraph {
+    /// Induction variable of the loop this graph represents.
+    pub iv: VarId,
+    /// Compile-time upper bound `UB`, when known.
+    pub ub: Option<i64>,
+    nodes: Vec<Node>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    entry: NodeId,
+    exit: NodeId,
+    rpo: Vec<NodeId>,
+    /// `reach[a]` is a bitset over nodes: bit `b` set iff there is a
+    /// non-empty intra-iteration path `a →⁺ b`.
+    reach: Vec<Vec<u64>>,
+}
+
+impl LoopGraph {
+    /// Assembles a graph from raw parts. Used by the builder; `succs` must
+    /// describe an acyclic graph where every node reaches `exit`.
+    pub(crate) fn from_parts(
+        iv: VarId,
+        ub: Option<i64>,
+        nodes: Vec<Node>,
+        succs: Vec<Vec<NodeId>>,
+        entry: NodeId,
+        exit: NodeId,
+    ) -> Self {
+        let n = nodes.len();
+        let mut preds = vec![Vec::new(); n];
+        for (a, ss) in succs.iter().enumerate() {
+            for &b in ss {
+                preds[b.index()].push(NodeId(a as u32));
+            }
+        }
+        let mut g = Self {
+            iv,
+            ub,
+            nodes,
+            succs,
+            preds,
+            entry,
+            exit,
+            rpo: Vec::new(),
+            reach: Vec::new(),
+        };
+        g.rpo = g.compute_rpo();
+        g.reach = g.compute_reachability();
+        g
+    }
+
+    /// Number of nodes (including entry and exit).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes (never the case for built graphs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The virtual entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The `exit` node carrying `i := i + 1`.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids in storage order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Successors along intra-iteration edges.
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessors along intra-iteration edges.
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Reverse postorder over the acyclic body (entry first, exit last).
+    /// This is the visit order that gives the paper's pass bounds.
+    pub fn rpo(&self) -> &[NodeId] {
+        &self.rpo
+    }
+
+    /// True if there is a non-empty intra-iteration path `a →⁺ b`.
+    ///
+    /// This realizes the paper's `pr(d, n)` predicate: `pr = 0` iff the
+    /// node containing reference `d` *precedes* `n` within the iteration.
+    pub fn precedes(&self, a: NodeId, b: NodeId) -> bool {
+        let w = b.index() / 64;
+        let bit = 1u64 << (b.index() % 64);
+        self.reach[a.index()][w] & bit != 0
+    }
+
+    fn compute_rpo(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = in progress, 2 = done
+        let mut postorder = Vec::with_capacity(n);
+        // Iterative DFS from entry.
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.entry, 0)];
+        state[self.entry.index()] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succs = &self.succs[node.index()];
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match state[s.index()] {
+                    0 => {
+                        state[s.index()] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => panic!("loop flow graph must be acyclic (cycle through {s})"),
+                    _ => {}
+                }
+            } else {
+                state[node.index()] = 2;
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        assert_eq!(
+            postorder.len(),
+            n,
+            "all nodes must be reachable from entry"
+        );
+        postorder
+    }
+
+    fn compute_reachability(&self) -> Vec<Vec<u64>> {
+        let n = self.nodes.len();
+        let words = n.div_ceil(64);
+        let mut reach = vec![vec![0u64; words]; n];
+        // Process in reverse RPO (children before parents in the DAG).
+        for &node in self.rpo.clone().iter().rev() {
+            let mut acc = vec![0u64; words];
+            for &s in &self.succs[node.index()] {
+                acc[s.index() / 64] |= 1 << (s.index() % 64);
+                for (w, v) in reach[s.index()].iter().enumerate() {
+                    acc[w] |= v;
+                }
+            }
+            reach[node.index()] = acc;
+        }
+        reach
+    }
+
+    /// Renders the graph in Graphviz dot format (for debugging).
+    pub fn to_dot(&self, symbols: &SymbolTable) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph loop {\n  rankdir=TB;\n");
+        for id in self.node_ids() {
+            let label = self.node(id).label(symbols).replace('"', "'");
+            let _ = writeln!(out, "  {id} [label=\"{id}: {label}\"];");
+        }
+        for id in self.node_ids() {
+            for &s in self.succs(id) {
+                let _ = writeln!(out, "  {id} -> {s};");
+            }
+        }
+        let _ = writeln!(out, "  {} -> {} [style=dashed];", self.exit, self.entry);
+        out.push_str("}\n");
+        out
+    }
+
+    /// The statement-bearing nodes (everything except entry/test/exit),
+    /// in reverse postorder — the "N statements" of the paper's complexity
+    /// discussion.
+    pub fn stmt_nodes(&self) -> Vec<NodeId> {
+        self.rpo
+            .iter()
+            .copied()
+            .filter(|&id| {
+                matches!(
+                    self.node(id).kind,
+                    NodeKind::Assign { .. } | NodeKind::Summary { .. }
+                )
+            })
+            .collect()
+    }
+}

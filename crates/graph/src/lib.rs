@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Loop flow graphs.
+//!
+//! The framework operates on a *loop flow graph* `FG = (N, E)` representing
+//! the body of a single loop (paper §3): nodes are statements or summary
+//! nodes (for nested loops, which have been analyzed already and replaced),
+//! plus a distinguished `exit` node holding the induction variable increment
+//! `i := i + 1`. The graph is acyclic — the iteration-to-iteration back edge
+//! `exit → entry` is implicit and handled by the solver.
+//!
+//! This crate builds such graphs from `arrayflow-ir` loops, computes the
+//! reverse postorder in which the solver visits nodes, and answers the
+//! *intra-iteration precedence* queries (`pr(d, n)` in the paper) that the
+//! preserve functions need.
+
+pub mod build;
+pub mod graph;
+pub mod node;
+
+pub use build::build_loop_graph;
+pub use graph::LoopGraph;
+pub use node::{Node, NodeId, NodeKind, RefSite};

@@ -1,0 +1,123 @@
+//! Structural properties of loop flow graphs, checked on parsed loops of
+//! varying shape: reverse postorder is a topological order of the acyclic
+//! body, and the `precedes` bitsets agree with explicit path search.
+
+use arrayflow_graph::{build_loop_graph, LoopGraph, NodeId};
+use arrayflow_ir::parse_program;
+
+fn graphs() -> Vec<(String, LoopGraph)> {
+    let sources = [
+        "do i = 1, 10 A[i] := A[i-1]; end",
+        "do i = 1, 10
+           A[i+2] := A[i] * 2;
+           if A[i] == 0 then A[i] := B[i-1]; end
+           B[i] := A[i+1];
+         end",
+        "do i = 1, 10
+           if x > 0 then
+             A[i] := 1;
+             if y > 0 then B[i] := 2; else B[i] := 3; end
+           else
+             A[i] := 4;
+           end
+           C[i] := A[i] + B[i];
+         end",
+        "do i = 1, 10
+           if x > 0 then end
+           if y > 0 then A[i] := 1; end
+           do j = 1, 5 B[j] := A[i]; end
+           A[i+1] := B[1];
+         end",
+        "do i = 1, 10
+           if a > 0 then
+             if b > 0 then
+               if c > 0 then X[i] := 1; end
+             end
+           end
+           X[i+1] := X[i];
+         end",
+    ];
+    sources
+        .iter()
+        .map(|src| {
+            let p = parse_program(src).unwrap();
+            (src.to_string(), build_loop_graph(p.sole_loop().unwrap()))
+        })
+        .collect()
+}
+
+#[test]
+fn rpo_is_a_topological_order() {
+    for (src, g) in graphs() {
+        let mut pos = vec![usize::MAX; g.len()];
+        for (k, &n) in g.rpo().iter().enumerate() {
+            pos[n.index()] = k;
+        }
+        assert!(pos.iter().all(|&p| p != usize::MAX), "{src}: rpo covers all");
+        for n in g.node_ids() {
+            for &s in g.succs(n) {
+                assert!(
+                    pos[n.index()] < pos[s.index()],
+                    "{src}: edge {n} -> {s} violates topological order"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn precedes_agrees_with_path_search() {
+    fn reachable(g: &LoopGraph, from: NodeId, to: NodeId) -> bool {
+        let mut stack = g.succs(from).to_vec();
+        let mut seen = vec![false; g.len()];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !std::mem::replace(&mut seen[n.index()], true) {
+                stack.extend_from_slice(g.succs(n));
+            }
+        }
+        false
+    }
+    for (src, g) in graphs() {
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                assert_eq!(
+                    g.precedes(a, b),
+                    reachable(&g, a, b),
+                    "{src}: precedes({a}, {b}) mismatch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn entry_dominates_and_exit_postdominates() {
+    for (src, g) in graphs() {
+        for n in g.node_ids() {
+            if n != g.entry() {
+                assert!(g.precedes(g.entry(), n), "{src}: entry reaches {n}");
+            }
+            if n != g.exit() {
+                assert!(g.precedes(n, g.exit()), "{src}: {n} reaches exit");
+            }
+        }
+        assert!(!g.precedes(g.exit(), g.entry()), "{src}: body is acyclic");
+    }
+}
+
+#[test]
+fn preds_and_succs_are_inverse() {
+    for (src, g) in graphs() {
+        for n in g.node_ids() {
+            for &s in g.succs(n) {
+                assert!(g.preds(s).contains(&n), "{src}: {n}->{s} missing pred");
+            }
+            for &p in g.preds(n) {
+                assert!(g.succs(p).contains(&n), "{src}: {p}->{n} missing succ");
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Expressions and conditions.
+
+use crate::stmt::ArrayRef;
+use crate::symbols::VarId;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Truncating integer division.
+    Div,
+}
+
+/// Relational operators appearing in `if` conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl RelOp {
+    /// Evaluates the relation on two integers.
+    pub fn eval(self, l: i64, r: i64) -> bool {
+        match self {
+            RelOp::Eq => l == r,
+            RelOp::Ne => l != r,
+            RelOp::Lt => l < r,
+            RelOp::Le => l <= r,
+            RelOp::Gt => l > r,
+            RelOp::Ge => l >= r,
+        }
+    }
+}
+
+/// An integer-valued expression.
+///
+/// Array *uses* appear as [`Expr::Elem`]; array *definitions* appear as
+/// [`crate::LValue::Elem`] on the left-hand side of assignments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Read of a scalar variable (possibly a loop induction variable).
+    Scalar(VarId),
+    /// Read of an array element (a *use* of a subscripted variable).
+    Elem(ArrayRef),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul are AST constructors, not arithmetic on Expr values
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    /// `l + r`
+    pub fn add(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Add, l, r)
+    }
+
+    /// `l - r`
+    pub fn sub(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, l, r)
+    }
+
+    /// `l * r`
+    pub fn mul(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, l, r)
+    }
+
+    /// Substitutes `replacement` for every read of scalar `v`.
+    pub fn substitute_scalar(&self, v: VarId, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Const(_) => self.clone(),
+            Expr::Scalar(s) => {
+                if *s == v {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Elem(r) => Expr::Elem(ArrayRef {
+                array: r.array,
+                subs: r
+                    .subs
+                    .iter()
+                    .map(|e| e.substitute_scalar(v, replacement))
+                    .collect(),
+            }),
+            Expr::Bin(op, l, r) => Expr::bin(
+                *op,
+                l.substitute_scalar(v, replacement),
+                r.substitute_scalar(v, replacement),
+            ),
+        }
+    }
+
+    /// True if the expression reads scalar `v` anywhere (including inside
+    /// subscripts).
+    pub fn reads_scalar(&self, v: VarId) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Scalar(s) => *s == v,
+            Expr::Elem(r) => r.subs.iter().any(|e| e.reads_scalar(v)),
+            Expr::Bin(_, l, r) => l.reads_scalar(v) || r.reads_scalar(v),
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(c: i64) -> Self {
+        Expr::Const(c)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(v: VarId) -> Self {
+        Expr::Scalar(v)
+    }
+}
+
+impl From<ArrayRef> for Expr {
+    fn from(r: ArrayRef) -> Self {
+        Expr::Elem(r)
+    }
+}
+
+/// A relational condition `lhs op rhs` guarding an `if`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cond {
+    /// Left operand.
+    pub lhs: Expr,
+    /// Relation.
+    pub op: RelOp,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+impl Cond {
+    /// Creates a condition.
+    pub fn new(lhs: Expr, op: RelOp, rhs: Expr) -> Self {
+        Self { lhs, op, rhs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::VarId;
+
+    #[test]
+    fn relop_eval_covers_all_cases() {
+        assert!(RelOp::Eq.eval(1, 1));
+        assert!(RelOp::Ne.eval(1, 2));
+        assert!(RelOp::Lt.eval(1, 2));
+        assert!(RelOp::Le.eval(2, 2));
+        assert!(RelOp::Gt.eval(3, 2));
+        assert!(RelOp::Ge.eval(2, 2));
+        assert!(!RelOp::Lt.eval(2, 2));
+    }
+
+    #[test]
+    fn substitute_scalar_rewrites_subscripts() {
+        let i = VarId(0);
+        let j = VarId(1);
+        let a = crate::stmt::ArrayRef {
+            array: crate::symbols::ArrayId(0),
+            subs: vec![Expr::add(Expr::Scalar(i), Expr::Const(1))],
+        };
+        let e = Expr::add(Expr::Elem(a), Expr::Scalar(i));
+        let out = e.substitute_scalar(i, &Expr::mul(Expr::Const(2), Expr::Scalar(j)));
+        assert!(!out.reads_scalar(i));
+        assert!(out.reads_scalar(j));
+    }
+}

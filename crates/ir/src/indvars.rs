@@ -1,0 +1,362 @@
+//! Non-basic induction variable removal.
+//!
+//! The paper assumes (§1) that "non-basic induction variables have been
+//! identified and removed" before analysis, citing the classical technique
+//! \[ASU86\]. This pass supplies that phase: a scalar `t` that is
+//!
+//! * initialized to a loop-invariant value `e₀` immediately before the
+//!   loop, and
+//! * updated exactly once per iteration, unconditionally and at the top
+//!   level of the body, by `t := t + c` / `t := t − c` / `t := c + t`
+//!   with a constant `c`, and
+//! * never otherwise assigned inside the loop,
+//!
+//! is an induction variable with value `e₀ + (i−1)·c` before its update and
+//! `e₀ + i·c` after it (in iteration `i` of a normalized loop). The pass
+//! substitutes those closed forms for every read of `t` in the body,
+//! deletes the update, and assigns the final value after the loop so later
+//! code still sees it.
+
+use crate::expr::{BinOp, Expr};
+use crate::stmt::{Assign, Block, LValue, Program, Stmt};
+use crate::symbols::VarId;
+use crate::visit::modified_scalars;
+
+/// Result of [`remove_induction_variables`].
+#[derive(Debug, Clone, Default)]
+pub struct IndVarRemoval {
+    /// Variables rewritten into affine functions of the loop IV.
+    pub removed: Vec<VarId>,
+}
+
+/// Detects and removes non-basic induction variables from every normalized
+/// top-level loop of the program (in place). Returns the rewritten
+/// variables.
+pub fn remove_induction_variables(program: &mut Program) -> IndVarRemoval {
+    let mut result = IndVarRemoval::default();
+    let mut body = std::mem::take(&mut program.body);
+    // Walk top-level statements; track the most recent scalar assignments
+    // (candidate initializations) preceding each loop.
+    let mut new_body: Vec<Stmt> = Vec::new();
+    for stmt in body.drain(..) {
+        match stmt {
+            Stmt::Do(mut l) if l.is_normalized() => {
+                let removed = rewrite_loop(&mut l, &new_body);
+                let mut post = Vec::new();
+                for (var, final_value) in removed {
+                    result.removed.push(var);
+                    post.push(Stmt::Assign(Assign::new(LValue::Scalar(var), final_value)));
+                }
+                new_body.push(Stmt::Do(l));
+                new_body.extend(post);
+            }
+            other => new_body.push(other),
+        }
+    }
+    program.body = new_body;
+    program.renumber();
+    result
+}
+
+/// The update shape `t := t ± c`.
+fn update_of(a: &Assign, t: VarId) -> Option<i64> {
+    match &a.rhs {
+        Expr::Bin(BinOp::Add, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::Scalar(v), Expr::Const(c)) if *v == t => Some(*c),
+            (Expr::Const(c), Expr::Scalar(v)) if *v == t => Some(*c),
+            _ => None,
+        },
+        Expr::Bin(BinOp::Sub, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::Scalar(v), Expr::Const(c)) if *v == t => Some(-*c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Attempts the rewrite for every candidate in one loop. Returns the
+/// `(variable, final value)` pairs that were removed.
+fn rewrite_loop(l: &mut crate::stmt::Loop, preceding: &[Stmt]) -> Vec<(VarId, Expr)> {
+    // Candidates: top-level updates `t := t ± c` where t is assigned
+    // exactly once in the whole body.
+    let modified = modified_scalars(&l.body);
+    let mut removed = Vec::new();
+    let mut rejected: std::collections::HashSet<VarId> = Default::default();
+    loop {
+        let mut candidate: Option<(usize, VarId, i64)> = None;
+        for (pos, stmt) in l.body.iter().enumerate() {
+            if let Stmt::Assign(a) = stmt {
+                if let LValue::Scalar(t) = a.lhs {
+                    if t == l.iv || rejected.contains(&t) {
+                        continue;
+                    }
+                    if let Some(c) = update_of(a, t) {
+                        if assign_count(&l.body, t) == 1 {
+                            candidate = Some((pos, t, c));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let Some((pos, t, c)) = candidate else { break };
+
+        // Initialization: the last preceding top-level `t := e₀` with a
+        // loop-invariant e₀ (no reads of variables the loop modifies, no
+        // array reads, and not of t itself).
+        let init = preceding.iter().rev().find_map(|s| match s {
+            Stmt::Assign(a) if a.lhs == LValue::Scalar(t) => Some(a.rhs.clone()),
+            _ => None,
+        });
+        let Some(e0) = init else {
+            rejected.insert(t);
+            continue;
+        };
+        let invariant = !e0.reads_scalar(t)
+            && modified.iter().all(|&m| !e0.reads_scalar(m))
+            && !has_array_read(&e0);
+        if !invariant {
+            rejected.insert(t);
+            continue;
+        }
+
+        // Closed forms: before the update t = e₀ + (i−1)·c, after it
+        // t = e₀ + i·c.
+        let scaled = |k: Expr| {
+            if c == 1 {
+                k
+            } else {
+                Expr::mul(k, Expr::Const(c))
+            }
+        };
+        let before = Expr::add(
+            e0.clone(),
+            scaled(Expr::sub(Expr::Scalar(l.iv), Expr::Const(1))),
+        );
+        let after = Expr::add(e0.clone(), scaled(Expr::Scalar(l.iv)));
+
+        // Substitute: statements before `pos` (and the update's own rhs)
+        // see `before`; statements after see `after`. Conditional blocks
+        // are fully before or fully after the top-level update, so the
+        // split is well-defined.
+        for (k, stmt) in l.body.iter_mut().enumerate() {
+            if k == pos {
+                continue;
+            }
+            let replacement = if k < pos { &before } else { &after };
+            substitute_stmt(stmt, t, replacement);
+        }
+        l.body.remove(pos);
+
+        // Final value after UB iterations: e₀ + UB·c.
+        let final_value = Expr::add(e0, scaled(l.upper.to_expr()));
+        removed.push((t, final_value));
+    }
+    removed
+}
+
+fn assign_count(block: &Block, t: VarId) -> usize {
+    let mut n = 0;
+    crate::visit::for_each_assign(block, &mut |a| {
+        if a.lhs == LValue::Scalar(t) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn has_array_read(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Scalar(_) => false,
+        Expr::Elem(_) => true,
+        Expr::Bin(_, l, r) => has_array_read(l) || has_array_read(r),
+    }
+}
+
+fn substitute_stmt(stmt: &mut Stmt, t: VarId, replacement: &Expr) {
+    match stmt {
+        Stmt::Assign(a) => {
+            a.rhs = a.rhs.substitute_scalar(t, replacement);
+            if let LValue::Elem(r) = &mut a.lhs {
+                for s in &mut r.subs {
+                    *s = s.substitute_scalar(t, replacement);
+                }
+            }
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            cond.lhs = cond.lhs.substitute_scalar(t, replacement);
+            cond.rhs = cond.rhs.substitute_scalar(t, replacement);
+            for s in then_blk.iter_mut().chain(else_blk.iter_mut()) {
+                substitute_stmt(s, t, replacement);
+            }
+        }
+        Stmt::Do(inner) => {
+            if let crate::stmt::LoopBound::Expr(e) = &mut inner.lower {
+                *e = e.substitute_scalar(t, replacement);
+            }
+            if let crate::stmt::LoopBound::Expr(e) = &mut inner.upper {
+                *e = e.substitute_scalar(t, replacement);
+            }
+            for s in &mut inner.body {
+                substitute_stmt(s, t, replacement);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_with;
+    use crate::parser::parse_program;
+
+    fn assert_equivalent_and_removed(src: &str, expect_removed: usize) -> Program {
+        let orig = parse_program(src).unwrap();
+        let mut opt = orig.clone();
+        let r = remove_induction_variables(&mut opt);
+        assert_eq!(r.removed.len(), expect_removed, "{src}");
+        fn seed(p: &Program, e: &mut crate::Env) {
+            for a in p.symbols.array_ids() {
+                for k in -100..400 {
+                    e.set_elem(a, vec![k], k * 3 - 1);
+                }
+            }
+        }
+        let e1 = run_with(&orig, |e| seed(&orig, e)).unwrap();
+        let e2 = run_with(&opt, |e| seed(&opt, e)).unwrap();
+        assert_eq!(e1.array_state(), e2.array_state(), "{src}");
+        // Post-loop scalar values survive too.
+        for v in orig.symbols.var_ids() {
+            assert_eq!(e1.scalar(v), e2.scalar(v), "{src}: scalar {v}");
+        }
+        opt
+    }
+
+    #[test]
+    fn removes_simple_strided_index() {
+        let opt = assert_equivalent_and_removed(
+            "t := 0;
+             do i = 1, 50
+               t := t + 2;
+               A[t] := A[t - 2] + 1;
+             end",
+            1,
+        );
+        // The subscript is now affine in i (2i), so the analysis can see it.
+        let a = super::analyses_probe::first_def_sub(&opt);
+        assert_eq!(a, Some(crate::AffineSub::simple(2, 0)));
+    }
+
+    #[test]
+    fn pre_update_uses_get_the_lagged_form() {
+        assert_equivalent_and_removed(
+            "t := 5;
+             do i = 1, 30
+               B[t] := i;     -- reads t = 5 + (i-1)*3
+               t := t + 3;
+               C[t] := i;     -- reads t = 5 + i*3
+             end",
+            1,
+        );
+    }
+
+    #[test]
+    fn conditional_update_is_not_an_induction_variable() {
+        assert_equivalent_and_removed(
+            "t := 0;
+             do i = 1, 30
+               if A[i] > 0 then t := t + 1; end
+               B[t] := i;
+             end",
+            0,
+        );
+    }
+
+    #[test]
+    fn double_update_is_rejected() {
+        assert_equivalent_and_removed(
+            "t := 0;
+             do i = 1, 30
+               t := t + 1;
+               t := t + 2;
+               B[t] := i;
+             end",
+            0,
+        );
+    }
+
+    #[test]
+    fn missing_initialization_is_rejected() {
+        assert_equivalent_and_removed(
+            "do i = 1, 30
+               t := t + 1;
+               B[t] := i;
+             end",
+            0,
+        );
+    }
+
+    #[test]
+    fn variant_initializer_is_rejected() {
+        assert_equivalent_and_removed(
+            "t := A[1];
+             do i = 1, 30
+               t := t + 1;
+               B[t] := i;
+             end",
+            0,
+        );
+    }
+
+    #[test]
+    fn multiple_induction_variables() {
+        assert_equivalent_and_removed(
+            "t := 0; u := 100;
+             do i = 1, 40
+               t := t + 1;
+               u := u - 2;
+               A[t] := A[u] + 1;
+             end",
+            2,
+        );
+    }
+
+    #[test]
+    fn downward_induction_variable() {
+        assert_equivalent_and_removed(
+            "t := 200;
+             do i = 1, 40
+               A[t] := i;
+               t := t - 3;
+             end",
+            1,
+        );
+    }
+}
+
+/// Test-only helper: affine form of the first array definition of the sole
+/// loop.
+#[cfg(test)]
+pub(crate) mod analyses_probe {
+    use crate::affine::AffineSub;
+    use crate::stmt::{LValue, Program, Stmt};
+
+    pub fn first_def_sub(p: &Program) -> Option<AffineSub> {
+        let l = p.body.iter().find_map(|s| match s {
+            Stmt::Do(l) => Some(l),
+            _ => None,
+        })?;
+        for stmt in &l.body {
+            if let Stmt::Assign(a) = stmt {
+                if let LValue::Elem(r) = &a.lhs {
+                    return AffineSub::from_expr(&r.subs[0], l.iv);
+                }
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,195 @@
+//! Pretty printer that renders programs back into the loop DSL.
+//!
+//! The output of [`print_program`] re-parses to a structurally identical
+//! program (verified by a round-trip property test), which makes it suitable
+//! both for diagnostics and for golden tests that compare transformed loops
+//! against the paper's figures.
+
+use std::fmt::Write;
+
+use crate::expr::{BinOp, Cond, Expr, RelOp};
+use crate::stmt::{ArrayRef, Block, LValue, Program, Stmt};
+use crate::symbols::SymbolTable;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    print_block(&p.symbols, &p.body, 0, &mut out);
+    out
+}
+
+/// Renders a statement block at the given indentation depth.
+pub fn print_block(symbols: &SymbolTable, block: &Block, depth: usize, out: &mut String) {
+    for stmt in block {
+        print_stmt(symbols, stmt, depth, out);
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(symbols: &SymbolTable, stmt: &Stmt, depth: usize, out: &mut String) {
+    match stmt {
+        Stmt::Assign(a) => {
+            indent(depth, out);
+            match &a.lhs {
+                LValue::Scalar(v) => out.push_str(symbols.var_name(*v)),
+                LValue::Elem(r) => print_ref(symbols, r, out),
+            }
+            out.push_str(" := ");
+            print_expr(symbols, &a.rhs, 0, out);
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            indent(depth, out);
+            out.push_str("if ");
+            print_cond(symbols, cond, out);
+            out.push_str(" then\n");
+            print_block(symbols, then_blk, depth + 1, out);
+            if !else_blk.is_empty() {
+                indent(depth, out);
+                out.push_str("else\n");
+                print_block(symbols, else_blk, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("end\n");
+        }
+        Stmt::Do(l) => {
+            indent(depth, out);
+            let _ = write!(out, "do {} = ", symbols.var_name(l.iv));
+            print_expr(symbols, &l.lower.to_expr(), 0, out);
+            out.push_str(", ");
+            print_expr(symbols, &l.upper.to_expr(), 0, out);
+            if l.step != 1 {
+                let _ = write!(out, ", {}", l.step);
+            }
+            out.push('\n');
+            print_block(symbols, &l.body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("end\n");
+        }
+    }
+}
+
+fn print_cond(symbols: &SymbolTable, c: &Cond, out: &mut String) {
+    print_expr(symbols, &c.lhs, 0, out);
+    out.push_str(match c.op {
+        RelOp::Eq => " == ",
+        RelOp::Ne => " != ",
+        RelOp::Lt => " < ",
+        RelOp::Le => " <= ",
+        RelOp::Gt => " > ",
+        RelOp::Ge => " >= ",
+    });
+    print_expr(symbols, &c.rhs, 0, out);
+}
+
+/// Renders an array reference like `A[i+1, j]`.
+pub fn print_ref(symbols: &SymbolTable, r: &ArrayRef, out: &mut String) {
+    out.push_str(symbols.array_name(r.array));
+    out.push('[');
+    for (k, s) in r.subs.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        print_expr(symbols, s, 0, out);
+    }
+    out.push(']');
+}
+
+/// Renders an array reference to a fresh string.
+pub fn ref_to_string(symbols: &SymbolTable, r: &ArrayRef) -> String {
+    let mut s = String::new();
+    print_ref(symbols, r, &mut s);
+    s
+}
+
+/// Renders an expression to a fresh string.
+pub fn expr_to_string(symbols: &SymbolTable, e: &Expr) -> String {
+    let mut s = String::new();
+    print_expr(symbols, e, 0, &mut s);
+    s
+}
+
+// Precedence levels: 0 = additive, 1 = multiplicative, 2 = atom.
+fn print_expr(symbols: &SymbolTable, e: &Expr, min_prec: u8, out: &mut String) {
+    match e {
+        Expr::Const(n) => {
+            if *n < 0 && min_prec > 0 {
+                let _ = write!(out, "({n})");
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Expr::Scalar(v) => out.push_str(symbols.var_name(*v)),
+        Expr::Elem(r) => print_ref(symbols, r, out),
+        Expr::Bin(op, l, r) => {
+            let (prec, sym, right_bump) = match op {
+                BinOp::Add => (0, " + ", 0),
+                BinOp::Sub => (0, " - ", 1),
+                BinOp::Mul => (1, " * ", 1),
+                BinOp::Div => (1, " / ", 2),
+            };
+            let need_parens = prec < min_prec;
+            if need_parens {
+                out.push('(');
+            }
+            print_expr(symbols, l, prec, out);
+            out.push_str(sym);
+            print_expr(symbols, r, prec + right_bump, out);
+            if need_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Strips statement ids so that structural equality ignores numbering.
+    fn normalize_text(src: &str) -> String {
+        let p = parse_program(src).unwrap();
+        print_program(&p)
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        let src = "do i = 1, UB
+  C[i+2] := C[i] * 2;
+  B[2*i] := C[i] + x;
+  if C[i] == 0 then C[i] := B[i-1]; end
+  B[i] := C[i+1];
+end";
+        let once = normalize_text(src);
+        let twice = normalize_text(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parenthesization_is_minimal_but_correct() {
+        let src = "do i = 1, 10 A[i] := (i + 1) * 2 - i * (3 - i); end";
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("(i + 1) * 2 - i * (3 - i)"), "{printed}");
+        // And it still parses to the same thing.
+        assert_eq!(printed, normalize_text(&printed));
+    }
+
+    #[test]
+    fn subtraction_associativity_preserved() {
+        // (a - b) - c prints without parens; a - (b - c) must keep them.
+        let src = "do i = 1, 10 A[i] := i - (x - 1); end";
+        let printed = normalize_text(src);
+        assert!(printed.contains("i - (x - 1)"), "{printed}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property: pretty-printing a program and re-parsing it yields a
+//! structurally identical program (same statements, same evaluation
+//! behaviour), for arbitrarily generated ASTs.
+
+use proptest::prelude::*;
+
+use arrayflow_ir::interp::run_with;
+use arrayflow_ir::pretty::print_program;
+use arrayflow_ir::{parse_program, BinOp, Cond, Expr, Program, RelOp};
+use arrayflow_ir::stmt::{ArrayRef, Assign, Block, LValue, Loop, Stmt};
+
+/// Generates an expression over scalars s0..s2, arrays A0..A1 and iv `i`,
+/// with bounded depth.
+fn arb_expr(depth: u32) -> BoxedStrategy<RawExpr> {
+    let leaf = prop_oneof![
+        (-9i64..=9).prop_map(RawExpr::Const),
+        (0u8..3).prop_map(RawExpr::Scalar),
+        Just(RawExpr::Iv),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0u8..4)
+                .prop_map(|(l, r, op)| RawExpr::Bin(op, Box::new(l), Box::new(r))),
+            (0u8..2, inner).prop_map(|(a, s)| RawExpr::Elem(a, Box::new(s))),
+        ]
+    })
+    .boxed()
+}
+
+/// AST sketch independent of interned ids.
+#[derive(Debug, Clone)]
+enum RawExpr {
+    Const(i64),
+    Scalar(u8),
+    Iv,
+    Bin(u8, Box<RawExpr>, Box<RawExpr>),
+    Elem(u8, Box<RawExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum RawStmt {
+    AssignScalar(u8, RawExpr),
+    AssignElem(u8, RawExpr, RawExpr),
+    If(RawExpr, u8, RawExpr, Vec<RawStmt>, Vec<RawStmt>),
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<RawStmt> {
+    let assign = prop_oneof![
+        (0u8..3, arb_expr(2)).prop_map(|(v, e)| RawStmt::AssignScalar(v, e)),
+        (0u8..2, arb_expr(2), arb_expr(2))
+            .prop_map(|(a, s, e)| RawStmt::AssignElem(a, s, e)),
+    ];
+    if depth == 0 {
+        return assign.boxed();
+    }
+    prop_oneof![
+        4 => assign,
+        1 => (
+            arb_expr(1),
+            0u8..6,
+            arb_expr(1),
+            prop::collection::vec(arb_stmt(depth - 1), 1..3),
+            prop::collection::vec(arb_stmt(depth - 1), 0..2),
+        )
+            .prop_map(|(l, op, r, t, e)| RawStmt::If(l, op, r, t, e)),
+    ]
+    .boxed()
+}
+
+fn realize(raw: &[RawStmt]) -> Program {
+    let mut p = Program::new();
+    let iv = p.symbols.var("i");
+    let scalars: Vec<_> = (0..3).map(|k| p.symbols.var(&format!("s{k}"))).collect();
+    let arrays: Vec<_> = (0..2).map(|k| p.symbols.array(&format!("A{k}"))).collect();
+
+    fn expr(
+        raw: &RawExpr,
+        iv: arrayflow_ir::VarId,
+        scalars: &[arrayflow_ir::VarId],
+        arrays: &[arrayflow_ir::ArrayId],
+    ) -> Expr {
+        match raw {
+            RawExpr::Const(c) => Expr::Const(*c),
+            RawExpr::Scalar(v) => Expr::Scalar(scalars[*v as usize]),
+            RawExpr::Iv => Expr::Scalar(iv),
+            RawExpr::Bin(op, l, r) => Expr::bin(
+                match op {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    _ => BinOp::Div,
+                },
+                expr(l, iv, scalars, arrays),
+                expr(r, iv, scalars, arrays),
+            ),
+            RawExpr::Elem(a, s) => Expr::Elem(ArrayRef::new(
+                arrays[*a as usize],
+                expr(s, iv, scalars, arrays),
+            )),
+        }
+    }
+
+    fn stmts(
+        raw: &[RawStmt],
+        iv: arrayflow_ir::VarId,
+        scalars: &[arrayflow_ir::VarId],
+        arrays: &[arrayflow_ir::ArrayId],
+    ) -> Block {
+        raw.iter()
+            .map(|s| match s {
+                RawStmt::AssignScalar(v, e) => Stmt::Assign(Assign::new(
+                    LValue::Scalar(scalars[*v as usize]),
+                    expr(e, iv, scalars, arrays),
+                )),
+                RawStmt::AssignElem(a, sub, e) => Stmt::Assign(Assign::new(
+                    LValue::Elem(ArrayRef::new(
+                        arrays[*a as usize],
+                        expr(sub, iv, scalars, arrays),
+                    )),
+                    expr(e, iv, scalars, arrays),
+                )),
+                RawStmt::If(l, op, r, t, e) => Stmt::If {
+                    cond: Cond::new(
+                        expr(l, iv, scalars, arrays),
+                        match op {
+                            0 => RelOp::Eq,
+                            1 => RelOp::Ne,
+                            2 => RelOp::Lt,
+                            3 => RelOp::Le,
+                            4 => RelOp::Gt,
+                            _ => RelOp::Ge,
+                        },
+                        expr(r, iv, scalars, arrays),
+                    ),
+                    then_blk: stmts(t, iv, scalars, arrays),
+                    else_blk: stmts(e, iv, scalars, arrays),
+                },
+            })
+            .collect()
+    }
+
+    p.body = vec![Stmt::Do(Loop {
+        iv,
+        lower: 1.into(),
+        upper: 12.into(),
+        step: 1,
+        body: stmts(raw, iv, &scalars, &arrays),
+    })];
+    p.renumber();
+    p
+}
+
+/// Runs `p` and serializes the final state over a fixed universe of names,
+/// so programs that intern different (unused) symbols still compare equal.
+fn behaviour(p: &Program) -> Result<String, arrayflow_ir::InterpError> {
+    let seed = |k: i64| (k * 7 + 1) % 31;
+    let env = run_with(p, |e| {
+        for a in p.symbols.array_ids() {
+            for k in -200..200 {
+                e.set_elem(a, vec![k], seed(k));
+            }
+        }
+        for (idx, name) in ["i", "s0", "s1", "s2"].iter().enumerate() {
+            if let Some(v) = p.symbols.lookup_var(name) {
+                e.set_scalar(v, (idx as i64 % 4) - 1);
+            }
+        }
+    })?;
+    use std::fmt::Write;
+    let mut out = String::new();
+    for name in ["A0", "A1"] {
+        for k in -200..200 {
+            let v = match p.symbols.lookup_array(name) {
+                Some(a) => env.elem(a, &[k]),
+                None => seed(k),
+            };
+            let _ = write!(out, "{v},");
+        }
+        out.push(';');
+    }
+    for (idx, name) in ["i", "s0", "s1", "s2"].iter().enumerate() {
+        // An un-interned symbol is unused: its final value is its seed.
+        let v = p
+            .symbols
+            .lookup_var(name)
+            .map_or((idx as i64 % 4) - 1, |s| env.scalar(s));
+        let _ = write!(out, "{name}={v};");
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_print_is_stable(raw in prop::collection::vec(arb_stmt(2), 1..6)) {
+        let p = realize(&raw);
+        let once = print_program(&p);
+        let reparsed = parse_program(&once)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{once}"));
+        let twice = print_program(&reparsed);
+        prop_assert_eq!(&once, &twice, "printing is not a fixpoint");
+    }
+
+    #[test]
+    fn reparsed_program_behaves_identically(raw in prop::collection::vec(arb_stmt(2), 1..6)) {
+        let p = realize(&raw);
+        let reparsed = parse_program(&print_program(&p)).unwrap();
+        // Division by zero may occur in either — but must occur in both.
+        let b1 = behaviour(&p);
+        let b2 = behaviour(&reparsed);
+        prop_assert_eq!(b1, b2);
+    }
+}

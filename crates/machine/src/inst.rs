@@ -1,0 +1,316 @@
+//! The three-address virtual machine instruction set.
+//!
+//! The paper's optimizations target sequential and fine-grained parallel
+//! machines where the dominant costs are memory loads and stores (its code
+//! examples in Fig. 5 use exactly this style: `load r ← A(rI)`,
+//! `store A(rI+2) ← r`, register-to-register moves and ALU operations).
+//! This module defines that machine so generated code can be executed and
+//! its memory traffic measured.
+
+use std::fmt;
+
+use arrayflow_ir::{ArrayId, BinOp, RelOp};
+
+/// A virtual register. The machine has an unbounded register file; the
+/// register *pressure* of generated code is reported separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register or immediate operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Register contents.
+    Reg(Reg),
+    /// Immediate constant.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+/// A memory address within one array: `base + offset`, Fortran-style
+/// `A(rI + c)` addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Addr {
+    /// Index register, if any.
+    pub base: Option<Reg>,
+    /// Constant displacement.
+    pub offset: i64,
+}
+
+impl Addr {
+    /// `A(reg + offset)`
+    pub fn indexed(base: Reg, offset: i64) -> Self {
+        Self {
+            base: Some(base),
+            offset,
+        }
+    }
+
+    /// `A(c)` — absolute element.
+    pub fn absolute(offset: i64) -> Self {
+        Self {
+            base: None,
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            Some(b) if self.offset == 0 => write!(f, "{b}"),
+            Some(b) if self.offset > 0 => write!(f, "{b}+{}", self.offset),
+            Some(b) => write!(f, "{b}{}", self.offset),
+            None => write!(f, "{}", self.offset),
+        }
+    }
+}
+
+/// A branch target: an instruction index in the flat program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(pub usize);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst ← ARRAY(addr)` — a memory load (cost `Cm`).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Array segment.
+        array: ArrayId,
+        /// Element address.
+        addr: Addr,
+    },
+    /// `ARRAY(addr) ← src` — a memory store (cost `Cm`).
+    Store {
+        /// Array segment.
+        array: ArrayId,
+        /// Element address.
+        addr: Addr,
+        /// Stored value.
+        src: Operand,
+    },
+    /// `dst ← src` — register move (the pipeline progression instruction).
+    Move {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Operand,
+    },
+    /// `dst ← lhs op rhs`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `if lhs op rhs goto target`.
+    Branch {
+        /// Relation.
+        op: RelOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Jump target when the relation holds.
+        target: Label,
+    },
+    /// Unconditional jump.
+    Jump(Label),
+    /// End of program.
+    Halt,
+}
+
+/// A flat machine program.
+#[derive(Debug, Clone, Default)]
+pub struct MProgram {
+    /// Instructions; [`Label`]s index into this vector.
+    pub insts: Vec<Inst>,
+}
+
+impl MProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction, returning its index.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Current length (the label of the *next* instruction).
+    pub fn here(&self) -> Label {
+        Label(self.insts.len())
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Highest register index used plus one (the register pressure of the
+    /// naive all-virtual assignment).
+    pub fn num_regs(&self) -> u32 {
+        let mut max = 0;
+        let see_op = |op: &Operand, max: &mut u32| {
+            if let Operand::Reg(r) = op {
+                *max = (*max).max(r.0 + 1);
+            }
+        };
+        for inst in &self.insts {
+            match inst {
+                Inst::Load { dst, addr, .. } => {
+                    max = max.max(dst.0 + 1);
+                    if let Some(b) = addr.base {
+                        max = max.max(b.0 + 1);
+                    }
+                }
+                Inst::Store { addr, src, .. } => {
+                    see_op(src, &mut max);
+                    if let Some(b) = addr.base {
+                        max = max.max(b.0 + 1);
+                    }
+                }
+                Inst::Move { dst, src } => {
+                    max = max.max(dst.0 + 1);
+                    see_op(src, &mut max);
+                }
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    max = max.max(dst.0 + 1);
+                    see_op(lhs, &mut max);
+                    see_op(rhs, &mut max);
+                }
+                Inst::Branch { lhs, rhs, .. } => {
+                    see_op(lhs, &mut max);
+                    see_op(rhs, &mut max);
+                }
+                Inst::Jump(_) | Inst::Halt => {}
+            }
+        }
+        max
+    }
+
+    /// Renders the program as an assembly listing.
+    pub fn listing(&self, symbols: &arrayflow_ir::SymbolTable) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (k, inst) in self.insts.iter().enumerate() {
+            let _ = write!(out, "{k:4}: ");
+            let _ = match inst {
+                Inst::Load { dst, array, addr } => {
+                    writeln!(out, "load  {dst} <- {}({addr})", symbols.array_name(*array))
+                }
+                Inst::Store { array, addr, src } => {
+                    writeln!(out, "store {}({addr}) <- {src}", symbols.array_name(*array))
+                }
+                Inst::Move { dst, src } => writeln!(out, "move  {dst} <- {src}"),
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    let sym = match op {
+                        BinOp::Add => "+",
+                        BinOp::Sub => "-",
+                        BinOp::Mul => "*",
+                        BinOp::Div => "/",
+                    };
+                    writeln!(out, "alu   {dst} <- {lhs} {sym} {rhs}")
+                }
+                Inst::Branch { op, lhs, rhs, target } => {
+                    let sym = match op {
+                        RelOp::Eq => "==",
+                        RelOp::Ne => "!=",
+                        RelOp::Lt => "<",
+                        RelOp::Le => "<=",
+                        RelOp::Gt => ">",
+                        RelOp::Ge => ">=",
+                    };
+                    writeln!(out, "if    {lhs} {sym} {rhs} goto {target}")
+                }
+                Inst::Jump(l) => writeln!(out, "jump  {l}"),
+                Inst::Halt => writeln!(out, "halt"),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_regs_scans_all_positions() {
+        let mut p = MProgram::new();
+        p.push(Inst::Load {
+            dst: Reg(3),
+            array: ArrayId(0),
+            addr: Addr::indexed(Reg(7), 1),
+        });
+        p.push(Inst::Halt);
+        assert_eq!(p.num_regs(), 8);
+    }
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Addr::indexed(Reg(2), 0).to_string(), "r2");
+        assert_eq!(Addr::indexed(Reg(2), 3).to_string(), "r2+3");
+        assert_eq!(Addr::indexed(Reg(2), -1).to_string(), "r2-1");
+        assert_eq!(Addr::absolute(5).to_string(), "5");
+    }
+
+    #[test]
+    fn listing_is_readable() {
+        let mut t = arrayflow_ir::SymbolTable::new();
+        let a = t.array("A");
+        let mut p = MProgram::new();
+        p.push(Inst::Load {
+            dst: Reg(0),
+            array: a,
+            addr: Addr::indexed(Reg(1), 0),
+        });
+        p.push(Inst::Halt);
+        let txt = p.listing(&t);
+        assert!(txt.contains("load  r0 <- A(r1)"), "{txt}");
+    }
+}

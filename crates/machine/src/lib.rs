@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! A three-address virtual machine, code generator and cost simulator.
+//!
+//! The paper evaluates its optimizations on sequential / fine-grained
+//! parallel machines where loads and stores dominate loop cost. This crate
+//! provides an executable stand-in: loop IR compiles to a flat
+//! register-machine program ([`codegen::compile`]), optionally applying a
+//! register-pipelining plan ([`PipelinePlan`], §4.1.4), and the simulator
+//! ([`Machine`]) executes it while counting loads, stores, moves, ALU
+//! operations and branches under a configurable [`CostModel`] (the paper's
+//! `Cm` parameter). Memory-image comparisons against the IR interpreter
+//! validate that generated and optimized code preserve semantics.
+
+pub mod codegen;
+pub mod inst;
+pub mod regalloc;
+pub mod sim;
+
+pub use codegen::{
+    compile, compile_with, compile_with_style, CodegenError, Compiled, PipeRange, PipelinePlan,
+    PipelineStyle, ReusePoint,
+};
+pub use inst::{Addr, Inst, Label, MProgram, Operand, Reg};
+pub use regalloc::{assign_physical, Allocated, Loc, RegAllocError};
+pub use sim::{CostModel, Machine, SimError, SimStats};

@@ -1,0 +1,518 @@
+//! Finite register assignment for machine programs.
+//!
+//! The code generator uses an unbounded virtual register file; real targets
+//! (and the paper's k-coloring discussion, §4.1.3) have `k` registers. This
+//! module maps virtual registers onto `k` physical ones by linear scan over
+//! conservative live intervals, spilling the rest to a dedicated memory
+//! segment — so the *cost* of insufficient registers shows up as measurable
+//! loads/stores in the simulator, exactly the trade-off the IRIG priority
+//! function reasons about.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use arrayflow_ir::ArrayId;
+
+use crate::inst::{Addr, Inst, Label, MProgram, Operand, Reg};
+use crate::sim::Machine;
+
+/// Where a virtual register ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register.
+    Phys(Reg),
+    /// A spill slot (element index in the spill segment).
+    Spill(i64),
+}
+
+/// Errors from [`assign_physical`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegAllocError {
+    /// Fewer than three physical registers: two are reserved as spill
+    /// scratch and at least one must remain allocatable.
+    TooFewRegisters,
+}
+
+impl fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegAllocError::TooFewRegisters => {
+                write!(f, "need at least 3 physical registers (2 are spill scratch)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// The rewritten program plus the virtual→location map.
+#[derive(Debug, Clone)]
+pub struct Allocated {
+    /// The program over physical registers only.
+    pub code: MProgram,
+    /// Virtual register locations.
+    pub map: BTreeMap<Reg, Loc>,
+    /// The memory segment used for spill slots.
+    pub spill_array: ArrayId,
+    /// Physical registers actually used (including the two scratch).
+    pub physical_used: u32,
+    /// Number of spilled virtual registers.
+    pub spilled: usize,
+}
+
+impl Allocated {
+    /// Seeds the value of an (original) virtual register before running.
+    pub fn seed(&self, m: &mut Machine, vreg: Reg, value: i64) {
+        match self.map.get(&vreg) {
+            Some(Loc::Phys(p)) => m.set_reg(*p, value),
+            Some(Loc::Spill(slot)) => m.set_mem(self.spill_array, *slot, value),
+            None => {} // the register never occurs in the program
+        }
+    }
+
+    /// Reads the final value of an (original) virtual register.
+    pub fn read(&self, m: &Machine, vreg: Reg) -> i64 {
+        match self.map.get(&vreg) {
+            Some(Loc::Phys(p)) => m.reg(*p),
+            Some(Loc::Spill(slot)) => m.mem(self.spill_array, *slot),
+            None => 0,
+        }
+    }
+}
+
+/// Maps the program onto `k` physical registers, spilling to
+/// `spill_array` (a segment the program must not otherwise touch).
+///
+/// Live intervals are the conservative `[first occurrence, last
+/// occurrence]` span of each virtual register — sound for this code shape
+/// because loop bodies are contiguous instruction ranges, so a value live
+/// across the back edge has both endpoints inside its interval.
+///
+/// # Errors
+///
+/// [`RegAllocError::TooFewRegisters`] when `k < 3`.
+pub fn assign_physical(
+    code: &MProgram,
+    k: u32,
+    spill_array: ArrayId,
+    pinned: &[Reg],
+) -> Result<Allocated, RegAllocError> {
+    if k < 3 {
+        return Err(RegAllocError::TooFewRegisters);
+    }
+    // Scratch registers for spill traffic; the rest are allocatable.
+    let scratch = [Reg(k - 2), Reg(k - 1)];
+    let allocatable = k - 2;
+
+    // 1. Live intervals. Pinned registers (externally seeded scalars and
+    // any value the caller reads back) are live for the whole program —
+    // their occurrences alone would underestimate their lifetime.
+    let mut first: BTreeMap<Reg, usize> = BTreeMap::new();
+    let mut last: BTreeMap<Reg, usize> = BTreeMap::new();
+    for &r in pinned {
+        first.insert(r, 0);
+        last.insert(r, code.insts.len());
+    }
+    for (idx, inst) in code.insts.iter().enumerate() {
+        for r in regs_of(inst) {
+            if !pinned.contains(&r) {
+                first.entry(r).or_insert(idx);
+                last.entry(r)
+                    .and_modify(|e| *e = (*e).max(idx))
+                    .or_insert(idx);
+            }
+        }
+    }
+
+    // 2. Linear scan (Poletto–Sarkar): allocate in order of interval start;
+    // on pressure, spill the interval that ends last.
+    let mut intervals: Vec<(Reg, usize, usize)> = first
+        .iter()
+        .map(|(&r, &s)| (r, s, last[&r]))
+        .collect();
+    intervals.sort_by_key(|&(_, s, _)| s);
+    let mut map: BTreeMap<Reg, Loc> = BTreeMap::new();
+    let mut free: Vec<Reg> = (0..allocatable).rev().map(Reg).collect();
+    let mut active: Vec<(Reg, usize)> = Vec::new(); // (vreg, end), sorted by end
+    let mut next_slot = 0i64;
+    for (vreg, start, end) in intervals {
+        // Expire finished intervals.
+        active.retain(|&(a, a_end)| {
+            if a_end < start {
+                if let Some(Loc::Phys(p)) = map.get(&a) {
+                    free.push(*p);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(p) = free.pop() {
+            map.insert(vreg, Loc::Phys(p));
+            active.push((vreg, end));
+            active.sort_by_key(|&(_, e)| e);
+        } else if let Some(&(victim, v_end)) = active.last() {
+            if v_end > end {
+                // Steal the victim's register; spill the victim.
+                let Loc::Phys(p) = map[&victim] else { unreachable!() };
+                map.insert(victim, Loc::Spill(next_slot));
+                next_slot += 1;
+                map.insert(vreg, Loc::Phys(p));
+                active.pop();
+                active.push((vreg, end));
+                active.sort_by_key(|&(_, e)| e);
+            } else {
+                map.insert(vreg, Loc::Spill(next_slot));
+                next_slot += 1;
+            }
+        } else {
+            map.insert(vreg, Loc::Spill(next_slot));
+            next_slot += 1;
+        }
+    }
+
+    // 3. Rewrite, inserting spill loads/stores; remap labels afterwards.
+    let mut out = MProgram::new();
+    let mut new_index = vec![0usize; code.insts.len() + 1];
+    for (idx, inst) in code.insts.iter().enumerate() {
+        new_index[idx] = out.len();
+        rewrite(inst, &map, scratch, spill_array, &mut out);
+    }
+    new_index[code.insts.len()] = out.len();
+    for inst in &mut out.insts {
+        match inst {
+            Inst::Branch { target, .. } => *target = Label(new_index[target.0]),
+            Inst::Jump(l) => *l = Label(new_index[l.0]),
+            _ => {}
+        }
+    }
+
+    let spilled = map.values().filter(|l| matches!(l, Loc::Spill(_))).count();
+    let physical_used = out.num_regs();
+    Ok(Allocated {
+        code: out,
+        map,
+        spill_array,
+        physical_used,
+        spilled,
+    })
+}
+
+fn regs_of(inst: &Inst) -> Vec<Reg> {
+    fn op(o: &Operand, out: &mut Vec<Reg>) {
+        if let Operand::Reg(r) = o {
+            out.push(*r);
+        }
+    }
+    let mut out = Vec::new();
+    match inst {
+        Inst::Load { dst, addr, .. } => {
+            out.push(*dst);
+            out.extend(addr.base);
+        }
+        Inst::Store { addr, src, .. } => {
+            op(src, &mut out);
+            out.extend(addr.base);
+        }
+        Inst::Move { dst, src } => {
+            out.push(*dst);
+            op(src, &mut out);
+        }
+        Inst::Bin { dst, lhs, rhs, .. } => {
+            out.push(*dst);
+            op(lhs, &mut out);
+            op(rhs, &mut out);
+        }
+        Inst::Branch { lhs, rhs, .. } => {
+            op(lhs, &mut out);
+            op(rhs, &mut out);
+        }
+        Inst::Jump(_) | Inst::Halt => {}
+    }
+    out
+}
+
+/// Rewrites one instruction: spilled reads load into scratch first, a
+/// spilled destination computes into scratch and stores after.
+fn rewrite(
+    inst: &Inst,
+    map: &BTreeMap<Reg, Loc>,
+    scratch: [Reg; 2],
+    spill: ArrayId,
+    out: &mut MProgram,
+) {
+    let mut scratch_idx = 0usize;
+    let mut read =
+        |r: Reg, out: &mut MProgram| -> Reg {
+            match map[&r] {
+                Loc::Phys(p) => p,
+                Loc::Spill(slot) => {
+                    let s = scratch[scratch_idx];
+                    scratch_idx = (scratch_idx + 1) % 2;
+                    out.push(Inst::Load {
+                        dst: s,
+                        array: spill,
+                        addr: Addr::absolute(slot),
+                    });
+                    s
+                }
+            }
+        };
+    macro_rules! read_op {
+        ($o:expr, $out:expr) => {
+            match $o {
+                Operand::Reg(r) => Operand::Reg(read(*r, $out)),
+                imm => *imm,
+            }
+        };
+    }
+    macro_rules! read_addr {
+        ($a:expr, $out:expr) => {
+            Addr {
+                base: $a.base.map(|b| read(b, $out)),
+                offset: $a.offset,
+            }
+        };
+    }
+    // Writing helper: returns (register to compute into, optional flush).
+    let write = |r: Reg| -> (Reg, Option<i64>) {
+        match map[&r] {
+            Loc::Phys(p) => (p, None),
+            Loc::Spill(slot) => (scratch[0], Some(slot)),
+        }
+    };
+
+    match inst {
+        Inst::Load { dst, array, addr } => {
+            let addr = read_addr!(addr, out);
+            let (d, flush) = write(*dst);
+            out.push(Inst::Load {
+                dst: d,
+                array: *array,
+                addr,
+            });
+            if let Some(slot) = flush {
+                out.push(Inst::Store {
+                    array: spill,
+                    addr: Addr::absolute(slot),
+                    src: Operand::Reg(d),
+                });
+            }
+        }
+        Inst::Store { array, addr, src } => {
+            let src = read_op!(src, out);
+            let addr = read_addr!(addr, out);
+            out.push(Inst::Store {
+                array: *array,
+                addr,
+                src,
+            });
+        }
+        Inst::Move { dst, src } => {
+            let src = read_op!(src, out);
+            let (d, flush) = write(*dst);
+            out.push(Inst::Move { dst: d, src });
+            if let Some(slot) = flush {
+                out.push(Inst::Store {
+                    array: spill,
+                    addr: Addr::absolute(slot),
+                    src: Operand::Reg(d),
+                });
+            }
+        }
+        Inst::Bin { op, dst, lhs, rhs } => {
+            let lhs = read_op!(lhs, out);
+            let rhs = read_op!(rhs, out);
+            let (d, flush) = write(*dst);
+            out.push(Inst::Bin {
+                op: *op,
+                dst: d,
+                lhs,
+                rhs,
+            });
+            if let Some(slot) = flush {
+                out.push(Inst::Store {
+                    array: spill,
+                    addr: Addr::absolute(slot),
+                    src: Operand::Reg(d),
+                });
+            }
+        }
+        Inst::Branch { op, lhs, rhs, target } => {
+            let lhs = read_op!(lhs, out);
+            let rhs = read_op!(rhs, out);
+            out.push(Inst::Branch {
+                op: *op,
+                lhs,
+                rhs,
+                target: *target,
+            });
+        }
+        Inst::Jump(l) => {
+            out.push(Inst::Jump(*l));
+        }
+        Inst::Halt => {
+            out.push(Inst::Halt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use arrayflow_ir::parse_program;
+
+    fn spill_id(p: &arrayflow_ir::Program) -> ArrayId {
+        ArrayId(p.symbols.num_arrays() as u32 + 100)
+    }
+
+    fn run_both(src: &str, k: u32) -> (Machine, Machine, Allocated) {
+        let p = parse_program(src).unwrap();
+        let c = compile(&p).unwrap();
+        let pinned: Vec<Reg> = c.scalar_regs.values().copied().collect();
+        let alloc = assign_physical(&c.code, k, spill_id(&p), &pinned).unwrap();
+
+        let mut m1 = Machine::new();
+        let mut m2 = Machine::new();
+        for a in p.symbols.array_ids() {
+            for i in -16..300 {
+                m1.set_mem(a, i, i * 5 + 2);
+                m2.set_mem(a, i, i * 5 + 2);
+            }
+        }
+        for (v, &r) in &c.scalar_regs {
+            let value = (v.0 as i64 % 5) + 1;
+            m1.set_reg(r, value);
+            alloc.seed(&mut m2, r, value);
+        }
+        m1.run(&c.code).unwrap();
+        m2.run(&alloc.code).unwrap();
+        // Compare array state excluding the spill segment.
+        for a in p.symbols.array_ids() {
+            assert_eq!(
+                m1.memory().get(&a),
+                m2.memory().get(&a),
+                "array {} differs under k={k}\n{}",
+                p.array_name(a),
+                alloc.code.listing(&p.symbols_with_spill())
+            );
+        }
+        (m1, m2, alloc)
+    }
+
+    trait SymbolsWithSpill {
+        fn symbols_with_spill(&self) -> arrayflow_ir::SymbolTable;
+    }
+    impl SymbolsWithSpill for arrayflow_ir::Program {
+        fn symbols_with_spill(&self) -> arrayflow_ir::SymbolTable {
+            let mut t = self.symbols.clone();
+            for k in 0..=100 {
+                t.array(&format!("__pad{k}"));
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn generous_budget_spills_nothing() {
+        let (_, _, alloc) = run_both(
+            "do i = 1, 50 A[i+1] := A[i] * 2 + B[i]; end",
+            16,
+        );
+        assert_eq!(alloc.spilled, 0);
+        assert!(alloc.physical_used <= 16);
+    }
+
+    #[test]
+    fn tight_budget_spills_but_stays_correct() {
+        let src = "do i = 1, 50
+           t := A[i] + B[i];
+           u := A[i+1] * B[i+1];
+           v := t + u;
+           C[i] := v + t * u;
+         end";
+        let (m1, m2, alloc) = run_both(src, 4);
+        assert!(alloc.spilled > 0, "4 registers must force spills");
+        assert!(alloc.physical_used <= 4);
+        assert!(
+            m2.stats.mem_ops() > m1.stats.mem_ops(),
+            "spill traffic is visible: {} vs {}",
+            m2.stats.mem_ops(),
+            m1.stats.mem_ops()
+        );
+    }
+
+    #[test]
+    fn register_count_is_respected_across_budgets() {
+        let src = "do i = 1, 30
+           if A[i] > 10 then B[i] := A[i] - C[i]; else B[i] := A[i] + C[i]; end
+           D[i] := B[i] * A[i+1];
+         end";
+        for k in [3u32, 4, 6, 8, 12] {
+            let (_, _, alloc) = run_both(src, k);
+            assert!(
+                alloc.physical_used <= k,
+                "k={k}: used {}",
+                alloc.physical_used
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_registers_is_an_error() {
+        let p = parse_program("do i = 1, 5 A[i] := 0; end").unwrap();
+        let c = compile(&p).unwrap();
+        assert_eq!(
+            assign_physical(&c.code, 2, spill_id(&p), &[]).unwrap_err(),
+            RegAllocError::TooFewRegisters
+        );
+    }
+
+    #[test]
+    fn pipelined_code_survives_allocation() {
+        use crate::codegen::{compile_with, PipelinePlan, PipeRange, ReusePoint};
+        use arrayflow_ir::stmt::StmtId;
+        use arrayflow_ir::{ArrayRef, Expr};
+
+        let p = parse_program("do i = 1, 200 A[i+2] := A[i] + x; end").unwrap();
+        let a = p.symbols.lookup_array("A").unwrap();
+        let iv = p.sole_loop().unwrap().iv;
+        let def_ref = ArrayRef::new(a, Expr::add(Expr::Scalar(iv), Expr::Const(2)));
+        let plan = PipelinePlan {
+            iv: Some(iv),
+            ranges: vec![PipeRange {
+                array: a,
+                gen_stmt: StmtId(0),
+                gen_ref: def_ref,
+                gen_is_def: true,
+                gen_a: 1,
+                gen_b: 2,
+                depth: 3,
+                reuse_points: vec![ReusePoint {
+                    stmt: StmtId(0),
+                    aref: ArrayRef::new(a, Expr::Scalar(iv)),
+                    distance: 2,
+                }],
+            }],
+        };
+        let c = compile_with(&p, &plan).unwrap();
+        let pinned: Vec<Reg> = c.scalar_regs.values().copied().collect();
+        let alloc = assign_physical(&c.code, 8, spill_id(&p), &pinned).unwrap();
+        assert_eq!(alloc.spilled, 0, "8 registers suffice for the pipeline");
+
+        let x = p.symbols.lookup_var("x").unwrap();
+        let mut m1 = Machine::new();
+        let mut m2 = Machine::new();
+        for m in [&mut m1, &mut m2] {
+            m.set_mem(a, 1, 7);
+            m.set_mem(a, 2, 9);
+        }
+        m1.set_reg(c.scalar_regs[&x], 3);
+        alloc.seed(&mut m2, c.scalar_regs[&x], 3);
+        m1.run(&c.code).unwrap();
+        m2.run(&alloc.code).unwrap();
+        assert_eq!(m1.memory().get(&a), m2.memory().get(&a));
+        assert_eq!(m1.stats.loads, m2.stats.loads, "no spill loads added");
+    }
+}

@@ -1,0 +1,321 @@
+//! Execution and cost accounting for machine programs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use arrayflow_ir::{ArrayId, BinOp};
+
+use crate::inst::{Addr, Inst, MProgram, Operand, Reg};
+
+/// Cost model: cycles per instruction class. The default charges `Cm = 4`
+/// for memory operations (the paper's `Cm`, the average cost of a load)
+/// and one cycle for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cycles per load.
+    pub load: u64,
+    /// Cycles per store.
+    pub store: u64,
+    /// Cycles per register move.
+    pub mov: u64,
+    /// Cycles per ALU operation.
+    pub alu: u64,
+    /// Cycles per (taken or untaken) branch/jump.
+    pub branch: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            load: 4,
+            store: 4,
+            mov: 1,
+            alu: 1,
+            branch: 1,
+        }
+    }
+}
+
+/// Dynamic execution counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Register moves executed.
+    pub moves: u64,
+    /// ALU operations executed.
+    pub alu: u64,
+    /// Branches and jumps executed.
+    pub branches: u64,
+    /// Total instructions executed.
+    pub executed: u64,
+}
+
+impl SimStats {
+    /// Total cycles under a cost model.
+    pub fn cycles(&self, m: &CostModel) -> u64 {
+        self.loads * m.load
+            + self.stores * m.store
+            + self.moves * m.mov
+            + self.alu * m.alu
+            + self.branches * m.branch
+    }
+
+    /// Memory operations (loads + stores).
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Integer division by zero.
+    DivisionByZero,
+    /// The instruction budget was exhausted.
+    BudgetExceeded,
+    /// A branch target was out of range.
+    BadLabel(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DivisionByZero => write!(f, "division by zero"),
+            SimError::BudgetExceeded => write!(f, "instruction budget exceeded"),
+            SimError::BadLabel(l) => write!(f, "branch to invalid label {l}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Machine state: registers plus sparse per-array memory.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    regs: Vec<i64>,
+    mem: BTreeMap<ArrayId, BTreeMap<i64, i64>>,
+    /// Statistics of the most recent [`Machine::run`].
+    pub stats: SimStats,
+    budget: u64,
+}
+
+impl Machine {
+    /// Creates a machine with a generous default budget.
+    pub fn new() -> Self {
+        Self {
+            budget: 500_000_000,
+            ..Self::default()
+        }
+    }
+
+    /// Sets a register before execution.
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        if self.regs.len() <= r.0 as usize {
+            self.regs.resize(r.0 as usize + 1, 0);
+        }
+        self.regs[r.0 as usize] = v;
+    }
+
+    /// Reads a register (zero if never written).
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs.get(r.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Seeds one array element.
+    pub fn set_mem(&mut self, a: ArrayId, idx: i64, v: i64) {
+        self.mem.entry(a).or_default().insert(idx, v);
+    }
+
+    /// Reads one array element (zero if never written).
+    pub fn mem(&self, a: ArrayId, idx: i64) -> i64 {
+        self.mem
+            .get(&a)
+            .and_then(|m| m.get(&idx))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The entire memory image, for equivalence checks.
+    pub fn memory(&self) -> &BTreeMap<ArrayId, BTreeMap<i64, i64>> {
+        &self.mem
+    }
+
+    fn op(&self, o: Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i,
+        }
+    }
+
+    fn addr(&self, a: Addr) -> i64 {
+        a.base.map_or(0, |b| self.reg(b)) + a.offset
+    }
+
+    /// Executes the program from instruction 0 until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(&mut self, p: &MProgram) -> Result<(), SimError> {
+        self.stats = SimStats::default();
+        let mut pc = 0usize;
+        loop {
+            if self.budget == 0 {
+                return Err(SimError::BudgetExceeded);
+            }
+            self.budget -= 1;
+            let Some(inst) = p.insts.get(pc) else {
+                return Err(SimError::BadLabel(pc));
+            };
+            self.stats.executed += 1;
+            pc += 1;
+            match inst {
+                Inst::Load { dst, array, addr } => {
+                    self.stats.loads += 1;
+                    let idx = self.addr(*addr);
+                    let v = self.mem(*array, idx);
+                    self.set_reg(*dst, v);
+                }
+                Inst::Store { array, addr, src } => {
+                    self.stats.stores += 1;
+                    let idx = self.addr(*addr);
+                    let v = self.op(*src);
+                    self.set_mem(*array, idx, v);
+                }
+                Inst::Move { dst, src } => {
+                    self.stats.moves += 1;
+                    let v = self.op(*src);
+                    self.set_reg(*dst, v);
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    self.stats.alu += 1;
+                    let l = self.op(*lhs);
+                    let r = self.op(*rhs);
+                    let v = match op {
+                        BinOp::Add => l.wrapping_add(r),
+                        BinOp::Sub => l.wrapping_sub(r),
+                        BinOp::Mul => l.wrapping_mul(r),
+                        BinOp::Div => {
+                            if r == 0 {
+                                return Err(SimError::DivisionByZero);
+                            }
+                            l / r
+                        }
+                    };
+                    self.set_reg(*dst, v);
+                }
+                Inst::Branch { op, lhs, rhs, target } => {
+                    self.stats.branches += 1;
+                    if op.eval(self.op(*lhs), self.op(*rhs)) {
+                        pc = target.0;
+                    }
+                }
+                Inst::Jump(l) => {
+                    self.stats.branches += 1;
+                    pc = l.0;
+                }
+                Inst::Halt => return Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Label;
+    use arrayflow_ir::RelOp;
+
+    #[test]
+    fn runs_a_counting_loop() {
+        // r0 = i, r1 = sum; for i in 1..=5 { sum += i }
+        let mut p = MProgram::new();
+        p.push(Inst::Move { dst: Reg(0), src: 1.into() });
+        p.push(Inst::Move { dst: Reg(1), src: 0.into() });
+        let top = p.here();
+        p.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: Reg(1),
+            lhs: Reg(1).into(),
+            rhs: Reg(0).into(),
+        });
+        p.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: Reg(0),
+            lhs: Reg(0).into(),
+            rhs: 1.into(),
+        });
+        p.push(Inst::Branch {
+            op: RelOp::Le,
+            lhs: Reg(0).into(),
+            rhs: 5.into(),
+            target: top,
+        });
+        p.push(Inst::Halt);
+        let mut m = Machine::new();
+        m.run(&p).unwrap();
+        assert_eq!(m.reg(Reg(1)), 15);
+        assert_eq!(m.stats.branches, 5);
+        assert_eq!(m.stats.alu, 10);
+    }
+
+    #[test]
+    fn loads_and_stores_hit_memory() {
+        let a = arrayflow_ir::ArrayId(0);
+        let mut p = MProgram::new();
+        p.push(Inst::Move { dst: Reg(0), src: 3.into() });
+        p.push(Inst::Load {
+            dst: Reg(1),
+            array: a,
+            addr: Addr::indexed(Reg(0), 1), // A[4]
+        });
+        p.push(Inst::Store {
+            array: a,
+            addr: Addr::absolute(9),
+            src: Reg(1).into(),
+        });
+        p.push(Inst::Halt);
+        let mut m = Machine::new();
+        m.set_mem(a, 4, 42);
+        m.run(&p).unwrap();
+        assert_eq!(m.mem(a, 9), 42);
+        assert_eq!(m.stats.loads, 1);
+        assert_eq!(m.stats.stores, 1);
+        let cm = CostModel::default();
+        assert_eq!(m.stats.cycles(&cm), 4 + 4 + 1);
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut p = MProgram::new();
+        p.push(Inst::Bin {
+            op: BinOp::Div,
+            dst: Reg(0),
+            lhs: 1.into(),
+            rhs: 0.into(),
+        });
+        p.push(Inst::Halt);
+        assert_eq!(Machine::new().run(&p), Err(SimError::DivisionByZero));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let mut p = MProgram::new();
+        p.push(Inst::Jump(Label(0)));
+        p.push(Inst::Halt);
+        let mut m = Machine {
+            budget: 1000,
+            ..Machine::default()
+        };
+        assert_eq!(m.run(&p), Err(SimError::BudgetExceeded));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_an_error() {
+        let p = MProgram::new();
+        assert_eq!(Machine::new().run(&p), Err(SimError::BadLabel(0)));
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Loop optimizations driven by array reference data flow analysis
+//! (paper §4).
+//!
+//! * [`pipeline`] — register pipelining: live ranges of subscripted
+//!   variables, the integrated register interference graph (IRIG),
+//!   priority-based multi-coloring, and emission of a machine-level
+//!   [`arrayflow_machine::PipelinePlan`] (§4.1);
+//! * [`load_elim`] — redundant load elimination / scalar replacement with
+//!   temporary chains (§4.2.2, Fig. 7);
+//! * [`store_elim`] — redundant store elimination with loop unpeeling
+//!   (§4.2.1, Fig. 6);
+//! * [`mod@unroll`] — controlled loop unrolling from dependence distances
+//!   (§4.3).
+//!
+//! All transformations are validated against the reference interpreter —
+//! see the crate's integration tests.
+
+pub mod load_elim;
+pub mod pipeline;
+pub mod store_elim;
+pub mod unroll;
+
+pub use load_elim::{eliminate_redundant_loads, LoadElim};
+pub use pipeline::{allocate, live_ranges, Allocation, Irig, LiveRange, PipelineConfig, RangeKind};
+pub use store_elim::{eliminate_redundant_stores, StoreElim};
+pub use unroll::{
+    controlled_unroll, dep_graph, unroll, ControlledUnroll, DepGraph, UnrollConfig, UnrollError,
+    UnrollStep,
+};

@@ -1,0 +1,148 @@
+//! Redundant store elimination (paper §4.2.1, Fig. 6).
+//!
+//! A store that is δ-redundant is overwritten — without an intervening
+//! read — by another store δ iterations later on every path, so it can be
+//! removed from all but the final δ iterations. The transformation removes
+//! the store from the main loop and *unpeels* the final δ iterations into
+//! an epilogue loop that still contains it. Stores that are dead within
+//! their own iteration (δ = 0) are removed outright.
+
+use arrayflow_analyses::{analyze_loop, AnalyzeError, LoopAnalysis};
+use arrayflow_ir::stmt::StmtId;
+use arrayflow_ir::{Block, Expr, Loop, LoopBound, Program, Stmt};
+
+/// Outcome of [`eliminate_redundant_stores`].
+#[derive(Debug, Clone)]
+pub struct StoreElim {
+    /// The transformed program.
+    pub program: Program,
+    /// Statement ids of the stores removed from the main loop.
+    pub removed: Vec<StmtId>,
+    /// Iterations unpeeled into the epilogue (the largest redundancy
+    /// distance applied; 0 when only dead stores were removed).
+    pub unpeeled: u64,
+}
+
+/// Detects and removes redundant stores in a single-loop program.
+///
+/// Cross-iteration redundancies (δ ≥ 1) are applied only when the trip
+/// count is a compile-time constant greater than δ, so the epilogue bounds
+/// are exact; a store whose right-hand side contains a division is left
+/// alone (removing it could suppress a division-by-zero fault).
+///
+/// # Errors
+///
+/// Propagates [`AnalyzeError`] from the analysis phase.
+pub fn eliminate_redundant_stores(program: &Program) -> Result<StoreElim, AnalyzeError> {
+    let analysis = analyze_loop(program)?;
+    Ok(apply(program, &analysis))
+}
+
+/// Applies the transformation given a completed analysis.
+pub fn apply(program: &Program, analysis: &LoopAnalysis) -> StoreElim {
+    let mut out = program.clone();
+    let ub = analysis.graph.ub;
+
+    let mut dead: Vec<StmtId> = Vec::new(); // δ = 0
+    let mut peeled: Vec<(StmtId, u64)> = Vec::new(); // δ ≥ 1
+    for r in analysis.redundant_stores() {
+        let Some(stmt) = r.stmt else { continue };
+        let site = &analysis.sites[r.store_site];
+        if site.in_summary || has_div(&assign_rhs(program, stmt)) {
+            continue;
+        }
+        if r.distance == 0 {
+            dead.push(stmt);
+        } else if ub.is_some_and(|u| u > r.distance as i64) {
+            peeled.push((stmt, r.distance));
+        }
+    }
+    dead.sort();
+    dead.dedup();
+    peeled.sort();
+    peeled.dedup_by_key(|(s, _)| *s);
+    // A store that is both dead and peelable only needs the cheaper removal.
+    peeled.retain(|(s, _)| !dead.contains(s));
+
+    if dead.is_empty() && peeled.is_empty() {
+        return StoreElim {
+            program: out,
+            removed: Vec::new(),
+            unpeeled: 0,
+        };
+    }
+
+    let delta_max = peeled.iter().map(|&(_, d)| d).max().unwrap_or(0);
+    let mut removed: Vec<StmtId> = dead.clone();
+    removed.extend(peeled.iter().map(|&(s, _)| s));
+
+    let l = out.sole_loop_mut().expect("analyzed as a single loop");
+    let epilogue = if delta_max > 0 {
+        let ub = ub.expect("checked above");
+        // Main loop runs 1 … UB − δmax; epilogue UB − δmax + 1 … UB with
+        // the original body (minus the always-dead stores).
+        let mut epi_body = l.body.clone();
+        remove_stmts(&mut epi_body, &dead);
+        l.upper = LoopBound::Const(ub - delta_max as i64);
+        Some(Stmt::Do(Loop {
+            iv: l.iv,
+            lower: LoopBound::Expr(Expr::Const(ub - delta_max as i64 + 1)),
+            upper: LoopBound::Const(ub),
+            step: 1,
+            body: epi_body,
+        }))
+    } else {
+        None
+    };
+    remove_stmts(&mut l.body, &removed);
+    if let Some(epi) = epilogue {
+        out.body.push(epi);
+    }
+    out.renumber();
+
+    StoreElim {
+        program: out,
+        removed,
+        unpeeled: delta_max,
+    }
+}
+
+fn assign_rhs(program: &Program, id: StmtId) -> Expr {
+    let mut found = Expr::Const(0);
+    arrayflow_ir::visit::for_each_assign(&program.body, &mut |a| {
+        if a.id == id {
+            found = a.rhs.clone();
+        }
+    });
+    found
+}
+
+fn has_div(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Scalar(_) => false,
+        Expr::Elem(r) => r.subs.iter().any(has_div),
+        Expr::Bin(op, l, r) => {
+            matches!(op, arrayflow_ir::BinOp::Div) || has_div(l) || has_div(r)
+        }
+    }
+}
+
+fn remove_stmts(block: &mut Block, ids: &[StmtId]) {
+    block.retain_mut(|stmt| match stmt {
+        Stmt::Assign(a) => !ids.contains(&a.id),
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
+            remove_stmts(then_blk, ids);
+            remove_stmts(else_blk, ids);
+            // Keep the conditional even if it became empty: its condition
+            // has no side effects, but an empty if is harmless and keeps
+            // the transformation simple to reason about.
+            true
+        }
+        Stmt::Do(l) => {
+            remove_stmts(&mut l.body, ids);
+            true
+        }
+    });
+}

@@ -1,0 +1,330 @@
+//! Controlled loop unrolling (paper §4.3).
+//!
+//! Unrolling uncovers fine-grained parallelism across iterations, but only
+//! when loop-carried dependences do not re-serialize the larger body. The
+//! controller *predicts* the unrolled critical path `l_unroll` from the
+//! δ-reaching-references solution — which supplies every loop-carried
+//! dependence with its distance — without constructing the unrolled body,
+//! and unrolls incrementally while the predicted path stays under a
+//! threshold `τ` with `l ≤ l_unroll ≤ 2·l` per doubling. For validation,
+//! [`unroll`] really performs the transformation so the prediction can be
+//! compared against a from-scratch analysis of the unrolled loop.
+
+use std::collections::HashMap;
+
+use arrayflow_analyses::{analyze_loop, AnalyzeError, Dep, LoopAnalysis};
+use arrayflow_ir::stmt::StmtId;
+use arrayflow_ir::{Expr, Loop, LoopBound, Program, Stmt};
+
+/// The dependence graph of one loop body, with nodes identified by
+/// assignment statement and edges carrying iteration distances.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Statement ids in textual order.
+    pub stmts: Vec<StmtId>,
+    /// Edges `(src, dst, distance)` over indices into `stmts`.
+    pub edges: Vec<(usize, usize, u64)>,
+}
+
+/// Builds the body dependence graph from the analysis (distances up to
+/// `max_distance`).
+pub fn dep_graph(analysis: &LoopAnalysis, max_distance: u64) -> DepGraph {
+    let mut stmts: Vec<StmtId> = Vec::new();
+    let mut index: HashMap<StmtId, usize> = HashMap::new();
+    for site in &analysis.sites {
+        if let Some(s) = site.stmt {
+            if !site.in_summary && !index.contains_key(&s) {
+                index.insert(s, stmts.len());
+                stmts.push(s);
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    for Dep {
+        src_site,
+        dst_site,
+        distance,
+        ..
+    } in analysis.dependences(max_distance)
+    {
+        let (Some(ss), Some(ds)) = (
+            analysis.sites[src_site].stmt,
+            analysis.sites[dst_site].stmt,
+        ) else {
+            continue;
+        };
+        if let (Some(&a), Some(&b)) = (index.get(&ss), index.get(&ds)) {
+            if a == b && distance == 0 {
+                continue;
+            }
+            edges.push((a, b, distance));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    DepGraph { stmts, edges }
+}
+
+impl DepGraph {
+    /// Length (in statements) of the critical path of a body unrolled
+    /// `factor` times: longest chain in the graph with one node per
+    /// (statement, copy) and an edge `(s, k) → (t, k + δ)` per dependence
+    /// of distance `δ < factor`.
+    ///
+    /// With `factor = 1` this is the critical path `l` of the original
+    /// body; §4.3's bound `l ≤ l_unroll ≤ 2·l` is asserted in tests.
+    pub fn critical_path(&self, factor: u64) -> usize {
+        let n = self.stmts.len();
+        if n == 0 {
+            return 0;
+        }
+        let f = factor as usize;
+        // Longest path over the DAG; nodes in (copy, textual) order are
+        // topologically sorted because distance-0 edges respect textual
+        // order and carried edges move to later copies.
+        let mut longest = vec![1usize; n * f];
+        for k in 0..f {
+            for &(a, b, d) in &self.edges {
+                let kd = k + d as usize;
+                if kd >= f {
+                    continue;
+                }
+                if d == 0 && b <= a {
+                    continue; // defensive: only forward intra-copy edges
+                }
+                let (src, dst) = (k * n + a, kd * n + b);
+                if longest[src] + 1 > longest[dst] {
+                    longest[dst] = longest[src] + 1;
+                }
+            }
+        }
+        // Process copies in order; within a copy, edges must be relaxed in
+        // topological (textual) order — redo passes until stable for the
+        // rare distance-0 chains spanning several statements.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for k in 0..f {
+                for &(a, b, d) in &self.edges {
+                    let kd = k + d as usize;
+                    if kd >= f || (d == 0 && b <= a) {
+                        continue;
+                    }
+                    let (src, dst) = (k * n + a, kd * n + b);
+                    if longest[src] + 1 > longest[dst] {
+                        longest[dst] = longest[src] + 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        longest.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Errors from [`unroll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnrollError {
+    /// Factor must be at least 1.
+    BadFactor,
+    /// The program body is not a single normalized loop.
+    NotASingleLoop,
+}
+
+impl std::fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnrollError::BadFactor => write!(f, "unroll factor must be ≥ 1"),
+            UnrollError::NotASingleLoop => write!(f, "program body is not a single do-loop"),
+        }
+    }
+}
+
+impl std::error::Error for UnrollError {}
+
+/// Unrolls the program's single loop by `factor`:
+///
+/// ```text
+/// do i' = 1, UB/f            -- f copies of the body, i = f·(i'−1)+k
+/// end
+/// do i = (UB/f)·f + 1, UB    -- remainder iterations
+/// end
+/// ```
+///
+/// Works for symbolic `UB` as well (bounds become expressions).
+///
+/// # Errors
+///
+/// See [`UnrollError`].
+pub fn unroll(program: &Program, factor: u64) -> Result<Program, UnrollError> {
+    if factor == 0 {
+        return Err(UnrollError::BadFactor);
+    }
+    let mut out = program.clone();
+    let l = out.sole_loop().ok_or(UnrollError::NotASingleLoop)?.clone();
+    if !l.is_normalized() {
+        return Err(UnrollError::NotASingleLoop);
+    }
+    if factor == 1 {
+        return Ok(out);
+    }
+    let f = factor as i64;
+    let ub = l.upper.to_expr();
+
+    let new_iv = out.symbols.fresh_var(&format!("{}_u", program.name(l.iv)));
+    let mut unrolled_body = Vec::new();
+    for k in 0..f {
+        // i = f·(i'−1) + 1 + k = f·i' − (f − 1 − k)
+        let replacement = Expr::sub(
+            Expr::mul(Expr::Const(f), Expr::Scalar(new_iv)),
+            Expr::Const(f - 1 - k),
+        );
+        let mut copy = l.body.clone();
+        substitute_block(&mut copy, l.iv, &replacement);
+        unrolled_body.append(&mut copy);
+    }
+    let main = Loop {
+        iv: new_iv,
+        lower: LoopBound::Const(1),
+        upper: match l.upper.as_const() {
+            Some(u) => LoopBound::Const(u / f),
+            None => LoopBound::Expr(Expr::bin(
+                arrayflow_ir::BinOp::Div,
+                ub.clone(),
+                Expr::Const(f),
+            )),
+        },
+        step: 1,
+        body: unrolled_body,
+    };
+    let remainder = Loop {
+        iv: l.iv,
+        lower: match l.upper.as_const() {
+            Some(u) => LoopBound::Expr(Expr::Const((u / f) * f + 1)),
+            None => LoopBound::Expr(Expr::add(
+                Expr::mul(
+                    Expr::bin(arrayflow_ir::BinOp::Div, ub.clone(), Expr::Const(f)),
+                    Expr::Const(f),
+                ),
+                Expr::Const(1),
+            )),
+        },
+        upper: l.upper.clone(),
+        step: 1,
+        body: l.body.clone(),
+    };
+    out.body = vec![Stmt::Do(main), Stmt::Do(remainder)];
+    out.renumber();
+    Ok(out)
+}
+
+fn substitute_block(block: &mut Vec<Stmt>, iv: arrayflow_ir::VarId, replacement: &Expr) {
+    for stmt in block {
+        match stmt {
+            Stmt::Assign(a) => {
+                a.rhs = a.rhs.substitute_scalar(iv, replacement);
+                if let arrayflow_ir::LValue::Elem(r) = &mut a.lhs {
+                    for s in &mut r.subs {
+                        *s = s.substitute_scalar(iv, replacement);
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                cond.lhs = cond.lhs.substitute_scalar(iv, replacement);
+                cond.rhs = cond.rhs.substitute_scalar(iv, replacement);
+                substitute_block(then_blk, iv, replacement);
+                substitute_block(else_blk, iv, replacement);
+            }
+            Stmt::Do(inner) => substitute_block(&mut inner.body, iv, replacement),
+        }
+    }
+}
+
+/// One step of the controller's history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnrollStep {
+    /// Factor evaluated.
+    pub factor: u64,
+    /// Predicted critical path of the unrolled body.
+    pub predicted_path: usize,
+}
+
+/// Result of [`controlled_unroll`].
+#[derive(Debug, Clone)]
+pub struct ControlledUnroll {
+    /// The chosen factor (1 = leave the loop alone).
+    pub factor: u64,
+    /// Critical path of the original body.
+    pub base_path: usize,
+    /// Evaluated candidates.
+    pub history: Vec<UnrollStep>,
+    /// The transformed program at the chosen factor.
+    pub program: Program,
+}
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UnrollConfig {
+    /// Unrolling at factor `f` is accepted while
+    /// `l_unroll(f) ≤ τ · f · l / 2` … concretely: while each doubling adds
+    /// less than `threshold × l` to the path (the paper's τ with
+    /// `1 ≤ τ < 2` per step). Typical value 1.5.
+    pub threshold: f64,
+    /// Upper bound on the factor.
+    pub max_factor: u64,
+}
+
+impl Default for UnrollConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 1.5,
+            max_factor: 8,
+        }
+    }
+}
+
+/// Incrementally decides an unroll factor from dependence-distance
+/// information (§4.3) and applies it.
+///
+/// # Errors
+///
+/// Propagates analysis and transformation failures.
+pub fn controlled_unroll(
+    program: &Program,
+    config: &UnrollConfig,
+) -> Result<ControlledUnroll, AnalyzeError> {
+    let analysis = analyze_loop(program)?;
+    let g = dep_graph(&analysis, config.max_factor);
+    let base = g.critical_path(1);
+    let mut history = Vec::new();
+    let mut chosen = 1;
+    let mut f = 2;
+    while f <= config.max_factor {
+        let predicted = g.critical_path(f);
+        history.push(UnrollStep {
+            factor: f,
+            predicted_path: predicted,
+        });
+        // Accept while the path grows slower than the threshold allows:
+        // predicted ≤ τ · (f/prev_f) share — concretely compare against the
+        // serial worst case 2·l per doubling.
+        let limit = (config.threshold * base as f64 * (f as f64 / 2.0)).max(base as f64);
+        if (predicted as f64) <= limit {
+            chosen = f;
+        } else {
+            break;
+        }
+        f *= 2;
+    }
+    let program = unroll(program, chosen).unwrap_or_else(|_| program.clone());
+    Ok(ControlledUnroll {
+        factor: chosen,
+        base_path: base,
+        history,
+        program,
+    })
+}

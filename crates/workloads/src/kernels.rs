@@ -1,0 +1,147 @@
+//! Named loops: the paper's figures plus classic scientific kernels.
+
+use arrayflow_ir::{parse_program, Program};
+
+fn parsed(src: &str) -> Program {
+    parse_program(src).expect("kernel sources are well-formed")
+}
+
+/// The running example of Fig. 1 / Fig. 3 / Table 1.
+pub fn fig1(ub: Option<i64>) -> Program {
+    let ub = ub.map_or("UB".to_string(), |u| u.to_string());
+    parsed(&format!(
+        "do i = 1, {ub}
+           C[i+2] := C[i] * 2;
+           B[2*i] := C[i] + x;
+           if C[i] == 0 then C[i] := B[i-1]; end
+           B[i] := C[i+1];
+         end"
+    ))
+}
+
+/// The Fig. 4 loop nest (multi-dimensional recurrences).
+pub fn fig4() -> Program {
+    parsed(
+        "do j = 1, UB2
+           do i = 1, UB1
+             X[i+1, j] := X[i, j];
+             Y[i, j+1] := Y[i, j-1];
+             Z[i+1, j] := Z[i, j-1];
+           end
+         end",
+    )
+}
+
+/// The Fig. 5 register pipelining example: `A[i+2] := A[i] + x`.
+pub fn fig5(ub: i64) -> Program {
+    parsed(&format!("do i = 1, {ub} A[i+2] := A[i] + x; end"))
+}
+
+/// The Fig. 6 redundant-store example.
+pub fn fig6(ub: i64) -> Program {
+    parsed(&format!(
+        "do i = 1, {ub}
+           A[i] := x;
+           if c > 0 then A[i+1] := y; end
+         end"
+    ))
+}
+
+/// The Fig. 7 redundant-load example.
+pub fn fig7(ub: i64) -> Program {
+    parsed(&format!(
+        "do i = 1, {ub}
+           if c > 0 then s := A[i] + s; end
+           A[i+1] := s * 2;
+         end"
+    ))
+}
+
+/// First-order recurrence (fully serial): `A[i+1] := A[i]·q + r`.
+pub fn recurrence(ub: i64) -> Program {
+    parsed(&format!("do i = 1, {ub} A[i+1] := A[i] * q + r; end"))
+}
+
+/// Three-point smoothing stencil with reuse at distances 1 and 2.
+pub fn smooth3(ub: i64) -> Program {
+    parsed(&format!(
+        "do i = 1, {ub}
+           B[i] := A[i] + A[i+1] + A[i+2];
+           A[i+2] := B[i] / 3;
+         end"
+    ))
+}
+
+/// Dot-product-ish reduction: loads from two streams, no reuse.
+pub fn dot(ub: i64) -> Program {
+    parsed(&format!("do i = 1, {ub} s := s + A[i] * B[i]; end"))
+}
+
+/// Wavefront with a conditional clipping step (flow-sensitivity matters).
+pub fn clipped_wavefront(ub: i64) -> Program {
+    parsed(&format!(
+        "do i = 1, {ub}
+           A[i+1] := A[i] + B[i];
+           if A[i+1] > 100 then A[i+1] := 100; end
+           C[i] := A[i+1];
+         end"
+    ))
+}
+
+/// Sum of prefix pairs — a distance-`d` stencil with no kills on B.
+pub fn pair_sum(ub: i64, d: i64) -> Program {
+    parsed(&format!(
+        "do i = 1, {ub} B[i+{d}] := B[i] + A[i]; end"
+    ))
+}
+
+/// Independent map (perfectly parallel, unrolling-friendly).
+pub fn map_scale(ub: i64) -> Program {
+    parsed(&format!("do i = 1, {ub} A[i] := B[i] * k + c; end"))
+}
+
+/// Every named kernel with a short tag, for table drivers.
+pub fn all_kernels(ub: i64) -> Vec<(&'static str, Program)> {
+    vec![
+        ("fig1", fig1(Some(ub))),
+        ("fig5", fig5(ub)),
+        ("fig6", fig6(ub)),
+        ("fig7", fig7(ub)),
+        ("recurrence", recurrence(ub)),
+        ("smooth3", smooth3(ub)),
+        ("dot", dot(ub)),
+        ("clipped_wavefront", clipped_wavefront(ub)),
+        ("pair_sum_d4", pair_sum(ub, 4)),
+        ("map_scale", map_scale(ub)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_parse_and_run() {
+        for (name, p) in all_kernels(32) {
+            let env = arrayflow_ir::interp::run_with(&p, |e| {
+                for a in p.symbols.array_ids() {
+                    for k in -8..80 {
+                        e.set_elem(a, vec![k], k + 1);
+                    }
+                }
+                for v in p.symbols.var_ids() {
+                    e.set_scalar(v, 2);
+                }
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(env.stats.iterations >= 32, "{name}");
+        }
+    }
+
+    #[test]
+    fn fig4_is_a_nest() {
+        let p = fig4();
+        let outer = p.sole_loop().unwrap();
+        assert!(matches!(outer.body[0], arrayflow_ir::Stmt::Do(_)));
+    }
+}

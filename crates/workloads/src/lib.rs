@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! Workload generation: the paper's figure loops, classic scientific
+//! kernels, and seeded random structured loops for property testing and
+//! benchmarking.
+
+pub mod kernels;
+pub mod livermore;
+pub mod random;
+
+pub use kernels::{
+    all_kernels, clipped_wavefront, dot, fig1, fig4, fig5, fig6, fig7, map_scale, pair_sum,
+    recurrence, smooth3,
+};
+pub use livermore::livermore_kernels;
+pub use random::{random_loop, random_loops, LoopShape};

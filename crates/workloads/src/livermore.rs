@@ -1,0 +1,155 @@
+//! Livermore-loops-inspired kernels, adapted to the integer loop DSL.
+//!
+//! These mirror the shapes of the classic Livermore Fortran kernels the
+//! 1990s register-allocation literature (including the paper's scalar
+//! replacement baseline, Callahan/Carr/Kennedy '90) evaluated on: stencil
+//! reuse, first-order recurrences, reductions, banded matrix access and
+//! conditional state updates. Floating-point operations become integer
+//! ones; the reference patterns — which is all the analyses care about —
+//! are preserved.
+
+use arrayflow_ir::{parse_program, Program};
+
+fn parsed(src: &str) -> Program {
+    parse_program(src).expect("kernel sources are well-formed")
+}
+
+/// LL1 — hydro fragment: `X[k] = q + Y[k]·(r·Z[k+10] + t·Z[k+11])`.
+pub fn hydro(ub: i64) -> Program {
+    parsed(&format!(
+        "do k = 1, {ub}
+           X[k] := q + Y[k] * (r * Z[k+10] + t * Z[k+11]);
+         end"
+    ))
+}
+
+/// LL3 — inner product reduction.
+pub fn inner_product(ub: i64) -> Program {
+    parsed(&format!(
+        "do k = 1, {ub}
+           q := q + Z[k] * X[k];
+         end"
+    ))
+}
+
+/// LL5 — tri-diagonal elimination (first-order recurrence with reuse of
+/// the just-computed element).
+pub fn tridiag(ub: i64) -> Program {
+    parsed(&format!(
+        "do k = 2, {ub}
+           X[k] := Z[k] * (Y[k] - X[k-1]);
+         end"
+    ))
+}
+
+/// LL11 — first sum (prefix sum): `X[k] = X[k−1] + Y[k]`.
+pub fn first_sum(ub: i64) -> Program {
+    parsed(&format!(
+        "do k = 2, {ub}
+           X[k] := X[k-1] + Y[k];
+         end"
+    ))
+}
+
+/// LL7 — equation-of-state fragment: wide expression with overlapping
+/// stencil reads of `U`.
+pub fn state_eos(ub: i64) -> Program {
+    parsed(&format!(
+        "do k = 1, {ub}
+           X[k] := U[k] + r * (Z[k] + r * Y[k])
+                   + t * (U[k+3] + r * (U[k+2] + r * U[k+1]));
+         end"
+    ))
+}
+
+/// LL12 — first difference: `X[k] = Y[k+1] − Y[k]`.
+pub fn first_diff(ub: i64) -> Program {
+    parsed(&format!(
+        "do k = 1, {ub}
+           X[k] := Y[k+1] - Y[k];
+         end"
+    ))
+}
+
+/// Banded linear equations flavor: fixed off-diagonal band accesses.
+pub fn banded(ub: i64) -> Program {
+    parsed(&format!(
+        "do i = 1, {ub}
+           X[i+4] := X[i+4] - G[i] * X[i] - G[i+1] * X[i+1];
+         end"
+    ))
+}
+
+/// LL16-ish — Monte-Carlo-style conditional search step (heavy control
+/// flow: the flow-sensitive analyses earn their keep here).
+pub fn conditional_update(ub: i64) -> Program {
+    parsed(&format!(
+        "do k = 1, {ub}
+           t := P[k] + P[k+1];
+           if t > 100 then
+             P[k+1] := t / 2;
+           else
+             P[k+1] := P[k] + 1;
+           end
+           S[k] := P[k+1];
+         end"
+    ))
+}
+
+/// The whole suite with short tags.
+pub fn livermore_kernels(ub: i64) -> Vec<(&'static str, Program)> {
+    vec![
+        ("ll1_hydro", hydro(ub)),
+        ("ll3_inner_product", inner_product(ub)),
+        ("ll5_tridiag", tridiag(ub)),
+        ("ll7_state_eos", state_eos(ub)),
+        ("ll11_first_sum", first_sum(ub)),
+        ("ll12_first_diff", first_diff(ub)),
+        ("banded", banded(ub)),
+        ("ll16_conditional", conditional_update(ub)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_parse_and_run() {
+        for (name, p) in livermore_kernels(64) {
+            let env = arrayflow_ir::interp::run_with(&p, |e| {
+                for a in p.symbols.array_ids() {
+                    for k in -16..160 {
+                        e.set_elem(a, vec![k], (k % 7) + 1);
+                    }
+                }
+                for v in p.symbols.var_ids() {
+                    e.set_scalar(v, 2);
+                }
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(env.stats.iterations >= 60, "{name}");
+        }
+    }
+
+    #[test]
+    fn recurrences_are_where_expected() {
+        // tridiag and first_sum carry distance-1 flow recurrences after
+        // normalization; first_diff carries none.
+        for (name, p, expect) in [
+            ("ll5", tridiag(64), true),
+            ("ll11", first_sum(64), true),
+            ("ll12", first_diff(64), false),
+        ] {
+            let mut p = p;
+            arrayflow_ir::normalize(&mut p);
+            let a = arrayflow_analyses::analyze_loop(&p)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let has = a
+                .reuse_pairs()
+                .iter()
+                .any(|r| r.gen_is_def && r.distance == 1);
+            assert_eq!(has, expect, "{name}: {:?}", a.reuse_pairs());
+        }
+    }
+}

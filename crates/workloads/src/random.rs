@@ -1,0 +1,157 @@
+//! Deterministic random structured loops.
+//!
+//! Used by property tests (e.g. "the bounded three-pass solver equals the
+//! run-to-fixpoint solver on every structured loop") and by the scaling
+//! benches. Generation is seeded ChaCha so every run of every machine sees
+//! the same programs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use arrayflow_ir::{Expr, LoopBuilder, Program, RelOp};
+
+/// Shape parameters for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopShape {
+    /// Assignments to generate.
+    pub stmts: usize,
+    /// Distinct arrays to draw references from.
+    pub arrays: usize,
+    /// Probability (percent) that a statement is wrapped in a conditional.
+    pub cond_pct: u32,
+    /// Subscript offsets are drawn from `[-max_offset, max_offset]`.
+    pub max_offset: i64,
+    /// Subscript coefficients are drawn from `[1, max_coef]` (occasionally
+    /// negated).
+    pub max_coef: i64,
+    /// Loop trip count.
+    pub ub: i64,
+}
+
+impl Default for LoopShape {
+    fn default() -> Self {
+        Self {
+            stmts: 8,
+            arrays: 3,
+            cond_pct: 25,
+            max_offset: 4,
+            max_coef: 2,
+            ub: 100,
+        }
+    }
+}
+
+/// Generates one random structured loop.
+pub fn random_loop(shape: &LoopShape, seed: u64) -> Program {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = LoopBuilder::new("i", shape.ub);
+
+    let array_name = |k: usize| format!("A{k}");
+
+    let gen_ref = |b: &mut LoopBuilder, rng: &mut ChaCha8Rng| {
+        let arr = array_name(rng.gen_range(0..shape.arrays));
+        let coef = if rng.gen_ratio(1, 8) {
+            0
+        } else {
+            let c = rng.gen_range(1..=shape.max_coef);
+            if rng.gen_ratio(1, 10) {
+                -c
+            } else {
+                c
+            }
+        };
+        let off = rng.gen_range(-shape.max_offset..=shape.max_offset);
+        b.array_ref(&arr, coef, off)
+    };
+
+    for _ in 0..shape.stmts {
+        let conditional = rng.gen_range(0..100) < shape.cond_pct;
+        if conditional {
+            let guard = gen_ref(&mut b, &mut rng);
+            let rel = match rng.gen_range(0..3) {
+                0 => RelOp::Gt,
+                1 => RelOp::Eq,
+                _ => RelOp::Le,
+            };
+            let threshold = Expr::Const(rng.gen_range(-5..50));
+            b.begin_if(guard.into(), rel, threshold);
+        }
+        let lhs = gen_ref(&mut b, &mut rng);
+        let u1 = gen_ref(&mut b, &mut rng);
+        let rhs = if rng.gen_bool(0.5) {
+            let u2 = gen_ref(&mut b, &mut rng);
+            b.add(u1.into(), u2.into())
+        } else {
+            let k = Expr::Const(rng.gen_range(1..5));
+            b.add(u1.into(), k)
+        };
+        b.assign_elem(lhs, rhs);
+        if conditional {
+            if rng.gen_bool(0.3) {
+                b.begin_else();
+                let lhs = gen_ref(&mut b, &mut rng);
+                let u = gen_ref(&mut b, &mut rng);
+                b.assign_elem(lhs, u.into());
+            }
+            b.end_if();
+        }
+    }
+    b.finish()
+}
+
+/// A batch of seeded random loops.
+pub fn random_loops(shape: &LoopShape, count: usize, base_seed: u64) -> Vec<Program> {
+    (0..count)
+        .map(|k| random_loop(shape, base_seed.wrapping_add(k as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let shape = LoopShape::default();
+        let a = random_loop(&shape, 7);
+        let b = random_loop(&shape, 7);
+        assert_eq!(
+            arrayflow_ir::pretty::print_program(&a),
+            arrayflow_ir::pretty::print_program(&b)
+        );
+        let c = random_loop(&shape, 8);
+        assert_ne!(
+            arrayflow_ir::pretty::print_program(&a),
+            arrayflow_ir::pretty::print_program(&c)
+        );
+    }
+
+    #[test]
+    fn generated_loops_run() {
+        for seed in 0..20 {
+            let p = random_loop(&LoopShape::default(), seed);
+            arrayflow_ir::interp::run_with(&p, |e| {
+                for a in p.symbols.array_ids() {
+                    for k in -40..300 {
+                        e.set_elem(a, vec![k], (k % 9) - 3);
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn shapes_scale() {
+        let p = random_loop(
+            &LoopShape {
+                stmts: 50,
+                arrays: 6,
+                ..LoopShape::default()
+            },
+            1,
+        );
+        let counts = arrayflow_ir::visit::count_stmts(&p.sole_loop().unwrap().body);
+        assert!(counts.assigns >= 50);
+    }
+}

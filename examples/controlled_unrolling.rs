@@ -1,0 +1,44 @@
+//! Controlled loop unrolling (paper §4.3): predict the unrolled critical
+//! path from dependence distances before transforming anything, then unroll
+//! only when the prediction shows a parallelism gain.
+//!
+//! ```text
+//! cargo run --example controlled_unrolling
+//! ```
+
+use arrayflow::analyses::analyze_loop;
+use arrayflow::opt::{controlled_unroll, dep_graph, UnrollConfig};
+use arrayflow::workloads::{map_scale, recurrence, smooth3};
+
+fn main() {
+    let cfg = UnrollConfig {
+        threshold: 1.2,
+        max_factor: 8,
+    };
+    for (name, p) in [
+        ("map_scale (parallel)", map_scale(1000)),
+        ("recurrence (serial)", recurrence(1000)),
+        ("smooth3 (mixed)", smooth3(1000)),
+    ] {
+        let analysis = analyze_loop(&p).unwrap();
+        let g = dep_graph(&analysis, cfg.max_factor);
+        println!("{name}: body critical path l = {}", g.critical_path(1));
+        for f in [2u64, 4, 8] {
+            println!(
+                "  predicted l_unroll({f}) = {} (per-iteration {:.2})",
+                g.critical_path(f),
+                g.critical_path(f) as f64 / f as f64
+            );
+        }
+        let decision = controlled_unroll(&p, &cfg).unwrap();
+        println!(
+            "  controller chose factor {} (history: {:?})\n",
+            decision.factor,
+            decision
+                .history
+                .iter()
+                .map(|s| (s.factor, s.predicted_path))
+                .collect::<Vec<_>>()
+        );
+    }
+}

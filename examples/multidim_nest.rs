@@ -1,0 +1,63 @@
+//! The paper's Fig. 4: recurrent access patterns in a loop nest with
+//! multi-dimensional arrays, found by linearization and hierarchical
+//! (innermost-first) analysis.
+//!
+//! ```text
+//! cargo run --example multidim_nest
+//! ```
+
+use arrayflow::analyses::{analyze_nest, nest_distance_vectors, nest_sites};
+use arrayflow::workloads::fig4;
+
+fn main() {
+    let program = fig4();
+    println!(
+        "Fig. 4 nest:\n{}",
+        arrayflow::ir::pretty::print_program(&program)
+    );
+
+    // Innermost first: analyses[0] is the i-loop (the j-loop summarizes it
+    // in analyses[1]).
+    let analyses = analyze_nest(&program).unwrap();
+    for a in &analyses {
+        let iv = a.symbols.var_name(a.graph.iv);
+        println!("--- analysis with respect to `{iv}` ---");
+        let reuses = a.reuse_pairs();
+        if reuses.is_empty() {
+            println!("  (no constant-distance recurrence in `{iv}` alone)");
+        }
+        for r in reuses {
+            println!(
+                "  {} reuses {} at distance {} in `{iv}`",
+                a.site_text(r.use_site),
+                a.site_text(r.gen_site),
+                r.distance
+            );
+        }
+    }
+    println!(
+        "\nStatement (1) recurs at distance 1 in `i`, statement (2) at \
+         distance 2 in `j`; statement (3)'s diagonal recurrence needs both \
+         induction variables simultaneously and is beyond a single-loop \
+         distance — exactly the paper's §3.6 discussion."
+    );
+
+    // The §6 "future work" extension: distance *vectors* over the whole
+    // nest recover statement (3) too.
+    let (ivs, sites) = nest_sites(&program).unwrap();
+    let iv_names: Vec<&str> = ivs
+        .iter()
+        .map(|&v| program.symbols.var_name(v))
+        .collect();
+    println!("\ndistance vectors over ({}):", iv_names.join(", "));
+    for d in nest_distance_vectors(&program).unwrap() {
+        if sites[d.src].is_def {
+            println!(
+                "  {} -> {}: {:?}",
+                arrayflow_ir::pretty::ref_to_string(&program.symbols, &sites[d.src].aref),
+                arrayflow_ir::pretty::ref_to_string(&program.symbols, &sites[d.dst].aref),
+                d.distances
+            );
+        }
+    }
+}

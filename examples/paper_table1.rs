@@ -1,0 +1,23 @@
+//! Regenerates the paper's Table 1: the must-reaching-definitions tuples
+//! for the Fig. 1 loop, pass by pass.
+//!
+//! ```text
+//! cargo run --example paper_table1
+//! ```
+
+use arrayflow::analyses::report::render_table1;
+use arrayflow::workloads::fig1;
+
+fn main() {
+    let program = fig1(None);
+    println!(
+        "Fig. 1 loop:\n{}",
+        arrayflow::ir::pretty::print_program(&program)
+    );
+    println!("Table 1 — data flow tuples for must-reaching definitions:");
+    println!("{}", render_table1(&program).unwrap());
+    println!(
+        "(n1..n5 correspond to the paper's nodes 1–4 and exit; n0 is the \
+         virtual entry and n3 the explicit branch test.)"
+    );
+}

@@ -1,0 +1,83 @@
+//! # arrayflow
+//!
+//! A facade over the `arrayflow` workspace: a practical data flow framework
+//! for array reference analysis and the loop optimizations it enables, after
+//! Duesterwald, Gupta and Soffa (PLDI 1993).
+//!
+//! The individual subsystems live in their own crates and are re-exported
+//! here under stable module names:
+//!
+//! * [`ir`] — the loop intermediate representation, DSL parser, normalizer
+//!   and reference interpreter;
+//! * [`graph`] — loop flow graphs with summary nodes and reverse postorder;
+//! * [`core`] — the distance lattice, (G, K)-parameterized flow functions
+//!   and the three-pass fixed point solver (the paper's contribution);
+//! * [`analyses`] — framework instances: must-reaching definitions,
+//!   δ-available values, δ-busy stores, δ-reaching references, live ranges;
+//! * [`opt`] — register pipelining, redundant load/store elimination and
+//!   controlled loop unrolling;
+//! * [`machine`] — a three-address virtual machine, code generator and cost
+//!   simulator used to measure the optimizations;
+//! * [`baselines`] — conventional dependence tests and the comparison
+//!   analyses/optimizations the paper discusses;
+//! * [`workloads`] — deterministic loop generators for tests and benches.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arrayflow::prelude::*;
+//!
+//! let program = parse_program(
+//!     "do i = 1, 100
+//!        A[i+2] := A[i] + x;
+//!      end",
+//! ).unwrap();
+//! let analysis = analyze_loop(&program).unwrap();
+//! let reuses = analysis.reuse_pairs();
+//! assert_eq!(reuses.len(), 1);
+//! assert_eq!(reuses[0].distance, 2);
+//! ```
+
+pub use arrayflow_analyses as analyses;
+pub use arrayflow_baselines as baselines;
+pub use arrayflow_core as core;
+pub use arrayflow_graph as graph;
+pub use arrayflow_ir as ir;
+pub use arrayflow_machine as machine;
+pub use arrayflow_opt as opt;
+pub use arrayflow_workloads as workloads;
+
+/// Commonly used items, re-exported for one-line imports.
+pub mod prelude {
+    pub use arrayflow_analyses::{analyze_loop, LoopAnalysis};
+    pub use arrayflow_core::{Dist, Direction, Mode};
+    pub use arrayflow_ir::{parse_program, LoopBuilder, Program};
+
+    pub use crate::prepare;
+}
+
+/// The front-end preparation pipeline the paper assumes has already run
+/// (§1): normalize every loop to `do i = 1, UB` step 1 and rewrite
+/// non-basic induction variables into affine functions of the loop
+/// induction variable. Returns how many loops were normalized and which
+/// variables were removed.
+///
+/// ```
+/// use arrayflow::prelude::*;
+///
+/// let mut p = parse_program(
+///     "t := 0;
+///      do i = 2, 200, 2
+///        t := t + 1;
+///        A[t + 1] := A[t] + 1;
+///      end",
+/// ).unwrap();
+/// let (normalized, removed) = prepare(&mut p);
+/// assert_eq!(normalized, 1);
+/// assert_eq!(removed.len(), 1);
+/// ```
+pub fn prepare(program: &mut ir::Program) -> (usize, Vec<ir::VarId>) {
+    let normalized = ir::normalize(program);
+    let removed = ir::remove_induction_variables(program).removed;
+    (normalized, removed)
+}
