@@ -65,11 +65,34 @@ impl LoopAnalysis {
         }
         let graph = build_loop_graph(l);
         let (sites, lin) = enumerate_sites(l, &graph, symbols);
-        let reaching = Instance::run(&graph, &sites, GK::REACHING_DEFS, Direction::Forward, Mode::Must);
-        let available = Instance::run(&graph, &sites, GK::AVAILABLE, Direction::Forward, Mode::Must);
-        let busy = Instance::run(&graph, &sites, GK::BUSY_STORES, Direction::Backward, Mode::Must);
-        let reaching_refs =
-            Instance::run(&graph, &sites, GK::REACHING_REFS, Direction::Forward, Mode::May);
+        let reaching = Instance::run(
+            &graph,
+            &sites,
+            GK::REACHING_DEFS,
+            Direction::Forward,
+            Mode::Must,
+        );
+        let available = Instance::run(
+            &graph,
+            &sites,
+            GK::AVAILABLE,
+            Direction::Forward,
+            Mode::Must,
+        );
+        let busy = Instance::run(
+            &graph,
+            &sites,
+            GK::BUSY_STORES,
+            Direction::Backward,
+            Mode::Must,
+        );
+        let reaching_refs = Instance::run(
+            &graph,
+            &sites,
+            GK::REACHING_REFS,
+            Direction::Forward,
+            Mode::May,
+        );
         Ok(Self {
             symbols: lin.symbols,
             graph,
@@ -136,10 +159,12 @@ pub fn analyze_loop(program: &Program) -> Result<LoopAnalysis, AnalyzeError> {
     LoopAnalysis::of_loop(l, &program.symbols)
 }
 
-/// Analyzes every loop of a (possibly nested) program, innermost first —
-/// the hierarchical scheme of §3.2. Each returned analysis is with respect
-/// to that loop's own induction variable, with deeper loops summarized.
-pub fn analyze_nest(program: &Program) -> Result<Vec<LoopAnalysis>, AnalyzeError> {
+/// Every loop of a (possibly nested) program, innermost first — the
+/// hierarchical analysis order of §3.2. Deeper loops come before the loops
+/// enclosing them, so by the time an enclosing loop is analyzed (with its
+/// inner loops as summary nodes) the inner results already exist; the batch
+/// engine relies on this order to warm its memo cache bottom-up.
+pub fn loops_innermost_first(program: &Program) -> Vec<&Loop> {
     let mut loops: Vec<&Loop> = Vec::new();
     fn collect<'a>(body: &'a [Stmt], out: &mut Vec<&'a Loop>) {
         for stmt in body {
@@ -160,6 +185,13 @@ pub fn analyze_nest(program: &Program) -> Result<Vec<LoopAnalysis>, AnalyzeError
     }
     collect(&program.body, &mut loops);
     loops
+}
+
+/// Analyzes every loop of a (possibly nested) program, innermost first —
+/// the hierarchical scheme of §3.2. Each returned analysis is with respect
+/// to that loop's own induction variable, with deeper loops summarized.
+pub fn analyze_nest(program: &Program) -> Result<Vec<LoopAnalysis>, AnalyzeError> {
+    loops_innermost_first(program)
         .into_iter()
         .map(|l| LoopAnalysis::of_loop(l, &program.symbols))
         .collect()

@@ -24,10 +24,10 @@ pub mod scalars;
 pub mod sites;
 pub mod spec;
 
-pub use driver::{analyze_loop, analyze_nest, AnalyzeError, LoopAnalysis};
+pub use driver::{analyze_loop, analyze_nest, loops_innermost_first, AnalyzeError, LoopAnalysis};
 pub use instances::{
-    best_reuse, dependences, redundant_stores, reuse_pairs, Dep, DepKind, Instance,
-    RedundantStore, Reuse,
+    best_reuse, dependences, redundant_stores, reuse_pairs, Dep, DepKind, Instance, RedundantStore,
+    Reuse,
 };
 pub use nestvec::{nest_distance_vectors, nest_sites, NestDep, NestError, NestSite};
 pub use scalars::{scalar_live_ranges, scalar_liveness, ScalarLiveness, ScalarRange};

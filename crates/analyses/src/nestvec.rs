@@ -128,7 +128,9 @@ pub fn nest_sites(program: &Program) -> Result<(Vec<VarId>, Vec<NestSite>), Nest
     let (ivs, body) = nest_of(program)?;
     let mut sites = Vec::new();
     for stmt in body {
-        let Stmt::Assign(a) = stmt else { unreachable!() };
+        let Stmt::Assign(a) = stmt else {
+            unreachable!()
+        };
         let mut push = |aref: &ArrayRef, is_def: bool| {
             if let Some((coeffs, consts)) = multi_affine(aref, &ivs) {
                 sites.push(NestSite {
@@ -278,9 +280,7 @@ mod tests {
         nest_distance_vectors(program)
             .unwrap()
             .into_iter()
-            .filter(|d| {
-                program.array_name(sites[d.src].aref.array) == array && sites[d.src].is_def
-            })
+            .filter(|d| program.array_name(sites[d.src].aref.array) == array && sites[d.src].is_def)
             .map(|d| d.distances)
             .collect()
     }

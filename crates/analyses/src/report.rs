@@ -11,11 +11,7 @@ use crate::instances::Instance;
 
 /// Renders the fixed point of an instance as a Table-1-style grid: one row
 /// per node (`IN`/`OUT` pairs), one column per tracked reference.
-pub fn render_solution(
-    inst: &Instance,
-    graph: &LoopGraph,
-    symbols: &SymbolTable,
-) -> String {
+pub fn render_solution(inst: &Instance, graph: &LoopGraph, symbols: &SymbolTable) -> String {
     let mut out = String::new();
     let headers: Vec<String> = inst
         .built
@@ -127,10 +123,7 @@ mod tests {
 
     #[test]
     fn render_solution_lists_every_node_and_reference() {
-        let p = arrayflow_ir::parse_program(
-            "do i = 1, 10 A[i+1] := A[i] + 1; end",
-        )
-        .unwrap();
+        let p = arrayflow_ir::parse_program("do i = 1, 10 A[i+1] := A[i] + 1; end").unwrap();
         let a = crate::analyze_loop(&p).unwrap();
         let txt = render_solution(&a.reaching, &a.graph, &a.symbols);
         assert!(txt.contains("tuples (A[i + 1])"), "{txt}");

@@ -160,11 +160,7 @@ impl Linearizer {
             }
             _ => {
                 // Collapse the whole product into one symbol.
-                let name = format!(
-                    "{}#stride{}",
-                    info.name,
-                    dim
-                );
+                let name = format!("{}#stride{}", info.name, dim);
                 let sym = self.symbols.var(&name);
                 LinExpr::term(sym, known)
             }
@@ -209,7 +205,6 @@ impl ScalarEnv {
             iv: l.iv,
         }
     }
-
 }
 
 /// Induction variables of every loop nested inside a block (recursively).
@@ -239,7 +234,11 @@ fn inner_ivs(block: &Block) -> HashSet<VarId> {
 /// Enumerates every reference site of the loop `l` through its graph,
 /// classifying each per the rules above. Returns the sites and the
 /// linearizer (whose symbol table knows the invented stride names).
-pub fn enumerate_sites(l: &Loop, graph: &LoopGraph, symbols: &SymbolTable) -> (Vec<Site>, Linearizer) {
+pub fn enumerate_sites(
+    l: &Loop,
+    graph: &LoopGraph,
+    symbols: &SymbolTable,
+) -> (Vec<Site>, Linearizer) {
     let mut lin = Linearizer::new(symbols);
     let env = ScalarEnv::new(l);
     let empty = HashSet::new();
@@ -296,8 +295,8 @@ pub fn constant_distance(gen_sub: &AffineSub, use_sub: &AffineSub) -> Option<u64
 mod tests {
     use super::*;
     use arrayflow_graph::build_loop_graph;
-    use arrayflow_ir::Expr;
     use arrayflow_ir::parse_program;
+    use arrayflow_ir::Expr;
 
     fn sites_of(src: &str) -> (arrayflow_ir::Program, Vec<Site>, Linearizer) {
         let p = parse_program(src).unwrap();
@@ -336,10 +335,7 @@ mod tests {
         let def = sites.iter().find(|s| s.is_def).unwrap();
         assert!(def.sub.is_none(), "t varies inside the loop");
         // But the loop-invariant read A[i] is fine.
-        let usx = sites
-            .iter()
-            .find(|s| !s.is_def && s.sub.is_some())
-            .unwrap();
+        let usx = sites.iter().find(|s| !s.is_def && s.sub.is_some()).unwrap();
         assert_eq!(usx.sub, Some(AffineSub::simple(1, 0)));
     }
 
@@ -361,8 +357,20 @@ mod tests {
         };
         let g = build_loop_graph(inner);
         let (sites, lin) = enumerate_sites(inner, &g, &p.symbols);
-        let def = sites.iter().find(|s| s.is_def).unwrap().sub.clone().unwrap();
-        let usx = sites.iter().find(|s| !s.is_def).unwrap().sub.clone().unwrap();
+        let def = sites
+            .iter()
+            .find(|s| s.is_def)
+            .unwrap()
+            .sub
+            .clone()
+            .unwrap();
+        let usx = sites
+            .iter()
+            .find(|s| !s.is_def)
+            .unwrap()
+            .sub
+            .clone()
+            .unwrap();
         // Linearized with symbolic stride S = X#dim1: def = S·i + (S + j),
         // use = S·i + j — distance 1, exactly the paper's N·i + (N+j) form.
         assert_eq!(constant_distance(&def, &usx), Some(1));
@@ -387,8 +395,20 @@ mod tests {
         let g = build_loop_graph(outer);
         let (sites, _) = enumerate_sites(outer, &g, &p.symbols);
         assert!(sites.iter().all(|s| s.in_summary));
-        let def = sites.iter().find(|s| s.is_def).unwrap().sub.clone().unwrap();
-        let usx = sites.iter().find(|s| !s.is_def).unwrap().sub.clone().unwrap();
+        let def = sites
+            .iter()
+            .find(|s| s.is_def)
+            .unwrap()
+            .sub
+            .clone()
+            .unwrap();
+        let usx = sites
+            .iter()
+            .find(|s| !s.is_def)
+            .unwrap()
+            .sub
+            .clone()
+            .unwrap();
         assert_eq!(constant_distance(&def, &usx), Some(2));
     }
 
@@ -407,8 +427,20 @@ mod tests {
         let outer = p.sole_loop().unwrap();
         let g = build_loop_graph(outer);
         let (sites, _) = enumerate_sites(outer, &g, &p.symbols);
-        let def = sites.iter().find(|s| s.is_def).unwrap().sub.clone().unwrap();
-        let usx = sites.iter().find(|s| !s.is_def).unwrap().sub.clone().unwrap();
+        let def = sites
+            .iter()
+            .find(|s| s.is_def)
+            .unwrap()
+            .sub
+            .clone()
+            .unwrap();
+        let usx = sites
+            .iter()
+            .find(|s| !s.is_def)
+            .unwrap()
+            .sub
+            .clone()
+            .unwrap();
         assert_eq!(constant_distance(&def, &usx), None);
     }
 
@@ -423,10 +455,7 @@ mod tests {
         let i = t.var("i");
         let x2 = t.array_with("X", 2, vec![Some(10), Some(4)]);
         let mut lin = Linearizer::new(&t);
-        let aref = ArrayRef::multi(
-            x2,
-            vec![Expr::Scalar(i), Expr::Const(2)],
-        );
+        let aref = ArrayRef::multi(x2, vec![Expr::Scalar(i), Expr::Const(2)]);
         let sub = lin.linearize(&aref, i).unwrap();
         // stride(dim 0) = extent(dim 1) = 4 → 4·i + 2.
         assert_eq!(sub, AffineSub::simple(4, 2));

@@ -137,10 +137,7 @@ mod tests {
 
     #[test]
     fn reaching_defs_tracks_only_defs() {
-        let (_, b) = build(
-            "do i = 1, 10 A[i+2] := A[i] + B[i]; end",
-            GK::REACHING_DEFS,
-        );
+        let (_, b) = build("do i = 1, 10 A[i+2] := A[i] + B[i]; end", GK::REACHING_DEFS);
         assert_eq!(b.spec.width(), 1);
         assert_eq!(b.spec.kills.len(), 1);
     }

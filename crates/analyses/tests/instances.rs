@@ -29,11 +29,7 @@ fn fig1_reuses_match_section_3_5() {
     let mut found = Vec::new();
     for r in &reuses {
         if r.gen_is_def {
-            found.push((
-                a.site_text(r.use_site),
-                a.site_text(r.gen_site),
-                r.distance,
-            ));
+            found.push((a.site_text(r.use_site), a.site_text(r.gen_site), r.distance));
         }
     }
     assert!(
@@ -109,9 +105,9 @@ fn conditional_kill_blocks_must_reuse() {
     // iteration (distance 1), because the conditional def may have
     // intervened.
     assert!(
-        !reuses.iter().any(|r| a.site_text(r.use_site) == "A[i - 1]"
-            && !r.gen_is_def
-            && r.distance == 1),
+        !reuses
+            .iter()
+            .any(|r| a.site_text(r.use_site) == "A[i - 1]" && !r.gen_is_def && r.distance == 1),
         "unsound reuse through a conditional kill: {reuses:?}"
     );
     // With the def unconditional, the reuse is *from the def* (distance 1).
@@ -242,12 +238,10 @@ fn dependence_kinds_and_distances() {
     // Flow: def A[i] → use A[i-3] at distance 3; def B[i] → use B[i-2] at 2.
     assert!(deps
         .iter()
-        .any(|d| d.kind == DepKind::Flow && d.distance == 3
-            && a.site_text(d.src_site) == "A[i]"));
+        .any(|d| d.kind == DepKind::Flow && d.distance == 3 && a.site_text(d.src_site) == "A[i]"));
     assert!(deps
         .iter()
-        .any(|d| d.kind == DepKind::Flow && d.distance == 2
-            && a.site_text(d.src_site) == "B[i]"));
+        .any(|d| d.kind == DepKind::Flow && d.distance == 2 && a.site_text(d.src_site) == "B[i]"));
     // No output dependences (each array has one def).
     assert!(!deps.iter().any(|d| d.kind == DepKind::Output));
 }
@@ -326,12 +320,25 @@ mod live_elements {
     use arrayflow_graph::build_loop_graph;
     use arrayflow_ir::parse_program;
 
-    fn live_instance(src: &str) -> (arrayflow_ir::Program, arrayflow_graph::LoopGraph, Vec<arrayflow_analyses::Site>, Instance) {
+    fn live_instance(
+        src: &str,
+    ) -> (
+        arrayflow_ir::Program,
+        arrayflow_graph::LoopGraph,
+        Vec<arrayflow_analyses::Site>,
+        Instance,
+    ) {
         let p = parse_program(src).unwrap();
         let l = p.sole_loop().unwrap().clone();
         let g = build_loop_graph(&l);
         let (sites, _) = enumerate_sites(&l, &g, &p.symbols);
-        let inst = Instance::run(&g, &sites, GK::LIVE_ELEMENTS, Direction::Backward, Mode::May);
+        let inst = Instance::run(
+            &g,
+            &sites,
+            GK::LIVE_ELEMENTS,
+            Direction::Backward,
+            Mode::May,
+        );
         (p, g, sites, inst)
     }
 

@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn banerjee_uses_the_bounds() {
         // i vs i' + 100 with UB = 50: ranges [1,50] and [101,150] — disjoint.
-        assert_eq!(banerjee_test(&s(1, 0), &s(1, 100), 50), Verdict::Independent);
+        assert_eq!(
+            banerjee_test(&s(1, 0), &s(1, 100), 50),
+            Verdict::Independent
+        );
         // With UB = 200 they overlap.
         assert_eq!(banerjee_test(&s(1, 0), &s(1, 100), 200), Verdict::MayDepend);
     }
@@ -136,14 +139,26 @@ mod tests {
         // i vs -i' + 5, UB = 10: LHS = i + i' ∈ [2, 20]; diff = 5 → overlap.
         assert_eq!(banerjee_test(&s(1, 0), &s(-1, 5), 10), Verdict::MayDepend);
         // diff = 40 is out of range.
-        assert_eq!(banerjee_test(&s(1, 0), &s(-1, 40), 10), Verdict::Independent);
+        assert_eq!(
+            banerjee_test(&s(1, 0), &s(-1, 40), 10),
+            Verdict::Independent
+        );
     }
 
     #[test]
     fn combined_is_the_conjunction() {
-        assert_eq!(combined_test(&s(2, 0), &s(2, 1), Some(1000)), Verdict::Independent);
-        assert_eq!(combined_test(&s(1, 0), &s(1, 100), Some(50)), Verdict::Independent);
-        assert_eq!(combined_test(&s(1, 0), &s(1, 2), Some(50)), Verdict::MayDepend);
+        assert_eq!(
+            combined_test(&s(2, 0), &s(2, 1), Some(1000)),
+            Verdict::Independent
+        );
+        assert_eq!(
+            combined_test(&s(1, 0), &s(1, 100), Some(50)),
+            Verdict::Independent
+        );
+        assert_eq!(
+            combined_test(&s(1, 0), &s(1, 2), Some(50)),
+            Verdict::MayDepend
+        );
         // Symbolic subscripts: always MayDepend.
         let sym = AffineSub {
             coef: arrayflow_ir::LinExpr::symbol(arrayflow_ir::VarId(99)),

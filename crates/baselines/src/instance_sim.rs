@@ -80,9 +80,7 @@ pub fn simulate_available(
                 if killer.node != node {
                     continue;
                 }
-                state.retain(|&(s, age)| {
-                    !may_kill(sites, graph, s, k_idx, age)
-                });
+                state.retain(|&(s, age)| !may_kill(sites, graph, s, k_idx, age));
             }
             // Gens.
             for (s_idx, site) in sites.iter().enumerate() {
@@ -238,9 +236,7 @@ pub fn reuses_from_state(
         for (k_idx, ksite) in sites.iter().enumerate() {
             if ksite.is_def && ksite.node == node {
                 state.retain(|&(s, age)| {
-                    !(age == 0
-                        && sites[s].node == node
-                        && may_post_kill(sites, graph, s, k_idx))
+                    !(age == 0 && sites[s].node == node && may_post_kill(sites, graph, s, k_idx))
                 });
             }
         }

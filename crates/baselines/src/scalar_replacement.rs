@@ -99,10 +99,7 @@ fn under_condition(analysis: &LoopAnalysis, site: usize) -> bool {
     // the structured bodies the builder produces.
     let g = &analysis.graph;
     for t in g.node_ids() {
-        if matches!(
-            g.node(t).kind,
-            arrayflow_graph::NodeKind::Test { .. }
-        ) {
+        if matches!(g.node(t).kind, arrayflow_graph::NodeKind::Test { .. }) {
             // `node` is inside the conditional region of `t` iff t precedes
             // node and node does not post-dominate t — approximated as: some
             // successor of t reaches exit without reaching node.
@@ -176,9 +173,7 @@ pub fn framework_distance(analysis: &LoopAnalysis, gen_site: usize, use_site: us
         .find(|&(_, s)| s == gen_site)
         .map(|(id, _)| id);
     match gen {
-        Some(id) => analysis
-            .available
-            .before(analysis.sites[use_site].node, id),
+        Some(id) => analysis.available.before(analysis.sites[use_site].node, id),
         None => Dist::Bottom,
     }
 }

@@ -93,8 +93,7 @@ fn instance_simulation_agrees_but_needs_startup_iterations() {
         .into_iter()
         .map(|r| (r.gen_site, r.use_site, r.distance))
         .collect();
-    let sim_set: std::collections::BTreeSet<(usize, usize, u64)> =
-        sim_reuses.into_iter().collect();
+    let sim_set: std::collections::BTreeSet<(usize, usize, u64)> = sim_reuses.into_iter().collect();
     assert_eq!(fw, sim_set);
 }
 

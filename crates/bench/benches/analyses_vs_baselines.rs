@@ -2,42 +2,36 @@
 //! explicit instance propagation (Rau-style), whose iteration count grows
 //! with the reuse distance; and versus the dependence-test baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use arrayflow_analyses::analyze_loop;
 use arrayflow_baselines::{dependence_based_reuses, simulate_available};
+use arrayflow_bench::{bench, report};
 use arrayflow_workloads::{pair_sum, random_loop, LoopShape};
 
-fn bench_framework_vs_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("framework_vs_instance_sim");
-    group.sample_size(10);
+fn bench_framework_vs_simulation() {
+    let mut rows = Vec::new();
     for d in [2i64, 8, 32] {
         let p = pair_sum(200, d);
         let a = analyze_loop(&p).unwrap();
-        group.bench_with_input(BenchmarkId::new("framework", d), &p, |b, p| {
-            b.iter(|| arrayflow_analyses::analyze_loop(std::hint::black_box(p)).unwrap())
-        });
-        group.bench_with_input(
-            BenchmarkId::new("instance_sim", d),
-            &(a.graph.clone(), a.sites.clone()),
-            |b, (graph, sites)| {
-                b.iter(|| {
-                    simulate_available(
-                        std::hint::black_box(graph),
-                        std::hint::black_box(sites),
-                        64,
-                        500,
-                    )
-                })
-            },
-        );
+        rows.push(bench(&format!("framework/{d}"), || {
+            black_box(analyze_loop(black_box(&p)).unwrap());
+        }));
+        let (graph, sites) = (a.graph.clone(), a.sites.clone());
+        rows.push(bench(&format!("instance_sim/{d}"), || {
+            black_box(simulate_available(
+                black_box(&graph),
+                black_box(&sites),
+                64,
+                500,
+            ));
+        }));
     }
-    group.finish();
+    report("framework_vs_instance_sim", &rows);
 }
 
-fn bench_reuse_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reuse_detection");
-    group.sample_size(10);
+fn bench_reuse_detection() {
+    let mut rows = Vec::new();
     let p = random_loop(
         &LoopShape {
             stmts: 40,
@@ -48,14 +42,16 @@ fn bench_reuse_detection(c: &mut Criterion) {
         11,
     );
     let a = analyze_loop(&p).unwrap();
-    group.bench_function("framework_reuse_pairs", |b| {
-        b.iter(|| std::hint::black_box(&a).reuse_pairs())
-    });
-    group.bench_function("dependence_based", |b| {
-        b.iter(|| dependence_based_reuses(std::hint::black_box(&a)))
-    });
-    group.finish();
+    rows.push(bench("framework_reuse_pairs", || {
+        black_box(black_box(&a).reuse_pairs());
+    }));
+    rows.push(bench("dependence_based", || {
+        black_box(dependence_based_reuses(black_box(&a)));
+    }));
+    report("reuse_detection", &rows);
 }
 
-criterion_group!(benches, bench_framework_vs_simulation, bench_reuse_detection);
-criterion_main!(benches);
+fn main() {
+    bench_framework_vs_simulation();
+    bench_reuse_detection();
+}

@@ -3,9 +3,10 @@
 //! the simulated execution of conventional versus pipelined code (the
 //! machine-level effect behind the E4 table).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use arrayflow_analyses::analyze_loop;
+use arrayflow_bench::{bench, report};
 use arrayflow_machine::{compile, compile_with, Machine};
 use arrayflow_opt::{
     allocate, controlled_unroll, eliminate_redundant_loads, eliminate_redundant_stores,
@@ -13,67 +14,63 @@ use arrayflow_opt::{
 };
 use arrayflow_workloads::{clipped_wavefront, fig5, fig6, fig7, smooth3};
 
-fn bench_planning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("planning");
-    group.sample_size(10);
+fn bench_planning() {
+    let mut rows = Vec::new();
     for (name, p) in [
         ("fig5", fig5(1000)),
         ("smooth3", smooth3(1000)),
         ("clipped_wavefront", clipped_wavefront(1000)),
     ] {
         let analysis = analyze_loop(&p).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("pipeline_allocate", name),
-            &analysis,
-            |b, a| b.iter(|| allocate(std::hint::black_box(a), &PipelineConfig::default())),
-        );
-        group.bench_with_input(BenchmarkId::new("load_elim", name), &p, |b, p| {
-            b.iter(|| eliminate_redundant_loads(std::hint::black_box(p)).unwrap())
-        });
+        rows.push(bench(&format!("pipeline_allocate/{name}"), || {
+            black_box(allocate(black_box(&analysis), &PipelineConfig::default()));
+        }));
+        rows.push(bench(&format!("load_elim/{name}"), || {
+            black_box(eliminate_redundant_loads(black_box(&p)).unwrap());
+        }));
     }
-    group.bench_function("store_elim/fig6", |b| {
+    {
         let p = fig6(1000);
-        b.iter(|| eliminate_redundant_stores(std::hint::black_box(&p)).unwrap())
-    });
-    group.bench_function("controlled_unroll/fig7", |b| {
+        rows.push(bench("store_elim/fig6", || {
+            black_box(eliminate_redundant_stores(black_box(&p)).unwrap());
+        }));
+    }
+    {
         let p = fig7(1000);
-        b.iter(|| controlled_unroll(std::hint::black_box(&p), &UnrollConfig::default()).unwrap())
-    });
-    group.finish();
+        rows.push(bench("controlled_unroll/fig7", || {
+            black_box(controlled_unroll(black_box(&p), &UnrollConfig::default()).unwrap());
+        }));
+    }
+    report("planning", &rows);
 }
 
-fn bench_simulated_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated_execution");
-    group.sample_size(10);
+fn bench_simulated_execution() {
+    let mut rows = Vec::new();
     for (name, p) in [("fig5", fig5(1000)), ("smooth3", smooth3(1000))] {
         let analysis = analyze_loop(&p).unwrap();
         let alloc = allocate(&analysis, &PipelineConfig::default());
         let conv = compile(&p).unwrap();
         let pipe = compile_with(&p, &alloc.plan).unwrap();
         for (variant, compiled) in [("conventional", conv), ("pipelined", pipe)] {
-            group.bench_with_input(
-                BenchmarkId::new(variant, name),
-                &compiled,
-                |b, compiled| {
-                    b.iter(|| {
-                        let mut m = Machine::new();
-                        for a in p.symbols.array_ids() {
-                            for k in -8..1100 {
-                                m.set_mem(a, k, k % 23);
-                            }
-                        }
-                        for v in p.symbols.var_ids() {
-                            m.set_reg(compiled.scalar_regs[&v], 2);
-                        }
-                        m.run(&compiled.code).unwrap();
-                        m.stats
-                    })
-                },
-            );
+            rows.push(bench(&format!("{variant}/{name}"), || {
+                let mut m = Machine::new();
+                for a in p.symbols.array_ids() {
+                    for k in -8..1100 {
+                        m.set_mem(a, k, k % 23);
+                    }
+                }
+                for v in p.symbols.var_ids() {
+                    m.set_reg(compiled.scalar_regs[&v], 2);
+                }
+                m.run(&compiled.code).unwrap();
+                black_box(m.stats);
+            }));
         }
     }
-    group.finish();
+    report("simulated_execution", &rows);
 }
 
-criterion_group!(benches, bench_planning, bench_simulated_execution);
-criterion_main!(benches);
+fn main() {
+    bench_planning();
+    bench_simulated_execution();
+}

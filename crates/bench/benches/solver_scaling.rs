@@ -3,16 +3,16 @@
 //! The paper's claim is linear work — 3·N node visits for must-problems —
 //! and these benches show the wall-clock consequence.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use arrayflow_analyses::{build_spec, enumerate_sites, GK};
+use arrayflow_bench::{bench, report};
 use arrayflow_core::{solve, solve_bounded, Direction, Mode};
 use arrayflow_graph::build_loop_graph;
 use arrayflow_workloads::{random_loop, LoopShape};
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
-    group.sample_size(10);
+fn bench_solver() {
+    let mut rows = Vec::new();
     for stmts in [8usize, 32, 128, 512] {
         let p = random_loop(
             &LoopShape {
@@ -27,33 +27,30 @@ fn bench_solver(c: &mut Criterion) {
         let graph = build_loop_graph(&l);
         let (sites, _) = enumerate_sites(&l, &graph, &p.symbols);
 
-        for (name, gk, dir, mode) in [
+        #[rustfmt::skip]
+        let cases = [
             ("must_reaching", GK::REACHING_DEFS, Direction::Forward, Mode::Must),
             ("available", GK::AVAILABLE, Direction::Forward, Mode::Must),
             ("busy_bwd", GK::BUSY_STORES, Direction::Backward, Mode::Must),
             ("reaching_may", GK::REACHING_REFS, Direction::Forward, Mode::May),
-        ] {
+        ];
+        for (name, gk, dir, mode) in cases {
             let built = build_spec(&sites, gk, dir, mode);
-            group.bench_with_input(
-                BenchmarkId::new(name, stmts),
-                &built.spec,
-                |b, spec| b.iter(|| solve(&graph, std::hint::black_box(spec))),
-            );
+            rows.push(bench(&format!("{name}/{stmts}"), || {
+                black_box(solve(&graph, black_box(&built.spec)));
+            }));
         }
         // The paper-exact schedule (no convergence check) vs run-to-fixpoint.
         let built = build_spec(&sites, GK::AVAILABLE, Direction::Forward, Mode::Must);
-        group.bench_with_input(
-            BenchmarkId::new("available_bounded", stmts),
-            &built.spec,
-            |b, spec| b.iter(|| solve_bounded(&graph, std::hint::black_box(spec))),
-        );
+        rows.push(bench(&format!("available_bounded/{stmts}"), || {
+            black_box(solve_bounded(&graph, black_box(&built.spec)));
+        }));
     }
-    group.finish();
+    report("solver", &rows);
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analyze_loop_end_to_end");
-    group.sample_size(10);
+fn bench_end_to_end() {
+    let mut rows = Vec::new();
     for stmts in [8usize, 32, 128] {
         let p = random_loop(
             &LoopShape {
@@ -64,12 +61,14 @@ fn bench_end_to_end(c: &mut Criterion) {
             },
             7,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(stmts), &p, |b, p| {
-            b.iter(|| arrayflow_analyses::analyze_loop(std::hint::black_box(p)).unwrap())
-        });
+        rows.push(bench(&format!("analyze_loop/{stmts}"), || {
+            black_box(arrayflow_analyses::analyze_loop(black_box(&p)).unwrap());
+        }));
     }
-    group.finish();
+    report("analyze_loop_end_to_end", &rows);
 }
 
-criterion_group!(benches, bench_solver, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    bench_solver();
+    bench_end_to_end();
+}

@@ -9,7 +9,9 @@ use arrayflow_analyses::{analyze_loop, analyze_nest, report};
 use arrayflow_baselines::{compare_reuses, reuses_from_state, simulate_available};
 use arrayflow_ir::interp::run_with;
 use arrayflow_ir::{Env, Program};
-use arrayflow_machine::{compile, compile_with, compile_with_style, CostModel, Machine, PipelineStyle};
+use arrayflow_machine::{
+    compile, compile_with, compile_with_style, CostModel, Machine, PipelineStyle,
+};
 use arrayflow_opt::{
     allocate, dep_graph, eliminate_redundant_loads, eliminate_redundant_stores, unroll,
     PipelineConfig,
@@ -62,14 +64,20 @@ fn banner(tag: &str, what: &str) {
 
 /// E1 — Table 1: must-reaching definitions on the Fig. 1 loop, per pass.
 fn e1() {
-    banner("E1", "Table 1 — must-reaching definitions on Fig. 1 (per pass)");
+    banner(
+        "E1",
+        "Table 1 — must-reaching definitions on Fig. 1 (per pass)",
+    );
     println!("{}", report::render_table1(&fig1(None)).unwrap());
 }
 
 /// E2 — Fig. 2 lattice behaviour: solver effort per instance on Fig. 1,
 /// plus the 3·N scaling law across loop sizes.
 fn e2() {
-    banner("E2", "lattice/solver behaviour on Fig. 1 (paper bounds: 3N must / 2N may)");
+    banner(
+        "E2",
+        "lattice/solver behaviour on Fig. 1 (paper bounds: 3N must / 2N may)",
+    );
     let a = analyze_loop(&fig1(None)).unwrap();
     for (name, inst) in [
         ("must-reaching ", &a.reaching),
@@ -79,9 +87,14 @@ fn e2() {
     ] {
         println!("{name} {}", report::render_stats(inst, &a.graph));
     }
-    println!("
-scaling (δ-available on random loops): visits to fix vs 3·N");
-    println!("{:<8} {:>6} {:>14} {:>8}", "stmts", "N", "visits_to_fix", "3·N");
+    println!(
+        "
+scaling (δ-available on random loops): visits to fix vs 3·N"
+    );
+    println!(
+        "{:<8} {:>6} {:>14} {:>8}",
+        "stmts", "N", "visits_to_fix", "3·N"
+    );
     for stmts in [8usize, 32, 128, 512] {
         let p = random_loop(
             &LoopShape {
@@ -106,7 +119,10 @@ scaling (δ-available on random loops): visits to fix vs 3·N");
 
 /// E3 — Fig. 4: multi-dimensional recurrences via linearization.
 fn e3() {
-    banner("E3", "Fig. 4 — recurrences in a loop nest (linearized subscripts)");
+    banner(
+        "E3",
+        "Fig. 4 — recurrences in a loop nest (linearized subscripts)",
+    );
     let p = fig4();
     for a in analyze_nest(&p).unwrap() {
         let iv = a.symbols.var_name(a.graph.iv).to_string();
@@ -140,7 +156,10 @@ fn e3() {
 
 /// E4 — Fig. 5: register pipelining measured on the simulator.
 fn e4() {
-    banner("E4", "Fig. 5 — register pipelining (loads/stores/moves/cycles per variant)");
+    banner(
+        "E4",
+        "Fig. 5 — register pipelining (loads/stores/moves/cycles per variant)",
+    );
     let cost = CostModel::default();
     println!(
         "{:<22} {:>9} {:>9} {:>9} {:>9} {:>10} {:>6}",
@@ -149,7 +168,10 @@ fn e4() {
     for (name, p) in [
         ("fig5/conventional", fig5(1000)),
         ("smooth3", arrayflow_workloads::smooth3(1000)),
-        ("clipped_wavefront", arrayflow_workloads::clipped_wavefront(1000)),
+        (
+            "clipped_wavefront",
+            arrayflow_workloads::clipped_wavefront(1000),
+        ),
     ] {
         let analysis = analyze_loop(&p).unwrap();
         let alloc = allocate(&analysis, &PipelineConfig::default());
@@ -175,7 +197,11 @@ fn e4() {
                 m.stats.moves,
                 m.stats.alu,
                 m.stats.cycles(&cost),
-                if variant == "conv" { 0 } else { alloc.registers_used },
+                if variant == "conv" {
+                    0
+                } else {
+                    alloc.registers_used
+                },
             );
         }
     }
@@ -198,7 +224,10 @@ fn measure_ir(p: &Program) -> (u64, u64) {
 
 /// E5 — Fig. 6: redundant store elimination.
 fn e5() {
-    banner("E5", "Fig. 6 — redundant store elimination (array writes before/after)");
+    banner(
+        "E5",
+        "Fig. 6 — redundant store elimination (array writes before/after)",
+    );
     let p = fig6(1000);
     let se = eliminate_redundant_stores(&p).unwrap();
     let (_, w0) = measure_ir(&p);
@@ -212,7 +241,10 @@ fn e5() {
 
 /// E6 — Fig. 7: redundant load elimination.
 fn e6() {
-    banner("E6", "Fig. 7 — redundant load elimination (array reads before/after)");
+    banner(
+        "E6",
+        "Fig. 7 — redundant load elimination (array reads before/after)",
+    );
     let p = fig7(1000);
     let le = eliminate_redundant_loads(&p).unwrap();
     let (r0, _) = measure_ir(&p);
@@ -243,8 +275,9 @@ fn e7() {
             .into_iter()
             .map(|r| (r.gen_site, r.use_site, r.distance))
             .collect();
-        let sim_reuses: std::collections::BTreeSet<_> =
-            reuses_from_state(&a.graph, &a.sites, &sim).into_iter().collect();
+        let sim_reuses: std::collections::BTreeSet<_> = reuses_from_state(&a.graph, &a.sites, &sim)
+            .into_iter()
+            .collect();
         println!(
             "{:<18} {:>6} {:>16} {:>12} {:>12} {:>10}",
             format!("pair_sum d={d}"),
@@ -321,7 +354,10 @@ fn e8() {
 /// pipelined load reduction, redundancy elimination and the unrolling
 /// decision, per kernel.
 fn e10() {
-    banner("E10", "kernel suite — end-to-end optimization summary (UB = 1000)");
+    banner(
+        "E10",
+        "kernel suite — end-to-end optimization summary (UB = 1000)",
+    );
     println!(
         "{:<20} {:>7} {:>11} {:>11} {:>9} {:>9} {:>7}",
         "kernel", "reuses", "loads conv", "loads pipe", "st.elim", "ld.elim", "unroll"
@@ -329,7 +365,9 @@ fn e10() {
     for (name, p) in arrayflow_workloads::livermore_kernels(1000) {
         let mut p = p;
         arrayflow_ir::normalize(&mut p);
-        let Ok(analysis) = analyze_loop(&p) else { continue };
+        let Ok(analysis) = analyze_loop(&p) else {
+            continue;
+        };
         let reuses = analysis.reuse_pairs().len();
         let alloc = allocate(&analysis, &PipelineConfig::default());
         let conv = compile(&p).unwrap();
@@ -351,12 +389,10 @@ fn e10() {
         let s_pipe = run(&pipe);
         let se = eliminate_redundant_stores(&p).unwrap();
         let le = eliminate_redundant_loads(&p).unwrap();
-        let unroll_decision = arrayflow_opt::controlled_unroll(
-            &p,
-            &arrayflow_opt::UnrollConfig::default(),
-        )
-        .map(|r| r.factor)
-        .unwrap_or(1);
+        let unroll_decision =
+            arrayflow_opt::controlled_unroll(&p, &arrayflow_opt::UnrollConfig::default())
+                .map(|r| r.factor)
+                .unwrap_or(1);
         println!(
             "{:<20} {:>7} {:>11} {:>11} {:>9} {:>9} {:>7}",
             name,

@@ -1,1 +1,104 @@
-//! (under construction)
+#![warn(missing_docs)]
+//! Benchmark harness support.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! benches do not use criterion; this module provides the small timing
+//! harness they share: warmup, adaptive iteration count, and median-of-runs
+//! reporting. Each bench target is `harness = false` and prints one table.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label, e.g. `solver/available/128`.
+    pub name: String,
+    /// Iterations per timed run.
+    pub iters: u32,
+    /// Median wall-clock per iteration.
+    pub per_iter: Duration,
+}
+
+impl Measurement {
+    /// Nanoseconds per iteration.
+    pub fn ns(&self) -> f64 {
+        self.per_iter.as_secs_f64() * 1e9
+    }
+}
+
+/// Times `f`, returning its result and the elapsed wall clock.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed(), r)
+}
+
+/// Measures `f` with warmup and median-of-5 runs, auto-scaling the
+/// iteration count so each timed run lasts at least ~20 ms.
+pub fn bench(name: &str, mut f: impl FnMut()) -> Measurement {
+    // Warmup + calibration: find an iteration count lasting >= 20 ms.
+    let mut iters: u32 = 1;
+    loop {
+        let (d, ()) = time(|| {
+            for _ in 0..iters {
+                f();
+            }
+        });
+        if d >= Duration::from_millis(20) || iters >= 1 << 20 {
+            break;
+        }
+        // Aim past the threshold with headroom.
+        let scale = (0.025 / d.as_secs_f64().max(1e-9)).ceil();
+        iters = iters.saturating_mul((scale as u32).clamp(2, 1024));
+    }
+    let mut runs: Vec<Duration> = (0..5)
+        .map(|_| {
+            let (d, ()) = time(|| {
+                for _ in 0..iters {
+                    f();
+                }
+            });
+            d
+        })
+        .collect();
+    runs.sort();
+    let median = runs[runs.len() / 2];
+    Measurement {
+        name: name.to_string(),
+        iters,
+        per_iter: median / iters,
+    }
+}
+
+/// Prints a measurement table with aligned columns.
+pub fn report(title: &str, rows: &[Measurement]) {
+    println!("\n== {title} ==");
+    let width = rows
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
+    for r in rows {
+        println!(
+            "{:<width$}  {:>12.1} ns/iter  ({} iters/run)",
+            r.name,
+            r.ns(),
+            r.iters,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let m = bench("spin", || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(m.ns() > 0.0);
+        assert!(m.iters >= 1);
+    }
+}

@@ -55,14 +55,8 @@ impl FlowTable {
                 let mut post = vec![Dist::Top; m];
                 if !increment {
                     for (d, gen) in spec.gens.iter().enumerate() {
-                        preserve[d] = node_preserve(
-                            gen,
-                            node,
-                            &spec.kills,
-                            graph,
-                            spec.direction,
-                            spec.mode,
-                        );
+                        preserve[d] =
+                            node_preserve(gen, node, &spec.kills, graph, spec.direction, spec.mode);
                         generate[d] = gen.node == node;
                         if generate[d] {
                             post[d] = crate::preserve::node_post_preserve(

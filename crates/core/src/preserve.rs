@@ -27,7 +27,12 @@ use crate::problem::{Direction, GenRef, KillKind, KillSite, Mode};
 
 /// The `pr(d, n)` predicate: 0 if `d` occurs in a node that precedes `n`
 /// in the direction of information flow, 1 otherwise (paper §3.1.2).
-pub fn pr(gen: &GenRef, kill_node: arrayflow_graph::NodeId, graph: &LoopGraph, direction: Direction) -> u64 {
+pub fn pr(
+    gen: &GenRef,
+    kill_node: arrayflow_graph::NodeId,
+    graph: &LoopGraph,
+    direction: Direction,
+) -> u64 {
     let before = match direction {
         Direction::Forward => graph.precedes(gen.node, kill_node),
         Direction::Backward => graph.precedes(kill_node, gen.node),
@@ -145,8 +150,7 @@ fn invariant_generator(
     match mode {
         Mode::May => Dist::Top, // never a definite per-distance kill
         Mode::Must => {
-            let (Some(a2), Some(d)) = (kill_sub.coef.as_constant(), (-diff).as_constant())
-            else {
+            let (Some(a2), Some(d)) = (kill_sub.coef.as_constant(), (-diff).as_constant()) else {
                 return Dist::Bottom;
             };
             if a2 != 0 && d % a2 == 0 {
@@ -239,7 +243,13 @@ fn must_constant(
         // i + k(i) ≤ UB ⟺ −(Dn + A)·i ≥ B − UB·Dn (only with a known UB)
         Direction::Backward => {
             if let Some(u) = ub {
-                add(-(dn + a), b - u as i128 * dn, &mut lo, &mut hi, &mut feasible);
+                add(
+                    -(dn + a),
+                    b - u as i128 * dn,
+                    &mut lo,
+                    &mut hi,
+                    &mut feasible,
+                );
             }
         }
     }
@@ -398,10 +408,8 @@ mod tests {
     /// respect to the kill site in the *second* statement — i.e. pr = 0.
     fn p_of(gen_sub: AffineSub, kill_sub: AffineSub, ub: Option<i64>, mode: Mode) -> Dist {
         let ub_txt = ub.map_or("UB".to_string(), |u| u.to_string());
-        let prog = parse_program(&format!(
-            "do i = 1, {ub_txt} X[i] := 0; X[i+1] := 0; end"
-        ))
-        .unwrap();
+        let prog =
+            parse_program(&format!("do i = 1, {ub_txt} X[i] := 0; X[i+1] := 0; end")).unwrap();
         let graph = build_loop_graph(prog.sole_loop().unwrap());
         // Nodes: 0 = entry, 1 = first assign, 2 = second assign, 3 = exit.
         let gen = GenRef {
@@ -429,21 +437,36 @@ mod tests {
     #[test]
     fn identical_references_kill_everything() {
         // d = X[i], d' = X[i] in a later node: k ≡ 0 = pr → ⊥.
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 0), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(1, 0),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Bottom);
     }
 
     #[test]
     fn paper_case_no_kill() {
         // d = X[i], d' = X[i+2]: k ≡ −2 < pr → ⊤ (the paper's example).
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 2), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(1, 2),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Top);
     }
 
     #[test]
     fn paper_case_constant_distance() {
         // d = X[i+2], d' = X[i]: k ≡ 2 → p = 1 (the f₃ component of Fig. 3).
-        let p = p_of(AffineSub::simple(1, 2), AffineSub::simple(1, 0), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 2),
+            AffineSub::simple(1, 0),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Fin(1));
     }
 
@@ -451,14 +474,24 @@ mod tests {
     fn paper_case_fractional_slope() {
         // d = X[2i], d' = X[i]: k(i) = i/2; min above 0 is k(1) = ½ → p = 0
         // (the f₄ component of Fig. 3).
-        let p = p_of(AffineSub::simple(2, 0), AffineSub::simple(1, 0), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(2, 0),
+            AffineSub::simple(1, 0),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Fin(0));
     }
 
     #[test]
     fn decreasing_k_with_unknown_bound() {
         // d = X[i], d' = X[2i]: k(i) = −i < 0 everywhere → ⊤.
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(2, 0), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(2, 0),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Top);
     }
 
@@ -468,7 +501,12 @@ mod tests {
         // killer overwrites the *current* instance there, so nothing is
         // preserved (the ⌈min k > pr⌉ − 1 shortcut alone would unsoundly
         // report 1).
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(-1, 4), Some(10), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(-1, 4),
+            Some(10),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Bottom);
     }
 
@@ -476,7 +514,12 @@ mod tests {
     fn k_missing_pr_by_parity_uses_min_above() {
         // d = X[i], d' = X[5 − i]: k(i) = 2i − 5 is always odd, never 0;
         // smallest qualifying value is k(3) = 1 → p = 0.
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(-1, 5), Some(10), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(-1, 5),
+            Some(10),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Fin(0));
     }
 
@@ -486,16 +529,31 @@ mod tests {
         // kills at huge distances, but the "killed" instances would have
         // been generated before iteration 1 — the killer only ever writes
         // locations ≤ 20 while the generator writes ≥ 101. No kill: ⊤.
-        let p = p_of(AffineSub::simple(1, 100), AffineSub::simple(2, 0), Some(10), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 100),
+            AffineSub::simple(2, 0),
+            Some(10),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Top);
         // A genuine in-range kill: d = X[i], d' = X[2i−3], UB = 10:
         // k(i) = 3 − i hits distance 0 at i = 3 (the killer rewrites the
         // element the generator just wrote) → ⊥.
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(2, -3), Some(10), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(2, -3),
+            Some(10),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Bottom);
         // Clamp UB to 2: the distance-0 hit at i = 3 is outside the loop;
         // the only real kill is δ = 1 at i = 2 (source iteration 1) → p = 0.
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(2, -3), Some(2), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(2, -3),
+            Some(2),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Fin(0));
     }
 
@@ -503,7 +561,12 @@ mod tests {
     fn non_integer_constant_k_never_kills() {
         // d = X[2i+1], d' = X[2i]: k ≡ ((2−2)i + 1)/2 = ½ → no integer
         // distance ever matches → ⊤ (odd vs even locations).
-        let p = p_of(AffineSub::simple(2, 1), AffineSub::simple(2, 0), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(2, 1),
+            AffineSub::simple(2, 0),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Top);
     }
 
@@ -512,37 +575,87 @@ mod tests {
         // d = X[i], d' = X[i+3]: k ≡ … wait for may we need the killer to
         // overwrite *previous* instances: d = X[i+3], d' = X[i] gives
         // k ≡ 3 > pr → p = 2.
-        let p = p_of(AffineSub::simple(1, 3), AffineSub::simple(1, 0), None, Mode::May);
+        let p = p_of(
+            AffineSub::simple(1, 3),
+            AffineSub::simple(1, 0),
+            None,
+            Mode::May,
+        );
         assert_eq!(p, Dist::Fin(2));
         // Identical refs: definite kill of everything.
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 0), None, Mode::May);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(1, 0),
+            None,
+            Mode::May,
+        );
         assert_eq!(p, Dist::Bottom);
         // Different slopes: never definite → all preserved.
-        let p = p_of(AffineSub::simple(2, 0), AffineSub::simple(1, 0), None, Mode::May);
+        let p = p_of(
+            AffineSub::simple(2, 0),
+            AffineSub::simple(1, 0),
+            None,
+            Mode::May,
+        );
         assert_eq!(p, Dist::Top);
     }
 
     #[test]
     fn invariant_generator_cases() {
         // X[5] vs X[5]: same location every iteration → ⊥ (must & may).
-        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(0, 5), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(0, 5),
+            AffineSub::simple(0, 5),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Bottom);
-        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(0, 5), None, Mode::May);
+        let p = p_of(
+            AffineSub::simple(0, 5),
+            AffineSub::simple(0, 5),
+            None,
+            Mode::May,
+        );
         assert_eq!(p, Dist::Bottom);
         // X[5] vs X[7]: disjoint → ⊤.
-        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(0, 7), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(0, 5),
+            AffineSub::simple(0, 7),
+            None,
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Top);
         // X[5] vs X[i]: the sweep hits location 5 at i = 5 → ⊥ (must).
-        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(1, 0), Some(10), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(0, 5),
+            AffineSub::simple(1, 0),
+            Some(10),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Bottom);
         // X[5] vs X[i] with UB = 3: never reaches 5 → ⊤.
-        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(1, 0), Some(3), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(0, 5),
+            AffineSub::simple(1, 0),
+            Some(3),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Top);
         // X[5] vs X[2i]: 5 is odd → ⊤.
-        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(2, 0), Some(10), Mode::Must);
+        let p = p_of(
+            AffineSub::simple(0, 5),
+            AffineSub::simple(2, 0),
+            Some(10),
+            Mode::Must,
+        );
         assert_eq!(p, Dist::Top);
         // May-mode sweeping killer: never definite → ⊤.
-        let p = p_of(AffineSub::simple(0, 5), AffineSub::simple(1, 0), Some(10), Mode::May);
+        let p = p_of(
+            AffineSub::simple(0, 5),
+            AffineSub::simple(1, 0),
+            Some(10),
+            Mode::May,
+        );
         assert_eq!(p, Dist::Top);
     }
 
@@ -615,7 +728,12 @@ mod tests {
         // node 2: node 2 does NOT precede node 1 in backward flow
         // (backward order is 2 before 1 → precedes). So pr = 0 and k ≡ 1 >
         // 0 → p = 0.
-        let p = p_of(AffineSub::simple(1, 0), AffineSub::simple(1, 1), None, Mode::Must);
+        let p = p_of(
+            AffineSub::simple(1, 0),
+            AffineSub::simple(1, 1),
+            None,
+            Mode::Must,
+        );
         // forward control: gen in node 1, kill in node 2; backward flow
         // visits node 2 first, so the kill site *precedes* the generator.
         let prog = parse_program("do i = 1, 10 X[i] := 0; X[i+1] := 0; end").unwrap();

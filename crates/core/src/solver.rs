@@ -287,7 +287,13 @@ mod tests {
             (NodeId(4), c, AffineSub::simple(1, 0)),
             (NodeId(5), b, AffineSub::simple(1, 0)),
         ] {
-            spec.add_gen(node, ArrayRef::new(array, Expr::Const(0)), sub.clone(), true, None);
+            spec.add_gen(
+                node,
+                ArrayRef::new(array, Expr::Const(0)),
+                sub.clone(),
+                true,
+                None,
+            );
             spec.add_kill(node, array, KillKind::Exact(sub));
         }
         (p, spec)
@@ -389,7 +395,13 @@ mod tests {
             (NodeId(4), c, AffineSub::simple(1, 0)),
             (NodeId(5), b, AffineSub::simple(1, 0)),
         ] {
-            spec.add_gen(node, ArrayRef::new(array, Expr::Const(0)), sub.clone(), true, None);
+            spec.add_gen(
+                node,
+                ArrayRef::new(array, Expr::Const(0)),
+                sub.clone(),
+                true,
+                None,
+            );
             spec.add_kill(node, array, KillKind::Exact(sub));
         }
         let graph = build_loop_graph(p.sole_loop().unwrap());

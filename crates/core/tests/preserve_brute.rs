@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Ground-truth validation of the preserve-constant derivation: for small
 //! integer subscript pairs, compare the closed-form `p` of
 //! `preserve_constant_with_pr` against a brute-force enumeration of every

@@ -1,0 +1,256 @@
+//! Sharded memoization cache for analysis reports.
+//!
+//! Keys are `(canonical fingerprint, problem selection)`; values are
+//! [`Arc<AnalysisReport>`]s, so a hit is one atomic increment away from
+//! free. The map is split into power-of-two shards, each behind its own
+//! `RwLock`, selected by the high bits of the (already uniformly
+//! distributed) fingerprint — readers on different shards never contend,
+//! and writers only lock 1/Nth of the table. Eviction is FIFO per shard
+//! with a configurable total capacity: analysis reports are small and
+//! uniform, so recency tracking buys little over insertion order for loop
+//! streams, and FIFO keeps the write path O(1).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use arrayflow_ir::Fingerprint;
+
+use crate::report::{AnalysisReport, ProblemSet};
+
+/// Full cache key: which loop (canonically) and which analysis of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical structural fingerprint of the loop.
+    pub fingerprint: Fingerprint,
+    /// Instances requested.
+    pub problems: ProblemSet,
+    /// Dependence-extraction distance bound (changes report contents).
+    pub dep_max_distance: u64,
+}
+
+/// Monotonic hit/miss/eviction counters, readable while the cache is in
+/// use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a report.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to respect capacity.
+    pub evictions: u64,
+    /// Successful inserts (idempotent re-inserts of the same key count).
+    pub inserts: u64,
+}
+
+impl CacheCounters {
+    /// Hits over total lookups, in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Arc<AnalysisReport>>,
+    // Insertion order for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+/// The sharded memo cache.
+pub struct MemoCache {
+    shards: Vec<RwLock<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl std::fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl MemoCache {
+    /// Creates a cache with `shards` shards (rounded up to a power of two,
+    /// minimum 1) holding at most `capacity` entries in total (0 means
+    /// unbounded).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shard_capacity = if capacity == 0 {
+            usize::MAX
+        } else {
+            capacity.div_ceil(n)
+        };
+        Self {
+            shards: (0..n)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        // The fingerprint is already a uniform hash; fold the halves and
+        // mask. Problem-set/distance variants of one loop land in the same
+        // shard, which is fine — they are distinct keys.
+        let fp = key.fingerprint.0;
+        ((fp ^ (fp >> 64)) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Looks up a report, bumping the hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<AnalysisReport>> {
+        let shard = self.shards[self.shard_of(key)].read().unwrap();
+        match shard.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a report, evicting the oldest entries of the shard if it is
+    /// full. Re-inserting an existing key (two workers racing on the same
+    /// loop) replaces the value — both values are byte-identical by
+    /// construction, so the race is benign.
+    pub fn insert(&self, key: CacheKey, value: Arc<AnalysisReport>) {
+        let mut shard = self.shards[self.shard_of(&key)].write().unwrap();
+        if shard.map.insert(key, value).is_none() {
+            shard.order.push_back(key);
+            while shard.map.len() > self.shard_capacity {
+                // Every key in `order` was inserted exactly once, so the
+                // front is always present in the map.
+                let victim = shard.order.pop_front().expect("order tracks map");
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current number of cached reports across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().map.len())
+            .sum()
+    }
+
+    /// True if no reports are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the monotonic counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u128) -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint(fp),
+            problems: ProblemSet::ALL,
+            dep_max_distance: 8,
+        }
+    }
+
+    fn dummy_report(fp: u128) -> Arc<AnalysisReport> {
+        Arc::new(AnalysisReport {
+            fingerprint: Fingerprint(fp),
+            problems: ProblemSet::ALL,
+            dep_max_distance: 8,
+            nodes: 0,
+            sites: 0,
+            reaching_stats: None,
+            available_stats: None,
+            busy_stats: None,
+            reaching_refs_stats: None,
+            reuses: Vec::new(),
+            redundant_stores: Vec::new(),
+            dependences: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let c = MemoCache::new(4, 64);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), dummy_report(1));
+        assert!(c.get(&key(1)).is_some());
+        let s = c.counters();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn distinct_problem_sets_are_distinct_keys() {
+        let c = MemoCache::new(1, 64);
+        c.insert(key(7), dummy_report(7));
+        let other = CacheKey {
+            problems: ProblemSet {
+                reaching: true,
+                available: false,
+                busy: false,
+                reaching_refs: false,
+            },
+            ..key(7)
+        };
+        assert!(c.get(&other).is_none());
+    }
+
+    #[test]
+    fn eviction_respects_capacity_fifo() {
+        let c = MemoCache::new(1, 2);
+        for fp in 0..5u128 {
+            c.insert(key(fp), dummy_report(fp));
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().evictions, 3);
+        // Oldest gone, newest present.
+        assert!(c.get(&key(0)).is_none());
+        assert!(c.get(&key(4)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let c = MemoCache::new(2, 0);
+        for fp in 0..100u128 {
+            c.insert(key(fp), dummy_report(fp));
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.counters().evictions, 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The batch engine: configuration, worker pool, per-query and global
+//! statistics.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use arrayflow_analyses::loops_innermost_first;
+use arrayflow_ir::{fingerprint_loop, Fingerprint, Program};
+
+use crate::cache::{CacheCounters, CacheKey, MemoCache};
+use crate::report::{AnalysisReport, ProblemSet};
+
+/// Engine construction parameters. `Default` is a sensible production
+/// setup: one worker per hardware thread, 16 cache shards, 64k cached
+/// reports.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for [`Engine::analyze_batch`]. `0` means one per
+    /// available hardware thread.
+    pub workers: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Total cached reports across shards; `0` disables eviction.
+    pub cache_capacity: usize,
+    /// Which framework instances each query runs.
+    pub problems: ProblemSet,
+    /// Distance bound for dependence extraction (part of the cache key).
+    pub dep_max_distance: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            cache_shards: 16,
+            cache_capacity: 65_536,
+            problems: ProblemSet::ALL,
+            dep_max_distance: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The worker count actually used (resolving `0`).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One analyzed loop of a batch entry: its canonical fingerprint and the
+/// (possibly shared) report.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// Canonical fingerprint — the cache identity of this loop.
+    pub fingerprint: Fingerprint,
+    /// The analysis. `Arc`-shared with every other loop of the same
+    /// fingerprint in the batch.
+    pub report: Arc<AnalysisReport>,
+}
+
+/// Per-query effort counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Loops answered from the memo cache.
+    pub cache_hits: u64,
+    /// Loops that had to be solved.
+    pub cache_misses: u64,
+    /// Solver iteration passes actually executed (misses only).
+    pub solver_passes: u64,
+    /// Solver node visits actually executed (misses only).
+    pub node_visits: u64,
+    /// Wall-clock of this query, in microseconds.
+    pub micros: u64,
+}
+
+/// The result of analyzing one program of a batch. Results come back in
+/// input order regardless of worker scheduling.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Index of the program in the input slice.
+    pub index: usize,
+    /// One report per loop of the (normalized) program, innermost first —
+    /// the same order as [`arrayflow_analyses::analyze_nest`].
+    pub loops: Vec<LoopReport>,
+    /// First analysis error encountered, if any (loops after the failing
+    /// one are still attempted).
+    pub error: Option<String>,
+    /// Effort counters for this program.
+    pub stats: QueryStats,
+}
+
+/// Aggregate engine statistics since construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Programs analyzed.
+    pub programs: u64,
+    /// Loops encountered (cache hits + misses).
+    pub loops: u64,
+    /// Cache counters (hits, misses, evictions, inserts).
+    pub cache: CacheCounters,
+    /// Solver iteration passes executed.
+    pub solver_passes: u64,
+    /// Solver node visits executed.
+    pub node_visits: u64,
+    /// Total busy wall-clock across workers, in microseconds.
+    pub busy_micros: u64,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+/// A concurrent, memoizing batch analysis engine over the array data flow
+/// framework.
+///
+/// The engine owns a sharded cache keyed by canonical loop fingerprint
+/// (see [`arrayflow_ir::canon`]) and problem selection. A batch of
+/// programs is fanned out across a `std::thread` worker pool; within each
+/// program, loops are analyzed innermost first, so by the time an
+/// enclosing loop (whose flow graph summarizes its inner loops) is
+/// solved, the inner loops' reports are already cached for the next
+/// structurally identical nest in the stream.
+///
+/// ```
+/// use arrayflow_engine::{Engine, EngineConfig};
+///
+/// let engine = Engine::new(EngineConfig { workers: 2, ..Default::default() });
+/// let programs: Vec<_> = (0..4)
+///     .map(|_| arrayflow_ir::parse_program(
+///         "do i = 1, 100 A[i+2] := A[i] + x; end").unwrap())
+///     .collect();
+/// let results = engine.analyze_batch(&programs);
+/// assert_eq!(results.len(), 4);
+/// assert_eq!(results[0].loops[0].report.reuses.len(), 1);
+/// // 4 structurally identical programs: 1 solve, 3 cache hits.
+/// assert_eq!(engine.stats().cache.hits, 3);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: MemoCache,
+    programs: AtomicU64,
+    loops: AtomicU64,
+    solver_passes: AtomicU64,
+    node_visits: AtomicU64,
+    busy_micros: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = MemoCache::new(config.cache_shards, config.cache_capacity);
+        Self {
+            config,
+            cache,
+            programs: AtomicU64::new(0),
+            loops: AtomicU64::new(0),
+            solver_passes: AtomicU64::new(0),
+            node_visits: AtomicU64::new(0),
+            busy_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Analyzes one program (normalizing a private copy first), answering
+    /// every loop from the cache when possible.
+    pub fn analyze_one(&self, index: usize, program: &Program) -> BatchResult {
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut error: Option<String> = None;
+
+        // Work on a private normalized copy: the framework requires
+        // `do i = 1, UB` step 1, and renumbered statements make StmtIds in
+        // reports deterministic.
+        let mut p = program.clone();
+        arrayflow_ir::normalize(&mut p);
+        p.renumber();
+
+        let mut loops = Vec::new();
+        for l in loops_innermost_first(&p) {
+            let fingerprint = fingerprint_loop(l, &p.symbols);
+            let key = CacheKey {
+                fingerprint,
+                problems: self.config.problems,
+                dep_max_distance: self.config.dep_max_distance,
+            };
+            let report = if let Some(hit) = self.cache.get(&key) {
+                stats.cache_hits += 1;
+                hit
+            } else {
+                stats.cache_misses += 1;
+                match AnalysisReport::of_loop(
+                    l,
+                    &p.symbols,
+                    self.config.problems,
+                    self.config.dep_max_distance,
+                ) {
+                    Ok(r) => {
+                        stats.solver_passes += r.solver_passes() as u64;
+                        stats.node_visits += r.node_visits() as u64;
+                        let r = Arc::new(r);
+                        self.cache.insert(key, Arc::clone(&r));
+                        r
+                    }
+                    Err(e) => {
+                        error.get_or_insert_with(|| e.to_string());
+                        continue;
+                    }
+                }
+            };
+            loops.push(LoopReport {
+                fingerprint,
+                report,
+            });
+        }
+
+        stats.micros = start.elapsed().as_micros() as u64;
+        self.programs.fetch_add(1, Ordering::Relaxed);
+        self.loops
+            .fetch_add(stats.cache_hits + stats.cache_misses, Ordering::Relaxed);
+        self.solver_passes
+            .fetch_add(stats.solver_passes, Ordering::Relaxed);
+        self.node_visits
+            .fetch_add(stats.node_visits, Ordering::Relaxed);
+        self.busy_micros.fetch_add(stats.micros, Ordering::Relaxed);
+
+        BatchResult {
+            index,
+            loops,
+            error,
+            stats,
+        }
+    }
+
+    /// Analyzes a batch of programs across the worker pool, returning
+    /// results in input order.
+    ///
+    /// Scheduling is work-stealing over a shared index: each worker claims
+    /// the next unanalyzed program. Reports are pure functions of loop
+    /// structure, so results are byte-identical for every worker count —
+    /// only throughput changes.
+    pub fn analyze_batch(&self, programs: &[Program]) -> Vec<BatchResult> {
+        let workers = self.config.effective_workers().min(programs.len().max(1));
+        if workers <= 1 {
+            return programs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| self.analyze_one(i, p))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<BatchResult>>> =
+            Mutex::new((0..programs.len()).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= programs.len() {
+                        break;
+                    }
+                    let r = self.analyze_one(i, &programs[i]);
+                    results.lock().unwrap()[i] = Some(r);
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every index was claimed by a worker"))
+            .collect()
+    }
+
+    /// Aggregate statistics since construction.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            programs: self.programs.load(Ordering::Relaxed),
+            loops: self.loops.load(Ordering::Relaxed),
+            cache: self.cache.counters(),
+            solver_passes: self.solver_passes.load(Ordering::Relaxed),
+            node_visits: self.node_visits.load(Ordering::Relaxed),
+            busy_micros: self.busy_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of reports currently cached.
+    pub fn cached_reports(&self) -> usize {
+        self.cache.len()
+    }
+}

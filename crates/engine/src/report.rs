@@ -1,0 +1,243 @@
+//! Cacheable, alpha-invariant analysis reports.
+//!
+//! A [`AnalysisReport`] is the *shareable* outcome of analyzing one loop:
+//! every fact in it is stated in structural terms — site indices in
+//! lexical order, tracked-reference indices, iteration distances, solver
+//! visit counts — and never in terms of variable or array *names*. That is
+//! what makes it sound to hand the same report to every loop with the same
+//! canonical fingerprint: alpha-equivalent loops produce byte-identical
+//! reports, so the memo cache can return one `Arc` for all of them.
+
+use std::fmt::Write as _;
+
+use arrayflow_analyses::{
+    dependences, redundant_stores, reuse_pairs, AnalyzeError, Dep, LoopAnalysis, RedundantStore,
+    Reuse,
+};
+use arrayflow_core::SolveStats;
+use arrayflow_ir::{Fingerprint, Loop, SymbolTable};
+
+/// Which framework instances a query runs (and therefore which report
+/// sections are filled). Part of the cache key: the same loop analyzed
+/// under different problem selections is a different memo entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProblemSet {
+    /// Must-reaching definitions (§3.5).
+    pub reaching: bool,
+    /// δ-available values (§4.1.1) and the reuse pairs derived from them.
+    pub available: bool,
+    /// δ-busy stores (§4.2.1) and the redundant stores derived from them.
+    pub busy: bool,
+    /// δ-reaching references (§4.3) and the dependences derived from them.
+    pub reaching_refs: bool,
+}
+
+impl ProblemSet {
+    /// All four canonical instances.
+    pub const ALL: ProblemSet = ProblemSet {
+        reaching: true,
+        available: true,
+        busy: true,
+        reaching_refs: true,
+    };
+
+    /// Compact encoding used in cache keys and renderings.
+    pub fn bits(self) -> u8 {
+        (self.reaching as u8)
+            | (self.available as u8) << 1
+            | (self.busy as u8) << 2
+            | (self.reaching_refs as u8) << 3
+    }
+}
+
+impl Default for ProblemSet {
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
+/// Solver-effort counters of one framework instance, copied out of
+/// [`SolveStats`] (alpha-invariant: visit counts depend only on graph
+/// shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Node visits in the initialization pass.
+    pub init_visits: usize,
+    /// Node visits across all iteration passes.
+    pub iter_visits: usize,
+    /// Iteration passes executed.
+    pub passes: usize,
+    /// Iteration passes that changed at least one value.
+    pub changing_passes: usize,
+}
+
+impl From<&SolveStats> for InstanceStats {
+    fn from(s: &SolveStats) -> Self {
+        Self {
+            init_visits: s.init_visits,
+            iter_visits: s.iter_visits,
+            passes: s.passes,
+            changing_passes: s.changing_passes,
+        }
+    }
+}
+
+impl InstanceStats {
+    /// Total node visits of this instance.
+    pub fn visits(&self) -> usize {
+        self.init_visits + self.iter_visits
+    }
+}
+
+/// The complete, cacheable analysis of one loop level.
+///
+/// Byte-identical across alpha-equivalent loops and across worker-thread
+/// schedules; compare with `==` or via [`AnalysisReport::render`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Canonical fingerprint of the analyzed loop.
+    pub fingerprint: Fingerprint,
+    /// Which instances were run.
+    pub problems: ProblemSet,
+    /// `max_distance` bound used for dependence extraction.
+    pub dep_max_distance: u64,
+    /// Flow graph size (nodes).
+    pub nodes: usize,
+    /// Number of classified reference sites.
+    pub sites: usize,
+    /// Solver counters per instance, in the fixed order (reaching,
+    /// available, busy, reaching_refs); `None` for instances not run.
+    pub reaching_stats: Option<InstanceStats>,
+    /// See [`AnalysisReport::reaching_stats`].
+    pub available_stats: Option<InstanceStats>,
+    /// See [`AnalysisReport::reaching_stats`].
+    pub busy_stats: Option<InstanceStats>,
+    /// See [`AnalysisReport::reaching_stats`].
+    pub reaching_refs_stats: Option<InstanceStats>,
+    /// Guaranteed constant-distance reuse pairs (requires `available`).
+    pub reuses: Vec<Reuse>,
+    /// δ-redundant stores (requires `busy`).
+    pub redundant_stores: Vec<RedundantStore>,
+    /// Potential dependences up to `dep_max_distance` (requires
+    /// `reaching_refs`).
+    pub dependences: Vec<Dep>,
+}
+
+impl AnalysisReport {
+    /// Analyzes one normalized loop and distills the cacheable report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalyzeError`] (e.g. the loop is not normalized).
+    pub fn of_loop(
+        l: &Loop,
+        symbols: &SymbolTable,
+        problems: ProblemSet,
+        dep_max_distance: u64,
+    ) -> Result<Self, AnalyzeError> {
+        let fingerprint = arrayflow_ir::fingerprint_loop(l, symbols);
+        // The full LoopAnalysis runs all four instances; distill only what
+        // was asked for. The solver is cheap (≤ 3 passes per instance), so
+        // a finer-grained lazy scheme is not worth the code.
+        let a = LoopAnalysis::of_loop(l, symbols)?;
+        let reuses = if problems.available {
+            reuse_pairs(&a.graph, &a.sites, &a.available)
+        } else {
+            Vec::new()
+        };
+        let stores = if problems.busy {
+            redundant_stores(&a.graph, &a.sites, &a.busy)
+        } else {
+            Vec::new()
+        };
+        let deps = if problems.reaching_refs {
+            dependences(&a.graph, &a.sites, &a.reaching_refs, dep_max_distance)
+        } else {
+            Vec::new()
+        };
+        Ok(Self {
+            fingerprint,
+            problems,
+            dep_max_distance,
+            nodes: a.graph.len(),
+            sites: a.sites.len(),
+            reaching_stats: problems.reaching.then(|| (&a.reaching.sol.stats).into()),
+            available_stats: problems.available.then(|| (&a.available.sol.stats).into()),
+            busy_stats: problems.busy.then(|| (&a.busy.sol.stats).into()),
+            reaching_refs_stats: problems
+                .reaching_refs
+                .then(|| (&a.reaching_refs.sol.stats).into()),
+            reuses,
+            redundant_stores: stores,
+            dependences: deps,
+        })
+    }
+
+    /// Instances actually run, with their counters.
+    pub fn instance_stats(&self) -> impl Iterator<Item = (&'static str, InstanceStats)> + '_ {
+        [
+            ("reaching", self.reaching_stats),
+            ("available", self.available_stats),
+            ("busy", self.busy_stats),
+            ("reaching_refs", self.reaching_refs_stats),
+        ]
+        .into_iter()
+        .filter_map(|(n, s)| s.map(|s| (n, s)))
+    }
+
+    /// Total solver node visits across the instances run.
+    pub fn node_visits(&self) -> usize {
+        self.instance_stats().map(|(_, s)| s.visits()).sum()
+    }
+
+    /// Total solver iteration passes across the instances run.
+    pub fn solver_passes(&self) -> usize {
+        self.instance_stats().map(|(_, s)| s.passes).sum()
+    }
+
+    /// Renders the report as stable, name-free text. Two reports render
+    /// identically iff they are equal — the determinism regression tests
+    /// compare these bytes across thread counts and against the sequential
+    /// driver.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loop fp={} problems={:#06b} maxdist={} nodes={} sites={}",
+            self.fingerprint,
+            self.problems.bits(),
+            self.dep_max_distance,
+            self.nodes,
+            self.sites
+        );
+        for (name, s) in self.instance_stats() {
+            let _ = writeln!(
+                out,
+                "  solve {name}: init={} iter={} passes={} changing={}",
+                s.init_visits, s.iter_visits, s.passes, s.changing_passes
+            );
+        }
+        for r in &self.reuses {
+            let _ = writeln!(
+                out,
+                "  reuse use_site={} gen_site={} dist={} gen_is_def={}",
+                r.use_site, r.gen_site, r.distance, r.gen_is_def
+            );
+        }
+        for s in &self.redundant_stores {
+            let _ = writeln!(
+                out,
+                "  redundant_store site={} killer={} dist={}",
+                s.store_site, s.killer_site, s.distance
+            );
+        }
+        for d in &self.dependences {
+            let _ = writeln!(
+                out,
+                "  dep {:?} src={} dst={} dist={}",
+                d.kind, d.src_site, d.dst_site, d.distance
+            );
+        }
+        out
+    }
+}

@@ -141,11 +141,7 @@ impl LoopGraph {
             }
         }
         postorder.reverse();
-        assert_eq!(
-            postorder.len(),
-            n,
-            "all nodes must be reachable from entry"
-        );
+        assert_eq!(postorder.len(), n, "all nodes must be reachable from entry");
         postorder
     }
 

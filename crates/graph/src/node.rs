@@ -1,7 +1,7 @@
 //! Graph nodes.
 
-use arrayflow_ir::{ArrayRef, Cond, Loop, Stmt, VarId};
 use arrayflow_ir::stmt::StmtId;
+use arrayflow_ir::{ArrayRef, Cond, Loop, Stmt, VarId};
 
 /// Index of a node within its [`crate::LoopGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

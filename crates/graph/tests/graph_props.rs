@@ -53,7 +53,10 @@ fn rpo_is_a_topological_order() {
         for (k, &n) in g.rpo().iter().enumerate() {
             pos[n.index()] = k;
         }
-        assert!(pos.iter().all(|&p| p != usize::MAX), "{src}: rpo covers all");
+        assert!(
+            pos.iter().all(|&p| p != usize::MAX),
+            "{src}: rpo covers all"
+        );
         for n in g.node_ids() {
             for &s in g.succs(n) {
                 assert!(

@@ -93,10 +93,7 @@ impl AffineSub {
                         if !a.coef.is_zero() && !b.coef.is_zero() {
                             return None;
                         }
-                        let coef = lin_add(
-                            lin_mul(&a.coef, &b.rest)?,
-                            lin_mul(&a.rest, &b.coef)?,
-                        );
+                        let coef = lin_add(lin_mul(&a.coef, &b.rest)?, lin_mul(&a.rest, &b.coef)?);
                         let rest = lin_mul(&a.rest, &b.rest)?;
                         Some(AffineSub { coef, rest })
                     }
@@ -209,20 +206,14 @@ mod tests {
     fn plain_forms() {
         assert_eq!(parse(&Expr::Const(7)), Some(AffineSub::simple(0, 7)));
         assert_eq!(parse(&Expr::Scalar(I)), Some(AffineSub::simple(1, 0)));
-        let e = Expr::add(
-            Expr::mul(Expr::Const(2), Expr::Scalar(I)),
-            Expr::Const(-3),
-        );
+        let e = Expr::add(Expr::mul(Expr::Const(2), Expr::Scalar(I)), Expr::Const(-3));
         assert_eq!(parse(&e), Some(AffineSub::simple(2, -3)));
     }
 
     #[test]
     fn symbolic_offset() {
         // i + N + 1
-        let e = Expr::add(
-            Expr::Scalar(I),
-            Expr::add(Expr::Scalar(N), Expr::Const(1)),
-        );
+        let e = Expr::add(Expr::Scalar(I), Expr::add(Expr::Scalar(N), Expr::Const(1)));
         let a = parse(&e).unwrap();
         assert_eq!(a.coef.as_constant(), Some(1));
         assert_eq!(a.rest.coeff(N), 1);
@@ -232,10 +223,7 @@ mod tests {
     #[test]
     fn symbolic_coefficient() {
         // N*i + j  (linearized 2-D subscript)
-        let e = Expr::add(
-            Expr::mul(Expr::Scalar(N), Expr::Scalar(I)),
-            Expr::Scalar(J),
-        );
+        let e = Expr::add(Expr::mul(Expr::Scalar(N), Expr::Scalar(I)), Expr::Scalar(J));
         let a = parse(&e).unwrap();
         assert!(a.coef.as_constant().is_none());
         assert_eq!(a.coef.coeff(N), 1);

@@ -100,10 +100,7 @@ impl LoopBuilder {
             1 if b == 0 => Expr::Scalar(iv),
             1 => Expr::add(Expr::Scalar(iv), Expr::Const(b)),
             _ if b == 0 => Expr::mul(Expr::Const(a), Expr::Scalar(iv)),
-            _ => Expr::add(
-                Expr::mul(Expr::Const(a), Expr::Scalar(iv)),
-                Expr::Const(b),
-            ),
+            _ => Expr::add(Expr::mul(Expr::Const(a), Expr::Scalar(iv)), Expr::Const(b)),
         };
         ArrayRef::new(id, base)
     }

@@ -254,10 +254,7 @@ impl Env {
 /// # Errors
 ///
 /// Propagates any [`InterpError`] raised during execution.
-pub fn run_with(
-    program: &Program,
-    setup: impl FnOnce(&mut Env),
-) -> Result<Env, InterpError> {
+pub fn run_with(program: &Program, setup: impl FnOnce(&mut Env)) -> Result<Env, InterpError> {
     let mut env = Env::new();
     setup(&mut env);
     env.run(program)?;
@@ -329,7 +326,10 @@ mod tests {
     #[test]
     fn division_by_zero_is_reported() {
         let p = parse_program("do i = 1, 3 A[i] := i / (i - 2); end").unwrap();
-        assert_eq!(run_with(&p, |_| {}).unwrap_err(), InterpError::DivisionByZero);
+        assert_eq!(
+            run_with(&p, |_| {}).unwrap_err(),
+            InterpError::DivisionByZero
+        );
     }
 
     #[test]

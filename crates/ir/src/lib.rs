@@ -37,6 +37,7 @@
 
 pub mod affine;
 pub mod builder;
+pub mod canon;
 pub mod expr;
 pub mod indvars;
 pub mod interp;
@@ -50,6 +51,7 @@ pub mod visit;
 
 pub use affine::AffineSub;
 pub use builder::LoopBuilder;
+pub use canon::{fingerprint_loop, fingerprint_program, Fingerprint};
 pub use expr::{BinOp, Cond, Expr, RelOp};
 pub use indvars::{remove_induction_variables, IndVarRemoval};
 pub use interp::{Env, InterpError};

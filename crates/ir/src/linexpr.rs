@@ -99,7 +99,9 @@ impl LinExpr {
             .checked_mul(k)
             .expect("linear expression coefficient overflow");
         for c in out.terms.values_mut() {
-            *c = c.checked_mul(k).expect("linear expression coefficient overflow");
+            *c = c
+                .checked_mul(k)
+                .expect("linear expression coefficient overflow");
         }
         out
     }
@@ -207,7 +209,9 @@ impl Add for LinExpr {
             .expect("linear expression constant overflow");
         for (s, c) in rhs.terms {
             let e = out.terms.entry(s).or_insert(0);
-            *e = e.checked_add(c).expect("linear expression coefficient overflow");
+            *e = e
+                .checked_add(c)
+                .expect("linear expression coefficient overflow");
             if *e == 0 {
                 out.terms.remove(&s);
             }
@@ -374,6 +378,9 @@ mod tests {
         let e = LinExpr::term(s(0), 1) + LinExpr::term(s(1), -2) + LinExpr::constant(-7);
         let txt = format!("{}", e.display_with(|v| format!("s{}", v.0)));
         assert_eq!(txt, "s0 - 2*s1 - 7");
-        assert_eq!(format!("{}", LinExpr::zero().display_with(|_| String::new())), "0");
+        assert_eq!(
+            format!("{}", LinExpr::zero().display_with(|_| String::new())),
+            "0"
+        );
     }
 }

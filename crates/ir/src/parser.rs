@@ -412,10 +412,10 @@ impl Parser {
         let lhs = if self.peek() == &Tok::LBracket {
             let subs = self.parse_subscripts()?;
             let rank = subs.len();
-            let id =
-                self.program
-                    .symbols
-                    .array_with(&name, rank, vec![None; rank]);
+            let id = self
+                .program
+                .symbols
+                .array_with(&name, rank, vec![None; rank]);
             if self.program.symbols.array_info(id).rank != rank {
                 return Err(self.err(format!("array `{name}` used with inconsistent rank")));
             }
@@ -489,10 +489,10 @@ impl Parser {
                 if self.peek() == &Tok::LBracket {
                     let subs = self.parse_subscripts()?;
                     let rank = subs.len();
-                    let id =
-                        self.program
-                            .symbols
-                            .array_with(&name, rank, vec![None; rank]);
+                    let id = self
+                        .program
+                        .symbols
+                        .array_with(&name, rank, vec![None; rank]);
                     Ok(Expr::Elem(ArrayRef { array: id, subs }))
                 } else {
                     Ok(Expr::Scalar(self.program.symbols.var(&name)))
@@ -625,9 +625,7 @@ mod tests {
 
     #[test]
     fn rank_mismatch_is_rejected() {
-        let r = std::panic::catch_unwind(|| {
-            parse_program("do i = 1, 10 A[i] := A[i, 1]; end")
-        });
+        let r = std::panic::catch_unwind(|| parse_program("do i = 1, 10 A[i] := A[i, 1]; end"));
         // array_with panics on rank mismatch; surfaced as a panic here, which
         // we assert rather than silently mis-parse.
         assert!(r.is_err() || r.unwrap().is_err());

@@ -155,12 +155,8 @@ mod tests {
         let i = t.var("i");
         let x = t.var("x");
         let a = t.array("A");
-        let use_a = |k: i64| {
-            Expr::Elem(ArrayRef::new(
-                a,
-                Expr::add(Expr::Scalar(i), Expr::Const(k)),
-            ))
-        };
+        let use_a =
+            |k: i64| Expr::Elem(ArrayRef::new(a, Expr::add(Expr::Scalar(i), Expr::Const(k))));
         let body = vec![
             Stmt::Assign(Assign::new(
                 LValue::Elem(ArrayRef::new(a, Expr::Scalar(i))),
@@ -181,7 +177,14 @@ mod tests {
         let mut n = 0;
         for_each_assign(&b, &mut |_| n += 1);
         assert_eq!(n, 2);
-        assert_eq!(count_stmts(&b), StmtCounts { assigns: 2, ifs: 1, loops: 0 });
+        assert_eq!(
+            count_stmts(&b),
+            StmtCounts {
+                assigns: 2,
+                ifs: 1,
+                loops: 0
+            }
+        );
     }
 
     #[test]

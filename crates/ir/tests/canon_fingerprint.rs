@@ -1,0 +1,195 @@
+//! Fingerprint soundness: alpha-renamings collide, structural differences
+//! do not.
+//!
+//! Property-style over a systematic grid of loop shapes (no external
+//! property-testing dependency): for every base loop we check that every
+//! pure renaming of its induction variable, scalars and arrays produces
+//! the same fingerprint, and that every *structural* mutation — bounds,
+//! subscript coefficients/offsets, constants, relational operators,
+//! statement count, conditional nesting — produces a distinct one.
+
+use arrayflow_ir::{fingerprint_program, parse_program, Fingerprint};
+
+fn fp(src: &str) -> Fingerprint {
+    let p = parse_program(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    fingerprint_program(&p)
+}
+
+/// A loop template over the names it uses; instantiating it with different
+/// name sets must not change the fingerprint.
+fn template(iv: &str, a: &str, b: &str, x: &str, ub: i64, coef: i64, off: i64) -> String {
+    format!(
+        "do {iv} = 1, {ub}
+           {a}[{coef}*{iv}+{off}] := {b}[{iv}] + {x};
+           {b}[{iv}+1] := {a}[{iv}] * 2;
+         end"
+    )
+}
+
+#[test]
+fn renaming_induction_variable_collides() {
+    let base = fp(&template("i", "A", "B", "x", 100, 2, 3));
+    for iv in ["j", "k", "ii", "idx"] {
+        assert_eq!(
+            base,
+            fp(&template(iv, "A", "B", "x", 100, 2, 3)),
+            "renaming the induction variable to {iv} must not change the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn renaming_arrays_and_scalars_collides() {
+    let base = fp(&template("i", "A", "B", "x", 100, 2, 3));
+    for (a, b, x) in [
+        ("src", "dst", "y"),
+        ("U", "V", "scale"),
+        ("B", "A", "x"), // swapped names, same first-occurrence structure
+    ] {
+        assert_eq!(
+            base,
+            fp(&template("i", a, b, x, 100, 2, 3)),
+            "renaming arrays/scalars to ({a}, {b}, {x}) must not change the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn renaming_symbolic_bound_collides() {
+    let with = |n: &str| {
+        format!(
+            "do i = 1, {n}
+               A[i+1] := A[i] + 1;
+             end"
+        )
+    };
+    let base = fp(&with("n"));
+    for n in ["m", "len", "count"] {
+        assert_eq!(base, fp(&with(n)), "symbolic bound {n} must collide with n");
+    }
+}
+
+#[test]
+fn structural_differences_do_not_collide() {
+    let base = fp(&template("i", "A", "B", "x", 100, 2, 3));
+    let mutants = [
+        (
+            "different upper bound",
+            template("i", "A", "B", "x", 101, 2, 3),
+        ),
+        (
+            "different subscript coefficient",
+            template("i", "A", "B", "x", 100, 3, 3),
+        ),
+        (
+            "different subscript offset",
+            template("i", "A", "B", "x", 100, 2, 4),
+        ),
+        (
+            "symbolic instead of constant bound",
+            "do i = 1, n
+               A[2*i+3] := B[i] + x;
+               B[i+1] := A[i] * 2;
+             end"
+            .to_string(),
+        ),
+        (
+            "one array where the base has two",
+            template("i", "A", "A", "x", 100, 2, 3),
+        ),
+        (
+            "constant instead of scalar operand",
+            "do i = 1, 100
+               A[2*i+3] := B[i] + 7;
+               B[i+1] := A[i] * 2;
+             end"
+            .to_string(),
+        ),
+        (
+            "extra statement",
+            "do i = 1, 100
+               A[2*i+3] := B[i] + x;
+               B[i+1] := A[i] * 2;
+               A[i] := B[i];
+             end"
+            .to_string(),
+        ),
+        (
+            "statements reordered",
+            "do i = 1, 100
+               B[i+1] := A[i] * 2;
+               A[2*i+3] := B[i] + x;
+             end"
+            .to_string(),
+        ),
+        (
+            "second statement under a conditional",
+            "do i = 1, 100
+               A[2*i+3] := B[i] + x;
+               if B[i] > 0 then
+                 B[i+1] := A[i] * 2;
+               end
+             end"
+            .to_string(),
+        ),
+    ];
+    let mut fps = vec![base];
+    for (what, src) in &mutants {
+        let f = fp(src);
+        assert_ne!(base, f, "{what} must change the fingerprint");
+        fps.push(f);
+    }
+    // The mutants must also be pairwise distinct from each other.
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len() {
+            assert_ne!(fps[i], fps[j], "variants {i} and {j} collide");
+        }
+    }
+}
+
+#[test]
+fn relational_operator_matters() {
+    let with = |op: &str| {
+        format!(
+            "do i = 1, 50
+               if A[i] {op} 0 then
+                 A[i+1] := A[i] + 1;
+               end
+             end"
+        )
+    };
+    let gt = fp(&with(">"));
+    let le = fp(&with("<="));
+    let eq = fp(&with("="));
+    assert_ne!(gt, le);
+    assert_ne!(gt, eq);
+    assert_ne!(le, eq);
+}
+
+/// Grid sweep: for every shape in a small product space, the renamed twin
+/// collides and every neighbouring shape differs. This is the property
+/// `fingerprint(p) == fingerprint(q) <=> alpha_equivalent(p, q)` sampled
+/// without an external property-testing framework.
+#[test]
+fn grid_property_rename_collides_neighbours_differ() {
+    let mut seen: Vec<(i64, i64, i64, Fingerprint)> = Vec::new();
+    for ub in [10, 11, 100] {
+        for coef in [1, 2] {
+            for off in [-1, 0, 2] {
+                let original = fp(&template("i", "A", "B", "x", ub, coef, off));
+                let renamed = fp(&template("q", "P", "Q", "t", ub, coef, off));
+                assert_eq!(
+                    original, renamed,
+                    "rename must collide at ub={ub} coef={coef} off={off}"
+                );
+                for (u2, c2, o2, f2) in &seen {
+                    assert_ne!(
+                        original, *f2,
+                        "({ub},{coef},{off}) collides with ({u2},{c2},{o2})"
+                    );
+                }
+                seen.push((ub, coef, off, original));
+            }
+        }
+    }
+}

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property: pretty-printing a program and re-parsing it yields a
 //! structurally identical program (same statements, same evaluation
 //! behaviour), for arbitrarily generated ASTs.
@@ -6,8 +8,8 @@ use proptest::prelude::*;
 
 use arrayflow_ir::interp::run_with;
 use arrayflow_ir::pretty::print_program;
-use arrayflow_ir::{parse_program, BinOp, Cond, Expr, Program, RelOp};
 use arrayflow_ir::stmt::{ArrayRef, Assign, Block, LValue, Loop, Stmt};
+use arrayflow_ir::{parse_program, BinOp, Cond, Expr, Program, RelOp};
 
 /// Generates an expression over scalars s0..s2, arrays A0..A1 and iv `i`,
 /// with bounded depth.
@@ -19,8 +21,11 @@ fn arb_expr(depth: u32) -> BoxedStrategy<RawExpr> {
     ];
     leaf.prop_recursive(depth, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), 0u8..4)
-                .prop_map(|(l, r, op)| RawExpr::Bin(op, Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone(), 0u8..4).prop_map(|(l, r, op)| RawExpr::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
             (0u8..2, inner).prop_map(|(a, s)| RawExpr::Elem(a, Box::new(s))),
         ]
     })
@@ -47,8 +52,7 @@ enum RawStmt {
 fn arb_stmt(depth: u32) -> BoxedStrategy<RawStmt> {
     let assign = prop_oneof![
         (0u8..3, arb_expr(2)).prop_map(|(v, e)| RawStmt::AssignScalar(v, e)),
-        (0u8..2, arb_expr(2), arb_expr(2))
-            .prop_map(|(a, s, e)| RawStmt::AssignElem(a, s, e)),
+        (0u8..2, arb_expr(2), arb_expr(2)).prop_map(|(a, s, e)| RawStmt::AssignElem(a, s, e)),
     ];
     if depth == 0 {
         return assign.boxed();

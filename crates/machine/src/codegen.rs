@@ -16,7 +16,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use arrayflow_ir::stmt::StmtId;
-use arrayflow_ir::{ArrayId, ArrayRef, BinOp, Block, Cond, Expr, LValue, Loop, Program, Stmt, VarId};
+use arrayflow_ir::{
+    ArrayId, ArrayRef, BinOp, Block, Cond, Expr, LValue, Loop, Program, Stmt, VarId,
+};
 
 use crate::inst::{Addr, Inst, Label, MProgram, Operand, Reg};
 
@@ -76,7 +78,10 @@ impl fmt::Display for CodegenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodegenError::UnknownExtent(a) => {
-                write!(f, "array {a} has unknown extents; cannot linearize addresses")
+                write!(
+                    f,
+                    "array {a} has unknown extents; cannot linearize addresses"
+                )
             }
         }
     }
@@ -305,11 +310,17 @@ impl Cg<'_> {
                 // Copy into a dedicated register: the temp pool may be
                 // reused inside the body.
                 let r = self.fresh();
-                self.code.push(Inst::Move { dst: r, src: upper_val });
+                self.code.push(Inst::Move {
+                    dst: r,
+                    src: upper_val,
+                });
                 Operand::Reg(r)
             }
         };
-        self.code.push(Inst::Move { dst: iv, src: lower });
+        self.code.push(Inst::Move {
+            dst: iv,
+            src: lower,
+        });
 
         if this_is_planned {
             return self.pipelined_loop(l, iv, upper);
@@ -357,12 +368,7 @@ impl Cg<'_> {
     /// and the pipeline stages are then initialized from memory —
     /// must-availability guarantees the elements have not been overwritten
     /// at that point — before entering the steady-state body.
-    fn pipelined_loop(
-        &mut self,
-        l: &Loop,
-        iv: Reg,
-        upper: Operand,
-    ) -> Result<(), CodegenError> {
+    fn pipelined_loop(&mut self, l: &Loop, iv: Reg, upper: Operand) -> Result<(), CodegenError> {
         let p_max = self
             .plan
             .ranges
@@ -688,7 +694,10 @@ mod tests {
 
     /// Compiles and runs a program, seeding scalars/arrays, and returns the
     /// machine for inspection.
-    fn run(src: &str, seed: impl FnOnce(&Program, &mut Machine, &Compiled)) -> (Program, Compiled, Machine) {
+    fn run(
+        src: &str,
+        seed: impl FnOnce(&Program, &mut Machine, &Compiled),
+    ) -> (Program, Compiled, Machine) {
         let p = parse_program(src).unwrap();
         let c = compile(&p).unwrap();
         let mut m = Machine::new();
@@ -720,11 +729,7 @@ mod tests {
         m.run(&c.code).unwrap();
 
         for idx in 1..=12 {
-            assert_eq!(
-                m.mem(a, idx),
-                env.elem(a, &[idx]),
-                "mismatch at A[{idx}]"
-            );
+            assert_eq!(m.mem(a, idx), env.elem(a, &[idx]), "mismatch at A[{idx}]");
         }
         // Conventional code: one load and one store per iteration.
         assert_eq!(m.stats.loads, 10);
@@ -787,21 +792,12 @@ mod tests {
                 upper: 3.into(),
                 step: 1,
                 body: vec![Stmt::Assign(arrayflow_ir::stmt::Assign::new(
-                    LValue::Elem(ArrayRef::multi(
-                        x2,
-                        vec![Expr::Scalar(i), Expr::Scalar(j)],
-                    )),
-                    Expr::add(
-                        Expr::mul(Expr::Scalar(i), Expr::Const(10)),
-                        Expr::Scalar(j),
-                    ),
+                    LValue::Elem(ArrayRef::multi(x2, vec![Expr::Scalar(i), Expr::Scalar(j)])),
+                    Expr::add(Expr::mul(Expr::Scalar(i), Expr::Const(10)), Expr::Scalar(j)),
                 ))],
             })],
         })];
-        p = Program {
-            symbols,
-            body,
-        };
+        p = Program { symbols, body };
         p.renumber();
         let c = compile(&p).unwrap();
         let mut m = Machine::new();
@@ -813,10 +809,7 @@ mod tests {
 
     #[test]
     fn scalar_results_are_readable() {
-        let (p, c, m) = run(
-            "do i = 1, 5 s := s + i; end",
-            |_, _, _| {},
-        );
+        let (p, c, m) = run("do i = 1, 5 s := s + i; end", |_, _, _| {});
         let s = p.symbols.lookup_var("s").unwrap();
         assert_eq!(m.reg(c.scalar_regs[&s]), 15);
     }
@@ -1052,7 +1045,11 @@ mod listing_shape_tests {
         let steady = &listing[setup_pos..];
         let steady_after_setup = &steady[steady.find('\n').unwrap()..];
         assert_eq!(steady_after_setup.matches("load ").count(), 0, "{listing}");
-        assert_eq!(steady_after_setup.matches("store A(").count(), 1, "{listing}");
+        assert_eq!(
+            steady_after_setup.matches("store A(").count(),
+            1,
+            "{listing}"
+        );
         assert_eq!(steady_after_setup.matches("move ").count(), 3, "{listing}");
         // And the store uses the classic A(rI+2) addressing of the paper.
         assert!(steady_after_setup.contains("+2) <-"), "{listing}");

@@ -73,10 +73,7 @@ impl Addr {
 
     /// `A(c)` — absolute element.
     pub fn absolute(offset: i64) -> Self {
-        Self {
-            base: None,
-            offset,
-        }
+        Self { base: None, offset }
     }
 }
 
@@ -256,7 +253,12 @@ impl MProgram {
                     };
                     writeln!(out, "alu   {dst} <- {lhs} {sym} {rhs}")
                 }
-                Inst::Branch { op, lhs, rhs, target } => {
+                Inst::Branch {
+                    op,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
                     let sym = match op {
                         RelOp::Eq => "==",
                         RelOp::Ne => "!=",

@@ -37,7 +37,10 @@ impl fmt::Display for RegAllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegAllocError::TooFewRegisters => {
-                write!(f, "need at least 3 physical registers (2 are spill scratch)")
+                write!(
+                    f,
+                    "need at least 3 physical registers (2 are spill scratch)"
+                )
             }
         }
     }
@@ -126,10 +129,8 @@ pub fn assign_physical(
 
     // 2. Linear scan (Poletto–Sarkar): allocate in order of interval start;
     // on pressure, spill the interval that ends last.
-    let mut intervals: Vec<(Reg, usize, usize)> = first
-        .iter()
-        .map(|(&r, &s)| (r, s, last[&r]))
-        .collect();
+    let mut intervals: Vec<(Reg, usize, usize)> =
+        first.iter().map(|(&r, &s)| (r, s, last[&r])).collect();
     intervals.sort_by_key(|&(_, s, _)| s);
     let mut map: BTreeMap<Reg, Loc> = BTreeMap::new();
     let mut free: Vec<Reg> = (0..allocatable).rev().map(Reg).collect();
@@ -154,7 +155,9 @@ pub fn assign_physical(
         } else if let Some(&(victim, v_end)) = active.last() {
             if v_end > end {
                 // Steal the victim's register; spill the victim.
-                let Loc::Phys(p) = map[&victim] else { unreachable!() };
+                let Loc::Phys(p) = map[&victim] else {
+                    unreachable!()
+                };
                 map.insert(victim, Loc::Spill(next_slot));
                 next_slot += 1;
                 map.insert(vreg, Loc::Phys(p));
@@ -242,22 +245,21 @@ fn rewrite(
     out: &mut MProgram,
 ) {
     let mut scratch_idx = 0usize;
-    let mut read =
-        |r: Reg, out: &mut MProgram| -> Reg {
-            match map[&r] {
-                Loc::Phys(p) => p,
-                Loc::Spill(slot) => {
-                    let s = scratch[scratch_idx];
-                    scratch_idx = (scratch_idx + 1) % 2;
-                    out.push(Inst::Load {
-                        dst: s,
-                        array: spill,
-                        addr: Addr::absolute(slot),
-                    });
-                    s
-                }
+    let mut read = |r: Reg, out: &mut MProgram| -> Reg {
+        match map[&r] {
+            Loc::Phys(p) => p,
+            Loc::Spill(slot) => {
+                let s = scratch[scratch_idx];
+                scratch_idx = (scratch_idx + 1) % 2;
+                out.push(Inst::Load {
+                    dst: s,
+                    array: spill,
+                    addr: Addr::absolute(slot),
+                });
+                s
             }
-        };
+        }
+    };
     macro_rules! read_op {
         ($o:expr, $out:expr) => {
             match $o {
@@ -338,7 +340,12 @@ fn rewrite(
                 });
             }
         }
-        Inst::Branch { op, lhs, rhs, target } => {
+        Inst::Branch {
+            op,
+            lhs,
+            rhs,
+            target,
+        } => {
             let lhs = read_op!(lhs, out);
             let rhs = read_op!(rhs, out);
             out.push(Inst::Branch {
@@ -416,10 +423,7 @@ mod tests {
 
     #[test]
     fn generous_budget_spills_nothing() {
-        let (_, _, alloc) = run_both(
-            "do i = 1, 50 A[i+1] := A[i] * 2 + B[i]; end",
-            16,
-        );
+        let (_, _, alloc) = run_both("do i = 1, 50 A[i+1] := A[i] * 2 + B[i]; end", 16);
         assert_eq!(alloc.spilled, 0);
         assert!(alloc.physical_used <= 16);
     }
@@ -471,7 +475,7 @@ mod tests {
 
     #[test]
     fn pipelined_code_survives_allocation() {
-        use crate::codegen::{compile_with, PipelinePlan, PipeRange, ReusePoint};
+        use crate::codegen::{compile_with, PipeRange, PipelinePlan, ReusePoint};
         use arrayflow_ir::stmt::StmtId;
         use arrayflow_ir::{ArrayRef, Expr};
 

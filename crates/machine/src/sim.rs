@@ -207,7 +207,12 @@ impl Machine {
                     };
                     self.set_reg(*dst, v);
                 }
-                Inst::Branch { op, lhs, rhs, target } => {
+                Inst::Branch {
+                    op,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
                     self.stats.branches += 1;
                     if op.eval(self.op(*lhs), self.op(*rhs)) {
                         pc = target.0;
@@ -233,8 +238,14 @@ mod tests {
     fn runs_a_counting_loop() {
         // r0 = i, r1 = sum; for i in 1..=5 { sum += i }
         let mut p = MProgram::new();
-        p.push(Inst::Move { dst: Reg(0), src: 1.into() });
-        p.push(Inst::Move { dst: Reg(1), src: 0.into() });
+        p.push(Inst::Move {
+            dst: Reg(0),
+            src: 1.into(),
+        });
+        p.push(Inst::Move {
+            dst: Reg(1),
+            src: 0.into(),
+        });
         let top = p.here();
         p.push(Inst::Bin {
             op: BinOp::Add,
@@ -266,7 +277,10 @@ mod tests {
     fn loads_and_stores_hit_memory() {
         let a = arrayflow_ir::ArrayId(0);
         let mut p = MProgram::new();
-        p.push(Inst::Move { dst: Reg(0), src: 3.into() });
+        p.push(Inst::Move {
+            dst: Reg(0),
+            src: 3.into(),
+        });
         p.push(Inst::Load {
             dst: Reg(1),
             array: a,

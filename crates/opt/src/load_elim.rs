@@ -22,8 +22,8 @@
 use std::collections::HashMap;
 
 use arrayflow_analyses::{analyze_loop, best_reuse, AnalyzeError, LoopAnalysis, Reuse};
-use arrayflow_ir::stmt::StmtId;
 use arrayflow_ir::stmt::Assign;
+use arrayflow_ir::stmt::StmtId;
 use arrayflow_ir::{ArrayRef, Block, Expr, LValue, Program, Stmt, VarId};
 
 /// Outcome of [`eliminate_redundant_loads`].
@@ -85,7 +85,9 @@ pub fn apply(program: &Program, analysis: &LoopAnalysis) -> LoadElim {
             continue;
         }
         let delta0 = rs.iter().map(|r| r.distance).max().unwrap_or(0) as usize;
-        let base = analysis.site_text(gen_site).replace(['[', ']', ' ', '+', '-', '*'], "_");
+        let base = analysis
+            .site_text(gen_site)
+            .replace(['[', ']', ' ', '+', '-', '*'], "_");
         let temps: Vec<VarId> = (0..=delta0)
             .map(|j| out.symbols.fresh_var(&format!("t_{base}_{j}")))
             .collect();
@@ -295,11 +297,7 @@ fn rewrite_block(
     out
 }
 
-fn replace_uses(
-    e: &Expr,
-    stmt: StmtId,
-    rewrites: &HashMap<(StmtId, ArrayRef), VarId>,
-) -> Expr {
+fn replace_uses(e: &Expr, stmt: StmtId, rewrites: &HashMap<(StmtId, ArrayRef), VarId>) -> Expr {
     match e {
         Expr::Elem(r) => {
             if let Some(&t) = rewrites.get(&(stmt, r.clone())) {

@@ -159,8 +159,8 @@ pub fn live_ranges(analysis: &LoopAnalysis, config: &PipelineConfig) -> Irig {
         let len = n_stmts;
         // Savings: each reuse avoids a load; progression moves cost
         // (depth − 1) per iteration.
-        let savings = (accesses - 1) as f64 * config.load_cost
-            - (depth - 1) as f64 * config.move_cost;
+        let savings =
+            (accesses - 1) as f64 * config.load_cost - (depth - 1) as f64 * config.move_cost;
         let priority = savings / (len as f64 * depth as f64);
         irig.ranges.push(LiveRange {
             kind: RangeKind::Pipe { gen_site, reuses },
@@ -298,6 +298,43 @@ pub fn allocate(analysis: &LoopAnalysis, config: &PipelineConfig) -> Allocation 
     }
 }
 
+/// Predicts the total cycles saved by executing `plan` instead of
+/// conventional code for `ub` iterations under `cost` — the quantity the
+/// §4.1.2 priority function estimates per live range. Per steady-state
+/// iteration a range saves one load per reuse point and pays `depth − 1`
+/// progression moves plus, for definition generators, one stage-feed move;
+/// the peeled start-up iterations save nothing.
+pub fn predicted_cycle_savings(
+    plan: &PipelinePlan,
+    ub: i64,
+    cost: &arrayflow_machine::CostModel,
+) -> i64 {
+    let peel = plan
+        .ranges
+        .iter()
+        .map(|r| r.depth as i64 - 1)
+        .max()
+        .unwrap_or(0);
+    let steady = (ub - peel).max(0);
+    plan.ranges
+        .iter()
+        .map(|r| {
+            let saved = r.reuse_points.len() as i64 * cost.load as i64;
+            // A use-kind generator that is itself another range's reuse
+            // point is fed by a register forward instead of its load.
+            let chained = !r.gen_is_def
+                && plan.ranges.iter().any(|other| {
+                    other
+                        .reuse_points
+                        .iter()
+                        .any(|rp| rp.stmt == r.gen_stmt && rp.aref == r.gen_ref)
+                });
+            let moves = (r.depth as i64 - 1 + i64::from(r.gen_is_def) + i64::from(chained))
+                * cost.mov as i64;
+            (saved - moves) * steady
+        })
+        .sum()
+}
 
 #[cfg(test)]
 mod tests {
@@ -407,44 +444,4 @@ mod tests {
         assert_eq!(alloc.plan.ranges.len(), 1, "{:?}", alloc.plan.ranges);
         assert_eq!(alloc.plan.ranges[0].depth, 2, "the A pipeline wins");
     }
-}
-
-/// Predicts the total cycles saved by executing `plan` instead of
-/// conventional code for `ub` iterations under `cost` — the quantity the
-/// §4.1.2 priority function estimates per live range. Per steady-state
-/// iteration a range saves one load per reuse point and pays `depth − 1`
-/// progression moves plus, for definition generators, one stage-feed move;
-/// the peeled start-up iterations save nothing.
-pub fn predicted_cycle_savings(
-    plan: &PipelinePlan,
-    ub: i64,
-    cost: &arrayflow_machine::CostModel,
-) -> i64 {
-    let peel = plan
-        .ranges
-        .iter()
-        .map(|r| r.depth as i64 - 1)
-        .max()
-        .unwrap_or(0);
-    let steady = (ub - peel).max(0);
-    plan.ranges
-        .iter()
-        .map(|r| {
-            let saved = r.reuse_points.len() as i64 * cost.load as i64;
-            // A use-kind generator that is itself another range's reuse
-            // point is fed by a register forward instead of its load.
-            let chained = !r.gen_is_def
-                && plan.ranges.iter().any(|other| {
-                    other
-                        .reuse_points
-                        .iter()
-                        .any(|rp| rp.stmt == r.gen_stmt && rp.aref == r.gen_ref)
-                });
-            let moves = (r.depth as i64 - 1
-                + i64::from(r.gen_is_def)
-                + i64::from(chained))
-                * cost.mov as i64;
-            (saved - moves) * steady
-        })
-        .sum()
 }

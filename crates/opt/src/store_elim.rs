@@ -121,9 +121,7 @@ fn has_div(e: &Expr) -> bool {
     match e {
         Expr::Const(_) | Expr::Scalar(_) => false,
         Expr::Elem(r) => r.subs.iter().any(has_div),
-        Expr::Bin(op, l, r) => {
-            matches!(op, arrayflow_ir::BinOp::Div) || has_div(l) || has_div(r)
-        }
+        Expr::Bin(op, l, r) => matches!(op, arrayflow_ir::BinOp::Div) || has_div(l) || has_div(r),
     }
 }
 

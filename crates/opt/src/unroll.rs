@@ -47,10 +47,8 @@ pub fn dep_graph(analysis: &LoopAnalysis, max_distance: u64) -> DepGraph {
         ..
     } in analysis.dependences(max_distance)
     {
-        let (Some(ss), Some(ds)) = (
-            analysis.sites[src_site].stmt,
-            analysis.sites[dst_site].stmt,
-        ) else {
+        let (Some(ss), Some(ds)) = (analysis.sites[src_site].stmt, analysis.sites[dst_site].stmt)
+        else {
             continue;
         };
         if let (Some(&a), Some(&b)) = (index.get(&ss), index.get(&ds)) {

@@ -7,8 +7,8 @@ use arrayflow_ir::interp::run_with;
 use arrayflow_ir::{parse_program, Env, Program};
 use arrayflow_machine::{compile, compile_with, Machine};
 use arrayflow_opt::{
-    allocate, controlled_unroll, dep_graph, eliminate_redundant_loads,
-    eliminate_redundant_stores, unroll, PipelineConfig, UnrollConfig,
+    allocate, controlled_unroll, dep_graph, eliminate_redundant_loads, eliminate_redundant_stores,
+    unroll, PipelineConfig, UnrollConfig,
 };
 
 /// Seeds every array of `p` with a deterministic pattern over a wide index
@@ -57,7 +57,10 @@ fn load_elim_fig7_semantics_and_counts() {
     )
     .unwrap();
     let r = eliminate_redundant_loads(&p).unwrap();
-    assert!(r.replaced_uses >= 1, "expected the A[i] read to be replaced");
+    assert!(
+        r.replaced_uses >= 1,
+        "expected the A[i] read to be replaced"
+    );
     let (e1, e2) = assert_equiv(&p, &r.program);
     assert!(
         e2.stats.array_reads < e1.stats.array_reads,

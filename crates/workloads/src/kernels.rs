@@ -90,9 +90,7 @@ pub fn clipped_wavefront(ub: i64) -> Program {
 
 /// Sum of prefix pairs — a distance-`d` stencil with no kills on B.
 pub fn pair_sum(ub: i64, d: i64) -> Program {
-    parsed(&format!(
-        "do i = 1, {ub} B[i+{d}] := B[i] + A[i]; end"
-    ))
+    parsed(&format!("do i = 1, {ub} B[i+{d}] := B[i] + A[i]; end"))
 }
 
 /// Independent map (perfectly parallel, unrolling-friendly).

@@ -5,6 +5,7 @@
 
 pub mod kernels;
 pub mod livermore;
+pub mod prng;
 pub mod random;
 
 pub use kernels::{
@@ -12,4 +13,5 @@ pub use kernels::{
     recurrence, smooth3,
 };
 pub use livermore::livermore_kernels;
+pub use prng::Prng;
 pub use random::{random_loop, random_loops, LoopShape};

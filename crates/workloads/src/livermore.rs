@@ -143,8 +143,7 @@ mod tests {
         ] {
             let mut p = p;
             arrayflow_ir::normalize(&mut p);
-            let a = arrayflow_analyses::analyze_loop(&p)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let a = arrayflow_analyses::analyze_loop(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
             let has = a
                 .reuse_pairs()
                 .iter()

@@ -1,14 +1,14 @@
 //! Deterministic random structured loops.
 //!
 //! Used by property tests (e.g. "the bounded three-pass solver equals the
-//! run-to-fixpoint solver on every structured loop") and by the scaling
-//! benches. Generation is seeded ChaCha so every run of every machine sees
-//! the same programs.
-
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//! run-to-fixpoint solver on every structured loop"), by the scaling
+//! benches and by the batch engine's workload streams. Generation is
+//! seeded through the in-crate [`Prng`] so every run on every machine sees
+//! the same programs with no external dependencies.
 
 use arrayflow_ir::{Expr, LoopBuilder, Program, RelOp};
+
+use crate::prng::Prng;
 
 /// Shape parameters for the generator.
 #[derive(Debug, Clone, Copy)]
@@ -43,51 +43,51 @@ impl Default for LoopShape {
 
 /// Generates one random structured loop.
 pub fn random_loop(shape: &LoopShape, seed: u64) -> Program {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut b = LoopBuilder::new("i", shape.ub);
 
     let array_name = |k: usize| format!("A{k}");
 
-    let gen_ref = |b: &mut LoopBuilder, rng: &mut ChaCha8Rng| {
-        let arr = array_name(rng.gen_range(0..shape.arrays));
-        let coef = if rng.gen_ratio(1, 8) {
+    let gen_ref = |b: &mut LoopBuilder, rng: &mut Prng| {
+        let arr = array_name(rng.below_usize(shape.arrays));
+        let coef = if rng.ratio(1, 8) {
             0
         } else {
-            let c = rng.gen_range(1..=shape.max_coef);
-            if rng.gen_ratio(1, 10) {
+            let c = rng.range_i64(1, shape.max_coef);
+            if rng.ratio(1, 10) {
                 -c
             } else {
                 c
             }
         };
-        let off = rng.gen_range(-shape.max_offset..=shape.max_offset);
+        let off = rng.range_i64(-shape.max_offset, shape.max_offset);
         b.array_ref(&arr, coef, off)
     };
 
     for _ in 0..shape.stmts {
-        let conditional = rng.gen_range(0..100) < shape.cond_pct;
+        let conditional = rng.percent(shape.cond_pct);
         if conditional {
             let guard = gen_ref(&mut b, &mut rng);
-            let rel = match rng.gen_range(0..3) {
+            let rel = match rng.below(3) {
                 0 => RelOp::Gt,
                 1 => RelOp::Eq,
                 _ => RelOp::Le,
             };
-            let threshold = Expr::Const(rng.gen_range(-5..50));
+            let threshold = Expr::Const(rng.range_i64(-5, 49));
             b.begin_if(guard.into(), rel, threshold);
         }
         let lhs = gen_ref(&mut b, &mut rng);
         let u1 = gen_ref(&mut b, &mut rng);
-        let rhs = if rng.gen_bool(0.5) {
+        let rhs = if rng.ratio(1, 2) {
             let u2 = gen_ref(&mut b, &mut rng);
             b.add(u1.into(), u2.into())
         } else {
-            let k = Expr::Const(rng.gen_range(1..5));
+            let k = Expr::Const(rng.range_i64(1, 4));
             b.add(u1.into(), k)
         };
         b.assign_elem(lhs, rhs);
         if conditional {
-            if rng.gen_bool(0.3) {
+            if rng.ratio(3, 10) {
                 b.begin_else();
                 let lhs = gen_ref(&mut b, &mut rng);
                 let u = gen_ref(&mut b, &mut rng);

@@ -45,10 +45,7 @@ fn main() {
     // The §6 "future work" extension: distance *vectors* over the whole
     // nest recover statement (3) too.
     let (ivs, sites) = nest_sites(&program).unwrap();
-    let iv_names: Vec<&str> = ivs
-        .iter()
-        .map(|&v| program.symbols.var_name(v))
-        .collect();
+    let iv_names: Vec<&str> = ivs.iter().map(|&v| program.symbols.var_name(v)).collect();
     println!("\ndistance vectors over ({}):", iv_names.join(", "));
     for d in nest_distance_vectors(&program).unwrap() {
         if sites[d.src].is_def {

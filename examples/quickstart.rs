@@ -31,7 +31,11 @@ fn main() {
             analysis.site_text(r.use_site),
             analysis.site_text(r.gen_site),
             r.distance,
-            if r.gen_is_def { "stored value" } else { "loaded value" },
+            if r.gen_is_def {
+                "stored value"
+            } else {
+                "loaded value"
+            },
         );
     }
 

@@ -29,7 +29,10 @@ fn main() {
     // ---- Fig. 6: the conditional store A[i+1] is overwritten by A[i] one
     // iteration later, so it is removed from all but the final iteration.
     let p6 = fig6(1000);
-    println!("Fig. 6 input:\n{}", arrayflow::ir::pretty::print_program(&p6));
+    println!(
+        "Fig. 6 input:\n{}",
+        arrayflow::ir::pretty::print_program(&p6)
+    );
     let se = eliminate_redundant_stores(&p6).unwrap();
     println!(
         "removed {} store(s), unpeeled the final {} iteration(s):\n{}",
@@ -44,7 +47,10 @@ fn main() {
     // ---- Fig. 7: the conditional read A[i] loads the value A[i+1] stored
     // one iteration earlier; a scalar temporary chain carries it instead.
     let p7 = fig7(1000);
-    println!("Fig. 7 input:\n{}", arrayflow::ir::pretty::print_program(&p7));
+    println!(
+        "Fig. 7 input:\n{}",
+        arrayflow::ir::pretty::print_program(&p7)
+    );
     let le = eliminate_redundant_loads(&p7).unwrap();
     println!(
         "replaced {} load(s) via {} temporary chain(s):\n{}",

@@ -20,7 +20,9 @@
 //!   simulator used to measure the optimizations;
 //! * [`baselines`] — conventional dependence tests and the comparison
 //!   analyses/optimizations the paper discusses;
-//! * [`workloads`] — deterministic loop generators for tests and benches.
+//! * [`workloads`] — deterministic loop generators for tests and benches;
+//! * [`engine`] — the concurrent, memoizing batch analysis engine
+//!   (canonical loop fingerprints, sharded memo cache, worker pool).
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 pub use arrayflow_analyses as analyses;
 pub use arrayflow_baselines as baselines;
 pub use arrayflow_core as core;
+pub use arrayflow_engine as engine;
 pub use arrayflow_graph as graph;
 pub use arrayflow_ir as ir;
 pub use arrayflow_machine as machine;
@@ -50,8 +53,9 @@ pub use arrayflow_workloads as workloads;
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {
     pub use arrayflow_analyses::{analyze_loop, LoopAnalysis};
-    pub use arrayflow_core::{Dist, Direction, Mode};
-    pub use arrayflow_ir::{parse_program, LoopBuilder, Program};
+    pub use arrayflow_core::{Direction, Dist, Mode};
+    pub use arrayflow_engine::{Engine, EngineConfig};
+    pub use arrayflow_ir::{parse_program, Fingerprint, LoopBuilder, Program};
 
     pub use crate::prepare;
 }

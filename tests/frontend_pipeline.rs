@@ -101,7 +101,10 @@ fn prepared_loop_feeds_the_optimizers() {
         body: vec![Stmt::Do(main_loop(&p).clone())],
     };
     let r = eliminate_redundant_loads(&single).unwrap();
-    assert!(r.replaced_uses >= 1, "scalar replacement fires post-prepare");
+    assert!(
+        r.replaced_uses >= 1,
+        "scalar replacement fires post-prepare"
+    );
     let e1 = seeded(&single);
     let e2 = seeded(&r.program);
     for arr in single.symbols.array_ids() {

@@ -195,7 +195,11 @@ fn outer_reuse_across_a_harmless_summary() {
         outer
             .reuse_pairs()
             .iter()
-            .map(|r| (outer.site_text(r.gen_site), outer.site_text(r.use_site), r.distance))
+            .map(|r| (
+                outer.site_text(r.gen_site),
+                outer.site_text(r.use_site),
+                r.distance
+            ))
             .collect::<Vec<_>>()
     );
 }

@@ -15,10 +15,20 @@ fn check_all_instances(p: &Program, tag: &str) {
     let graph = build_loop_graph(l);
     let (sites, _) = enumerate_sites(l, &graph, &p.symbols);
     let cases = [
-        ("reaching", GK::REACHING_DEFS, Direction::Forward, Mode::Must),
+        (
+            "reaching",
+            GK::REACHING_DEFS,
+            Direction::Forward,
+            Mode::Must,
+        ),
         ("available", GK::AVAILABLE, Direction::Forward, Mode::Must),
         ("busy", GK::BUSY_STORES, Direction::Backward, Mode::Must),
-        ("reachrefs", GK::REACHING_REFS, Direction::Forward, Mode::May),
+        (
+            "reachrefs",
+            GK::REACHING_REFS,
+            Direction::Forward,
+            Mode::May,
+        ),
     ];
     for (name, gk, dir, mode) in cases {
         let built = build_spec(&sites, gk, dir, mode);

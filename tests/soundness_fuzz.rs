@@ -113,9 +113,18 @@ fn pipelined_code_matches_conventional_code_on_random_loops() {
             alloc.plan,
             arrayflow_ir::pretty::print_program(&p)
         );
+        // Pipelining may only ever add its constant start-up cost: the
+        // pre-loop initialization loads one value per pipeline stage. When
+        // every reuse point sits under a conditional that never fires at
+        // run time, the savings are zero and that start-up cost is the
+        // whole difference; any growth beyond it is a real regression.
+        let startup: u64 = alloc.plan.ranges.iter().map(|r| r.depth as u64).sum();
         assert!(
-            m2.stats.loads <= m1.stats.loads,
-            "seed {seed}: pipelining must not add loads"
+            m2.stats.loads <= m1.stats.loads + startup,
+            "seed {seed}: pipelining must not add loads beyond start-up \
+             (conv {}, pipe {}, start-up allowance {startup})",
+            m1.stats.loads,
+            m2.stats.loads
         );
 
         // The unrolled (modulo-renamed) progression must agree too.
