@@ -55,6 +55,22 @@ impl CacheCounters {
     }
 }
 
+impl std::fmt::Display for CacheCounters {
+    /// One-line human-readable summary, e.g.
+    /// `hits=63 misses=21 inserts=21 evictions=0 (75% hit rate)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} inserts={} evictions={} ({:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.inserts,
+            self.evictions,
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
 struct Shard {
     map: HashMap<CacheKey, Arc<AnalysisReport>>,
     // Insertion order for FIFO eviction.

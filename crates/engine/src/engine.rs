@@ -120,6 +120,25 @@ impl EngineStats {
     }
 }
 
+impl std::fmt::Display for EngineStats {
+    /// One-line human-readable summary, e.g.
+    /// `42 programs, 84 loops, 63 from cache (75% hit rate), 21 solved in 63 passes / 504 visits, 1234 µs busy`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} programs, {} loops, {} from cache ({:.0}% hit rate), {} solved in {} passes / {} visits, {} µs busy",
+            self.programs,
+            self.loops,
+            self.cache.hits,
+            100.0 * self.hit_rate(),
+            self.cache.misses,
+            self.solver_passes,
+            self.node_visits,
+            self.busy_micros
+        )
+    }
+}
+
 /// A concurrent, memoizing batch analysis engine over the array data flow
 /// framework.
 ///
@@ -183,8 +202,30 @@ impl Engine {
     }
 
     /// Analyzes one program (normalizing a private copy first), answering
-    /// every loop from the cache when possible.
+    /// every loop from the cache when possible. Uses the engine-wide
+    /// problem selection and distance bound from [`EngineConfig`].
     pub fn analyze_one(&self, index: usize, program: &Program) -> BatchResult {
+        self.analyze_with(
+            index,
+            program,
+            self.config.problems,
+            self.config.dep_max_distance,
+        )
+    }
+
+    /// Like [`Engine::analyze_one`], but with a per-query problem selection
+    /// and dependence distance bound. Both are part of the cache key, so
+    /// queries with different selections coexist in the memo cache without
+    /// interfering — this is what lets one shared engine serve callers with
+    /// different needs (e.g. the analysis service, where each request names
+    /// its own problems).
+    pub fn analyze_with(
+        &self,
+        index: usize,
+        program: &Program,
+        problems: ProblemSet,
+        dep_max_distance: u64,
+    ) -> BatchResult {
         let start = Instant::now();
         let mut stats = QueryStats::default();
         let mut error: Option<String> = None;
@@ -201,20 +242,15 @@ impl Engine {
             let fingerprint = fingerprint_loop(l, &p.symbols);
             let key = CacheKey {
                 fingerprint,
-                problems: self.config.problems,
-                dep_max_distance: self.config.dep_max_distance,
+                problems,
+                dep_max_distance,
             };
             let report = if let Some(hit) = self.cache.get(&key) {
                 stats.cache_hits += 1;
                 hit
             } else {
                 stats.cache_misses += 1;
-                match AnalysisReport::of_loop(
-                    l,
-                    &p.symbols,
-                    self.config.problems,
-                    self.config.dep_max_distance,
-                ) {
+                match AnalysisReport::of_loop(l, &p.symbols, problems, dep_max_distance) {
                     Ok(r) => {
                         stats.solver_passes += r.solver_passes() as u64;
                         stats.node_visits += r.node_visits() as u64;

@@ -57,6 +57,6 @@ pub use indvars::{remove_induction_variables, IndVarRemoval};
 pub use interp::{Env, InterpError};
 pub use linexpr::LinExpr;
 pub use normalize::normalize;
-pub use parser::{parse_program, ParseError};
+pub use parser::{parse_program, parse_program_bytes, ParseError};
 pub use stmt::{ArrayRef, Block, LValue, Loop, LoopBound, Program, Stmt};
 pub use symbols::{ArrayId, ArrayInfo, SymbolTable, VarId};

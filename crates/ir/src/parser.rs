@@ -99,9 +99,9 @@ struct Lexer<'a> {
 }
 
 impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Self {
+    fn new(src: &'a [u8]) -> Self {
         Self {
-            src: src.as_bytes(),
+            src,
             pos: 0,
             line: 1,
         }
@@ -249,7 +249,8 @@ impl<'a> Lexer<'a> {
                 while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in integer literal"))?;
                 let n: i64 = text
                     .parse()
                     .map_err(|_| self.err(format!("integer literal `{text}` out of range")))?;
@@ -262,7 +263,8 @@ impl<'a> Lexer<'a> {
                 {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in identifier"))?;
                 match text {
                     "do" => Tok::KwDo,
                     "end" | "enddo" | "endif" => Tok::KwEnd,
@@ -272,17 +274,26 @@ impl<'a> Lexer<'a> {
                     _ => Tok::Ident(text.to_string()),
                 }
             }
-            other => {
+            other if other.is_ascii() => {
                 return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+            other => {
+                return Err(self.err(format!("unexpected byte 0x{other:02x}")));
             }
         };
         Ok((tok, line))
     }
 }
 
+/// Maximum combined statement/expression nesting depth. Hostile input
+/// (e.g. ten thousand `(`s) must produce a [`ParseError`], not a stack
+/// overflow — the analysis service feeds untrusted bytes to this parser.
+const MAX_DEPTH: usize = 256;
+
 struct Parser {
     toks: Vec<(Tok, usize)>,
     pos: usize,
+    depth: usize,
     program: Program,
 }
 
@@ -319,6 +330,35 @@ impl Parser {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Interns `name` as an array of rank `rank`, reporting rank
+    /// inconsistencies as a [`ParseError`] rather than panicking in
+    /// [`SymbolTable::array_with`](crate::SymbolTable::array_with).
+    fn intern_array(&mut self, name: &str, rank: usize) -> Result<crate::ArrayId, ParseError> {
+        if let Some(id) = self.program.symbols.lookup_array(name) {
+            if self.program.symbols.array_info(id).rank != rank {
+                return Err(self.err(format!("array `{name}` used with inconsistent rank")));
+            }
+            return Ok(id);
+        }
+        Ok(self
+            .program
+            .symbols
+            .array_with(name, rank, vec![None; rank]))
+    }
+
     fn parse_block(&mut self, stop_at_else: bool) -> Result<Block, ParseError> {
         let mut out = Vec::new();
         loop {
@@ -341,6 +381,13 @@ impl Parser {
     }
 
     fn parse_do(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.parse_do_inner();
+        self.leave();
+        r
+    }
+
+    fn parse_do_inner(&mut self) -> Result<Stmt, ParseError> {
         self.expect(&Tok::KwDo)?;
         let name = match self.bump() {
             Tok::Ident(s) => s,
@@ -379,6 +426,13 @@ impl Parser {
     }
 
     fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.parse_if_inner();
+        self.leave();
+        r
+    }
+
+    fn parse_if_inner(&mut self) -> Result<Stmt, ParseError> {
         self.expect(&Tok::KwIf)?;
         let lhs = self.parse_expr()?;
         let op = match self.bump() {
@@ -411,14 +465,7 @@ impl Parser {
         };
         let lhs = if self.peek() == &Tok::LBracket {
             let subs = self.parse_subscripts()?;
-            let rank = subs.len();
-            let id = self
-                .program
-                .symbols
-                .array_with(&name, rank, vec![None; rank]);
-            if self.program.symbols.array_info(id).rank != rank {
-                return Err(self.err(format!("array `{name}` used with inconsistent rank")));
-            }
+            let id = self.intern_array(&name, subs.len())?;
             LValue::Elem(ArrayRef { array: id, subs })
         } else {
             LValue::Scalar(self.program.symbols.var(&name))
@@ -471,6 +518,13 @@ impl Parser {
     }
 
     fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.parse_factor_inner();
+        self.leave();
+        r
+    }
+
+    fn parse_factor_inner(&mut self) -> Result<Expr, ParseError> {
         match self.bump() {
             Tok::Int(n) => Ok(Expr::Const(n)),
             Tok::Minus => {
@@ -488,11 +542,7 @@ impl Parser {
             Tok::Ident(name) => {
                 if self.peek() == &Tok::LBracket {
                     let subs = self.parse_subscripts()?;
-                    let rank = subs.len();
-                    let id = self
-                        .program
-                        .symbols
-                        .array_with(&name, rank, vec![None; rank]);
+                    let id = self.intern_array(&name, subs.len())?;
                     Ok(Expr::Elem(ArrayRef { array: id, subs }))
                 } else {
                     Ok(Expr::Scalar(self.program.symbols.var(&name)))
@@ -531,6 +581,16 @@ impl Parser {
 /// # }
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_program_bytes(src.as_bytes())
+}
+
+/// [`parse_program`] over raw bytes, for callers that receive programs
+/// from an untrusted source (e.g. the analysis service reading the wire).
+///
+/// Never panics: invalid UTF-8, unexpected bytes, out-of-range literals,
+/// inconsistent array ranks and pathological nesting all surface as
+/// [`ParseError`]s.
+pub fn parse_program_bytes(src: &[u8]) -> Result<Program, ParseError> {
     let mut lexer = Lexer::new(src);
     let mut toks = Vec::new();
     loop {
@@ -544,6 +604,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let mut parser = Parser {
         toks,
         pos: 0,
+        depth: 0,
         program: Program::new(),
     };
     let body = parser.parse_block(false)?;
@@ -625,10 +686,38 @@ mod tests {
 
     #[test]
     fn rank_mismatch_is_rejected() {
-        let r = std::panic::catch_unwind(|| parse_program("do i = 1, 10 A[i] := A[i, 1]; end"));
-        // array_with panics on rank mismatch; surfaced as a panic here, which
-        // we assert rather than silently mis-parse.
-        assert!(r.is_err() || r.unwrap().is_err());
+        // Both orders: mismatch on the rhs after an lhs declaration, and
+        // vice versa. Each is a ParseError, never a panic.
+        let e = parse_program("do i = 1, 10 A[i] := A[i, 1]; end").unwrap_err();
+        assert!(e.message.contains("inconsistent rank"));
+        let e = parse_program("do i = 1, 10 A[i, 1] := A[i]; end").unwrap_err();
+        assert!(e.message.contains("inconsistent rank"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error_not_a_panic() {
+        let e = parse_program_bytes(b"do i = 1, 10 A[i] := \xff\xfe; end").unwrap_err();
+        assert!(e.message.contains("0x"));
+        // Invalid UTF-8 *inside* no token can arise (multi-byte lead bytes
+        // stop identifier/number scans), but the byte itself must error.
+        assert!(parse_program_bytes(b"\x80").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        let mut deep = String::from("do i = 1, 10 A[i] := ");
+        deep.push_str(&"(".repeat(10_000));
+        deep.push('1');
+        deep.push_str(&")".repeat(10_000));
+        deep.push_str("; end");
+        let e = parse_program(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"));
+
+        let mut loops = String::new();
+        for _ in 0..10_000 {
+            loops.push_str("do i = 1, 10 ");
+        }
+        assert!(parse_program(&loops).is_err());
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Fuzz-style robustness tests for the DSL parser.
+//!
+//! The analysis service feeds untrusted wire bytes straight into
+//! `parse_program_bytes`, so the parser must never panic — every
+//! pathological input has to come back as a `ParseError`. These tests
+//! hammer it with seeded random byte strings (raw bytes, token soup, and
+//! mutated valid programs) and assert the process survives.
+
+use arrayflow_ir::parse_program_bytes;
+
+/// SplitMix64 — the same tiny seeded generator the workloads crate uses,
+/// inlined here because `arrayflow-ir` sits below it in the crate graph.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = SplitMix64(0xa11ce);
+    for _ in 0..2_000 {
+        let len = rng.below(200);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        // The result does not matter — only that we get one.
+        let _ = parse_program_bytes(&bytes);
+    }
+}
+
+#[test]
+fn random_token_soup_never_panics() {
+    // Valid lexemes in random order exercise the parser (not just the
+    // lexer) far more deeply than uniform bytes.
+    const LEXEMES: &[&str] = &[
+        "do",
+        "end",
+        "if",
+        "then",
+        "else",
+        "i",
+        "A",
+        "B",
+        "x",
+        "UB",
+        "1",
+        "0",
+        "42",
+        "9223372036854775807",
+        ":=",
+        ";",
+        ",",
+        "(",
+        ")",
+        "[",
+        "]",
+        "+",
+        "-",
+        "*",
+        "/",
+        "==",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "=",
+        "--",
+        "{",
+        "}",
+    ];
+    let mut rng = SplitMix64(0xf00d);
+    for _ in 0..2_000 {
+        let len = rng.below(120);
+        let mut src = String::new();
+        for _ in 0..len {
+            src.push_str(LEXEMES[rng.below(LEXEMES.len())]);
+            src.push(' ');
+        }
+        let _ = parse_program_bytes(src.as_bytes());
+    }
+}
+
+#[test]
+fn mutated_valid_programs_never_panic() {
+    let seed = b"do i = 1, 100 A[i+2] := A[i] * 2; if x < 3 then B[i] := A[i-1]; end end";
+    let mut rng = SplitMix64(0xbeef);
+    for _ in 0..2_000 {
+        let mut bytes = seed.to_vec();
+        for _ in 0..1 + rng.below(6) {
+            let pos = rng.below(bytes.len());
+            match rng.below(3) {
+                0 => bytes[pos] = rng.next() as u8, // flip to anything
+                1 => bytes[pos] = b"dix=,;[]()+-*/<>"[rng.below(16)], // flip to a near-miss
+                _ => {
+                    bytes.remove(pos);
+                    if bytes.is_empty() {
+                        bytes.push(b' ');
+                    }
+                }
+            }
+        }
+        let _ = parse_program_bytes(&bytes);
+    }
+}
+
+#[test]
+fn huge_integer_literals_are_errors() {
+    assert!(parse_program_bytes(b"do i = 1, 99999999999999999999 A[i] := 1; end").is_err());
+}

@@ -1,0 +1,104 @@
+//! The `serve` binary: the analysis service on TCP or stdio.
+//!
+//! ```text
+//! serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N]
+//!       [--queue N] [--timeout-ms N] [--max-frame BYTES]
+//!       [--cache-capacity N] [--distance-bound N]
+//! ```
+//!
+//! Defaults: listen on 127.0.0.1:7433, one service worker and one engine
+//! worker per hardware thread, 256-deep queue, 5000 ms deadline, 1 MiB
+//! frames. With `--stdio` the protocol runs over stdin/stdout instead
+//! (one request per line; diagnostics go to stderr).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use arrayflow_service::{run_stdio, Server, Service, ServiceConfig};
+
+struct Args {
+    listen: String,
+    stdio: bool,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7433".to_string(),
+        stdio: false,
+        config: ServiceConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--stdio" => args.stdio = true,
+            "--workers" => args.config.workers = parse(&value("--workers")?)?,
+            "--engine-workers" => args.config.engine.workers = parse(&value("--engine-workers")?)?,
+            "--queue" => args.config.queue_capacity = parse(&value("--queue")?)?,
+            "--timeout-ms" => {
+                args.config.request_timeout = Duration::from_millis(parse(&value("--timeout-ms")?)?)
+            }
+            "--max-frame" => args.config.max_frame_bytes = parse(&value("--max-frame")?)?,
+            "--cache-capacity" => {
+                args.config.engine.cache_capacity = parse(&value("--cache-capacity")?)?
+            }
+            "--distance-bound" => {
+                args.config.engine.dep_max_distance = parse(&value("--distance-bound")?)?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N] \
+                     [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
+                     [--distance-bound N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid value `{s}`"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if args.stdio {
+        eprintln!("serve: stdio mode (one JSON request per line)");
+        run_stdio(Service::start(args.config))
+    } else {
+        match Server::bind(args.listen.as_str(), args.config) {
+            Ok(server) => {
+                match server.local_addr() {
+                    Ok(addr) => eprintln!("serve: listening on {addr}"),
+                    Err(_) => eprintln!("serve: listening on {}", args.listen),
+                }
+                server.run()
+            }
+            Err(e) => {
+                eprintln!("serve: cannot bind {}: {e}", args.listen);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match result {
+        Ok(()) => {
+            eprintln!("serve: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! A zero-dependency analysis server exposing the batch engine over
+//! TCP and stdio.
+//!
+//! The framework's per-loop cost is bounded (three solver passes for
+//! must-problems, two for may-problems), which makes array reference
+//! analysis viable as a low-latency network service: clients submit DSL
+//! programs plus a problem selection and get per-loop reports back,
+//! answered from the shared memoizing [`Engine`](arrayflow_engine::Engine)
+//! whenever an alpha-equivalent loop has been analyzed before.
+//!
+//! The wire format is newline-framed JSON (see [`proto`]), implemented
+//! with the in-crate encoder/decoder in [`json`] — the workspace builds
+//! with zero external dependencies. Robustness is the design center:
+//!
+//! * a **bounded in-flight queue** with explicit `overloaded` errors on
+//!   backpressure, never unbounded buffering;
+//! * a **per-request deadline** answered with a `timeout` error;
+//! * a **frame size cap** — oversized lines are discarded in bounded
+//!   memory and answered with a `protocol` error, and the connection
+//!   stays usable;
+//! * a **structured error taxonomy** ([`ErrorKind`]: `parse`,
+//!   `analysis`, `timeout`, `overloaded`, `protocol`) — hostile bytes
+//!   produce error responses, not panics or dropped connections;
+//! * **graceful shutdown** that drains every queued request before the
+//!   workers exit;
+//! * a **`stats` verb** surfacing the engine's counters (via their
+//!   `Display` one-liners) plus service counters: connections, requests
+//!   by outcome, queue-depth high-water mark and a latency histogram.
+//!
+//! # Quickstart
+//!
+//! Run `cargo run --release -p arrayflow-service --bin serve`, then pipe
+//! newline-delimited requests to `127.0.0.1:7433` — or embed the service:
+//!
+//! ```
+//! use arrayflow_service::{Service, ServiceConfig};
+//!
+//! let service = Service::start(ServiceConfig::default());
+//! let resp = service.handle_frame(
+//!     br#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#,
+//! );
+//! assert!(resp.line.contains("\"ok\":true"));
+//! service.shutdown();
+//! service.join_workers();
+//! ```
+
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use json::{Json, JsonError};
+pub use proto::{ErrorKind, Request, ServiceError, Verb};
+pub use server::{run_stdio, Frame, FrameReader, Server};
+pub use service::{FrameResponse, Service, ServiceConfig, ServiceStats, LATENCY_BUCKETS_US};

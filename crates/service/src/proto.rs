@@ -1,0 +1,329 @@
+//! The wire protocol: newline-framed JSON requests and responses.
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! → {"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}
+//! ← {"id": 1, "ok": true, "result": {"loops": [...], "stats": {...}}}
+//! → {"id": 2, "verb": "nope"}
+//! ← {"id": 2, "ok": false, "error": {"kind": "protocol", "message": "unknown verb `nope`"}}
+//! ```
+//!
+//! Requests carry `id` (any JSON value, echoed back verbatim so clients
+//! can pipeline), `verb` (`analyze` | `stats` | `ping` | `shutdown`), and
+//! for `analyze`: `program` (DSL text), optional `problems` (array of
+//! instance names; default all) and optional `distance_bound` (default
+//! from the server config). Errors come back structured, never as a
+//! dropped connection: [`ErrorKind`] is the taxonomy.
+
+use std::fmt;
+
+use arrayflow_engine::{BatchResult, ProblemSet};
+
+use crate::json::Json;
+
+/// What a request asks the service to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Parse `program` and analyze every loop.
+    Analyze,
+    /// Report engine + service statistics.
+    Stats,
+    /// Liveness check; echoes `"pong"`.
+    Ping,
+    /// Begin graceful shutdown (drain in-flight work, then exit).
+    Shutdown,
+}
+
+impl Verb {
+    fn parse(s: &str) -> Option<Verb> {
+        match s {
+            "analyze" => Some(Verb::Analyze),
+            "stats" => Some(Verb::Stats),
+            "ping" => Some(Verb::Ping),
+            "shutdown" => Some(Verb::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// The five failure classes a response can carry. Everything the server
+/// can get wrong maps onto exactly one of these, so clients can switch on
+/// `error.kind` without string-matching messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The DSL program did not parse (invalid UTF-8 included).
+    Parse,
+    /// The program parsed but a loop could not be analyzed.
+    Analysis,
+    /// The request missed its deadline (queued too long or analysis ran
+    /// past the per-request budget).
+    Timeout,
+    /// The bounded in-flight queue was full (or the service is shutting
+    /// down); back off and retry.
+    Overloaded,
+    /// The frame itself was unusable: malformed JSON, oversized frame,
+    /// unknown verb, missing/mistyped fields.
+    Protocol,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Analysis => "analysis",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Protocol => "protocol",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured service error: taxonomy kind plus human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Which failure class.
+    pub kind: ErrorKind,
+    /// Details for humans; not part of the stable protocol.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Convenience constructor.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim (any JSON value;
+    /// `null` when absent).
+    pub id: Json,
+    /// The operation.
+    pub verb: Verb,
+    /// DSL program text (required for `analyze`).
+    pub program: Option<String>,
+    /// Problem selection (default: all four instances).
+    pub problems: Option<ProblemSet>,
+    /// Dependence distance bound (default: server config).
+    pub distance_bound: Option<u64>,
+}
+
+impl Request {
+    /// Decodes a request from one JSON frame. The returned error pairs the
+    /// [`ServiceError`] with whatever `id` could be recovered, so the
+    /// response still correlates.
+    pub fn decode(frame: &[u8]) -> Result<Request, (Json, ServiceError)> {
+        let v = Json::parse(frame).map_err(|e| {
+            (
+                Json::Null,
+                ServiceError::new(ErrorKind::Protocol, e.to_string()),
+            )
+        })?;
+        let id = v.get("id").cloned().unwrap_or(Json::Null);
+        let fail = |msg: String| (id.clone(), ServiceError::new(ErrorKind::Protocol, msg));
+
+        if !matches!(v, Json::Obj(_)) {
+            return Err(fail("request must be a JSON object".into()));
+        }
+        let verb_str = v
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing or non-string `verb`".into()))?;
+        let verb =
+            Verb::parse(verb_str).ok_or_else(|| fail(format!("unknown verb `{verb_str}`")))?;
+
+        let program = match v.get("program") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(fail("`program` must be a string".into())),
+        };
+        if verb == Verb::Analyze && program.is_none() {
+            return Err(fail("`analyze` requires a `program` string".into()));
+        }
+
+        let problems = match v.get("problems") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(items)) => {
+                let mut set = ProblemSet {
+                    reaching: false,
+                    available: false,
+                    busy: false,
+                    reaching_refs: false,
+                };
+                for item in items {
+                    match item.as_str() {
+                        Some("reaching") => set.reaching = true,
+                        Some("available") => set.available = true,
+                        Some("busy") => set.busy = true,
+                        Some("reaching_refs") => set.reaching_refs = true,
+                        Some(other) => return Err(fail(format!("unknown problem `{other}`"))),
+                        None => return Err(fail("`problems` entries must be strings".into())),
+                    }
+                }
+                Some(set)
+            }
+            Some(_) => return Err(fail("`problems` must be an array of names".into())),
+        };
+
+        let distance_bound =
+            match v.get("distance_bound") {
+                None | Some(Json::Null) => None,
+                Some(n) => Some(n.as_u64().ok_or_else(|| {
+                    fail("`distance_bound` must be a non-negative integer".into())
+                })?),
+            };
+
+        Ok(Request {
+            id,
+            verb,
+            program,
+            problems,
+            distance_bound,
+        })
+    }
+}
+
+/// Encodes a success response line (without trailing newline).
+pub fn encode_ok(id: &Json, result: Json) -> String {
+    Json::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Json::Bool(true)),
+        ("result".into(), result),
+    ])
+    .to_string()
+}
+
+/// Encodes an error response line (without trailing newline).
+pub fn encode_err(id: &Json, err: &ServiceError) -> String {
+    Json::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str(err.kind.as_str().into())),
+                ("message".into(), Json::Str(err.message.clone())),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Renders one [`BatchResult`] as the `analyze` result object. The
+/// per-loop `report` strings are exactly
+/// [`arrayflow_engine::AnalysisReport::render`] — byte-identical to what a
+/// direct in-process `Engine` call produces, which the integration tests
+/// assert.
+pub fn analyze_result_json(r: &BatchResult) -> Json {
+    let loops = r
+        .loops
+        .iter()
+        .map(|l| {
+            Json::Obj(vec![
+                ("fingerprint".into(), Json::Str(l.fingerprint.to_string())),
+                ("report".into(), Json::Str(l.report.render())),
+            ])
+        })
+        .collect();
+    let mut members = vec![("loops".into(), Json::Arr(loops))];
+    members.push((
+        "error".into(),
+        match &r.error {
+            Some(e) => Json::Str(e.clone()),
+            None => Json::Null,
+        },
+    ));
+    members.push((
+        "stats".into(),
+        Json::Obj(vec![
+            ("cache_hits".into(), Json::Num(r.stats.cache_hits as f64)),
+            (
+                "cache_misses".into(),
+                Json::Num(r.stats.cache_misses as f64),
+            ),
+            (
+                "solver_passes".into(),
+                Json::Num(r.stats.solver_passes as f64),
+            ),
+            ("node_visits".into(), Json::Num(r.stats.node_visits as f64)),
+        ]),
+    ));
+    Json::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_minimal_analyze() {
+        let r = Request::decode(br#"{"id": 3, "verb": "analyze", "program": "x := 1;"}"#).unwrap();
+        assert_eq!(r.id, Json::Num(3.0));
+        assert_eq!(r.verb, Verb::Analyze);
+        assert_eq!(r.program.as_deref(), Some("x := 1;"));
+        assert_eq!(r.problems, None);
+        assert_eq!(r.distance_bound, None);
+    }
+
+    #[test]
+    fn decodes_problem_selection() {
+        let r = Request::decode(
+            br#"{"verb": "analyze", "program": "x := 1;", "problems": ["available", "busy"], "distance_bound": 4}"#,
+        )
+        .unwrap();
+        let p = r.problems.unwrap();
+        assert!(!p.reaching && p.available && p.busy && !p.reaching_refs);
+        assert_eq!(r.distance_bound, Some(4));
+        assert_eq!(r.id, Json::Null);
+    }
+
+    #[test]
+    fn rejects_bad_shapes_with_recovered_id() {
+        let (id, e) = Request::decode(br#"{"id": "q7", "verb": "nope"}"#).unwrap_err();
+        assert_eq!(id.as_str(), Some("q7"));
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("unknown verb"));
+
+        let (_, e) = Request::decode(br#"{"id": 1, "verb": "analyze"}"#).unwrap_err();
+        assert!(e.message.contains("requires a `program`"));
+
+        let (id, e) = Request::decode(b"not json at all").unwrap_err();
+        assert_eq!(id, Json::Null);
+        assert_eq!(e.kind, ErrorKind::Protocol);
+    }
+
+    #[test]
+    fn encodes_responses() {
+        let ok = encode_ok(&Json::Num(1.0), Json::Str("pong".into()));
+        assert_eq!(ok, r#"{"id":1,"ok":true,"result":"pong"}"#);
+        let err = encode_err(
+            &Json::Null,
+            &ServiceError::new(ErrorKind::Overloaded, "queue full"),
+        );
+        assert_eq!(
+            err,
+            r#"{"id":null,"ok":false,"error":{"kind":"overloaded","message":"queue full"}}"#
+        );
+    }
+}

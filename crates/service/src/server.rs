@@ -1,0 +1,320 @@
+//! Transports: a TCP listener (thread-per-connection) and a stdio loop,
+//! both speaking the newline-framed protocol of [`crate::proto`] against
+//! one shared [`Service`].
+//!
+//! Framing is resilient by construction: lines longer than the configured
+//! maximum are discarded (bounded memory) and answered with a `protocol`
+//! error, after which the connection keeps working; reads use a short
+//! timeout so connection threads observe shutdown promptly; and a final
+//! unterminated line at EOF still gets a response.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::service::{Service, ServiceConfig};
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// What [`FrameReader::next_frame`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line; the payload is in the reader's buffer.
+    Complete,
+    /// A line longer than the maximum was discarded in full.
+    Oversized,
+}
+
+/// Incremental newline framing over any [`BufRead`], with a hard size cap.
+///
+/// Oversized lines are discarded chunk-by-chunk — the frame never
+/// materializes in memory — and reported as [`Frame::Oversized`] once
+/// their terminating newline (or EOF) is reached, so the stream stays in
+/// sync and the connection stays usable.
+pub struct FrameReader<R> {
+    inner: R,
+    max: usize,
+    buf: Vec<u8>,
+    discarding: bool,
+    // The buffer holds a delivered frame (clear it on the next call) as
+    // opposed to a partial line awaiting more input after a read timeout.
+    delivered: bool,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps `inner`, capping accepted lines at `max` bytes.
+    pub fn new(inner: R, max: usize) -> Self {
+        Self {
+            inner,
+            max,
+            buf: Vec::new(),
+            discarding: false,
+            delivered: false,
+        }
+    }
+
+    /// The payload of the last [`Frame::Complete`].
+    pub fn frame(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Reads until a frame completes, EOF (`Ok(None)`), or an I/O error.
+    /// Timeout-flavored errors (`WouldBlock`/`TimedOut`) surface to the
+    /// caller with all partial state preserved — call again to resume.
+    pub fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        if self.delivered {
+            self.buf.clear();
+            self.delivered = false;
+        }
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF. A pending oversized or partial final line still
+                // yields one last frame; the next call reports EOF.
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(Some(Frame::Oversized));
+                }
+                if !self.buf.is_empty() {
+                    self.delivered = true;
+                    return Ok(Some(Frame::Complete));
+                }
+                return Ok(None);
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let oversized = self.discarding || self.buf.len() + nl > self.max;
+                    if !oversized {
+                        self.buf.extend_from_slice(&chunk[..nl]);
+                    }
+                    self.inner.consume(nl + 1);
+                    if oversized {
+                        self.discarding = false;
+                        self.buf.clear();
+                        return Ok(Some(Frame::Oversized));
+                    }
+                    self.delivered = true;
+                    return Ok(Some(Frame::Complete));
+                }
+                None => {
+                    let len = chunk.len();
+                    if !self.discarding {
+                        if self.buf.len() + len > self.max {
+                            self.discarding = true;
+                            self.buf.clear();
+                        } else {
+                            self.buf.extend_from_slice(chunk);
+                        }
+                    }
+                    self.inner.consume(len);
+                }
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Serves one TCP connection until EOF, error, or service shutdown.
+fn handle_connection(stream: TcpStream, service: Arc<Service>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut frames = FrameReader::new(reader, service.config().max_frame_bytes);
+    loop {
+        match frames.next_frame() {
+            Ok(Some(Frame::Complete)) => {
+                let resp = service.handle_frame(frames.frame());
+                writer.write_all(resp.line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if resp.shutdown {
+                    return Ok(());
+                }
+            }
+            Ok(Some(Frame::Oversized)) => {
+                let line = service.oversized_frame_response();
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Ok(None) => return Ok(()),
+            Err(e) if is_timeout(&e) => {
+                // Idle (or slow) connection: poll the shutdown flag. A
+                // partially read frame stays buffered in the FrameReader.
+                if service.is_shutdown() {
+                    return Ok(());
+                }
+            }
+            Err(_) => return Ok(()), // peer reset — nothing left to say
+        }
+    }
+}
+
+/// A TCP front-end over a [`Service`].
+///
+/// ```no_run
+/// use arrayflow_service::{Server, ServiceConfig};
+///
+/// let server = Server::bind("127.0.0.1:7433", ServiceConfig::default()).unwrap();
+/// eprintln!("listening on {}", server.local_addr().unwrap());
+/// server.run().unwrap(); // blocks until a client sends `shutdown`
+/// ```
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// service worker pool. The listener does not accept until
+    /// [`Server::run`].
+    pub fn bind(addr: impl ToSocketAddrs, config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            service: Service::start(config),
+            listener,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle to the shared service, e.g. to call
+    /// [`Service::shutdown`] programmatically or read statistics.
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Accepts connections until shutdown, then drains: stops accepting,
+    /// joins every connection thread (each finishes its in-flight frame),
+    /// and joins the worker pool (which answers everything still queued).
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.service.is_shutdown() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.service.record_connection();
+                    let service = Arc::clone(&self.service);
+                    connections.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, service);
+                    }));
+                }
+                Err(e) if is_timeout(&e) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    // Reap finished connection threads so long-lived
+                    // servers do not accumulate handles.
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for h in connections {
+            let _ = h.join();
+        }
+        self.service.join_workers();
+        Ok(())
+    }
+}
+
+/// Serves the protocol over stdin/stdout (pipe mode) until EOF or a
+/// `shutdown` request, then drains the worker pool. Counts as one
+/// connection in the statistics.
+pub fn run_stdio(service: Arc<Service>) -> io::Result<()> {
+    service.record_connection();
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut writer = BufWriter::new(stdout.lock());
+    let mut frames = FrameReader::new(stdin.lock(), service.config().max_frame_bytes);
+    loop {
+        match frames.next_frame()? {
+            Some(Frame::Complete) => {
+                let resp = service.handle_frame(frames.frame());
+                writer.write_all(resp.line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if resp.shutdown {
+                    break;
+                }
+            }
+            Some(Frame::Oversized) => {
+                let line = service.oversized_frame_response();
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            None => break,
+        }
+    }
+    service.shutdown();
+    service.join_workers();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_reader_splits_lines() {
+        let data: &[u8] = b"alpha\nbeta\n\ngamma"; // incl. empty + unterminated
+        let mut fr = FrameReader::new(data, 64);
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Complete));
+        assert_eq!(fr.frame(), b"alpha");
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Complete));
+        assert_eq!(fr.frame(), b"beta");
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Complete));
+        assert_eq!(fr.frame(), b"");
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Complete));
+        assert_eq!(fr.frame(), b"gamma");
+        assert_eq!(fr.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_reader_discards_oversized_and_resyncs() {
+        let mut data = vec![b'x'; 1000];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut fr = FrameReader::new(&data[..], 16);
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Oversized));
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Complete));
+        assert_eq!(fr.frame(), b"ok");
+        assert_eq!(fr.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_reader_bounds_memory_on_endless_line() {
+        // 1 MiB of newline-free bytes against a 16-byte cap: the buffer
+        // never grows past one BufRead chunk.
+        let data = vec![b'y'; 1 << 20];
+        let mut fr = FrameReader::new(&data[..], 16);
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Oversized));
+        assert!(fr.buf.capacity() <= 64 * 1024);
+        assert_eq!(fr.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_reader_exact_boundary() {
+        let mut fr = FrameReader::new(&b"1234\n12345\n"[..], 4);
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Complete));
+        assert_eq!(fr.frame(), b"1234");
+        assert_eq!(fr.next_frame().unwrap(), Some(Frame::Oversized));
+        assert_eq!(fr.next_frame().unwrap(), None);
+    }
+}

@@ -1,0 +1,570 @@
+//! The service core: a shared [`Engine`] behind a bounded request queue
+//! and a worker pool, with per-request deadlines, a structured error
+//! taxonomy, service-level counters and graceful drain-on-shutdown.
+//!
+//! Transport-agnostic: both the TCP listener and the stdio loop feed raw
+//! frames to [`Service::handle_frame`] and write back the returned line.
+//! Cheap verbs (`ping`, `stats`, `shutdown`) are answered inline on the
+//! transport thread; `analyze` goes through the queue so a flood of
+//! expensive requests degrades into explicit `overloaded` errors instead
+//! of unbounded memory growth or latency collapse.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use arrayflow_engine::{Engine, EngineConfig, EngineStats, ProblemSet};
+use arrayflow_ir::parse_program_bytes;
+
+use crate::json::Json;
+use crate::proto::{
+    analyze_result_json, encode_err, encode_ok, ErrorKind, Request, ServiceError, Verb,
+};
+
+/// Upper edges of the request latency histogram, in microseconds; the
+/// final bucket is unbounded.
+pub const LATENCY_BUCKETS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Service construction parameters. `Default` is a reasonable single-host
+/// setup: engine defaults, one service worker per hardware thread, a
+/// 256-request queue, 5 s deadline, 1 MiB frames.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Configuration of the shared analysis engine.
+    pub engine: EngineConfig,
+    /// Worker threads executing `analyze` requests. `0` means one per
+    /// available hardware thread.
+    pub workers: usize,
+    /// Bound on queued-but-unstarted `analyze` requests; submissions
+    /// beyond it are rejected with an `overloaded` error.
+    pub queue_capacity: usize,
+    /// Per-request deadline, measured from the moment the frame is
+    /// accepted. Requests that spend longer than this queued (or whose
+    /// analysis overruns it) answer with a `timeout` error.
+    pub request_timeout: Duration,
+    /// Maximum accepted frame (request line) size in bytes; longer lines
+    /// are discarded and answered with a `protocol` error.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            workers: 0,
+            queue_capacity: 256,
+            request_timeout: Duration::from_secs(5),
+            max_frame_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The worker count actually used (resolving `0`).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Snapshot of the service-level counters (the engine keeps its own
+/// [`EngineStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connections accepted (TCP) or opened (stdio counts as one).
+    pub connections: u64,
+    /// Frames that produced a response, by outcome.
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// DSL parse failures.
+    pub parse_errors: u64,
+    /// Analysis failures.
+    pub analysis_errors: u64,
+    /// Deadline misses.
+    pub timeouts: u64,
+    /// Queue-full / shutting-down rejections.
+    pub overloaded: u64,
+    /// Malformed frames (bad JSON, oversized, unknown verb, bad fields).
+    pub protocol_errors: u64,
+    /// High-water mark of the analyze queue depth.
+    pub queue_depth_hwm: usize,
+    /// Latency histogram: counts per [`LATENCY_BUCKETS_US`] bucket plus a
+    /// final unbounded bucket.
+    pub latency: [u64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl ServiceStats {
+    /// Total error responses across the taxonomy.
+    pub fn errors(&self) -> u64 {
+        self.parse_errors
+            + self.analysis_errors
+            + self.timeouts
+            + self.overloaded
+            + self.protocol_errors
+    }
+}
+
+struct Job {
+    program: String,
+    problems: ProblemSet,
+    distance_bound: u64,
+    enqueued: Instant,
+    deadline: Duration,
+    reply: mpsc::Sender<Result<Json, ServiceError>>,
+}
+
+/// The outcome of handling one frame.
+pub struct FrameResponse {
+    /// The response line (no trailing newline).
+    pub line: String,
+    /// True when this frame was a `shutdown` request; the transport should
+    /// send the line, stop reading, and let the server drain.
+    pub shutdown: bool,
+}
+
+/// A long-lived analysis service: shared engine, bounded queue, worker
+/// pool and counters. Construct with [`Service::start`]; share via `Arc`.
+pub struct Service {
+    config: ServiceConfig,
+    engine: Engine,
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    parse_errors: AtomicU64,
+    analysis_errors: AtomicU64,
+    timeouts: AtomicU64,
+    overloaded: AtomicU64,
+    protocol_errors: AtomicU64,
+    queue_depth_hwm: AtomicUsize,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Builds the service and spawns its worker pool.
+    pub fn start(config: ServiceConfig) -> Arc<Service> {
+        let engine = Engine::new(config.engine.clone());
+        let svc = Arc::new(Service {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            analysis_errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            queue_depth_hwm: AtomicUsize::new(0),
+            latency: Default::default(),
+            config,
+        });
+        let n = svc.config.effective_workers();
+        let mut workers = svc.workers.lock().unwrap();
+        for _ in 0..n {
+            let svc = Arc::clone(&svc);
+            workers.push(std::thread::spawn(move || svc.worker_loop()));
+        }
+        drop(workers);
+        svc
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared engine (e.g. for a direct in-process baseline).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// True once shutdown has been requested. Transports stop reading new
+    /// frames when they observe this.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests graceful shutdown: no new `analyze` submissions are
+    /// accepted, workers drain what is already queued, transports close
+    /// after their current frame.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.job_ready.notify_all();
+    }
+
+    /// Joins the worker pool. Call after [`Service::shutdown`]; returns
+    /// once every queued request has been answered and all workers exited.
+    pub fn join_workers(&self) {
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Records one accepted transport connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handles one raw frame end-to-end: decode, dispatch, count, encode.
+    /// Never panics and never drops a request silently — hostile bytes
+    /// come back as structured `protocol` errors.
+    pub fn handle_frame(&self, frame: &[u8]) -> FrameResponse {
+        let start = Instant::now();
+        let (id, outcome, mut is_shutdown) = match Request::decode(frame) {
+            Err((id, e)) => (id, Err(e), false),
+            Ok(req) => {
+                let id = req.id.clone();
+                let is_shutdown = req.verb == Verb::Shutdown;
+                (id, self.dispatch(req), is_shutdown)
+            }
+        };
+        let line = match &outcome {
+            Ok(result) => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                encode_ok(&id, result.clone())
+            }
+            Err(e) => {
+                self.counter_for(e.kind).fetch_add(1, Ordering::Relaxed);
+                is_shutdown = false;
+                encode_err(&id, e)
+            }
+        };
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(start.elapsed());
+        FrameResponse {
+            line,
+            shutdown: is_shutdown,
+        }
+    }
+
+    /// Builds (and counts, as a `protocol` error) the response for a frame
+    /// that exceeded [`ServiceConfig::max_frame_bytes`]. The transports
+    /// discard such frames without materializing them, so this is the one
+    /// response that never passes through [`Service::handle_frame`].
+    pub fn oversized_frame_response(&self) -> String {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(Duration::ZERO);
+        encode_err(
+            &Json::Null,
+            &ServiceError::new(
+                ErrorKind::Protocol,
+                format!("frame exceeds {} bytes", self.config.max_frame_bytes),
+            ),
+        )
+    }
+
+    fn counter_for(&self, kind: ErrorKind) -> &AtomicU64 {
+        match kind {
+            ErrorKind::Parse => &self.parse_errors,
+            ErrorKind::Analysis => &self.analysis_errors,
+            ErrorKind::Timeout => &self.timeouts,
+            ErrorKind::Overloaded => &self.overloaded,
+            ErrorKind::Protocol => &self.protocol_errors,
+        }
+    }
+
+    fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros() as u64;
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&edge| us <= edge)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn dispatch(&self, req: Request) -> Result<Json, ServiceError> {
+        match req.verb {
+            Verb::Ping => Ok(Json::Str("pong".into())),
+            Verb::Stats => Ok(self.stats_json()),
+            Verb::Shutdown => {
+                self.shutdown();
+                Ok(Json::Str("shutting down".into()))
+            }
+            Verb::Analyze => self.submit_and_wait(req),
+        }
+    }
+
+    fn submit_and_wait(&self, req: Request) -> Result<Json, ServiceError> {
+        let program = req.program.expect("decode guarantees program for analyze");
+        let problems = req.problems.unwrap_or(self.config.engine.problems);
+        let distance_bound = req
+            .distance_bound
+            .unwrap_or(self.config.engine.dep_max_distance);
+        let deadline = self.config.request_timeout;
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.queue.lock().unwrap();
+            if self.is_shutdown() {
+                return Err(ServiceError::new(
+                    ErrorKind::Overloaded,
+                    "service is shutting down",
+                ));
+            }
+            if q.len() >= self.config.queue_capacity {
+                return Err(ServiceError::new(
+                    ErrorKind::Overloaded,
+                    format!("queue full ({} in flight)", q.len()),
+                ));
+            }
+            q.push_back(Job {
+                program,
+                problems,
+                distance_bound,
+                enqueued: Instant::now(),
+                deadline,
+                reply: tx,
+            });
+            self.queue_depth_hwm.fetch_max(q.len(), Ordering::Relaxed);
+        }
+        self.job_ready.notify_one();
+
+        match rx.recv_timeout(deadline) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::new(
+                ErrorKind::Timeout,
+                format!("deadline of {} ms exceeded", deadline.as_millis()),
+            )),
+            // Workers always reply before exiting (the queue is drained on
+            // shutdown), so disconnection means the pool is gone entirely.
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::new(
+                ErrorKind::Overloaded,
+                "service is shutting down",
+            )),
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break Some(job);
+                    }
+                    if self.is_shutdown() {
+                        break None;
+                    }
+                    q = self.job_ready.wait(q).unwrap();
+                }
+            };
+            let Some(job) = job else { return };
+            let outcome = self.run_job(&job);
+            // The waiter may have timed out and gone; that is fine.
+            let _ = job.reply.send(outcome);
+        }
+    }
+
+    fn run_job(&self, job: &Job) -> Result<Json, ServiceError> {
+        if job.enqueued.elapsed() >= job.deadline {
+            return Err(ServiceError::new(
+                ErrorKind::Timeout,
+                format!("spent over {} ms queued", job.deadline.as_millis()),
+            ));
+        }
+        let program = parse_program_bytes(job.program.as_bytes())
+            .map_err(|e| ServiceError::new(ErrorKind::Parse, e.to_string()))?;
+        let result = self
+            .engine
+            .analyze_with(0, &program, job.problems, job.distance_bound);
+        if let Some(e) = result.error {
+            return Err(ServiceError::new(ErrorKind::Analysis, e));
+        }
+        Ok(analyze_result_json(&result))
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut latency = [0u64; LATENCY_BUCKETS_US.len() + 1];
+        for (slot, counter) in latency.iter_mut().zip(&self.latency) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        ServiceStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            analysis_errors: self.analysis_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            latency,
+        }
+    }
+
+    /// Snapshot of the shared engine's statistics.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// The `stats` verb payload: engine and cache one-liners (their
+    /// `Display` impls) plus the structured service counters.
+    fn stats_json(&self) -> Json {
+        let e = self.engine_stats();
+        let s = self.stats();
+        let errors = Json::Obj(vec![
+            ("parse".into(), Json::Num(s.parse_errors as f64)),
+            ("analysis".into(), Json::Num(s.analysis_errors as f64)),
+            ("timeout".into(), Json::Num(s.timeouts as f64)),
+            ("overloaded".into(), Json::Num(s.overloaded as f64)),
+            ("protocol".into(), Json::Num(s.protocol_errors as f64)),
+        ]);
+        let mut latency = Vec::new();
+        for (i, &edge) in LATENCY_BUCKETS_US.iter().enumerate() {
+            latency.push((format!("le_{edge}us"), Json::Num(s.latency[i] as f64)));
+        }
+        latency.push((
+            "gt_1000000us".into(),
+            Json::Num(s.latency[LATENCY_BUCKETS_US.len()] as f64),
+        ));
+        Json::Obj(vec![
+            ("engine".into(), Json::Str(e.to_string())),
+            ("cache".into(), Json::Str(e.cache.to_string())),
+            (
+                "service".into(),
+                Json::Obj(vec![
+                    ("connections".into(), Json::Num(s.connections as f64)),
+                    ("requests".into(), Json::Num(s.requests as f64)),
+                    ("ok".into(), Json::Num(s.ok as f64)),
+                    ("errors".into(), errors),
+                    (
+                        "queue_depth_hwm".into(),
+                        Json::Num(s.queue_depth_hwm as f64),
+                    ),
+                    ("latency".into(), Json::Obj(latency)),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Defensive: a service dropped without an explicit shutdown still
+        // stops its workers (they hold Arc<Service>, so by the time Drop
+        // runs they have already exited — this is for the join handles).
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.job_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_small() -> Arc<Service> {
+        Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn ping_and_analyze_roundtrip() {
+        let svc = start_small();
+        let r = svc.handle_frame(br#"{"id": 1, "verb": "ping"}"#);
+        assert_eq!(r.line, r#"{"id":1,"ok":true,"result":"pong"}"#);
+        let r = svc.handle_frame(
+            br#"{"id": 2, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#,
+        );
+        assert!(r.line.contains(r#""ok":true"#), "{}", r.line);
+        assert!(r.line.contains("reuse"), "{}", r.line);
+        let s = svc.stats();
+        assert_eq!((s.requests, s.ok), (2, 2));
+        svc.shutdown();
+        svc.join_workers();
+    }
+
+    #[test]
+    fn error_taxonomy_is_counted() {
+        let svc = start_small();
+        // protocol: malformed JSON
+        let r = svc.handle_frame(b"} not json");
+        assert!(r.line.contains(r#""kind":"protocol""#), "{}", r.line);
+        // protocol: unknown verb
+        let r = svc.handle_frame(br#"{"verb": "frobnicate"}"#);
+        assert!(r.line.contains("unknown verb"), "{}", r.line);
+        // parse: bad DSL
+        let r = svc.handle_frame(br#"{"verb": "analyze", "program": "do do do"}"#);
+        assert!(r.line.contains(r#""kind":"parse""#), "{}", r.line);
+        let s = svc.stats();
+        assert_eq!(s.protocol_errors, 2);
+        assert_eq!(s.parse_errors, 1);
+        assert_eq!(s.errors(), 3);
+        assert_eq!(s.requests, 3);
+        svc.shutdown();
+        svc.join_workers();
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            request_timeout: Duration::ZERO,
+            ..ServiceConfig::default()
+        });
+        let r = svc.handle_frame(br#"{"id": 9, "verb": "analyze", "program": "x := 1;"}"#);
+        assert!(r.line.contains(r#""kind":"timeout""#), "{}", r.line);
+        assert_eq!(svc.stats().timeouts, 1);
+        svc.shutdown();
+        svc.join_workers();
+    }
+
+    #[test]
+    fn shutdown_verb_reports_and_flags() {
+        let svc = start_small();
+        let r = svc.handle_frame(br#"{"id": 1, "verb": "shutdown"}"#);
+        assert!(r.shutdown);
+        assert!(r.line.contains("shutting down"), "{}", r.line);
+        assert!(svc.is_shutdown());
+        // Post-shutdown analyze is rejected as overloaded.
+        let r = svc.handle_frame(br#"{"id": 2, "verb": "analyze", "program": "x := 1;"}"#);
+        assert!(r.line.contains(r#""kind":"overloaded""#), "{}", r.line);
+        svc.join_workers();
+    }
+
+    #[test]
+    fn per_request_problem_selection_hits_distinct_cache_entries() {
+        let svc = start_small();
+        let frame = |id: u32, problems: &str| {
+            format!(
+                r#"{{"id": {id}, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end", "problems": {problems}}}"#
+            )
+        };
+        let r1 = svc.handle_frame(frame(1, r#"["available"]"#).as_bytes());
+        let r2 = svc.handle_frame(frame(2, r#"["busy"]"#).as_bytes());
+        assert!(r1.line.contains("reuse"), "{}", r1.line);
+        assert!(!r2.line.contains("reuse"), "{}", r2.line);
+        // Distinct problem sets are distinct cache keys: two misses.
+        assert_eq!(svc.engine_stats().cache.misses, 2);
+        svc.shutdown();
+        svc.join_workers();
+    }
+}

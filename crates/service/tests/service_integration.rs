@@ -1,0 +1,472 @@
+//! Loopback-TCP integration tests: concurrent clients, response/request
+//! id matching, byte-identical reports vs the direct in-process engine,
+//! the negative paths of the error taxonomy, and graceful-shutdown drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use arrayflow_engine::{Engine, EngineConfig};
+use arrayflow_service::{Json, Server, Service, ServiceConfig};
+
+/// One test client: a connection plus line-oriented send/receive.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("server response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.truncate(line.trim_end().len());
+        line
+    }
+
+    fn recv_json(&mut self) -> Json {
+        let line = self.recv();
+        Json::parse(line.as_bytes()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+}
+
+fn spawn_server(config: ServiceConfig) -> (std::net::SocketAddr, Arc<Service>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().unwrap();
+    let service = server.service();
+    std::thread::spawn(move || server.run().unwrap());
+    (addr, service)
+}
+
+fn error_kind(resp: &Json) -> &str {
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    resp.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .expect("error.kind")
+}
+
+/// The small program corpus the concurrency test spreads across clients:
+/// some alpha-equivalent pairs (cache hits), some distinct.
+fn corpus() -> Vec<String> {
+    vec![
+        "do i = 1, 100 A[i+2] := A[i] + x; end".into(),
+        "do j = 1, 100 B[j+2] := B[j] + y; end".into(), // alpha-equiv of [0]
+        "do i = 1, 50 A[i] := A[i-1] * 2; A[i+3] := A[i]; end".into(),
+        "do k = 1, 80 if k < 9 then C[k] := C[k-2]; end end".into(),
+        "do i = 1, 60 do j = 1, 60 X[i, j] := X[i, j-1]; end end".into(),
+    ]
+}
+
+#[test]
+fn concurrent_clients_get_id_matched_byte_identical_reports() {
+    let engine_cfg = EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    };
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 4,
+        engine: engine_cfg.clone(),
+        ..ServiceConfig::default()
+    });
+
+    // Direct in-process baseline with an identical (but separate) engine.
+    let programs = corpus();
+    let baseline: Vec<Vec<String>> = {
+        let engine = Engine::new(engine_cfg);
+        programs
+            .iter()
+            .map(|src| {
+                let p = arrayflow_ir::parse_program(src).unwrap();
+                let r = engine.analyze_one(0, &p);
+                assert!(r.error.is_none());
+                r.loops.iter().map(|l| l.report.render()).collect()
+            })
+            .collect()
+    };
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 20;
+    let programs = Arc::new(programs);
+    let baseline = Arc::new(baseline);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let programs = Arc::clone(&programs);
+            let baseline = Arc::clone(&baseline);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                // Pipeline all requests, then read all responses: exercises
+                // in-order response delivery and id correlation.
+                for k in 0..REQUESTS {
+                    let id = (c * 1000 + k) as u32;
+                    let which = (c + k) % programs.len();
+                    let frame = Json::Obj(vec![
+                        ("id".into(), Json::Num(id as f64)),
+                        ("verb".into(), Json::Str("analyze".into())),
+                        ("program".into(), Json::Str(programs[which].clone())),
+                    ]);
+                    client.send(&frame.to_string());
+                }
+                for k in 0..REQUESTS {
+                    let id = (c * 1000 + k) as u32;
+                    let which = (c + k) % programs.len();
+                    let resp = client.recv_json();
+                    assert_eq!(
+                        resp.get("id").and_then(Json::as_u64),
+                        Some(id as u64),
+                        "response out of order or mismatched"
+                    );
+                    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+                    let loops = resp
+                        .get("result")
+                        .and_then(|r| r.get("loops"))
+                        .and_then(Json::as_arr)
+                        .unwrap();
+                    let served: Vec<&str> = loops
+                        .iter()
+                        .map(|l| l.get("report").and_then(Json::as_str).unwrap())
+                        .collect();
+                    assert_eq!(
+                        served, baseline[which],
+                        "served report differs from direct engine output"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.ok, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(stats.requests, stats.ok);
+    assert_eq!(stats.connections, CLIENTS as u64);
+    // Alpha-equivalent duplicates hit the shared cache.
+    assert!(service.engine_stats().cache.hits > 0);
+
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn malformed_json_is_protocol_error_and_connection_survives() {
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(addr);
+
+    client.send("this is { not json");
+    assert_eq!(error_kind(&client.recv_json()), "protocol");
+
+    // Invalid UTF-8 bytes inside the frame: still a structured error.
+    client.send_raw(b"{\"verb\": \"ping\", \"junk\": \"\xff\xfe\"}\n");
+    assert_eq!(error_kind(&client.recv_json()), "protocol");
+
+    // Connection still usable afterwards.
+    client.send(r#"{"id": 5, "verb": "ping"}"#);
+    let resp = client.recv_json();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("id").and_then(Json::as_u64), Some(5));
+
+    assert_eq!(service.stats().protocol_errors, 2);
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn invalid_utf8_dsl_is_parse_error_not_a_crash() {
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(addr);
+    // The program smuggles U+0080 through valid JSON; the DSL lexer rejects the non-ASCII byte with a `parse` error, not a crash.
+    client.send(r#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9  end"}"#);
+    assert_eq!(error_kind(&client.recv_json()), "parse");
+    client.send(r#"{"id": 2, "verb": "ping"}"#);
+    assert_eq!(
+        client.recv_json().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn oversized_frame_is_rejected_and_connection_survives() {
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 1,
+        max_frame_bytes: 256,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(addr);
+
+    let huge = format!(
+        r#"{{"id": 1, "verb": "analyze", "program": "{}"}}"#,
+        "x := 1; ".repeat(200)
+    );
+    assert!(huge.len() > 256);
+    client.send(&huge);
+    let resp = client.recv_json();
+    assert_eq!(error_kind(&resp), "protocol");
+    let msg = resp
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap();
+    assert!(msg.contains("256 bytes"), "{msg}");
+
+    client.send(r#"{"id": 2, "verb": "ping"}"#);
+    assert_eq!(
+        client.recv_json().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(service.stats().protocol_errors, 1);
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn unknown_verb_is_protocol_error() {
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(addr);
+    client.send(r#"{"id": 1, "verb": "explode"}"#);
+    let resp = client.recv_json();
+    assert_eq!(error_kind(&resp), "protocol");
+    assert_eq!(resp.get("id").and_then(Json::as_u64), Some(1));
+    client.send(r#"{"id": 2, "verb": "ping"}"#);
+    assert_eq!(
+        client.recv_json().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn deadline_miss_is_timeout_error_and_connection_survives() {
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 1,
+        request_timeout: Duration::ZERO,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(addr);
+    client.send(r#"{"id": 1, "verb": "analyze", "program": "x := 1;"}"#);
+    assert_eq!(error_kind(&client.recv_json()), "timeout");
+    // Cheap verbs bypass the queue and still work.
+    client.send(r#"{"id": 2, "verb": "ping"}"#);
+    assert_eq!(
+        client.recv_json().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(service.stats().timeouts, 1);
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn overload_is_reported_when_queue_is_full() {
+    // Queue of 1 and a single worker: pipelining many analyzes from many
+    // threads must never panic, and every response is either ok,
+    // overloaded, or timeout — nothing is dropped.
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        request_timeout: Duration::from_secs(10),
+        ..ServiceConfig::default()
+    });
+    const CLIENTS: usize = 6;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for k in 0..10 {
+                    client.send(&format!(
+                        r#"{{"id": {}, "verb": "analyze", "program": "do i = 1, 50 A[i+{}] := A[i]; end"}}"#,
+                        c * 100 + k,
+                        k + 1
+                    ));
+                }
+                for _ in 0..10 {
+                    let resp = client.recv_json();
+                    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        continue;
+                    }
+                    let kind = error_kind(&resp).to_string();
+                    assert!(
+                        kind == "overloaded" || kind == "timeout",
+                        "unexpected error kind {kind}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.requests, (CLIENTS * 10) as u64);
+    assert_eq!(stats.ok + stats.overloaded + stats.timeouts, stats.requests);
+    assert!(stats.queue_depth_hwm <= 1);
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    // Many clients, each with one request in flight against a 1-worker
+    // service, while another client fires `shutdown` concurrently: every
+    // accepted request must still be answered (ok — drained, or
+    // overloaded if it arrived after the flag), and the server must stop.
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        request_timeout: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    });
+    const CLIENTS: usize = 8;
+    let outcomes: Vec<String> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                client.send(&format!(
+                    r#"{{"id": {c}, "verb": "analyze", "program": "do i = 1, 90 A[i+{}] := A[i] + B[i-1]; end"}}"#,
+                    c + 1
+                ));
+                let resp = client.recv_json();
+                assert_eq!(resp.get("id").and_then(Json::as_u64), Some(c as u64));
+                if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                    "ok".to_string()
+                } else {
+                    error_kind(&resp).to_string()
+                }
+            }));
+        }
+        // Let the analyze requests land first, then shut down mid-stream.
+        std::thread::sleep(Duration::from_millis(30));
+        let mut killer = Client::connect(addr);
+        killer.send(r#"{"id": 999, "verb": "shutdown"}"#);
+        let resp = killer.recv_json();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for outcome in &outcomes {
+        assert!(
+            outcome == "ok" || outcome == "overloaded",
+            "request dropped or mis-answered during shutdown: {outcome}"
+        );
+    }
+    // join_workers returns only after the queue fully drained.
+    service.join_workers();
+    assert!(service.is_shutdown());
+
+    // Counters are consistent: every request has exactly one outcome.
+    let stats = service.stats();
+    assert_eq!(stats.requests, CLIENTS as u64 + 1); // + shutdown verb
+    assert_eq!(stats.ok + stats.errors(), stats.requests);
+    let answered_ok = outcomes.iter().filter(|o| *o == "ok").count() as u64;
+    assert_eq!(stats.ok, answered_ok + 1); // + shutdown verb
+}
+
+#[test]
+fn stats_verb_reports_engine_summary_and_counters() {
+    let (addr, service) = spawn_server(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(addr);
+    client.send(r#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+1] := A[i]; end"}"#);
+    client.recv_json();
+    client.send(r#"{"id": 2, "verb": "analyze", "program": "do j = 1, 9 B[j+1] := B[j]; end"}"#);
+    client.recv_json();
+    client.send("not json");
+    client.recv_json();
+
+    client.send(r#"{"id": 3, "verb": "stats"}"#);
+    let resp = client.recv_json();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let result = resp.get("result").unwrap();
+
+    // The engine line is the EngineStats Display one-liner; the two
+    // alpha-equivalent programs produce one solve and one cache hit.
+    let engine = result.get("engine").and_then(Json::as_str).unwrap();
+    assert!(engine.contains("2 programs"), "{engine}");
+    assert!(engine.contains("1 from cache"), "{engine}");
+    let cache = result.get("cache").and_then(Json::as_str).unwrap();
+    assert!(cache.contains("hits=1"), "{cache}");
+
+    // Counters snapshot before the stats request itself completes: the
+    // two analyzes and the protocol error, not the in-flight stats call.
+    let svc = result.get("service").unwrap();
+    assert_eq!(svc.get("requests").and_then(Json::as_u64), Some(3));
+    assert_eq!(svc.get("ok").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        svc.get("errors")
+            .and_then(|e| e.get("protocol"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    let latency = svc.get("latency").unwrap();
+    let total: u64 = [
+        "le_100us",
+        "le_1000us",
+        "le_10000us",
+        "le_100000us",
+        "le_1000000us",
+        "gt_1000000us",
+    ]
+    .iter()
+    .map(|k| latency.get(k).and_then(Json::as_u64).unwrap())
+    .sum();
+    assert_eq!(total, 3);
+
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn stdio_like_loop_over_pipe_mode_frames() {
+    // The stdio transport shares handle_frame with TCP; drive it directly
+    // with a mixed script to pin the pipe-mode contract.
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let script: &[&[u8]] = &[
+        br#"{"id": 1, "verb": "ping"}"#,
+        br#"{"id": 2, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#,
+        br#"{"id": 3, "verb": "stats"}"#,
+        br#"{"id": 4, "verb": "shutdown"}"#,
+    ];
+    let mut saw_shutdown = false;
+    for frame in script {
+        let resp = service.handle_frame(frame);
+        assert!(resp.line.contains("\"ok\":true"), "{}", resp.line);
+        saw_shutdown |= resp.shutdown;
+    }
+    assert!(saw_shutdown);
+    service.join_workers();
+}

@@ -59,18 +59,8 @@ fn main() {
     println!("...");
 
     let stats = engine.stats();
-    println!(
-        "\nengine: {} programs, {} loops, {} solved, {} from cache ({:.0}% hit rate)",
-        stats.programs,
-        stats.loops,
-        stats.cache.misses,
-        stats.cache.hits,
-        100.0 * stats.hit_rate()
-    );
-    println!(
-        "solver effort: {} passes, {} node visits, {} µs busy",
-        stats.solver_passes, stats.node_visits, stats.busy_micros
-    );
+    println!("\nengine: {stats}");
+    println!("cache:  {}", stats.cache);
 
     // The two hand-written stencils share one fingerprint. (The hit rate
     // can fall a few hits short of the duplication rate: workers racing on

@@ -1,0 +1,75 @@
+//! A complete client session against the analysis service.
+//!
+//! Starts an in-process server on an ephemeral loopback port, then talks
+//! to it exactly as an external client would — over a plain `TcpStream`
+//! with newline-framed JSON — walking through every verb: `ping`, two
+//! `analyze` calls (alpha-equivalent programs, so the second is a cache
+//! hit), a problem-selected `analyze`, an error response, `stats`, and
+//! finally `shutdown`, which drains the server and stops it.
+//!
+//! Run with `cargo run --example service_client`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use arrayflow::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    // Server side: bind an ephemeral port and serve in the background.
+    // (In production you would run the `serve` binary instead.)
+    let server = Server::bind("127.0.0.1:0", ServiceConfig::default())?;
+    let addr = server.local_addr()?;
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("server on {addr}\n");
+
+    // Client side: one connection, requests pipelined one per line.
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut rpc = move |request: &str| -> std::io::Result<String> {
+        println!("→ {request}");
+        let mut w = &stream;
+        w.write_all(request.as_bytes())?;
+        w.write_all(b"\n")?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        print!("← {line}");
+        Ok(line)
+    };
+
+    rpc(r#"{"id": 1, "verb": "ping"}"#)?;
+
+    // Two alpha-equivalent stencils: the engine fingerprints them
+    // identically, so the second answer comes from the memo cache.
+    let a =
+        rpc(r#"{"id": 2, "verb": "analyze", "program": "do i = 1, 100 A[i+2] := A[i] + x; end"}"#)?;
+    let b =
+        rpc(r#"{"id": 3, "verb": "analyze", "program": "do j = 1, 100 B[j+2] := B[j] + y; end"}"#)?;
+    assert!(a.contains("reuse use_site"), "expected a reuse pair");
+    // The reports are byte-identical; only the per-request cache stats
+    // differ (the first request is a miss, the second a hit).
+    let loops = |s: &str| s[s.find("\"loops\"").unwrap()..s.find("\"stats\"").unwrap()].to_string();
+    assert_eq!(
+        loops(&a),
+        loops(&b),
+        "alpha-equivalent programs: identical reports"
+    );
+    assert!(b.contains("\"cache_hits\":1"), "expected a cache hit");
+
+    // Problem selection: only the backward must-problem (δ-busy stores).
+    rpc(
+        r#"{"id": 4, "verb": "analyze", "program": "do i = 1, 50 A[i] := 0; A[i] := B[i]; end", "problems": ["busy"]}"#,
+    )?;
+
+    // Errors come back structured; the connection stays usable.
+    let err = rpc(r#"{"id": 5, "verb": "analyze", "program": "do do do"}"#)?;
+    assert!(err.contains(r#""kind":"parse""#));
+
+    let stats = rpc(r#"{"id": 6, "verb": "stats"}"#)?;
+    assert!(stats.contains("hit rate"));
+
+    rpc(r#"{"id": 7, "verb": "shutdown"}"#)?;
+    server_thread.join().expect("server thread")?;
+    println!("\nserver drained and stopped");
+    Ok(())
+}

@@ -22,7 +22,10 @@
 //!   analyses/optimizations the paper discusses;
 //! * [`workloads`] — deterministic loop generators for tests and benches;
 //! * [`engine`] — the concurrent, memoizing batch analysis engine
-//!   (canonical loop fingerprints, sharded memo cache, worker pool).
+//!   (canonical loop fingerprints, sharded memo cache, worker pool);
+//! * [`service`] — the zero-dependency analysis server exposing the
+//!   engine over TCP and stdio (newline-framed JSON protocol, bounded
+//!   queue, structured errors, graceful shutdown).
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@ pub use arrayflow_graph as graph;
 pub use arrayflow_ir as ir;
 pub use arrayflow_machine as machine;
 pub use arrayflow_opt as opt;
+pub use arrayflow_service as service;
 pub use arrayflow_workloads as workloads;
 
 /// Commonly used items, re-exported for one-line imports.
@@ -56,6 +60,7 @@ pub mod prelude {
     pub use arrayflow_core::{Direction, Dist, Mode};
     pub use arrayflow_engine::{Engine, EngineConfig};
     pub use arrayflow_ir::{parse_program, Fingerprint, LoopBuilder, Program};
+    pub use arrayflow_service::{Server, Service, ServiceConfig};
 
     pub use crate::prepare;
 }
