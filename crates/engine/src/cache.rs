@@ -1,17 +1,27 @@
-//! Sharded memoization cache for analysis reports.
+//! Sharded memoization cache for analysis reports, with an optional
+//! persistent second tier.
 //!
-//! Keys are `(canonical fingerprint, problem selection)`; values are
-//! [`Arc<AnalysisReport>`]s, so a hit is one atomic increment away from
-//! free. The map is split into power-of-two shards, each behind its own
-//! `RwLock`, selected by the high bits of the (already uniformly
+//! Keys are `(canonical fingerprint, problem selection, distance bound)`;
+//! values are [`Arc<AnalysisReport>`]s, so a hit is one atomic increment
+//! away from free. The map is split into power-of-two shards, each behind
+//! its own `RwLock`, selected by the high bits of the (already uniformly
 //! distributed) fingerprint — readers on different shards never contend,
-//! and writers only lock 1/Nth of the table. Eviction is FIFO per shard
-//! with a configurable total capacity: analysis reports are small and
-//! uniform, so recency tracking buys little over insertion order for loop
-//! streams, and FIFO keeps the write path O(1).
+//! and writers only lock 1/Nth of the table.
+//!
+//! Eviction is second-chance by default: each entry carries one
+//! referenced bit, set on lookup; the evictor scans the insertion queue
+//! from the front, giving referenced entries one more round instead of
+//! evicting them. That keeps the O(1) insert of FIFO while protecting a
+//! hot working set from being flushed by a cold scan — a pure FIFO
+//! ([`EvictionPolicy::Fifo`]) remains available for comparison.
+//!
+//! A cache can also be backed by a [`SecondTier`] (e.g. the disk-backed
+//! report store of `arrayflow-store`): a memory miss falls through to the
+//! tier, a tier hit is *promoted* into memory, and fresh inserts are
+//! forwarded to the tier so they survive the process.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use arrayflow_ir::Fingerprint;
@@ -29,22 +39,54 @@ pub struct CacheKey {
     pub dep_max_distance: u64,
 }
 
+/// How a full shard chooses a victim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict in pure insertion order, ignoring lookups.
+    Fifo,
+    /// Second chance: entries referenced since their last consideration
+    /// get re-queued once before they can be evicted. Still O(1) insert.
+    #[default]
+    SecondChance,
+}
+
+/// A persistence tier consulted on memory misses and fed on inserts.
+///
+/// Implementations must be cheap to call from the analysis path:
+/// [`SecondTier::store`] in particular should hand the report off
+/// asynchronously (the disk store uses a bounded writer-thread channel
+/// and *drops* the append under backpressure rather than blocking).
+pub trait SecondTier: Send + Sync {
+    /// Fetches a report previously stored under `key`, if any.
+    fn load(&self, key: &CacheKey) -> Option<Arc<AnalysisReport>>;
+    /// Persists a freshly computed report. Must not block the caller.
+    fn store(&self, key: &CacheKey, report: &Arc<AnalysisReport>);
+}
+
 /// Monotonic hit/miss/eviction counters, readable while the cache is in
 /// use.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
-    /// Lookups that found a report.
+    /// Lookups answered from memory.
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that missed memory (a second-tier promotion may still have
+    /// answered them; see [`CacheCounters::promotions`]).
     pub misses: u64,
     /// Entries evicted to respect capacity.
     pub evictions: u64,
-    /// Successful inserts (idempotent re-inserts of the same key count).
+    /// First-time inserts of a key.
     pub inserts: u64,
+    /// Idempotent re-inserts of an existing key (two workers racing on
+    /// the same loop) — counted apart so `inserts` tracks distinct keys.
+    pub reinserts: u64,
+    /// Memory misses answered by the second tier and promoted into
+    /// memory.
+    pub promotions: u64,
 }
 
 impl CacheCounters {
-    /// Hits over total lookups, in `[0, 1]`; 0 when no lookups happened.
+    /// Memory hits over total lookups, in `[0, 1]`; 0 when no lookups
+    /// happened.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -57,34 +99,85 @@ impl CacheCounters {
 
 impl std::fmt::Display for CacheCounters {
     /// One-line human-readable summary, e.g.
-    /// `hits=63 misses=21 inserts=21 evictions=0 (75% hit rate)`.
+    /// `hits=63 misses=21 inserts=21 reinserts=0 evictions=0 promotions=0 (75% hit rate)`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} inserts={} evictions={} ({:.0}% hit rate)",
+            "hits={} misses={} inserts={} reinserts={} evictions={} promotions={} ({:.0}% hit rate)",
             self.hits,
             self.misses,
             self.inserts,
+            self.reinserts,
             self.evictions,
+            self.promotions,
             100.0 * self.hit_rate()
         )
     }
 }
 
+struct Entry {
+    report: Arc<AnalysisReport>,
+    // Set on every lookup hit; consulted (and cleared) by the
+    // second-chance evictor. Relaxed is enough: the bit is a heuristic.
+    referenced: AtomicBool,
+}
+
 struct Shard {
-    map: HashMap<CacheKey, Arc<AnalysisReport>>,
-    // Insertion order for FIFO eviction.
+    map: HashMap<CacheKey, Entry>,
+    // Consideration order for the evictor (insertion order for FIFO).
     order: VecDeque<CacheKey>,
+}
+
+impl Shard {
+    fn evict_to_capacity(
+        &mut self,
+        capacity: usize,
+        policy: EvictionPolicy,
+        just_inserted: Option<&CacheKey>,
+    ) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > capacity {
+            // Every key in `order` was queued exactly once, so the front
+            // is always present in the map.
+            let victim = self.order.pop_front().expect("order tracks map");
+            if policy == EvictionPolicy::SecondChance {
+                // CLOCK-style: the entry whose insertion triggered this
+                // scan sits behind the hand — requeue it unconsidered, so
+                // an all-referenced shard degenerates to FIFO instead of
+                // evicting the newcomer.
+                if Some(&victim) == just_inserted {
+                    self.order.push_back(victim);
+                    continue;
+                }
+                let entry = self.map.get(&victim).expect("order tracks map");
+                // Referenced since last consideration: clear the bit and
+                // give it one more round. Each non-skip pop clears a bit,
+                // so the loop finds an unreferenced victim within one
+                // cycle.
+                if entry.referenced.swap(false, Ordering::Relaxed) {
+                    self.order.push_back(victim);
+                    continue;
+                }
+            }
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
 }
 
 /// The sharded memo cache.
 pub struct MemoCache {
     shards: Vec<RwLock<Shard>>,
     shard_capacity: usize,
+    policy: EvictionPolicy,
+    tier2: Option<Arc<dyn SecondTier>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
+    reinserts: AtomicU64,
+    promotions: AtomicU64,
 }
 
 impl std::fmt::Debug for MemoCache {
@@ -92,6 +185,8 @@ impl std::fmt::Debug for MemoCache {
         f.debug_struct("MemoCache")
             .field("shards", &self.shards.len())
             .field("shard_capacity", &self.shard_capacity)
+            .field("policy", &self.policy)
+            .field("tier2", &self.tier2.is_some())
             .field("counters", &self.counters())
             .finish()
     }
@@ -100,8 +195,13 @@ impl std::fmt::Debug for MemoCache {
 impl MemoCache {
     /// Creates a cache with `shards` shards (rounded up to a power of two,
     /// minimum 1) holding at most `capacity` entries in total (0 means
-    /// unbounded).
+    /// unbounded), evicting with the default second-chance policy.
     pub fn new(shards: usize, capacity: usize) -> Self {
+        Self::with_policy(shards, capacity, EvictionPolicy::default())
+    }
+
+    /// Like [`MemoCache::new`] with an explicit eviction policy.
+    pub fn with_policy(shards: usize, capacity: usize, policy: EvictionPolicy) -> Self {
         let n = shards.max(1).next_power_of_two();
         let shard_capacity = if capacity == 0 {
             usize::MAX
@@ -118,11 +218,27 @@ impl MemoCache {
                 })
                 .collect(),
             shard_capacity,
+            policy,
+            tier2: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            reinserts: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a persistence tier: memory misses fall through to it (a
+    /// tier hit is promoted into memory) and fresh inserts are forwarded
+    /// to it. Call before sharing the cache.
+    pub fn set_second_tier(&mut self, tier: Arc<dyn SecondTier>) {
+        self.tier2 = Some(tier);
+    }
+
+    /// True when a second tier is attached.
+    pub fn has_second_tier(&self) -> bool {
+        self.tier2.is_some()
     }
 
     fn shard_of(&self, key: &CacheKey) -> usize {
@@ -133,38 +249,75 @@ impl MemoCache {
         ((fp ^ (fp >> 64)) as usize) & (self.shards.len() - 1)
     }
 
-    /// Looks up a report, bumping the hit/miss counters.
+    /// Looks up a report, bumping the hit/miss counters. A memory miss
+    /// falls through to the second tier when one is attached; a tier hit
+    /// is promoted into memory (counted under `promotions`, still a
+    /// memory `miss`) so the next lookup is free.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<AnalysisReport>> {
-        let shard = self.shards[self.shard_of(key)].read().unwrap();
-        match shard.map.get(key) {
-            Some(v) => {
+        {
+            let shard = self.shards[self.shard_of(key)].read().unwrap();
+            if let Some(entry) = shard.map.get(key) {
+                entry.referenced.store(true, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(v))
+                return Some(Arc::clone(&entry.report));
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = self.tier2.as_ref()?.load(key)?;
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        self.insert_memory(*key, Arc::clone(&report));
+        Some(report)
+    }
+
+    /// Inserts a freshly computed report, evicting per the policy if the
+    /// shard is full, and forwards it to the second tier (if attached) so
+    /// it survives the process. Re-inserting an existing key (two workers
+    /// racing on the same loop) replaces the value — both values are
+    /// byte-identical by construction, so the race is benign; it is
+    /// counted under `reinserts`, not `inserts`.
+    pub fn insert(&self, key: CacheKey, value: Arc<AnalysisReport>) {
+        if let Some(tier) = &self.tier2 {
+            tier.store(&key, &value);
+        }
+        self.insert_memory(key, value);
+    }
+
+    /// Inserts into the memory tier only — used for second-tier
+    /// promotions and for warm-start preloading, where the report is
+    /// already persistent.
+    pub fn preload(&self, key: CacheKey, value: Arc<AnalysisReport>) {
+        self.insert_memory(key, value);
+    }
+
+    fn insert_memory(&self, key: CacheKey, value: Arc<AnalysisReport>) {
+        let mut shard = self.shards[self.shard_of(&key)].write().unwrap();
+        let entry = Entry {
+            report: value,
+            referenced: AtomicBool::new(false),
+        };
+        if shard.map.insert(key, entry).is_none() {
+            shard.order.push_back(key);
+            let evicted = shard.evict_to_capacity(self.shard_capacity, self.policy, Some(&key));
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reinserts.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Inserts a report, evicting the oldest entries of the shard if it is
-    /// full. Re-inserting an existing key (two workers racing on the same
-    /// loop) replaces the value — both values are byte-identical by
-    /// construction, so the race is benign.
-    pub fn insert(&self, key: CacheKey, value: Arc<AnalysisReport>) {
-        let mut shard = self.shards[self.shard_of(&key)].write().unwrap();
-        if shard.map.insert(key, value).is_none() {
-            shard.order.push_back(key);
-            while shard.map.len() > self.shard_capacity {
-                // Every key in `order` was inserted exactly once, so the
-                // front is always present in the map.
-                let victim = shard.order.pop_front().expect("order tracks map");
-                shard.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+    /// Visits every cached report (shard by shard, under the read lock).
+    /// The order is unspecified. This is the export path: the service
+    /// uses it to enumerate what a warm restart would preload, and tests
+    /// use it to diff memory against the persistent tier.
+    pub fn for_each(&self, mut f: impl FnMut(&CacheKey, &Arc<AnalysisReport>)) {
+        for shard in &self.shards {
+            let shard = shard.read().unwrap();
+            for (key, entry) in &shard.map {
+                f(key, &entry.report);
             }
         }
-        self.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current number of cached reports across all shards.
@@ -187,6 +340,8 @@ impl MemoCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            reinserts: self.reinserts.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
         }
     }
 }
@@ -194,6 +349,7 @@ impl MemoCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     fn key(fp: u128) -> CacheKey {
         CacheKey {
@@ -249,7 +405,7 @@ mod tests {
 
     #[test]
     fn eviction_respects_capacity_fifo() {
-        let c = MemoCache::new(1, 2);
+        let c = MemoCache::with_policy(1, 2, EvictionPolicy::Fifo);
         for fp in 0..5u128 {
             c.insert(key(fp), dummy_report(fp));
         }
@@ -261,6 +417,51 @@ mod tests {
     }
 
     #[test]
+    fn second_chance_protects_referenced_entries() {
+        let c = MemoCache::with_policy(1, 2, EvictionPolicy::SecondChance);
+        c.insert(key(0), dummy_report(0));
+        c.insert(key(1), dummy_report(1));
+        // Reference key 0; key 1 is the unreferenced victim despite being
+        // newer.
+        assert!(c.get(&key(0)).is_some());
+        c.insert(key(2), dummy_report(2));
+        assert_eq!(c.len(), 2);
+        let before = c.counters().hits;
+        assert!(c.get(&key(0)).is_some(), "referenced entry survived");
+        assert_eq!(c.counters().hits, before + 1);
+        assert!(c.get(&key(1)).is_none(), "unreferenced entry evicted");
+    }
+
+    #[test]
+    fn second_chance_degenerates_to_fifo_when_all_referenced() {
+        let c = MemoCache::with_policy(1, 2, EvictionPolicy::SecondChance);
+        c.insert(key(0), dummy_report(0));
+        c.insert(key(1), dummy_report(1));
+        assert!(c.get(&key(0)).is_some());
+        assert!(c.get(&key(1)).is_some());
+        // All referenced: the evictor clears the bits in one cycle and
+        // then evicts the (re-queued) oldest.
+        c.insert(key(2), dummy_report(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(0)).is_none());
+        assert!(c.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn reinserts_do_not_inflate_inserts() {
+        let c = MemoCache::new(1, 8);
+        c.insert(key(3), dummy_report(3));
+        c.insert(key(3), dummy_report(3));
+        c.insert(key(3), dummy_report(3));
+        let s = c.counters();
+        assert_eq!((s.inserts, s.reinserts), (1, 2));
+        assert_eq!(c.len(), 1);
+        let line = s.to_string();
+        assert!(line.contains("inserts=1"), "{line}");
+        assert!(line.contains("reinserts=2"), "{line}");
+    }
+
+    #[test]
     fn zero_capacity_means_unbounded() {
         let c = MemoCache::new(2, 0);
         for fp in 0..100u128 {
@@ -268,5 +469,57 @@ mod tests {
         }
         assert_eq!(c.len(), 100);
         assert_eq!(c.counters().evictions, 0);
+    }
+
+    #[test]
+    fn for_each_visits_every_entry() {
+        let c = MemoCache::new(4, 0);
+        for fp in 0..10u128 {
+            c.insert(key(fp), dummy_report(fp));
+        }
+        let mut seen: Vec<u128> = Vec::new();
+        c.for_each(|k, _| seen.push(k.fingerprint.0));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10u128).collect::<Vec<_>>());
+    }
+
+    /// An in-memory second tier for exercising the fall-through, the
+    /// promotion path and the insert forwarding without touching disk.
+    #[derive(Default)]
+    struct MapTier {
+        map: Mutex<HashMap<CacheKey, Arc<AnalysisReport>>>,
+    }
+
+    impl SecondTier for MapTier {
+        fn load(&self, key: &CacheKey) -> Option<Arc<AnalysisReport>> {
+            self.map.lock().unwrap().get(key).cloned()
+        }
+        fn store(&self, key: &CacheKey, report: &Arc<AnalysisReport>) {
+            self.map.lock().unwrap().insert(*key, Arc::clone(report));
+        }
+    }
+
+    #[test]
+    fn second_tier_promotion_and_forwarding() {
+        let tier = Arc::new(MapTier::default());
+        let mut c = MemoCache::new(1, 8);
+        c.set_second_tier(Arc::clone(&tier) as Arc<dyn SecondTier>);
+
+        // A fresh insert is forwarded to the tier.
+        c.insert(key(1), dummy_report(1));
+        assert!(tier.map.lock().unwrap().contains_key(&key(1)));
+
+        // Seed the tier behind the cache's back: the first get misses
+        // memory, promotes, and the second get hits memory.
+        tier.store(&key(2), &dummy_report(2));
+        assert!(c.get(&key(2)).is_some());
+        let s = c.counters();
+        assert_eq!((s.misses, s.promotions), (1, 1));
+        assert!(c.get(&key(2)).is_some());
+        assert_eq!(c.counters().hits, 1);
+
+        // Preload does not forward back to the tier.
+        c.preload(key(3), dummy_report(3));
+        assert!(!tier.map.lock().unwrap().contains_key(&key(3)));
     }
 }

@@ -8,7 +8,7 @@ use std::time::Instant;
 use arrayflow_analyses::loops_innermost_first;
 use arrayflow_ir::{fingerprint_loop, Fingerprint, Program};
 
-use crate::cache::{CacheCounters, CacheKey, MemoCache};
+use crate::cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
 use crate::report::{AnalysisReport, ProblemSet};
 
 /// Engine construction parameters. `Default` is a sensible production
@@ -23,6 +23,8 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Total cached reports across shards; `0` disables eviction.
     pub cache_capacity: usize,
+    /// How a full cache shard picks its victim.
+    pub eviction: EvictionPolicy,
     /// Which framework instances each query runs.
     pub problems: ProblemSet,
     /// Distance bound for dependence extraction (part of the cache key).
@@ -35,6 +37,7 @@ impl Default for EngineConfig {
             workers: 0,
             cache_shards: 16,
             cache_capacity: 65_536,
+            eviction: EvictionPolicy::default(),
             problems: ProblemSet::ALL,
             dep_max_distance: 8,
         }
@@ -184,7 +187,8 @@ impl Default for Engine {
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        let cache = MemoCache::new(config.cache_shards, config.cache_capacity);
+        let cache =
+            MemoCache::with_policy(config.cache_shards, config.cache_capacity, config.eviction);
         Self {
             config,
             cache,
@@ -199,6 +203,25 @@ impl Engine {
     /// The configuration the engine was built with.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Attaches a persistence tier under the memo cache: memory misses
+    /// fall through to it (tier hits are promoted), fresh reports are
+    /// forwarded to it. Call before sharing the engine.
+    pub fn set_second_tier(&mut self, tier: Arc<dyn SecondTier>) {
+        self.cache.set_second_tier(tier);
+    }
+
+    /// Warm-start: seeds the memory cache with an already-persistent
+    /// report *without* forwarding it back to the second tier.
+    pub fn preload(&self, key: CacheKey, report: Arc<AnalysisReport>) {
+        self.cache.preload(key, report);
+    }
+
+    /// Visits every cached report (unspecified order) — the export side
+    /// of the warm-start round trip.
+    pub fn for_each_cached(&self, f: impl FnMut(&CacheKey, &Arc<AnalysisReport>)) {
+        self.cache.for_each(f);
     }
 
     /// Analyzes one program (normalizing a private copy first), answering

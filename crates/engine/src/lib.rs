@@ -45,6 +45,6 @@ pub mod cache;
 pub mod engine;
 pub mod report;
 
-pub use cache::{CacheCounters, CacheKey, MemoCache};
+pub use cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
 pub use engine::{BatchResult, Engine, EngineConfig, EngineStats, LoopReport, QueryStats};
 pub use report::{AnalysisReport, InstanceStats, ProblemSet};

@@ -48,6 +48,20 @@ impl ProblemSet {
             | (self.busy as u8) << 2
             | (self.reaching_refs as u8) << 3
     }
+
+    /// Inverse of [`ProblemSet::bits`]; `None` if `bits` has stray high
+    /// bits (e.g. when decoding untrusted persisted data).
+    pub fn from_bits(bits: u8) -> Option<ProblemSet> {
+        if bits & !0b1111 != 0 {
+            return None;
+        }
+        Some(ProblemSet {
+            reaching: bits & 0b0001 != 0,
+            available: bits & 0b0010 != 0,
+            busy: bits & 0b0100 != 0,
+            reaching_refs: bits & 0b1000 != 0,
+        })
+    }
 }
 
 impl Default for ProblemSet {

@@ -4,17 +4,23 @@
 //! serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N]
 //!       [--queue N] [--timeout-ms N] [--max-frame BYTES]
 //!       [--cache-capacity N] [--distance-bound N]
+//!       [--store DIR] [--store-segment-bytes N] [--store-queue N]
 //! ```
 //!
 //! Defaults: listen on 127.0.0.1:7433, one service worker and one engine
 //! worker per hardware thread, 256-deep queue, 5000 ms deadline, 1 MiB
 //! frames. With `--stdio` the protocol runs over stdin/stdout instead
-//! (one request per line; diagnostics go to stderr).
+//! (one request per line; diagnostics go to stderr). With `--store DIR`
+//! reports persist to a crash-safe segment log in `DIR`: the cache is
+//! warm-started from it on boot and fresh results are appended
+//! asynchronously, so a restarted server answers previously seen loops
+//! without re-analyzing them.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use arrayflow_service::{run_stdio, Server, Service, ServiceConfig};
+use arrayflow_store::StoreConfig;
 
 struct Args {
     listen: String,
@@ -47,11 +53,30 @@ fn parse_args() -> Result<Args, String> {
             "--distance-bound" => {
                 args.config.engine.dep_max_distance = parse(&value("--distance-bound")?)?
             }
+            "--store" => {
+                let dir = value("--store")?;
+                args.config.store = Some(match args.config.store.take() {
+                    Some(mut sc) => {
+                        sc.dir = dir.into();
+                        sc
+                    }
+                    None => StoreConfig::at(dir),
+                });
+            }
+            "--store-segment-bytes" => {
+                let bytes = parse(&value("--store-segment-bytes")?)?;
+                store_config(&mut args.config)?.segment_bytes = bytes;
+            }
+            "--store-queue" => {
+                let depth = parse(&value("--store-queue")?)?;
+                store_config(&mut args.config)?.writer_queue = depth;
+            }
             "--help" | "-h" => {
                 println!(
                     "serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N] \
                      [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
-                     [--distance-bound N]"
+                     [--distance-bound N] [--store DIR] [--store-segment-bytes N] \
+                     [--store-queue N]"
                 );
                 std::process::exit(0);
             }
@@ -65,6 +90,13 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid value `{s}`"))
 }
 
+fn store_config(config: &mut ServiceConfig) -> Result<&mut StoreConfig, String> {
+    config
+        .store
+        .as_mut()
+        .ok_or_else(|| "pass --store DIR before store tuning flags".to_string())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -73,9 +105,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let has_store = args.config.store.is_some();
+    let report_store = |svc: &Service| {
+        if has_store {
+            eprintln!("serve: store warm-started {} report(s)", svc.warm_loaded());
+        }
+    };
     let result = if args.stdio {
         eprintln!("serve: stdio mode (one JSON request per line)");
-        run_stdio(Service::start(args.config))
+        match Service::try_start(args.config) {
+            Ok(service) => {
+                report_store(&service);
+                run_stdio(service)
+            }
+            Err(e) => {
+                eprintln!("serve: cannot open store: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         match Server::bind(args.listen.as_str(), args.config) {
             Ok(server) => {
@@ -83,10 +130,11 @@ fn main() -> ExitCode {
                     Ok(addr) => eprintln!("serve: listening on {addr}"),
                     Err(_) => eprintln!("serve: listening on {}", args.listen),
                 }
+                report_store(&server.service());
                 server.run()
             }
             Err(e) => {
-                eprintln!("serve: cannot bind {}: {e}", args.listen);
+                eprintln!("serve: cannot bind or open store at {}: {e}", args.listen);
                 return ExitCode::FAILURE;
             }
         }

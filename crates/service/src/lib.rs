@@ -26,7 +26,12 @@
 //!   workers exit;
 //! * a **`stats` verb** surfacing the engine's counters (via their
 //!   `Display` one-liners) plus service counters: connections, requests
-//!   by outcome, queue-depth high-water mark and a latency histogram.
+//!   by outcome, queue-depth high-water mark and a latency histogram;
+//! * optional **persistence** (`--store DIR` on the `serve` binary, or
+//!   [`ServiceConfig::store`]): reports survive restarts in a crash-safe
+//!   segment log ([`arrayflow_store`]), the cache warm-starts from disk
+//!   at boot, and a **`compact` verb** reclaims space from superseded
+//!   records.
 //!
 //! # Quickstart
 //!

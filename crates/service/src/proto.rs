@@ -10,7 +10,8 @@
 //! ```
 //!
 //! Requests carry `id` (any JSON value, echoed back verbatim so clients
-//! can pipeline), `verb` (`analyze` | `stats` | `ping` | `shutdown`), and
+//! can pipeline), `verb` (`analyze` | `stats` | `ping` | `compact` |
+//! `shutdown`), and
 //! for `analyze`: `program` (DSL text), optional `problems` (array of
 //! instance names; default all) and optional `distance_bound` (default
 //! from the server config). Errors come back structured, never as a
@@ -31,6 +32,8 @@ pub enum Verb {
     Stats,
     /// Liveness check; echoes `"pong"`.
     Ping,
+    /// Compact the persistent report store (requires `--store`).
+    Compact,
     /// Begin graceful shutdown (drain in-flight work, then exit).
     Shutdown,
 }
@@ -41,6 +44,7 @@ impl Verb {
             "analyze" => Some(Verb::Analyze),
             "stats" => Some(Verb::Stats),
             "ping" => Some(Verb::Ping),
+            "compact" => Some(Verb::Compact),
             "shutdown" => Some(Verb::Shutdown),
             _ => None,
         }

@@ -179,12 +179,13 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// service worker pool. The listener does not accept until
+    /// service worker pool (opening and recovering the report store when
+    /// one is configured). The listener does not accept until
     /// [`Server::run`].
     pub fn bind(addr: impl ToSocketAddrs, config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
-            service: Service::start(config),
+            service: Service::try_start(config)?,
             listener,
         })
     }

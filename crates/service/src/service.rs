@@ -10,6 +10,7 @@
 //! of unbounded memory growth or latency collapse.
 
 use std::collections::VecDeque;
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -17,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use arrayflow_engine::{Engine, EngineConfig, EngineStats, ProblemSet};
 use arrayflow_ir::parse_program_bytes;
+use arrayflow_store::{PersistentTier, Store, StoreConfig};
 
 use crate::json::Json;
 use crate::proto::{
@@ -47,6 +49,10 @@ pub struct ServiceConfig {
     /// Maximum accepted frame (request line) size in bytes; longer lines
     /// are discarded and answered with a `protocol` error.
     pub max_frame_bytes: usize,
+    /// When set, reports persist to this disk store: the cache is
+    /// warm-started from it on boot, misses fall through to it, and fresh
+    /// results are appended asynchronously.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +63,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             request_timeout: Duration::from_secs(5),
             max_frame_bytes: 1 << 20,
+            store: None,
         }
     }
 }
@@ -135,6 +142,8 @@ pub struct FrameResponse {
 pub struct Service {
     config: ServiceConfig,
     engine: Engine,
+    tier: Option<Arc<PersistentTier>>,
+    warm_loaded: u64,
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
     shutdown: AtomicBool,
@@ -161,11 +170,35 @@ impl std::fmt::Debug for Service {
 }
 
 impl Service {
-    /// Builds the service and spawns its worker pool.
+    /// Builds the service and spawns its worker pool. Panics if the
+    /// configured store cannot be opened; use [`Service::try_start`] to
+    /// handle that as an error.
     pub fn start(config: ServiceConfig) -> Arc<Service> {
-        let engine = Engine::new(config.engine.clone());
+        Service::try_start(config).expect("open report store")
+    }
+
+    /// Builds the service and spawns its worker pool. When a store is
+    /// configured this opens (and crash-recovers) it, wires it under the
+    /// engine's cache as the second tier, and warm-starts the cache from
+    /// every live record on disk.
+    pub fn try_start(config: ServiceConfig) -> io::Result<Arc<Service>> {
+        let mut engine = Engine::new(config.engine.clone());
+        let mut tier = None;
+        let mut warm_loaded = 0u64;
+        if let Some(store_config) = &config.store {
+            let queue_bound = store_config.writer_queue;
+            let store = Arc::new(Store::open(store_config.clone())?);
+            let t = PersistentTier::new(Arc::clone(&store), queue_bound);
+            engine.set_second_tier(t.clone());
+            warm_loaded = store.for_each_live(|key, report| {
+                engine.preload(key, Arc::new(report));
+            });
+            tier = Some(t);
+        }
         let svc = Arc::new(Service {
             engine,
+            tier,
+            warm_loaded,
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -189,7 +222,7 @@ impl Service {
             workers.push(std::thread::spawn(move || svc.worker_loop()));
         }
         drop(workers);
-        svc
+        Ok(svc)
     }
 
     /// The configuration the service was built with.
@@ -200,6 +233,17 @@ impl Service {
     /// The shared engine (e.g. for a direct in-process baseline).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// How many reports the cache was warm-started with from the disk
+    /// store at boot (0 without a store).
+    pub fn warm_loaded(&self) -> u64 {
+        self.warm_loaded
+    }
+
+    /// The persistent tier, when a store is configured.
+    pub fn tier(&self) -> Option<&Arc<PersistentTier>> {
+        self.tier.as_ref()
     }
 
     /// True once shutdown has been requested. Transports stop reading new
@@ -217,11 +261,15 @@ impl Service {
     }
 
     /// Joins the worker pool. Call after [`Service::shutdown`]; returns
-    /// once every queued request has been answered and all workers exited.
+    /// once every queued request has been answered, all workers exited,
+    /// and (with a store) every queued append has reached disk.
     pub fn join_workers(&self) {
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        if let Some(tier) = &self.tier {
+            tier.flush();
         }
     }
 
@@ -302,12 +350,36 @@ impl Service {
         match req.verb {
             Verb::Ping => Ok(Json::Str("pong".into())),
             Verb::Stats => Ok(self.stats_json()),
+            Verb::Compact => self.compact_store(),
             Verb::Shutdown => {
                 self.shutdown();
                 Ok(Json::Str("shutting down".into()))
             }
             Verb::Analyze => self.submit_and_wait(req),
         }
+    }
+
+    /// The `compact` verb: flushes pending appends, rewrites live records
+    /// into fresh segments, and reports what was reclaimed.
+    fn compact_store(&self) -> Result<Json, ServiceError> {
+        let Some(tier) = &self.tier else {
+            return Err(ServiceError::new(
+                ErrorKind::Protocol,
+                "no store configured (start with --store DIR)",
+            ));
+        };
+        // Flush first so records still queued for the writer thread are
+        // on disk and survive into the compacted generation.
+        tier.flush();
+        let report = tier.store_handle().compact().map_err(|e| {
+            ServiceError::new(ErrorKind::Analysis, format!("compaction failed: {e}"))
+        })?;
+        Ok(Json::Obj(vec![
+            ("live_records".into(), Json::Num(report.live_records as f64)),
+            ("dropped".into(), Json::Num(report.dropped as f64)),
+            ("bytes_before".into(), Json::Num(report.bytes_before as f64)),
+            ("bytes_after".into(), Json::Num(report.bytes_after as f64)),
+        ]))
     }
 
     fn submit_and_wait(&self, req: Request) -> Result<Json, ServiceError> {
@@ -444,24 +516,57 @@ impl Service {
             "gt_1000000us".into(),
             Json::Num(s.latency[LATENCY_BUCKETS_US.len()] as f64),
         ));
-        Json::Obj(vec![
+        let mut members = vec![
             ("engine".into(), Json::Str(e.to_string())),
             ("cache".into(), Json::Str(e.cache.to_string())),
-            (
-                "service".into(),
+        ];
+        if let Some(tier) = &self.tier {
+            let st = tier.store_stats();
+            let tt = tier.stats();
+            members.push((
+                "store".into(),
                 Json::Obj(vec![
-                    ("connections".into(), Json::Num(s.connections as f64)),
-                    ("requests".into(), Json::Num(s.requests as f64)),
-                    ("ok".into(), Json::Num(s.ok as f64)),
-                    ("errors".into(), errors),
+                    ("records".into(), Json::Num(st.records as f64)),
+                    ("segments".into(), Json::Num(st.segments as f64)),
+                    ("bytes".into(), Json::Num(st.bytes as f64)),
+                    ("disk_hits".into(), Json::Num(st.disk_hits as f64)),
+                    ("disk_misses".into(), Json::Num(st.disk_misses as f64)),
+                    ("read_errors".into(), Json::Num(st.read_errors as f64)),
+                    ("appends".into(), Json::Num(st.appends as f64)),
                     (
-                        "queue_depth_hwm".into(),
-                        Json::Num(s.queue_depth_hwm as f64),
+                        "recovery_skipped".into(),
+                        Json::Num(st.recovery_skipped as f64),
                     ),
-                    ("latency".into(), Json::Obj(latency)),
+                    ("compactions".into(), Json::Num(st.compactions as f64)),
+                    ("queued_appends".into(), Json::Num(tt.queued_appends as f64)),
+                    (
+                        "dropped_appends".into(),
+                        Json::Num(tt.dropped_appends as f64),
+                    ),
+                    (
+                        "written_appends".into(),
+                        Json::Num(tt.written_appends as f64),
+                    ),
+                    ("failed_appends".into(), Json::Num(tt.failed_appends as f64)),
+                    ("warm_loaded".into(), Json::Num(self.warm_loaded as f64)),
                 ]),
-            ),
-        ])
+            ));
+        }
+        members.extend([(
+            "service".into(),
+            Json::Obj(vec![
+                ("connections".into(), Json::Num(s.connections as f64)),
+                ("requests".into(), Json::Num(s.requests as f64)),
+                ("ok".into(), Json::Num(s.ok as f64)),
+                ("errors".into(), errors),
+                (
+                    "queue_depth_hwm".into(),
+                    Json::Num(s.queue_depth_hwm as f64),
+                ),
+                ("latency".into(), Json::Obj(latency)),
+            ]),
+        )]);
+        Json::Obj(members)
     }
 }
 
@@ -548,6 +653,62 @@ mod tests {
         let r = svc.handle_frame(br#"{"id": 2, "verb": "analyze", "program": "x := 1;"}"#);
         assert!(r.line.contains(r#""kind":"overloaded""#), "{}", r.line);
         svc.join_workers();
+    }
+
+    #[test]
+    fn compact_without_store_is_a_protocol_error() {
+        let svc = start_small();
+        let r = svc.handle_frame(br#"{"id": 1, "verb": "compact"}"#);
+        assert!(r.line.contains(r#""kind":"protocol""#), "{}", r.line);
+        assert!(r.line.contains("no store configured"), "{}", r.line);
+        svc.shutdown();
+        svc.join_workers();
+    }
+
+    #[test]
+    fn store_backed_service_persists_and_warm_starts() {
+        let dir = std::env::temp_dir().join(format!("afsvc-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServiceConfig {
+            workers: 2,
+            store: Some(arrayflow_store::StoreConfig::at(&dir)),
+            ..ServiceConfig::default()
+        };
+        let frame =
+            br#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#;
+
+        let svc = Service::start(config());
+        assert_eq!(svc.warm_loaded(), 0);
+        let first = svc.handle_frame(frame);
+        assert!(first.line.contains(r#""ok":true"#), "{}", first.line);
+        // stats carries a structured store section.
+        let stats = svc.handle_frame(br#"{"id": 2, "verb": "stats"}"#);
+        assert!(stats.line.contains(r#""store":{"#), "{}", stats.line);
+        assert!(stats.line.contains(r#""warm_loaded":0"#), "{}", stats.line);
+        // compact succeeds (flushes the writer first).
+        let c = svc.handle_frame(br#"{"id": 3, "verb": "compact"}"#);
+        assert!(c.line.contains(r#""live_records":1"#), "{}", c.line);
+        svc.shutdown();
+        svc.join_workers();
+        drop(svc);
+
+        // A fresh service over the same directory warm-starts and answers
+        // the same program with byte-identical reports without re-solving
+        // (the per-request stats legitimately differ: hit vs miss).
+        let svc = Service::start(config());
+        assert_eq!(svc.warm_loaded(), 1);
+        let again = svc.handle_frame(frame);
+        let loops = |line: &str| {
+            let start = line.find(r#""loops":"#).unwrap();
+            let end = line.find(r#","error":"#).unwrap();
+            line[start..end].to_string()
+        };
+        assert_eq!(loops(&first.line), loops(&again.line));
+        assert_eq!(svc.engine_stats().cache.misses, 0);
+        svc.shutdown();
+        svc.join_workers();
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! The in-crate binary codec for persisted records.
+//!
+//! Integers are LEB128 varints, fingerprints are fixed 16-byte
+//! little-endian, sequences are count-prefixed. Encoding is canonical
+//! (minimal varints, fixed field order), so `encode(decode(encode(r)))`
+//! reproduces the same bytes and two equal reports always serialize
+//! identically — the property the store's byte-exact round-trip and the
+//! service's byte-identical-across-restart guarantee rest on.
+//!
+//! Decoding is fully defensive: every read is bounds-checked, sequence
+//! counts are validated against the remaining input before allocation,
+//! enums reject unknown discriminants, and no input — however hostile —
+//! panics. Corrupt bytes come back as [`DecodeError`].
+
+use arrayflow_analyses::{Dep, DepKind, RedundantStore, Reuse};
+use arrayflow_core::RefId;
+use arrayflow_engine::{AnalysisReport, CacheKey, InstanceStats, ProblemSet};
+use arrayflow_ir::stmt::StmtId;
+use arrayflow_ir::Fingerprint;
+
+/// Why a decode failed. The variants are diagnostic only — every failure
+/// is handled the same way (skip the record, count it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value did.
+    Truncated,
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    BadVarint,
+    /// An enum discriminant, bool or bit set had an invalid value.
+    BadDiscriminant,
+    /// A sequence count exceeds what the remaining input could hold.
+    BadCount,
+    /// Decoding finished with input left over (the payload length lied).
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadVarint => write!(f, "malformed varint"),
+            DecodeError::BadDiscriminant => write!(f, "invalid discriminant"),
+            DecodeError::BadCount => write!(f, "sequence count exceeds input"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Shorthand for decode results.
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+// ---------------------------------------------------------------- write
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_varint(out, v as u64);
+}
+
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_instance_stats(out: &mut Vec<u8>, s: &Option<InstanceStats>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_usize(out, s.init_visits);
+            put_usize(out, s.iter_visits);
+            put_usize(out, s.passes);
+            put_usize(out, s.changing_passes);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- read
+
+/// A bounds-checked cursor over untrusted bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> DecodeResult<u8> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> DecodeResult<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7F) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(DecodeError::BadVarint); // overflows u64
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::BadVarint)
+    }
+
+    fn usize(&mut self) -> DecodeResult<usize> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| DecodeError::BadVarint)
+    }
+
+    fn u32(&mut self) -> DecodeResult<u32> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| DecodeError::BadVarint)
+    }
+
+    fn u128(&mut self) -> DecodeResult<u128> {
+        if self.remaining() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 16]);
+        self.pos += 16;
+        Ok(u128::from_le_bytes(bytes))
+    }
+
+    fn bool(&mut self) -> DecodeResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::BadDiscriminant),
+        }
+    }
+
+    /// Reads a sequence count and sanity-checks it against the remaining
+    /// input (each element takes at least `min_bytes`), so a corrupt
+    /// count cannot drive a huge allocation.
+    fn count(&mut self, min_bytes: usize) -> DecodeResult<usize> {
+        let n = self.usize()?;
+        if n.saturating_mul(min_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError::BadCount);
+        }
+        Ok(n)
+    }
+
+    fn instance_stats(&mut self) -> DecodeResult<Option<InstanceStats>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(InstanceStats {
+                init_visits: self.usize()?,
+                iter_visits: self.usize()?,
+                passes: self.usize()?,
+                changing_passes: self.usize()?,
+            })),
+            _ => Err(DecodeError::BadDiscriminant),
+        }
+    }
+
+    fn problem_set(&mut self) -> DecodeResult<ProblemSet> {
+        ProblemSet::from_bits(self.u8()?).ok_or(DecodeError::BadDiscriminant)
+    }
+
+    fn finish(self) -> DecodeResult<()> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------- key
+
+/// Appends the canonical encoding of `key` to `out`.
+pub fn encode_key_into(out: &mut Vec<u8>, key: &CacheKey) {
+    put_u128(out, key.fingerprint.0);
+    out.push(key.problems.bits());
+    put_varint(out, key.dep_max_distance);
+}
+
+fn decode_key(r: &mut Reader<'_>) -> DecodeResult<CacheKey> {
+    Ok(CacheKey {
+        fingerprint: Fingerprint(r.u128()?),
+        problems: r.problem_set()?,
+        dep_max_distance: r.varint()?,
+    })
+}
+
+// ---------------------------------------------------------- report
+
+/// Appends the canonical encoding of `report` to `out`.
+pub fn encode_report_into(out: &mut Vec<u8>, report: &AnalysisReport) {
+    put_u128(out, report.fingerprint.0);
+    out.push(report.problems.bits());
+    put_varint(out, report.dep_max_distance);
+    put_usize(out, report.nodes);
+    put_usize(out, report.sites);
+    put_instance_stats(out, &report.reaching_stats);
+    put_instance_stats(out, &report.available_stats);
+    put_instance_stats(out, &report.busy_stats);
+    put_instance_stats(out, &report.reaching_refs_stats);
+
+    put_usize(out, report.reuses.len());
+    for r in &report.reuses {
+        put_usize(out, r.use_site);
+        put_varint(out, r.gen.0 as u64);
+        put_usize(out, r.gen_site);
+        put_varint(out, r.distance);
+        put_bool(out, r.gen_is_def);
+    }
+    put_usize(out, report.redundant_stores.len());
+    for s in &report.redundant_stores {
+        put_usize(out, s.store_site);
+        match s.stmt {
+            None => out.push(0),
+            Some(StmtId(id)) => {
+                out.push(1);
+                put_varint(out, id as u64);
+            }
+        }
+        put_varint(out, s.distance);
+        put_usize(out, s.killer_site);
+    }
+    put_usize(out, report.dependences.len());
+    for d in &report.dependences {
+        put_usize(out, d.src_site);
+        put_usize(out, d.dst_site);
+        put_varint(out, d.distance);
+        out.push(match d.kind {
+            DepKind::Flow => 0,
+            DepKind::Anti => 1,
+            DepKind::Output => 2,
+        });
+    }
+}
+
+/// The canonical encoding of one report, standalone.
+pub fn encode_report(report: &AnalysisReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_report_into(&mut out, report);
+    out
+}
+
+fn decode_report_inner(r: &mut Reader<'_>) -> DecodeResult<AnalysisReport> {
+    let fingerprint = Fingerprint(r.u128()?);
+    let problems = r.problem_set()?;
+    let dep_max_distance = r.varint()?;
+    let nodes = r.usize()?;
+    let sites = r.usize()?;
+    let reaching_stats = r.instance_stats()?;
+    let available_stats = r.instance_stats()?;
+    let busy_stats = r.instance_stats()?;
+    let reaching_refs_stats = r.instance_stats()?;
+
+    let n = r.count(5)?; // use_site, gen, gen_site, distance, flag
+    let mut reuses = Vec::with_capacity(n);
+    for _ in 0..n {
+        reuses.push(Reuse {
+            use_site: r.usize()?,
+            gen: RefId(r.u32()?),
+            gen_site: r.usize()?,
+            distance: r.varint()?,
+            gen_is_def: r.bool()?,
+        });
+    }
+    let n = r.count(4)?; // store_site, stmt tag, distance, killer_site
+    let mut redundant_stores = Vec::with_capacity(n);
+    for _ in 0..n {
+        let store_site = r.usize()?;
+        let stmt = match r.u8()? {
+            0 => None,
+            1 => Some(StmtId(r.u32()?)),
+            _ => return Err(DecodeError::BadDiscriminant),
+        };
+        redundant_stores.push(RedundantStore {
+            store_site,
+            stmt,
+            distance: r.varint()?,
+            killer_site: r.usize()?,
+        });
+    }
+    let n = r.count(4)?; // src, dst, distance, kind
+    let mut dependences = Vec::with_capacity(n);
+    for _ in 0..n {
+        dependences.push(Dep {
+            src_site: r.usize()?,
+            dst_site: r.usize()?,
+            distance: r.varint()?,
+            kind: match r.u8()? {
+                0 => DepKind::Flow,
+                1 => DepKind::Anti,
+                2 => DepKind::Output,
+                _ => return Err(DecodeError::BadDiscriminant),
+            },
+        });
+    }
+
+    Ok(AnalysisReport {
+        fingerprint,
+        problems,
+        dep_max_distance,
+        nodes,
+        sites,
+        reaching_stats,
+        available_stats,
+        busy_stats,
+        reaching_refs_stats,
+        reuses,
+        redundant_stores,
+        dependences,
+    })
+}
+
+/// Decodes a standalone report, rejecting trailing bytes.
+pub fn decode_report(bytes: &[u8]) -> DecodeResult<AnalysisReport> {
+    let mut r = Reader::new(bytes);
+    let report = decode_report_inner(&mut r)?;
+    r.finish()?;
+    Ok(report)
+}
+
+// ---------------------------------------------------------- records
+
+/// One logical entry of the segment log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A report stored under its cache key (last write wins).
+    Put {
+        /// The memo-cache identity of the report.
+        key: CacheKey,
+        /// The persisted analysis (boxed: a report is an order of
+        /// magnitude larger than a tombstone).
+        report: Box<AnalysisReport>,
+    },
+    /// A deletion marker: earlier `Put`s for `key` are dead and will be
+    /// dropped by the next compaction.
+    Tombstone {
+        /// The deleted key.
+        key: CacheKey,
+    },
+}
+
+impl Record {
+    /// The key this record is about.
+    pub fn key(&self) -> &CacheKey {
+        match self {
+            Record::Put { key, .. } | Record::Tombstone { key } => key,
+        }
+    }
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_TOMBSTONE: u8 = 2;
+
+/// The canonical encoding of one record (a segment-log payload).
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        Record::Put { key, report } => {
+            out.push(TAG_PUT);
+            encode_key_into(&mut out, key);
+            encode_report_into(&mut out, report);
+        }
+        Record::Tombstone { key } => {
+            out.push(TAG_TOMBSTONE);
+            encode_key_into(&mut out, key);
+        }
+    }
+    out
+}
+
+/// Decodes a record payload, rejecting trailing bytes. Never panics on
+/// arbitrary input.
+pub fn decode_record(bytes: &[u8]) -> DecodeResult<Record> {
+    let mut r = Reader::new(bytes);
+    let record = match r.u8()? {
+        TAG_PUT => Record::Put {
+            key: decode_key(&mut r)?,
+            report: Box::new(decode_report_inner(&mut r)?),
+        },
+        TAG_TOMBSTONE => Record::Tombstone {
+            key: decode_key(&mut r)?,
+        },
+        _ => return Err(DecodeError::BadDiscriminant),
+    };
+    r.finish()?;
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> AnalysisReport {
+        AnalysisReport {
+            fingerprint: Fingerprint(0xdead_beef_cafe_f00d_0123_4567_89ab_cdef),
+            problems: ProblemSet::ALL,
+            dep_max_distance: 8,
+            nodes: 12,
+            sites: 5,
+            reaching_stats: Some(InstanceStats {
+                init_visits: 12,
+                iter_visits: 36,
+                passes: 3,
+                changing_passes: 2,
+            }),
+            available_stats: Some(InstanceStats {
+                init_visits: 12,
+                iter_visits: 24,
+                passes: 2,
+                changing_passes: 1,
+            }),
+            busy_stats: None,
+            reaching_refs_stats: None,
+            reuses: vec![Reuse {
+                use_site: 1,
+                gen: RefId(0),
+                gen_site: 0,
+                distance: 2,
+                gen_is_def: true,
+            }],
+            redundant_stores: vec![RedundantStore {
+                store_site: 3,
+                stmt: Some(StmtId(7)),
+                distance: 1,
+                killer_site: 4,
+            }],
+            dependences: vec![Dep {
+                src_site: 0,
+                dst_site: 1,
+                distance: 2,
+                kind: DepKind::Flow,
+            }],
+        }
+    }
+
+    fn sample_key() -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint(42),
+            problems: ProblemSet::ALL,
+            dep_max_distance: 8,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_byte_exactly() {
+        let report = sample_report();
+        let bytes = encode_report(&report);
+        let decoded = decode_report(&bytes).unwrap();
+        assert_eq!(decoded, report);
+        // Canonical: re-encoding the decoded value reproduces the bytes.
+        assert_eq!(encode_report(&decoded), bytes);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for record in [
+            Record::Put {
+                key: sample_key(),
+                report: Box::new(sample_report()),
+            },
+            Record::Tombstone { key: sample_key() },
+        ] {
+            let bytes = encode_record(&record);
+            assert_eq!(decode_record(&bytes).unwrap(), record);
+            assert_eq!(encode_record(&decode_record(&bytes).unwrap()), bytes);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error_not_a_panic() {
+        let bytes = encode_record(&Record::Put {
+            key: sample_key(),
+            report: Box::new(sample_report()),
+        });
+        for len in 0..bytes.len() {
+            assert!(decode_record(&bytes[..len]).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_record(&Record::Tombstone { key: sample_key() });
+        bytes.push(0);
+        assert_eq!(decode_record(&bytes), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn huge_counts_do_not_allocate() {
+        // TAG_PUT + valid key + valid report prefix, then a count claiming
+        // u64::MAX reuses: must fail fast on the count check.
+        let mut bytes = Vec::new();
+        bytes.push(TAG_PUT);
+        encode_key_into(&mut bytes, &sample_key());
+        let mut report = sample_report();
+        report.reuses.clear();
+        report.redundant_stores.clear();
+        report.dependences.clear();
+        let body = encode_report(&report);
+        // The empty report ends with three zero counts; replace the first
+        // with a giant varint.
+        bytes.extend_from_slice(&body[..body.len() - 3]);
+        bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]);
+        assert!(decode_record(&bytes).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! [`PersistentTier`]: the bridge between [`MemoCache`] and the disk
+//! [`Store`] — a [`SecondTier`] implementation whose writes go through a
+//! dedicated writer thread behind a **bounded** channel.
+//!
+//! Reads (`load`) hit the store synchronously: a disk read is the slow
+//! path of a cache miss that was going to solve four data-flow problems
+//! anyway. Writes (`store`) must never stall analysis, so they are
+//! forwarded with `try_send`; when the queue is full the append is
+//! dropped and counted (`dropped_appends`) — losing a cache write costs
+//! a future re-analysis, never correctness.
+//!
+//! [`MemoCache`]: arrayflow_engine::MemoCache
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use arrayflow_engine::{AnalysisReport, CacheKey, SecondTier};
+
+use crate::store::{Store, StoreStats};
+
+enum WriterMsg {
+    Put(CacheKey, Arc<AnalysisReport>),
+    /// Flush barrier: the writer acks on the back-channel once every
+    /// message queued before it has been appended.
+    Flush(SyncSender<()>),
+}
+
+/// Counters specific to the tier (the store keeps its own).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Appends accepted onto the writer queue.
+    pub queued_appends: u64,
+    /// Appends dropped because the queue was full (backpressure).
+    pub dropped_appends: u64,
+    /// Appends that reached disk.
+    pub written_appends: u64,
+    /// Appends that failed with an I/O error on the writer thread.
+    pub failed_appends: u64,
+}
+
+/// Disk-backed second tier with an asynchronous writer thread.
+pub struct PersistentTier {
+    store: Arc<Store>,
+    sender: Mutex<Option<SyncSender<WriterMsg>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+    queued: AtomicU64,
+    dropped: AtomicU64,
+    written: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for PersistentTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentTier")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PersistentTier {
+    /// Wraps `store`, spawning the writer thread. `queue_bound` is the
+    /// maximum number of in-flight appends before backpressure drops new
+    /// ones.
+    pub fn new(store: Arc<Store>, queue_bound: usize) -> Arc<PersistentTier> {
+        let (tx, rx) = sync_channel::<WriterMsg>(queue_bound.max(1));
+        let written = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let store = Arc::clone(&store);
+            let written = Arc::clone(&written);
+            let failed = Arc::clone(&failed);
+            std::thread::Builder::new()
+                .name("store-writer".into())
+                .spawn(move || {
+                    for msg in rx {
+                        match msg {
+                            WriterMsg::Put(key, report) => {
+                                match store.put(key, (*report).clone()) {
+                                    Ok(()) => written.fetch_add(1, Ordering::Relaxed),
+                                    Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                                };
+                            }
+                            WriterMsg::Flush(ack) => {
+                                let _ = ack.send(());
+                            }
+                        }
+                    }
+                })
+                .expect("spawn store writer thread")
+        };
+        Arc::new(PersistentTier {
+            store,
+            sender: Mutex::new(Some(tx)),
+            writer: Mutex::new(Some(writer)),
+            queued: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            written,
+            failed,
+        })
+    }
+
+    /// The underlying store.
+    pub fn store_handle(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Tier counters.
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            queued_appends: self.queued.load(Ordering::Relaxed),
+            dropped_appends: self.dropped.load(Ordering::Relaxed),
+            written_appends: self.written.load(Ordering::Relaxed),
+            failed_appends: self.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Store counters, for convenience.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Blocks until every append queued so far has reached the store (or
+    /// the writer is gone). Uses a flush barrier message, so it *does*
+    /// wait on the queue if it is full.
+    pub fn flush(&self) {
+        let sender = self.sender.lock().unwrap().clone();
+        if let Some(tx) = sender {
+            let (ack_tx, ack_rx) = sync_channel::<()>(1);
+            if tx.send(WriterMsg::Flush(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+
+    /// Flushes, stops the writer thread, and joins it. Idempotent; called
+    /// by `Drop` as well.
+    pub fn shutdown(&self) {
+        // Dropping the sender ends the writer's receive loop after it
+        // drains everything already queued.
+        self.sender.lock().unwrap().take();
+        if let Some(handle) = self.writer.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PersistentTier {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl SecondTier for PersistentTier {
+    fn load(&self, key: &CacheKey) -> Option<Arc<AnalysisReport>> {
+        self.store.get(key).map(Arc::new)
+    }
+
+    fn store(&self, key: &CacheKey, report: &Arc<AnalysisReport>) {
+        let sender = self.sender.lock().unwrap().clone();
+        let Some(tx) = sender else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match tx.try_send(WriterMsg::Put(*key, Arc::clone(report))) {
+            Ok(()) => {
+                self.queued.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Persisting analysis reports across process restarts.
+//!
+//! Runs the engine twice over the same program stream with a disk store
+//! underneath the memo cache: the first "process" solves everything and
+//! persists each report through the async writer tier; the second
+//! warm-starts its cache from the recovered store and answers the whole
+//! stream without solving anything.
+//!
+//! Run with `cargo run --example persistent_cache`.
+
+use std::sync::Arc;
+
+use arrayflow::prelude::*;
+use arrayflow::store::PersistentTier;
+use arrayflow::workloads::{random_loop, LoopShape};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("arrayflow-example-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let shape = LoopShape::default();
+    let batch: Vec<_> = (0..20u64).map(|seed| random_loop(&shape, seed)).collect();
+
+    // "Process" one: solve and persist.
+    {
+        let store = Arc::new(Store::open(StoreConfig::at(&dir)).expect("open store"));
+        let tier = PersistentTier::new(Arc::clone(&store), 1024);
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.set_second_tier(tier.clone());
+        engine.analyze_batch(&batch);
+        // Graceful shutdown: wait for the writer thread to land every
+        // queued append before "exiting".
+        tier.flush();
+        println!("first run : {}", engine.stats().cache);
+        println!("store     : {}", store.stats());
+    }
+
+    // "Process" two: recover, warm-start, replay.
+    {
+        let store = Arc::new(Store::open(StoreConfig::at(&dir)).expect("recover store"));
+        let recovery = store.recovery();
+        println!(
+            "\nrecovered : {} record(s) from {} segment(s), {} skipped",
+            recovery.live_records, recovery.segments, recovery.skipped
+        );
+
+        let engine = Engine::new(EngineConfig::default());
+        let loaded = store.for_each_live(|key, report| engine.preload(key, Arc::new(report)));
+        engine.analyze_batch(&batch);
+        let stats = engine.stats();
+        println!("second run: {} ({loaded} preloaded)", stats.cache);
+
+        assert_eq!(stats.cache.misses, 0, "warm cache answers everything");
+        assert_eq!(stats.cache.hits, batch.len() as u64);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,10 +22,16 @@
 //!   analyses/optimizations the paper discusses;
 //! * [`workloads`] — deterministic loop generators for tests and benches;
 //! * [`engine`] — the concurrent, memoizing batch analysis engine
-//!   (canonical loop fingerprints, sharded memo cache, worker pool);
+//!   (canonical loop fingerprints, sharded memo cache with second-chance
+//!   eviction, worker pool);
+//! * [`store`] — crash-safe disk persistence for analysis reports: an
+//!   in-crate binary codec, a CRC-framed append-only segment log with
+//!   skip-and-count recovery and compaction, and the async writer tier
+//!   that slots under the engine's cache;
 //! * [`service`] — the zero-dependency analysis server exposing the
 //!   engine over TCP and stdio (newline-framed JSON protocol, bounded
-//!   queue, structured errors, graceful shutdown).
+//!   queue, structured errors, graceful shutdown, optional persistent
+//!   store with warm start).
 //!
 //! # Quickstart
 //!
@@ -52,6 +58,7 @@ pub use arrayflow_ir as ir;
 pub use arrayflow_machine as machine;
 pub use arrayflow_opt as opt;
 pub use arrayflow_service as service;
+pub use arrayflow_store as store;
 pub use arrayflow_workloads as workloads;
 
 /// Commonly used items, re-exported for one-line imports.
@@ -61,6 +68,7 @@ pub mod prelude {
     pub use arrayflow_engine::{Engine, EngineConfig};
     pub use arrayflow_ir::{parse_program, Fingerprint, LoopBuilder, Program};
     pub use arrayflow_service::{Server, Service, ServiceConfig};
+    pub use arrayflow_store::{Store, StoreConfig};
 
     pub use crate::prepare;
 }
