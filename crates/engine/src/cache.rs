@@ -21,10 +21,11 @@
 //! forwarded to the tier so they survive the process.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 use arrayflow_ir::Fingerprint;
+use arrayflow_obs::{Counter, Registry};
 
 use crate::report::{AnalysisReport, ProblemSet};
 
@@ -166,18 +167,68 @@ impl Shard {
     }
 }
 
+/// The cache's monotone counters as registry handles — either standalone
+/// (an engine without a shared registry) or registered under the
+/// `arrayflow_cache_*` family names.
+#[derive(Clone, Debug)]
+struct CacheInstruments {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    inserts: Counter,
+    reinserts: Counter,
+    promotions: Counter,
+}
+
+impl CacheInstruments {
+    fn unregistered() -> Self {
+        Self {
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            inserts: Counter::new(),
+            reinserts: Counter::new(),
+            promotions: Counter::new(),
+        }
+    }
+
+    fn registered(registry: &Registry) -> Self {
+        Self {
+            hits: registry.counter(
+                "arrayflow_cache_hits_total",
+                "memo cache lookups answered from memory",
+            ),
+            misses: registry.counter(
+                "arrayflow_cache_misses_total",
+                "memo cache lookups that missed memory",
+            ),
+            evictions: registry.counter(
+                "arrayflow_cache_evictions_total",
+                "memo cache entries evicted to respect capacity",
+            ),
+            inserts: registry.counter(
+                "arrayflow_cache_inserts_total",
+                "first-time memo cache inserts of a key",
+            ),
+            reinserts: registry.counter(
+                "arrayflow_cache_reinserts_total",
+                "idempotent re-inserts of an existing memo cache key",
+            ),
+            promotions: registry.counter(
+                "arrayflow_cache_promotions_total",
+                "memory misses answered by the second tier and promoted",
+            ),
+        }
+    }
+}
+
 /// The sharded memo cache.
 pub struct MemoCache {
     shards: Vec<RwLock<Shard>>,
     shard_capacity: usize,
     policy: EvictionPolicy,
     tier2: Option<Arc<dyn SecondTier>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    inserts: AtomicU64,
-    reinserts: AtomicU64,
-    promotions: AtomicU64,
+    counters: CacheInstruments,
 }
 
 impl std::fmt::Debug for MemoCache {
@@ -202,6 +253,32 @@ impl MemoCache {
 
     /// Like [`MemoCache::new`] with an explicit eviction policy.
     pub fn with_policy(shards: usize, capacity: usize, policy: EvictionPolicy) -> Self {
+        Self::with_instruments(shards, capacity, policy, CacheInstruments::unregistered())
+    }
+
+    /// Like [`MemoCache::with_policy`], registering the hit/miss/eviction
+    /// counters under the `arrayflow_cache_*` names in `registry` so they
+    /// appear in its snapshots and Prometheus exposition.
+    pub fn with_policy_in(
+        shards: usize,
+        capacity: usize,
+        policy: EvictionPolicy,
+        registry: &Registry,
+    ) -> Self {
+        Self::with_instruments(
+            shards,
+            capacity,
+            policy,
+            CacheInstruments::registered(registry),
+        )
+    }
+
+    fn with_instruments(
+        shards: usize,
+        capacity: usize,
+        policy: EvictionPolicy,
+        counters: CacheInstruments,
+    ) -> Self {
         let n = shards.max(1).next_power_of_two();
         let shard_capacity = if capacity == 0 {
             usize::MAX
@@ -220,12 +297,7 @@ impl MemoCache {
             shard_capacity,
             policy,
             tier2: None,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            reinserts: AtomicU64::new(0),
-            promotions: AtomicU64::new(0),
+            counters,
         }
     }
 
@@ -258,13 +330,13 @@ impl MemoCache {
             let shard = self.shards[self.shard_of(key)].read().unwrap();
             if let Some(entry) = shard.map.get(key) {
                 entry.referenced.store(true, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hits.inc();
                 return Some(Arc::clone(&entry.report));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.misses.inc();
         let report = self.tier2.as_ref()?.load(key)?;
-        self.promotions.fetch_add(1, Ordering::Relaxed);
+        self.counters.promotions.inc();
         self.insert_memory(*key, Arc::clone(&report));
         Some(report)
     }
@@ -299,11 +371,11 @@ impl MemoCache {
             shard.order.push_back(key);
             let evicted = shard.evict_to_capacity(self.shard_capacity, self.policy, Some(&key));
             if evicted > 0 {
-                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.counters.evictions.add(evicted);
             }
-            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.counters.inserts.inc();
         } else {
-            self.reinserts.fetch_add(1, Ordering::Relaxed);
+            self.counters.reinserts.inc();
         }
     }
 
@@ -336,12 +408,12 @@ impl MemoCache {
     /// Snapshot of the monotonic counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            reinserts: self.reinserts.load(Ordering::Relaxed),
-            promotions: self.promotions.load(Ordering::Relaxed),
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            evictions: self.counters.evictions.get(),
+            inserts: self.counters.inserts.get(),
+            reinserts: self.counters.reinserts.get(),
+            promotions: self.counters.promotions.get(),
         }
     }
 }

@@ -1,15 +1,34 @@
 //! The batch engine: configuration, worker pool, per-query and global
 //! statistics.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use arrayflow_analyses::loops_innermost_first;
 use arrayflow_ir::{fingerprint_loop, Fingerprint, Program};
+use arrayflow_obs::{observed_span, Counter, Histogram, Registry, PHASE_BUCKETS_US};
 
 use crate::cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
-use crate::report::{AnalysisReport, ProblemSet};
+use crate::report::{AnalysisReport, InstanceStats, ProblemSet};
+
+/// Upper edges of the per-instance solver pass-count histograms
+/// (`arrayflow_solver_passes{problem=...}`). The paper's bound — three
+/// passes for must-problems (one initialization pass plus two changing
+/// iteration passes), two for may-problems — sits inside the first three
+/// buckets, so the bound is assertable from an exported snapshot alone:
+/// `cumulative_le(3) == count` for must, `cumulative_le(2) == count` for
+/// may.
+pub const SOLVER_PASS_BUCKETS: [u64; 5] = [1, 2, 3, 4, 6];
+
+/// Passes this instance needed to *reach* its fixed point: the
+/// initialization pass (must-problems only) plus the iteration passes
+/// that changed a value — the quantity the paper bounds by 3 (must) and
+/// 2 (may). The confirming final pass of the general solver is excluded,
+/// matching [`SolveStats::visits_to_fix`](arrayflow_core::SolveStats).
+pub fn passes_to_fix(s: &InstanceStats) -> u64 {
+    (s.init_visits > 0) as u64 + s.changing_passes as u64
+}
 
 /// Engine construction parameters. `Default` is a sensible production
 /// setup: one worker per hardware thread, 16 cache shards, 64k cached
@@ -171,11 +190,87 @@ impl std::fmt::Display for EngineStats {
 pub struct Engine {
     config: EngineConfig,
     cache: MemoCache,
-    programs: AtomicU64,
-    loops: AtomicU64,
-    solver_passes: AtomicU64,
-    node_visits: AtomicU64,
-    busy_micros: AtomicU64,
+    registry: Registry,
+    ins: EngineInstruments,
+}
+
+/// The engine's registered instruments. Counters mirror the legacy
+/// [`EngineStats`] fields; the histograms are the paper-facing pass-count
+/// distributions and the engine-side phase timings.
+#[derive(Debug, Clone)]
+struct EngineInstruments {
+    programs: Counter,
+    loops: Counter,
+    solver_passes: Counter,
+    node_visits: Counter,
+    busy_us: Counter,
+    pass_reaching: Histogram,
+    pass_available: Histogram,
+    pass_busy: Histogram,
+    pass_reaching_refs: Histogram,
+    phase_normalize: Histogram,
+    phase_cache_get: Histogram,
+    phase_solve: Histogram,
+    phase_cache_insert: Histogram,
+}
+
+impl EngineInstruments {
+    fn registered(registry: &Registry) -> Self {
+        let pass = |problem| {
+            registry.histogram_with(
+                "arrayflow_solver_passes",
+                "solver passes to fixed point per cache-missed instance (paper bound: 3 must, 2 may)",
+                &[("problem", problem)],
+                &SOLVER_PASS_BUCKETS,
+            )
+        };
+        let phase = |name| {
+            registry.histogram_with(
+                "arrayflow_phase_us",
+                "per-phase wall-clock, microseconds",
+                &[("phase", name)],
+                &PHASE_BUCKETS_US,
+            )
+        };
+        Self {
+            programs: registry.counter("arrayflow_engine_programs_total", "programs analyzed"),
+            loops: registry.counter(
+                "arrayflow_engine_loops_total",
+                "loops encountered (cache hits + misses)",
+            ),
+            solver_passes: registry.counter(
+                "arrayflow_engine_solver_passes_total",
+                "solver iteration passes executed (misses only)",
+            ),
+            node_visits: registry.counter(
+                "arrayflow_engine_node_visits_total",
+                "solver node visits executed (misses only)",
+            ),
+            busy_us: registry.counter(
+                "arrayflow_engine_busy_us_total",
+                "total busy wall-clock across workers, microseconds",
+            ),
+            pass_reaching: pass("reaching"),
+            pass_available: pass("available"),
+            pass_busy: pass("busy"),
+            pass_reaching_refs: pass("reaching_refs"),
+            phase_normalize: phase("normalize"),
+            phase_cache_get: phase("cache_get"),
+            phase_solve: phase("solve"),
+            phase_cache_insert: phase("cache_insert"),
+        }
+    }
+
+    /// The pass-count histogram for a named framework instance.
+    fn pass_histogram(&self, problem: &str) -> Option<&Histogram> {
+        match problem {
+            "reaching" => Some(&self.pass_reaching),
+            "available" => Some(&self.pass_available),
+            "busy" => Some(&self.pass_busy),
+            "reaching_refs" => Some(&self.pass_reaching_refs),
+            _ => None,
+        }
+    }
 }
 
 impl Default for Engine {
@@ -185,24 +280,39 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration, registering its
+    /// instruments on a fresh private [`Registry`] (reachable via
+    /// [`Engine::registry`]).
     pub fn new(config: EngineConfig) -> Self {
-        let cache =
-            MemoCache::with_policy(config.cache_shards, config.cache_capacity, config.eviction);
+        Self::with_registry(config, &Registry::new())
+    }
+
+    /// Creates an engine whose instruments (and those of its memo cache)
+    /// are registered on `registry` — the service passes its own registry
+    /// here so one `metrics` scrape covers every layer.
+    pub fn with_registry(config: EngineConfig, registry: &Registry) -> Self {
+        let cache = MemoCache::with_policy_in(
+            config.cache_shards,
+            config.cache_capacity,
+            config.eviction,
+            registry,
+        );
         Self {
             config,
             cache,
-            programs: AtomicU64::new(0),
-            loops: AtomicU64::new(0),
-            solver_passes: AtomicU64::new(0),
-            node_visits: AtomicU64::new(0),
-            busy_micros: AtomicU64::new(0),
+            registry: registry.clone(),
+            ins: EngineInstruments::registered(registry),
         }
     }
 
     /// The configuration the engine was built with.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The metrics registry the engine's instruments live on.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Attaches a persistence tier under the memo cache: memory misses
@@ -257,8 +367,11 @@ impl Engine {
         // `do i = 1, UB` step 1, and renumbered statements make StmtIds in
         // reports deterministic.
         let mut p = program.clone();
-        arrayflow_ir::normalize(&mut p);
-        p.renumber();
+        {
+            let _span = observed_span("normalize", &self.ins.phase_normalize);
+            arrayflow_ir::normalize(&mut p);
+            p.renumber();
+        }
 
         let mut loops = Vec::new();
         for l in loops_innermost_first(&p) {
@@ -268,17 +381,33 @@ impl Engine {
                 problems,
                 dep_max_distance,
             };
-            let report = if let Some(hit) = self.cache.get(&key) {
+            let hit = {
+                let _span = observed_span("cache_get", &self.ins.phase_cache_get);
+                self.cache.get(&key)
+            };
+            let report = if let Some(hit) = hit {
                 stats.cache_hits += 1;
                 hit
             } else {
                 stats.cache_misses += 1;
-                match AnalysisReport::of_loop(l, &p.symbols, problems, dep_max_distance) {
+                let solved = {
+                    let _span = observed_span("solve", &self.ins.phase_solve);
+                    AnalysisReport::of_loop(l, &p.symbols, problems, dep_max_distance)
+                };
+                match solved {
                     Ok(r) => {
                         stats.solver_passes += r.solver_passes() as u64;
                         stats.node_visits += r.node_visits() as u64;
+                        for (problem, s) in r.instance_stats() {
+                            if let Some(h) = self.ins.pass_histogram(problem) {
+                                h.observe(passes_to_fix(&s));
+                            }
+                        }
                         let r = Arc::new(r);
-                        self.cache.insert(key, Arc::clone(&r));
+                        {
+                            let _span = observed_span("cache_insert", &self.ins.phase_cache_insert);
+                            self.cache.insert(key, Arc::clone(&r));
+                        }
                         r
                     }
                     Err(e) => {
@@ -294,14 +423,11 @@ impl Engine {
         }
 
         stats.micros = start.elapsed().as_micros() as u64;
-        self.programs.fetch_add(1, Ordering::Relaxed);
-        self.loops
-            .fetch_add(stats.cache_hits + stats.cache_misses, Ordering::Relaxed);
-        self.solver_passes
-            .fetch_add(stats.solver_passes, Ordering::Relaxed);
-        self.node_visits
-            .fetch_add(stats.node_visits, Ordering::Relaxed);
-        self.busy_micros.fetch_add(stats.micros, Ordering::Relaxed);
+        self.ins.programs.inc();
+        self.ins.loops.add(stats.cache_hits + stats.cache_misses);
+        self.ins.solver_passes.add(stats.solver_passes);
+        self.ins.node_visits.add(stats.node_visits);
+        self.ins.busy_us.add(stats.micros);
 
         BatchResult {
             index,
@@ -356,12 +482,12 @@ impl Engine {
     /// Aggregate statistics since construction.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            programs: self.programs.load(Ordering::Relaxed),
-            loops: self.loops.load(Ordering::Relaxed),
+            programs: self.ins.programs.get(),
+            loops: self.ins.loops.get(),
             cache: self.cache.counters(),
-            solver_passes: self.solver_passes.load(Ordering::Relaxed),
-            node_visits: self.node_visits.load(Ordering::Relaxed),
-            busy_micros: self.busy_micros.load(Ordering::Relaxed),
+            solver_passes: self.ins.solver_passes.get(),
+            node_visits: self.ins.node_visits.get(),
+            busy_micros: self.ins.busy_us.get(),
         }
     }
 

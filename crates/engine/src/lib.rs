@@ -46,5 +46,8 @@ pub mod engine;
 pub mod report;
 
 pub use cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
-pub use engine::{BatchResult, Engine, EngineConfig, EngineStats, LoopReport, QueryStats};
+pub use engine::{
+    passes_to_fix, BatchResult, Engine, EngineConfig, EngineStats, LoopReport, QueryStats,
+    SOLVER_PASS_BUCKETS,
+};
 pub use report::{AnalysisReport, InstanceStats, ProblemSet};

@@ -1,0 +1,239 @@
+//! Lightweight per-request tracing spans.
+//!
+//! A [`Trace`] is a per-request record of named phases (`decode`,
+//! `queue_wait`, `parse`, `solve`, ...), each with a start offset and
+//! duration in microseconds. Traces propagate *implicitly* through a
+//! thread-local "current trace", so deep layers (the engine's solver
+//! loop, the store's disk tier) can record spans without threading a
+//! handle through every signature:
+//!
+//! * the request owner creates the trace ([`Trace::start`]) and installs
+//!   it around the work with [`with_current`];
+//! * any code on that thread calls [`span`] (or [`observed_span`] to
+//!   also feed a latency [`Histogram`]) and gets a guard that records on
+//!   drop;
+//! * when no trace is installed, [`span`] is a near-no-op — one
+//!   thread-local read — so instrumented code costs nothing on untraced
+//!   paths.
+//!
+//! Traces cross *one* explicit thread hop: a queued request carries its
+//! `Arc<Trace>` into the worker, which re-installs it. Spans recorded
+//! from two threads interleave safely (the span list is behind a mutex;
+//! recording is a few hundred nanoseconds, far below the microsecond
+//! resolution of the spans themselves).
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// One recorded phase of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (static so recording never allocates for the name).
+    pub name: &'static str,
+    /// Start offset from the trace's start, in microseconds.
+    pub start_us: u64,
+    /// Duration, in microseconds.
+    pub dur_us: u64,
+}
+
+/// A per-request trace: an id, a start instant and the recorded spans.
+#[derive(Debug)]
+pub struct Trace {
+    id: u64,
+    start: Instant,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Trace {
+    /// Starts a trace with the given id (the caller allocates ids, e.g.
+    /// from an atomic counter).
+    pub fn start(id: u64) -> Arc<Trace> {
+        Arc::new(Trace {
+            id,
+            start: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Microseconds since the trace started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Records one span explicitly (for phases measured away from the
+    /// guard API, e.g. queue wait measured between two threads).
+    pub fn record(&self, name: &'static str, start_us: u64, dur_us: u64) {
+        self.spans.lock().unwrap().push(Span {
+            name,
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// A copy of the spans recorded so far, in recording order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// The spans as one `name=dur_us` line fragment, recording order,
+    /// e.g. `decode=12 queue_wait=3401 parse=55 solve=210`. Used by the
+    /// slow-request log.
+    pub fn breakdown(&self) -> String {
+        let spans = self.spans.lock().unwrap();
+        let mut out = String::new();
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(s.name);
+            out.push('=');
+            out.push_str(&s.dur_us.to_string());
+        }
+        out
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Trace>>> = const { RefCell::new(None) };
+}
+
+/// Installs `trace` as the thread's current trace for the duration of
+/// `f`, restoring the previous one afterwards (panic-safe via a guard).
+pub fn with_current<R>(trace: &Arc<Trace>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Trace>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(trace)));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The thread's current trace, if one is installed.
+pub fn current() -> Option<Arc<Trace>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// A guard that records a span (and optionally a histogram observation)
+/// when dropped.
+#[must_use = "the span is recorded when the guard drops"]
+pub struct SpanGuard {
+    name: &'static str,
+    started: Instant,
+    trace: Option<(Arc<Trace>, u64)>,
+    histogram: Option<Histogram>,
+}
+
+impl SpanGuard {
+    fn new(name: &'static str, histogram: Option<Histogram>) -> SpanGuard {
+        let trace = current().map(|t| {
+            let at = t.elapsed_us();
+            (t, at)
+        });
+        SpanGuard {
+            name,
+            started: Instant::now(),
+            trace,
+            histogram,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.started.elapsed().as_micros() as u64;
+        if let Some(h) = &self.histogram {
+            h.observe(dur_us);
+        }
+        if let Some((trace, start_us)) = &self.trace {
+            trace.record(self.name, *start_us, dur_us);
+        }
+    }
+}
+
+/// Opens a span against the current trace (no-op without one).
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard::new(name, None)
+}
+
+/// Opens a span that also observes its duration into `histogram` — the
+/// histogram is fed whether or not a trace is installed, so per-phase
+/// metrics cover every request while span breakdowns cover traced ones.
+pub fn observed_span(name: &'static str, histogram: &Histogram) -> SpanGuard {
+    SpanGuard::new(name, Some(histogram.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_only_under_a_trace() {
+        let trace = Trace::start(7);
+        with_current(&trace, || {
+            let _s = span("inner");
+        });
+        let _outside = span("outside"); // no current trace: dropped silently
+        drop(_outside);
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(trace.id(), 7);
+    }
+
+    #[test]
+    fn with_current_restores_previous() {
+        let outer = Trace::start(1);
+        let inner = Trace::start(2);
+        with_current(&outer, || {
+            assert_eq!(current().unwrap().id(), 1);
+            with_current(&inner, || {
+                assert_eq!(current().unwrap().id(), 2);
+            });
+            assert_eq!(current().unwrap().id(), 1);
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn observed_span_feeds_histogram_without_trace() {
+        let h = Histogram::new(&[1_000_000]);
+        {
+            let _s = observed_span("x", &h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn breakdown_renders_in_order() {
+        let t = Trace::start(3);
+        t.record("decode", 0, 12);
+        t.record("queue_wait", 12, 340);
+        t.record("solve", 352, 55);
+        assert_eq!(t.breakdown(), "decode=12 queue_wait=340 solve=55");
+    }
+
+    #[test]
+    fn cross_thread_recording_via_arc() {
+        let t = Trace::start(9);
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || {
+            with_current(&t2, || {
+                let _s = span("worker");
+            });
+        })
+        .join()
+        .unwrap();
+        assert_eq!(t.spans().len(), 1);
+    }
+}

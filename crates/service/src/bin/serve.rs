@@ -5,6 +5,7 @@
 //!       [--queue N] [--timeout-ms N] [--max-frame BYTES]
 //!       [--cache-capacity N] [--distance-bound N]
 //!       [--store DIR] [--store-segment-bytes N] [--store-queue N]
+//!       [--slow-log MICROS]
 //! ```
 //!
 //! Defaults: listen on 127.0.0.1:7433, one service worker and one engine
@@ -14,7 +15,11 @@
 //! reports persist to a crash-safe segment log in `DIR`: the cache is
 //! warm-started from it on boot and fresh results are appended
 //! asynchronously, so a restarted server answers previously seen loops
-//! without re-analyzing them.
+//! without re-analyzing them. With `--slow-log MICROS` every request at
+//! or over the threshold logs one structured line to stderr with its
+//! trace id and per-phase span breakdown (`--slow-log 0` logs every
+//! request). The `metrics` verb returns every registered metric as JSON
+//! plus a Prometheus text exposition.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -71,12 +76,13 @@ fn parse_args() -> Result<Args, String> {
                 let depth = parse(&value("--store-queue")?)?;
                 store_config(&mut args.config)?.writer_queue = depth;
             }
+            "--slow-log" => args.config.slow_log_micros = Some(parse(&value("--slow-log")?)?),
             "--help" | "-h" => {
                 println!(
                     "serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N] \
                      [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
                      [--distance-bound N] [--store DIR] [--store-segment-bytes N] \
-                     [--store-queue N]"
+                     [--store-queue N] [--slow-log MICROS]"
                 );
                 std::process::exit(0);
             }
@@ -111,30 +117,31 @@ fn main() -> ExitCode {
             eprintln!("serve: store warm-started {} report(s)", svc.warm_loaded());
         }
     };
+    // Starting the service opens (and crash-recovers) the report store;
+    // failure is a structured one-line diagnostic and a nonzero exit,
+    // never a panic.
+    let service = match Service::start(args.config) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("serve: error: cannot open report store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report_store(&service);
     let result = if args.stdio {
         eprintln!("serve: stdio mode (one JSON request per line)");
-        match Service::try_start(args.config) {
-            Ok(service) => {
-                report_store(&service);
-                run_stdio(service)
-            }
-            Err(e) => {
-                eprintln!("serve: cannot open store: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        run_stdio(service)
     } else {
-        match Server::bind(args.listen.as_str(), args.config) {
+        match Server::attach(args.listen.as_str(), service) {
             Ok(server) => {
                 match server.local_addr() {
                     Ok(addr) => eprintln!("serve: listening on {addr}"),
                     Err(_) => eprintln!("serve: listening on {}", args.listen),
                 }
-                report_store(&server.service());
                 server.run()
             }
             Err(e) => {
-                eprintln!("serve: cannot bind or open store at {}: {e}", args.listen);
+                eprintln!("serve: error: cannot bind {}: {e}", args.listen);
                 return ExitCode::FAILURE;
             }
         }

@@ -26,7 +26,13 @@
 //!   workers exit;
 //! * a **`stats` verb** surfacing the engine's counters (via their
 //!   `Display` one-liners) plus service counters: connections, requests
-//!   by outcome, queue-depth high-water mark and a latency histogram;
+//!   by outcome, queue-depth high-water mark and latency / queue-wait
+//!   histograms;
+//! * a **`metrics` verb** returning every metric registered across the
+//!   service, engine, cache, store and tier ([`arrayflow_obs`]) as
+//!   structured JSON plus a Prometheus text exposition, and per-request
+//!   **tracing spans** feeding an optional slow-request log
+//!   ([`ServiceConfig::slow_log_micros`], `--slow-log` on `serve`);
 //! * optional **persistence** (`--store DIR` on the `serve` binary, or
 //!   [`ServiceConfig::store`]): reports survive restarts in a crash-safe
 //!   segment log ([`arrayflow_store`]), the cache warm-starts from disk
@@ -41,7 +47,7 @@
 //! ```
 //! use arrayflow_service::{Service, ServiceConfig};
 //!
-//! let service = Service::start(ServiceConfig::default());
+//! let service = Service::start(ServiceConfig::default()).unwrap();
 //! let resp = service.handle_frame(
 //!     br#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#,
 //! );

@@ -10,8 +10,8 @@
 //! ```
 //!
 //! Requests carry `id` (any JSON value, echoed back verbatim so clients
-//! can pipeline), `verb` (`analyze` | `stats` | `ping` | `compact` |
-//! `shutdown`), and
+//! can pipeline), `verb` (`analyze` | `stats` | `metrics` | `ping` |
+//! `compact` | `shutdown`), and
 //! for `analyze`: `program` (DSL text), optional `problems` (array of
 //! instance names; default all) and optional `distance_bound` (default
 //! from the server config). Errors come back structured, never as a
@@ -30,6 +30,9 @@ pub enum Verb {
     Analyze,
     /// Report engine + service statistics.
     Stats,
+    /// Report every registered metric: structured JSON plus the
+    /// Prometheus text exposition.
+    Metrics,
     /// Liveness check; echoes `"pong"`.
     Ping,
     /// Compact the persistent report store (requires `--store`).
@@ -43,6 +46,7 @@ impl Verb {
         match s {
             "analyze" => Some(Verb::Analyze),
             "stats" => Some(Verb::Stats),
+            "metrics" => Some(Verb::Metrics),
             "ping" => Some(Verb::Ping),
             "compact" => Some(Verb::Compact),
             "shutdown" => Some(Verb::Shutdown),

@@ -183,11 +183,15 @@ impl Server {
     /// one is configured). The listener does not accept until
     /// [`Server::run`].
     pub fn bind(addr: impl ToSocketAddrs, config: ServiceConfig) -> io::Result<Server> {
+        Self::attach(addr, Service::start(config)?)
+    }
+
+    /// Binds `addr` in front of an already-started service. Lets callers
+    /// (like the `serve` binary) distinguish a store-open failure from a
+    /// bind failure.
+    pub fn attach(addr: impl ToSocketAddrs, service: Arc<Service>) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server {
-            service: Service::try_start(config)?,
-            listener,
-        })
+        Ok(Server { service, listener })
     }
 
     /// The bound address (useful with ephemeral ports).

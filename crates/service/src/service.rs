@@ -11,13 +11,17 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use arrayflow_engine::{Engine, EngineConfig, EngineStats, ProblemSet};
 use arrayflow_ir::parse_program_bytes;
+use arrayflow_obs::{
+    observed_span, with_current, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
+    Registry, Trace, PHASE_BUCKETS_US,
+};
 use arrayflow_store::{PersistentTier, Store, StoreConfig};
 
 use crate::json::Json;
@@ -53,6 +57,10 @@ pub struct ServiceConfig {
     /// warm-started from it on boot, misses fall through to it, and fresh
     /// results are appended asynchronously.
     pub store: Option<StoreConfig>,
+    /// When set, every request whose end-to-end latency reaches this many
+    /// microseconds emits one structured line on stderr with the trace id
+    /// and per-phase span breakdown. `0` logs every request.
+    pub slow_log_micros: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +72,7 @@ impl Default for ServiceConfig {
             request_timeout: Duration::from_secs(5),
             max_frame_bytes: 1 << 20,
             store: None,
+            slow_log_micros: None,
         }
     }
 }
@@ -99,13 +108,21 @@ pub struct ServiceStats {
     pub timeouts: u64,
     /// Queue-full / shutting-down rejections.
     pub overloaded: u64,
-    /// Malformed frames (bad JSON, oversized, unknown verb, bad fields).
+    /// Malformed frames (bad JSON, unknown verb, bad fields). Oversized
+    /// frames have their own counter and are *not* included here.
     pub protocol_errors: u64,
+    /// Frames discarded for exceeding [`ServiceConfig::max_frame_bytes`].
+    /// Counted separately from `requests` so they never skew the latency
+    /// distribution (the frame is discarded without being timed).
+    pub oversized_frames: u64,
     /// High-water mark of the analyze queue depth.
     pub queue_depth_hwm: usize,
     /// Latency histogram: counts per [`LATENCY_BUCKETS_US`] bucket plus a
     /// final unbounded bucket.
     pub latency: [u64; LATENCY_BUCKETS_US.len() + 1],
+    /// Queue-wait histogram for `analyze` requests (same buckets as
+    /// `latency`): time between enqueue and a worker picking the job up.
+    pub queue_wait: [u64; LATENCY_BUCKETS_US.len() + 1],
 }
 
 impl ServiceStats {
@@ -123,8 +140,13 @@ struct Job {
     program: String,
     problems: ProblemSet,
     distance_bound: u64,
+    /// When the frame was accepted by `handle_frame` — the deadline base.
+    accepted: Instant,
     enqueued: Instant,
     deadline: Duration,
+    /// The request's trace, carried across the queue so worker-side spans
+    /// (parse, solve, tier I/O) land on the same per-request record.
+    trace: Arc<Trace>,
     reply: mpsc::Sender<Result<Json, ServiceError>>,
 }
 
@@ -142,22 +164,92 @@ pub struct FrameResponse {
 pub struct Service {
     config: ServiceConfig,
     engine: Engine,
+    registry: Registry,
     tier: Option<Arc<PersistentTier>>,
     warm_loaded: u64,
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
     shutdown: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    connections: AtomicU64,
-    requests: AtomicU64,
-    ok: AtomicU64,
-    parse_errors: AtomicU64,
-    analysis_errors: AtomicU64,
-    timeouts: AtomicU64,
-    overloaded: AtomicU64,
-    protocol_errors: AtomicU64,
-    queue_depth_hwm: AtomicUsize,
-    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    next_trace_id: AtomicU64,
+    ins: ServiceInstruments,
+}
+
+/// The service's registered instruments: request/response counters by
+/// outcome, the latency and queue-wait histograms, and the
+/// transport-side phase timings.
+#[derive(Debug, Clone)]
+struct ServiceInstruments {
+    connections: Counter,
+    requests: Counter,
+    ok: Counter,
+    parse_errors: Counter,
+    analysis_errors: Counter,
+    timeouts: Counter,
+    overloaded: Counter,
+    protocol_errors: Counter,
+    oversized_frames: Counter,
+    queue_depth_hwm: Gauge,
+    latency: Histogram,
+    queue_wait: Histogram,
+    phase_decode: Histogram,
+    phase_parse: Histogram,
+}
+
+impl ServiceInstruments {
+    fn registered(registry: &Registry) -> Self {
+        let outcome = |name| {
+            registry.counter_with(
+                "arrayflow_responses_total",
+                "responses sent, by outcome",
+                &[("outcome", name)],
+            )
+        };
+        let phase = |name| {
+            registry.histogram_with(
+                "arrayflow_phase_us",
+                "per-phase wall-clock, microseconds",
+                &[("phase", name)],
+                &PHASE_BUCKETS_US,
+            )
+        };
+        Self {
+            connections: registry.counter(
+                "arrayflow_connections_total",
+                "transport connections accepted (stdio counts as one)",
+            ),
+            requests: registry.counter(
+                "arrayflow_requests_total",
+                "frames that produced a timed response",
+            ),
+            ok: outcome("ok"),
+            parse_errors: outcome("parse"),
+            analysis_errors: outcome("analysis"),
+            timeouts: outcome("timeout"),
+            overloaded: outcome("overloaded"),
+            protocol_errors: outcome("protocol"),
+            oversized_frames: registry.counter(
+                "arrayflow_oversized_frames_total",
+                "frames discarded for exceeding the size cap (excluded from request latency)",
+            ),
+            queue_depth_hwm: registry.gauge(
+                "arrayflow_queue_depth_hwm",
+                "high-water mark of the analyze queue depth",
+            ),
+            latency: registry.histogram(
+                "arrayflow_request_latency_us",
+                "end-to-end request latency (decode through response encode), microseconds",
+                &LATENCY_BUCKETS_US,
+            ),
+            queue_wait: registry.histogram(
+                "arrayflow_queue_wait_us",
+                "time analyze jobs spent queued before a worker picked them up, microseconds",
+                &LATENCY_BUCKETS_US,
+            ),
+            phase_decode: phase("decode"),
+            phase_parse: phase("parse"),
+        }
+    }
 }
 
 impl std::fmt::Debug for Service {
@@ -170,49 +262,39 @@ impl std::fmt::Debug for Service {
 }
 
 impl Service {
-    /// Builds the service and spawns its worker pool. Panics if the
-    /// configured store cannot be opened; use [`Service::try_start`] to
-    /// handle that as an error.
-    pub fn start(config: ServiceConfig) -> Arc<Service> {
-        Service::try_start(config).expect("open report store")
-    }
-
     /// Builds the service and spawns its worker pool. When a store is
     /// configured this opens (and crash-recovers) it, wires it under the
     /// engine's cache as the second tier, and warm-starts the cache from
-    /// every live record on disk.
-    pub fn try_start(config: ServiceConfig) -> io::Result<Arc<Service>> {
-        let mut engine = Engine::new(config.engine.clone());
+    /// every live record on disk. A store that cannot be opened is an
+    /// error, never a panic — the `serve` binary turns it into a
+    /// structured one-line diagnostic and a nonzero exit.
+    pub fn start(config: ServiceConfig) -> io::Result<Arc<Service>> {
+        let registry = Registry::new();
+        let mut engine = Engine::with_registry(config.engine.clone(), &registry);
         let mut tier = None;
         let mut warm_loaded = 0u64;
         if let Some(store_config) = &config.store {
             let queue_bound = store_config.writer_queue;
-            let store = Arc::new(Store::open(store_config.clone())?);
-            let t = PersistentTier::new(Arc::clone(&store), queue_bound);
+            let store = Arc::new(Store::open_in(store_config.clone(), &registry)?);
+            let t = PersistentTier::new_in(Arc::clone(&store), queue_bound, &registry);
             engine.set_second_tier(t.clone());
             warm_loaded = store.for_each_live(|key, report| {
                 engine.preload(key, Arc::new(report));
             });
             tier = Some(t);
         }
+        let ins = ServiceInstruments::registered(&registry);
         let svc = Arc::new(Service {
             engine,
+            registry,
             tier,
             warm_loaded,
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
-            connections: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            ok: AtomicU64::new(0),
-            parse_errors: AtomicU64::new(0),
-            analysis_errors: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            overloaded: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
-            queue_depth_hwm: AtomicUsize::new(0),
-            latency: Default::default(),
+            next_trace_id: AtomicU64::new(1),
+            ins,
             config,
         });
         let n = svc.config.effective_workers();
@@ -233,6 +315,12 @@ impl Service {
     /// The shared engine (e.g. for a direct in-process baseline).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The metrics registry shared by the service, engine, cache, store
+    /// and tier — everything one `metrics` scrape covers.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// How many reports the cache was warm-started with from the disk
@@ -275,49 +363,71 @@ impl Service {
 
     /// Records one accepted transport connection.
     pub fn record_connection(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.ins.connections.inc();
     }
 
     /// Handles one raw frame end-to-end: decode, dispatch, count, encode.
     /// Never panics and never drops a request silently — hostile bytes
-    /// come back as structured `protocol` errors.
+    /// come back as structured `protocol` errors. Each frame gets a trace
+    /// with per-phase spans; when [`ServiceConfig::slow_log_micros`] is
+    /// set, requests over the threshold log the span breakdown to stderr.
     pub fn handle_frame(&self, frame: &[u8]) -> FrameResponse {
-        let start = Instant::now();
-        let (id, outcome, mut is_shutdown) = match Request::decode(frame) {
-            Err((id, e)) => (id, Err(e), false),
-            Ok(req) => {
-                let id = req.id.clone();
-                let is_shutdown = req.verb == Verb::Shutdown;
-                (id, self.dispatch(req), is_shutdown)
+        let accepted = Instant::now();
+        let trace = Trace::start(self.next_trace_id.fetch_add(1, Ordering::Relaxed));
+        let (id, outcome, mut is_shutdown) = with_current(&trace, || {
+            let decoded = {
+                let _span = observed_span("decode", &self.ins.phase_decode);
+                Request::decode(frame)
+            };
+            match decoded {
+                Err((id, e)) => (id, Err(e), false),
+                Ok(req) => {
+                    let id = req.id.clone();
+                    let is_shutdown = req.verb == Verb::Shutdown;
+                    (id, self.dispatch(req, accepted), is_shutdown)
+                }
             }
-        };
-        let line = match &outcome {
+        });
+        let (line, outcome_name) = match &outcome {
             Ok(result) => {
-                self.ok.fetch_add(1, Ordering::Relaxed);
-                encode_ok(&id, result.clone())
+                self.ins.ok.inc();
+                (encode_ok(&id, result.clone()), "ok")
             }
             Err(e) => {
-                self.counter_for(e.kind).fetch_add(1, Ordering::Relaxed);
+                self.counter_for(e.kind).inc();
                 is_shutdown = false;
-                encode_err(&id, e)
+                (encode_err(&id, e), e.kind.as_str())
             }
         };
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.record_latency(start.elapsed());
+        self.ins.requests.inc();
+        let elapsed_us = accepted.elapsed().as_micros() as u64;
+        self.ins.latency.observe(elapsed_us);
+        if let Some(threshold) = self.config.slow_log_micros {
+            if elapsed_us >= threshold {
+                eprintln!(
+                    "serve: slow-request trace={} outcome={} total_us={} {}",
+                    trace.id(),
+                    outcome_name,
+                    elapsed_us,
+                    trace.breakdown()
+                );
+            }
+        }
         FrameResponse {
             line,
             shutdown: is_shutdown,
         }
     }
 
-    /// Builds (and counts, as a `protocol` error) the response for a frame
-    /// that exceeded [`ServiceConfig::max_frame_bytes`]. The transports
-    /// discard such frames without materializing them, so this is the one
-    /// response that never passes through [`Service::handle_frame`].
+    /// Builds (and counts) the response for a frame that exceeded
+    /// [`ServiceConfig::max_frame_bytes`]. The transports discard such
+    /// frames without materializing them, so this is the one response that
+    /// never passes through [`Service::handle_frame`] — it gets its own
+    /// counter and deliberately stays out of `requests` and the latency
+    /// histogram (no work was timed, so a zero observation would only
+    /// skew the distribution).
     pub fn oversized_frame_response(&self) -> String {
-        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.record_latency(Duration::ZERO);
+        self.ins.oversized_frames.inc();
         encode_err(
             &Json::Null,
             &ServiceError::new(
@@ -327,35 +437,27 @@ impl Service {
         )
     }
 
-    fn counter_for(&self, kind: ErrorKind) -> &AtomicU64 {
+    fn counter_for(&self, kind: ErrorKind) -> &Counter {
         match kind {
-            ErrorKind::Parse => &self.parse_errors,
-            ErrorKind::Analysis => &self.analysis_errors,
-            ErrorKind::Timeout => &self.timeouts,
-            ErrorKind::Overloaded => &self.overloaded,
-            ErrorKind::Protocol => &self.protocol_errors,
+            ErrorKind::Parse => &self.ins.parse_errors,
+            ErrorKind::Analysis => &self.ins.analysis_errors,
+            ErrorKind::Timeout => &self.ins.timeouts,
+            ErrorKind::Overloaded => &self.ins.overloaded,
+            ErrorKind::Protocol => &self.ins.protocol_errors,
         }
     }
 
-    fn record_latency(&self, elapsed: Duration) {
-        let us = elapsed.as_micros() as u64;
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&edge| us <= edge)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn dispatch(&self, req: Request) -> Result<Json, ServiceError> {
+    fn dispatch(&self, req: Request, accepted: Instant) -> Result<Json, ServiceError> {
         match req.verb {
             Verb::Ping => Ok(Json::Str("pong".into())),
             Verb::Stats => Ok(self.stats_json()),
+            Verb::Metrics => Ok(self.metrics_json()),
             Verb::Compact => self.compact_store(),
             Verb::Shutdown => {
                 self.shutdown();
                 Ok(Json::Str("shutting down".into()))
             }
-            Verb::Analyze => self.submit_and_wait(req),
+            Verb::Analyze => self.submit_and_wait(req, accepted),
         }
     }
 
@@ -382,13 +484,14 @@ impl Service {
         ]))
     }
 
-    fn submit_and_wait(&self, req: Request) -> Result<Json, ServiceError> {
+    fn submit_and_wait(&self, req: Request, accepted: Instant) -> Result<Json, ServiceError> {
         let program = req.program.expect("decode guarantees program for analyze");
         let problems = req.problems.unwrap_or(self.config.engine.problems);
         let distance_bound = req
             .distance_bound
             .unwrap_or(self.config.engine.dep_max_distance);
         let deadline = self.config.request_timeout;
+        let trace = arrayflow_obs::trace::current().expect("handle_frame installed a trace");
 
         let (tx, rx) = mpsc::channel();
         {
@@ -409,15 +512,20 @@ impl Service {
                 program,
                 problems,
                 distance_bound,
+                accepted,
                 enqueued: Instant::now(),
                 deadline,
+                trace,
                 reply: tx,
             });
-            self.queue_depth_hwm.fetch_max(q.len(), Ordering::Relaxed);
+            self.ins.queue_depth_hwm.set_max(q.len() as u64);
         }
         self.job_ready.notify_one();
 
-        match rx.recv_timeout(deadline) {
+        // The deadline is measured from frame acceptance, not from
+        // enqueue, so decode time cannot silently extend the budget.
+        let remaining = deadline.saturating_sub(accepted.elapsed());
+        match rx.recv_timeout(remaining) {
             Ok(outcome) => outcome,
             Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::new(
                 ErrorKind::Timeout,
@@ -447,21 +555,32 @@ impl Service {
                 }
             };
             let Some(job) = job else { return };
-            let outcome = self.run_job(&job);
+            // Queue wait ends now: record it as both a histogram
+            // observation and a span on the request's trace (the span's
+            // start is back-dated to the enqueue instant).
+            let wait_us = job.enqueued.elapsed().as_micros() as u64;
+            self.ins.queue_wait.observe(wait_us);
+            let now_us = job.trace.elapsed_us();
+            job.trace
+                .record("queue_wait", now_us.saturating_sub(wait_us), wait_us);
+            let outcome = with_current(&job.trace, || self.run_job(&job));
             // The waiter may have timed out and gone; that is fine.
             let _ = job.reply.send(outcome);
         }
     }
 
     fn run_job(&self, job: &Job) -> Result<Json, ServiceError> {
-        if job.enqueued.elapsed() >= job.deadline {
+        if job.accepted.elapsed() >= job.deadline {
             return Err(ServiceError::new(
                 ErrorKind::Timeout,
                 format!("spent over {} ms queued", job.deadline.as_millis()),
             ));
         }
-        let program = parse_program_bytes(job.program.as_bytes())
-            .map_err(|e| ServiceError::new(ErrorKind::Parse, e.to_string()))?;
+        let program = {
+            let _span = observed_span("parse", &self.ins.phase_parse);
+            parse_program_bytes(job.program.as_bytes())
+                .map_err(|e| ServiceError::new(ErrorKind::Parse, e.to_string()))?
+        };
         let result = self
             .engine
             .analyze_with(0, &program, job.problems, job.distance_bound);
@@ -473,21 +592,27 @@ impl Service {
 
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        let mut latency = [0u64; LATENCY_BUCKETS_US.len() + 1];
-        for (slot, counter) in latency.iter_mut().zip(&self.latency) {
-            *slot = counter.load(Ordering::Relaxed);
-        }
+        let buckets = |h: &Histogram| {
+            let snap = h.snapshot();
+            let mut out = [0u64; LATENCY_BUCKETS_US.len() + 1];
+            for (slot, b) in out.iter_mut().zip(&snap.buckets) {
+                *slot = *b;
+            }
+            out
+        };
         ServiceStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            ok: self.ok.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
-            analysis_errors: self.analysis_errors.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            overloaded: self.overloaded.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
-            latency,
+            connections: self.ins.connections.get(),
+            requests: self.ins.requests.get(),
+            ok: self.ins.ok.get(),
+            parse_errors: self.ins.parse_errors.get(),
+            analysis_errors: self.ins.analysis_errors.get(),
+            timeouts: self.ins.timeouts.get(),
+            overloaded: self.ins.overloaded.get(),
+            protocol_errors: self.ins.protocol_errors.get(),
+            oversized_frames: self.ins.oversized_frames.get(),
+            queue_depth_hwm: self.ins.queue_depth_hwm.get() as usize,
+            latency: buckets(&self.ins.latency),
+            queue_wait: buckets(&self.ins.queue_wait),
         }
     }
 
@@ -508,14 +633,19 @@ impl Service {
             ("overloaded".into(), Json::Num(s.overloaded as f64)),
             ("protocol".into(), Json::Num(s.protocol_errors as f64)),
         ]);
-        let mut latency = Vec::new();
-        for (i, &edge) in LATENCY_BUCKETS_US.iter().enumerate() {
-            latency.push((format!("le_{edge}us"), Json::Num(s.latency[i] as f64)));
-        }
-        latency.push((
-            "gt_1000000us".into(),
-            Json::Num(s.latency[LATENCY_BUCKETS_US.len()] as f64),
-        ));
+        let hist_obj = |buckets: &[u64; LATENCY_BUCKETS_US.len() + 1]| {
+            let mut members = Vec::new();
+            for (i, &edge) in LATENCY_BUCKETS_US.iter().enumerate() {
+                members.push((format!("le_{edge}us"), Json::Num(buckets[i] as f64)));
+            }
+            members.push((
+                "gt_1000000us".into(),
+                Json::Num(buckets[LATENCY_BUCKETS_US.len()] as f64),
+            ));
+            Json::Obj(members)
+        };
+        let latency = hist_obj(&s.latency);
+        let queue_wait = hist_obj(&s.queue_wait);
         let mut members = vec![
             ("engine".into(), Json::Str(e.to_string())),
             ("cache".into(), Json::Str(e.cache.to_string())),
@@ -560,14 +690,73 @@ impl Service {
                 ("ok".into(), Json::Num(s.ok as f64)),
                 ("errors".into(), errors),
                 (
+                    "oversized_frames".into(),
+                    Json::Num(s.oversized_frames as f64),
+                ),
+                (
                     "queue_depth_hwm".into(),
                     Json::Num(s.queue_depth_hwm as f64),
                 ),
-                ("latency".into(), Json::Obj(latency)),
+                ("latency".into(), latency),
+                ("queue_wait".into(), queue_wait),
             ]),
         )]);
         Json::Obj(members)
     }
+
+    /// The `metrics` verb payload: every registered metric as structured
+    /// JSON plus the full Prometheus text exposition, so scrapers can use
+    /// whichever form they prefer.
+    fn metrics_json(&self) -> Json {
+        let snapshot = self.registry.snapshot();
+        let metrics = snapshot
+            .metrics
+            .iter()
+            .map(|m| {
+                let labels = m
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect();
+                let mut members = vec![
+                    ("name".into(), Json::Str(m.name.clone())),
+                    ("type".into(), Json::Str(m.value.type_name().into())),
+                    ("labels".into(), Json::Obj(labels)),
+                ];
+                match &m.value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                        members.push(("value".into(), Json::Num(*v as f64)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        members.push(("histogram".into(), histogram_json(h)));
+                    }
+                }
+                Json::Obj(members)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("metrics".into(), Json::Arr(metrics)),
+            ("prometheus".into(), Json::Str(snapshot.render_prometheus())),
+        ])
+    }
+}
+
+/// Renders a histogram snapshot as `{edges, buckets, count, sum}` (bucket
+/// counts are per-bucket, not cumulative; `buckets` has one final
+/// unbounded slot beyond `edges`).
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::Obj(vec![
+        (
+            "edges".into(),
+            Json::Arr(h.edges.iter().map(|&e| Json::Num(e as f64)).collect()),
+        ),
+        (
+            "buckets".into(),
+            Json::Arr(h.buckets.iter().map(|&b| Json::Num(b as f64)).collect()),
+        ),
+        ("count".into(), Json::Num(h.count as f64)),
+        ("sum".into(), Json::Num(h.sum as f64)),
+    ])
 }
 
 impl Drop for Service {
@@ -589,6 +778,7 @@ mod tests {
             workers: 2,
             ..ServiceConfig::default()
         })
+        .expect("no store configured, start cannot fail")
     }
 
     #[test]
@@ -634,7 +824,8 @@ mod tests {
             workers: 1,
             request_timeout: Duration::ZERO,
             ..ServiceConfig::default()
-        });
+        })
+        .unwrap();
         let r = svc.handle_frame(br#"{"id": 9, "verb": "analyze", "program": "x := 1;"}"#);
         assert!(r.line.contains(r#""kind":"timeout""#), "{}", r.line);
         assert_eq!(svc.stats().timeouts, 1);
@@ -677,7 +868,7 @@ mod tests {
         let frame =
             br#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#;
 
-        let svc = Service::start(config());
+        let svc = Service::start(config()).unwrap();
         assert_eq!(svc.warm_loaded(), 0);
         let first = svc.handle_frame(frame);
         assert!(first.line.contains(r#""ok":true"#), "{}", first.line);
@@ -695,7 +886,7 @@ mod tests {
         // A fresh service over the same directory warm-starts and answers
         // the same program with byte-identical reports without re-solving
         // (the per-request stats legitimately differ: hit vs miss).
-        let svc = Service::start(config());
+        let svc = Service::start(config()).unwrap();
         assert_eq!(svc.warm_loaded(), 1);
         let again = svc.handle_frame(frame);
         let loops = |line: &str| {

@@ -1,0 +1,417 @@
+//! Observability integration tests: the metrics registry exported by a
+//! running service, the Prometheus/JSON `metrics` verb, and regression
+//! coverage for the three accounting bugfixes — oversized frames no
+//! longer skew the latency histogram, queue wait is measured and
+//! included in request latency, and `serve` reports a store-open failure
+//! as a structured one-line error instead of panicking.
+
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use arrayflow_obs::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+use arrayflow_service::{Json, Service, ServiceConfig};
+use arrayflow_store::StoreConfig;
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    match snap.find(name) {
+        Some(m) => match &m.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            other => panic!("{name} is not a counter/gauge: {other:?}"),
+        },
+        None => panic!("metric {name} not registered"),
+    }
+}
+
+fn histogram(snap: &MetricsSnapshot, name: &str) -> HistogramSnapshot {
+    histogram_with(snap, name, &[])
+}
+
+fn histogram_with(
+    snap: &MetricsSnapshot,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> HistogramSnapshot {
+    match snap.find_with(name, labels) {
+        Some(m) => match &m.value {
+            MetricValue::Histogram(h) => h.clone(),
+            other => panic!("{name}{labels:?} is not a histogram: {other:?}"),
+        },
+        None => panic!("metric {name}{labels:?} not registered"),
+    }
+}
+
+fn analyze_frame(id: usize, program: &str) -> String {
+    format!(r#"{{"id": {id}, "verb": "analyze", "program": "{program}"}}"#)
+}
+
+/// Structurally distinct single-loop programs (cache misses, so the
+/// solver actually runs and pass counts land in the histograms).
+fn distinct_programs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|k| {
+            format!(
+                "do i = 1, {} A[i+{}] := A[i] + x; B[i] := A[i+{}]; end",
+                50 + k,
+                1 + (k % 4),
+                1 + (k % 4),
+            )
+        })
+        .collect()
+}
+
+fn assert_ok(resp: &str) {
+    let json = Json::parse(resp.as_bytes()).expect("valid response JSON");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "expected ok response, got {resp}"
+    );
+}
+
+/// Regression (bugfix 1): oversized frames get their own counter and are
+/// never timed — the latency histogram and request total only ever see
+/// frames that produced a response. Pre-fix, each oversized frame was
+/// counted as a protocol error and observed as a zero-microsecond
+/// latency, silently dragging the distribution toward zero.
+#[test]
+fn oversized_frames_never_enter_the_latency_distribution() {
+    let service = Service::start(ServiceConfig::default()).unwrap();
+    for i in 0..4 {
+        let resp = service.handle_frame(format!(r#"{{"id": {i}, "verb": "ping"}}"#).as_bytes());
+        assert_ok(&resp.line);
+    }
+    for _ in 0..7 {
+        let line = service.oversized_frame_response();
+        assert!(line.contains("protocol"), "oversized reply names its kind");
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.oversized_frames, 7);
+    assert_eq!(stats.requests, 4, "oversized frames are not requests");
+    assert_eq!(stats.protocol_errors, 0, "oversized is its own class");
+    assert_eq!(stats.latency.iter().sum::<u64>(), 4);
+
+    let snap = service.registry().snapshot();
+    assert_eq!(counter(&snap, "arrayflow_oversized_frames_total"), 7);
+    assert_eq!(counter(&snap, "arrayflow_requests_total"), 4);
+    let latency = histogram(&snap, "arrayflow_request_latency_us");
+    assert_eq!(latency.count, 4, "only timed frames reach the histogram");
+
+    service.shutdown();
+    service.join_workers();
+}
+
+/// The paper's convergence bound, asserted from exported metrics alone:
+/// must-problems (reaching, available, busy) fix within three solver
+/// passes and the may-problem (reaching_refs) within two, so the
+/// cumulative bucket at the bound swallows the whole distribution.
+#[test]
+fn solver_pass_bound_is_assertable_from_metrics_alone() {
+    let service = Service::start(ServiceConfig::default()).unwrap();
+    for (i, p) in distinct_programs(8).iter().enumerate() {
+        let resp = service.handle_frame(analyze_frame(i, p).as_bytes());
+        assert_ok(&resp.line);
+    }
+
+    let snap = service.registry().snapshot();
+    for problem in ["reaching", "available", "busy"] {
+        let h = histogram_with(&snap, "arrayflow_solver_passes", &[("problem", problem)]);
+        assert!(h.count > 0, "{problem} recorded no pass counts");
+        assert_eq!(
+            h.cumulative_le(3),
+            Some(h.count),
+            "must-problem {problem} exceeded the 3-pass bound: {h:?}"
+        );
+    }
+    let h = histogram_with(
+        &snap,
+        "arrayflow_solver_passes",
+        &[("problem", "reaching_refs")],
+    );
+    assert!(h.count > 0, "reaching_refs recorded no pass counts");
+    assert_eq!(
+        h.cumulative_le(2),
+        Some(h.count),
+        "may-problem reaching_refs exceeded the 2-pass bound: {h:?}"
+    );
+
+    service.shutdown();
+    service.join_workers();
+}
+
+/// Regression (bugfix 2): time spent queued behind other requests is
+/// measured (its own histogram) and included in request latency, which
+/// is stamped at frame acceptance rather than at worker pickup.
+#[test]
+fn queue_wait_is_measured_and_included_in_latency() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let programs = distinct_programs(6);
+    std::thread::scope(|scope| {
+        for (i, p) in programs.iter().enumerate() {
+            let service = &service;
+            scope.spawn(move || {
+                let resp = service.handle_frame(analyze_frame(i, p).as_bytes());
+                assert_ok(&resp.line);
+            });
+        }
+    });
+
+    let snap = service.registry().snapshot();
+    let wait = histogram(&snap, "arrayflow_queue_wait_us");
+    let latency = histogram(&snap, "arrayflow_request_latency_us");
+    assert_eq!(wait.count, programs.len() as u64, "one wait per analyze");
+    assert_eq!(latency.count, programs.len() as u64);
+    assert!(
+        latency.sum >= wait.sum,
+        "queue wait ({}us) must be contained in latency ({}us)",
+        wait.sum,
+        latency.sum
+    );
+    let stats = service.stats();
+    assert_eq!(stats.queue_wait.iter().sum::<u64>(), programs.len() as u64);
+
+    service.shutdown();
+    service.join_workers();
+}
+
+/// N writer threads hammer `handle_frame` with a mixed workload while a
+/// reader polls registry snapshots: totals must be monotone across
+/// polls, and once quiescent the latency histogram count must equal the
+/// request total and the per-outcome response counters must partition it.
+#[test]
+fn metrics_snapshots_stay_consistent_under_concurrent_load() {
+    const WRITERS: usize = 4;
+    const FRAMES_EACH: usize = 25;
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let stop = AtomicBool::new(false);
+    let polls = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let reader_service = &service;
+        let (stop, polls) = (&stop, &polls);
+        let reader = scope.spawn(move || {
+            let mut last = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = reader_service.registry().snapshot();
+                let requests = counter(&snap, "arrayflow_requests_total");
+                assert!(requests >= last, "requests_total went backwards");
+                last = requests;
+                polls.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+        });
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let service = &service;
+                scope.spawn(move || {
+                    for i in 0..FRAMES_EACH {
+                        let frame = match i % 4 {
+                            0 => format!(r#"{{"id": {i}, "verb": "ping"}}"#),
+                            1 => analyze_frame(
+                                i,
+                                &format!("do i = 1, {} A[i+1] := A[i]; end", 10 + w),
+                            ),
+                            2 => analyze_frame(i, "do this is not a program"),
+                            _ => "{\"not\": \"a request\"".to_string(),
+                        };
+                        let _ = service.handle_frame(frame.as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+    });
+
+    assert!(polls.load(Ordering::Relaxed) > 0, "reader never polled");
+    let total = (WRITERS * FRAMES_EACH) as u64;
+    let snap = service.registry().snapshot();
+    assert_eq!(counter(&snap, "arrayflow_requests_total"), total);
+    let latency = histogram(&snap, "arrayflow_request_latency_us");
+    assert_eq!(latency.count, total, "every request is timed exactly once");
+    assert_eq!(
+        latency.total(),
+        latency.count,
+        "buckets partition the count"
+    );
+    let by_outcome: u64 = [
+        "ok",
+        "parse",
+        "analysis",
+        "timeout",
+        "overloaded",
+        "protocol",
+    ]
+    .iter()
+    .map(|o| {
+        snap.find_with("arrayflow_responses_total", &[("outcome", o)])
+            .map_or(0, |m| match &m.value {
+                MetricValue::Counter(v) => *v,
+                other => panic!("responses_total is not a counter: {other:?}"),
+            })
+    })
+    .sum();
+    assert_eq!(by_outcome, total, "outcomes partition the request total");
+
+    service.shutdown();
+    service.join_workers();
+}
+
+/// The `metrics` verb returns every layer's instruments — service,
+/// engine, cache, store, tier — as structured JSON plus a Prometheus
+/// text exposition.
+#[test]
+fn metrics_verb_exports_every_layer() {
+    let dir = std::env::temp_dir().join(format!("afobs-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = Service::start(ServiceConfig {
+        store: Some(StoreConfig::at(&dir)),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let resp = service.handle_frame(analyze_frame(0, &distinct_programs(1)[0]).as_bytes());
+    assert_ok(&resp.line);
+
+    let resp = service.handle_frame(br#"{"id": 1, "verb": "metrics"}"#);
+    let json = Json::parse(resp.line.as_bytes()).expect("metrics response parses");
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+    let result = json.get("result").expect("result object");
+    let metrics = result
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .expect("metrics array");
+    let names: Vec<&str> = metrics
+        .iter()
+        .filter_map(|m| m.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in [
+        "arrayflow_requests_total",            // service
+        "arrayflow_request_latency_us",        // service histogram
+        "arrayflow_queue_wait_us",             // service histogram
+        "arrayflow_oversized_frames_total",    // service counter
+        "arrayflow_engine_programs_total",     // engine
+        "arrayflow_solver_passes",             // per-problem solver histogram
+        "arrayflow_phase_us",                  // per-phase timing histogram
+        "arrayflow_cache_hits_total",          // cache
+        "arrayflow_store_appends_total",       // store
+        "arrayflow_tier_queued_appends_total", // tier
+    ] {
+        assert!(
+            names.contains(&expected),
+            "metrics verb is missing {expected}; got {names:?}"
+        );
+    }
+    let prometheus = result
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prometheus exposition");
+    assert!(prometheus.contains("# TYPE arrayflow_request_latency_us histogram"));
+    assert!(prometheus.contains("arrayflow_request_latency_us_bucket{le=\"+Inf\"}"));
+    assert!(prometheus.contains("# TYPE arrayflow_queue_wait_us histogram"));
+    assert!(prometheus.contains("arrayflow_solver_passes_bucket{"));
+    assert!(prometheus.contains("arrayflow_oversized_frames_total"));
+
+    service.shutdown();
+    service.join_workers();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression (bugfix 3): a store directory that cannot be created makes
+/// `serve` exit nonzero with a single structured error line — it used to
+/// panic through an `.expect()` in `Service::start`.
+#[test]
+fn serve_store_open_failure_is_structured_and_nonzero() {
+    let file = std::env::temp_dir().join(format!("afobs-notadir-{}", std::process::id()));
+    std::fs::write(&file, b"occupies the path").unwrap();
+    let store = file.join("store"); // parent is a regular file: create fails
+    let out = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--store", store.to_str().unwrap()])
+        .output()
+        .expect("run serve");
+    assert!(!out.status.success(), "serve must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("serve: error: cannot open report store:"),
+        "missing structured error line, stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "serve panicked: {stderr}");
+    let _ = std::fs::remove_file(&file);
+}
+
+/// `--slow-log 0` logs every request to stderr with its trace id and
+/// per-phase span breakdown.
+#[test]
+fn slow_log_zero_emits_span_breakdown_per_request() {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--stdio", "--slow-log", "0", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve --stdio");
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(
+            stdin,
+            "{}",
+            analyze_frame(0, "do i = 1, 20 A[i+1] := A[i]; end")
+        )
+        .unwrap();
+        writeln!(stdin, r#"{{"id": 1, "verb": "shutdown"}}"#).unwrap();
+    }
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("serve exit");
+    assert!(
+        out.status.success(),
+        "stdio shutdown exits 0: {:?}",
+        out.status
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "two responses: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let slow: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("serve: slow-request trace="))
+        .collect();
+    assert!(
+        slow.len() >= 2,
+        "expected a slow-log line per request, stderr: {stderr}"
+    );
+    let analyze_line = slow
+        .iter()
+        .find(|l| l.contains("queue_wait="))
+        .unwrap_or_else(|| panic!("no analyze slow-log line with spans: {slow:?}"));
+    for span in ["decode=", "queue_wait=", "parse=", "solve=", "total_us="] {
+        assert!(
+            analyze_line.contains(span),
+            "slow-log line missing {span}: {analyze_line}"
+        );
+    }
+}
+
+/// Requests through a cloned `Arc<Service>` land on the same registry:
+/// instruments are shared, not per-handle.
+#[test]
+fn registry_is_shared_across_service_handles() {
+    let service = Service::start(ServiceConfig::default()).unwrap();
+    let clone = Arc::clone(&service);
+    let resp = clone.handle_frame(br#"{"id": 0, "verb": "ping"}"#);
+    assert_ok(&resp.line);
+    let snap = service.registry().snapshot();
+    assert_eq!(counter(&snap, "arrayflow_requests_total"), 1);
+    service.shutdown();
+    service.join_workers();
+}

@@ -242,7 +242,11 @@ fn oversized_frame_is_rejected_and_connection_survives() {
         client.recv_json().get("ok").and_then(Json::as_bool),
         Some(true)
     );
-    assert_eq!(service.stats().protocol_errors, 1);
+    // Oversized frames get their own counter — they are not protocol
+    // errors, not requests, and never land in the latency histogram.
+    let stats = service.stats();
+    assert_eq!(stats.oversized_frames, 1);
+    assert_eq!(stats.protocol_errors, 0);
     service.shutdown();
     service.join_workers();
 }
@@ -454,7 +458,8 @@ fn stdio_like_loop_over_pipe_mode_frames() {
     let service = Service::start(ServiceConfig {
         workers: 1,
         ..ServiceConfig::default()
-    });
+    })
+    .unwrap();
     let script: &[&[u8]] = &[
         br#"{"id": 1, "verb": "ping"}"#,
         br#"{"id": 2, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#,

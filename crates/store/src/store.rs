@@ -24,10 +24,10 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use arrayflow_engine::{AnalysisReport, CacheKey};
+use arrayflow_obs::{Counter, Gauge, Registry};
 
 use crate::codec::{decode_record, encode_record, Record};
 use crate::crc::crc32;
@@ -162,15 +162,55 @@ pub struct Store {
     writer: Mutex<WriterState>,
     index: RwLock<HashMap<CacheKey, Location>>,
     recovery: RecoveryReport,
-    bytes: AtomicU64,
+    ins: StoreInstruments,
+}
+
+/// The store's registered instruments. Sizes are gauges (they go down on
+/// compaction), everything else is a monotone counter.
+#[derive(Debug, Clone)]
+struct StoreInstruments {
+    /// Total bytes across segment files.
+    bytes: Gauge,
     /// Intact records physically on disk (live + superseded + tombstones);
     /// `records_on_disk - live` is what a compaction will drop.
-    records_on_disk: AtomicU64,
-    disk_hits: AtomicU64,
-    disk_misses: AtomicU64,
-    read_errors: AtomicU64,
-    appends: AtomicU64,
-    compactions: AtomicU64,
+    records_on_disk: Gauge,
+    disk_hits: Counter,
+    disk_misses: Counter,
+    read_errors: Counter,
+    appends: Counter,
+    compactions: Counter,
+}
+
+impl StoreInstruments {
+    fn registered(registry: &Registry) -> Self {
+        Self {
+            bytes: registry.gauge("arrayflow_store_bytes", "total bytes across segment files"),
+            records_on_disk: registry.gauge(
+                "arrayflow_store_records_on_disk",
+                "intact records physically on disk (live + superseded + tombstones)",
+            ),
+            disk_hits: registry.counter(
+                "arrayflow_store_disk_hits_total",
+                "store gets answered from disk",
+            ),
+            disk_misses: registry.counter(
+                "arrayflow_store_disk_misses_total",
+                "store gets that found no live record",
+            ),
+            read_errors: registry.counter(
+                "arrayflow_store_read_errors_total",
+                "disk reads that failed CRC or decode validation",
+            ),
+            appends: registry.counter(
+                "arrayflow_store_appends_total",
+                "records appended since open (puts and tombstones)",
+            ),
+            compactions: registry.counter(
+                "arrayflow_store_compactions_total",
+                "compaction passes completed",
+            ),
+        }
+    }
 }
 
 impl std::fmt::Debug for Store {
@@ -185,8 +225,17 @@ impl std::fmt::Debug for Store {
 impl Store {
     /// Opens (creating the directory if needed) and recovers a store:
     /// every segment is scanned in id order, intact records rebuild the
-    /// index last-write-wins, corrupt ones are skipped and counted.
+    /// index last-write-wins, corrupt ones are skipped and counted. The
+    /// store's instruments land on a fresh private [`Registry`]; use
+    /// [`Store::open_in`] to share one.
     pub fn open(config: StoreConfig) -> io::Result<Store> {
+        Self::open_in(config, &Registry::new())
+    }
+
+    /// Like [`Store::open`], but registers the store's instruments on
+    /// `registry` so one `metrics` scrape covers the persistence layer
+    /// too.
+    pub fn open_in(config: StoreConfig, registry: &Registry) -> io::Result<Store> {
         fs::create_dir_all(&config.dir)?;
         let mut seg_ids: Vec<u64> = fs::read_dir(&config.dir)?
             .filter_map(|e| e.ok())
@@ -223,6 +272,9 @@ impl Store {
         recovery.live_records = index.len() as u64;
 
         let next_seg_id = seg_ids.last().copied().unwrap_or(0) + 1;
+        let ins = StoreInstruments::registered(registry);
+        ins.bytes.set(total_bytes);
+        ins.records_on_disk.set(recovery.records_replayed);
         Ok(Store {
             writer: Mutex::new(WriterState {
                 file: None,
@@ -233,13 +285,7 @@ impl Store {
             }),
             index: RwLock::new(index),
             recovery,
-            bytes: AtomicU64::new(total_bytes),
-            records_on_disk: AtomicU64::new(recovery.records_replayed),
-            disk_hits: AtomicU64::new(0),
-            disk_misses: AtomicU64::new(0),
-            read_errors: AtomicU64::new(0),
-            appends: AtomicU64::new(0),
-            compactions: AtomicU64::new(0),
+            ins,
             config,
         })
     }
@@ -274,13 +320,13 @@ impl Store {
         StoreStats {
             records,
             segments,
-            bytes: self.bytes.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            disk_misses: self.disk_misses.load(Ordering::Relaxed),
-            read_errors: self.read_errors.load(Ordering::Relaxed),
-            appends: self.appends.load(Ordering::Relaxed),
+            bytes: self.ins.bytes.get(),
+            disk_hits: self.ins.disk_hits.get(),
+            disk_misses: self.ins.disk_misses.get(),
+            read_errors: self.ins.read_errors.get(),
+            appends: self.ins.appends.get(),
             recovery_skipped: self.recovery.skipped,
-            compactions: self.compactions.load(Ordering::Relaxed),
+            compactions: self.ins.compactions.get(),
         }
     }
 
@@ -311,21 +357,21 @@ impl Store {
             match ix.get(key) {
                 Some(loc) => *loc,
                 None => {
-                    self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                    self.ins.disk_misses.inc();
                     return None;
                 }
             }
         };
         match self.read_location(loc) {
             Some(Record::Put { report, .. }) => {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.ins.disk_hits.inc();
                 Some(*report)
             }
             _ => {
                 // Validation failed (or the segment vanished under a
                 // concurrent compaction): report a miss, never bad data.
-                self.read_errors.fetch_add(1, Ordering::Relaxed);
-                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                self.ins.read_errors.inc();
+                self.ins.disk_misses.inc();
                 None
             }
         }
@@ -342,12 +388,12 @@ impl Store {
             w.seg_id = id;
             w.seg_bytes = HEADER_LEN as u64;
             w.segments.push(id);
-            self.bytes.fetch_add(HEADER_LEN as u64, Ordering::Relaxed);
+            self.ins.bytes.add(HEADER_LEN as u64);
         }
         let offset = w.seg_bytes;
         w.file.as_mut().expect("opened above").write_all(frame)?;
         w.seg_bytes += frame.len() as u64;
-        self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.ins.bytes.add(frame.len() as u64);
         let seg_id = w.seg_id;
         if w.seg_bytes >= self.config.segment_bytes {
             // Rotate: sync the finished segment, next append opens a new
@@ -386,8 +432,8 @@ impl Store {
         }
         drop(ix);
         drop(w);
-        self.appends.fetch_add(1, Ordering::Relaxed);
-        self.records_on_disk.fetch_add(1, Ordering::Relaxed);
+        self.ins.appends.inc();
+        self.ins.records_on_disk.add(1);
         Ok(())
     }
 
@@ -422,7 +468,7 @@ impl Store {
                     delivered += 1;
                 }
                 _ => {
-                    self.read_errors.fetch_add(1, Ordering::Relaxed);
+                    self.ins.read_errors.inc();
                 }
             }
         }
@@ -436,8 +482,8 @@ impl Store {
     /// the new ones are synced, and replay is last-write-wins.
     pub fn compact(&self) -> io::Result<CompactionReport> {
         let mut w = self.writer.lock().unwrap();
-        let bytes_before = self.bytes.load(Ordering::Relaxed);
-        let records_before = self.records_on_disk.load(Ordering::Relaxed);
+        let bytes_before = self.ins.bytes.get();
+        let records_before = self.ins.records_on_disk.get();
         let old_segments = std::mem::take(&mut w.segments);
         // Seal the current segment; compaction output starts a fresh one.
         if let Some(file) = w.file.take() {
@@ -457,7 +503,7 @@ impl Store {
             let record = match self.read_location(loc) {
                 Some(r @ Record::Put { .. }) => r,
                 _ => {
-                    self.read_errors.fetch_add(1, Ordering::Relaxed);
+                    self.ins.read_errors.inc();
                     continue;
                 }
             };
@@ -488,10 +534,10 @@ impl Store {
             removed_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             let _ = fs::remove_file(path);
         }
-        self.bytes.fetch_sub(removed_bytes, Ordering::Relaxed);
-        self.records_on_disk.store(live, Ordering::Relaxed);
-        self.compactions.fetch_add(1, Ordering::Relaxed);
-        let bytes_after = self.bytes.load(Ordering::Relaxed);
+        self.ins.bytes.sub(removed_bytes);
+        self.ins.records_on_disk.set(live);
+        self.ins.compactions.inc();
+        let bytes_after = self.ins.bytes.get();
         drop(w);
         Ok(CompactionReport {
             live_records: live,
@@ -510,7 +556,7 @@ mod tests {
     use super::*;
     use arrayflow_engine::ProblemSet;
     use arrayflow_ir::Fingerprint;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
 

@@ -11,12 +11,12 @@
 //!
 //! [`MemoCache`]: arrayflow_engine::MemoCache
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use arrayflow_engine::{AnalysisReport, CacheKey, SecondTier};
+use arrayflow_obs::{observed_span, Counter, Histogram, Registry, PHASE_BUCKETS_US};
 
 use crate::store::{Store, StoreStats};
 
@@ -45,10 +45,52 @@ pub struct PersistentTier {
     store: Arc<Store>,
     sender: Mutex<Option<SyncSender<WriterMsg>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
-    queued: AtomicU64,
-    dropped: AtomicU64,
-    written: Arc<AtomicU64>,
-    failed: Arc<AtomicU64>,
+    ins: TierInstruments,
+}
+
+/// The tier's registered instruments: writer-queue counters plus the
+/// `tier_load` / `tier_append` phase histograms.
+#[derive(Debug, Clone)]
+struct TierInstruments {
+    queued: Counter,
+    dropped: Counter,
+    written: Counter,
+    failed: Counter,
+    phase_load: Histogram,
+    phase_append: Histogram,
+}
+
+impl TierInstruments {
+    fn registered(registry: &Registry) -> Self {
+        let phase = |name| {
+            registry.histogram_with(
+                "arrayflow_phase_us",
+                "per-phase wall-clock, microseconds",
+                &[("phase", name)],
+                &PHASE_BUCKETS_US,
+            )
+        };
+        Self {
+            queued: registry.counter(
+                "arrayflow_tier_queued_appends_total",
+                "appends accepted onto the writer queue",
+            ),
+            dropped: registry.counter(
+                "arrayflow_tier_dropped_appends_total",
+                "appends dropped because the writer queue was full (backpressure)",
+            ),
+            written: registry.counter(
+                "arrayflow_tier_written_appends_total",
+                "appends that reached disk",
+            ),
+            failed: registry.counter(
+                "arrayflow_tier_failed_appends_total",
+                "appends that failed with an I/O error on the writer thread",
+            ),
+            phase_load: phase("tier_load"),
+            phase_append: phase("tier_append"),
+        }
+    }
 }
 
 impl std::fmt::Debug for PersistentTier {
@@ -62,24 +104,34 @@ impl std::fmt::Debug for PersistentTier {
 impl PersistentTier {
     /// Wraps `store`, spawning the writer thread. `queue_bound` is the
     /// maximum number of in-flight appends before backpressure drops new
-    /// ones.
+    /// ones. Instruments land on a fresh private [`Registry`]; use
+    /// [`PersistentTier::new_in`] to share one.
     pub fn new(store: Arc<Store>, queue_bound: usize) -> Arc<PersistentTier> {
+        Self::new_in(store, queue_bound, &Registry::new())
+    }
+
+    /// Like [`PersistentTier::new`], but registers the tier's counters and
+    /// phase histograms on `registry`.
+    pub fn new_in(
+        store: Arc<Store>,
+        queue_bound: usize,
+        registry: &Registry,
+    ) -> Arc<PersistentTier> {
         let (tx, rx) = sync_channel::<WriterMsg>(queue_bound.max(1));
-        let written = Arc::new(AtomicU64::new(0));
-        let failed = Arc::new(AtomicU64::new(0));
+        let ins = TierInstruments::registered(registry);
         let writer = {
             let store = Arc::clone(&store);
-            let written = Arc::clone(&written);
-            let failed = Arc::clone(&failed);
+            let ins = ins.clone();
             std::thread::Builder::new()
                 .name("store-writer".into())
                 .spawn(move || {
                     for msg in rx {
                         match msg {
                             WriterMsg::Put(key, report) => {
+                                let _span = observed_span("tier_append", &ins.phase_append);
                                 match store.put(key, (*report).clone()) {
-                                    Ok(()) => written.fetch_add(1, Ordering::Relaxed),
-                                    Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                                    Ok(()) => ins.written.inc(),
+                                    Err(_) => ins.failed.inc(),
                                 };
                             }
                             WriterMsg::Flush(ack) => {
@@ -94,10 +146,7 @@ impl PersistentTier {
             store,
             sender: Mutex::new(Some(tx)),
             writer: Mutex::new(Some(writer)),
-            queued: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            written,
-            failed,
+            ins,
         })
     }
 
@@ -109,10 +158,10 @@ impl PersistentTier {
     /// Tier counters.
     pub fn stats(&self) -> TierStats {
         TierStats {
-            queued_appends: self.queued.load(Ordering::Relaxed),
-            dropped_appends: self.dropped.load(Ordering::Relaxed),
-            written_appends: self.written.load(Ordering::Relaxed),
-            failed_appends: self.failed.load(Ordering::Relaxed),
+            queued_appends: self.ins.queued.get(),
+            dropped_appends: self.ins.dropped.get(),
+            written_appends: self.ins.written.get(),
+            failed_appends: self.ins.failed.get(),
         }
     }
 
@@ -154,21 +203,22 @@ impl Drop for PersistentTier {
 
 impl SecondTier for PersistentTier {
     fn load(&self, key: &CacheKey) -> Option<Arc<AnalysisReport>> {
+        let _span = observed_span("tier_load", &self.ins.phase_load);
         self.store.get(key).map(Arc::new)
     }
 
     fn store(&self, key: &CacheKey, report: &Arc<AnalysisReport>) {
         let sender = self.sender.lock().unwrap().clone();
         let Some(tx) = sender else {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.ins.dropped.inc();
             return;
         };
         match tx.try_send(WriterMsg::Put(*key, Arc::clone(report))) {
             Ok(()) => {
-                self.queued.fetch_add(1, Ordering::Relaxed);
+                self.ins.queued.inc();
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.ins.dropped.inc();
             }
         }
     }

@@ -31,7 +31,10 @@
 //! * [`service`] — the zero-dependency analysis server exposing the
 //!   engine over TCP and stdio (newline-framed JSON protocol, bounded
 //!   queue, structured errors, graceful shutdown, optional persistent
-//!   store with warm start).
+//!   store with warm start);
+//! * [`obs`] — the in-crate observability layer shared by the layers
+//!   above: metrics registry (counters, gauges, histograms, Prometheus
+//!   text exposition) and per-request tracing spans.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub use arrayflow_engine as engine;
 pub use arrayflow_graph as graph;
 pub use arrayflow_ir as ir;
 pub use arrayflow_machine as machine;
+pub use arrayflow_obs as obs;
 pub use arrayflow_opt as opt;
 pub use arrayflow_service as service;
 pub use arrayflow_store as store;
