@@ -1,13 +1,15 @@
 //! The batch engine: configuration, worker pool, per-query and global
 //! statistics.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use arrayflow_analyses::loops_innermost_first;
 use arrayflow_ir::{fingerprint_loop, Fingerprint, Program};
 use arrayflow_obs::{observed_span, Counter, Histogram, Registry, PHASE_BUCKETS_US};
+use arrayflow_resilience::{panic_message, FaultSurface};
 
 use crate::cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
 use crate::report::{AnalysisReport, InstanceStats, ProblemSet};
@@ -76,6 +78,44 @@ impl EngineConfig {
     }
 }
 
+/// Why a program of a batch failed. The distinction matters to callers:
+/// an [`AnalysisError::Analysis`] is the framework rejecting the input
+/// (deterministic, retrying is pointless), an
+/// [`AnalysisError::Internal`] is the engine failing on the input — a
+/// panicking solver worker, a worker that died before reporting — which
+/// the fault-tolerance layer contains to the one affected program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The analysis rejected the input (e.g. a non-affine subscript).
+    Analysis(String),
+    /// The engine failed while running the analysis; other programs of
+    /// the batch are unaffected.
+    Internal(String),
+}
+
+impl AnalysisError {
+    /// The human-readable message, without the kind prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            AnalysisError::Analysis(m) | AnalysisError::Internal(m) => m,
+        }
+    }
+
+    /// `true` for engine-side failures (panics, dead workers).
+    pub fn is_internal(&self) -> bool {
+        matches!(self, AnalysisError::Internal(_))
+    }
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Analysis(m) => f.write_str(m),
+            AnalysisError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
 /// One analyzed loop of a batch entry: its canonical fingerprint and the
 /// (possibly shared) report.
 #[derive(Debug, Clone)]
@@ -113,9 +153,22 @@ pub struct BatchResult {
     pub loops: Vec<LoopReport>,
     /// First analysis error encountered, if any (loops after the failing
     /// one are still attempted).
-    pub error: Option<String>,
+    pub error: Option<AnalysisError>,
     /// Effort counters for this program.
     pub stats: QueryStats,
+}
+
+impl BatchResult {
+    /// An empty result carrying an [`AnalysisError::Internal`] — what a
+    /// program gets when the worker analyzing it panicked or died.
+    fn internal_failure(index: usize, message: String) -> BatchResult {
+        BatchResult {
+            index,
+            loops: Vec::new(),
+            error: Some(AnalysisError::Internal(message)),
+            stats: QueryStats::default(),
+        }
+    }
 }
 
 /// Aggregate engine statistics since construction.
@@ -192,6 +245,7 @@ pub struct Engine {
     cache: MemoCache,
     registry: Registry,
     ins: EngineInstruments,
+    faults: Option<Arc<dyn FaultSurface>>,
 }
 
 /// The engine's registered instruments. Counters mirror the legacy
@@ -212,6 +266,7 @@ struct EngineInstruments {
     phase_cache_get: Histogram,
     phase_solve: Histogram,
     phase_cache_insert: Histogram,
+    worker_panics: Counter,
 }
 
 impl EngineInstruments {
@@ -258,6 +313,10 @@ impl EngineInstruments {
             phase_cache_get: phase("cache_get"),
             phase_solve: phase("solve"),
             phase_cache_insert: phase("cache_insert"),
+            worker_panics: registry.counter(
+                "arrayflow_worker_panics_total",
+                "solver panics caught and converted to per-program internal errors",
+            ),
         }
     }
 
@@ -302,6 +361,7 @@ impl Engine {
             cache,
             registry: registry.clone(),
             ins: EngineInstruments::registered(registry),
+            faults: None,
         }
     }
 
@@ -320,6 +380,14 @@ impl Engine {
     /// forwarded to it. Call before sharing the engine.
     pub fn set_second_tier(&mut self, tier: Arc<dyn SecondTier>) {
         self.cache.set_second_tier(tier);
+    }
+
+    /// Installs a fault surface on the solver seams (injected panics and
+    /// artificial solve latency). Intended for chaos drills and tests;
+    /// with no surface installed the seams cost one `None` check. Call
+    /// before sharing the engine.
+    pub fn set_fault_surface(&mut self, faults: Arc<dyn FaultSurface>) {
+        self.faults = Some(faults);
     }
 
     /// Warm-start: seeds the memory cache with an already-persistent
@@ -352,7 +420,37 @@ impl Engine {
     /// interfering — this is what lets one shared engine serve callers with
     /// different needs (e.g. the analysis service, where each request names
     /// its own problems).
+    ///
+    /// The solve runs panic-isolated: a panicking solver (adversarial
+    /// input, injected fault) is caught here, counted in
+    /// `arrayflow_worker_panics_total`, and returned as a per-program
+    /// [`AnalysisError::Internal`] — it cannot take down the batch, the
+    /// worker thread, or a serving request.
     pub fn analyze_with(
+        &self,
+        index: usize,
+        program: &Program,
+        problems: ProblemSet,
+        dep_max_distance: u64,
+    ) -> BatchResult {
+        // The closure borrows `self` and `program` immutably; the caches
+        // it touches guard their state behind their own locks, which a
+        // panic in the (lock-free) solve phase cannot poison.
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.analyze_with_inner(index, program, problems, dep_max_distance)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.ins.worker_panics.inc();
+                BatchResult::internal_failure(
+                    index,
+                    format!("solver panicked: {}", panic_message(payload.as_ref())),
+                )
+            }
+        }
+    }
+
+    fn analyze_with_inner(
         &self,
         index: usize,
         program: &Program,
@@ -361,7 +459,7 @@ impl Engine {
     ) -> BatchResult {
         let start = Instant::now();
         let mut stats = QueryStats::default();
-        let mut error: Option<String> = None;
+        let mut error: Option<AnalysisError> = None;
 
         // Work on a private normalized copy: the framework requires
         // `do i = 1, UB` step 1, and renumbered statements make StmtIds in
@@ -392,6 +490,14 @@ impl Engine {
                 stats.cache_misses += 1;
                 let solved = {
                     let _span = observed_span("solve", &self.ins.phase_solve);
+                    if let Some(faults) = &self.faults {
+                        if let Some(delay) = faults.solve_latency() {
+                            std::thread::sleep(delay);
+                        }
+                        if faults.solver_panic() {
+                            panic!("injected solver fault");
+                        }
+                    }
                     AnalysisReport::of_loop(l, &p.symbols, problems, dep_max_distance)
                 };
                 match solved {
@@ -411,7 +517,7 @@ impl Engine {
                         r
                     }
                     Err(e) => {
-                        error.get_or_insert_with(|| e.to_string());
+                        error.get_or_insert_with(|| AnalysisError::Analysis(e.to_string()));
                         continue;
                     }
                 }
@@ -454,28 +560,46 @@ impl Engine {
                 .collect();
         }
 
+        // Results flow back over a channel rather than a shared
+        // `Mutex<Vec<_>>`: a worker that dies mid-batch (however
+        // `analyze_one`'s panic isolation is bypassed) can neither poison
+        // the collector nor deadlock it — its claimed-but-unsent indices
+        // simply stay empty and are filled in with per-program internal
+        // errors below, so every other program still gets its result.
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<BatchResult>>> =
-            Mutex::new((0..programs.len()).map(|_| None).collect());
+        let (tx, rx) = std::sync::mpsc::channel::<BatchResult>();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= programs.len() {
                         break;
                     }
-                    let r = self.analyze_one(i, &programs[i]);
-                    results.lock().unwrap()[i] = Some(r);
+                    let _ = tx.send(self.analyze_one(i, &programs[i]));
                 });
             }
         });
+        drop(tx);
 
-        results
-            .into_inner()
-            .unwrap()
+        let mut slots: Vec<Option<BatchResult>> = (0..programs.len()).map(|_| None).collect();
+        for r in rx {
+            let i = r.index;
+            slots[i] = Some(r);
+        }
+        slots
             .into_iter()
-            .map(|r| r.expect("every index was claimed by a worker"))
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    BatchResult::internal_failure(
+                        i,
+                        "worker died before returning a result".to_string(),
+                    )
+                })
+            })
             .collect()
     }
 

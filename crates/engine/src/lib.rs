@@ -47,7 +47,7 @@ pub mod report;
 
 pub use cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
 pub use engine::{
-    passes_to_fix, BatchResult, Engine, EngineConfig, EngineStats, LoopReport, QueryStats,
-    SOLVER_PASS_BUCKETS,
+    passes_to_fix, AnalysisError, BatchResult, Engine, EngineConfig, EngineStats, LoopReport,
+    QueryStats, SOLVER_PASS_BUCKETS,
 };
 pub use report::{AnalysisReport, InstanceStats, ProblemSet};

@@ -1,0 +1,146 @@
+//! Capped exponential backoff with full jitter.
+//!
+//! The resilient client retries idempotent requests on transient
+//! failures (broken connections, `overloaded` responses). Full jitter —
+//! each delay drawn uniformly from `[0, min(cap, base·2^attempt))` —
+//! avoids the synchronized retry herds that fixed exponential delays
+//! produce when many clients fail at the same instant, while the cap
+//! bounds worst-case added latency.
+
+use std::time::Duration;
+
+/// Capped exponential backoff with full jitter. Not thread-safe by
+/// design: each retry loop owns one.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng_state: u64,
+}
+
+impl Backoff {
+    /// A backoff whose `attempt`-th delay is uniform in
+    /// `[0, min(cap, base·2^attempt))`. Jitter is seeded from the clock;
+    /// use [`Backoff::with_seed`] for reproducible tests.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        let clock_seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Backoff::with_seed(base, cap, clock_seed)
+    }
+
+    /// Same as [`Backoff::new`] with an explicit jitter seed.
+    pub fn with_seed(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng_state: seed,
+        }
+    }
+
+    /// The next delay to sleep before retrying; advances the attempt
+    /// counter. The envelope doubles each call until it reaches the cap.
+    pub fn next_delay(&mut self) -> Duration {
+        let envelope = self
+            .base
+            .checked_mul(1u32.checked_shl(self.attempt).unwrap_or(u32::MAX))
+            .map(|d| d.min(self.cap))
+            .unwrap_or(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let nanos = envelope.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        // SplitMix64 step for the jitter draw.
+        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        Duration::from_nanos(z % nanos)
+    }
+
+    /// How many delays have been handed out since the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Starts the envelope over after a success.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_inside_the_growing_envelope() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut b = Backoff::with_seed(base, cap, 42);
+        for attempt in 0..20 {
+            let envelope = base
+                .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .map(|d| d.min(cap))
+                .unwrap_or(cap);
+            let d = b.next_delay();
+            assert!(
+                d < envelope.max(Duration::from_nanos(1)),
+                "attempt {attempt}: {d:?} outside {envelope:?}"
+            );
+            assert!(d <= cap);
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let mut b = Backoff::with_seed(Duration::from_millis(50), Duration::from_secs(1), 7);
+        b.next_delay();
+        b.next_delay();
+        b.next_delay();
+        let delays: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        let distinct: std::collections::HashSet<_> = delays.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "full jitter must not be constant: {delays:?}"
+        );
+    }
+
+    #[test]
+    fn reset_restarts_the_envelope() {
+        let base = Duration::from_millis(10);
+        let mut b = Backoff::with_seed(base, Duration::from_secs(10), 3);
+        for _ in 0..10 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempt(), 10);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert!(
+            b.next_delay() < base,
+            "first post-reset delay is inside the base envelope"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_delays() {
+        let mut a = Backoff::with_seed(Duration::from_millis(5), Duration::from_secs(1), 99);
+        let mut b = Backoff::with_seed(Duration::from_millis(5), Duration::from_secs(1), 99);
+        for _ in 0..16 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn zero_base_never_panics() {
+        let mut b = Backoff::with_seed(Duration::ZERO, Duration::ZERO, 1);
+        for _ in 0..5 {
+            assert_eq!(b.next_delay(), Duration::ZERO);
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //!       [--queue N] [--timeout-ms N] [--max-frame BYTES]
 //!       [--cache-capacity N] [--distance-bound N]
 //!       [--store DIR] [--store-segment-bytes N] [--store-queue N]
-//!       [--slow-log MICROS]
+//!       [--store-breaker-threshold N] [--store-breaker-cooldown-ms N]
+//!       [--slow-log MICROS] [--fault-plan SPEC]
 //! ```
 //!
 //! Defaults: listen on 127.0.0.1:7433, one service worker and one engine
@@ -20,10 +21,22 @@
 //! trace id and per-phase span breakdown (`--slow-log 0` logs every
 //! request). The `metrics` verb returns every registered metric as JSON
 //! plus a Prometheus text exposition.
+//!
+//! Fault tolerance: after `--store-breaker-threshold` consecutive failed
+//! appends (default 8) the store's write path trips a circuit breaker and
+//! the cache degrades to memory-only; a half-open probe retries every
+//! `--store-breaker-cooldown-ms` (default 5000). `--fault-plan SPEC`
+//! installs a seeded, deterministic fault plan for chaos drills — e.g.
+//! `seed=42,solver_panic=10%,store_io=5%,store_io_first=20,latency_us=500,worker_exit=1%`
+//! injects solver panics, store I/O errors and worker crashes that the
+//! isolation/supervision/breaker machinery must contain. Never set it in
+//! production; without the flag every seam is a single branch.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use arrayflow_resilience::FaultPlan;
 use arrayflow_service::{run_stdio, Server, Service, ServiceConfig};
 use arrayflow_store::StoreConfig;
 
@@ -76,13 +89,29 @@ fn parse_args() -> Result<Args, String> {
                 let depth = parse(&value("--store-queue")?)?;
                 store_config(&mut args.config)?.writer_queue = depth;
             }
+            "--store-breaker-threshold" => {
+                let n = parse(&value("--store-breaker-threshold")?)?;
+                store_config(&mut args.config)?.breaker_threshold = n;
+            }
+            "--store-breaker-cooldown-ms" => {
+                let ms: u64 = parse(&value("--store-breaker-cooldown-ms")?)?;
+                store_config(&mut args.config)?.breaker_cooldown = Duration::from_millis(ms);
+            }
             "--slow-log" => args.config.slow_log_micros = Some(parse(&value("--slow-log")?)?),
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                let plan = FaultPlan::parse(&spec)
+                    .map_err(|e| format!("invalid --fault-plan `{spec}`: {e}"))?;
+                eprintln!("serve: fault-plan active: {plan}");
+                args.config.faults = Some(Arc::new(plan));
+            }
             "--help" | "-h" => {
                 println!(
                     "serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N] \
                      [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
                      [--distance-bound N] [--store DIR] [--store-segment-bytes N] \
-                     [--store-queue N] [--slow-log MICROS]"
+                     [--store-queue N] [--store-breaker-threshold N] \
+                     [--store-breaker-cooldown-ms N] [--slow-log MICROS] [--fault-plan SPEC]"
                 );
                 std::process::exit(0);
             }

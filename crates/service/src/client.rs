@@ -1,0 +1,382 @@
+//! A resilient TCP client for the analysis service.
+//!
+//! [`Client`] speaks the newline-framed JSON protocol (see [`proto`]) and
+//! layers the fault-tolerance a long-lived caller needs on top of a raw
+//! socket:
+//!
+//! * **reconnect** — a dropped or half-dead connection is replaced
+//!   transparently on the next request;
+//! * **per-request deadlines** — connect and read/write timeouts from
+//!   [`ClientConfig`], so a wedged server costs bounded time, never a
+//!   hang;
+//! * **retries with jittered exponential backoff** — transport failures
+//!   and `overloaded` responses are retried up to
+//!   [`ClientConfig::max_retries`] times with full-jitter delays from
+//!   [`arrayflow_resilience::Backoff`]. `analyze` is idempotent (same
+//!   program, same report), so resending after an ambiguous failure is
+//!   safe.
+//!
+//! Structured service errors other than `overloaded` (`parse`,
+//! `analysis`, `timeout`, `protocol`) are *not* retried: the server
+//! answered, the answer is a fact about the request.
+//!
+//! ```no_run
+//! use arrayflow_service::{Client, ClientConfig};
+//!
+//! let mut client = Client::new("127.0.0.1:7433", ClientConfig::default());
+//! let report = client
+//!     .analyze("do i = 1, 100 A[i+2] := A[i] + x; end")
+//!     .unwrap();
+//! assert!(report.contains("\"ok\":true"));
+//! ```
+//!
+//! [`proto`]: crate::proto
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use arrayflow_resilience::Backoff;
+
+use crate::json::Json;
+use crate::proto::ErrorKind;
+
+/// Tuning for a [`Client`]: deadlines and the retry envelope.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-attempt deadline for sending a request and reading its
+    /// response line.
+    pub request_timeout: Duration,
+    /// Additional attempts after the first (0 disables retries).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry (full jitter).
+    pub backoff_base: Duration,
+    /// Ceiling on a single backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream; `None` seeds from the clock. Fix it
+    /// for reproducible retry timing in tests.
+    pub backoff_seed: Option<u64>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            max_retries: 4,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_secs(2),
+            backoff_seed: None,
+        }
+    }
+}
+
+/// Why a [`Client`] request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure that survived every retry (connect refused,
+    /// connection reset, per-attempt deadline exceeded, ...).
+    Io(io::Error),
+    /// The server answered with a structured error frame. `overloaded`
+    /// only lands here after the retry budget is spent.
+    Service {
+        /// The taxonomy kind from `error.kind`; `None` if the wire name
+        /// was not one of the known five.
+        kind: Option<ErrorKind>,
+        /// The human-readable `error.message`.
+        message: String,
+    },
+    /// The server's response line was not a valid protocol frame.
+    Protocol(String),
+}
+
+impl ClientError {
+    /// True when this error is worth retrying on an idempotent request:
+    /// transport failures and `overloaded` responses.
+    fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Service { kind, .. } => *kind == Some(ErrorKind::Overloaded),
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Service { kind, message } => match kind {
+                Some(k) => write!(f, "service: {k}: {message}"),
+                None => write!(f, "service: {message}"),
+            },
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One live connection: a write half and a buffered read half over the
+/// same socket.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A reconnecting, retrying client for the analysis service.
+///
+/// One request is in flight at a time; responses are matched by arrival
+/// order, which the per-connection protocol guarantees. Construction is
+/// lazy — the first request dials the server.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    next_id: u64,
+    connects: u64,
+    retries: u64,
+}
+
+impl Client {
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:7433"`). Does not
+    /// connect; the first request does.
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> Client {
+        Client {
+            addr: addr.into(),
+            config,
+            conn: None,
+            next_id: 0,
+            connects: 0,
+            retries: 0,
+        }
+    }
+
+    /// Creates a client and eagerly verifies the server is reachable
+    /// with a `ping` (which also exercises the retry envelope).
+    pub fn connect(addr: impl Into<String>, config: ClientConfig) -> Result<Client, ClientError> {
+        let mut client = Client::new(addr, config);
+        client.ping()?;
+        Ok(client)
+    }
+
+    /// Times the server was (re)dialed. The first connection counts, so
+    /// `connects() - 1` is the number of reconnects.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Attempts resent after a retryable failure, across all requests.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Analyzes one DSL program; on success returns the server's `ok`
+    /// response line (reports, per-request cache stats). Idempotent, so
+    /// transport failures and `overloaded` responses are retried.
+    pub fn analyze(&mut self, program: &str) -> Result<String, ClientError> {
+        let frame = Json::Obj(vec![
+            ("id".into(), Json::Num(self.fresh_id() as f64)),
+            ("verb".into(), Json::Str("analyze".into())),
+            ("program".into(), Json::Str(program.into())),
+        ]);
+        self.request(&frame.to_string())
+    }
+
+    /// `ping` round trip; proves liveness end to end.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call("ping").map(drop)
+    }
+
+    /// Fetches the server's `stats` response line.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.call("stats")
+    }
+
+    /// Fetches the server's `metrics` response line (JSON metrics plus
+    /// the Prometheus exposition).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.call("metrics")
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&mut self) -> Result<String, ClientError> {
+        self.call("shutdown")
+    }
+
+    /// Sends a bare `{id, verb}` request.
+    pub fn call(&mut self, verb: &str) -> Result<String, ClientError> {
+        let frame = Json::Obj(vec![
+            ("id".into(), Json::Num(self.fresh_id() as f64)),
+            ("verb".into(), Json::Str(verb.into())),
+        ]);
+        self.request(&frame.to_string())
+    }
+
+    /// Sends one pre-encoded request frame (no trailing newline) with
+    /// the full resilience envelope, returning the server's `ok`
+    /// response line. Only send idempotent requests through this —
+    /// ambiguous transport failures are resent.
+    pub fn request(&mut self, frame: &str) -> Result<String, ClientError> {
+        let mut backoff = match self.config.backoff_seed {
+            // Vary the stream per request so concurrent clients with the
+            // same seed do not thunder in lockstep.
+            Some(seed) => Backoff::with_seed(
+                self.config.backoff_base,
+                self.config.backoff_cap,
+                seed.wrapping_add(self.next_id),
+            ),
+            None => Backoff::new(self.config.backoff_base, self.config.backoff_cap),
+        };
+        loop {
+            let err = match self.attempt(frame) {
+                Ok(line) => return Ok(line),
+                Err(e) => e,
+            };
+            if !err.is_retryable() || backoff.attempt() >= self.config.max_retries {
+                return Err(err);
+            }
+            self.retries += 1;
+            std::thread::sleep(backoff.next_delay());
+        }
+    }
+
+    /// One attempt: ensure a connection, write the frame, read and
+    /// classify the response line.
+    fn attempt(&mut self, frame: &str) -> Result<String, ClientError> {
+        let line = match self.send_recv(frame) {
+            Ok(line) => line,
+            Err(e) => {
+                // The socket is in an unknown state (a late response
+                // would desync request/response pairing) — drop it and
+                // let the next attempt redial.
+                self.conn = None;
+                return Err(ClientError::Io(e));
+            }
+        };
+        classify(&line)
+    }
+
+    fn send_recv(&mut self, frame: &str) -> io::Result<String> {
+        let conn = self.ensure_conn()?;
+        conn.writer.write_all(frame.as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
+        let mut line = String::new();
+        let n = conn.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line)
+    }
+
+    fn ensure_conn(&mut self) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+            })?;
+            let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.config.request_timeout))?;
+            stream.set_write_timeout(Some(self.config.request_timeout))?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some(Conn {
+                writer: stream,
+                reader,
+            });
+            self.connects += 1;
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("connected", &self.conn.is_some())
+            .field("connects", &self.connects)
+            .field("retries", &self.retries)
+            .finish()
+    }
+}
+
+/// Splits a response line into ok / structured error / protocol noise.
+fn classify(line: &str) -> Result<String, ClientError> {
+    let json = Json::parse(line.as_bytes())
+        .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+    match json.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(line.to_string()),
+        Some(false) => {
+            let error = json.get("error");
+            let kind = error
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .and_then(ErrorKind::from_wire);
+            let message = error
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("server sent no error message")
+                .to_string();
+            Err(ClientError::Service { kind, message })
+        }
+        None => Err(ClientError::Protocol(
+            "response frame has no boolean `ok` field".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_splits_the_three_outcomes() {
+        assert!(classify("{\"id\":1,\"ok\":true}\n").is_ok());
+        match classify("{\"id\":1,\"ok\":false,\"error\":{\"kind\":\"overloaded\",\"message\":\"queue full\"}}") {
+            Err(e @ ClientError::Service { kind, .. }) => {
+                assert_eq!(kind, Some(ErrorKind::Overloaded));
+                assert!(e.is_retryable());
+            }
+            other => panic!("expected Service error, got {other:?}"),
+        }
+        match classify("{\"id\":1,\"ok\":false,\"error\":{\"kind\":\"parse\",\"message\":\"bad\"}}")
+        {
+            Err(e @ ClientError::Service { .. }) => assert!(!e.is_retryable()),
+            other => panic!("expected Service error, got {other:?}"),
+        }
+        assert!(matches!(classify("garbage"), Err(ClientError::Protocol(_))));
+        assert!(matches!(
+            classify("{\"id\":1}"),
+            Err(ClientError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_error_kind_degrades_gracefully() {
+        match classify("{\"ok\":false,\"error\":{\"kind\":\"quantum\",\"message\":\"m\"}}") {
+            Err(ClientError::Service { kind, message }) => {
+                assert_eq!(kind, None);
+                assert_eq!(message, "m");
+            }
+            other => panic!("expected Service error, got {other:?}"),
+        }
+    }
+}

@@ -37,7 +37,15 @@
 //!   [`ServiceConfig::store`]): reports survive restarts in a crash-safe
 //!   segment log ([`arrayflow_store`]), the cache warm-starts from disk
 //!   at boot, and a **`compact` verb** reclaims space from superseded
-//!   records.
+//!   records;
+//! * **panic isolation and supervision** — a worker that panics answers
+//!   its own request with a framed `analysis` error and a supervisor
+//!   thread replaces dead workers (`arrayflow_worker_restarts_total`);
+//!   deterministic fault plans ([`ServiceConfig::faults`], `--fault-plan`
+//!   on `serve`) drill the whole containment stack;
+//! * a **resilient [`Client`]** with transparent reconnect, per-request
+//!   deadlines, and jittered exponential backoff retries for transport
+//!   failures and `overloaded` responses.
 //!
 //! # Quickstart
 //!
@@ -56,11 +64,13 @@
 //! service.join_workers();
 //! ```
 
+pub mod client;
 pub mod json;
 pub mod proto;
 pub mod server;
 pub mod service;
 
+pub use client::{Client, ClientConfig, ClientError};
 pub use json::{Json, JsonError};
 pub use proto::{ErrorKind, Request, ServiceError, Verb};
 pub use server::{run_stdio, Frame, FrameReader, Server};

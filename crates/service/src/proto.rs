@@ -86,6 +86,20 @@ impl ErrorKind {
             ErrorKind::Protocol => "protocol",
         }
     }
+
+    /// Inverse of [`as_str`](ErrorKind::as_str): decodes the wire name a
+    /// response carries in `error.kind`. `None` for unknown names, so a
+    /// newer server's kinds degrade gracefully at older clients.
+    pub fn from_wire(name: &str) -> Option<ErrorKind> {
+        match name {
+            "parse" => Some(ErrorKind::Parse),
+            "analysis" => Some(ErrorKind::Analysis),
+            "timeout" => Some(ErrorKind::Timeout),
+            "overloaded" => Some(ErrorKind::Overloaded),
+            "protocol" => Some(ErrorKind::Protocol),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ErrorKind {
@@ -258,7 +272,7 @@ pub fn analyze_result_json(r: &BatchResult) -> Json {
     members.push((
         "error".into(),
         match &r.error {
-            Some(e) => Json::Str(e.clone()),
+            Some(e) => Json::Str(e.to_string()),
             None => Json::Null,
         },
     ));

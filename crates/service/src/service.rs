@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -22,6 +23,7 @@ use arrayflow_obs::{
     observed_span, with_current, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
     Registry, Trace, PHASE_BUCKETS_US,
 };
+use arrayflow_resilience::{panic_message, FaultSurface};
 use arrayflow_store::{PersistentTier, Store, StoreConfig};
 
 use crate::json::Json;
@@ -61,6 +63,12 @@ pub struct ServiceConfig {
     /// microseconds emits one structured line on stderr with the trace id
     /// and per-phase span breakdown. `0` logs every request.
     pub slow_log_micros: Option<u64>,
+    /// When set, the fault surface is installed at every injection seam
+    /// (solver panics/latency in the engine, store append I/O, worker
+    /// exits) for chaos drills — see `serve --fault-plan`. `None` (the
+    /// default, and the only sane production setting) leaves every seam a
+    /// single branch.
+    pub faults: Option<Arc<dyn FaultSurface>>,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +81,7 @@ impl Default for ServiceConfig {
             max_frame_bytes: 1 << 20,
             store: None,
             slow_log_micros: None,
+            faults: None,
         }
     }
 }
@@ -98,6 +107,8 @@ pub struct ServiceStats {
     pub connections: u64,
     /// Frames that produced a response, by outcome.
     pub requests: u64,
+    /// Dead worker threads replaced by the supervisor.
+    pub worker_restarts: u64,
     /// Successful responses.
     pub ok: u64,
     /// DSL parse failures.
@@ -171,6 +182,7 @@ pub struct Service {
     job_ready: Condvar,
     shutdown: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
     next_trace_id: AtomicU64,
     ins: ServiceInstruments,
 }
@@ -189,6 +201,7 @@ struct ServiceInstruments {
     overloaded: Counter,
     protocol_errors: Counter,
     oversized_frames: Counter,
+    worker_restarts: Counter,
     queue_depth_hwm: Gauge,
     latency: Histogram,
     queue_wait: Histogram,
@@ -232,6 +245,10 @@ impl ServiceInstruments {
                 "arrayflow_oversized_frames_total",
                 "frames discarded for exceeding the size cap (excluded from request latency)",
             ),
+            worker_restarts: registry.counter(
+                "arrayflow_worker_restarts_total",
+                "dead worker threads replaced by the supervisor",
+            ),
             queue_depth_hwm: registry.gauge(
                 "arrayflow_queue_depth_hwm",
                 "high-water mark of the analyze queue depth",
@@ -271,11 +288,17 @@ impl Service {
     pub fn start(config: ServiceConfig) -> io::Result<Arc<Service>> {
         let registry = Registry::new();
         let mut engine = Engine::with_registry(config.engine.clone(), &registry);
+        if let Some(faults) = &config.faults {
+            engine.set_fault_surface(Arc::clone(faults));
+        }
         let mut tier = None;
         let mut warm_loaded = 0u64;
         if let Some(store_config) = &config.store {
             let queue_bound = store_config.writer_queue;
             let store = Arc::new(Store::open_in(store_config.clone(), &registry)?);
+            if let Some(faults) = &config.faults {
+                store.set_fault_surface(Arc::clone(faults));
+            }
             let t = PersistentTier::new_in(Arc::clone(&store), queue_bound, &registry);
             engine.set_second_tier(t.clone());
             warm_loaded = store.for_each_live(|key, report| {
@@ -293,6 +316,7 @@ impl Service {
             job_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            supervisor: Mutex::new(None),
             next_trace_id: AtomicU64::new(1),
             ins,
             config,
@@ -304,6 +328,16 @@ impl Service {
             workers.push(std::thread::spawn(move || svc.worker_loop()));
         }
         drop(workers);
+        {
+            let supervisor = {
+                let svc = Arc::clone(&svc);
+                std::thread::Builder::new()
+                    .name("service-supervisor".into())
+                    .spawn(move || svc.supervisor_loop())
+                    .expect("spawn service supervisor")
+            };
+            *svc.supervisor.lock().unwrap() = Some(supervisor);
+        }
         Ok(svc)
     }
 
@@ -352,6 +386,11 @@ impl Service {
     /// once every queued request has been answered, all workers exited,
     /// and (with a store) every queued append has reached disk.
     pub fn join_workers(&self) {
+        // The supervisor goes first so it cannot respawn a worker while
+        // the pool drains below.
+        if let Some(h) = self.supervisor.lock().unwrap().take() {
+            let _ = h.join();
+        }
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();
@@ -542,6 +581,15 @@ impl Service {
 
     fn worker_loop(self: Arc<Self>) {
         loop {
+            // Worker-crash seam, consulted between jobs so an injected
+            // death never takes a claimed job with it: the job stays
+            // queued for a surviving (or respawned) worker.
+            if let Some(faults) = &self.config.faults {
+                if faults.worker_exit() {
+                    eprintln!("serve: worker-exit injected=true");
+                    return;
+                }
+            }
             let job = {
                 let mut q = self.queue.lock().unwrap();
                 loop {
@@ -563,9 +611,51 @@ impl Service {
             let now_us = job.trace.elapsed_us();
             job.trace
                 .record("queue_wait", now_us.saturating_sub(wait_us), wait_us);
-            let outcome = with_current(&job.trace, || self.run_job(&job));
+            // Defense in depth under the engine's own panic isolation: a
+            // panic anywhere in the job path still answers the waiter
+            // (a dropped reply channel would read as a pool shutdown).
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                with_current(&job.trace, || self.run_job(&job))
+            }))
+            .unwrap_or_else(|payload| {
+                Err(ServiceError::new(
+                    ErrorKind::Analysis,
+                    format!(
+                        "internal: worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                ))
+            });
             // The waiter may have timed out and gone; that is fine.
             let _ = job.reply.send(outcome);
+        }
+    }
+
+    /// Replaces dead workers. Workers only exit on their own for two
+    /// reasons — shutdown, or a crash (today reachable only through the
+    /// `worker_exit` fault seam; the job path is panic-isolated) — so the
+    /// supervisor polls cheaply and respawns until shutdown, keeping the
+    /// pool at full strength no matter how many workers chaos kills.
+    fn supervisor_loop(self: Arc<Self>) {
+        while !self.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(20));
+            let mut workers = self.workers.lock().unwrap();
+            let mut i = 0;
+            while i < workers.len() {
+                if workers[i].is_finished() && !self.is_shutdown() {
+                    let _ = workers.swap_remove(i).join();
+                    self.ins.worker_restarts.inc();
+                    eprintln!(
+                        "serve: worker-restart total={} pool={}",
+                        self.ins.worker_restarts.get(),
+                        workers.len() + 1
+                    );
+                    let svc = Arc::clone(&self);
+                    workers.push(std::thread::spawn(move || svc.worker_loop()));
+                } else {
+                    i += 1;
+                }
+            }
         }
     }
 
@@ -585,7 +675,7 @@ impl Service {
             .engine
             .analyze_with(0, &program, job.problems, job.distance_bound);
         if let Some(e) = result.error {
-            return Err(ServiceError::new(ErrorKind::Analysis, e));
+            return Err(ServiceError::new(ErrorKind::Analysis, e.to_string()));
         }
         Ok(analyze_result_json(&result))
     }
@@ -603,6 +693,7 @@ impl Service {
         ServiceStats {
             connections: self.ins.connections.get(),
             requests: self.ins.requests.get(),
+            worker_restarts: self.ins.worker_restarts.get(),
             ok: self.ins.ok.get(),
             parse_errors: self.ins.parse_errors.get(),
             analysis_errors: self.ins.analysis_errors.get(),
@@ -678,6 +769,15 @@ impl Service {
                         Json::Num(tt.written_appends as f64),
                     ),
                     ("failed_appends".into(), Json::Num(tt.failed_appends as f64)),
+                    (
+                        "breaker_state".into(),
+                        Json::Str(tier.breaker_state().as_str().into()),
+                    ),
+                    ("breaker_trips".into(), Json::Num(tt.breaker_trips as f64)),
+                    (
+                        "breaker_dropped_appends".into(),
+                        Json::Num(tt.breaker_dropped_appends as f64),
+                    ),
                     ("warm_loaded".into(), Json::Num(self.warm_loaded as f64)),
                 ]),
             ));
@@ -696,6 +796,10 @@ impl Service {
                 (
                     "queue_depth_hwm".into(),
                     Json::Num(s.queue_depth_hwm as f64),
+                ),
+                (
+                    "worker_restarts".into(),
+                    Json::Num(s.worker_restarts as f64),
                 ),
                 ("latency".into(), latency),
                 ("queue_wait".into(), queue_wait),
@@ -900,6 +1004,70 @@ mod tests {
         svc.join_workers();
         drop(svc);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A fault surface that kills exactly one worker, at its first seam
+    /// check.
+    #[derive(Debug, Default)]
+    struct ExitOnce(AtomicBool);
+
+    impl FaultSurface for ExitOnce {
+        fn worker_exit(&self) -> bool {
+            !self.0.swap(true, Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn supervisor_replaces_dead_workers() {
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            faults: Some(Arc::new(ExitOnce::default())),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // The lone worker dies at its first seam check. Wait for the
+        // supervisor to notice and respawn it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while svc.stats().worker_restarts == 0 {
+            assert!(Instant::now() < deadline, "supervisor never respawned");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The replacement worker serves requests normally.
+        let r = svc.handle_frame(
+            br#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#,
+        );
+        assert!(r.line.contains(r#""ok":true"#), "{}", r.line);
+        assert_eq!(svc.stats().worker_restarts, 1);
+        // stats carries the restart count.
+        let s = svc.handle_frame(br#"{"id": 2, "verb": "stats"}"#);
+        assert!(s.line.contains(r#""worker_restarts":1"#), "{}", s.line);
+        svc.shutdown();
+        svc.join_workers();
+    }
+
+    #[test]
+    fn injected_solver_panic_is_a_framed_analysis_error() {
+        use arrayflow_resilience::FaultPlan;
+        let svc = Service::start(ServiceConfig {
+            workers: 2,
+            faults: Some(Arc::new(FaultPlan::parse("solver_panic=100%").unwrap())),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let r = svc.handle_frame(
+            br#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i+2] := A[i]; end"}"#,
+        );
+        assert!(r.line.contains(r#""kind":"analysis""#), "{}", r.line);
+        assert!(r.line.contains("injected solver fault"), "{}", r.line);
+        // The pool survives: another request is answered (with the same
+        // injected failure), not dropped.
+        let r = svc.handle_frame(
+            br#"{"id": 2, "verb": "analyze", "program": "do i = 1, 9 A[i+1] := A[i]; end"}"#,
+        );
+        assert!(r.line.contains(r#""kind":"analysis""#), "{}", r.line);
+        assert_eq!(svc.stats().analysis_errors, 2);
+        svc.shutdown();
+        svc.join_workers();
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * [`PersistentTier`] — the [`SecondTier`](arrayflow_engine::SecondTier)
 //!   implementation: synchronous loads, asynchronous appends through a
 //!   bounded writer-thread channel (backpressure drops are counted,
-//!   analysis never blocks on disk).
+//!   analysis never blocks on disk), and a write-path circuit breaker
+//!   that degrades the cache to memory-only while the disk is failing
+//!   (see [`arrayflow_resilience::CircuitBreaker`]).
 //!
 //! ## Example
 //!

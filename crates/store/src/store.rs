@@ -48,16 +48,25 @@ pub struct StoreConfig {
     /// [`PersistentTier`](crate::PersistentTier); appends beyond it are
     /// dropped (and counted) rather than blocking analysis.
     pub writer_queue: usize,
+    /// Consecutive failed appends that trip the tier's write-path
+    /// circuit breaker open (degrading the cache to memory-only).
+    pub breaker_threshold: u32,
+    /// How long the tripped breaker refuses appends before admitting a
+    /// half-open probe.
+    pub breaker_cooldown: std::time::Duration,
 }
 
 impl StoreConfig {
     /// A config with default tuning (8 MiB segments, 1024-deep writer
-    /// queue) rooted at `dir`.
+    /// queue, breaker tripping after 8 consecutive failures with a 5 s
+    /// cooldown) rooted at `dir`.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
         StoreConfig {
             dir: dir.into(),
             segment_bytes: 8 << 20,
             writer_queue: 1024,
+            breaker_threshold: 8,
+            breaker_cooldown: std::time::Duration::from_secs(5),
         }
     }
 }
@@ -163,6 +172,7 @@ pub struct Store {
     index: RwLock<HashMap<CacheKey, Location>>,
     recovery: RecoveryReport,
     ins: StoreInstruments,
+    faults: RwLock<Option<Arc<dyn arrayflow_resilience::FaultSurface>>>,
 }
 
 /// The store's registered instruments. Sizes are gauges (they go down on
@@ -287,12 +297,21 @@ impl Store {
             recovery,
             ins,
             config,
+            faults: RwLock::new(None),
         })
     }
 
     /// The configuration the store was opened with.
     pub fn config(&self) -> &StoreConfig {
         &self.config
+    }
+
+    /// Installs a fault surface on the append path: before any real I/O,
+    /// each append asks the surface for an injected error. Intended for
+    /// chaos drills and breaker tests; with no surface installed the seam
+    /// costs one uncontended read-lock check.
+    pub fn set_fault_surface(&self, faults: Arc<dyn arrayflow_resilience::FaultSurface>) {
+        *self.faults.write().unwrap() = Some(faults);
     }
 
     /// What recovery found when this store was opened.
@@ -408,6 +427,11 @@ impl Store {
     /// Appends one record and updates the index. Rotation happens
     /// transparently when the current segment crosses the size cap.
     pub fn append(&self, record: &Record) -> io::Result<()> {
+        if let Some(faults) = self.faults.read().unwrap().as_ref() {
+            if let Some(e) = faults.store_io() {
+                return Err(e);
+            }
+        }
         let payload = encode_record(record);
         let frame = frame_record(&payload);
         let mut w = self.writer.lock().unwrap();

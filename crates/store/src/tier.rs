@@ -16,7 +16,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use arrayflow_engine::{AnalysisReport, CacheKey, SecondTier};
-use arrayflow_obs::{observed_span, Counter, Histogram, Registry, PHASE_BUCKETS_US};
+use arrayflow_obs::{observed_span, Counter, Gauge, Histogram, Registry, PHASE_BUCKETS_US};
+use arrayflow_resilience::{BreakerState, CircuitBreaker, Transition};
 
 use crate::store::{Store, StoreStats};
 
@@ -38,13 +39,30 @@ pub struct TierStats {
     pub written_appends: u64,
     /// Appends that failed with an I/O error on the writer thread.
     pub failed_appends: u64,
+    /// Appends refused locally because the write-path breaker was open
+    /// (the memory-only degraded mode).
+    pub breaker_dropped_appends: u64,
+    /// Times the write-path breaker has tripped open.
+    pub breaker_trips: u64,
 }
 
-/// Disk-backed second tier with an asynchronous writer thread.
+/// Disk-backed second tier with an asynchronous writer thread and a
+/// write-path circuit breaker.
+///
+/// The breaker (configured by `breaker_threshold` / `breaker_cooldown`
+/// in [`StoreConfig`](crate::StoreConfig)) sits at the tier's front
+/// door: after `threshold` consecutive failed appends it trips open and
+/// the cache degrades to memory-only — appends are refused by a local
+/// check instead of paying a doomed enqueue + syscall each. After the
+/// cooldown, one append is admitted as a half-open probe; its outcome on
+/// the writer thread closes or re-opens the breaker. Reads (`load`) are
+/// never gated: a readable disk keeps serving warm loads even while
+/// writes are broken.
 pub struct PersistentTier {
     store: Arc<Store>,
     sender: Mutex<Option<SyncSender<WriterMsg>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
+    breaker: Arc<CircuitBreaker>,
     ins: TierInstruments,
 }
 
@@ -56,6 +74,9 @@ struct TierInstruments {
     dropped: Counter,
     written: Counter,
     failed: Counter,
+    breaker_state: Gauge,
+    breaker_trips: Counter,
+    breaker_dropped: Counter,
     phase_load: Histogram,
     phase_append: Histogram,
 }
@@ -87,9 +108,42 @@ impl TierInstruments {
                 "arrayflow_tier_failed_appends_total",
                 "appends that failed with an I/O error on the writer thread",
             ),
+            breaker_state: registry.gauge(
+                "arrayflow_store_breaker_state",
+                "write-path circuit breaker state: 0 closed, 1 half-open, 2 open",
+            ),
+            breaker_trips: registry.counter(
+                "arrayflow_store_breaker_trips_total",
+                "times the write-path breaker tripped open",
+            ),
+            breaker_dropped: registry.counter(
+                "arrayflow_tier_breaker_dropped_total",
+                "appends refused locally while the write-path breaker was open",
+            ),
             phase_load: phase("tier_load"),
             phase_append: phase("tier_append"),
         }
+    }
+
+    /// Records a breaker transition: gauge, trip counter, and one
+    /// structured stderr line (the `--slow-log` format family) so
+    /// operators see degradation without scraping metrics.
+    fn breaker_transition(&self, t: Transition) {
+        self.breaker_state.set(t.to.as_gauge() as u64);
+        if t.to == BreakerState::Open {
+            self.breaker_trips.inc();
+        }
+        eprintln!(
+            "store: breaker-transition from={} to={} consecutive_failures={} mode={}",
+            t.from,
+            t.to,
+            t.consecutive_failures,
+            if t.to == BreakerState::Open {
+                "memory-only"
+            } else {
+                "persistent"
+            }
+        );
     }
 }
 
@@ -119,20 +173,36 @@ impl PersistentTier {
     ) -> Arc<PersistentTier> {
         let (tx, rx) = sync_channel::<WriterMsg>(queue_bound.max(1));
         let ins = TierInstruments::registered(registry);
+        let breaker = Arc::new(CircuitBreaker::new(
+            store.config().breaker_threshold,
+            store.config().breaker_cooldown,
+        ));
         let writer = {
             let store = Arc::clone(&store);
             let ins = ins.clone();
+            let breaker = Arc::clone(&breaker);
             std::thread::Builder::new()
                 .name("store-writer".into())
                 .spawn(move || {
                     for msg in rx {
                         match msg {
                             WriterMsg::Put(key, report) => {
-                                let _span = observed_span("tier_append", &ins.phase_append);
-                                match store.put(key, (*report).clone()) {
-                                    Ok(()) => ins.written.inc(),
-                                    Err(_) => ins.failed.inc(),
+                                let ok = {
+                                    let _span = observed_span("tier_append", &ins.phase_append);
+                                    store.put(key, (*report).clone()).is_ok()
                                 };
+                                if ok {
+                                    ins.written.inc();
+                                } else {
+                                    ins.failed.inc();
+                                }
+                                // The append outcome drives the breaker:
+                                // the threshold-th consecutive failure
+                                // trips it, a successful half-open probe
+                                // closes it again.
+                                if let Some(t) = breaker.record(ok) {
+                                    ins.breaker_transition(t);
+                                }
                             }
                             WriterMsg::Flush(ack) => {
                                 let _ = ack.send(());
@@ -146,6 +216,7 @@ impl PersistentTier {
             store,
             sender: Mutex::new(Some(tx)),
             writer: Mutex::new(Some(writer)),
+            breaker,
             ins,
         })
     }
@@ -162,7 +233,14 @@ impl PersistentTier {
             dropped_appends: self.ins.dropped.get(),
             written_appends: self.ins.written.get(),
             failed_appends: self.ins.failed.get(),
+            breaker_dropped_appends: self.ins.breaker_dropped.get(),
+            breaker_trips: self.breaker.trips(),
         }
+    }
+
+    /// Current state of the write-path circuit breaker.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
     }
 
     /// Store counters, for convenience.
@@ -208,6 +286,19 @@ impl SecondTier for PersistentTier {
     }
 
     fn store(&self, key: &CacheKey, report: &Arc<AnalysisReport>) {
+        // Breaker front door. While open this is the entire cost of a
+        // "write": one local check, no enqueue, no syscall. When the
+        // cooldown has elapsed, this very call is admitted as the
+        // half-open probe and flows through the writer like any append.
+        let (admitted, transition) = self.breaker.try_acquire();
+        if let Some(t) = transition {
+            self.ins.breaker_transition(t);
+        }
+        if !admitted {
+            self.ins.breaker_dropped.inc();
+            return;
+        }
+        let was_probe = transition.is_some();
         let sender = self.sender.lock().unwrap().clone();
         let Some(tx) = sender else {
             self.ins.dropped.inc();
@@ -219,6 +310,14 @@ impl SecondTier for PersistentTier {
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 self.ins.dropped.inc();
+                if was_probe {
+                    // The probe never reached the writer, so no outcome
+                    // will ever be recorded for it; fail it here or the
+                    // breaker would wedge half-open forever.
+                    if let Some(t) = self.breaker.record(false) {
+                        self.ins.breaker_transition(t);
+                    }
+                }
             }
         }
     }

@@ -1,18 +1,22 @@
-//! A complete client session against the analysis service.
+//! A complete client session against the analysis service, through the
+//! resilient [`Client`].
 //!
 //! Starts an in-process server on an ephemeral loopback port, then talks
-//! to it exactly as an external client would — over a plain `TcpStream`
-//! with newline-framed JSON — walking through every verb: `ping`, two
+//! to it exactly as an external program would — over TCP with
+//! newline-framed JSON, but with the client's fault-tolerance envelope:
+//! transparent reconnect, per-request deadlines, and jittered
+//! exponential backoff retries for transport failures and `overloaded`
+//! responses. The session walks through every verb: `ping`, two
 //! `analyze` calls (alpha-equivalent programs, so the second is a cache
-//! hit), a problem-selected `analyze`, an error response, `stats`, and
-//! finally `shutdown`, which drains the server and stops it.
+//! hit), a raw problem-selected `analyze`, a structured error, `stats`,
+//! and finally `shutdown`, which drains the server and stops it.
 //!
 //! Run with `cargo run --example service_client`.
-
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+//!
+//! [`Client`]: arrayflow_service::Client
 
 use arrayflow::prelude::*;
+use arrayflow::service::ClientError;
 
 fn main() -> std::io::Result<()> {
     // Server side: bind an ephemeral port and serve in the background.
@@ -22,29 +26,21 @@ fn main() -> std::io::Result<()> {
     let server_thread = std::thread::spawn(move || server.run());
     println!("server on {addr}\n");
 
-    // Client side: one connection, requests pipelined one per line.
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut rpc = move |request: &str| -> std::io::Result<String> {
-        println!("→ {request}");
-        let mut w = &stream;
-        w.write_all(request.as_bytes())?;
-        w.write_all(b"\n")?;
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        print!("← {line}");
-        Ok(line)
-    };
-
-    rpc(r#"{"id": 1, "verb": "ping"}"#)?;
+    // Client side: deadlines and retries come from the config; the
+    // constructor's ping proves the server is reachable end to end.
+    let mut client =
+        Client::connect(addr.to_string(), ClientConfig::default()).expect("server reachable");
 
     // Two alpha-equivalent stencils: the engine fingerprints them
     // identically, so the second answer comes from the memo cache.
-    let a =
-        rpc(r#"{"id": 2, "verb": "analyze", "program": "do i = 1, 100 A[i+2] := A[i] + x; end"}"#)?;
-    let b =
-        rpc(r#"{"id": 3, "verb": "analyze", "program": "do j = 1, 100 B[j+2] := B[j] + y; end"}"#)?;
+    let a = client
+        .analyze("do i = 1, 100 A[i+2] := A[i] + x; end")
+        .expect("analyze");
+    let b = client
+        .analyze("do j = 1, 100 B[j+2] := B[j] + y; end")
+        .expect("analyze");
+    println!("← {a}");
+    println!("← {b}");
     assert!(a.contains("reuse use_site"), "expected a reuse pair");
     // The reports are byte-identical; only the per-request cache stats
     // differ (the first request is a miss, the second a hit).
@@ -56,20 +52,35 @@ fn main() -> std::io::Result<()> {
     );
     assert!(b.contains("\"cache_hits\":1"), "expected a cache hit");
 
-    // Problem selection: only the backward must-problem (δ-busy stores).
-    rpc(
-        r#"{"id": 4, "verb": "analyze", "program": "do i = 1, 50 A[i] := 0; A[i] := B[i]; end", "problems": ["busy"]}"#,
-    )?;
+    // Pre-encoded frames still work for anything the typed helpers do
+    // not cover — here, problem selection (only δ-busy stores).
+    let busy = client
+        .request(
+            r#"{"id": 100, "verb": "analyze", "program": "do i = 1, 50 A[i] := 0; A[i] := B[i]; end", "problems": ["busy"]}"#,
+        )
+        .expect("problem-selected analyze");
+    println!("← {busy}");
 
-    // Errors come back structured; the connection stays usable.
-    let err = rpc(r#"{"id": 5, "verb": "analyze", "program": "do do do"}"#)?;
-    assert!(err.contains(r#""kind":"parse""#));
+    // Errors come back structured — a parse error is a fact about the
+    // request, so the client surfaces it without retrying, and the
+    // connection stays usable.
+    match client.analyze("do do do") {
+        Err(ClientError::Service { kind, message }) => {
+            println!("← structured error: kind={kind:?} message={message}");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
 
-    let stats = rpc(r#"{"id": 6, "verb": "stats"}"#)?;
+    let stats = client.stats().expect("stats");
+    println!("← {stats}");
     assert!(stats.contains("hit rate"));
 
-    rpc(r#"{"id": 7, "verb": "shutdown"}"#)?;
+    client.shutdown().expect("shutdown");
     server_thread.join().expect("server thread")?;
-    println!("\nserver drained and stopped");
+    println!(
+        "\nserver drained and stopped ({} connection(s), {} retrie(s))",
+        client.connects(),
+        client.retries()
+    );
     Ok(())
 }

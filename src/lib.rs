@@ -34,7 +34,11 @@
 //!   store with warm start);
 //! * [`obs`] — the in-crate observability layer shared by the layers
 //!   above: metrics registry (counters, gauges, histograms, Prometheus
-//!   text exposition) and per-request tracing spans.
+//!   text exposition) and per-request tracing spans;
+//! * [`resilience`] — fault-tolerance primitives wired through the
+//!   serving stack: deterministic seeded fault injection behind the
+//!   `FaultSurface` trait, the store write-path circuit breaker, and
+//!   the jittered backoff the resilient client retries with.
 //!
 //! # Quickstart
 //!
@@ -61,6 +65,7 @@ pub use arrayflow_ir as ir;
 pub use arrayflow_machine as machine;
 pub use arrayflow_obs as obs;
 pub use arrayflow_opt as opt;
+pub use arrayflow_resilience as resilience;
 pub use arrayflow_service as service;
 pub use arrayflow_store as store;
 pub use arrayflow_workloads as workloads;
@@ -71,7 +76,8 @@ pub mod prelude {
     pub use arrayflow_core::{Direction, Dist, Mode};
     pub use arrayflow_engine::{Engine, EngineConfig};
     pub use arrayflow_ir::{parse_program, Fingerprint, LoopBuilder, Program};
-    pub use arrayflow_service::{Server, Service, ServiceConfig};
+    pub use arrayflow_resilience::{CircuitBreaker, FaultPlan, FaultSurface};
+    pub use arrayflow_service::{Client, ClientConfig, Server, Service, ServiceConfig};
     pub use arrayflow_store::{Store, StoreConfig};
 
     pub use crate::prepare;
