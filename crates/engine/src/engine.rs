@@ -186,6 +186,10 @@ pub struct EngineStats {
     pub node_visits: u64,
     /// Total busy wall-clock across workers, in microseconds.
     pub busy_micros: u64,
+    /// Fingerprint-first lookups answered without any parse/normalize work.
+    pub fingerprint_fast_hits: u64,
+    /// Fingerprint-first lookups that missed both cache tiers.
+    pub fingerprint_misses: u64,
 }
 
 impl EngineStats {
@@ -267,6 +271,8 @@ struct EngineInstruments {
     phase_solve: Histogram,
     phase_cache_insert: Histogram,
     worker_panics: Counter,
+    fingerprint_fast_hits: Counter,
+    fingerprint_misses: Counter,
 }
 
 impl EngineInstruments {
@@ -316,6 +322,14 @@ impl EngineInstruments {
             worker_panics: registry.counter(
                 "arrayflow_worker_panics_total",
                 "solver panics caught and converted to per-program internal errors",
+            ),
+            fingerprint_fast_hits: registry.counter(
+                "arrayflow_fingerprint_fast_hits_total",
+                "fingerprint-first lookups answered from cache without any parse or normalize work",
+            ),
+            fingerprint_misses: registry.counter(
+                "arrayflow_fingerprint_misses_total",
+                "fingerprint-first lookups that missed both cache tiers",
             ),
         }
     }
@@ -543,6 +557,44 @@ impl Engine {
         }
     }
 
+    /// The fingerprint-first fast path: probes the memo cache (and, on a
+    /// memory miss, the persistent second tier, promoting a tier hit)
+    /// for an already-analyzed loop — **before any parse or normalize
+    /// work exists to skip**. This is what makes lookup-dominated
+    /// traffic cost close to a cache probe: a client that precomputed
+    /// the canonical fingerprint of a loop it has seen before gets the
+    /// stored report without the server ever touching the DSL text.
+    ///
+    /// A hit counts in `arrayflow_fingerprint_fast_hits_total`, a miss
+    /// in `arrayflow_fingerprint_misses_total`; callers fall back to
+    /// full analysis (when they also have source) on `None`.
+    pub fn analyze_by_fingerprint(
+        &self,
+        fingerprint: Fingerprint,
+        problems: ProblemSet,
+        dep_max_distance: u64,
+    ) -> Option<Arc<AnalysisReport>> {
+        let key = CacheKey {
+            fingerprint,
+            problems,
+            dep_max_distance,
+        };
+        let hit = {
+            let _span = observed_span("cache_get", &self.ins.phase_cache_get);
+            self.cache.get(&key)
+        };
+        match hit {
+            Some(report) => {
+                self.ins.fingerprint_fast_hits.inc();
+                Some(report)
+            }
+            None => {
+                self.ins.fingerprint_misses.inc();
+                None
+            }
+        }
+    }
+
     /// Analyzes a batch of programs across the worker pool, returning
     /// results in input order.
     ///
@@ -612,6 +664,8 @@ impl Engine {
             solver_passes: self.ins.solver_passes.get(),
             node_visits: self.ins.node_visits.get(),
             busy_micros: self.ins.busy_us.get(),
+            fingerprint_fast_hits: self.ins.fingerprint_fast_hits.get(),
+            fingerprint_misses: self.ins.fingerprint_misses.get(),
         }
     }
 

@@ -1,13 +1,21 @@
 //! The `serve` binary: the analysis service on TCP or stdio.
 //!
 //! ```text
-//! serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N]
+//! serve [--listen ADDR] [--stdio] [--io event|threads] [--proto auto|json]
+//!       [--workers N] [--engine-workers N]
 //!       [--queue N] [--timeout-ms N] [--max-frame BYTES]
 //!       [--cache-capacity N] [--distance-bound N]
 //!       [--store DIR] [--store-segment-bytes N] [--store-queue N]
 //!       [--store-breaker-threshold N] [--store-breaker-cooldown-ms N]
 //!       [--slow-log MICROS] [--fault-plan SPEC]
 //! ```
+//!
+//! `--io event` (the default on unix) runs one `poll(2)` event loop
+//! multiplexing every connection onto the worker pool; `--io threads`
+//! keeps the thread-per-connection listener. `--proto auto` (default)
+//! sniffs each connection's first bytes — `AFWIRE01` magic selects the
+//! binary protocol, anything else newline-JSON; `--proto json` pins the
+//! legacy JSON protocol. The threaded listener is JSON-only.
 //!
 //! Defaults: listen on 127.0.0.1:7433, one service worker and one engine
 //! worker per hardware thread, 256-deep queue, 5000 ms deadline, 1 MiB
@@ -40,9 +48,17 @@ use arrayflow_resilience::FaultPlan;
 use arrayflow_service::{run_stdio, Server, Service, ServiceConfig};
 use arrayflow_store::StoreConfig;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IoModel {
+    Event,
+    Threads,
+}
+
 struct Args {
     listen: String,
     stdio: bool,
+    io: IoModel,
+    proto_json_only: bool,
     config: ServiceConfig,
 }
 
@@ -50,6 +66,12 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         listen: "127.0.0.1:7433".to_string(),
         stdio: false,
+        io: if cfg!(unix) {
+            IoModel::Event
+        } else {
+            IoModel::Threads
+        },
+        proto_json_only: false,
         config: ServiceConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -58,6 +80,25 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--listen" => args.listen = value("--listen")?,
             "--stdio" => args.stdio = true,
+            "--io" => {
+                args.io = match value("--io")?.as_str() {
+                    "event" => {
+                        if !cfg!(unix) {
+                            return Err("--io event requires unix (poll)".to_string());
+                        }
+                        IoModel::Event
+                    }
+                    "threads" => IoModel::Threads,
+                    other => return Err(format!("unknown io model `{other}` (event|threads)")),
+                }
+            }
+            "--proto" => {
+                args.proto_json_only = match value("--proto")?.as_str() {
+                    "auto" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown protocol `{other}` (auto|json)")),
+                }
+            }
             "--workers" => args.config.workers = parse(&value("--workers")?)?,
             "--engine-workers" => args.config.engine.workers = parse(&value("--engine-workers")?)?,
             "--queue" => args.config.queue_capacity = parse(&value("--queue")?)?,
@@ -107,7 +148,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "serve [--listen ADDR] [--stdio] [--workers N] [--engine-workers N] \
+                    "serve [--listen ADDR] [--stdio] [--io event|threads] [--proto auto|json] \
+                     [--workers N] [--engine-workers N] \
                      [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
                      [--distance-bound N] [--store DIR] [--store-segment-bytes N] \
                      [--store-queue N] [--store-breaker-threshold N] \
@@ -132,6 +174,49 @@ fn store_config(config: &mut ServiceConfig) -> Result<&mut StoreConfig, String> 
         .ok_or_else(|| "pass --store DIR before store tuning flags".to_string())
 }
 
+/// Binds and runs the selected listener. The outer `Err` is a bind
+/// failure; the inner result is the server's run outcome.
+fn run_listener(
+    args: &Args,
+    service: std::sync::Arc<Service>,
+) -> std::io::Result<std::io::Result<()>> {
+    match args.io {
+        #[cfg(unix)]
+        IoModel::Event => {
+            use arrayflow_service::{EventServer, ProtoMode};
+            let server = EventServer::bind(args.listen.as_str(), service)?;
+            announce(&server.local_addr(), &args.listen, "event loop");
+            let mode = if args.proto_json_only {
+                ProtoMode::Json
+            } else {
+                ProtoMode::Auto
+            };
+            Ok(server.run(mode))
+        }
+        #[cfg(not(unix))]
+        IoModel::Event => unreachable!("--io event rejected at parse time off unix"),
+        IoModel::Threads => {
+            if !args.proto_json_only {
+                eprintln!("serve: note: the threaded listener speaks JSON only");
+            }
+            let server = Server::attach(args.listen.as_str(), service)?;
+            announce(&server.local_addr(), &args.listen, "thread per connection");
+            Ok(server.run())
+        }
+    }
+}
+
+// The `listening on ADDR` line is parsed by tooling (tests spawn serve
+// on port 0 and scrape the real address), so the io model gets its own
+// line instead of a suffix.
+fn announce(addr: &std::io::Result<std::net::SocketAddr>, fallback: &str, model: &str) {
+    eprintln!("serve: io model: {model}");
+    match addr {
+        Ok(addr) => eprintln!("serve: listening on {addr}"),
+        Err(_) => eprintln!("serve: listening on {fallback}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -149,7 +234,7 @@ fn main() -> ExitCode {
     // Starting the service opens (and crash-recovers) the report store;
     // failure is a structured one-line diagnostic and a nonzero exit,
     // never a panic.
-    let service = match Service::start(args.config) {
+    let service = match Service::start(args.config.clone()) {
         Ok(service) => service,
         Err(e) => {
             eprintln!("serve: error: cannot open report store: {e}");
@@ -161,14 +246,8 @@ fn main() -> ExitCode {
         eprintln!("serve: stdio mode (one JSON request per line)");
         run_stdio(service)
     } else {
-        match Server::attach(args.listen.as_str(), service) {
-            Ok(server) => {
-                match server.local_addr() {
-                    Ok(addr) => eprintln!("serve: listening on {addr}"),
-                    Err(_) => eprintln!("serve: listening on {}", args.listen),
-                }
-                server.run()
-            }
+        match run_listener(&args, service) {
+            Ok(result) => result,
             Err(e) => {
                 eprintln!("serve: error: cannot bind {}: {e}", args.listen);
                 return ExitCode::FAILURE;

@@ -1,0 +1,443 @@
+//! The binary protocol's service-side half: maps `AFWIRE01` frames
+//! (decoded by `arrayflow-wire`) onto the same [`Service`] core the JSON
+//! transport uses — same worker pool, same counters, same error taxonomy.
+//!
+//! The one thing this path has that JSON does not: a **fingerprint-first
+//! fast path**. An analyze request carrying a client-precomputed
+//! fingerprint probes the memo cache (and, through it, the persistent
+//! tier) *before* any parse or normalize work; on a hit the stored report
+//! encoding ships back directly, and the request never touches the worker
+//! pool.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use arrayflow_engine::ProblemSet;
+use arrayflow_ir::Fingerprint;
+use arrayflow_obs::{observed_span, Trace};
+use arrayflow_store::codec::encode_report;
+use arrayflow_wire::encode_frame;
+use arrayflow_wire::proto::{AnalyzeOk, AnalyzeRequest, LoopEntry, Request, Response};
+
+use crate::proto::{ErrorKind, ServiceError};
+use crate::service::Service;
+
+/// The outcome of handling one binary frame.
+pub struct BinaryResponse {
+    /// The complete response frame (header + payload), ready to write.
+    pub frame: Vec<u8>,
+    /// True when the request was a `shutdown`; the transport should send
+    /// the frame, stop reading, and let the server drain.
+    pub shutdown: bool,
+}
+
+/// [`ErrorKind`] as a single wire byte. Stable protocol values: new kinds
+/// append, existing bytes never renumber.
+pub fn kind_byte(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::Parse => 0,
+        ErrorKind::Analysis => 1,
+        ErrorKind::Timeout => 2,
+        ErrorKind::Overloaded => 3,
+        ErrorKind::Protocol => 4,
+    }
+}
+
+/// Inverse of [`kind_byte`]; `None` for bytes from a newer server.
+pub fn kind_from_byte(b: u8) -> Option<ErrorKind> {
+    Some(match b {
+        0 => ErrorKind::Parse,
+        1 => ErrorKind::Analysis,
+        2 => ErrorKind::Timeout,
+        3 => ErrorKind::Overloaded,
+        4 => ErrorKind::Protocol,
+        _ => return None,
+    })
+}
+
+fn frame_of(resp: &Response) -> Vec<u8> {
+    encode_frame(resp.tag(), &resp.encode_payload())
+}
+
+fn err_response(id: u64, kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Err {
+        id,
+        kind: kind_byte(kind),
+        message: message.into(),
+    }
+}
+
+impl Service {
+    /// Handles one decoded binary frame (tag + payload). Cheap verbs and
+    /// fingerprint cache hits answer inline — `respond` runs before this
+    /// returns; full analyses go through the bounded queue with `respond`
+    /// called from a worker. `respond` is invoked exactly once either way.
+    pub fn handle_binary_frame_async(
+        self: &Arc<Self>,
+        tag: u8,
+        payload: &[u8],
+        respond: Box<dyn FnOnce(BinaryResponse) + Send>,
+    ) {
+        let accepted = Instant::now();
+        let trace = self.begin_trace();
+        let decoded = {
+            let _span = observed_span("decode", &self.ins().phase_decode);
+            Request::decode(tag, payload)
+        };
+        let req = match decoded {
+            Err(e) => {
+                // The id could not be recovered from a frame that failed to
+                // decode; 0 is the protocol's "unattributable" id.
+                let resp = err_response(0, ErrorKind::Protocol, format!("bad frame: {e}"));
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+            Ok(req) => req,
+        };
+        match req {
+            Request::Ping { id } => {
+                let resp = Response::Text {
+                    id,
+                    text: "pong".into(),
+                };
+                respond(self.finish_binary(&trace, accepted, resp, false));
+            }
+            Request::Stats { id } => {
+                let resp = Response::Text {
+                    id,
+                    text: self.stats_json().to_string(),
+                };
+                respond(self.finish_binary(&trace, accepted, resp, false));
+            }
+            Request::Metrics { id } => {
+                // Binary metrics ship the Prometheus exposition directly —
+                // the form a scraper wants, with no JSON wrapper to unpick.
+                let resp = Response::Text {
+                    id,
+                    text: self.registry().snapshot().render_prometheus(),
+                };
+                respond(self.finish_binary(&trace, accepted, resp, false));
+            }
+            Request::Compact { id } => {
+                let resp = match self.compact_store() {
+                    Ok(json) => Response::Text {
+                        id,
+                        text: json.to_string(),
+                    },
+                    Err(e) => err_response(id, e.kind, e.message),
+                };
+                respond(self.finish_binary(&trace, accepted, resp, false));
+            }
+            Request::Shutdown { id } => {
+                self.shutdown();
+                let resp = Response::Text {
+                    id,
+                    text: "shutting down".into(),
+                };
+                respond(self.finish_binary(&trace, accepted, resp, true));
+            }
+            Request::Analyze(a) => self.analyze_binary(a, accepted, trace, respond),
+        }
+    }
+
+    fn analyze_binary(
+        self: &Arc<Self>,
+        req: AnalyzeRequest,
+        accepted: Instant,
+        trace: Arc<Trace>,
+        respond: Box<dyn FnOnce(BinaryResponse) + Send>,
+    ) {
+        let id = req.id;
+        let problems = match req.problems {
+            None => self.config().engine.problems,
+            Some(bits) => match ProblemSet::from_bits(bits) {
+                Some(p) => p,
+                None => {
+                    let resp = err_response(
+                        id,
+                        ErrorKind::Protocol,
+                        format!("bad problem-set bits {bits:#06b}"),
+                    );
+                    respond(self.finish_binary(&trace, accepted, resp, false));
+                    return;
+                }
+            },
+        };
+        let distance_bound = req
+            .distance_bound
+            .unwrap_or(self.config().engine.dep_max_distance);
+
+        // Fingerprint-first: probe the cache tiers before any parse work.
+        if let Some(fp_bytes) = req.fingerprint {
+            let fp = Fingerprint(u128::from_le_bytes(fp_bytes));
+            if let Some(report) = self
+                .engine()
+                .analyze_by_fingerprint(fp, problems, distance_bound)
+            {
+                let resp = Response::Analyze(AnalyzeOk {
+                    id,
+                    loops: vec![LoopEntry {
+                        fingerprint: fp_bytes,
+                        report: encode_report(&report),
+                    }],
+                    cache_hits: 1,
+                    cache_misses: 0,
+                    solver_passes: 0,
+                    node_visits: 0,
+                });
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+        }
+
+        // Miss (or no fingerprint): full analysis needs source.
+        let source = match req.source {
+            Some(src) => match String::from_utf8(src) {
+                Ok(s) => s,
+                Err(_) => {
+                    let resp =
+                        err_response(id, ErrorKind::Parse, "program source is not valid UTF-8");
+                    respond(self.finish_binary(&trace, accepted, resp, false));
+                    return;
+                }
+            },
+            None => {
+                let resp = err_response(
+                    id,
+                    ErrorKind::Analysis,
+                    "unknown fingerprint (supply program source to analyze)",
+                );
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+        };
+
+        let svc = Arc::clone(self);
+        let trace_done = Arc::clone(&trace);
+        self.submit_async(
+            source,
+            problems,
+            distance_bound,
+            accepted,
+            trace,
+            Box::new(move |outcome| {
+                let resp = match outcome {
+                    Ok(result) => Response::Analyze(AnalyzeOk {
+                        id,
+                        loops: result
+                            .loops
+                            .iter()
+                            .map(|l| LoopEntry {
+                                fingerprint: l.fingerprint.0.to_le_bytes(),
+                                report: encode_report(&l.report),
+                            })
+                            .collect(),
+                        cache_hits: result.stats.cache_hits,
+                        cache_misses: result.stats.cache_misses,
+                        solver_passes: result.stats.solver_passes,
+                        node_visits: result.stats.node_visits,
+                    }),
+                    Err(e) => err_response(id, e.kind, e.message),
+                };
+                respond(svc.finish_binary(&trace_done, accepted, resp, false));
+            }),
+        );
+    }
+
+    /// The binary counterpart of `finish_json`: outcome counters, latency
+    /// histogram, slow-request log, then the encoded frame.
+    fn finish_binary(
+        &self,
+        trace: &Arc<Trace>,
+        accepted: Instant,
+        resp: Response,
+        is_shutdown: bool,
+    ) -> BinaryResponse {
+        let outcome_name = match &resp {
+            Response::Err { kind, .. } => {
+                let kind = kind_from_byte(*kind).unwrap_or(ErrorKind::Protocol);
+                self.counter_for(kind).inc();
+                kind.as_str()
+            }
+            _ => {
+                self.ins().ok.inc();
+                "ok"
+            }
+        };
+        self.observe_request(trace, accepted, outcome_name);
+        BinaryResponse {
+            frame: frame_of(&resp),
+            shutdown: is_shutdown && !matches!(resp, Response::Err { .. }),
+        }
+    }
+
+    /// The response to a binary frame whose declared payload exceeds the
+    /// size cap. Counted in the oversized-frames counter, *not* the
+    /// request latency histogram — the frame was discarded, not timed.
+    pub fn oversized_binary_response(&self, declared: u64) -> BinaryResponse {
+        self.ins().oversized_frames.inc();
+        let resp = err_response(
+            0,
+            ErrorKind::Protocol,
+            format!(
+                "frame of {declared} bytes exceeds the {} byte cap",
+                self.config().max_frame_bytes
+            ),
+        );
+        BinaryResponse {
+            frame: frame_of(&resp),
+            shutdown: false,
+        }
+    }
+}
+
+/// Turns a [`ServiceError`] into an encoded error frame (used by
+/// transports for framing-level failures that never reach the service).
+pub fn error_frame(id: u64, e: &ServiceError) -> Vec<u8> {
+    frame_of(&err_response(id, e.kind, e.message.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use std::sync::mpsc;
+
+    const SRC: &str = "do i = 1, 100 A[i+2] := A[i] + x; end";
+
+    fn svc() -> Arc<Service> {
+        Service::start(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    /// Blocks on the async path — what a transport does, minus the socket.
+    fn binary_sync(svc: &Arc<Service>, tag: u8, payload: &[u8]) -> BinaryResponse {
+        let (tx, rx) = mpsc::channel();
+        svc.handle_binary_frame_async(
+            tag,
+            payload,
+            Box::new(move |resp| {
+                let _ = tx.send(resp);
+            }),
+        );
+        rx.recv().expect("respond is invoked exactly once")
+    }
+
+    #[test]
+    fn ping_round_trips() {
+        let svc = svc();
+        let req = Request::Ping { id: 9 };
+        let out = binary_sync(&svc, req.tag(), &req.encode_payload());
+        let resp = decode_response_frame(&out.frame);
+        assert_eq!(
+            resp,
+            Response::Text {
+                id: 9,
+                text: "pong".into()
+            }
+        );
+        assert!(!out.shutdown);
+    }
+
+    #[test]
+    fn analyze_by_source_then_fingerprint_hit_is_byte_identical() {
+        let svc = svc();
+        let req = Request::Analyze(AnalyzeRequest {
+            id: 1,
+            fingerprint: None,
+            problems: None,
+            distance_bound: None,
+            source: Some(SRC.as_bytes().to_vec()),
+        });
+        let full =
+            decode_response_frame(&binary_sync(&svc, req.tag(), &req.encode_payload()).frame);
+        let Response::Analyze(full) = full else {
+            panic!("expected analyze response, got {full:?}");
+        };
+        assert_eq!(full.loops.len(), 1);
+
+        // Probe by the fingerprint the full analysis reported.
+        let probe = Request::Analyze(AnalyzeRequest {
+            id: 2,
+            fingerprint: Some(full.loops[0].fingerprint),
+            problems: None,
+            distance_bound: None,
+            source: None,
+        });
+        let hit =
+            decode_response_frame(&binary_sync(&svc, probe.tag(), &probe.encode_payload()).frame);
+        let Response::Analyze(hit) = hit else {
+            panic!("expected analyze response, got {hit:?}");
+        };
+        assert_eq!(hit.cache_hits, 1);
+        assert_eq!(
+            hit.loops[0].report, full.loops[0].report,
+            "report bytes moved"
+        );
+        assert_eq!(svc.engine().stats().fingerprint_fast_hits, 1);
+    }
+
+    #[test]
+    fn unknown_fingerprint_without_source_is_an_analysis_error() {
+        let svc = svc();
+        let probe = Request::Analyze(AnalyzeRequest {
+            id: 3,
+            fingerprint: Some([7; 16]),
+            problems: None,
+            distance_bound: None,
+            source: None,
+        });
+        let resp =
+            decode_response_frame(&binary_sync(&svc, probe.tag(), &probe.encode_payload()).frame);
+        let Response::Err { id, kind, .. } = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(id, 3);
+        assert_eq!(kind_from_byte(kind), Some(ErrorKind::Analysis));
+        assert_eq!(svc.engine().stats().fingerprint_misses, 1);
+    }
+
+    #[test]
+    fn oversized_counts_in_its_own_counter_not_latency() {
+        let svc = svc();
+        let before = svc.stats();
+        let out = svc.oversized_binary_response(1 << 30);
+        let resp = decode_response_frame(&out.frame);
+        assert!(matches!(resp, Response::Err { .. }));
+        let after = svc.stats();
+        assert_eq!(after.oversized_frames, before.oversized_frames + 1);
+        assert_eq!(after.requests, before.requests);
+        assert_eq!(after.latency, before.latency);
+        // The taxonomy counter is also untouched: oversized is not a
+        // "response by outcome", it is a discarded frame.
+        assert_eq!(after.protocol_errors, before.protocol_errors);
+    }
+
+    #[test]
+    fn kind_bytes_round_trip() {
+        for kind in [
+            ErrorKind::Parse,
+            ErrorKind::Analysis,
+            ErrorKind::Timeout,
+            ErrorKind::Overloaded,
+            ErrorKind::Protocol,
+        ] {
+            assert_eq!(kind_from_byte(kind_byte(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_byte(200), None);
+    }
+
+    fn decode_response_frame(frame: &[u8]) -> Response {
+        let mut d = arrayflow_wire::FrameDecoder::new(usize::MAX);
+        d.extend(frame);
+        match d.next().unwrap().unwrap() {
+            arrayflow_wire::FrameEvent::Frame { tag, payload } => {
+                Response::decode(tag, &payload).unwrap()
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

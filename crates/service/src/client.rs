@@ -38,9 +38,18 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use arrayflow_resilience::Backoff;
+use arrayflow_wire::frame::read_frame;
+use arrayflow_wire::proto::{
+    AnalyzeOk, AnalyzeRequest, Request as WireRequest, Response as WireResponse,
+};
 
+use crate::binproto::kind_from_byte;
 use crate::json::Json;
 use crate::proto::ErrorKind;
+
+/// Cap on a single binary response frame the client will buffer. Reports
+/// are small; anything near this is a protocol violation, not data.
+const MAX_RESPONSE_FRAME: usize = 64 << 20;
 
 /// Tuning for a [`Client`]: deadlines and the retry envelope.
 #[derive(Debug, Clone)]
@@ -126,11 +135,21 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// The protocol a connection was opened with. The server locks each
+/// connection to the protocol of its first bytes, so a mode switch means
+/// a redial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnMode {
+    Json,
+    Binary,
+}
+
 /// One live connection: a write half and a buffered read half over the
-/// same socket.
+/// same socket, locked to one protocol.
 struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    mode: ConnMode,
 }
 
 /// A reconnecting, retrying client for the analysis service.
@@ -250,6 +269,132 @@ impl Client {
         }
     }
 
+    /// Analyzes one DSL program over the binary protocol, returning the
+    /// decoded response (per-loop fingerprints + store-codec report
+    /// bytes, per-request cache stats).
+    pub fn analyze_binary(&mut self, program: &str) -> Result<AnalyzeOk, ClientError> {
+        let id = self.fresh_id();
+        self.analyze_request(AnalyzeRequest {
+            id,
+            fingerprint: None,
+            problems: None,
+            distance_bound: None,
+            source: Some(program.as_bytes().to_vec()),
+        })
+    }
+
+    /// The fingerprint-first fast path: probes the server's caches with a
+    /// precomputed fingerprint (see `arrayflow::fingerprint`), optionally
+    /// shipping the source as fallback so a cache miss still analyzes
+    /// instead of erroring.
+    pub fn analyze_fingerprint(
+        &mut self,
+        fingerprint: [u8; 16],
+        source: Option<&str>,
+    ) -> Result<AnalyzeOk, ClientError> {
+        let id = self.fresh_id();
+        self.analyze_request(AnalyzeRequest {
+            id,
+            fingerprint: Some(fingerprint),
+            problems: None,
+            distance_bound: None,
+            source: source.map(|s| s.as_bytes().to_vec()),
+        })
+    }
+
+    fn analyze_request(&mut self, req: AnalyzeRequest) -> Result<AnalyzeOk, ClientError> {
+        match self.request_binary(&WireRequest::Analyze(req))? {
+            WireResponse::Analyze(ok) => Ok(ok),
+            other => Err(ClientError::Protocol(format!(
+                "expected an analyze response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Binary `ping` round trip.
+    pub fn ping_binary(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        match self.request_binary(&WireRequest::Ping { id })? {
+            WireResponse::Text { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected a text response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the Prometheus metrics exposition over the binary
+    /// protocol (the binary `metrics` verb ships it without a JSON
+    /// wrapper).
+    pub fn metrics_prometheus(&mut self) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        match self.request_binary(&WireRequest::Metrics { id })? {
+            WireResponse::Text { text, .. } => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected a text response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one binary request with the same resilience envelope as
+    /// [`Client::request`]: reconnect on transport failure, jittered
+    /// backoff retries for `Io` and `overloaded` outcomes. The connection
+    /// is (re)dialed in binary mode if it was speaking JSON.
+    pub fn request_binary(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        let frame = arrayflow_wire::encode_frame(req.tag(), &req.encode_payload());
+        let mut backoff = match self.config.backoff_seed {
+            Some(seed) => Backoff::with_seed(
+                self.config.backoff_base,
+                self.config.backoff_cap,
+                seed.wrapping_add(self.next_id),
+            ),
+            None => Backoff::new(self.config.backoff_base, self.config.backoff_cap),
+        };
+        loop {
+            let err = match self.attempt_binary(&frame) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            if !err.is_retryable() || backoff.attempt() >= self.config.max_retries {
+                return Err(err);
+            }
+            self.retries += 1;
+            std::thread::sleep(backoff.next_delay());
+        }
+    }
+
+    fn attempt_binary(&mut self, frame: &[u8]) -> Result<WireResponse, ClientError> {
+        let (tag, payload) = match self.send_recv_binary(frame) {
+            Ok(f) => f,
+            Err(e) => {
+                self.conn = None;
+                return Err(ClientError::Io(e));
+            }
+        };
+        let resp = match WireResponse::decode(tag, &payload) {
+            Ok(resp) => resp,
+            Err(e) => {
+                // The stream may be desynced; force a redial, but do not
+                // retry — a malformed response is a fact, not a flake.
+                self.conn = None;
+                return Err(ClientError::Protocol(format!("undecodable response: {e}")));
+            }
+        };
+        match resp {
+            WireResponse::Err { kind, message, .. } => Err(ClientError::Service {
+                kind: kind_from_byte(kind),
+                message,
+            }),
+            ok => Ok(ok),
+        }
+    }
+
+    fn send_recv_binary(&mut self, frame: &[u8]) -> io::Result<(u8, Vec<u8>)> {
+        let conn = self.ensure_conn(ConnMode::Binary)?;
+        conn.writer.write_all(frame)?;
+        conn.writer.flush()?;
+        read_frame(&mut conn.reader, MAX_RESPONSE_FRAME)
+    }
+
     /// One attempt: ensure a connection, write the frame, read and
     /// classify the response line.
     fn attempt(&mut self, frame: &str) -> Result<String, ClientError> {
@@ -267,7 +412,7 @@ impl Client {
     }
 
     fn send_recv(&mut self, frame: &str) -> io::Result<String> {
-        let conn = self.ensure_conn()?;
+        let conn = self.ensure_conn(ConnMode::Json)?;
         conn.writer.write_all(frame.as_bytes())?;
         conn.writer.write_all(b"\n")?;
         conn.writer.flush()?;
@@ -282,7 +427,12 @@ impl Client {
         Ok(line)
     }
 
-    fn ensure_conn(&mut self) -> io::Result<&mut Conn> {
+    fn ensure_conn(&mut self, mode: ConnMode) -> io::Result<&mut Conn> {
+        if self.conn.as_ref().is_some_and(|c| c.mode != mode) {
+            // The server pins a connection to its first protocol; switching
+            // requires a fresh dial.
+            self.conn = None;
+        }
         if self.conn.is_none() {
             let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
                 io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
@@ -295,6 +445,7 @@ impl Client {
             self.conn = Some(Conn {
                 writer: stream,
                 reader,
+                mode,
             });
             self.connects += 1;
         }

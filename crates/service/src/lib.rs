@@ -64,13 +64,19 @@
 //! service.join_workers();
 //! ```
 
+pub mod binproto;
 pub mod client;
+#[cfg(unix)]
+pub mod event_server;
 pub mod json;
 pub mod proto;
 pub mod server;
 pub mod service;
 
+pub use binproto::{kind_byte, kind_from_byte, BinaryResponse};
 pub use client::{Client, ClientConfig, ClientError};
+#[cfg(unix)]
+pub use event_server::{EventServer, ProtoMode};
 pub use json::{Json, JsonError};
 pub use proto::{ErrorKind, Request, ServiceError, Verb};
 pub use server::{run_stdio, Frame, FrameReader, Server};

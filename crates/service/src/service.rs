@@ -17,7 +17,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use arrayflow_engine::{Engine, EngineConfig, EngineStats, ProblemSet};
+use arrayflow_engine::{BatchResult, Engine, EngineConfig, EngineStats, ProblemSet};
 use arrayflow_ir::parse_program_bytes;
 use arrayflow_obs::{
     observed_span, with_current, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
@@ -147,6 +147,13 @@ impl ServiceStats {
     }
 }
 
+/// How a finished `analyze` job reaches whoever is waiting: a boxed
+/// one-shot closure, so the blocking transports (an `mpsc` send the
+/// submitting thread waits on) and the event-driven server (append to a
+/// completion queue, wake the poll loop) share one queue and one worker
+/// pool.
+type Reply = Box<dyn FnOnce(Result<BatchResult, ServiceError>) + Send>;
+
 struct Job {
     program: String,
     problems: ProblemSet,
@@ -158,7 +165,7 @@ struct Job {
     /// The request's trace, carried across the queue so worker-side spans
     /// (parse, solve, tier I/O) land on the same per-request record.
     trace: Arc<Trace>,
-    reply: mpsc::Sender<Result<Json, ServiceError>>,
+    reply: Reply,
 }
 
 /// The outcome of handling one frame.
@@ -191,22 +198,22 @@ pub struct Service {
 /// outcome, the latency and queue-wait histograms, and the
 /// transport-side phase timings.
 #[derive(Debug, Clone)]
-struct ServiceInstruments {
-    connections: Counter,
-    requests: Counter,
-    ok: Counter,
-    parse_errors: Counter,
-    analysis_errors: Counter,
-    timeouts: Counter,
-    overloaded: Counter,
-    protocol_errors: Counter,
-    oversized_frames: Counter,
-    worker_restarts: Counter,
-    queue_depth_hwm: Gauge,
-    latency: Histogram,
-    queue_wait: Histogram,
-    phase_decode: Histogram,
-    phase_parse: Histogram,
+pub(crate) struct ServiceInstruments {
+    pub(crate) connections: Counter,
+    pub(crate) requests: Counter,
+    pub(crate) ok: Counter,
+    pub(crate) parse_errors: Counter,
+    pub(crate) analysis_errors: Counter,
+    pub(crate) timeouts: Counter,
+    pub(crate) overloaded: Counter,
+    pub(crate) protocol_errors: Counter,
+    pub(crate) oversized_frames: Counter,
+    pub(crate) worker_restarts: Counter,
+    pub(crate) queue_depth_hwm: Gauge,
+    pub(crate) latency: Histogram,
+    pub(crate) queue_wait: Histogram,
+    pub(crate) phase_decode: Histogram,
+    pub(crate) phase_parse: Histogram,
 }
 
 impl ServiceInstruments {
@@ -413,7 +420,7 @@ impl Service {
     pub fn handle_frame(&self, frame: &[u8]) -> FrameResponse {
         let accepted = Instant::now();
         let trace = Trace::start(self.next_trace_id.fetch_add(1, Ordering::Relaxed));
-        let (id, outcome, mut is_shutdown) = with_current(&trace, || {
+        let (id, outcome, is_shutdown) = with_current(&trace, || {
             let decoded = {
                 let _span = observed_span("decode", &self.ins.phase_decode);
                 Request::decode(frame)
@@ -427,17 +434,42 @@ impl Service {
                 }
             }
         });
-        let (line, outcome_name) = match &outcome {
+        self.finish_json(&trace, accepted, &id, outcome, is_shutdown)
+    }
+
+    /// Counts and encodes one finished JSON request: outcome counters,
+    /// the latency histogram, the slow-request log. Shared by the
+    /// blocking [`Service::handle_frame`] and the event-driven
+    /// [`Service::handle_frame_async`], so both transports feed the same
+    /// instruments.
+    pub(crate) fn finish_json(
+        &self,
+        trace: &Arc<Trace>,
+        accepted: Instant,
+        id: &Json,
+        outcome: Result<Json, ServiceError>,
+        is_shutdown: bool,
+    ) -> FrameResponse {
+        let (line, outcome_name, is_shutdown) = match &outcome {
             Ok(result) => {
                 self.ins.ok.inc();
-                (encode_ok(&id, result.clone()), "ok")
+                (encode_ok(id, result.clone()), "ok", is_shutdown)
             }
             Err(e) => {
                 self.counter_for(e.kind).inc();
-                is_shutdown = false;
-                (encode_err(&id, e), e.kind.as_str())
+                (encode_err(id, e), e.kind.as_str(), false)
             }
         };
+        self.observe_request(trace, accepted, outcome_name);
+        FrameResponse {
+            line,
+            shutdown: is_shutdown,
+        }
+    }
+
+    /// The shared per-request bookkeeping: `requests` counter, latency
+    /// histogram, slow-request log.
+    pub(crate) fn observe_request(&self, trace: &Arc<Trace>, accepted: Instant, outcome: &str) {
         self.ins.requests.inc();
         let elapsed_us = accepted.elapsed().as_micros() as u64;
         self.ins.latency.observe(elapsed_us);
@@ -446,16 +478,67 @@ impl Service {
                 eprintln!(
                     "serve: slow-request trace={} outcome={} total_us={} {}",
                     trace.id(),
-                    outcome_name,
+                    outcome,
                     elapsed_us,
                     trace.breakdown()
                 );
             }
         }
-        FrameResponse {
-            line,
-            shutdown: is_shutdown,
+    }
+
+    /// The nonblocking counterpart of [`Service::handle_frame`] for the
+    /// event-driven server: cheap verbs are answered inline (`respond` is
+    /// called before this returns), `analyze` goes through the same
+    /// bounded queue and worker pool with `respond` called from the
+    /// worker when the job completes. `respond` is called exactly once.
+    ///
+    /// Deadline semantics differ from the blocking path in one way: the
+    /// deadline is enforced by the worker when it picks the job up (and
+    /// by the queue bound before that), not by a waiting transport
+    /// thread — there is none.
+    pub fn handle_frame_async(
+        self: &Arc<Self>,
+        frame: &[u8],
+        respond: Box<dyn FnOnce(FrameResponse) + Send>,
+    ) {
+        let accepted = Instant::now();
+        let trace = Trace::start(self.next_trace_id.fetch_add(1, Ordering::Relaxed));
+        let decoded = with_current(&trace, || {
+            let _span = observed_span("decode", &self.ins.phase_decode);
+            Request::decode(frame)
+        });
+        let req = match decoded {
+            Err((id, e)) => {
+                respond(self.finish_json(&trace, accepted, &id, Err(e), false));
+                return;
+            }
+            Ok(req) => req,
+        };
+        let id = req.id.clone();
+        if req.verb != Verb::Analyze {
+            let is_shutdown = req.verb == Verb::Shutdown;
+            let outcome = with_current(&trace, || self.dispatch_cheap(&req));
+            respond(self.finish_json(&trace, accepted, &id, outcome, is_shutdown));
+            return;
         }
+        let program = req.program.expect("decode guarantees program for analyze");
+        let problems = req.problems.unwrap_or(self.config.engine.problems);
+        let distance_bound = req
+            .distance_bound
+            .unwrap_or(self.config.engine.dep_max_distance);
+        let svc = Arc::clone(self);
+        let trace_done = Arc::clone(&trace);
+        self.submit_async(
+            program,
+            problems,
+            distance_bound,
+            accepted,
+            trace,
+            Box::new(move |outcome| {
+                let outcome = outcome.map(|r| analyze_result_json(&r));
+                respond(svc.finish_json(&trace_done, accepted, &id, outcome, false));
+            }),
+        );
     }
 
     /// Builds (and counts) the response for a frame that exceeded
@@ -476,7 +559,17 @@ impl Service {
         )
     }
 
-    fn counter_for(&self, kind: ErrorKind) -> &Counter {
+    /// A fresh per-request trace with a process-unique id.
+    pub(crate) fn begin_trace(&self) -> Arc<Trace> {
+        Trace::start(self.next_trace_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The service's registered instruments, for sibling transports.
+    pub(crate) fn ins(&self) -> &ServiceInstruments {
+        &self.ins
+    }
+
+    pub(crate) fn counter_for(&self, kind: ErrorKind) -> &Counter {
         match kind {
             ErrorKind::Parse => &self.ins.parse_errors,
             ErrorKind::Analysis => &self.ins.analysis_errors,
@@ -488,6 +581,15 @@ impl Service {
 
     fn dispatch(&self, req: Request, accepted: Instant) -> Result<Json, ServiceError> {
         match req.verb {
+            Verb::Analyze => self.submit_and_wait(req, accepted),
+            _ => self.dispatch_cheap(&req),
+        }
+    }
+
+    /// Every verb that answers without touching the worker pool.
+    /// `analyze` is the one verb that must not come through here.
+    fn dispatch_cheap(&self, req: &Request) -> Result<Json, ServiceError> {
+        match req.verb {
             Verb::Ping => Ok(Json::Str("pong".into())),
             Verb::Stats => Ok(self.stats_json()),
             Verb::Metrics => Ok(self.metrics_json()),
@@ -496,13 +598,13 @@ impl Service {
                 self.shutdown();
                 Ok(Json::Str("shutting down".into()))
             }
-            Verb::Analyze => self.submit_and_wait(req, accepted),
+            Verb::Analyze => unreachable!("analyze is dispatched through the worker pool"),
         }
     }
 
     /// The `compact` verb: flushes pending appends, rewrites live records
     /// into fresh segments, and reports what was reclaimed.
-    fn compact_store(&self) -> Result<Json, ServiceError> {
+    pub(crate) fn compact_store(&self) -> Result<Json, ServiceError> {
         let Some(tier) = &self.tier else {
             return Err(ServiceError::new(
                 ErrorKind::Protocol,
@@ -533,39 +635,24 @@ impl Service {
         let trace = arrayflow_obs::trace::current().expect("handle_frame installed a trace");
 
         let (tx, rx) = mpsc::channel();
-        {
-            let mut q = self.queue.lock().unwrap();
-            if self.is_shutdown() {
-                return Err(ServiceError::new(
-                    ErrorKind::Overloaded,
-                    "service is shutting down",
-                ));
-            }
-            if q.len() >= self.config.queue_capacity {
-                return Err(ServiceError::new(
-                    ErrorKind::Overloaded,
-                    format!("queue full ({} in flight)", q.len()),
-                ));
-            }
-            q.push_back(Job {
-                program,
-                problems,
-                distance_bound,
-                accepted,
-                enqueued: Instant::now(),
-                deadline,
-                trace,
-                reply: tx,
-            });
-            self.ins.queue_depth_hwm.set_max(q.len() as u64);
-        }
-        self.job_ready.notify_one();
+        self.enqueue_job(
+            program,
+            problems,
+            distance_bound,
+            accepted,
+            trace,
+            Box::new(move |outcome| {
+                // The waiter may have timed out and gone; that is fine.
+                let _ = tx.send(outcome);
+            }),
+        )
+        .map_err(|(e, _reply)| e)?;
 
         // The deadline is measured from frame acceptance, not from
         // enqueue, so decode time cannot silently extend the budget.
         let remaining = deadline.saturating_sub(accepted.elapsed());
         match rx.recv_timeout(remaining) {
-            Ok(outcome) => outcome,
+            Ok(outcome) => outcome.map(|r| analyze_result_json(&r)),
             Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::new(
                 ErrorKind::Timeout,
                 format!("deadline of {} ms exceeded", deadline.as_millis()),
@@ -576,6 +663,74 @@ impl Service {
                 ErrorKind::Overloaded,
                 "service is shutting down",
             )),
+        }
+    }
+
+    /// Pushes an analyze job onto the bounded queue. On `Ok` the `reply`
+    /// closure is guaranteed to be invoked exactly once by a worker; on
+    /// rejection (`Overloaded`: queue full or service stopping) the
+    /// closure is handed back un-invoked along with the error, so the
+    /// caller decides how to deliver the rejection.
+    fn enqueue_job(
+        &self,
+        program: String,
+        problems: ProblemSet,
+        distance_bound: u64,
+        accepted: Instant,
+        trace: Arc<Trace>,
+        reply: Reply,
+    ) -> Result<(), (ServiceError, Reply)> {
+        {
+            let mut q = self.queue.lock().unwrap();
+            if self.is_shutdown() {
+                return Err((
+                    ServiceError::new(ErrorKind::Overloaded, "service is shutting down"),
+                    reply,
+                ));
+            }
+            if q.len() >= self.config.queue_capacity {
+                return Err((
+                    ServiceError::new(
+                        ErrorKind::Overloaded,
+                        format!("queue full ({} in flight)", q.len()),
+                    ),
+                    reply,
+                ));
+            }
+            q.push_back(Job {
+                program,
+                problems,
+                distance_bound,
+                accepted,
+                enqueued: Instant::now(),
+                deadline: self.config.request_timeout,
+                trace,
+                reply,
+            });
+            self.ins.queue_depth_hwm.set_max(q.len() as u64);
+        }
+        self.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Fire-and-forget analyze submission for the event-driven server:
+    /// no thread blocks waiting, so the deadline is enforced only by the
+    /// worker when it dequeues the job. `reply` is invoked exactly once —
+    /// inline (before this returns) when the queue rejects the job, from
+    /// a worker otherwise.
+    pub fn submit_async(
+        &self,
+        program: String,
+        problems: ProblemSet,
+        distance_bound: u64,
+        accepted: Instant,
+        trace: Arc<Trace>,
+        reply: Reply,
+    ) {
+        if let Err((e, reply)) =
+            self.enqueue_job(program, problems, distance_bound, accepted, trace, reply)
+        {
+            reply(Err(e));
         }
     }
 
@@ -626,8 +781,7 @@ impl Service {
                     ),
                 ))
             });
-            // The waiter may have timed out and gone; that is fine.
-            let _ = job.reply.send(outcome);
+            (job.reply)(outcome);
         }
     }
 
@@ -659,7 +813,7 @@ impl Service {
         }
     }
 
-    fn run_job(&self, job: &Job) -> Result<Json, ServiceError> {
+    fn run_job(&self, job: &Job) -> Result<BatchResult, ServiceError> {
         if job.accepted.elapsed() >= job.deadline {
             return Err(ServiceError::new(
                 ErrorKind::Timeout,
@@ -674,10 +828,10 @@ impl Service {
         let result = self
             .engine
             .analyze_with(0, &program, job.problems, job.distance_bound);
-        if let Some(e) = result.error {
+        if let Some(e) = &result.error {
             return Err(ServiceError::new(ErrorKind::Analysis, e.to_string()));
         }
-        Ok(analyze_result_json(&result))
+        Ok(result)
     }
 
     /// Snapshot of the service counters.
@@ -714,7 +868,7 @@ impl Service {
 
     /// The `stats` verb payload: engine and cache one-liners (their
     /// `Display` impls) plus the structured service counters.
-    fn stats_json(&self) -> Json {
+    pub(crate) fn stats_json(&self) -> Json {
         let e = self.engine_stats();
         let s = self.stats();
         let errors = Json::Obj(vec![

@@ -1,0 +1,304 @@
+//! End-to-end tests of the event-driven server: binary and JSON clients
+//! against one listener, byte-identity across protocols, the
+//! fingerprint fast path, frame caps, ordering, and drain-on-shutdown.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use arrayflow_service::{
+    Client, ClientConfig, EventServer, Json, ProtoMode, Service, ServiceConfig,
+};
+use arrayflow_store::codec::decode_report;
+use arrayflow_wire::proto::{AnalyzeRequest, Request as WireRequest, Response as WireResponse};
+use arrayflow_wire::{encode_frame, FrameDecoder, FrameEvent};
+
+const SRC: &str = "do i = 1, 100 A[i+2] := A[i] + x; end";
+
+fn start(mode: ProtoMode, config: ServiceConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let service = Service::start(config).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = EventServer::attach(listener, service);
+    let handle = std::thread::spawn(move || server.run(mode));
+    (addr, handle)
+}
+
+fn client(addr: SocketAddr) -> Client {
+    Client::new(
+        addr.to_string(),
+        ClientConfig {
+            backoff_seed: Some(7),
+            ..Default::default()
+        },
+    )
+}
+
+fn stop(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
+    let mut c = client(addr);
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn json_and_binary_reports_are_byte_identical() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+
+    // JSON path first (this also populates the cache).
+    let mut jc = client(addr);
+    let line = jc.analyze(SRC).unwrap();
+    let json = Json::parse(line.as_bytes()).unwrap();
+    let loops = json
+        .get("result")
+        .and_then(|r| r.get("loops"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(loops.len(), 1);
+    let json_fp = loops[0].get("fingerprint").and_then(Json::as_str).unwrap();
+    let json_report = loops[0].get("report").and_then(Json::as_str).unwrap();
+
+    // Binary path: same program, decoded report must render to the very
+    // same bytes the JSON response carried.
+    let mut bc = client(addr);
+    let ok = bc.analyze_binary(SRC).unwrap();
+    assert_eq!(ok.loops.len(), 1);
+    let report = decode_report(&ok.loops[0].report).unwrap();
+    assert_eq!(report.render(), json_report);
+    assert_eq!(
+        format!("{:032x}", u128::from_le_bytes(ok.loops[0].fingerprint)),
+        json_fp
+    );
+
+    stop(addr, handle);
+}
+
+#[test]
+fn fingerprint_hit_matches_full_parse_byte_for_byte() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+    let mut c = client(addr);
+
+    let full = c.analyze_binary(SRC).unwrap();
+    let fp = full.loops[0].fingerprint;
+
+    let hit = c.analyze_fingerprint(fp, None).unwrap();
+    assert_eq!(hit.cache_hits, 1);
+    assert_eq!(hit.cache_misses, 0);
+    assert_eq!(hit.loops.len(), 1);
+    assert_eq!(hit.loops[0].report, full.loops[0].report);
+
+    // The counter is visible in the exposition the binary metrics verb
+    // returns.
+    let metrics = c.metrics_prometheus().unwrap();
+    assert!(metrics.contains("arrayflow_fingerprint_fast_hits_total 1"));
+
+    stop(addr, handle);
+}
+
+#[test]
+fn unknown_fingerprint_falls_back_to_shipped_source() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+    let mut c = client(addr);
+
+    // Nothing cached: the probe alone errors...
+    let err = c.analyze_fingerprint([3; 16], None).unwrap_err();
+    assert!(err.to_string().contains("unknown fingerprint"), "{err}");
+
+    // ...but with source attached the same request analyzes in full.
+    let ok = c.analyze_fingerprint([3; 16], Some(SRC)).unwrap();
+    assert_eq!(ok.loops.len(), 1);
+    assert_eq!(ok.cache_misses, 1);
+
+    stop(addr, handle);
+}
+
+#[test]
+fn one_listener_speaks_both_protocols() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+    let mut c = client(addr);
+    // Interleave: each call redials in the right mode; the server detects
+    // per connection.
+    c.ping().unwrap();
+    c.ping_binary().unwrap();
+    c.ping().unwrap();
+    assert!(c.connects() >= 3);
+    stop(addr, handle);
+}
+
+#[test]
+fn json_only_mode_treats_binary_magic_as_a_json_line() {
+    let (addr, handle) = start(ProtoMode::Json, ServiceConfig::default());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let ping = WireRequest::Ping { id: 1 };
+    let mut bytes = encode_frame(ping.tag(), &ping.encode_payload());
+    // Terminate the "line" so the JSON framer hands it to the decoder.
+    bytes.push(b'\n');
+    stream.write_all(&bytes).unwrap();
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).unwrap();
+    let json = Json::parse(line.as_bytes()).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
+    let kind = json
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(kind, "protocol");
+
+    stop(addr, handle);
+}
+
+#[test]
+fn pipelined_binary_requests_answer_in_request_order() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A burst of pings and analyzes in one write: responses must come
+    // back in request order even though analyze runs on workers and ping
+    // answers inline.
+    let mut burst = Vec::new();
+    let n = 16u64;
+    for id in 0..n {
+        let req = if id % 2 == 0 {
+            WireRequest::Ping { id }
+        } else {
+            WireRequest::Analyze(AnalyzeRequest {
+                id,
+                fingerprint: None,
+                problems: None,
+                distance_bound: None,
+                source: Some(SRC.as_bytes().to_vec()),
+            })
+        };
+        burst.extend(encode_frame(req.tag(), &req.encode_payload()));
+    }
+    stream.write_all(&burst).unwrap();
+
+    let mut decoder = FrameDecoder::new(usize::MAX);
+    let mut got = Vec::new();
+    let mut buf = [0u8; 4096];
+    while got.len() < n as usize {
+        let read = stream.read(&mut buf).unwrap();
+        assert!(read > 0, "server closed early");
+        decoder.extend(&buf[..read]);
+        while let Some(FrameEvent::Frame { tag, payload }) = decoder.next().unwrap() {
+            got.push(WireResponse::decode(tag, &payload).unwrap());
+        }
+    }
+    for (i, resp) in got.iter().enumerate() {
+        assert_eq!(resp.id(), i as u64, "response out of order: {resp:?}");
+    }
+
+    stop(addr, handle);
+}
+
+#[test]
+fn oversized_binary_frame_is_rejected_and_the_connection_survives() {
+    let (addr, handle) = start(
+        ProtoMode::Auto,
+        ServiceConfig {
+            max_frame_bytes: 1024,
+            ..Default::default()
+        },
+    );
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let big = WireRequest::Analyze(AnalyzeRequest {
+        id: 1,
+        fingerprint: None,
+        problems: None,
+        distance_bound: None,
+        source: Some(vec![b'x'; 1 << 20]),
+    });
+    stream
+        .write_all(&encode_frame(big.tag(), &big.encode_payload()))
+        .unwrap();
+    let ping = WireRequest::Ping { id: 2 };
+    stream
+        .write_all(&encode_frame(ping.tag(), &ping.encode_payload()))
+        .unwrap();
+
+    let mut decoder = FrameDecoder::new(usize::MAX);
+    let mut got = Vec::new();
+    let mut buf = [0u8; 4096];
+    while got.len() < 2 {
+        let read = stream.read(&mut buf).unwrap();
+        assert!(read > 0, "server closed early");
+        decoder.extend(&buf[..read]);
+        while let Some(FrameEvent::Frame { tag, payload }) = decoder.next().unwrap() {
+            got.push(WireResponse::decode(tag, &payload).unwrap());
+        }
+    }
+    assert!(
+        matches!(&got[0], WireResponse::Err { message, .. } if message.contains("exceeds")),
+        "{:?}",
+        got[0]
+    );
+    assert!(matches!(&got[1], WireResponse::Text { id: 2, .. }));
+
+    // The oversized frame landed in its own counter, not the taxonomy.
+    let mut c = client(addr);
+    let metrics = c.metrics_prometheus().unwrap();
+    assert!(
+        metrics.contains("arrayflow_oversized_frames_total 1"),
+        "oversized counter missing"
+    );
+
+    stop(addr, handle);
+}
+
+#[test]
+fn binary_shutdown_drains_the_server() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+    let mut c = client(addr);
+    let id = 42;
+    match c.request_binary(&WireRequest::Shutdown { id }).unwrap() {
+        WireResponse::Text { id: got, text } => {
+            assert_eq!(got, id);
+            assert_eq!(text, "shutting down");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn threaded_and_event_servers_share_handle_frame_semantics() {
+    // The event server must answer a JSON frame with the exact same line
+    // the in-process blocking path produces.
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+    let mut c = client(addr);
+    let line = c.analyze(SRC).unwrap();
+
+    let svc = Service::start(ServiceConfig::default()).unwrap();
+    let frame = format!(
+        "{{\"id\": {}, \"verb\": \"analyze\", \"program\": {}}}",
+        1,
+        Json::Str(SRC.into())
+    );
+    let direct = svc.handle_frame(frame.as_bytes());
+    svc.shutdown();
+    svc.join_workers();
+
+    // Ids differ (client picks its own); compare the result payloads.
+    let over_wire = Json::parse(line.as_bytes()).unwrap();
+    let in_proc = Json::parse(direct.line.as_bytes()).unwrap();
+    assert_eq!(
+        over_wire.get("result").unwrap().to_string(),
+        in_proc.get("result").unwrap().to_string()
+    );
+
+    stop(addr, handle);
+}

@@ -1,4 +1,9 @@
-//! The in-crate binary codec for persisted records.
+//! The binary codec for persisted records, built on the shared
+//! primitives in [`arrayflow_wire::codec`] (extracted from this crate in
+//! PR 6 so the segment log and the binary wire protocol share one
+//! implementation — the byte-compatibility tests in
+//! `tests/byte_compat.rs` pin the encoding against pre-extraction
+//! golden bytes).
 //!
 //! Integers are LEB128 varints, fingerprints are fixed 16-byte
 //! little-endian, sequences are count-prefixed. Encoding is canonical
@@ -17,65 +22,11 @@ use arrayflow_core::RefId;
 use arrayflow_engine::{AnalysisReport, CacheKey, InstanceStats, ProblemSet};
 use arrayflow_ir::stmt::StmtId;
 use arrayflow_ir::Fingerprint;
+use arrayflow_wire::codec::{put_bool, put_u128, put_usize, put_varint, Reader};
 
-/// Why a decode failed. The variants are diagnostic only — every failure
-/// is handled the same way (skip the record, count it).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DecodeError {
-    /// Input ended before the value did.
-    Truncated,
-    /// A varint ran past 10 bytes or overflowed 64 bits.
-    BadVarint,
-    /// An enum discriminant, bool or bit set had an invalid value.
-    BadDiscriminant,
-    /// A sequence count exceeds what the remaining input could hold.
-    BadCount,
-    /// Decoding finished with input left over (the payload length lied).
-    TrailingBytes,
-}
-
-impl std::fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecodeError::Truncated => write!(f, "input truncated"),
-            DecodeError::BadVarint => write!(f, "malformed varint"),
-            DecodeError::BadDiscriminant => write!(f, "invalid discriminant"),
-            DecodeError::BadCount => write!(f, "sequence count exceeds input"),
-            DecodeError::TrailingBytes => write!(f, "trailing bytes after value"),
-        }
-    }
-}
-
-impl std::error::Error for DecodeError {}
-
-/// Shorthand for decode results.
-pub type DecodeResult<T> = Result<T, DecodeError>;
+pub use arrayflow_wire::codec::{DecodeError, DecodeResult};
 
 // ---------------------------------------------------------------- write
-
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-fn put_usize(out: &mut Vec<u8>, v: usize) {
-    put_varint(out, v as u64);
-}
-
-fn put_u128(out: &mut Vec<u8>, v: u128) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_bool(out: &mut Vec<u8>, v: bool) {
-    out.push(v as u8);
-}
 
 fn put_instance_stats(out: &mut Vec<u8>, s: &Option<InstanceStats>) {
     match s {
@@ -92,105 +43,21 @@ fn put_instance_stats(out: &mut Vec<u8>, s: &Option<InstanceStats>) {
 
 // ----------------------------------------------------------------- read
 
-/// A bounds-checked cursor over untrusted bytes.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+fn read_instance_stats(r: &mut Reader<'_>) -> DecodeResult<Option<InstanceStats>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(InstanceStats {
+            init_visits: r.usize()?,
+            iter_visits: r.usize()?,
+            passes: r.usize()?,
+            changing_passes: r.usize()?,
+        })),
+        _ => Err(DecodeError::BadDiscriminant),
+    }
 }
 
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn u8(&mut self) -> DecodeResult<u8> {
-        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
-        self.pos += 1;
-        Ok(b)
-    }
-
-    fn varint(&mut self) -> DecodeResult<u64> {
-        let mut v: u64 = 0;
-        for shift in (0..64).step_by(7) {
-            let byte = self.u8()?;
-            let bits = (byte & 0x7F) as u64;
-            if shift == 63 && bits > 1 {
-                return Err(DecodeError::BadVarint); // overflows u64
-            }
-            v |= bits << shift;
-            if byte & 0x80 == 0 {
-                return Ok(v);
-            }
-        }
-        Err(DecodeError::BadVarint)
-    }
-
-    fn usize(&mut self) -> DecodeResult<usize> {
-        let v = self.varint()?;
-        usize::try_from(v).map_err(|_| DecodeError::BadVarint)
-    }
-
-    fn u32(&mut self) -> DecodeResult<u32> {
-        let v = self.varint()?;
-        u32::try_from(v).map_err(|_| DecodeError::BadVarint)
-    }
-
-    fn u128(&mut self) -> DecodeResult<u128> {
-        if self.remaining() < 16 {
-            return Err(DecodeError::Truncated);
-        }
-        let mut bytes = [0u8; 16];
-        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 16]);
-        self.pos += 16;
-        Ok(u128::from_le_bytes(bytes))
-    }
-
-    fn bool(&mut self) -> DecodeResult<bool> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            _ => Err(DecodeError::BadDiscriminant),
-        }
-    }
-
-    /// Reads a sequence count and sanity-checks it against the remaining
-    /// input (each element takes at least `min_bytes`), so a corrupt
-    /// count cannot drive a huge allocation.
-    fn count(&mut self, min_bytes: usize) -> DecodeResult<usize> {
-        let n = self.usize()?;
-        if n.saturating_mul(min_bytes.max(1)) > self.remaining() {
-            return Err(DecodeError::BadCount);
-        }
-        Ok(n)
-    }
-
-    fn instance_stats(&mut self) -> DecodeResult<Option<InstanceStats>> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(InstanceStats {
-                init_visits: self.usize()?,
-                iter_visits: self.usize()?,
-                passes: self.usize()?,
-                changing_passes: self.usize()?,
-            })),
-            _ => Err(DecodeError::BadDiscriminant),
-        }
-    }
-
-    fn problem_set(&mut self) -> DecodeResult<ProblemSet> {
-        ProblemSet::from_bits(self.u8()?).ok_or(DecodeError::BadDiscriminant)
-    }
-
-    fn finish(self) -> DecodeResult<()> {
-        if self.remaining() != 0 {
-            return Err(DecodeError::TrailingBytes);
-        }
-        Ok(())
-    }
+fn read_problem_set(r: &mut Reader<'_>) -> DecodeResult<ProblemSet> {
+    ProblemSet::from_bits(r.u8()?).ok_or(DecodeError::BadDiscriminant)
 }
 
 // ------------------------------------------------------------- key
@@ -205,7 +72,7 @@ pub fn encode_key_into(out: &mut Vec<u8>, key: &CacheKey) {
 fn decode_key(r: &mut Reader<'_>) -> DecodeResult<CacheKey> {
     Ok(CacheKey {
         fingerprint: Fingerprint(r.u128()?),
-        problems: r.problem_set()?,
+        problems: read_problem_set(r)?,
         dep_max_distance: r.varint()?,
     })
 }
@@ -267,14 +134,14 @@ pub fn encode_report(report: &AnalysisReport) -> Vec<u8> {
 
 fn decode_report_inner(r: &mut Reader<'_>) -> DecodeResult<AnalysisReport> {
     let fingerprint = Fingerprint(r.u128()?);
-    let problems = r.problem_set()?;
+    let problems = read_problem_set(r)?;
     let dep_max_distance = r.varint()?;
     let nodes = r.usize()?;
     let sites = r.usize()?;
-    let reaching_stats = r.instance_stats()?;
-    let available_stats = r.instance_stats()?;
-    let busy_stats = r.instance_stats()?;
-    let reaching_refs_stats = r.instance_stats()?;
+    let reaching_stats = read_instance_stats(r)?;
+    let available_stats = read_instance_stats(r)?;
+    let busy_stats = read_instance_stats(r)?;
+    let reaching_refs_stats = read_instance_stats(r)?;
 
     let n = r.count(5)?; // use_site, gen, gen_site, distance, flag
     let mut reuses = Vec::with_capacity(n);
@@ -526,16 +393,5 @@ mod tests {
         bytes.extend_from_slice(&body[..body.len() - 3]);
         bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]);
         assert!(decode_record(&bytes).is_err());
-    }
-
-    #[test]
-    fn varint_boundaries() {
-        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
-            let mut out = Vec::new();
-            put_varint(&mut out, v);
-            let mut r = Reader::new(&out);
-            assert_eq!(r.varint().unwrap(), v);
-            assert_eq!(r.remaining(), 0);
-        }
     }
 }

@@ -1,61 +1,10 @@
-//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven, built at
-//! compile time — the workspace stays zero-dependency.
+//! CRC-32, re-exported from the shared wire layer.
 //!
-//! Every record in the segment log carries the CRC of its payload;
-//! recovery treats a mismatch as a torn or corrupted record and skips it
-//! rather than trusting the bytes.
+//! The implementation was born here (PR 3) and moved to
+//! [`arrayflow_wire::crc`] in PR 6 so the segment log and the binary
+//! wire protocol checksum with one table. This shim keeps the store's
+//! public `crc::crc32` path stable; every record in the segment log
+//! still carries the CRC of its payload, and recovery treats a mismatch
+//! as a torn or corrupted record.
 
-const fn make_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = make_table();
-
-/// CRC-32 of `bytes` (IEEE reflected, init and final XOR `0xFFFFFFFF`).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn known_vectors() {
-        // The standard check value for CRC-32/ISO-HDLC.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(
-            crc32(b"The quick brown fox jumps over the lazy dog"),
-            0x414F_A339
-        );
-    }
-
-    #[test]
-    fn single_bit_flip_changes_crc() {
-        let a = b"some record payload".to_vec();
-        let mut b = a.clone();
-        b[4] ^= 0x01;
-        assert_ne!(crc32(&a), crc32(&b));
-    }
-}
+pub use arrayflow_wire::crc::crc32;

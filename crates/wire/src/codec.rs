@@ -1,0 +1,247 @@
+//! Shared binary codec primitives: LEB128 varints and a bounds-checked
+//! reader over untrusted bytes.
+//!
+//! These were born in `arrayflow-store` (PR 3) as the persistence codec
+//! and are now the one implementation shared by the segment log *and* the
+//! binary wire protocol — the store's byte-compatibility tests pin the
+//! encoding, so existing `seg-*.log` segments and network peers agree on
+//! every byte.
+//!
+//! Encoding is canonical: minimal varints, fixed field order,
+//! little-endian fixed-width fields. Decoding is fully defensive: every
+//! read is bounds-checked, sequence counts are validated against the
+//! remaining input before allocation, and no input — however hostile —
+//! panics.
+
+/// Why a decode failed. The variants are diagnostic only — every failure
+/// is handled the same way (reject the value, count it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value did.
+    Truncated,
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    BadVarint,
+    /// An enum discriminant, bool or bit set had an invalid value.
+    BadDiscriminant,
+    /// A sequence count exceeds what the remaining input could hold.
+    BadCount,
+    /// Decoding finished with input left over (the payload length lied).
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadVarint => write!(f, "malformed varint"),
+            DecodeError::BadDiscriminant => write!(f, "invalid discriminant"),
+            DecodeError::BadCount => write!(f, "sequence count exceeds input"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Shorthand for decode results.
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+// ---------------------------------------------------------------- write
+
+/// Appends `v` as a minimal LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a `usize` as a varint.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_varint(out, v as u64);
+}
+
+/// Appends a `u128` as 16 little-endian bytes.
+pub fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a bool as one byte (0 or 1).
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Appends `bytes` prefixed with its varint length.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+// ----------------------------------------------------------------- read
+
+/// A bounds-checked cursor over untrusted bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts a cursor at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> DecodeResult<u8> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint (at most 10 bytes, must fit in 64 bits).
+    pub fn varint(&mut self) -> DecodeResult<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7F) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(DecodeError::BadVarint); // overflows u64
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::BadVarint)
+    }
+
+    /// Reads a varint that must fit a `usize`.
+    pub fn usize(&mut self) -> DecodeResult<usize> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| DecodeError::BadVarint)
+    }
+
+    /// Reads a varint that must fit a `u32`.
+    pub fn u32(&mut self) -> DecodeResult<u32> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| DecodeError::BadVarint)
+    }
+
+    /// Reads 16 little-endian bytes as a `u128`.
+    pub fn u128(&mut self) -> DecodeResult<u128> {
+        if self.remaining() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 16]);
+        self.pos += 16;
+        Ok(u128::from_le_bytes(bytes))
+    }
+
+    /// Reads a strict bool (0 or 1).
+    pub fn bool(&mut self) -> DecodeResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::BadDiscriminant),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a varint-length-prefixed byte string (the inverse of
+    /// [`put_bytes`]); the length is checked against the remaining input
+    /// before any slice is taken.
+    pub fn len_bytes(&mut self) -> DecodeResult<&'a [u8]> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(DecodeError::BadCount);
+        }
+        self.bytes(n)
+    }
+
+    /// Reads a sequence count and sanity-checks it against the remaining
+    /// input (each element takes at least `min_bytes`), so a corrupt
+    /// count cannot drive a huge allocation.
+    pub fn count(&mut self, min_bytes: usize) -> DecodeResult<usize> {
+        let n = self.usize()?;
+        if n.saturating_mul(min_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError::BadCount);
+        }
+        Ok(n)
+    }
+
+    /// Ends the decode, rejecting trailing bytes.
+    pub fn finish(self) -> DecodeResult<()> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let bytes = [0xFF; 11];
+        assert_eq!(Reader::new(&bytes).varint(), Err(DecodeError::BadVarint));
+        // 10 bytes whose top bits overflow 64 bits.
+        let bytes = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert_eq!(Reader::new(&bytes).varint(), Err(DecodeError::BadVarint));
+    }
+
+    #[test]
+    fn len_bytes_round_trips_and_bounds() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"payload");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.len_bytes().unwrap(), b"payload");
+        r.finish().unwrap();
+
+        // A length claiming more than remains must fail before slicing.
+        let mut bad = Vec::new();
+        put_usize(&mut bad, 1_000_000);
+        bad.push(1);
+        assert_eq!(Reader::new(&bad).len_bytes(), Err(DecodeError::BadCount));
+    }
+
+    #[test]
+    fn u128_round_trips() {
+        let mut out = Vec::new();
+        put_u128(&mut out, 0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u128().unwrap(), 0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+    }
+}

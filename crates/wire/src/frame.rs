@@ -1,0 +1,424 @@
+//! The `AFWIRE01` binary frame: length-prefixed, CRC-framed, one frame
+//! per request or response.
+//!
+//! ```text
+//! ┌────────────────────────────── one frame ──────────────────────────┐
+//! │ magic "AFWIRE01" (8 bytes)                                        │
+//! │ version u8 (= 1)                                                  │
+//! │ tag u8 (request verb or response tag, see `proto`)                │
+//! │ payload_len LEB128 varint                                         │
+//! │ crc32(payload) u32 LE                                             │
+//! │ payload (payload_len bytes)                                       │
+//! └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every frame carries the magic, so framing is stateless: a reader can
+//! validate each frame independently, and protocol auto-detection only
+//! needs the first bytes of a connection ([`detect`]).
+//!
+//! The decoder enforces the payload size cap **from the length prefix,
+//! before allocating**: a frame whose declared length exceeds the cap is
+//! reported as [`FrameEvent::Oversized`] and its payload is discarded
+//! chunk-by-chunk in bounded memory — mirroring the JSON transport's
+//! `FrameReader` discipline — after which the stream stays in sync and
+//! the connection stays usable. Corrupted framing (bad magic, bad
+//! version, malformed length, CRC mismatch) is unrecoverable on a binary
+//! stream and surfaces as a [`FrameError`]; the connection should close.
+
+use std::io::{self, Read};
+
+use crate::codec::{put_varint, DecodeError, Reader};
+use crate::crc::crc32;
+
+/// Leading bytes of every binary frame.
+pub const MAGIC: [u8; 8] = *b"AFWIRE01";
+/// Protocol version carried after the magic.
+pub const VERSION: u8 = 1;
+/// Longest possible frame header: magic + version + tag + 10-byte varint
+/// + CRC.
+pub const MAX_HEADER_LEN: usize = 8 + 1 + 1 + 10 + 4;
+
+/// Why a binary stream became undecodable. Unlike an oversized payload
+/// (a well-framed frame that is merely too big), these mean the framing
+/// itself cannot be trusted; the connection should be closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first bytes were not the `AFWIRE01` magic.
+    BadMagic,
+    /// The version byte was not [`VERSION`].
+    BadVersion(u8),
+    /// The payload length varint was malformed.
+    BadLength,
+    /// The payload did not match its CRC.
+    BadCrc,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic (expected AFWIRE01)"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadLength => write!(f, "malformed payload length"),
+            FrameError::BadCrc => write!(f, "payload CRC mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// What [`FrameDecoder::next`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete, CRC-validated frame.
+    Frame {
+        /// The tag byte (request verb or response tag).
+        tag: u8,
+        /// The validated payload.
+        payload: Vec<u8>,
+    },
+    /// A well-framed payload whose declared length exceeds the cap. The
+    /// payload was **not** allocated; it is discarded as it streams in,
+    /// and the next frame decodes normally.
+    Oversized {
+        /// The tag byte of the rejected frame.
+        tag: u8,
+        /// The length its prefix declared.
+        declared: u64,
+    },
+}
+
+/// Encodes one frame around `payload`.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAX_HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(tag);
+    put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// How the first bytes of a connection classify its protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detect {
+    /// The prefix matches the binary magic (all 8 bytes seen).
+    Binary,
+    /// The prefix diverges from the magic: newline-framed JSON.
+    Json,
+    /// Fewer than 8 bytes seen, all matching the magic so far.
+    NeedMore,
+}
+
+/// Classifies a connection from its first bytes. Binary requires the full
+/// 8-byte magic; any earlier divergence means JSON (a JSON request is an
+/// object, so its first byte `{` — or any hostile byte — diverges at
+/// position 0 unless the client really is speaking `AFWIRE01`).
+pub fn detect(prefix: &[u8]) -> Detect {
+    let n = prefix.len().min(MAGIC.len());
+    if prefix[..n] != MAGIC[..n] {
+        return Detect::Json;
+    }
+    if prefix.len() >= MAGIC.len() {
+        Detect::Binary
+    } else {
+        Detect::NeedMore
+    }
+}
+
+/// An incremental frame decoder with a hard payload cap, suitable for a
+/// nonblocking event loop: feed it whatever bytes arrived, then drain
+/// events.
+pub struct FrameDecoder {
+    max_payload: usize,
+    buf: Vec<u8>,
+    /// Remaining bytes of an oversized payload being discarded.
+    skip: u64,
+}
+
+impl FrameDecoder {
+    /// A decoder rejecting payloads longer than `max_payload` (from the
+    /// length prefix, before any allocation).
+    pub fn new(max_payload: usize) -> Self {
+        FrameDecoder {
+            max_payload,
+            buf: Vec::new(),
+            skip: 0,
+        }
+    }
+
+    /// Appends newly received bytes. While discarding an oversized
+    /// payload, consumed bytes are never buffered — memory stays bounded
+    /// by one read chunk plus one frame header.
+    pub fn extend(&mut self, mut bytes: &[u8]) {
+        if self.skip > 0 {
+            let d = (self.skip).min(bytes.len() as u64) as usize;
+            self.skip -= d as u64;
+            bytes = &bytes[d..];
+        }
+        if !bytes.is_empty() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes currently buffered (payload in flight).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next event, `Ok(None)` when more bytes are needed.
+    /// Errors are sticky in practice: the stream is desynced and the
+    /// caller should close the connection.
+    // Not `Iterator`: `Ok(None)` means "need more bytes", not exhaustion,
+    // and the error must stop iteration — neither fits the trait contract.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<FrameEvent>, FrameError> {
+        // Finish discarding an oversized payload that was partly buffered.
+        if self.skip > 0 {
+            let d = (self.skip).min(self.buf.len() as u64) as usize;
+            self.buf.drain(..d);
+            self.skip -= d as u64;
+            if self.skip > 0 {
+                return Ok(None);
+            }
+        }
+        // Early magic check: reject as soon as any prefix byte diverges.
+        let n = self.buf.len().min(MAGIC.len());
+        if self.buf[..n] != MAGIC[..n] {
+            return Err(FrameError::BadMagic);
+        }
+        let mut r = Reader::new(&self.buf);
+        let header = (|| -> Result<Option<(u8, u64, u32, usize)>, FrameError> {
+            match r.bytes(MAGIC.len()) {
+                Ok(_) => {}
+                Err(_) => return Ok(None),
+            }
+            let version = match r.u8() {
+                Ok(v) => v,
+                Err(_) => return Ok(None),
+            };
+            if version != VERSION {
+                return Err(FrameError::BadVersion(version));
+            }
+            let tag = match r.u8() {
+                Ok(t) => t,
+                Err(_) => return Ok(None),
+            };
+            let len = match r.varint() {
+                Ok(l) => l,
+                Err(DecodeError::Truncated) => return Ok(None),
+                Err(_) => return Err(FrameError::BadLength),
+            };
+            let crc = match r.bytes(4) {
+                Ok(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+                Err(_) => return Ok(None),
+            };
+            let header_len = self.buf.len() - r.remaining();
+            Ok(Some((tag, len, crc, header_len)))
+        })()?;
+        let Some((tag, len, crc, header_len)) = header else {
+            return Ok(None);
+        };
+        if len > self.max_payload as u64 {
+            // Reject from the prefix: consume the header, discard the
+            // payload as it arrives, never allocate it.
+            self.buf.drain(..header_len);
+            self.skip = len;
+            let d = (self.skip).min(self.buf.len() as u64) as usize;
+            self.buf.drain(..d);
+            self.skip -= d as u64;
+            return Ok(Some(FrameEvent::Oversized { tag, declared: len }));
+        }
+        let len = len as usize;
+        if self.buf.len() < header_len + len {
+            return Ok(None);
+        }
+        let payload = self.buf[header_len..header_len + len].to_vec();
+        self.buf.drain(..header_len + len);
+        if crc32(&payload) != crc {
+            return Err(FrameError::BadCrc);
+        }
+        Ok(Some(FrameEvent::Frame { tag, payload }))
+    }
+}
+
+/// Reads exactly one frame from a blocking reader (the client side).
+/// Framing errors and oversized payloads surface as
+/// `io::ErrorKind::InvalidData`.
+pub fn read_frame(reader: &mut impl Read, max_payload: usize) -> io::Result<(u8, Vec<u8>)> {
+    let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+    let mut head = [0u8; 10];
+    reader.read_exact(&mut head)?;
+    if head[..8] != MAGIC {
+        return Err(invalid(FrameError::BadMagic.to_string()));
+    }
+    if head[8] != VERSION {
+        return Err(invalid(FrameError::BadVersion(head[8]).to_string()));
+    }
+    let tag = head[9];
+    // Varint length, one byte at a time.
+    let mut len: u64 = 0;
+    let mut byte = [0u8; 1];
+    for shift in (0..64).step_by(7) {
+        reader.read_exact(&mut byte)?;
+        let bits = (byte[0] & 0x7F) as u64;
+        if shift == 63 && bits > 1 {
+            return Err(invalid(FrameError::BadLength.to_string()));
+        }
+        len |= bits << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        if shift == 63 {
+            return Err(invalid(FrameError::BadLength.to_string()));
+        }
+    }
+    if len > max_payload as u64 {
+        return Err(invalid(format!("frame payload of {len} bytes exceeds cap")));
+    }
+    let mut crc_bytes = [0u8; 4];
+    reader.read_exact(&mut crc_bytes)?;
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    if crc32(&payload) != u32::from_le_bytes(crc_bytes) {
+        return Err(invalid(FrameError::BadCrc.to_string()));
+    }
+    Ok((tag, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_whole_and_byte_by_byte() {
+        let frame = encode_frame(0x02, b"hello payload");
+        // Whole.
+        let mut d = FrameDecoder::new(1 << 20);
+        d.extend(&frame);
+        match d.next().unwrap().unwrap() {
+            FrameEvent::Frame { tag, payload } => {
+                assert_eq!(tag, 0x02);
+                assert_eq!(payload, b"hello payload");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.next().unwrap(), None);
+        // One byte at a time.
+        let mut d = FrameDecoder::new(1 << 20);
+        let mut got = 0;
+        for b in &frame {
+            d.extend(std::slice::from_ref(b));
+            while let Some(ev) = d.next().unwrap() {
+                assert!(matches!(ev, FrameEvent::Frame { .. }));
+                got += 1;
+            }
+        }
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn oversized_is_rejected_from_the_prefix_without_allocation() {
+        // Header declaring 1 GiB: the decoder must reject before the
+        // payload exists, and keep memory bounded while it streams past.
+        let mut head = Vec::new();
+        head.extend_from_slice(&MAGIC);
+        head.push(VERSION);
+        head.push(0x02);
+        put_varint(&mut head, 1 << 30);
+        head.extend_from_slice(&0u32.to_le_bytes());
+        let mut d = FrameDecoder::new(4096);
+        d.extend(&head);
+        assert_eq!(
+            d.next().unwrap(),
+            Some(FrameEvent::Oversized {
+                tag: 0x02,
+                declared: 1 << 30
+            })
+        );
+        // Stream the (discarded) payload through in chunks, then a good
+        // frame: memory stays bounded and the stream resyncs.
+        let chunk = vec![0xAB; 64 * 1024];
+        let mut sent = 0u64;
+        while sent < 1 << 30 {
+            let n = chunk.len().min(((1u64 << 30) - sent) as usize);
+            d.extend(&chunk[..n]);
+            sent += n as u64;
+            assert!(
+                d.buffered() <= chunk.len(),
+                "decoder buffered a rejected payload"
+            );
+            assert_eq!(d.next().unwrap(), None);
+        }
+        let good = encode_frame(0x01, b"ok");
+        d.extend(&good);
+        assert!(matches!(
+            d.next().unwrap(),
+            Some(FrameEvent::Frame { tag: 0x01, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_framing_is_an_error() {
+        // Bad magic.
+        let mut d = FrameDecoder::new(4096);
+        d.extend(b"XFWIRE01");
+        assert_eq!(d.next(), Err(FrameError::BadMagic));
+        // Early divergence: one wrong byte is enough.
+        let mut d = FrameDecoder::new(4096);
+        d.extend(b"AX");
+        assert_eq!(d.next(), Err(FrameError::BadMagic));
+        // Bad version.
+        let mut d = FrameDecoder::new(4096);
+        let mut f = encode_frame(0x01, b"x");
+        f[8] = 9;
+        d.extend(&f);
+        assert_eq!(d.next(), Err(FrameError::BadVersion(9)));
+        // Bad CRC.
+        let mut d = FrameDecoder::new(4096);
+        let mut f = encode_frame(0x01, b"payload");
+        let n = f.len();
+        f[n - 1] ^= 0x40;
+        d.extend(&f);
+        assert_eq!(d.next(), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn truncation_never_panics_and_stays_pending() {
+        let frame = encode_frame(0x02, b"some payload here");
+        for cut in 0..frame.len() {
+            let mut d = FrameDecoder::new(4096);
+            d.extend(&frame[..cut]);
+            assert_eq!(d.next().unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn detect_classifies_prefixes() {
+        assert_eq!(detect(b"{\"verb\""), Detect::Json);
+        assert_eq!(detect(b"AFWIRE01"), Detect::Binary);
+        assert_eq!(detect(b"AFWIRE0"), Detect::NeedMore);
+        assert_eq!(detect(b"AFWIRE0X"), Detect::Json);
+        assert_eq!(detect(b""), Detect::NeedMore);
+        assert_eq!(detect(b"A"), Detect::NeedMore);
+        assert_eq!(detect(b"B"), Detect::Json);
+    }
+
+    #[test]
+    fn blocking_read_frame_round_trips() {
+        let frame = encode_frame(0x03, b"stats please");
+        let mut cursor = &frame[..];
+        let (tag, payload) = read_frame(&mut cursor, 1 << 20).unwrap();
+        assert_eq!((tag, payload.as_slice()), (0x03, &b"stats please"[..]));
+        // Oversized via blocking read is InvalidData, not an allocation.
+        let mut head = Vec::new();
+        head.extend_from_slice(&MAGIC);
+        head.push(VERSION);
+        head.push(0x02);
+        put_varint(&mut head, u64::MAX / 2);
+        head.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = &head[..];
+        let err = read_frame(&mut cursor, 4096).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

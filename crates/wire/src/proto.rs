@@ -1,0 +1,481 @@
+//! Binary protocol messages: what goes inside an `AFWIRE01` frame.
+//!
+//! One request frame yields exactly one response frame. Requests carry a
+//! client-chosen `id` that the response echoes, so a pipelining client can
+//! match responses without relying on ordering (the server does preserve
+//! per-connection order, but the id makes the contract checkable).
+//!
+//! Analysis reports travel as **opaque store-codec bytes**
+//! (`arrayflow-store`'s `encode_report`): the server ships the stored
+//! encoding directly on a cache hit and the client decodes it with the
+//! same shared codec — no re-serialization on the hot path.
+//!
+//! ```text
+//! request tags            response tags
+//!   0x01 Ping               0x81 Ok   (body kind: 0 text, 1 analyze)
+//!   0x02 Analyze            0x82 Err  (kind byte + message)
+//!   0x03 Stats
+//!   0x04 Metrics
+//!   0x05 Compact
+//!   0x06 Shutdown
+//! ```
+
+use crate::codec::{put_bytes, put_u128, put_varint, DecodeError, DecodeResult, Reader};
+
+/// Request frame tags.
+pub const TAG_PING: u8 = 0x01;
+/// Analyze: source and/or fingerprint.
+pub const TAG_ANALYZE: u8 = 0x02;
+/// Service stats snapshot (JSON text body).
+pub const TAG_STATS: u8 = 0x03;
+/// Metrics exposition (text body).
+pub const TAG_METRICS: u8 = 0x04;
+/// Persistent-tier compaction.
+pub const TAG_COMPACT: u8 = 0x05;
+/// Graceful shutdown.
+pub const TAG_SHUTDOWN: u8 = 0x06;
+/// Response frame tag: success.
+pub const TAG_OK: u8 = 0x81;
+/// Response frame tag: error.
+pub const TAG_ERR: u8 = 0x82;
+
+const BODY_TEXT: u8 = 0;
+const BODY_ANALYZE: u8 = 1;
+
+const FLAG_SOURCE: u8 = 1 << 0;
+const FLAG_FINGERPRINT: u8 = 1 << 1;
+const FLAG_PROBLEMS: u8 = 1 << 2;
+const FLAG_DISTANCE: u8 = 1 << 3;
+
+/// An analyze request: at least one of `source` / `fingerprint` must be
+/// present. With only a fingerprint the server probes its caches and
+/// never parses; with source it can always fall back to full analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// Canonical 128-bit fingerprint (little-endian bytes) of the
+    /// program's outermost loop, if the client precomputed it.
+    pub fingerprint: Option<[u8; 16]>,
+    /// Problem-set bits (engine `ProblemSet::bits`); server default when
+    /// absent.
+    pub problems: Option<u8>,
+    /// Dependence distance bound; server default when absent.
+    pub distance_bound: Option<u64>,
+    /// DSL program source (UTF-8), if supplied.
+    pub source: Option<Vec<u8>>,
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping {
+        /// Echoed id.
+        id: u64,
+    },
+    /// Run (or look up) an analysis.
+    Analyze(AnalyzeRequest),
+    /// Service stats snapshot.
+    Stats {
+        /// Echoed id.
+        id: u64,
+    },
+    /// Metrics exposition.
+    Metrics {
+        /// Echoed id.
+        id: u64,
+    },
+    /// Compact the persistent tier.
+    Compact {
+        /// Echoed id.
+        id: u64,
+    },
+    /// Graceful shutdown.
+    Shutdown {
+        /// Echoed id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The frame tag for this request.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Request::Ping { .. } => TAG_PING,
+            Request::Analyze(_) => TAG_ANALYZE,
+            Request::Stats { .. } => TAG_STATS,
+            Request::Metrics { .. } => TAG_METRICS,
+            Request::Compact { .. } => TAG_COMPACT,
+            Request::Shutdown { .. } => TAG_SHUTDOWN,
+        }
+    }
+
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Metrics { id }
+            | Request::Compact { id }
+            | Request::Shutdown { id } => *id,
+            Request::Analyze(a) => a.id,
+        }
+    }
+
+    /// Encodes the frame payload (not the frame itself).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Metrics { id }
+            | Request::Compact { id }
+            | Request::Shutdown { id } => put_varint(&mut out, *id),
+            Request::Analyze(a) => {
+                put_varint(&mut out, a.id);
+                let mut flags = 0u8;
+                if a.source.is_some() {
+                    flags |= FLAG_SOURCE;
+                }
+                if a.fingerprint.is_some() {
+                    flags |= FLAG_FINGERPRINT;
+                }
+                if a.problems.is_some() {
+                    flags |= FLAG_PROBLEMS;
+                }
+                if a.distance_bound.is_some() {
+                    flags |= FLAG_DISTANCE;
+                }
+                out.push(flags);
+                if let Some(fp) = &a.fingerprint {
+                    out.extend_from_slice(fp);
+                }
+                if let Some(p) = a.problems {
+                    out.push(p);
+                }
+                if let Some(d) = a.distance_bound {
+                    put_varint(&mut out, d);
+                }
+                if let Some(src) = &a.source {
+                    put_bytes(&mut out, src);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a request from a frame's tag + payload.
+    pub fn decode(tag: u8, payload: &[u8]) -> DecodeResult<Request> {
+        let mut r = Reader::new(payload);
+        let id = r.varint()?;
+        let req = match tag {
+            TAG_PING => Request::Ping { id },
+            TAG_STATS => Request::Stats { id },
+            TAG_METRICS => Request::Metrics { id },
+            TAG_COMPACT => Request::Compact { id },
+            TAG_SHUTDOWN => Request::Shutdown { id },
+            TAG_ANALYZE => {
+                let flags = r.u8()?;
+                if flags & !(FLAG_SOURCE | FLAG_FINGERPRINT | FLAG_PROBLEMS | FLAG_DISTANCE) != 0 {
+                    return Err(DecodeError::BadDiscriminant);
+                }
+                let fingerprint = if flags & FLAG_FINGERPRINT != 0 {
+                    let mut fp = [0u8; 16];
+                    fp.copy_from_slice(r.bytes(16)?);
+                    Some(fp)
+                } else {
+                    None
+                };
+                let problems = if flags & FLAG_PROBLEMS != 0 {
+                    Some(r.u8()?)
+                } else {
+                    None
+                };
+                let distance_bound = if flags & FLAG_DISTANCE != 0 {
+                    Some(r.varint()?)
+                } else {
+                    None
+                };
+                let source = if flags & FLAG_SOURCE != 0 {
+                    Some(r.len_bytes()?.to_vec())
+                } else {
+                    None
+                };
+                if fingerprint.is_none() && source.is_none() {
+                    return Err(DecodeError::BadDiscriminant);
+                }
+                Request::Analyze(AnalyzeRequest {
+                    id,
+                    fingerprint,
+                    problems,
+                    distance_bound,
+                    source,
+                })
+            }
+            _ => return Err(DecodeError::BadDiscriminant),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// One analyzed loop: its canonical fingerprint plus the store-codec
+/// report bytes, shipped verbatim from cache or store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopEntry {
+    /// Canonical fingerprint (little-endian bytes).
+    pub fingerprint: [u8; 16],
+    /// `arrayflow-store` `encode_report` bytes.
+    pub report: Vec<u8>,
+}
+
+/// A successful analyze response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeOk {
+    /// Echoed request id.
+    pub id: u64,
+    /// One entry per analyzed loop, outermost-first.
+    pub loops: Vec<LoopEntry>,
+    /// Memo-cache hits for this request.
+    pub cache_hits: u64,
+    /// Memo-cache misses for this request.
+    pub cache_misses: u64,
+    /// Solver passes run.
+    pub solver_passes: u64,
+    /// Data-flow node visits.
+    pub node_visits: u64,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Text body (ping/stats/metrics/compact/shutdown results).
+    Text {
+        /// Echoed request id.
+        id: u64,
+        /// UTF-8 body (JSON for stats, exposition text for metrics, …).
+        text: String,
+    },
+    /// Analyze result.
+    Analyze(AnalyzeOk),
+    /// Error.
+    Err {
+        /// Echoed request id.
+        id: u64,
+        /// Error kind byte (service `ErrorKind` wire value).
+        kind: u8,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The frame tag for this response.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Response::Err { .. } => TAG_ERR,
+            _ => TAG_OK,
+        }
+    }
+
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Text { id, .. } | Response::Err { id, .. } => *id,
+            Response::Analyze(a) => a.id,
+        }
+    }
+
+    /// Encodes the frame payload (not the frame itself).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Text { id, text } => {
+                put_varint(&mut out, *id);
+                out.push(BODY_TEXT);
+                put_bytes(&mut out, text.as_bytes());
+            }
+            Response::Analyze(a) => {
+                put_varint(&mut out, a.id);
+                out.push(BODY_ANALYZE);
+                put_varint(&mut out, a.loops.len() as u64);
+                for l in &a.loops {
+                    put_u128(&mut out, u128::from_le_bytes(l.fingerprint));
+                    put_bytes(&mut out, &l.report);
+                }
+                put_varint(&mut out, a.cache_hits);
+                put_varint(&mut out, a.cache_misses);
+                put_varint(&mut out, a.solver_passes);
+                put_varint(&mut out, a.node_visits);
+            }
+            Response::Err { id, kind, message } => {
+                put_varint(&mut out, *id);
+                out.push(*kind);
+                put_bytes(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a response from a frame's tag + payload.
+    pub fn decode(tag: u8, payload: &[u8]) -> DecodeResult<Response> {
+        let mut r = Reader::new(payload);
+        let id = r.varint()?;
+        let resp = match tag {
+            TAG_OK => match r.u8()? {
+                BODY_TEXT => {
+                    let text = String::from_utf8(r.len_bytes()?.to_vec())
+                        .map_err(|_| DecodeError::BadDiscriminant)?;
+                    Response::Text { id, text }
+                }
+                BODY_ANALYZE => {
+                    let n = r.count(17)?; // fingerprint + at least a length byte
+                    let mut loops = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let fingerprint = r.u128()?.to_le_bytes();
+                        let report = r.len_bytes()?.to_vec();
+                        loops.push(LoopEntry {
+                            fingerprint,
+                            report,
+                        });
+                    }
+                    let cache_hits = r.varint()?;
+                    let cache_misses = r.varint()?;
+                    let solver_passes = r.varint()?;
+                    let node_visits = r.varint()?;
+                    Response::Analyze(AnalyzeOk {
+                        id,
+                        loops,
+                        cache_hits,
+                        cache_misses,
+                        solver_passes,
+                        node_visits,
+                    })
+                }
+                _ => return Err(DecodeError::BadDiscriminant),
+            },
+            TAG_ERR => {
+                let kind = r.u8()?;
+                let message = String::from_utf8(r.len_bytes()?.to_vec())
+                    .map_err(|_| DecodeError::BadDiscriminant)?;
+                Response::Err { id, kind, message }
+            }
+            _ => return Err(DecodeError::BadDiscriminant),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let payload = req.encode_payload();
+        let back = Request::decode(req.tag(), &payload).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = resp.encode_payload();
+        let back = Response::decode(resp.tag(), &payload).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping { id: 0 });
+        round_trip_request(Request::Stats { id: 7 });
+        round_trip_request(Request::Metrics { id: u64::MAX });
+        round_trip_request(Request::Compact { id: 3 });
+        round_trip_request(Request::Shutdown { id: 4 });
+        round_trip_request(Request::Analyze(AnalyzeRequest {
+            id: 42,
+            fingerprint: Some([9; 16]),
+            problems: Some(0b1111),
+            distance_bound: Some(8),
+            source: Some(b"do i = 1, n\nend".to_vec()),
+        }));
+        round_trip_request(Request::Analyze(AnalyzeRequest {
+            id: 1,
+            fingerprint: Some([0; 16]),
+            problems: None,
+            distance_bound: None,
+            source: None,
+        }));
+        round_trip_request(Request::Analyze(AnalyzeRequest {
+            id: 2,
+            fingerprint: None,
+            problems: None,
+            distance_bound: None,
+            source: Some(b"x".to_vec()),
+        }));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Text {
+            id: 5,
+            text: "pong".into(),
+        });
+        round_trip_response(Response::Analyze(AnalyzeOk {
+            id: 6,
+            loops: vec![
+                LoopEntry {
+                    fingerprint: [1; 16],
+                    report: vec![1, 2, 3, 4],
+                },
+                LoopEntry {
+                    fingerprint: [2; 16],
+                    report: vec![],
+                },
+            ],
+            cache_hits: 10,
+            cache_misses: 2,
+            solver_passes: 3,
+            node_visits: 999,
+        }));
+        round_trip_response(Response::Err {
+            id: 7,
+            kind: 2,
+            message: "deadline exceeded".into(),
+        });
+    }
+
+    #[test]
+    fn analyze_without_source_or_fingerprint_is_rejected() {
+        // flags = 0: neither source nor fingerprint.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1);
+        payload.push(0);
+        assert_eq!(
+            Request::decode(TAG_ANALYZE, &payload),
+            Err(DecodeError::BadDiscriminant)
+        );
+    }
+
+    #[test]
+    fn unknown_tags_and_flags_are_rejected() {
+        assert!(Request::decode(0x7F, &[0]).is_err());
+        assert!(Response::decode(0x00, &[0]).is_err());
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1);
+        payload.push(0xF0); // unknown flag bits
+        assert_eq!(
+            Request::decode(TAG_ANALYZE, &payload),
+            Err(DecodeError::BadDiscriminant)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Ping { id: 1 }.encode_payload();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(TAG_PING, &payload),
+            Err(DecodeError::TrailingBytes)
+        );
+    }
+}

@@ -11,7 +11,12 @@
 //! hit), a raw problem-selected `analyze`, a structured error, `stats`,
 //! and finally `shutdown`, which drains the server and stops it.
 //!
-//! Run with `cargo run --example service_client`.
+//! Run with `cargo run --example service_client`. With `--fingerprint`
+//! (unix only) the session instead runs against the event-driven server
+//! and demonstrates the binary protocol's fingerprint-first fast path:
+//! the client computes the canonical fingerprint locally
+//! ([`arrayflow::fingerprint`]) and the server answers from its cache
+//! without parsing anything.
 //!
 //! [`Client`]: arrayflow_service::Client
 
@@ -19,6 +24,9 @@ use arrayflow::prelude::*;
 use arrayflow::service::ClientError;
 
 fn main() -> std::io::Result<()> {
+    if std::env::args().any(|a| a == "--fingerprint") {
+        return fingerprint_session();
+    }
     // Server side: bind an ephemeral port and serve in the background.
     // (In production you would run the `serve` binary instead.)
     let server = Server::bind("127.0.0.1:0", ServiceConfig::default())?;
@@ -83,4 +91,67 @@ fn main() -> std::io::Result<()> {
         client.retries()
     );
     Ok(())
+}
+
+/// The `--fingerprint` walkthrough: binary protocol against the
+/// event-driven server, with the client precomputing the canonical
+/// fingerprint so repeat requests skip the parser entirely.
+#[cfg(unix)]
+fn fingerprint_session() -> std::io::Result<()> {
+    use arrayflow::service::{EventServer, ProtoMode};
+
+    let service = arrayflow::service::Service::start(ServiceConfig::default())?;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let server = EventServer::attach(listener, service);
+    let server_thread = std::thread::spawn(move || server.run(ProtoMode::Auto));
+    println!("event server on {addr} (binary protocol)\n");
+
+    let src = "do i = 1, 100 A[i+2] := A[i] + x; end";
+    // The client computes the exact cache identity the server keys
+    // reports by — no round trip needed to learn it.
+    let fp = fingerprint(src).expect("single-loop program");
+    println!("client-side fingerprint: {:032x}", u128::from_le_bytes(fp));
+
+    let mut client =
+        Client::connect(addr.to_string(), ClientConfig::default()).expect("server reachable");
+
+    // First contact: the server has never seen this loop, so the bare
+    // fingerprint probe misses — but the same request carries the source
+    // as a fallback and analyzes in full.
+    let warm = client
+        .analyze_fingerprint(fp, Some(src))
+        .expect("fingerprint analyze with source fallback");
+    assert_eq!(warm.cache_misses, 1);
+    println!("← full analysis: {} loop(s), cache miss", warm.loops.len());
+
+    // Second contact: fingerprint only, no source shipped at all. The
+    // server answers from its cache without parsing anything.
+    let hit = client
+        .analyze_fingerprint(fp, None)
+        .expect("fingerprint fast path");
+    assert_eq!(hit.cache_hits, 1);
+    assert_eq!(
+        hit.loops[0].report, warm.loops[0].report,
+        "fast path ships the very same report bytes"
+    );
+    println!("← fast path: cache hit, report byte-identical");
+
+    let metrics = client.metrics_prometheus().expect("metrics");
+    let fast_hits = metrics
+        .lines()
+        .find(|l| l.starts_with("arrayflow_fingerprint_fast_hits_total"))
+        .expect("fast-hit counter");
+    println!("← {fast_hits}");
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server thread")?;
+    println!("\nserver drained and stopped");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn fingerprint_session() -> std::io::Result<()> {
+    eprintln!("--fingerprint needs the event server, which requires unix (poll)");
+    std::process::exit(2)
 }

@@ -1,0 +1,62 @@
+//! Binary-protocol smoke against an already-running `serve` process.
+//!
+//! Connects to the address given as the first argument (default
+//! `127.0.0.1:7433`), exercises the fingerprint-first fast path end to
+//! end — full analysis with source fallback, then a bare fingerprint
+//! probe that must hit — verifies the fast path ships byte-identical
+//! report bytes, prints the server's Prometheus exposition (so callers
+//! can grep `arrayflow_fingerprint_fast_hits_total`), and shuts the
+//! server down. CI runs this against the release `serve` binary.
+//!
+//! ```text
+//! serve --listen 127.0.0.1:7433 &
+//! cargo run --example wire_smoke -- 127.0.0.1:7433
+//! ```
+
+use arrayflow::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    let mut client = Client::connect(&addr, ClientConfig::default())
+        .map_err(|e| std::io::Error::other(format!("cannot reach {addr}: {e}")))?;
+
+    let src = "do i = 1, 80 A[i+3] := A[i] + s; end";
+    let fp = fingerprint(src).expect("single-loop program");
+    eprintln!(
+        "wire_smoke: fingerprint {:032x} -> {addr}",
+        u128::from_le_bytes(fp)
+    );
+
+    // First request may miss (fresh server) or hit (warm store); either
+    // way the shipped source guarantees a full report comes back.
+    let warm = client
+        .analyze_fingerprint(fp, Some(src))
+        .map_err(|e| std::io::Error::other(format!("analyze failed: {e}")))?;
+    assert_eq!(warm.loops.len(), 1, "one loop analyzed");
+
+    // Bare probe: no source on the wire at all. Must be a cache hit with
+    // the very same report bytes.
+    let hit = client
+        .analyze_fingerprint(fp, None)
+        .map_err(|e| std::io::Error::other(format!("fast path failed: {e}")))?;
+    assert_eq!(hit.cache_hits, 1, "bare fingerprint probe must hit");
+    assert_eq!(
+        hit.loops[0].report, warm.loops[0].report,
+        "fast path must ship byte-identical report bytes"
+    );
+    eprintln!("wire_smoke: fast path hit, report byte-identical");
+
+    // The exposition goes to stdout for the caller to grep.
+    let metrics = client
+        .metrics_prometheus()
+        .map_err(|e| std::io::Error::other(format!("metrics failed: {e}")))?;
+    print!("{metrics}");
+
+    client
+        .shutdown()
+        .map_err(|e| std::io::Error::other(format!("shutdown failed: {e}")))?;
+    eprintln!("wire_smoke: ok");
+    Ok(())
+}

@@ -68,6 +68,7 @@ pub use arrayflow_opt as opt;
 pub use arrayflow_resilience as resilience;
 pub use arrayflow_service as service;
 pub use arrayflow_store as store;
+pub use arrayflow_wire as wire;
 pub use arrayflow_workloads as workloads;
 
 /// Commonly used items, re-exported for one-line imports.
@@ -80,7 +81,35 @@ pub mod prelude {
     pub use arrayflow_service::{Client, ClientConfig, Server, Service, ServiceConfig};
     pub use arrayflow_store::{Store, StoreConfig};
 
-    pub use crate::prepare;
+    pub use crate::{fingerprint, prepare};
+}
+
+/// Computes the canonical 128-bit fingerprint of a single-loop DSL
+/// program — the exact cache identity the engine and service key reports
+/// by, as little-endian bytes ready for the binary protocol's
+/// fingerprint-first fast path
+/// ([`Client::analyze_fingerprint`](arrayflow_service::Client::analyze_fingerprint)).
+///
+/// Mirrors the engine's keying precisely: normalize, renumber, then
+/// fingerprint the sole outermost loop. Errors if the program does not
+/// parse or does not consist of exactly one top-level loop.
+///
+/// ```
+/// use arrayflow::prelude::*;
+///
+/// let fp = fingerprint("do i = 1, 100 A[i+2] := A[i] + x; end").unwrap();
+/// // Alpha-equivalent loops share a fingerprint:
+/// let fp2 = fingerprint("do j = 1, 100 B[j+2] := B[j] + y; end").unwrap();
+/// assert_eq!(fp, fp2);
+/// ```
+pub fn fingerprint(source: &str) -> Result<[u8; 16], String> {
+    let mut program = ir::parse_program(source).map_err(|e| e.to_string())?;
+    ir::normalize(&mut program);
+    program.renumber();
+    let l = program
+        .sole_loop()
+        .ok_or_else(|| "program must consist of exactly one top-level loop".to_string())?;
+    Ok(ir::fingerprint_loop(l, &program.symbols).0.to_le_bytes())
 }
 
 /// The front-end preparation pipeline the paper assumes has already run
