@@ -1,0 +1,166 @@
+//! Merging per-node Prometheus expositions into one document.
+//!
+//! Nodes stamp their own series with a `node` label
+//! ([`arrayflow_obs::MetricsSnapshot::render_prometheus_with`] via
+//! `serve --node-id`), so cross-node merging never needs to *add*
+//! numbers — every series is already distinct. What the router must do
+//! is structural: group families across documents, emit one
+//! `# HELP`/`# TYPE` header per family (Prometheus rejects duplicate
+//! headers), keep families name-sorted like the single-node render, and
+//! defensively stamp `node="<id>"` onto any series a node forgot to
+//! label.
+
+use std::collections::BTreeMap;
+
+/// Merges per-node exposition documents into one. `parts` pairs each
+/// node id with the text it served for `metrics`; unlabeled series get
+/// `node="<id>"` injected so the merged document never collides.
+pub fn merge_expositions(parts: &[(&str, &str)]) -> String {
+    struct Family {
+        help: String,
+        type_line: String,
+        series: Vec<String>,
+    }
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (node, text) in parts {
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("").to_string();
+                families.entry(name).or_insert_with(|| Family {
+                    help: line.to_string(),
+                    type_line: String::new(),
+                    series: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if let Some(f) = families.get_mut(name) {
+                    if f.type_line.is_empty() {
+                        f.type_line = line.to_string();
+                    }
+                }
+            } else if !line.starts_with('#') {
+                let labeled = ensure_node_label(line, node);
+                // Series name may carry a histogram suffix; find its
+                // family by longest matching registered name.
+                let series_name = line.split(['{', ' ']).next().unwrap_or("").to_string();
+                let family = family_of(&families, &series_name);
+                families
+                    .entry(family)
+                    .or_insert_with(|| Family {
+                        help: String::new(),
+                        type_line: String::new(),
+                        series: Vec::new(),
+                    })
+                    .series
+                    .push(labeled);
+            }
+        }
+    }
+    let mut out = String::new();
+    for (_, f) in families {
+        if !f.help.is_empty() {
+            out.push_str(&f.help);
+            out.push('\n');
+        }
+        if !f.type_line.is_empty() {
+            out.push_str(&f.type_line);
+            out.push('\n');
+        }
+        for s in f.series {
+            out.push_str(&s);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The family a series line belongs to: its own name, or the name minus
+/// a histogram suffix when that bare family is registered.
+fn family_of<T>(families: &BTreeMap<String, T>, series_name: &str) -> String {
+    if families.contains_key(series_name) {
+        return series_name.to_string();
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = series_name.strip_suffix(suffix) {
+            if families.contains_key(stripped) {
+                return stripped.to_string();
+            }
+        }
+    }
+    series_name.to_string()
+}
+
+/// Stamps `node="<id>"` onto a series line that lacks a `node` label.
+fn ensure_node_label(line: &str, node: &str) -> String {
+    match line.find('{') {
+        Some(open) => {
+            // Labeled series: check the label section for an existing
+            // node label before the closing brace.
+            let close = line.rfind('}').unwrap_or(line.len());
+            let labels = &line[open + 1..close];
+            if labels.starts_with("node=\"") || labels.contains(",node=\"") {
+                line.to_string()
+            } else {
+                format!("{}{{node=\"{node}\",{}", &line[..open], &line[open + 1..])
+            }
+        }
+        None => match line.find(' ') {
+            Some(sp) => format!("{}{{node=\"{node}\"}}{}", &line[..sp], &line[sp..]),
+            None => line.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayflow_obs::Registry;
+
+    #[test]
+    fn merge_keeps_one_header_and_all_series() {
+        let make = |node: &str, v: u64| {
+            let r = Registry::new();
+            r.counter("af_x_total", "x things").add(v);
+            r.snapshot().render_prometheus_with(&[("node", node)])
+        };
+        let a = make("a", 3);
+        let b = make("b", 5);
+        let merged = merge_expositions(&[("a", &a), ("b", &b)]);
+        assert_eq!(merged.matches("# HELP af_x_total").count(), 1, "{merged}");
+        assert_eq!(merged.matches("# TYPE af_x_total").count(), 1, "{merged}");
+        assert!(merged.contains("af_x_total{node=\"a\"} 3"), "{merged}");
+        assert!(merged.contains("af_x_total{node=\"b\"} 5"), "{merged}");
+    }
+
+    #[test]
+    fn unlabeled_series_get_stamped() {
+        let r = Registry::new();
+        r.counter("bare_total", "no labels").inc();
+        r.counter_with("lbl_total", "labeled", &[("k", "v")]).inc();
+        let text = r.snapshot().render_prometheus();
+        let merged = merge_expositions(&[("n7", &text)]);
+        assert!(merged.contains("bare_total{node=\"n7\"} 1"), "{merged}");
+        assert!(
+            merged.contains("lbl_total{node=\"n7\",k=\"v\"} 1"),
+            "{merged}"
+        );
+    }
+
+    #[test]
+    fn histogram_suffixes_stay_with_their_family() {
+        let r = Registry::new();
+        let h = r.histogram_with("lat_us", "latency", &[], &[10, 100]);
+        h.observe(5);
+        let text = r.snapshot().render_prometheus_with(&[("node", "a")]);
+        let merged = merge_expositions(&[("a", &text)]);
+        // Headers once, then bucket/sum/count series under the family.
+        assert_eq!(merged.matches("# TYPE lat_us histogram").count(), 1);
+        let type_pos = merged.find("# TYPE lat_us").unwrap();
+        let bucket_pos = merged.find("lat_us_bucket").unwrap();
+        assert!(bucket_pos > type_pos, "{merged}");
+        assert!(merged.contains("lat_us_count{node=\"a\"} 1"), "{merged}");
+    }
+}

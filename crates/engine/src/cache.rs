@@ -40,6 +40,31 @@ pub struct CacheKey {
     pub dep_max_distance: u64,
 }
 
+impl CacheKey {
+    /// The 64-bit routing hash of this key's fingerprint — see
+    /// [`fingerprint_route_hash`]. Problem-set / distance variants of one
+    /// loop share the hash on purpose: a cluster routes by *loop*, so all
+    /// analyses of one program hit the same node's caches.
+    pub fn route_hash(&self) -> u64 {
+        fingerprint_route_hash(self.fingerprint)
+    }
+}
+
+/// Folds a canonical 128-bit fingerprint into the 64-bit routing hash
+/// used for cluster sharding. The fingerprint is already uniform, but
+/// this runs the folded halves through a splitmix64 finalizer anyway so
+/// any structure a future fingerprint revision introduces cannot skew
+/// ring placement. Stable across processes and releases by contract:
+/// routers and nodes must agree on it.
+pub fn fingerprint_route_hash(fingerprint: Fingerprint) -> u64 {
+    let fp = fingerprint.0;
+    let mut z = (fp as u64) ^ ((fp >> 64) as u64);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// How a full shard chooses a victim.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum EvictionPolicy {

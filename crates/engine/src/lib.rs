@@ -45,7 +45,9 @@ pub mod cache;
 pub mod engine;
 pub mod report;
 
-pub use cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
+pub use cache::{
+    fingerprint_route_hash, CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier,
+};
 pub use engine::{
     passes_to_fix, AnalysisError, BatchResult, Engine, EngineConfig, EngineStats, LoopReport,
     QueryStats, SOLVER_PASS_BUCKETS,

@@ -268,11 +268,20 @@ fn escape_label(v: &str) -> String {
     out
 }
 
-fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
-    let mut parts: Vec<String> = labels
+fn render_labels(
+    prefix: &[(&str, &str)],
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut parts: Vec<String> = prefix
         .iter()
         .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
         .collect();
+    parts.extend(
+        labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))),
+    );
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
     }
@@ -305,6 +314,15 @@ impl MetricsSnapshot {
     /// `_bucket{le="..."}` series plus `_sum`/`_count` for histograms.
     /// Families are sorted by name; instances keep registration order.
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_with(&[])
+    }
+
+    /// Like [`MetricsSnapshot::render_prometheus`], but stamps `extra`
+    /// label pairs (e.g. `node="a"`) onto every series, ahead of the
+    /// instrument's own labels. This is how a cluster node's exposition
+    /// stays distinguishable after a router merges the fleet's scrapes
+    /// into one document.
+    pub fn render_prometheus_with(&self, extra: &[(&str, &str)]) -> String {
         // Group by family name, preserving instance registration order
         // within each family.
         let mut families: BTreeMap<&str, Vec<&Metric>> = BTreeMap::new();
@@ -319,7 +337,8 @@ impl MetricsSnapshot {
             for m in metrics {
                 match &m.value {
                     MetricValue::Counter(v) | MetricValue::Gauge(v) => {
-                        let _ = writeln!(out, "{name}{} {v}", render_labels(&m.labels, None));
+                        let _ =
+                            writeln!(out, "{name}{} {v}", render_labels(extra, &m.labels, None));
                     }
                     MetricValue::Histogram(h) => {
                         let mut cumulative = 0u64;
@@ -328,25 +347,25 @@ impl MetricsSnapshot {
                             let _ = writeln!(
                                 out,
                                 "{name}_bucket{} {cumulative}",
-                                render_labels(&m.labels, Some(("le", &edge.to_string())))
+                                render_labels(extra, &m.labels, Some(("le", &edge.to_string())))
                             );
                         }
                         cumulative += h.buckets[h.edges.len()];
                         let _ = writeln!(
                             out,
                             "{name}_bucket{} {cumulative}",
-                            render_labels(&m.labels, Some(("le", "+Inf")))
+                            render_labels(extra, &m.labels, Some(("le", "+Inf")))
                         );
                         let _ = writeln!(
                             out,
                             "{name}_sum{} {}",
-                            render_labels(&m.labels, None),
+                            render_labels(extra, &m.labels, None),
                             h.sum
                         );
                         let _ = writeln!(
                             out,
                             "{name}_count{} {cumulative}",
-                            render_labels(&m.labels, None)
+                            render_labels(extra, &m.labels, None)
                         );
                     }
                 }
@@ -617,6 +636,29 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("af_latency_us_count{kind=\"x\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn extra_labels_stamp_every_series() {
+        let r = Registry::new();
+        r.counter("plain_total", "x").inc();
+        let h = r.histogram_with("lat_us", "y", &[("kind", "a")], &[10]);
+        h.observe(5);
+        let text = r.snapshot().render_prometheus_with(&[("node", "n0")]);
+        assert!(text.contains("plain_total{node=\"n0\"} 1"), "{text}");
+        assert!(
+            text.contains("lat_us_bucket{node=\"n0\",kind=\"a\",le=\"10\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_count{node=\"n0\",kind=\"a\"} 1"),
+            "{text}"
+        );
+        // No extra labels: identical to the plain render.
+        assert_eq!(
+            r.snapshot().render_prometheus(),
+            r.snapshot().render_prometheus_with(&[])
+        );
     }
 
     #[test]

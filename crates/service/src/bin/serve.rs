@@ -8,7 +8,18 @@
 //!       [--store DIR] [--store-segment-bytes N] [--store-queue N]
 //!       [--store-breaker-threshold N] [--store-breaker-cooldown-ms N]
 //!       [--slow-log MICROS] [--fault-plan SPEC]
+//!       [--node-id ID] [--replicate-to ADDR] [--replicate-interval-ms N]
+//!       [--router NODES] [--probe-interval-ms N] [--vnodes N]
 //! ```
+//!
+//! Cluster mode: `--router NODES` (comma-separated `addr` or `id=addr`
+//! entries) turns this process into the coordinator — it owns no engine
+//! or store, consistent-hashes each analyze's canonical fingerprint
+//! across the nodes, fails over to a shard's designated replica, and
+//! merges `stats`/`metrics` cluster-wide. On a node, `--node-id` labels
+//! every Prometheus series with `node="ID"`, and `--replicate-to ADDR`
+//! (requires `--store`) ships the segment log to the named peer so it can
+//! serve this node's reports warm after a failover.
 //!
 //! `--io event` (the default on unix) runs one `poll(2)` event loop
 //! multiplexing every connection onto the worker pool; `--io threads`
@@ -44,8 +55,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use arrayflow_cluster::Topology;
 use arrayflow_resilience::FaultPlan;
-use arrayflow_service::{run_stdio, Server, Service, ServiceConfig};
+use arrayflow_service::{run_stdio, RouterConfig, RouterServer, Server, Service, ServiceConfig};
 use arrayflow_store::StoreConfig;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -60,6 +72,9 @@ struct Args {
     io: IoModel,
     proto_json_only: bool,
     config: ServiceConfig,
+    router_nodes: Option<String>,
+    probe_interval: Duration,
+    vnodes: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
         },
         proto_json_only: false,
         config: ServiceConfig::default(),
+        router_nodes: None,
+        probe_interval: Duration::from_millis(500),
+        vnodes: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -139,6 +157,17 @@ fn parse_args() -> Result<Args, String> {
                 store_config(&mut args.config)?.breaker_cooldown = Duration::from_millis(ms);
             }
             "--slow-log" => args.config.slow_log_micros = Some(parse(&value("--slow-log")?)?),
+            "--node-id" => args.config.node_id = Some(value("--node-id")?),
+            "--replicate-to" => args.config.replicate_to = Some(value("--replicate-to")?),
+            "--replicate-interval-ms" => {
+                args.config.replicate_interval =
+                    Duration::from_millis(parse(&value("--replicate-interval-ms")?)?)
+            }
+            "--router" => args.router_nodes = Some(value("--router")?),
+            "--probe-interval-ms" => {
+                args.probe_interval = Duration::from_millis(parse(&value("--probe-interval-ms")?)?)
+            }
+            "--vnodes" => args.vnodes = parse(&value("--vnodes")?)?,
             "--fault-plan" => {
                 let spec = value("--fault-plan")?;
                 let plan = FaultPlan::parse(&spec)
@@ -153,7 +182,9 @@ fn parse_args() -> Result<Args, String> {
                      [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
                      [--distance-bound N] [--store DIR] [--store-segment-bytes N] \
                      [--store-queue N] [--store-breaker-threshold N] \
-                     [--store-breaker-cooldown-ms N] [--slow-log MICROS] [--fault-plan SPEC]"
+                     [--store-breaker-cooldown-ms N] [--slow-log MICROS] [--fault-plan SPEC] \
+                     [--node-id ID] [--replicate-to ADDR] [--replicate-interval-ms N] \
+                     [--router NODES] [--probe-interval-ms N] [--vnodes N]"
                 );
                 std::process::exit(0);
             }
@@ -217,6 +248,49 @@ fn announce(addr: &std::io::Result<std::net::SocketAddr>, fallback: &str, model:
     }
 }
 
+/// Router mode: no engine, no store — bind, announce, route.
+fn run_router(args: &Args) -> ExitCode {
+    let spec = args.router_nodes.as_deref().expect("router mode checked");
+    let topology = match Topology::parse(spec, args.vnodes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("serve: invalid --router `{spec}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "serve: router over {} node(s): {}",
+        topology.len(),
+        topology
+            .nodes()
+            .iter()
+            .map(|n| n.id.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let mut config = RouterConfig::new(topology);
+    config.probe_interval = args.probe_interval;
+    config.request_timeout = args.config.request_timeout.max(Duration::from_secs(1));
+    let server = match RouterServer::bind(args.listen.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: error: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    announce(&server.local_addr(), &args.listen, "router");
+    match server.run() {
+        Ok(()) => {
+            eprintln!("serve: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -225,6 +299,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.router_nodes.is_some() {
+        if args.stdio || args.config.store.is_some() || args.config.replicate_to.is_some() {
+            eprintln!("serve: --router excludes --stdio, --store and --replicate-to");
+            return ExitCode::from(2);
+        }
+        return run_router(&args);
+    }
     let has_store = args.config.store.is_some();
     let report_store = |svc: &Service| {
         if has_store {
@@ -242,6 +323,9 @@ fn main() -> ExitCode {
         }
     };
     report_store(&service);
+    if let Some(addr) = &args.config.replicate_to {
+        eprintln!("serve: replicating store to {addr}");
+    }
     let result = if args.stdio {
         eprintln!("serve: stdio mode (one JSON request per line)");
         run_stdio(service)

@@ -114,7 +114,24 @@ impl Service {
                 // the form a scraper wants, with no JSON wrapper to unpick.
                 let resp = Response::Text {
                     id,
-                    text: self.registry().snapshot().render_prometheus(),
+                    text: self.render_exposition(),
+                };
+                respond(self.finish_binary(&trace, accepted, resp, false));
+            }
+            Request::Health { id } => {
+                let resp = Response::Text {
+                    id,
+                    text: self.health_json().to_string(),
+                };
+                respond(self.finish_binary(&trace, accepted, resp, false));
+            }
+            Request::Replicate { id, batch } => {
+                let resp = match self.apply_replica_batch(&batch) {
+                    Ok(json) => Response::Text {
+                        id,
+                        text: json.to_string(),
+                    },
+                    Err(e) => err_response(id, e.kind, e.message),
                 };
                 respond(self.finish_binary(&trace, accepted, resp, false));
             }
@@ -414,6 +431,120 @@ mod tests {
         // The taxonomy counter is also untouched: oversized is not a
         // "response by outcome", it is a discarded frame.
         assert_eq!(after.protocol_errors, before.protocol_errors);
+    }
+
+    #[test]
+    fn health_reports_node_identity() {
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            node_id: Some("n1".into()),
+            ..Default::default()
+        })
+        .unwrap();
+        let req = Request::Health { id: 4 };
+        let out = binary_sync(&svc, req.tag(), &req.encode_payload());
+        let resp = decode_response_frame(&out.frame);
+        let Response::Text { id, text } = resp else {
+            panic!("expected text response, got {resp:?}");
+        };
+        assert_eq!(id, 4);
+        assert!(text.contains(r#""status":"ok""#), "{text}");
+        assert!(text.contains(r#""node":"n1""#), "{text}");
+        assert!(text.contains(r#""shutting_down":false"#), "{text}");
+    }
+
+    #[test]
+    fn replicate_without_store_is_a_protocol_error() {
+        let svc = svc();
+        let req = Request::Replicate {
+            id: 5,
+            batch: Vec::new(),
+        };
+        let out = binary_sync(&svc, req.tag(), &req.encode_payload());
+        let resp = decode_response_frame(&out.frame);
+        let Response::Err { id, kind, message } = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(id, 5);
+        assert_eq!(kind_from_byte(kind), Some(ErrorKind::Protocol));
+        assert!(message.contains("no store configured"), "{message}");
+    }
+
+    #[test]
+    fn replicate_applies_batch_and_warms_fingerprint_path() {
+        use arrayflow_store::{Store, StoreConfig};
+
+        let src_dir = std::env::temp_dir().join(format!("afbin-repl-src-{}", std::process::id()));
+        let dst_dir = std::env::temp_dir().join(format!("afbin-repl-dst-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&src_dir);
+        let _ = std::fs::remove_dir_all(&dst_dir);
+
+        // Build a donor store by running a real analysis through a
+        // store-backed service, then export its live set.
+        let donor = Service::start(ServiceConfig {
+            workers: 1,
+            store: Some(StoreConfig::at(&src_dir)),
+            ..Default::default()
+        })
+        .unwrap();
+        let req = Request::Analyze(AnalyzeRequest {
+            id: 1,
+            fingerprint: None,
+            problems: None,
+            distance_bound: None,
+            source: Some(SRC.as_bytes().to_vec()),
+        });
+        let full =
+            decode_response_frame(&binary_sync(&donor, req.tag(), &req.encode_payload()).frame);
+        let Response::Analyze(full) = full else {
+            panic!("expected analyze response, got {full:?}");
+        };
+        let fp_bytes = full.loops[0].fingerprint;
+        donor.shutdown();
+        donor.join_workers();
+        let batch = Store::open(StoreConfig::at(&src_dir))
+            .unwrap()
+            .export_live();
+        assert!(!batch.is_empty());
+
+        // A fresh replica node ingests the batch over the wire verb …
+        let replica = Service::start(ServiceConfig {
+            workers: 1,
+            store: Some(StoreConfig::at(&dst_dir)),
+            ..Default::default()
+        })
+        .unwrap();
+        let req = Request::Replicate { id: 2, batch };
+        let out = binary_sync(&replica, req.tag(), &req.encode_payload());
+        let resp = decode_response_frame(&out.frame);
+        let Response::Text { id, text } = resp else {
+            panic!("expected text response, got {resp:?}");
+        };
+        assert_eq!(id, 2);
+        assert!(text.contains(r#""applied":1"#), "{text}");
+
+        // … and then answers the fingerprint probe from the replicated
+        // store without any source — the warm-failover contract.
+        let probe = Request::Analyze(AnalyzeRequest {
+            id: 3,
+            fingerprint: Some(fp_bytes),
+            problems: None,
+            distance_bound: None,
+            source: None,
+        });
+        let hit = decode_response_frame(
+            &binary_sync(&replica, probe.tag(), &probe.encode_payload()).frame,
+        );
+        let Response::Analyze(hit) = hit else {
+            panic!("expected analyze response, got {hit:?}");
+        };
+        assert_eq!(hit.cache_hits, 1);
+        assert_eq!(hit.loops[0].report, full.loops[0].report);
+
+        replica.shutdown();
+        replica.join_workers();
+        let _ = std::fs::remove_dir_all(&src_dir);
+        let _ = std::fs::remove_dir_all(&dst_dir);
     }
 
     #[test]

@@ -5,7 +5,16 @@
 //! socket:
 //!
 //! * **reconnect** — a dropped or half-dead connection is replaced
-//!   transparently on the next request;
+//!   transparently on the next request, *into the same protocol mode*:
+//!   the client keeps one connection slot per protocol (JSON, binary),
+//!   so a reconnect redials straight into the slot's mode instead of
+//!   re-running the server's first-bytes protocol detection, and
+//!   alternating JSON/binary calls never tear each other's pinned
+//!   connection down;
+//! * **address failover** — construct with [`Client::new_multi`] and a
+//!   transport failure rotates to the next address (counted by
+//!   [`Client::failovers`]) before the retry redials, so a dead node
+//!   costs one backoff delay, not the whole retry budget;
 //! * **per-request deadlines** — connect and read/write timeouts from
 //!   [`ClientConfig`], so a wedged server costs bounded time, never a
 //!   hang;
@@ -144,12 +153,21 @@ enum ConnMode {
     Binary,
 }
 
+impl ConnMode {
+    /// The connection-slot index for this mode.
+    fn slot(self) -> usize {
+        match self {
+            ConnMode::Json => 0,
+            ConnMode::Binary => 1,
+        }
+    }
+}
+
 /// One live connection: a write half and a buffered read half over the
 /// same socket, locked to one protocol.
 struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
-    mode: ConnMode,
 }
 
 /// A reconnecting, retrying client for the analysis service.
@@ -158,25 +176,49 @@ struct Conn {
 /// order, which the per-connection protocol guarantees. Construction is
 /// lazy — the first request dials the server.
 pub struct Client {
-    addr: String,
+    addrs: Vec<String>,
+    active: usize,
     config: ClientConfig,
-    conn: Option<Conn>,
+    /// One slot per [`ConnMode`]: the server pins each connection to the
+    /// protocol of its first bytes, so the slot *is* the negotiated mode
+    /// and survives reconnects.
+    conns: [Option<Conn>; 2],
     next_id: u64,
     connects: u64,
     retries: u64,
+    failovers: u64,
 }
 
 impl Client {
     /// Creates a client for `addr` (e.g. `"127.0.0.1:7433"`). Does not
     /// connect; the first request does.
     pub fn new(addr: impl Into<String>, config: ClientConfig) -> Client {
+        Client::new_multi([addr.into()], config)
+    }
+
+    /// Creates a client over several equivalent addresses (e.g. a node
+    /// and its replica). Requests go to one address at a time; a
+    /// transport failure rotates to the next before the retry redials.
+    ///
+    /// # Panics
+    ///
+    /// If `addrs` is empty.
+    pub fn new_multi<I>(addrs: I, config: ClientConfig) -> Client
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let addrs: Vec<String> = addrs.into_iter().map(Into::into).collect();
+        assert!(!addrs.is_empty(), "Client needs at least one address");
         Client {
-            addr: addr.into(),
+            addrs,
+            active: 0,
             config,
-            conn: None,
+            conns: [None, None],
             next_id: 0,
             connects: 0,
             retries: 0,
+            failovers: 0,
         }
     }
 
@@ -197,6 +239,17 @@ impl Client {
     /// Attempts resent after a retryable failure, across all requests.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Times the client rotated to another address after a transport
+    /// failure. Always 0 for a single-address client.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The address requests currently dial.
+    pub fn active_addr(&self) -> &str {
+        &self.addrs[self.active]
     }
 
     /// Analyzes one DSL program; on success returns the server's `ok`
@@ -366,7 +419,7 @@ impl Client {
         let (tag, payload) = match self.send_recv_binary(frame) {
             Ok(f) => f,
             Err(e) => {
-                self.conn = None;
+                self.transport_failure();
                 return Err(ClientError::Io(e));
             }
         };
@@ -375,7 +428,7 @@ impl Client {
             Err(e) => {
                 // The stream may be desynced; force a redial, but do not
                 // retry — a malformed response is a fact, not a flake.
-                self.conn = None;
+                self.conns[ConnMode::Binary.slot()] = None;
                 return Err(ClientError::Protocol(format!("undecodable response: {e}")));
             }
         };
@@ -404,11 +457,23 @@ impl Client {
                 // The socket is in an unknown state (a late response
                 // would desync request/response pairing) — drop it and
                 // let the next attempt redial.
-                self.conn = None;
+                self.transport_failure();
                 return Err(ClientError::Io(e));
             }
         };
         classify(&line)
+    }
+
+    /// A transport-level failure: every connection to the active address
+    /// is suspect, so drop both slots, and — with more than one address —
+    /// rotate so the retry dials the next node instead of burning the
+    /// whole budget on a dead one.
+    fn transport_failure(&mut self) {
+        self.conns = [None, None];
+        if self.addrs.len() > 1 {
+            self.active = (self.active + 1) % self.addrs.len();
+            self.failovers += 1;
+        }
     }
 
     fn send_recv(&mut self, frame: &str) -> io::Result<String> {
@@ -428,28 +493,26 @@ impl Client {
     }
 
     fn ensure_conn(&mut self, mode: ConnMode) -> io::Result<&mut Conn> {
-        if self.conn.as_ref().is_some_and(|c| c.mode != mode) {
-            // The server pins a connection to its first protocol; switching
-            // requires a fresh dial.
-            self.conn = None;
-        }
-        if self.conn.is_none() {
-            let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
-            })?;
+        let slot = mode.slot();
+        if self.conns[slot].is_none() {
+            let addr = self.addrs[self.active]
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                })?;
             let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
             stream.set_nodelay(true)?;
             stream.set_read_timeout(Some(self.config.request_timeout))?;
             stream.set_write_timeout(Some(self.config.request_timeout))?;
             let reader = BufReader::new(stream.try_clone()?);
-            self.conn = Some(Conn {
+            self.conns[slot] = Some(Conn {
                 writer: stream,
                 reader,
-                mode,
             });
             self.connects += 1;
         }
-        Ok(self.conn.as_mut().expect("connection just ensured"))
+        Ok(self.conns[slot].as_mut().expect("connection just ensured"))
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -461,10 +524,12 @@ impl Client {
 impl fmt::Debug for Client {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Client")
-            .field("addr", &self.addr)
-            .field("connected", &self.conn.is_some())
+            .field("addrs", &self.addrs)
+            .field("active", &self.addrs[self.active])
+            .field("connected", &self.conns.iter().any(Option::is_some))
             .field("connects", &self.connects)
             .field("retries", &self.retries)
+            .field("failovers", &self.failovers)
             .finish()
     }
 }
@@ -497,6 +562,198 @@ fn classify(line: &str) -> Result<String, ClientError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn cfg() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(5),
+            max_retries: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            backoff_seed: Some(7),
+        }
+    }
+
+    /// Reads one newline-terminated request, `first` being a byte the
+    /// caller already consumed (protocol sniffing).
+    fn read_json_line(stream: &mut TcpStream, first: Option<u8>) -> Option<String> {
+        let mut line: Vec<u8> = first.into_iter().collect();
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) | Err(_) => return None,
+                Ok(_) if byte[0] == b'\n' => {
+                    return Some(String::from_utf8_lossy(&line).into_owned())
+                }
+                Ok(_) => line.push(byte[0]),
+            }
+        }
+    }
+
+    fn serve_json_pings(mut stream: TcpStream, name: &str, first: Option<u8>) {
+        let mut first = first;
+        while let Some(line) = read_json_line(&mut stream, first.take()) {
+            let id = Json::parse(line.as_bytes())
+                .ok()
+                .and_then(|j| j.get("id").cloned())
+                .unwrap_or(Json::Null);
+            let resp = format!("{{\"id\":{id},\"ok\":true,\"result\":\"pong-{name}\"}}\n");
+            if stream.write_all(resp.as_bytes()).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// A JSON ping server. `drop_first` kills the first accepted
+    /// connection without answering — the reconnect drill.
+    fn json_server(name: &'static str, drop_first: bool, conns: Arc<AtomicU32>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().enumerate() {
+                let Ok(stream) = stream else { continue };
+                conns.fetch_add(1, Ordering::SeqCst);
+                if drop_first && i == 0 {
+                    drop(stream);
+                    continue;
+                }
+                std::thread::spawn(move || serve_json_pings(stream, name, None));
+            }
+        });
+        addr
+    }
+
+    /// Serves exactly one connection and one request, then goes dark —
+    /// the "node died" half of the failover drill.
+    fn one_shot_json_server(name: &'static str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            if let Some(line) = read_json_line(&mut stream, None) {
+                let id = Json::parse(line.as_bytes())
+                    .ok()
+                    .and_then(|j| j.get("id").cloned())
+                    .unwrap_or(Json::Null);
+                let resp = format!("{{\"id\":{id},\"ok\":true,\"result\":\"pong-{name}\"}}\n");
+                let _ = stream.write_all(resp.as_bytes());
+            }
+        });
+        addr
+    }
+
+    /// Speaks both protocols, pinned per connection by the first byte —
+    /// what the real server's transport does.
+    fn dual_server(conns: Arc<AtomicU32>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                conns.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let mut first = [0u8; 1];
+                    if stream.read_exact(&mut first).is_err() {
+                        return;
+                    }
+                    if first[0] == b'{' {
+                        serve_json_pings(stream, "dual", Some(first[0]));
+                        return;
+                    }
+                    // Binary: splice the sniffed byte back ahead of the
+                    // stream for the framer.
+                    let writer = stream.try_clone().unwrap();
+                    let mut reader = std::io::Cursor::new(vec![first[0]]).chain(stream);
+                    let mut writer = writer;
+                    loop {
+                        let Ok((tag, payload)) = read_frame(&mut reader, 1 << 20) else {
+                            return;
+                        };
+                        let Ok(WireRequest::Ping { id }) = WireRequest::decode(tag, &payload)
+                        else {
+                            return;
+                        };
+                        let resp = WireResponse::Text {
+                            id,
+                            text: "pong".into(),
+                        };
+                        let frame =
+                            arrayflow_wire::encode_frame(resp.tag(), &resp.encode_payload());
+                        if writer.write_all(&frame).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn reconnect_keeps_the_negotiated_mode_and_connection_cached() {
+        let conns = Arc::new(AtomicU32::new(0));
+        let addr = json_server("S", true, Arc::clone(&conns));
+        let mut client = Client::new(addr, cfg());
+
+        // First request: the server kills the first connection, the retry
+        // redials and succeeds.
+        client
+            .ping()
+            .expect("retry should recover the dropped connection");
+        assert_eq!(client.connects(), 2, "{client:?}");
+        assert_eq!(client.retries(), 1, "{client:?}");
+
+        // Subsequent requests reuse the reconnected slot: no new dial.
+        client.ping().unwrap();
+        client.ping().unwrap();
+        assert_eq!(
+            client.connects(),
+            2,
+            "reconnect must cache the mode: {client:?}"
+        );
+    }
+
+    #[test]
+    fn mode_slots_survive_alternating_protocols() {
+        let conns = Arc::new(AtomicU32::new(0));
+        let addr = dual_server(Arc::clone(&conns));
+        let mut client = Client::new(addr, cfg());
+
+        client.ping().unwrap();
+        client.ping_binary().unwrap();
+        client.ping().unwrap();
+        client.ping_binary().unwrap();
+
+        // One connection per protocol, not one per mode switch: the slots
+        // keep both pinned connections alive side by side.
+        assert_eq!(client.connects(), 2, "{client:?}");
+        assert_eq!(conns.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn fails_over_to_the_next_address_when_a_node_dies() {
+        let conns = Arc::new(AtomicU32::new(0));
+        let a = one_shot_json_server("A");
+        let b = json_server("B", false, conns);
+        let mut client = Client::new_multi([a.clone(), b], cfg());
+
+        let line = client.call("ping").unwrap();
+        assert!(line.contains("pong-A"), "{line}");
+        assert_eq!(client.active_addr(), a);
+
+        // A is dark now; the next request rotates to B inside the retry
+        // envelope instead of exhausting it against the dead node.
+        let line = client.call("ping").unwrap();
+        assert!(line.contains("pong-B"), "{line}");
+        assert!(client.failovers() >= 1, "{client:?}");
+        assert_ne!(client.active_addr(), a);
+    }
 
     #[test]
     fn classify_splits_the_three_outcomes() {

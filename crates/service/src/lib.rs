@@ -70,6 +70,7 @@ pub mod client;
 pub mod event_server;
 pub mod json;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod service;
 
@@ -79,5 +80,6 @@ pub use client::{Client, ClientConfig, ClientError};
 pub use event_server::{EventServer, ProtoMode};
 pub use json::{Json, JsonError};
 pub use proto::{ErrorKind, Request, ServiceError, Verb};
+pub use router::{Router, RouterConfig, RouterServer};
 pub use server::{run_stdio, Frame, FrameReader, Server};
 pub use service::{FrameResponse, Service, ServiceConfig, ServiceStats, LATENCY_BUCKETS_US};

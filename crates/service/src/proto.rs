@@ -11,7 +11,7 @@
 //!
 //! Requests carry `id` (any JSON value, echoed back verbatim so clients
 //! can pipeline), `verb` (`analyze` | `stats` | `metrics` | `ping` |
-//! `compact` | `shutdown`), and
+//! `health` | `compact` | `shutdown`), and
 //! for `analyze`: `program` (DSL text), optional `problems` (array of
 //! instance names; default all) and optional `distance_bound` (default
 //! from the server config). Errors come back structured, never as a
@@ -35,6 +35,9 @@ pub enum Verb {
     Metrics,
     /// Liveness check; echoes `"pong"`.
     Ping,
+    /// Node health + identity: `{"status": "ok", "node": ..., "shutting_down": ...}`.
+    /// The cluster router's failover probe.
+    Health,
     /// Compact the persistent report store (requires `--store`).
     Compact,
     /// Begin graceful shutdown (drain in-flight work, then exit).
@@ -48,6 +51,7 @@ impl Verb {
             "stats" => Some(Verb::Stats),
             "metrics" => Some(Verb::Metrics),
             "ping" => Some(Verb::Ping),
+            "health" => Some(Verb::Health),
             "compact" => Some(Verb::Compact),
             "shutdown" => Some(Verb::Shutdown),
             _ => None,

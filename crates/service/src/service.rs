@@ -17,6 +17,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use arrayflow_cluster::{Replicator, ReplicatorConfig};
 use arrayflow_engine::{BatchResult, Engine, EngineConfig, EngineStats, ProblemSet};
 use arrayflow_ir::parse_program_bytes;
 use arrayflow_obs::{
@@ -69,6 +70,19 @@ pub struct ServiceConfig {
     /// default, and the only sane production setting) leaves every seam a
     /// single branch.
     pub faults: Option<Arc<dyn FaultSurface>>,
+    /// Stable node identity in a cluster (`serve --node-id`). Stamped as
+    /// a `node` label on every Prometheus series and echoed by the
+    /// `health` verb, so multi-node scrapes and router probes stay
+    /// distinguishable.
+    pub node_id: Option<String>,
+    /// Replica address (`serve --replicate-to`). Requires a store: every
+    /// record reaching the local segment log is also shipped to this
+    /// address as `replicate` wire frames, keeping the replica warm for
+    /// failover.
+    pub replicate_to: Option<String>,
+    /// Ship interval for the replicator's incremental batches (a flush
+    /// barrier ships sooner).
+    pub replicate_interval: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +96,9 @@ impl Default for ServiceConfig {
             store: None,
             slow_log_micros: None,
             faults: None,
+            node_id: None,
+            replicate_to: None,
+            replicate_interval: Duration::from_millis(250),
         }
     }
 }
@@ -184,6 +201,7 @@ pub struct Service {
     engine: Engine,
     registry: Registry,
     tier: Option<Arc<PersistentTier>>,
+    replicator: Option<Arc<Replicator>>,
     warm_loaded: u64,
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
@@ -300,6 +318,7 @@ impl Service {
         }
         let mut tier = None;
         let mut warm_loaded = 0u64;
+        let mut replicator = None;
         if let Some(store_config) = &config.store {
             let queue_bound = store_config.writer_queue;
             let store = Arc::new(Store::open_in(store_config.clone(), &registry)?);
@@ -311,13 +330,30 @@ impl Service {
             warm_loaded = store.for_each_live(|key, report| {
                 engine.preload(key, Arc::new(report));
             });
+            if let Some(replica_addr) = &config.replicate_to {
+                // Tee the writer thread to the designated replica. The
+                // replicator full-syncs on every connect, so a replica
+                // that comes up late still converges.
+                let mut rconfig = ReplicatorConfig::to(replica_addr.clone());
+                rconfig.interval = config.replicate_interval;
+                rconfig.max_frame_bytes = 64 << 20;
+                let r = Replicator::start(Arc::clone(&store), rconfig, &registry);
+                t.set_replication_sink(r.clone());
+                replicator = Some(r);
+            }
             tier = Some(t);
+        } else if config.replicate_to.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--replicate-to requires a store (--store DIR)",
+            ));
         }
         let ins = ServiceInstruments::registered(&registry);
         let svc = Arc::new(Service {
             engine,
             registry,
             tier,
+            replicator,
             warm_loaded,
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
@@ -375,6 +411,82 @@ impl Service {
         self.tier.as_ref()
     }
 
+    /// This node's cluster identity (`--node-id`), when set.
+    pub fn node_id(&self) -> Option<&str> {
+        self.config.node_id.as_deref()
+    }
+
+    /// The store replicator, when `--replicate-to` is configured.
+    pub fn replicator(&self) -> Option<&Arc<Replicator>> {
+        self.replicator.as_ref()
+    }
+
+    /// The `health` verb payload: node identity plus liveness facts the
+    /// router's failover probes key on. Answered inline on the transport
+    /// thread — a wedged worker pool must not make a healthy node look
+    /// dead, and an unhealthy queue shows up in `queued` anyway.
+    pub(crate) fn health_json(&self) -> Json {
+        Json::Obj(vec![
+            ("status".into(), Json::Str("ok".into())),
+            (
+                "node".into(),
+                match &self.config.node_id {
+                    Some(id) => Json::Str(id.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("shutting_down".into(), Json::Bool(self.is_shutdown())),
+        ])
+    }
+
+    /// The full Prometheus exposition, stamped with this node's `node`
+    /// label when one is configured.
+    pub(crate) fn render_exposition(&self) -> String {
+        let snapshot = self.registry.snapshot();
+        match &self.config.node_id {
+            Some(id) => snapshot.render_prometheus_with(&[("node", id)]),
+            None => snapshot.render_prometheus(),
+        }
+    }
+
+    /// Applies a replication batch to the local store — the replica-side
+    /// half of the `replicate` verb. The memo cache warms through the
+    /// tier on the first fingerprint probe of each key, so a failover
+    /// request reads warm bytes from disk even before memory fills.
+    /// Errors are protocol-kind (a corrupt batch) or analysis-kind
+    /// (local I/O).
+    pub(crate) fn apply_replica_batch(&self, batch: &[u8]) -> Result<Json, ServiceError> {
+        let Some(tier) = &self.tier else {
+            return Err(ServiceError::new(
+                ErrorKind::Protocol,
+                "no store configured (start with --store DIR)",
+            ));
+        };
+        let store = tier.store_handle();
+        let before = store.len() as u64;
+        let applied = store.import_frames(batch).map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                ServiceError::new(ErrorKind::Protocol, format!("bad replication batch: {e}"))
+            } else {
+                ServiceError::new(
+                    ErrorKind::Analysis,
+                    format!("replication append failed: {e}"),
+                )
+            }
+        })?;
+        self.registry
+            .counter(
+                "arrayflow_replica_applied_records_total",
+                "replication records applied to the local store",
+            )
+            .add(applied);
+        Ok(Json::Obj(vec![
+            ("applied".into(), Json::Num(applied as f64)),
+            ("live_before".into(), Json::Num(before as f64)),
+            ("live_after".into(), Json::Num(store.len() as f64)),
+        ]))
+    }
+
     /// True once shutdown has been requested. Transports stop reading new
     /// frames when they observe this.
     pub fn is_shutdown(&self) -> bool {
@@ -404,6 +516,11 @@ impl Service {
         }
         if let Some(tier) = &self.tier {
             tier.flush();
+        }
+        if let Some(replicator) = &self.replicator {
+            // The flush barrier above forwarded everything to the
+            // replicator; let it ship what it holds, then stop.
+            replicator.shutdown();
         }
     }
 
@@ -591,6 +708,7 @@ impl Service {
     fn dispatch_cheap(&self, req: &Request) -> Result<Json, ServiceError> {
         match req.verb {
             Verb::Ping => Ok(Json::Str("pong".into())),
+            Verb::Health => Ok(self.health_json()),
             Verb::Stats => Ok(self.stats_json()),
             Verb::Metrics => Ok(self.metrics_json()),
             Verb::Compact => self.compact_store(),
@@ -994,7 +1112,7 @@ impl Service {
             .collect();
         Json::Obj(vec![
             ("metrics".into(), Json::Arr(metrics)),
-            ("prometheus".into(), Json::Str(snapshot.render_prometheus())),
+            ("prometheus".into(), Json::Str(self.render_exposition())),
         ])
     }
 }

@@ -117,12 +117,13 @@ fn unknown_fingerprint_falls_back_to_shipped_source() {
 fn one_listener_speaks_both_protocols() {
     let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
     let mut c = client(addr);
-    // Interleave: each call redials in the right mode; the server detects
-    // per connection.
+    // Interleave: the server detects the protocol per connection, and the
+    // client keeps one cached connection per mode — so alternating
+    // protocols costs exactly one dial each, not one per switch.
     c.ping().unwrap();
     c.ping_binary().unwrap();
     c.ping().unwrap();
-    assert!(c.connects() >= 3);
+    assert_eq!(c.connects(), 2);
     stop(addr, handle);
 }
 

@@ -1,0 +1,351 @@
+//! Three real `serve` nodes behind a real `serve --router`: fingerprint
+//! routing, the health verb, replication wiring, and cluster-wide
+//! stats/metrics aggregation — all over actual sockets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use arrayflow_service::{Client, ClientConfig, Json};
+
+/// Reserves `n` distinct ephemeral ports. The listeners are dropped, so
+/// there is a tiny reuse race — acceptable for tests, and the only way
+/// to give each node its replica's address up front.
+fn reserve_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+struct Serve {
+    child: Child,
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `serve` with `flags` and waits for its listening announcement.
+fn spawn_serve(flags: &[String]) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(flags)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve binary");
+    let stderr = child.stderr.take().expect("piped stderr");
+    // Into the kill-on-drop wrapper immediately, so a panic below still
+    // reaps the child.
+    let serve = Serve { child };
+    let mut lines = BufReader::new(stderr).lines();
+    for line in &mut lines {
+        let line = line.expect("read serve stderr");
+        if line.starts_with("serve: listening on ") {
+            // Drain the rest in the background so the child never blocks
+            // on a full pipe.
+            std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+            return serve;
+        }
+    }
+    panic!("serve exited before announcing its address");
+}
+
+struct JsonClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl JsonClient {
+    fn connect(addr: &str) -> JsonClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        JsonClient {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("response");
+        assert!(n > 0, "connection closed mid-request");
+        Json::parse(resp.trim_end().as_bytes())
+            .unwrap_or_else(|e| panic!("unframed response {resp:?}: {e}"))
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("afclint-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Cluster {
+    nodes: Vec<Serve>,
+    node_addrs: Vec<String>,
+    router: Serve,
+    router_addr: String,
+    dirs: Vec<PathBuf>,
+}
+
+/// Boots `n` store-backed nodes in a replication ring plus a router.
+fn boot_cluster(tag: &str, n: usize) -> Cluster {
+    let ports = reserve_ports(n + 1);
+    let node_addrs: Vec<String> = ports[..n]
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}"))
+        .collect();
+    let router_addr = format!("127.0.0.1:{}", ports[n]);
+    let dirs: Vec<PathBuf> = (0..n).map(|i| temp_dir(&format!("{tag}-n{i}"))).collect();
+    let nodes: Vec<Serve> = (0..n)
+        .map(|i| {
+            spawn_serve(&[
+                "--listen".into(),
+                node_addrs[i].clone(),
+                "--workers".into(),
+                "2".into(),
+                "--node-id".into(),
+                format!("n{}", i + 1),
+                "--store".into(),
+                dirs[i].to_str().unwrap().into(),
+                "--replicate-to".into(),
+                node_addrs[(i + 1) % n].clone(),
+                "--replicate-interval-ms".into(),
+                "50".into(),
+            ])
+        })
+        .collect();
+    let spec = (0..n)
+        .map(|i| format!("n{}={}", i + 1, node_addrs[i]))
+        .collect::<Vec<_>>()
+        .join(",");
+    let router = spawn_serve(&[
+        "--listen".into(),
+        router_addr.clone(),
+        "--router".into(),
+        spec,
+        "--probe-interval-ms".into(),
+        "100".into(),
+    ]);
+    Cluster {
+        nodes,
+        node_addrs,
+        router,
+        router_addr,
+        dirs,
+    }
+}
+
+impl Cluster {
+    fn shutdown(mut self) {
+        let mut c = JsonClient::connect(&self.router_addr);
+        c.request(r#"{"id": 1, "verb": "shutdown"}"#);
+        assert!(self.router.child.wait().unwrap().success(), "router exit");
+        for (i, addr) in self.node_addrs.iter().enumerate() {
+            let mut c = JsonClient::connect(addr);
+            c.request(r#"{"id": 1, "verb": "shutdown"}"#);
+            assert!(
+                self.nodes[i].child.wait().unwrap().success(),
+                "node {i} exit"
+            );
+        }
+        for dir in &self.dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn is_ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn programs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|k| format!("do i = 1, {} A[i+{}] := A[i] + x; end", 50 + k, 1 + (k % 6)))
+        .collect()
+}
+
+#[test]
+fn health_verb_identifies_nodes_and_router() {
+    let cluster = boot_cluster("health", 3);
+
+    let mut node = JsonClient::connect(&cluster.node_addrs[1]);
+    let resp = node.request(r#"{"id": 1, "verb": "health"}"#);
+    assert!(is_ok(&resp), "{resp:?}");
+    let result = resp.get("result").unwrap();
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(result.get("node").and_then(Json::as_str), Some("n2"));
+
+    let mut router = JsonClient::connect(&cluster.router_addr);
+    let resp = router.request(r#"{"id": 2, "verb": "health"}"#);
+    assert!(is_ok(&resp), "{resp:?}");
+    let result = resp.get("result").unwrap();
+    assert_eq!(result.get("node").and_then(Json::as_str), Some("router"));
+    let nodes = result.get("nodes").and_then(Json::as_arr).unwrap();
+    assert_eq!(nodes.len(), 3);
+
+    cluster.shutdown();
+}
+
+#[test]
+fn router_shards_work_and_merges_observability() {
+    let cluster = boot_cluster("route", 3);
+    let programs = programs(18);
+
+    // Warm every program through the router's JSON path.
+    let mut router = JsonClient::connect(&cluster.router_addr);
+    for (i, p) in programs.iter().enumerate() {
+        let resp = router.request(&format!(
+            r#"{{"id": {i}, "verb": "analyze", "program": "{p}"}}"#
+        ));
+        assert!(is_ok(&resp), "analyze {i} via router: {resp:?}");
+    }
+
+    // Re-analyzing must hit the owning shard's cache: the router routes
+    // by canonical fingerprint, so the repeat lands where the report is.
+    for (i, p) in programs.iter().enumerate() {
+        let resp = router.request(&format!(
+            r#"{{"id": {i}, "verb": "analyze", "program": "{p}"}}"#
+        ));
+        assert!(is_ok(&resp), "{resp:?}");
+        let hits = resp
+            .get("result")
+            .and_then(|r| r.get("stats"))
+            .and_then(|s| s.get("cache_hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        assert!(hits >= 1, "repeat analyze {i} missed the shard cache");
+    }
+
+    // The binary fingerprint-first path works through the router too.
+    let mut bin = Client::new(cluster.router_addr.clone(), ClientConfig::default());
+    let warm = bin.analyze_binary(&programs[0]).unwrap();
+    assert_eq!(warm.cache_hits, 1, "binary repeat must hit via router");
+
+    // Merged stats: summed cluster section, per-node sections, router
+    // counters.
+    let resp = router.request(r#"{"id": 900, "verb": "stats"}"#);
+    assert!(is_ok(&resp), "{resp:?}");
+    let result = resp.get("result").unwrap();
+    let requests = result
+        .get("cluster")
+        .and_then(|c| c.get("service"))
+        .and_then(|s| s.get("requests"))
+        .and_then(Json::as_u64)
+        .expect("summed cluster.service.requests");
+    assert!(requests >= 2 * programs.len() as u64, "requests={requests}");
+    let nodes = result.get("nodes").expect("per-node sections");
+    let mut serving = 0;
+    for id in ["n1", "n2", "n3"] {
+        let node = nodes.get(id).unwrap_or_else(|| panic!("missing {id}"));
+        let reqs = node
+            .get("service")
+            .and_then(|s| s.get("requests"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if reqs > 0 {
+            serving += 1;
+        }
+    }
+    assert!(serving >= 2, "18 programs landed on {serving} node(s)");
+    let forwards = result
+        .get("router")
+        .and_then(|r| r.get("forwards"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(forwards >= 2 * programs.len() as u64, "forwards={forwards}");
+
+    // Merged exposition: node labels on node series, router series too.
+    let resp = router.request(r#"{"id": 901, "verb": "metrics"}"#);
+    assert!(is_ok(&resp), "{resp:?}");
+    let prom = resp
+        .get("result")
+        .and_then(|r| r.get("prometheus"))
+        .and_then(Json::as_str)
+        .expect("merged exposition")
+        .to_string();
+    for needle in [
+        "node=\"n1\"",
+        "node=\"n2\"",
+        "node=\"n3\"",
+        "node=\"router\"",
+        "arrayflow_router_forwards_total",
+        "arrayflow_requests_total",
+    ] {
+        assert!(prom.contains(needle), "merged exposition lacks {needle}");
+    }
+    // One HELP per family even though every node emits it.
+    let helps = prom.matches("# HELP arrayflow_requests_total ").count();
+    assert_eq!(helps, 1, "duplicated HELP in merged exposition");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_keeps_each_replica_warm() {
+    let cluster = boot_cluster("repl", 3);
+    let programs = programs(10);
+
+    let mut router = JsonClient::connect(&cluster.router_addr);
+    for (i, p) in programs.iter().enumerate() {
+        let resp = router.request(&format!(
+            r#"{{"id": {i}, "verb": "analyze", "program": "{p}"}}"#
+        ));
+        assert!(is_ok(&resp), "{resp:?}");
+    }
+
+    // Every report reaches its primary's designated replica: the sum of
+    // applied replication records across the cluster converges to the
+    // number of distinct loops.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut clients: Vec<JsonClient> = cluster
+        .node_addrs
+        .iter()
+        .map(|a| JsonClient::connect(a))
+        .collect();
+    loop {
+        let mut applied = 0u64;
+        for c in &mut clients {
+            let resp = c.request(r#"{"id": 5, "verb": "metrics"}"#);
+            let metrics = resp
+                .get("result")
+                .and_then(|r| r.get("metrics"))
+                .and_then(Json::as_arr)
+                .expect("metrics array");
+            applied += metrics
+                .iter()
+                .find(|m| {
+                    m.get("name").and_then(Json::as_str)
+                        == Some("arrayflow_replica_applied_records_total")
+                })
+                .and_then(|m| m.get("value"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+        }
+        if applied >= programs.len() as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication stalled: {applied}/{} applied",
+            programs.len()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    cluster.shutdown();
+}

@@ -48,4 +48,4 @@ pub use codec::{decode_record, encode_record, DecodeError, Record};
 pub use crc::crc32;
 pub use segment::{ScanStats, ScannedRecord};
 pub use store::{CompactionReport, RecoveryReport, SharedStore, Store, StoreConfig, StoreStats};
-pub use tier::{PersistentTier, TierStats};
+pub use tier::{PersistentTier, ReplicationSink, TierStats};

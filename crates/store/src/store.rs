@@ -499,6 +499,79 @@ impl Store {
         delivered
     }
 
+    /// Serializes every live record into the segment log's frame format
+    /// (`len | crc32 | payload`, no segment header) — the replication
+    /// batch format. Each record is read and re-validated from disk; ones
+    /// failing validation are counted as read errors and skipped. The
+    /// result can be shipped over the `replicate` wire verb and applied
+    /// with [`Store::import_frames`].
+    pub fn export_live(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.for_each_live(|key, report| {
+            let payload = encode_record(&Record::Put {
+                key,
+                report: Box::new(report),
+            });
+            out.extend_from_slice(&frame_record(&payload));
+        });
+        out
+    }
+
+    /// Applies a batch of record frames (the [`Store::export_live`] /
+    /// replication format): each frame is CRC-checked and decoded, then
+    /// appended — except `Put`s whose key is already live, which are
+    /// skipped (reports are deterministic functions of their key, so a
+    /// present key already holds identical bytes). Corrupt or truncated
+    /// frames abort the batch with `InvalidData`; everything applied
+    /// before the bad frame stays applied (appends are idempotent under
+    /// replay, so the sender can simply re-ship). Returns the number of
+    /// records applied.
+    pub fn import_frames(&self, batch: &[u8]) -> io::Result<u64> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut applied = 0u64;
+        let mut off = 0usize;
+        while off < batch.len() {
+            if batch.len() - off < FRAME_LEN {
+                return Err(bad("truncated frame header in replication batch"));
+            }
+            let len =
+                u32::from_le_bytes([batch[off], batch[off + 1], batch[off + 2], batch[off + 3]])
+                    as usize;
+            let crc = u32::from_le_bytes([
+                batch[off + 4],
+                batch[off + 5],
+                batch[off + 6],
+                batch[off + 7],
+            ]);
+            if len > MAX_RECORD_BYTES {
+                return Err(bad("oversized record in replication batch"));
+            }
+            let start = off + FRAME_LEN;
+            let end = match start.checked_add(len) {
+                Some(end) if end <= batch.len() => end,
+                _ => return Err(bad("truncated record in replication batch")),
+            };
+            let payload = &batch[start..end];
+            if crc32(payload) != crc {
+                return Err(bad("CRC mismatch in replication batch"));
+            }
+            let record = decode_record(payload)
+                .map_err(|_| bad("undecodable record in replication batch"))?;
+            let skip = match &record {
+                // A live key already holds these exact bytes; a tombstone
+                // for a dead key is a no-op.
+                Record::Put { key, .. } => self.index.read().unwrap().contains_key(key),
+                Record::Tombstone { key } => !self.index.read().unwrap().contains_key(key),
+            };
+            if !skip {
+                self.append(&record)?;
+                applied += 1;
+            }
+            off = end;
+        }
+        Ok(applied)
+    }
+
     /// Rewrites every live record into fresh segments and deletes the old
     /// files, dropping superseded puts and tombstones. Appends are
     /// blocked for the duration (reads stay concurrent); a crash
@@ -738,6 +811,49 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(delivered, 4);
         assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn export_import_replicates_live_set() {
+        let src_dir = TempDir::new("export-src");
+        let dst_dir = TempDir::new("export-dst");
+        let src = Store::open(StoreConfig::at(&src_dir.0)).unwrap();
+        for i in 0..6u128 {
+            src.put(key(i), report(i, i as usize)).unwrap();
+        }
+        src.remove(key(5)).unwrap();
+        let batch = src.export_live();
+
+        let dst = Store::open(StoreConfig::at(&dst_dir.0)).unwrap();
+        // Pre-seed one key: the import must skip it, not duplicate it.
+        dst.put(key(2), report(2, 2)).unwrap();
+        let applied = dst.import_frames(&batch).unwrap();
+        assert_eq!(applied, 4);
+        assert_eq!(dst.len(), 5);
+        for i in 0..5u128 {
+            assert_eq!(dst.get(&key(i)), Some(report(i, i as usize)), "key {i}");
+        }
+        assert_eq!(dst.get(&key(5)), None);
+        // Re-importing the same batch is a no-op.
+        assert_eq!(dst.import_frames(&batch).unwrap(), 0);
+    }
+
+    #[test]
+    fn import_rejects_corrupt_batches() {
+        let dir = TempDir::new("import-corrupt");
+        let store = Store::open(StoreConfig::at(&dir.0)).unwrap();
+        store.put(key(1), report(1, 1)).unwrap();
+        let mut batch = store.export_live();
+        // Truncated tail.
+        assert!(store.import_frames(&batch[..batch.len() - 1]).is_err());
+        // Flipped payload byte.
+        let n = batch.len();
+        batch[n - 1] ^= 0xFF;
+        assert!(store.import_frames(&batch).is_err());
+        // Garbage header.
+        assert!(store.import_frames(&[1, 2, 3]).is_err());
+        // Empty batch is fine.
+        assert_eq!(store.import_frames(&[]).unwrap(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! [`MemoCache`]: arrayflow_engine::MemoCache
 
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use arrayflow_engine::{AnalysisReport, CacheKey, SecondTier};
@@ -26,6 +26,19 @@ enum WriterMsg {
     /// Flush barrier: the writer acks on the back-channel once every
     /// message queued before it has been appended.
     Flush(SyncSender<()>),
+}
+
+/// A tee on the tier's writer thread: every append that reaches disk is
+/// also offered to the sink, and each flush barrier is forwarded so the
+/// sink can ship what it has buffered. Implemented by the cluster
+/// replicator; calls are made *on the writer thread*, so implementations
+/// must be quick and non-blocking (queue and return).
+pub trait ReplicationSink: Send + Sync {
+    /// A record just reached the local segment log.
+    fn record(&self, key: &CacheKey, report: &Arc<AnalysisReport>);
+    /// A flush barrier passed: everything recorded so far should be
+    /// shipped at the next opportunity.
+    fn barrier(&self);
 }
 
 /// Counters specific to the tier (the store keeps its own).
@@ -63,6 +76,7 @@ pub struct PersistentTier {
     sender: Mutex<Option<SyncSender<WriterMsg>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
     breaker: Arc<CircuitBreaker>,
+    replication: Arc<RwLock<Option<Arc<dyn ReplicationSink>>>>,
     ins: TierInstruments,
 }
 
@@ -177,10 +191,13 @@ impl PersistentTier {
             store.config().breaker_threshold,
             store.config().breaker_cooldown,
         ));
+        let replication: Arc<RwLock<Option<Arc<dyn ReplicationSink>>>> =
+            Arc::new(RwLock::new(None));
         let writer = {
             let store = Arc::clone(&store);
             let ins = ins.clone();
             let breaker = Arc::clone(&breaker);
+            let replication = Arc::clone(&replication);
             std::thread::Builder::new()
                 .name("store-writer".into())
                 .spawn(move || {
@@ -193,6 +210,12 @@ impl PersistentTier {
                                 };
                                 if ok {
                                     ins.written.inc();
+                                    // Tee to the replica only what
+                                    // actually reached the local log.
+                                    let sink = replication.read().unwrap().clone();
+                                    if let Some(sink) = sink {
+                                        sink.record(&key, &report);
+                                    }
                                 } else {
                                     ins.failed.inc();
                                 }
@@ -205,6 +228,10 @@ impl PersistentTier {
                                 }
                             }
                             WriterMsg::Flush(ack) => {
+                                let sink = replication.read().unwrap().clone();
+                                if let Some(sink) = sink {
+                                    sink.barrier();
+                                }
                                 let _ = ack.send(());
                             }
                         }
@@ -217,8 +244,15 @@ impl PersistentTier {
             sender: Mutex::new(Some(tx)),
             writer: Mutex::new(Some(writer)),
             breaker,
+            replication,
             ins,
         })
+    }
+
+    /// Installs a [`ReplicationSink`] teeing every successful append (and
+    /// each flush barrier) to a replica. Replaces any previous sink.
+    pub fn set_replication_sink(&self, sink: Arc<dyn ReplicationSink>) {
+        *self.replication.write().unwrap() = Some(sink);
     }
 
     /// The underlying store.

@@ -18,7 +18,15 @@
 //!   0x04 Metrics
 //!   0x05 Compact
 //!   0x06 Shutdown
+//!   0x07 Health
+//!   0x08 Replicate
 //! ```
+//!
+//! `Health` is the cluster router's failover probe: a cheap liveness +
+//! identity check answered inline (text body with the node id). `Replicate`
+//! is node-to-node: it carries a batch of store-codec record frames from a
+//! primary to its designated replica, shipped verbatim so the replica's
+//! cache and segment log stay warm for failover.
 
 use crate::codec::{put_bytes, put_u128, put_varint, DecodeError, DecodeResult, Reader};
 
@@ -34,6 +42,10 @@ pub const TAG_METRICS: u8 = 0x04;
 pub const TAG_COMPACT: u8 = 0x05;
 /// Graceful shutdown.
 pub const TAG_SHUTDOWN: u8 = 0x06;
+/// Node health / identity probe (router failover probes).
+pub const TAG_HEALTH: u8 = 0x07;
+/// Replication batch: store-codec record frames for a replica.
+pub const TAG_REPLICATE: u8 = 0x08;
 /// Response frame tag: success.
 pub const TAG_OK: u8 = 0x81;
 /// Response frame tag: error.
@@ -96,6 +108,23 @@ pub enum Request {
         /// Echoed id.
         id: u64,
     },
+    /// Health / identity probe: answered inline with a text body carrying
+    /// the node id, so a router can both check liveness and verify it is
+    /// talking to the node it thinks it is.
+    Health {
+        /// Echoed id.
+        id: u64,
+    },
+    /// A replication batch: opaque store-codec record frames (the same
+    /// `len | crc32 | payload` framing the segment log uses), shipped
+    /// verbatim from a primary node to its designated replica.
+    Replicate {
+        /// Echoed id.
+        id: u64,
+        /// Concatenated record frames, validated record-by-record by the
+        /// receiver (CRC + decode) before anything is applied.
+        batch: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -108,6 +137,8 @@ impl Request {
             Request::Metrics { .. } => TAG_METRICS,
             Request::Compact { .. } => TAG_COMPACT,
             Request::Shutdown { .. } => TAG_SHUTDOWN,
+            Request::Health { .. } => TAG_HEALTH,
+            Request::Replicate { .. } => TAG_REPLICATE,
         }
     }
 
@@ -118,7 +149,9 @@ impl Request {
             | Request::Stats { id }
             | Request::Metrics { id }
             | Request::Compact { id }
-            | Request::Shutdown { id } => *id,
+            | Request::Shutdown { id }
+            | Request::Health { id }
+            | Request::Replicate { id, .. } => *id,
             Request::Analyze(a) => a.id,
         }
     }
@@ -131,7 +164,12 @@ impl Request {
             | Request::Stats { id }
             | Request::Metrics { id }
             | Request::Compact { id }
-            | Request::Shutdown { id } => put_varint(&mut out, *id),
+            | Request::Shutdown { id }
+            | Request::Health { id } => put_varint(&mut out, *id),
+            Request::Replicate { id, batch } => {
+                put_varint(&mut out, *id);
+                put_bytes(&mut out, batch);
+            }
             Request::Analyze(a) => {
                 put_varint(&mut out, a.id);
                 let mut flags = 0u8;
@@ -175,6 +213,11 @@ impl Request {
             TAG_METRICS => Request::Metrics { id },
             TAG_COMPACT => Request::Compact { id },
             TAG_SHUTDOWN => Request::Shutdown { id },
+            TAG_HEALTH => Request::Health { id },
+            TAG_REPLICATE => Request::Replicate {
+                id,
+                batch: r.len_bytes()?.to_vec(),
+            },
             TAG_ANALYZE => {
                 let flags = r.u8()?;
                 if flags & !(FLAG_SOURCE | FLAG_FINGERPRINT | FLAG_PROBLEMS | FLAG_DISTANCE) != 0 {
@@ -391,6 +434,15 @@ mod tests {
         round_trip_request(Request::Metrics { id: u64::MAX });
         round_trip_request(Request::Compact { id: 3 });
         round_trip_request(Request::Shutdown { id: 4 });
+        round_trip_request(Request::Health { id: 11 });
+        round_trip_request(Request::Replicate {
+            id: 12,
+            batch: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        });
+        round_trip_request(Request::Replicate {
+            id: 13,
+            batch: Vec::new(),
+        });
         round_trip_request(Request::Analyze(AnalyzeRequest {
             id: 42,
             fingerprint: Some([9; 16]),
@@ -477,5 +529,31 @@ mod tests {
             Request::decode(TAG_PING, &payload),
             Err(DecodeError::TrailingBytes)
         );
+        let mut payload = Request::Health { id: 1 }.encode_payload();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(TAG_HEALTH, &payload),
+            Err(DecodeError::TrailingBytes)
+        );
+        let mut payload = Request::Replicate {
+            id: 1,
+            batch: vec![1, 2],
+        }
+        .encode_payload();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(TAG_REPLICATE, &payload),
+            Err(DecodeError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn replicate_truncated_batch_is_rejected() {
+        // Length prefix claims more bytes than are present.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1);
+        put_varint(&mut payload, 10);
+        payload.extend_from_slice(&[1, 2, 3]);
+        assert!(Request::decode(TAG_REPLICATE, &payload).is_err());
     }
 }

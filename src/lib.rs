@@ -38,7 +38,12 @@
 //! * [`resilience`] — fault-tolerance primitives wired through the
 //!   serving stack: deterministic seeded fault injection behind the
 //!   `FaultSurface` trait, the store write-path circuit breaker, and
-//!   the jittered backoff the resilient client retries with.
+//!   the jittered backoff the resilient client retries with;
+//! * [`cluster`] — the scale-out layer: a consistent-hash ring over the
+//!   canonical fingerprint, the static cluster topology with designated
+//!   replicas, the segment-log replicator behind `serve --replicate-to`,
+//!   and cross-node Prometheus exposition merging (the router itself is
+//!   `serve --router` in [`service`]).
 //!
 //! # Quickstart
 //!
@@ -58,6 +63,7 @@
 
 pub use arrayflow_analyses as analyses;
 pub use arrayflow_baselines as baselines;
+pub use arrayflow_cluster as cluster;
 pub use arrayflow_core as core;
 pub use arrayflow_engine as engine;
 pub use arrayflow_graph as graph;
@@ -74,6 +80,7 @@ pub use arrayflow_workloads as workloads;
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {
     pub use arrayflow_analyses::{analyze_loop, LoopAnalysis};
+    pub use arrayflow_cluster::{Ring, Topology};
     pub use arrayflow_core::{Direction, Dist, Mode};
     pub use arrayflow_engine::{Engine, EngineConfig};
     pub use arrayflow_ir::{parse_program, Fingerprint, LoopBuilder, Program};
