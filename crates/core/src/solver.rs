@@ -75,13 +75,13 @@ impl Solution {
     }
 }
 
-struct View<'g> {
+pub(crate) struct View<'g> {
     graph: &'g LoopGraph,
-    order: Vec<NodeId>,
+    pub(crate) order: Vec<NodeId>,
 }
 
 impl<'g> View<'g> {
-    fn new(graph: &'g LoopGraph, direction: Direction) -> Self {
+    pub(crate) fn new(graph: &'g LoopGraph, direction: Direction) -> Self {
         let order = match direction {
             Direction::Forward => graph.rpo().to_vec(),
             Direction::Backward => graph.rpo().iter().rev().copied().collect(),
@@ -89,15 +89,15 @@ impl<'g> View<'g> {
         Self { graph, order }
     }
 
-    fn first(&self) -> NodeId {
+    pub(crate) fn first(&self) -> NodeId {
         self.order[0]
     }
 
-    fn last(&self) -> NodeId {
+    pub(crate) fn last(&self) -> NodeId {
         *self.order.last().expect("graphs are non-empty")
     }
 
-    fn preds(&self, node: NodeId, direction: Direction) -> &[NodeId] {
+    pub(crate) fn preds(&self, node: NodeId, direction: Direction) -> &[NodeId] {
         match direction {
             Direction::Forward => self.graph.preds(node),
             Direction::Backward => self.graph.succs(node),
@@ -237,7 +237,7 @@ fn solve_impl(
     }
 }
 
-fn meet_of_preds(
+pub(crate) fn meet_of_preds(
     view: &View<'_>,
     node: NodeId,
     spec: &ProblemSpec,

@@ -1,0 +1,395 @@
+//! Worklist-driven fixed point solver (the incremental counterpart of
+//! [`solve`](crate::solver::solve)).
+//!
+//! The round-robin solver of [`crate::solver`] visits every node on every
+//! pass. Because the statement flow functions are monotone and act
+//! componentwise, a node's `(IN, OUT)` tuple can only change when the `OUT`
+//! of one of its flow predecessors changed since the node was last computed
+//! — so most visits of a pass recompute values that cannot have moved.
+//! [`solve_worklist`] exploits this with *pending node sets* in the style of
+//! MIR's `solve_dataflow`: pass 1 seeds every node, and each subsequent pass
+//! visits only the flow successors of nodes that changed.
+//!
+//! The scheduling is deliberately **pass-emulating**: pending nodes are
+//! visited in the same flow order as the round-robin passes, a change at a
+//! node schedules its later-in-order successors for the *current* pass and
+//! its back-edge target for the *next* pass. Under this schedule the state
+//! after worklist pass `p` is identical to the state after round-robin pass
+//! `p` (skipped nodes would have recomputed their current values), so the
+//! solver produces byte-identical [`Solution`]s — including the
+//! instrumentation, which reports the round-robin–equivalent visit counts.
+//! The visits actually spent (and saved) are returned separately in
+//! [`WorklistStats`].
+//!
+//! [`solve_profiled`] additionally records, per tracked reference, the last
+//! pass in which that component changed. Component columns evolve
+//! independently (meet and the flow functions are componentwise), which is
+//! what lets an incremental re-analysis re-solve only *dirtied* columns and
+//! splice the rest from a cached fixed point while still reconstructing the
+//! exact round-robin statistics.
+
+use arrayflow_graph::LoopGraph;
+
+use crate::flow::FlowTable;
+use crate::lattice::{Dist, DistVec};
+use crate::problem::{Direction, Mode, ProblemSpec};
+use crate::solver::{meet_of_preds, solve_traced, Solution, SolveStats, View};
+
+/// The visits a worklist run actually performed, next to the round-robin
+/// schedule it replaced. The `Solution` it accompanies reports the
+/// round-robin numbers (for byte-identity); this is the economy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorklistStats {
+    /// Node visits in the initialization pass (must-problems visit every
+    /// node exactly as the round-robin solver does).
+    pub init_visits: usize,
+    /// Node visits across all iteration passes — only pending nodes.
+    pub iter_visits: usize,
+    /// Iteration passes executed (equals the round-robin pass count).
+    pub passes: usize,
+    /// Visits the round-robin schedule would have spent on the same
+    /// iteration passes (`passes × nodes`).
+    pub round_robin_visits: usize,
+}
+
+impl WorklistStats {
+    /// Iteration-pass visits the worklist skipped.
+    pub fn saved_visits(&self) -> usize {
+        self.round_robin_visits.saturating_sub(self.iter_visits)
+    }
+}
+
+/// Per-component convergence profile: for each tracked reference, the last
+/// iteration pass (1-based) in which its column changed anywhere, or 0 if
+/// it never moved after initialization. `max(profile) ==
+/// stats.changing_passes` by construction.
+pub type ColumnProfile = Vec<u32>;
+
+/// One worklist solve: the fixed point, the per-component convergence
+/// profile, and the visit economy.
+#[derive(Debug, Clone)]
+pub struct WorklistRun {
+    /// The fixed point, byte-identical to [`solve`](crate::solver::solve)'s
+    /// — values and statistics.
+    pub solution: Solution,
+    /// Last changing pass per component (see [`ColumnProfile`]).
+    pub profile: ColumnProfile,
+    /// The visits actually spent.
+    pub stats: WorklistStats,
+}
+
+/// Solves `spec` over `graph` with the pass-emulating worklist schedule.
+///
+/// # Panics
+///
+/// Panics if the fixed point is not reached within the same generous pass
+/// budget as the round-robin solver.
+pub fn solve_worklist(graph: &LoopGraph, spec: &ProblemSpec) -> WorklistRun {
+    let m = spec.width();
+    let n = graph.len();
+    let table = FlowTable::build(graph, spec);
+    let view = View::new(graph, spec.direction);
+    let mut actual = WorklistStats::default();
+
+    let mut before: Vec<DistVec> = vec![vec![Dist::Bottom; m]; n];
+    let mut after: Vec<DistVec> = vec![vec![Dist::Bottom; m]; n];
+
+    match spec.mode {
+        Mode::Must => {
+            for &node in &view.order {
+                actual.init_visits += 1;
+                let inp = if node == view.first() {
+                    vec![Dist::Bottom; m]
+                } else {
+                    meet_of_preds(&view, node, spec, &after, Mode::Must, m)
+                };
+                let row = table.row(node);
+                let out = inp
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &x)| if row.generate[d] { Dist::Top } else { x })
+                    .collect::<Vec<_>>();
+                before[node.index()] = inp;
+                after[node.index()] = out;
+            }
+        }
+        Mode::May => {
+            for v in before.iter_mut().chain(after.iter_mut()) {
+                v.fill(Dist::Top);
+            }
+        }
+    }
+
+    // Position of each node in flow order: successors earlier in order are
+    // back-edge targets and belong to the *next* pass.
+    let mut pos = vec![0usize; n];
+    for (i, &node) in view.order.iter().enumerate() {
+        pos[node.index()] = i;
+    }
+
+    let hard_cap = 64;
+    let mut pending = vec![true; n];
+    let mut pending_next = vec![false; n];
+    let mut pass = 0;
+    let mut changing_passes = 0;
+    let mut profile = vec![0u32; m];
+    while pending.iter().any(|&p| p) {
+        pass += 1;
+        assert!(
+            pass <= hard_cap,
+            "fixed point not reached within {hard_cap} passes — non-structured graph?"
+        );
+        let mut changed = false;
+        for i in 0..view.order.len() {
+            let node = view.order[i];
+            if !pending[node.index()] {
+                continue;
+            }
+            pending[node.index()] = false;
+            actual.iter_visits += 1;
+            let inp = if node == view.first() {
+                // Only the back edge feeds the first node in flow order.
+                after[view.last().index()].clone()
+            } else {
+                meet_of_preds(&view, node, spec, &after, spec.mode, m)
+            };
+            let mut out = Vec::with_capacity(m);
+            table.apply(node, &inp, &mut out);
+            let mut node_changed = false;
+            for d in 0..m {
+                if before[node.index()][d] != inp[d] || after[node.index()][d] != out[d] {
+                    profile[d] = pass as u32;
+                    node_changed = true;
+                }
+            }
+            if node_changed {
+                before[node.index()] = inp;
+                after[node.index()] = out;
+            }
+            if node_changed {
+                changed = true;
+                // Flow successors: later in order → this pass, earlier →
+                // next pass. The back edge is implicit in the graph (the
+                // first node reads `after[last]` directly), so a change at
+                // the last node schedules the first for the next pass.
+                let succs = match spec.direction {
+                    Direction::Forward => graph.succs(node),
+                    Direction::Backward => graph.preds(node),
+                };
+                for &s in succs {
+                    if pos[s.index()] > i {
+                        pending[s.index()] = true;
+                    } else {
+                        pending_next[s.index()] = true;
+                    }
+                }
+                if node == view.last() {
+                    pending_next[view.first().index()] = true;
+                }
+            }
+        }
+        if changed {
+            changing_passes = pass;
+        }
+        std::mem::swap(&mut pending, &mut pending_next);
+        pending_next.fill(false);
+    }
+    // The round-robin solver always ends on a confirming pass in which
+    // nothing changes, so it runs changing_passes + 1 passes. The worklist
+    // may prove convergence without it (an empty pending set IS the
+    // proof), hence the equivalent schedule is derived from the last
+    // changing pass, not from the passes actually executed.
+    actual.passes = pass;
+    let rr_passes = changing_passes + 1;
+    actual.round_robin_visits = rr_passes * n;
+
+    let stats = SolveStats {
+        init_visits: actual.init_visits,
+        iter_visits: rr_passes * n,
+        passes: rr_passes,
+        changing_passes,
+    };
+    WorklistRun {
+        solution: Solution {
+            before,
+            after,
+            stats,
+        },
+        profile,
+        stats: actual,
+    }
+}
+
+/// Solves `spec` with the round-robin schedule, additionally recording the
+/// per-component [`ColumnProfile`]. The `Solution` is exactly
+/// [`solve`](crate::solver::solve)'s.
+pub fn solve_profiled(graph: &LoopGraph, spec: &ProblemSpec) -> (Solution, ColumnProfile) {
+    let (sol, snaps) = solve_traced(graph, spec);
+    let m = spec.width();
+    let n = graph.len();
+    let mut profile = vec![0u32; m];
+    // snaps[0] is the state entering pass 1; snaps[p] the state after pass
+    // p. Each node is written at most once per pass, so "column d changed
+    // in pass p" is exactly a snapshot difference in column d.
+    for p in 1..snaps.len() {
+        let (pb, pa) = &snaps[p];
+        let (qb, qa) = &snaps[p - 1];
+        for d in 0..m {
+            if (0..n).any(|i| pb[i][d] != qb[i][d] || pa[i][d] != qa[i][d]) {
+                profile[d] = p as u32;
+            }
+        }
+    }
+    debug_assert_eq!(
+        profile.iter().copied().max().unwrap_or(0) as usize,
+        sol.stats.changing_passes
+    );
+    (sol, profile)
+}
+
+/// Reconstructs the round-robin [`SolveStats`] from a component profile, as
+/// the incremental engine does after splicing cached and re-solved columns:
+/// the round-robin solver runs `max(profile) + 1` passes of `nodes` visits
+/// each, plus the initialization pass for must-problems.
+pub fn stats_from_profile(profile: &[u32], nodes: usize, mode: Mode) -> SolveStats {
+    let changing = profile.iter().copied().max().unwrap_or(0) as usize;
+    let passes = changing + 1;
+    SolveStats {
+        init_visits: match mode {
+            Mode::Must => nodes,
+            Mode::May => 0,
+        },
+        iter_visits: passes * nodes,
+        passes,
+        changing_passes: changing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{KillKind, ProblemSpec};
+    use crate::solver::solve;
+    use arrayflow_graph::{build_loop_graph, NodeId};
+    use arrayflow_ir::{parse_program, AffineSub, ArrayRef, Expr};
+
+    fn fig3(mode: Mode) -> (arrayflow_ir::Program, ProblemSpec) {
+        let p = parse_program(
+            "do i = 1, UB
+               C[i+2] := C[i] * 2;
+               B[2*i] := C[i] + x;
+               if C[i] == 0 then C[i] := B[i-1]; end
+               B[i] := C[i+1];
+             end",
+        )
+        .unwrap();
+        let c = p.symbols.lookup_array("C").unwrap();
+        let b = p.symbols.lookup_array("B").unwrap();
+        let mut spec = ProblemSpec::new(Direction::Forward, mode);
+        for (node, array, sub) in [
+            (NodeId(1), c, AffineSub::simple(1, 2)),
+            (NodeId(2), b, AffineSub::simple(2, 0)),
+            (NodeId(4), c, AffineSub::simple(1, 0)),
+            (NodeId(5), b, AffineSub::simple(1, 0)),
+        ] {
+            spec.add_gen(
+                node,
+                ArrayRef::new(array, Expr::Const(0)),
+                sub.clone(),
+                true,
+                None,
+            );
+            spec.add_kill(node, array, KillKind::Exact(sub));
+        }
+        (p, spec)
+    }
+
+    fn assert_identical(sol: &Solution, wl: &Solution) {
+        assert_eq!(sol.before, wl.before);
+        assert_eq!(sol.after, wl.after);
+        assert_eq!(sol.stats, wl.stats);
+    }
+
+    #[test]
+    fn worklist_matches_round_robin_must() {
+        let (p, spec) = fig3(Mode::Must);
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        let run = solve_worklist(&graph, &spec);
+        assert_identical(&sol, &run.solution);
+        assert!(run.stats.iter_visits <= run.stats.round_robin_visits);
+    }
+
+    #[test]
+    fn worklist_matches_round_robin_may() {
+        let (p, mut spec) = fig3(Mode::May);
+        spec.mode = Mode::May;
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        let run = solve_worklist(&graph, &spec);
+        assert_identical(&sol, &run.solution);
+    }
+
+    #[test]
+    fn worklist_skips_visits_after_pass_one() {
+        let (p, spec) = fig3(Mode::Must);
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let run = solve_worklist(&graph, &spec);
+        // Pass 1 visits everything; later passes must not.
+        assert!(run.stats.passes >= 2);
+        assert!(
+            run.stats.saved_visits() > 0,
+            "worklist saved nothing: {:?}",
+            run.stats
+        );
+    }
+
+    #[test]
+    fn worklist_profile_matches_round_robin_profile() {
+        for mode in [Mode::Must, Mode::May] {
+            let (p, mut spec) = fig3(Mode::Must);
+            spec.mode = mode;
+            let graph = build_loop_graph(p.sole_loop().unwrap());
+            let (_, profile) = solve_profiled(&graph, &spec);
+            let run = solve_worklist(&graph, &spec);
+            assert_eq!(profile, run.profile, "profiles diverge for {mode:?}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_trivial_for_the_worklist_too() {
+        let p = parse_program("do i = 1, 10 A[i] := 0; end").unwrap();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let spec = ProblemSpec::new(Direction::Forward, Mode::Must);
+        let sol = solve(&graph, &spec);
+        let run = solve_worklist(&graph, &spec);
+        assert_identical(&sol, &run.solution);
+    }
+
+    #[test]
+    fn profile_reconstructs_round_robin_stats() {
+        for mode in [Mode::Must, Mode::May] {
+            let (p, mut spec) = fig3(Mode::Must);
+            spec.mode = mode;
+            let graph = build_loop_graph(p.sole_loop().unwrap());
+            let sol = solve(&graph, &spec);
+            let (psol, profile) = solve_profiled(&graph, &spec);
+            assert_identical(&sol, &psol);
+            assert_eq!(
+                stats_from_profile(&profile, graph.len(), mode),
+                sol.stats,
+                "derived stats diverge for {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_problems_schedule_over_reversed_order() {
+        let (p, mut spec) = fig3(Mode::Must);
+        spec.direction = Direction::Backward;
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        let run = solve_worklist(&graph, &spec);
+        assert_identical(&sol, &run.solution);
+    }
+}

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use arrayflow_analyses::loops_innermost_first;
-use arrayflow_ir::{fingerprint_loop, Fingerprint, Program};
-use arrayflow_obs::{observed_span, Counter, Histogram, Registry, PHASE_BUCKETS_US};
+use arrayflow_incremental::{Session, SessionStats, SessionStore, StoreConfig};
+use arrayflow_ir::{fingerprint_loop, Edit, Fingerprint, Program};
+use arrayflow_obs::{observed_span, Counter, Gauge, Histogram, Registry, PHASE_BUCKETS_US};
 use arrayflow_resilience::{panic_message, FaultSurface};
 
 use crate::cache::{CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier};
@@ -50,6 +51,12 @@ pub struct EngineConfig {
     pub problems: ProblemSet,
     /// Distance bound for dependence extraction (part of the cache key).
     pub dep_max_distance: u64,
+    /// Maximum simultaneously open analysis sessions; opening one more
+    /// evicts the least recently used.
+    pub session_capacity: usize,
+    /// Idle milliseconds after which an analysis session expires; `0`
+    /// disables the TTL.
+    pub session_ttl_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +68,8 @@ impl Default for EngineConfig {
             eviction: EvictionPolicy::default(),
             problems: ProblemSet::ALL,
             dep_max_distance: 8,
+            session_capacity: 64,
+            session_ttl_ms: 600_000,
         }
     }
 }
@@ -218,6 +227,24 @@ impl std::fmt::Display for EngineStats {
     }
 }
 
+/// The result of a delta re-analysis against an open session.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// The session the edit was applied to.
+    pub session: u64,
+    /// Canonical fingerprint of the loop *after* the edit.
+    pub fingerprint: Fingerprint,
+    /// The full report for the edited loop — byte-identical to what a
+    /// fresh [`Engine::analyze_one`] of the edited source would produce.
+    pub report: Arc<AnalysisReport>,
+    /// True when the edit forced a full re-analysis.
+    pub fallback: bool,
+    /// Lattice columns re-solved by the worklist (0 on fallback).
+    pub dirty_columns: usize,
+    /// Total lattice columns across the four instances.
+    pub total_columns: usize,
+}
+
 /// A concurrent, memoizing batch analysis engine over the array data flow
 /// framework.
 ///
@@ -250,6 +277,7 @@ pub struct Engine {
     registry: Registry,
     ins: EngineInstruments,
     faults: Option<Arc<dyn FaultSurface>>,
+    sessions: SessionStore,
 }
 
 /// The engine's registered instruments. Counters mirror the legacy
@@ -273,6 +301,9 @@ struct EngineInstruments {
     worker_panics: Counter,
     fingerprint_fast_hits: Counter,
     fingerprint_misses: Counter,
+    delta_requests: Counter,
+    delta_fallbacks: Counter,
+    sessions_open: Gauge,
 }
 
 impl EngineInstruments {
@@ -331,6 +362,18 @@ impl EngineInstruments {
                 "arrayflow_fingerprint_misses_total",
                 "fingerprint-first lookups that missed both cache tiers",
             ),
+            delta_requests: registry.counter(
+                "arrayflow_delta_requests_total",
+                "single-statement delta re-analyses requested against open sessions",
+            ),
+            delta_fallbacks: registry.counter(
+                "arrayflow_delta_fallbacks_total",
+                "delta requests that fell back to a full re-analysis (structural edits)",
+            ),
+            sessions_open: registry.gauge(
+                "arrayflow_sessions_open",
+                "analysis sessions currently open",
+            ),
         }
     }
 
@@ -370,12 +413,18 @@ impl Engine {
             config.eviction,
             registry,
         );
+        let sessions = SessionStore::new(StoreConfig {
+            capacity: config.session_capacity,
+            ttl: (config.session_ttl_ms > 0)
+                .then(|| std::time::Duration::from_millis(config.session_ttl_ms)),
+        });
         Self {
             config,
             cache,
             registry: registry.clone(),
             ins: EngineInstruments::registered(registry),
             faults: None,
+            sessions,
         }
     }
 
@@ -593,6 +642,127 @@ impl Engine {
                 None
             }
         }
+    }
+
+    /// Opens an interactive analysis session: fully analyzes the program
+    /// once and retains the converged lattice state so subsequent
+    /// [`Engine::analyze_delta`] calls can re-converge from it instead of
+    /// starting over. Returns the session id and the initial report (also
+    /// inserted into the memo cache under [`ProblemSet::ALL`]).
+    ///
+    /// Sessions require a single normalized loop — the shape the
+    /// incremental solver is defined over; other programs get an
+    /// [`AnalysisError::Analysis`].
+    pub fn open_session(
+        &self,
+        program: &Program,
+    ) -> Result<(u64, Arc<AnalysisReport>), AnalysisError> {
+        let session =
+            Session::open(program.clone()).map_err(|e| AnalysisError::Analysis(e.to_string()))?;
+        let report = Arc::new(AnalysisReport::of_analysis(
+            session.fingerprint(),
+            session.analysis(),
+            ProblemSet::ALL,
+            self.config.dep_max_distance,
+        ));
+        self.memoize_session_report(&report);
+        let id = self.sessions.insert(session);
+        self.ins
+            .sessions_open
+            .set(self.sessions.stats().open as u64);
+        Ok((id, Arc::clone(&report)))
+    }
+
+    /// Applies one single-statement edit to an open session and
+    /// re-converges, returning a report byte-identical to a fresh analysis
+    /// of the edited source. Unknown, evicted or expired sessions are an
+    /// [`AnalysisError::Analysis`] — the client reopens and retries.
+    ///
+    /// Counts every request in `arrayflow_delta_requests_total` and full
+    /// re-analysis fallbacks in `arrayflow_delta_fallbacks_total`; the
+    /// per-instance pass histograms observe delta-path solves exactly as
+    /// they do batch solves (the reconstructed statistics respect the
+    /// paper's pass bounds, so the histogram invariants hold).
+    pub fn analyze_delta(&self, session: u64, edit: &Edit) -> Result<DeltaReport, AnalysisError> {
+        self.ins.delta_requests.inc();
+        let dep_max_distance = self.config.dep_max_distance;
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            self.sessions.with_session(session, |s| {
+                s.apply(edit).map(|outcome| {
+                    let report = AnalysisReport::of_analysis(
+                        s.fingerprint(),
+                        s.analysis(),
+                        ProblemSet::ALL,
+                        dep_max_distance,
+                    );
+                    (outcome, report)
+                })
+            })
+        }));
+        let applied = match applied {
+            Ok(a) => a,
+            Err(payload) => {
+                self.ins.worker_panics.inc();
+                return Err(AnalysisError::Internal(format!(
+                    "delta panicked: {}",
+                    panic_message(payload.as_ref())
+                )));
+            }
+        };
+        let Some(applied) = applied else {
+            return Err(AnalysisError::Analysis(format!(
+                "unknown or expired session {session}"
+            )));
+        };
+        let (outcome, report) = applied.map_err(|e| AnalysisError::Analysis(e.to_string()))?;
+        self.sessions.record_delta(outcome.fallback);
+        if outcome.fallback {
+            self.ins.delta_fallbacks.inc();
+        }
+        for (problem, s) in report.instance_stats() {
+            if let Some(h) = self.ins.pass_histogram(problem) {
+                h.observe(passes_to_fix(&s));
+            }
+        }
+        let report = Arc::new(report);
+        self.memoize_session_report(&report);
+        Ok(DeltaReport {
+            session,
+            fingerprint: report.fingerprint,
+            report,
+            fallback: outcome.fallback,
+            dirty_columns: outcome.dirty_columns,
+            total_columns: outcome.total_columns,
+        })
+    }
+
+    /// Closes a session, returning whether it was open.
+    pub fn close_session(&self, session: u64) -> bool {
+        let hit = self.sessions.remove(session);
+        self.ins
+            .sessions_open
+            .set(self.sessions.stats().open as u64);
+        hit
+    }
+
+    /// Counters of the session store (open sessions, evictions, delta
+    /// hit/fallback totals) — the `sessions` section of the service stats.
+    pub fn session_stats(&self) -> SessionStats {
+        let stats = self.sessions.stats();
+        self.ins.sessions_open.set(stats.open as u64);
+        stats
+    }
+
+    /// Session-path reports are computed for [`ProblemSet::ALL`]; park
+    /// them in the memo cache so batch queries for the same loop hit.
+    fn memoize_session_report(&self, report: &Arc<AnalysisReport>) {
+        let key = CacheKey {
+            fingerprint: report.fingerprint,
+            problems: ProblemSet::ALL,
+            dep_max_distance: report.dep_max_distance,
+        };
+        let _span = observed_span("cache_insert", &self.ins.phase_cache_insert);
+        self.cache.insert(key, Arc::clone(report));
     }
 
     /// Analyzes a batch of programs across the worker pool, returning

@@ -49,7 +49,7 @@ pub use cache::{
     fingerprint_route_hash, CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier,
 };
 pub use engine::{
-    passes_to_fix, AnalysisError, BatchResult, Engine, EngineConfig, EngineStats, LoopReport,
-    QueryStats, SOLVER_PASS_BUCKETS,
+    passes_to_fix, AnalysisError, BatchResult, DeltaReport, Engine, EngineConfig, EngineStats,
+    LoopReport, QueryStats, SOLVER_PASS_BUCKETS,
 };
 pub use report::{AnalysisReport, InstanceStats, ProblemSet};

@@ -154,6 +154,24 @@ impl AnalysisReport {
         // was asked for. The solver is cheap (≤ 3 passes per instance), so
         // a finer-grained lazy scheme is not worth the code.
         let a = LoopAnalysis::of_loop(l, symbols)?;
+        Ok(Self::of_analysis(
+            fingerprint,
+            &a,
+            problems,
+            dep_max_distance,
+        ))
+    }
+
+    /// Distills the cacheable report from an already-converged analysis —
+    /// the path the incremental session layer takes, where the fixed point
+    /// comes out of a [`Session`](arrayflow_incremental::Session) rather
+    /// than a fresh solve.
+    pub fn of_analysis(
+        fingerprint: Fingerprint,
+        a: &LoopAnalysis,
+        problems: ProblemSet,
+        dep_max_distance: u64,
+    ) -> Self {
         let reuses = if problems.available {
             reuse_pairs(&a.graph, &a.sites, &a.available)
         } else {
@@ -169,7 +187,7 @@ impl AnalysisReport {
         } else {
             Vec::new()
         };
-        Ok(Self {
+        Self {
             fingerprint,
             problems,
             dep_max_distance,
@@ -184,7 +202,7 @@ impl AnalysisReport {
             reuses,
             redundant_stores: stores,
             dependences: deps,
-        })
+        }
     }
 
     /// Instances actually run, with their counters.

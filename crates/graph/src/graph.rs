@@ -1,8 +1,9 @@
 //! The loop flow graph structure and its traversal orders.
 
-use arrayflow_ir::{SymbolTable, VarId};
+use arrayflow_ir::stmt::{Assign, StmtId};
+use arrayflow_ir::{Stmt, SymbolTable, VarId};
 
-use crate::node::{Node, NodeId, NodeKind};
+use crate::node::{ref_sites_of, Node, NodeId, NodeKind};
 
 /// An acyclic single-entry/single-exit flow graph for one loop body, plus
 /// the implicit back edge `exit → entry` representing the transfer to the
@@ -179,6 +180,37 @@ impl LoopGraph {
         let _ = writeln!(out, "  {} -> {} [style=dashed];", self.exit, self.entry);
         out.push_str("}\n");
         out
+    }
+
+    /// The node carrying the assignment with statement id `stmt`, if any.
+    pub fn assign_node(&self, stmt: StmtId) -> Option<NodeId> {
+        self.node_ids().find(
+            |&id| matches!(&self.node(id).kind, NodeKind::Assign { stmt: s, .. } if *s == stmt),
+        )
+    }
+
+    /// Replaces the assignment carried by node `id` in place, recomputing
+    /// the node's reference sites from the new statement.
+    ///
+    /// Swapping one assignment for another touches neither the edge set
+    /// nor the node count, so reverse postorder and the reachability
+    /// bitsets stay valid — this is what makes single-statement edits
+    /// cheap for the incremental analysis engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node `id` does not carry an assignment.
+    pub fn replace_assign(&mut self, id: NodeId, assign: Assign) {
+        let node = &mut self.nodes[id.index()];
+        assert!(
+            matches!(node.kind, NodeKind::Assign { .. }),
+            "replace_assign target {id} is not an assignment node"
+        );
+        node.refs = ref_sites_of(&Stmt::Assign(assign.clone()));
+        node.kind = NodeKind::Assign {
+            stmt: assign.id,
+            assign,
+        };
     }
 
     /// The statement-bearing nodes (everything except entry/test/exit),

@@ -19,4 +19,4 @@ pub mod node;
 
 pub use build::build_loop_graph;
 pub use graph::LoopGraph;
-pub use node::{Node, NodeId, NodeKind, RefSite};
+pub use node::{ref_sites_of, Node, NodeId, NodeKind, RefSite};

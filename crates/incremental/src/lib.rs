@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Incremental re-analysis: analysis sessions that re-converge a cached
+//! fixed point after single-statement edits.
+//!
+//! A fresh analysis pays for parsing, normalization, graph construction,
+//! site classification, flow-table derivation and the full round-robin
+//! solve of all four framework instances — per request, proportional to
+//! program size. An interactive client editing one statement at a time
+//! invalidates almost none of that work: the flow graph keeps its shape,
+//! and because the framework's meet and flow functions act *componentwise*
+//! (one column of the tuple lattice per tracked reference), the fixed-point
+//! column of every reference whose generator and kill environment the edit
+//! did not touch is still exact.
+//!
+//! [`Session`] exploits this. It retains the normalized IR, the loop flow
+//! graph, the classified sites and the converged lattice state of all four
+//! instances, plus a per-column *convergence profile* (the last pass in
+//! which each column changed). [`Session::apply`] patches the edited
+//! assignment into the graph in place, re-enumerates sites, determines the
+//! *dirtied columns* — those generated at the edited node or tracking an
+//! array the old or new statement references — and re-converges only those
+//! with the worklist solver ([`arrayflow_core::solve_worklist`]) over a
+//! narrowed problem spec. Clean columns are spliced verbatim from the
+//! cached fixed point; the merged statistics are reconstructed from the
+//! profiles, so the result is **byte-identical** to a from-scratch analysis
+//! of the edited program. Edits that change loop structure (a conditional
+//! or nested loop substituted in, a scalar assignment appearing or
+//! disappearing, an edit inside a nested loop) fall back to a full
+//! re-analysis and record that they did.
+//!
+//! [`SessionStore`] bounds session memory: capacity-based LRU eviction plus
+//! a time-to-live, with counters for the serving layer's `sessions` stats.
+
+pub mod session;
+pub mod store;
+
+pub use session::{DeltaError, DeltaOutcome, Session};
+pub use store::{SessionStats, SessionStore, StoreConfig};

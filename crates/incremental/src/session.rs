@@ -1,0 +1,424 @@
+//! One analysis session: cached fixed point plus delta re-convergence.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use arrayflow_analyses::instances::Instance;
+use arrayflow_analyses::sites::enumerate_sites;
+use arrayflow_analyses::spec::{build_spec, GK};
+use arrayflow_analyses::{AnalyzeError, LoopAnalysis};
+use arrayflow_core::{
+    solve_worklist, stats_from_profile, ColumnProfile, Direction, Mode, ProblemSpec, Solution,
+};
+use arrayflow_graph::build_loop_graph;
+use arrayflow_ir::{
+    apply_edit, fingerprint_loop, normalize, Assign, Edit, EditError, EditShape, Fingerprint,
+    LValue, Program, Stmt, StmtId,
+};
+
+/// The four framework instances in the fixed order the engine reports
+/// them: must-reaching, δ-available, δ-busy (backward), δ-reaching (may).
+const INSTANCES: [(GK, Direction, Mode); 4] = [
+    (GK::REACHING_DEFS, Direction::Forward, Mode::Must),
+    (GK::AVAILABLE, Direction::Forward, Mode::Must),
+    (GK::BUSY_STORES, Direction::Backward, Mode::Must),
+    (GK::REACHING_REFS, Direction::Forward, Mode::May),
+];
+
+/// Why a delta could not be applied. The session is left unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The edit itself was invalid (parse error, unknown statement id).
+    Edit(EditError),
+    /// The edited program is no longer analyzable.
+    Analyze(AnalyzeError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Edit(e) => write!(f, "{e}"),
+            DeltaError::Analyze(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<EditError> for DeltaError {
+    fn from(e: EditError) -> Self {
+        DeltaError::Edit(e)
+    }
+}
+
+impl From<AnalyzeError> for DeltaError {
+    fn from(e: AnalyzeError) -> Self {
+        DeltaError::Analyze(e)
+    }
+}
+
+/// What one [`Session::apply`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// True when the edit forced a full re-analysis instead of the
+    /// incremental column re-solve.
+    pub fallback: bool,
+    /// Columns re-solved across the four instances (0 on fallback).
+    pub dirty_columns: usize,
+    /// Total columns across the four instances after the edit.
+    pub total_columns: usize,
+    /// Node visits the narrowed worklist solves actually spent.
+    pub solver_visits: usize,
+    /// Node visits four fresh round-robin solves of the full specs would
+    /// have spent (`(init + passes · nodes)` summed over instances).
+    pub full_solver_visits: usize,
+}
+
+/// An open analysis session: the edited-to-date program and its converged
+/// analysis state.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The program as submitted plus all applied edits, renumbered.
+    raw: Program,
+    /// Normalized + renumbered form of `raw`.
+    norm: Program,
+    /// Canonical fingerprint of the normalized sole loop.
+    fingerprint: Fingerprint,
+    /// The converged analysis of the normalized loop.
+    analysis: LoopAnalysis,
+    /// Per-instance convergence profiles (same order as [`INSTANCES`]).
+    profiles: [ColumnProfile; 4],
+    /// Edits applied so far.
+    edits: u64,
+    /// Edits that fell back to a full re-analysis.
+    fallbacks: u64,
+}
+
+fn analyze_norm(
+    norm: &Program,
+) -> Result<(Fingerprint, LoopAnalysis, [ColumnProfile; 4]), AnalyzeError> {
+    let l = norm.sole_loop().ok_or(AnalyzeError::NotASingleLoop)?;
+    if !l.is_normalized() {
+        return Err(AnalyzeError::NotNormalized);
+    }
+    let fingerprint = fingerprint_loop(l, &norm.symbols);
+    let graph = build_loop_graph(l);
+    let (sites, lin) = enumerate_sites(l, &graph, &norm.symbols);
+    let mut runs = INSTANCES
+        .iter()
+        .map(|&(gk, dir, mode)| Instance::run_profiled(&graph, &sites, gk, dir, mode))
+        .collect::<Vec<_>>();
+    let (reaching_refs, p3) = runs.pop().expect("four instances");
+    let (busy, p2) = runs.pop().expect("four instances");
+    let (available, p1) = runs.pop().expect("four instances");
+    let (reaching, p0) = runs.pop().expect("four instances");
+    let analysis = LoopAnalysis {
+        symbols: lin.symbols,
+        graph,
+        sites,
+        reaching,
+        available,
+        busy,
+        reaching_refs,
+    };
+    Ok((fingerprint, analysis, [p0, p1, p2, p3]))
+}
+
+/// Arrays an assignment's reference sites touch (as generator or kill).
+fn touched_arrays(assign: &Assign) -> HashSet<arrayflow_ir::ArrayId> {
+    use arrayflow_graph::ref_sites_of;
+    ref_sites_of(&Stmt::Assign(assign.clone()))
+        .iter()
+        .map(|r| r.aref.array)
+        .collect()
+}
+
+fn find_assign(block: &[Stmt], id: StmtId) -> Option<&Assign> {
+    for stmt in block {
+        match stmt {
+            Stmt::Assign(a) if a.id == id => return Some(a),
+            Stmt::Assign(_) => {}
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                if let Some(a) = find_assign(then_blk, id).or_else(|| find_assign(else_blk, id)) {
+                    return Some(a);
+                }
+            }
+            Stmt::Do(l) => {
+                if let Some(a) = find_assign(&l.body, id) {
+                    return Some(a);
+                }
+            }
+        }
+    }
+    None
+}
+
+impl Session {
+    /// Opens a session over a parsed program: normalizes, renumbers and
+    /// runs the full analysis once.
+    pub fn open(mut program: Program) -> Result<Self, AnalyzeError> {
+        program.renumber();
+        let mut norm = program.clone();
+        normalize(&mut norm);
+        norm.renumber();
+        let (fingerprint, analysis, profiles) = analyze_norm(&norm)?;
+        Ok(Self {
+            raw: program,
+            norm,
+            fingerprint,
+            analysis,
+            profiles,
+            edits: 0,
+            fallbacks: 0,
+        })
+    }
+
+    /// The canonical fingerprint of the current (edited-to-date) loop.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// The converged analysis of the current loop.
+    pub fn analysis(&self) -> &LoopAnalysis {
+        &self.analysis
+    }
+
+    /// The current normalized program.
+    pub fn program(&self) -> &Program {
+        &self.norm
+    }
+
+    /// The program as submitted plus all applied edits (not normalized).
+    pub fn source_program(&self) -> &Program {
+        &self.raw
+    }
+
+    /// Edits applied so far, and how many of them fell back to a full
+    /// re-analysis.
+    pub fn edit_counts(&self) -> (u64, u64) {
+        (self.edits, self.fallbacks)
+    }
+
+    /// Applies one single-statement edit and re-converges.
+    ///
+    /// On success the session state is byte-identical to what
+    /// [`Session::open`] would produce for the edited program; the outcome
+    /// says whether the incremental path was taken and how much solver
+    /// work it spent. On error the session is unchanged.
+    pub fn apply(&mut self, edit: &Edit) -> Result<DeltaOutcome, DeltaError> {
+        // Capture what the edit replaces before touching anything.
+        let old_node = self.analysis.graph.assign_node(edit.stmt);
+        let old_assign = find_assign(&self.norm.body, edit.stmt).cloned();
+
+        let mut raw = self.raw.clone();
+        let shape = apply_edit(&mut raw, edit)?;
+        let mut norm = raw.clone();
+        normalize(&mut norm);
+        norm.renumber();
+
+        let fast = shape == EditShape::Assign
+            && old_node.is_some()
+            && old_assign.is_some()
+            && norm.sole_loop().is_some_and(|l| l.is_normalized());
+        if !fast {
+            return self.rebuild(raw, norm, shape);
+        }
+        let en = old_node.expect("checked");
+        let old_assign = old_assign.expect("checked");
+        let new_assign = match find_assign(&norm.body, edit.stmt) {
+            Some(a) => a.clone(),
+            None => return self.rebuild(raw, norm, shape),
+        };
+        // A scalar assignment appearing or disappearing changes the scalar
+        // environment that site classification depends on — for *every*
+        // site, not just the edited node's. Structure-level fallback.
+        if matches!(old_assign.lhs, LValue::Scalar(_))
+            || matches!(new_assign.lhs, LValue::Scalar(_))
+        {
+            return self.rebuild(raw, norm, shape);
+        }
+
+        // ---- Fast path: patch the graph and re-solve dirty columns. ----
+        let mut dirty_arrays = touched_arrays(&old_assign);
+        dirty_arrays.extend(touched_arrays(&new_assign));
+
+        // The edited node's sites occupy one contiguous range of the site
+        // enumeration; everything after it shifts by the ref-count delta.
+        let old_sites = &self.analysis.sites;
+        let old_start = old_sites
+            .iter()
+            .position(|s| s.node == en)
+            .unwrap_or(old_sites.len());
+        let old_count = old_sites.iter().filter(|s| s.node == en).count();
+
+        let mut graph = self.analysis.graph.clone();
+        graph.replace_assign(en, new_assign);
+        let l = norm.sole_loop().expect("checked");
+        let (sites, lin) = enumerate_sites(l, &graph, &norm.symbols);
+        let new_count = sites.iter().filter(|s| s.node == en).count();
+        let map_site = |idx: usize| -> Option<usize> {
+            if idx < old_start {
+                Some(idx)
+            } else if idx >= old_start + new_count {
+                Some(idx - new_count + old_count)
+            } else {
+                None
+            }
+        };
+
+        let n = graph.len();
+        let mut outcome = DeltaOutcome::default();
+        let mut instances: Vec<(Instance, ColumnProfile)> = Vec::with_capacity(4);
+        for (k, &(gk, dir, mode)) in INSTANCES.iter().enumerate() {
+            let built = build_spec(&sites, gk, dir, mode);
+            let old = [
+                &self.analysis.reaching,
+                &self.analysis.available,
+                &self.analysis.busy,
+                &self.analysis.reaching_refs,
+            ][k];
+            let old_profile = &self.profiles[k];
+            // Old column index by old site index.
+            let old_col: HashMap<usize, usize> = old
+                .built
+                .gen_site
+                .iter()
+                .enumerate()
+                .map(|(col, &site)| (site, col))
+                .collect();
+
+            let m = built.spec.gens.len();
+            outcome.total_columns += m;
+            // Classify each new column: clean columns name the old column
+            // they splice from, dirty ones are re-solved.
+            let mut clean: Vec<Option<usize>> = Vec::with_capacity(m);
+            let mut narrow = ProblemSpec::new(dir, mode);
+            narrow.kills = built.spec.kills.clone();
+            let mut narrow_cols = Vec::new();
+            for (col, gen) in built.spec.gens.iter().enumerate() {
+                let old_site = gen
+                    .origin
+                    .and_then(|o| map_site(o as usize))
+                    .filter(|_| gen.node != en && !dirty_arrays.contains(&gen.aref.array));
+                match old_site.and_then(|s| old_col.get(&s).copied()) {
+                    Some(oc) => clean.push(Some(oc)),
+                    None => {
+                        clean.push(None);
+                        let id = narrow.add_gen(
+                            gen.node,
+                            gen.aref.clone(),
+                            gen.sub.clone(),
+                            gen.is_def,
+                            gen.stmt,
+                        );
+                        narrow.gens[id.index()].origin = gen.origin;
+                        narrow_cols.push(col);
+                    }
+                }
+            }
+            outcome.dirty_columns += narrow_cols.len();
+
+            // Re-converge the dirtied columns with the worklist solver and
+            // splice the clean ones from the cached fixed point.
+            let run = solve_worklist(&graph, &narrow);
+            outcome.solver_visits += run.stats.init_visits + run.stats.iter_visits;
+            let mut narrow_pos = vec![usize::MAX; m];
+            for (pos, &col) in narrow_cols.iter().enumerate() {
+                narrow_pos[col] = pos;
+            }
+            let mut profile = vec![0u32; m];
+            let mut before = vec![Vec::with_capacity(m); n];
+            let mut after = vec![Vec::with_capacity(m); n];
+            for (col, slot) in clean.iter().enumerate() {
+                match slot {
+                    Some(oc) => profile[col] = old_profile[*oc],
+                    None => profile[col] = run.profile[narrow_pos[col]],
+                }
+            }
+            for i in 0..n {
+                for (col, slot) in clean.iter().enumerate() {
+                    let (b, a) = match slot {
+                        Some(oc) => (old.sol.before[i][*oc], old.sol.after[i][*oc]),
+                        None => {
+                            let p = narrow_pos[col];
+                            (run.solution.before[i][p], run.solution.after[i][p])
+                        }
+                    };
+                    before[i].push(b);
+                    after[i].push(a);
+                }
+            }
+            let stats = stats_from_profile(&profile, n, mode);
+            outcome.full_solver_visits += stats.init_visits + stats.passes * n;
+            let sol = Solution {
+                before,
+                after,
+                stats,
+            };
+            instances.push((Instance { gk, built, sol }, profile));
+        }
+
+        let (p3, i3) = {
+            let (i, p) = instances.pop().expect("four");
+            (p, i)
+        };
+        let (p2, i2) = {
+            let (i, p) = instances.pop().expect("four");
+            (p, i)
+        };
+        let (p1, i1) = {
+            let (i, p) = instances.pop().expect("four");
+            (p, i)
+        };
+        let (p0, i0) = {
+            let (i, p) = instances.pop().expect("four");
+            (p, i)
+        };
+        self.fingerprint = fingerprint_loop(l, &norm.symbols);
+        self.analysis = LoopAnalysis {
+            symbols: lin.symbols,
+            graph,
+            sites,
+            reaching: i0,
+            available: i1,
+            busy: i2,
+            reaching_refs: i3,
+        };
+        self.profiles = [p0, p1, p2, p3];
+        self.raw = raw;
+        self.norm = norm;
+        self.edits += 1;
+        Ok(outcome)
+    }
+
+    /// Full re-analysis fallback: rebuild everything from the edited
+    /// program, recording that the incremental path was not taken.
+    fn rebuild(
+        &mut self,
+        raw: Program,
+        norm: Program,
+        _shape: EditShape,
+    ) -> Result<DeltaOutcome, DeltaError> {
+        let (fingerprint, analysis, profiles) = analyze_norm(&norm)?;
+        let mut outcome = DeltaOutcome {
+            fallback: true,
+            ..DeltaOutcome::default()
+        };
+        for (k, (_, _, mode)) in INSTANCES.iter().enumerate() {
+            let stats = stats_from_profile(&profiles[k], analysis.graph.len(), *mode);
+            outcome.total_columns += profiles[k].len();
+            outcome.solver_visits += stats.init_visits + stats.passes * analysis.graph.len();
+        }
+        outcome.full_solver_visits = outcome.solver_visits;
+        self.raw = raw;
+        self.norm = norm;
+        self.fingerprint = fingerprint;
+        self.analysis = analysis;
+        self.profiles = profiles;
+        self.edits += 1;
+        self.fallbacks += 1;
+        Ok(outcome)
+    }
+}

@@ -1,0 +1,248 @@
+//! Bounded storage for open analysis sessions.
+//!
+//! The serving layer keeps one [`Session`] per interactive client. Sessions
+//! hold a full converged analysis, so memory must be bounded: the store
+//! evicts least-recently-used sessions past a capacity limit and expires
+//! sessions idle longer than a time-to-live. Both events are counted for
+//! the `sessions` section of the server's stats.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::session::Session;
+
+/// Session store limits.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Maximum number of simultaneously open sessions; opening one more
+    /// evicts the least recently used.
+    pub capacity: usize,
+    /// Idle time after which a session expires. `None` disables the TTL.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            ttl: Some(Duration::from_secs(600)),
+        }
+    }
+}
+
+/// Counters describing the store's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions currently open.
+    pub open: usize,
+    /// Sessions ever opened.
+    pub opened_total: u64,
+    /// Sessions evicted to respect [`StoreConfig::capacity`].
+    pub evicted_capacity: u64,
+    /// Sessions expired by the [`StoreConfig::ttl`].
+    pub expired_ttl: u64,
+    /// Deltas applied through [`SessionStore::with_session`].
+    pub deltas_total: u64,
+    /// Deltas that fell back to a full re-analysis.
+    pub delta_fallbacks: u64,
+}
+
+struct Entry {
+    session: Session,
+    last_used: Instant,
+    /// Monotonic touch counter; smallest is the LRU victim.
+    touched: u64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    next_id: u64,
+    clock: u64,
+    stats: SessionStats,
+}
+
+/// A thread-safe, bounded map of session id → [`Session`].
+pub struct SessionStore {
+    config: StoreConfig,
+    inner: Mutex<Inner>,
+}
+
+impl SessionStore {
+    /// Creates an empty store with the given limits.
+    pub fn new(config: StoreConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                next_id: 1,
+                clock: 0,
+                stats: SessionStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock means a panic mid-insert on another thread; the
+        // map itself is still structurally sound, so serving continues.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn sweep(inner: &mut Inner, ttl: Option<Duration>, now: Instant) {
+        if let Some(ttl) = ttl {
+            let before = inner.entries.len();
+            inner
+                .entries
+                .retain(|_, e| now.duration_since(e.last_used) <= ttl);
+            inner.stats.expired_ttl += (before - inner.entries.len()) as u64;
+        }
+    }
+
+    /// Inserts a freshly opened session, returning its id. Expired sessions
+    /// are swept first; if the store is still full, the least recently used
+    /// session is evicted.
+    pub fn insert(&self, session: Session) -> u64 {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        Self::sweep(&mut inner, self.config.ttl, now);
+        while inner.entries.len() >= self.config.capacity.max(1) {
+            if let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.touched) {
+                inner.entries.remove(&victim);
+                inner.stats.evicted_capacity += 1;
+            } else {
+                break;
+            }
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.clock += 1;
+        let touched = inner.clock;
+        inner.entries.insert(
+            id,
+            Entry {
+                session,
+                last_used: now,
+                touched,
+            },
+        );
+        inner.stats.opened_total += 1;
+        inner.stats.open = inner.entries.len();
+        id
+    }
+
+    /// Runs `f` against the named session, refreshing its recency. Returns
+    /// `None` if the session is unknown (never opened, evicted or expired).
+    pub fn with_session<T>(&self, id: u64, f: impl FnOnce(&mut Session) -> T) -> Option<T> {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        Self::sweep(&mut inner, self.config.ttl, now);
+        inner.clock += 1;
+        let touched = inner.clock;
+        let entry = inner.entries.get_mut(&id)?;
+        entry.last_used = now;
+        entry.touched = touched;
+        let out = f(&mut entry.session);
+        inner.stats.open = inner.entries.len();
+        Some(out)
+    }
+
+    /// Records the outcome of a delta (hit vs fallback) in the stats.
+    pub fn record_delta(&self, fallback: bool) {
+        let mut inner = self.lock();
+        inner.stats.deltas_total += 1;
+        if fallback {
+            inner.stats.delta_fallbacks += 1;
+        }
+    }
+
+    /// Closes a session, returning whether it was open.
+    pub fn remove(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        let hit = inner.entries.remove(&id).is_some();
+        inner.stats.open = inner.entries.len();
+        hit
+    }
+
+    /// A snapshot of the store's counters (sweeping expired sessions first
+    /// so `open` is accurate).
+    pub fn stats(&self) -> SessionStats {
+        let mut inner = self.lock();
+        Self::sweep(&mut inner, self.config.ttl, Instant::now());
+        inner.stats.open = inner.entries.len();
+        inner.stats
+    }
+}
+
+impl std::fmt::Debug for SessionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionStore")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrayflow_ir::parse_program;
+
+    fn session() -> Session {
+        let p = parse_program("do i = 1, 100 A[i+1] := A[i]; end").unwrap();
+        Session::open(p).unwrap()
+    }
+
+    #[test]
+    fn insert_and_reuse() {
+        let store = SessionStore::new(StoreConfig::default());
+        let id = store.insert(session());
+        let fp = store.with_session(id, |s| s.fingerprint()).unwrap();
+        assert_eq!(store.with_session(id, |s| s.fingerprint()), Some(fp));
+        assert!(store.with_session(id + 1, |_| ()).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.open, 1);
+        assert_eq!(stats.opened_total, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let store = SessionStore::new(StoreConfig {
+            capacity: 2,
+            ttl: None,
+        });
+        let a = store.insert(session());
+        let b = store.insert(session());
+        // Touch `a` so `b` becomes the LRU victim.
+        store.with_session(a, |_| ()).unwrap();
+        let c = store.insert(session());
+        assert!(store.with_session(a, |_| ()).is_some());
+        assert!(store.with_session(b, |_| ()).is_none());
+        assert!(store.with_session(c, |_| ()).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.open, 2);
+        assert_eq!(stats.evicted_capacity, 1);
+    }
+
+    #[test]
+    fn ttl_expires() {
+        let store = SessionStore::new(StoreConfig {
+            capacity: 8,
+            ttl: Some(Duration::from_millis(0)),
+        });
+        let id = store.insert(session());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(store.with_session(id, |_| ()).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.open, 0);
+        assert_eq!(stats.expired_ttl, 1);
+    }
+
+    #[test]
+    fn remove_closes() {
+        let store = SessionStore::new(StoreConfig::default());
+        let id = store.insert(session());
+        assert!(store.remove(id));
+        assert!(!store.remove(id));
+        assert_eq!(store.stats().open, 0);
+    }
+}

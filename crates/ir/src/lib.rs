@@ -38,6 +38,7 @@
 pub mod affine;
 pub mod builder;
 pub mod canon;
+pub mod edit;
 pub mod expr;
 pub mod indvars;
 pub mod interp;
@@ -52,11 +53,12 @@ pub mod visit;
 pub use affine::AffineSub;
 pub use builder::LoopBuilder;
 pub use canon::{fingerprint_loop, fingerprint_program, Fingerprint};
+pub use edit::{apply_edit, Edit, EditError, EditShape};
 pub use expr::{BinOp, Cond, Expr, RelOp};
 pub use indvars::{remove_induction_variables, IndVarRemoval};
 pub use interp::{Env, InterpError};
 pub use linexpr::LinExpr;
 pub use normalize::normalize;
-pub use parser::{parse_program, parse_program_bytes, ParseError};
-pub use stmt::{ArrayRef, Block, LValue, Loop, LoopBound, Program, Stmt};
+pub use parser::{parse_program, parse_program_bytes, parse_stmt_with, ParseError};
+pub use stmt::{ArrayRef, Assign, Block, LValue, Loop, LoopBound, Program, Stmt, StmtId};
 pub use symbols::{ArrayId, ArrayInfo, SymbolTable, VarId};

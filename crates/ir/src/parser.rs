@@ -23,6 +23,7 @@ use std::fmt;
 
 use crate::expr::{BinOp, Cond, Expr, RelOp};
 use crate::stmt::{ArrayRef, Assign, Block, LValue, Loop, Program, Stmt};
+use crate::symbols::SymbolTable;
 
 /// Error produced by [`parse_program`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -582,6 +583,47 @@ impl Parser {
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     parse_program_bytes(src.as_bytes())
+}
+
+/// Parses exactly one statement against an existing symbol table, as
+/// required to apply a single-statement edit to an already-parsed program:
+/// identifiers resolve to the program's variables and arrays (array ranks
+/// stay consistent with prior uses; new names are interned). Returns the
+/// statement and the possibly-extended symbol table. Trailing input after
+/// the statement is an error.
+///
+/// The statement's assignments carry [`StmtId::UNASSIGNED`](crate::stmt::StmtId::UNASSIGNED)
+/// ids; callers renumber after splicing.
+pub fn parse_stmt_with(
+    symbols: &SymbolTable,
+    src: &str,
+) -> Result<(Stmt, SymbolTable), ParseError> {
+    let mut lexer = Lexer::new(src.as_bytes());
+    let mut toks = Vec::new();
+    loop {
+        let (tok, line) = lexer.next_tok()?;
+        let done = tok == Tok::Eof;
+        toks.push((tok, line));
+        if done {
+            break;
+        }
+    }
+    let mut program = Program::new();
+    program.symbols = symbols.clone();
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+        program,
+    };
+    let stmt = parser.parse_stmt()?;
+    if parser.peek() != &Tok::Eof {
+        return Err(parser.err(format!(
+            "expected a single statement, found trailing {}",
+            parser.peek()
+        )));
+    }
+    Ok((stmt, parser.program.symbols))
 }
 
 /// [`parse_program`] over raw bytes, for callers that receive programs

@@ -5,6 +5,7 @@
 //!       [--workers N] [--engine-workers N]
 //!       [--queue N] [--timeout-ms N] [--max-frame BYTES]
 //!       [--cache-capacity N] [--distance-bound N]
+//!       [--session-capacity N] [--session-ttl-ms N]
 //!       [--store DIR] [--store-segment-bytes N] [--store-queue N]
 //!       [--store-breaker-threshold N] [--store-breaker-cooldown-ms N]
 //!       [--slow-log MICROS] [--fault-plan SPEC]
@@ -35,7 +36,9 @@
 //! reports persist to a crash-safe segment log in `DIR`: the cache is
 //! warm-started from it on boot and fresh results are appended
 //! asynchronously, so a restarted server answers previously seen loops
-//! without re-analyzing them. With `--slow-log MICROS` every request at
+//! without re-analyzing them. Interactive sessions (the `open`/`delta`
+//! verbs) are bounded by `--session-capacity` (default 64, LRU evicted)
+//! and `--session-ttl-ms` (default 600000; 0 disables the TTL). With `--slow-log MICROS` every request at
 //! or over the threshold logs one structured line to stderr with its
 //! trace id and per-phase span breakdown (`--slow-log 0` logs every
 //! request). The `metrics` verb returns every registered metric as JSON
@@ -130,6 +133,12 @@ fn parse_args() -> Result<Args, String> {
             "--distance-bound" => {
                 args.config.engine.dep_max_distance = parse(&value("--distance-bound")?)?
             }
+            "--session-capacity" => {
+                args.config.engine.session_capacity = parse(&value("--session-capacity")?)?
+            }
+            "--session-ttl-ms" => {
+                args.config.engine.session_ttl_ms = parse(&value("--session-ttl-ms")?)?
+            }
             "--store" => {
                 let dir = value("--store")?;
                 args.config.store = Some(match args.config.store.take() {
@@ -180,7 +189,8 @@ fn parse_args() -> Result<Args, String> {
                     "serve [--listen ADDR] [--stdio] [--io event|threads] [--proto auto|json] \
                      [--workers N] [--engine-workers N] \
                      [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
-                     [--distance-bound N] [--store DIR] [--store-segment-bytes N] \
+                     [--distance-bound N] [--session-capacity N] [--session-ttl-ms N] \
+                     [--store DIR] [--store-segment-bytes N] \
                      [--store-queue N] [--store-breaker-threshold N] \
                      [--store-breaker-cooldown-ms N] [--slow-log MICROS] [--fault-plan SPEC] \
                      [--node-id ID] [--replicate-to ADDR] [--replicate-interval-ms N] \

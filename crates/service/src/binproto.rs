@@ -13,14 +13,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use arrayflow_engine::ProblemSet;
-use arrayflow_ir::Fingerprint;
+use arrayflow_ir::{Edit, Fingerprint, StmtId};
 use arrayflow_obs::{observed_span, Trace};
 use arrayflow_store::codec::encode_report;
 use arrayflow_wire::encode_frame;
-use arrayflow_wire::proto::{AnalyzeOk, AnalyzeRequest, LoopEntry, Request, Response};
+use arrayflow_wire::proto::{
+    AnalyzeOk, AnalyzeRequest, DeltaOk, LoopEntry, Request, Response, SessionOk,
+};
 
 use crate::proto::{ErrorKind, ServiceError};
-use crate::service::Service;
+use crate::service::{JobOutput, Service, Work};
 
 /// The outcome of handling one binary frame.
 pub struct BinaryResponse {
@@ -154,7 +156,109 @@ impl Service {
                 respond(self.finish_binary(&trace, accepted, resp, true));
             }
             Request::Analyze(a) => self.analyze_binary(a, accepted, trace, respond),
+            Request::Open { id, source } => self.open_binary(id, source, accepted, trace, respond),
+            // The carried fingerprint is the router's shard key; the node
+            // itself resolves the session by id alone.
+            Request::Delta {
+                id,
+                session,
+                fingerprint: _,
+                stmt,
+                text,
+            } => self.delta_binary(id, session, stmt, text, accepted, trace, respond),
         }
+    }
+
+    /// An `open` frame: UTF-8-check the source, then run the full
+    /// analysis + session retention through the worker queue.
+    fn open_binary(
+        self: &Arc<Self>,
+        id: u64,
+        source: Vec<u8>,
+        accepted: Instant,
+        trace: Arc<Trace>,
+        respond: Box<dyn FnOnce(BinaryResponse) + Send>,
+    ) {
+        let source = match String::from_utf8(source) {
+            Ok(s) => s,
+            Err(_) => {
+                let resp = err_response(id, ErrorKind::Parse, "program source is not valid UTF-8");
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+        };
+        let svc = Arc::clone(self);
+        let trace_done = Arc::clone(&trace);
+        self.submit_async(
+            Work::Open { program: source },
+            accepted,
+            trace,
+            Box::new(move |outcome| {
+                let resp = match outcome {
+                    Ok(JobOutput::Session(session, report)) => Response::Session(SessionOk {
+                        id,
+                        session,
+                        fingerprint: report.fingerprint.0.to_le_bytes(),
+                        report: encode_report(&report),
+                    }),
+                    Ok(_) => err_response(id, ErrorKind::Protocol, "internal: job output mismatch"),
+                    Err(e) => err_response(id, e.kind, e.message),
+                };
+                respond(svc.finish_binary(&trace_done, accepted, resp, false));
+            }),
+        );
+    }
+
+    /// A `delta` frame: UTF-8-check the replacement text, then re-converge
+    /// the session through the worker queue.
+    #[allow(clippy::too_many_arguments)]
+    fn delta_binary(
+        self: &Arc<Self>,
+        id: u64,
+        session: u64,
+        stmt: u64,
+        text: Vec<u8>,
+        accepted: Instant,
+        trace: Arc<Trace>,
+        respond: Box<dyn FnOnce(BinaryResponse) + Send>,
+    ) {
+        let text = match String::from_utf8(text) {
+            Ok(s) => s,
+            Err(_) => {
+                let resp = err_response(id, ErrorKind::Parse, "edit text is not valid UTF-8");
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+        };
+        let edit = Edit {
+            // Out-of-u32-range ids name nothing; saturate into a clean
+            // "no such statement" rejection instead of wrapping.
+            stmt: StmtId(u32::try_from(stmt).unwrap_or(u32::MAX)),
+            text,
+        };
+        let svc = Arc::clone(self);
+        let trace_done = Arc::clone(&trace);
+        self.submit_async(
+            Work::Delta { session, edit },
+            accepted,
+            trace,
+            Box::new(move |outcome| {
+                let resp = match outcome {
+                    Ok(JobOutput::Delta(d)) => Response::Delta(DeltaOk {
+                        id,
+                        session: d.session,
+                        fingerprint: d.fingerprint.0.to_le_bytes(),
+                        report: encode_report(&d.report),
+                        fallback: d.fallback,
+                        dirty_columns: d.dirty_columns as u64,
+                        total_columns: d.total_columns as u64,
+                    }),
+                    Ok(_) => err_response(id, ErrorKind::Protocol, "internal: job output mismatch"),
+                    Err(e) => err_response(id, e.kind, e.message),
+                };
+                respond(svc.finish_binary(&trace_done, accepted, resp, false));
+            }),
+        );
     }
 
     fn analyze_binary(
@@ -232,14 +336,16 @@ impl Service {
         let svc = Arc::clone(self);
         let trace_done = Arc::clone(&trace);
         self.submit_async(
-            source,
-            problems,
-            distance_bound,
+            Work::Analyze {
+                program: source,
+                problems,
+                distance_bound,
+            },
             accepted,
             trace,
             Box::new(move |outcome| {
                 let resp = match outcome {
-                    Ok(result) => Response::Analyze(AnalyzeOk {
+                    Ok(JobOutput::Analyze(result)) => Response::Analyze(AnalyzeOk {
                         id,
                         loops: result
                             .loops
@@ -254,6 +360,7 @@ impl Service {
                         solver_passes: result.stats.solver_passes,
                         node_visits: result.stats.node_visits,
                     }),
+                    Ok(_) => err_response(id, ErrorKind::Protocol, "internal: job output mismatch"),
                     Err(e) => err_response(id, e.kind, e.message),
                 };
                 respond(svc.finish_binary(&trace_done, accepted, resp, false));

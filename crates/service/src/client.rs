@@ -49,7 +49,7 @@ use std::time::Duration;
 use arrayflow_resilience::Backoff;
 use arrayflow_wire::frame::read_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, Request as WireRequest, Response as WireResponse,
+    AnalyzeOk, AnalyzeRequest, DeltaOk, Request as WireRequest, Response as WireResponse, SessionOk,
 };
 
 use crate::binproto::kind_from_byte;
@@ -142,6 +142,20 @@ impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
     }
+}
+
+/// An incremental analysis session opened over the JSON protocol: the
+/// server-side session id, its base fingerprint (carry it on every
+/// [`Client::delta`] — the cluster router's shard key for the session),
+/// and the full `ok` response line with the initial report.
+#[derive(Debug, Clone)]
+pub struct OpenedSession {
+    /// Server-side session id; pass to [`Client::delta`].
+    pub session: u64,
+    /// The session's base fingerprint, 32 hex characters.
+    pub fingerprint: String,
+    /// The raw `ok` response line (initial report inside `result`).
+    pub line: String,
 }
 
 /// The protocol a connection was opened with. The server locks each
@@ -264,6 +278,60 @@ impl Client {
         self.request(&frame.to_string())
     }
 
+    /// Opens an incremental analysis session over `program`: the server
+    /// runs the full analysis once and keeps the converged lattice state
+    /// warm for [`Client::delta`] calls. Idempotent at the analysis level
+    /// (a retried open may leave an extra session behind; the server's
+    /// TTL/capacity bounds reclaim it).
+    pub fn open_session(&mut self, program: &str) -> Result<OpenedSession, ClientError> {
+        let frame = Json::Obj(vec![
+            ("id".into(), Json::Num(self.fresh_id() as f64)),
+            ("verb".into(), Json::Str("open".into())),
+            ("program".into(), Json::Str(program.into())),
+        ]);
+        let line = self.request(&frame.to_string())?;
+        let json = Json::parse(line.as_bytes())
+            .map_err(|e| ClientError::Protocol(format!("unparseable open result: {e}")))?;
+        let result = json.get("result");
+        let session = result
+            .and_then(|r| r.get("session"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("open result has no `session` id".into()))?;
+        let fingerprint = result
+            .and_then(|r| r.get("fingerprint"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol("open result has no `fingerprint`".into()))?
+            .to_string();
+        Ok(OpenedSession {
+            session,
+            fingerprint,
+            line,
+        })
+    }
+
+    /// Applies one statement replacement to an open session and returns
+    /// the server's `ok` line (re-analyzed report, fallback flag, dirty
+    /// column counts). `fingerprint` is the base fingerprint from
+    /// [`Client::open_session`]. Statement replacement is idempotent, so
+    /// transport failures and `overloaded` responses are retried.
+    pub fn delta(
+        &mut self,
+        session: u64,
+        fingerprint: &str,
+        stmt: u64,
+        text: &str,
+    ) -> Result<String, ClientError> {
+        let frame = Json::Obj(vec![
+            ("id".into(), Json::Num(self.fresh_id() as f64)),
+            ("verb".into(), Json::Str("delta".into())),
+            ("session".into(), Json::Num(session as f64)),
+            ("fingerprint".into(), Json::Str(fingerprint.into())),
+            ("stmt".into(), Json::Num(stmt as f64)),
+            ("text".into(), Json::Str(text.into())),
+        ]);
+        self.request(&frame.to_string())
+    }
+
     /// `ping` round trip; proves liveness end to end.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.call("ping").map(drop)
@@ -353,6 +421,51 @@ impl Client {
             distance_bound: None,
             source: source.map(|s| s.as_bytes().to_vec()),
         })
+    }
+
+    /// Opens an incremental analysis session over the binary protocol;
+    /// the returned [`SessionOk`] carries the session id, its base
+    /// fingerprint bytes (carry them on every [`Client::delta_binary`])
+    /// and the store-codec encoding of the initial report.
+    pub fn open_session_binary(&mut self, program: &str) -> Result<SessionOk, ClientError> {
+        let id = self.fresh_id();
+        let req = WireRequest::Open {
+            id,
+            source: program.as_bytes().to_vec(),
+        };
+        match self.request_binary(&req)? {
+            WireResponse::Session(ok) => Ok(ok),
+            other => Err(ClientError::Protocol(format!(
+                "expected a session response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Applies one statement replacement to an open session over the
+    /// binary protocol. `fingerprint` is the base fingerprint from
+    /// [`Client::open_session_binary`] (the session's shard key at the
+    /// cluster router). Idempotent, so retried on transport failures.
+    pub fn delta_binary(
+        &mut self,
+        session: u64,
+        fingerprint: [u8; 16],
+        stmt: u64,
+        text: &str,
+    ) -> Result<DeltaOk, ClientError> {
+        let id = self.fresh_id();
+        let req = WireRequest::Delta {
+            id,
+            session,
+            fingerprint,
+            stmt,
+            text: text.as_bytes().to_vec(),
+        };
+        match self.request_binary(&req)? {
+            WireResponse::Delta(ok) => Ok(ok),
+            other => Err(ClientError::Protocol(format!(
+                "expected a delta response, got {other:?}"
+            ))),
+        }
     }
 
     fn analyze_request(&mut self, req: AnalyzeRequest) -> Result<AnalyzeOk, ClientError> {

@@ -75,7 +75,7 @@ pub mod server;
 pub mod service;
 
 pub use binproto::{kind_byte, kind_from_byte, BinaryResponse};
-pub use client::{Client, ClientConfig, ClientError};
+pub use client::{Client, ClientConfig, ClientError, OpenedSession};
 #[cfg(unix)]
 pub use event_server::{EventServer, ProtoMode};
 pub use json::{Json, JsonError};

@@ -10,16 +10,19 @@
 //! ```
 //!
 //! Requests carry `id` (any JSON value, echoed back verbatim so clients
-//! can pipeline), `verb` (`analyze` | `stats` | `metrics` | `ping` |
-//! `health` | `compact` | `shutdown`), and
-//! for `analyze`: `program` (DSL text), optional `problems` (array of
-//! instance names; default all) and optional `distance_bound` (default
-//! from the server config). Errors come back structured, never as a
-//! dropped connection: [`ErrorKind`] is the taxonomy.
+//! can pipeline), `verb` (`analyze` | `open` | `delta` | `stats` |
+//! `metrics` | `ping` | `health` | `compact` | `shutdown`), and
+//! for `analyze`/`open`: `program` (DSL text), optional `problems` (array
+//! of instance names; default all) and optional `distance_bound` (default
+//! from the server config). `delta` carries `session` (the id `open`
+//! returned), `fingerprint` (the session's current base fingerprint, hex —
+//! the cluster router's shard key), `stmt` (the statement id to replace)
+//! and `text` (replacement source). Errors come back structured, never as
+//! a dropped connection: [`ErrorKind`] is the taxonomy.
 
 use std::fmt;
 
-use arrayflow_engine::{BatchResult, ProblemSet};
+use arrayflow_engine::{AnalysisReport, BatchResult, DeltaReport, ProblemSet};
 
 use crate::json::Json;
 
@@ -28,6 +31,12 @@ use crate::json::Json;
 pub enum Verb {
     /// Parse `program` and analyze every loop.
     Analyze,
+    /// Open an incremental analysis session over `program`: full
+    /// analysis now, converged lattice state retained for `delta`.
+    Open,
+    /// Apply one statement replacement to an open session and
+    /// re-converge from the cached fixed point.
+    Delta,
     /// Report engine + service statistics.
     Stats,
     /// Report every registered metric: structured JSON plus the
@@ -48,6 +57,8 @@ impl Verb {
     fn parse(s: &str) -> Option<Verb> {
         match s {
             "analyze" => Some(Verb::Analyze),
+            "open" => Some(Verb::Open),
+            "delta" => Some(Verb::Delta),
             "stats" => Some(Verb::Stats),
             "metrics" => Some(Verb::Metrics),
             "ping" => Some(Verb::Ping),
@@ -147,12 +158,23 @@ pub struct Request {
     pub id: Json,
     /// The operation.
     pub verb: Verb,
-    /// DSL program text (required for `analyze`).
+    /// DSL program text (required for `analyze` and `open`).
     pub program: Option<String>,
     /// Problem selection (default: all four instances).
     pub problems: Option<ProblemSet>,
     /// Dependence distance bound (default: server config).
     pub distance_bound: Option<u64>,
+    /// Session id from a prior `open` (required for `delta`).
+    pub session: Option<u64>,
+    /// The session's base fingerprint as returned by `open` (required for
+    /// `delta`): 32 hex characters, exactly as responses render it. The
+    /// cluster router hashes it to pin the whole session to one shard; a
+    /// single node ignores it.
+    pub fingerprint: Option<[u8; 16]>,
+    /// Statement id to replace (required for `delta`).
+    pub stmt: Option<u64>,
+    /// Replacement statement source (required for `delta`).
+    pub text: Option<String>,
 }
 
 impl Request {
@@ -187,6 +209,9 @@ impl Request {
         if verb == Verb::Analyze && program.is_none() {
             return Err(fail("`analyze` requires a `program` string".into()));
         }
+        if verb == Verb::Open && program.is_none() {
+            return Err(fail("`open` requires a `program` string".into()));
+        }
 
         let problems = match v.get("problems") {
             None | Some(Json::Null) => None,
@@ -220,14 +245,65 @@ impl Request {
                 })?),
             };
 
+        let uint_field = |name: &str| -> Result<Option<u64>, (Json, ServiceError)> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(n) => Ok(Some(n.as_u64().ok_or_else(|| {
+                    fail(format!("`{name}` must be a non-negative integer"))
+                })?)),
+            }
+        };
+        let session = uint_field("session")?;
+        let stmt = uint_field("stmt")?;
+        let text = match v.get("text") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(fail("`text` must be a string".into())),
+        };
+        let fingerprint = match v.get("fingerprint") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(
+                parse_fingerprint_hex(s)
+                    .ok_or_else(|| fail("`fingerprint` must be 32 hex characters".into()))?,
+            ),
+            Some(_) => return Err(fail("`fingerprint` must be a hex string".into())),
+        };
+        if verb == Verb::Delta {
+            for (field, present) in [
+                ("session", session.is_some()),
+                ("fingerprint", fingerprint.is_some()),
+                ("stmt", stmt.is_some()),
+                ("text", text.is_some()),
+            ] {
+                if !present {
+                    return Err(fail(format!("`delta` requires a `{field}` field")));
+                }
+            }
+        }
+
         Ok(Request {
             id,
             verb,
             program,
             problems,
             distance_bound,
+            session,
+            fingerprint,
+            stmt,
+            text,
         })
     }
+}
+
+/// Parses the 32-hex-char fingerprint rendering
+/// ([`arrayflow_ir::Fingerprint`]'s `Display`) back to its wire bytes
+/// (little-endian `u128`, matching the binary protocol's layout).
+pub fn parse_fingerprint_hex(s: &str) -> Option<[u8; 16]> {
+    if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let value = u128::from_str_radix(s, 16).ok()?;
+    Some(value.to_le_bytes())
 }
 
 /// Encodes a success response line (without trailing newline).
@@ -298,6 +374,36 @@ pub fn analyze_result_json(r: &BatchResult) -> Json {
     Json::Obj(members)
 }
 
+/// Renders an `open` result: the new session id, the loop's canonical
+/// fingerprint (the `delta` routing key), and the rendered initial report.
+pub fn session_result_json(session: u64, report: &AnalysisReport) -> Json {
+    Json::Obj(vec![
+        ("session".into(), Json::Num(session as f64)),
+        (
+            "fingerprint".into(),
+            Json::Str(report.fingerprint.to_string()),
+        ),
+        ("report".into(), Json::Str(report.render())),
+    ])
+}
+
+/// Renders a `delta` result: the session, the canonical fingerprint of
+/// the loop *after* the edit (probe the fingerprint-first analyze path
+/// with it), the re-analyzed report, and how the re-convergence went
+/// (fast path vs full fallback, columns re-solved). Requests keep routing
+/// by the fingerprint `open` returned — that is the session's shard key
+/// for its whole lifetime.
+pub fn delta_result_json(d: &DeltaReport) -> Json {
+    Json::Obj(vec![
+        ("session".into(), Json::Num(d.session as f64)),
+        ("fingerprint".into(), Json::Str(d.fingerprint.to_string())),
+        ("report".into(), Json::Str(d.report.render())),
+        ("fallback".into(), Json::Bool(d.fallback)),
+        ("dirty_columns".into(), Json::Num(d.dirty_columns as f64)),
+        ("total_columns".into(), Json::Num(d.total_columns as f64)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +443,47 @@ mod tests {
         let (id, e) = Request::decode(b"not json at all").unwrap_err();
         assert_eq!(id, Json::Null);
         assert_eq!(e.kind, ErrorKind::Protocol);
+    }
+
+    #[test]
+    fn decodes_open_and_delta() {
+        let r = Request::decode(br#"{"id": 1, "verb": "open", "program": "x := 1;"}"#).unwrap();
+        assert_eq!(r.verb, Verb::Open);
+        assert_eq!(r.program.as_deref(), Some("x := 1;"));
+
+        let fp = "000102030405060708090a0b0c0d0e0f";
+        let frame = format!(
+            r#"{{"id": 2, "verb": "delta", "session": 7, "fingerprint": "{fp}", "stmt": 3, "text": "A[i] := 1;"}}"#
+        );
+        let r = Request::decode(frame.as_bytes()).unwrap();
+        assert_eq!(r.verb, Verb::Delta);
+        assert_eq!(r.session, Some(7));
+        assert_eq!(r.stmt, Some(3));
+        assert_eq!(r.text.as_deref(), Some("A[i] := 1;"));
+        // Display renders the u128 big-endian-first as hex; wire bytes are
+        // the little-endian u128 layout, so the round trip must agree with
+        // Fingerprint's own rendering.
+        let fp_bytes = r.fingerprint.unwrap();
+        let rendered = arrayflow_ir::Fingerprint(u128::from_le_bytes(fp_bytes)).to_string();
+        assert_eq!(rendered, fp);
+    }
+
+    #[test]
+    fn rejects_incomplete_delta_and_bad_fingerprints() {
+        let (_, e) = Request::decode(br#"{"verb": "delta", "session": 1}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("requires a"), "{}", e.message);
+
+        let (_, e) = Request::decode(br#"{"verb": "open"}"#).unwrap_err();
+        assert!(e.message.contains("requires a `program`"), "{}", e.message);
+
+        let (_, e) =
+            Request::decode(br#"{"verb": "delta", "session": 1, "fingerprint": "xyz", "stmt": 0, "text": "x := 1;"}"#)
+                .unwrap_err();
+        assert!(e.message.contains("32 hex"), "{}", e.message);
+
+        assert_eq!(parse_fingerprint_hex("0"), None);
+        assert_eq!(parse_fingerprint_hex(&"f".repeat(32)), Some([0xff; 16]));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! canonical 128-bit fingerprint — taken verbatim from binary
 //! fingerprint-first requests, computed from source otherwise — and
 //! consistent-hashes it across the node list
-//! ([`Topology`](arrayflow_cluster::Topology)), so every alpha-equivalent
+//! ([`Topology`]), so every alpha-equivalent
 //! loop lands on the same node's memo cache and segment log. Aggregate
 //! cache capacity multiplies with node count instead of diluting the way
 //! random load balancing would.
@@ -46,7 +46,7 @@ use arrayflow_store::codec::decode_report;
 use arrayflow_wire::encode_frame;
 use arrayflow_wire::frame::read_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, Request as WireRequest, Response as WireResponse,
+    AnalyzeOk, AnalyzeRequest, DeltaOk, Request as WireRequest, Response as WireResponse, SessionOk,
 };
 
 use crate::binproto::{kind_byte, kind_from_byte};
@@ -535,6 +535,30 @@ impl Router {
                     Err(e) => (err_frame(id, e.kind, e.message), false),
                 }
             }
+            // Sessions are shard-sticky: `open` routes by the source's
+            // canonical fingerprint, and every `delta` carries that same
+            // base fingerprint back, so the whole session lands on one
+            // node's session store. A failover mid-session surfaces as an
+            // unknown-session analysis error and the client re-opens.
+            WireRequest::Open { id, ref source } => {
+                let hash = open_route_hash(source);
+                let frame = encode_frame(tag, payload);
+                match self.forward_routed(hash, &frame) {
+                    Ok(((rtag, rpayload), _)) => (encode_frame(rtag, &rpayload), false),
+                    Err(e) => (err_frame(id, e.kind, e.message), false),
+                }
+            }
+            WireRequest::Delta {
+                id, fingerprint, ..
+            } => {
+                let hash =
+                    fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fingerprint)));
+                let frame = encode_frame(tag, payload);
+                match self.forward_routed(hash, &frame) {
+                    Ok(((rtag, rpayload), _)) => (encode_frame(rtag, &rpayload), false),
+                    Err(e) => (err_frame(id, e.kind, e.message), false),
+                }
+            }
         }
     }
 
@@ -560,6 +584,8 @@ impl Router {
                 return (encode_ok(&id, Json::Str("shutting down".into())), true);
             }
             Verb::Analyze => self.analyze_json(&req),
+            Verb::Open => self.open_json(&req),
+            Verb::Delta => self.delta_json(&req),
         };
         match result {
             Ok(json) => (encode_ok(&id, json), false),
@@ -600,6 +626,72 @@ impl Router {
             )),
         }
     }
+
+    /// A JSON `open`: route by the source's canonical fingerprint, forward
+    /// as a binary `open` frame, re-render the node's session response to
+    /// the JSON shape the node itself would produce.
+    fn open_json(&self, req: &Request) -> Result<Json, ServiceError> {
+        let source = req
+            .program
+            .as_deref()
+            .expect("proto::Request::decode enforces program on open");
+        let wire = WireRequest::Open {
+            id: self.fresh_id(),
+            source: source.as_bytes().to_vec(),
+        };
+        let frame = encode_frame(wire.tag(), &wire.encode_payload());
+        let hash = open_route_hash(source.as_bytes());
+        let ((tag, payload), _) = self.forward_routed(hash, &frame)?;
+        match WireResponse::decode(tag, &payload) {
+            Ok(WireResponse::Session(ok)) => session_ok_to_json(&ok),
+            Ok(WireResponse::Err { kind, message, .. }) => Err(ServiceError::new(
+                kind_from_byte(kind).unwrap_or(ErrorKind::Protocol),
+                message,
+            )),
+            _ => Err(ServiceError::new(
+                ErrorKind::Protocol,
+                "node sent an unexpected response to open",
+            )),
+        }
+    }
+
+    /// A JSON `delta`: route by the carried base fingerprint (the one
+    /// `open` returned — the session's shard key), forward as a binary
+    /// `delta` frame.
+    fn delta_json(&self, req: &Request) -> Result<Json, ServiceError> {
+        let fingerprint = req
+            .fingerprint
+            .expect("proto::Request::decode enforces fingerprint on delta");
+        let wire = WireRequest::Delta {
+            id: self.fresh_id(),
+            session: req
+                .session
+                .expect("proto::Request::decode enforces session on delta"),
+            fingerprint,
+            stmt: req
+                .stmt
+                .expect("proto::Request::decode enforces stmt on delta"),
+            text: req
+                .text
+                .clone()
+                .expect("proto::Request::decode enforces text on delta")
+                .into_bytes(),
+        };
+        let frame = encode_frame(wire.tag(), &wire.encode_payload());
+        let hash = fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fingerprint)));
+        let ((tag, payload), _) = self.forward_routed(hash, &frame)?;
+        match WireResponse::decode(tag, &payload) {
+            Ok(WireResponse::Delta(ok)) => delta_ok_to_json(&ok),
+            Ok(WireResponse::Err { kind, message, .. }) => Err(ServiceError::new(
+                kind_from_byte(kind).unwrap_or(ErrorKind::Protocol),
+                message,
+            )),
+            _ => Err(ServiceError::new(
+                ErrorKind::Protocol,
+                "node sent an unexpected response to delta",
+            )),
+        }
+    }
 }
 
 /// The routing hash of a binary analyze request: the canonical
@@ -610,6 +702,20 @@ fn analyze_route_hash(req: &AnalyzeRequest) -> u64 {
         return fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fp)));
     }
     let source = req.source.as_deref().unwrap_or(b"");
+    if let Some(fp) = std::str::from_utf8(source)
+        .ok()
+        .and_then(fingerprint_of_source)
+    {
+        return fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fp)));
+    }
+    source_route_hash(source)
+}
+
+/// The routing hash of an `open` request: the canonical fingerprint of
+/// its source when it is a single-loop program, a stable byte hash
+/// otherwise — the same keys `analyze` routes by, so a session opens on
+/// the shard that already caches its loop.
+fn open_route_hash(source: &[u8]) -> u64 {
     if let Some(fp) = std::str::from_utf8(source)
         .ok()
         .and_then(fingerprint_of_source)
@@ -678,6 +784,47 @@ fn analyze_ok_to_json(ok: &AnalyzeOk) -> Result<Json, ServiceError> {
                 ("node_visits".into(), Json::Num(ok.node_visits as f64)),
             ]),
         ),
+    ]))
+}
+
+/// Renders a decoded [`SessionOk`] as the JSON `open` result object a
+/// node's JSON transport produces.
+fn session_ok_to_json(ok: &SessionOk) -> Result<Json, ServiceError> {
+    let report = decode_report(&ok.report).map_err(|e| {
+        ServiceError::new(
+            ErrorKind::Protocol,
+            format!("node sent an undecodable report: {e}"),
+        )
+    })?;
+    Ok(Json::Obj(vec![
+        ("session".into(), Json::Num(ok.session as f64)),
+        (
+            "fingerprint".into(),
+            Json::Str(ir::Fingerprint(u128::from_le_bytes(ok.fingerprint)).to_string()),
+        ),
+        ("report".into(), Json::Str(report.render())),
+    ]))
+}
+
+/// Renders a decoded [`DeltaOk`] as the JSON `delta` result object a
+/// node's JSON transport produces.
+fn delta_ok_to_json(ok: &DeltaOk) -> Result<Json, ServiceError> {
+    let report = decode_report(&ok.report).map_err(|e| {
+        ServiceError::new(
+            ErrorKind::Protocol,
+            format!("node sent an undecodable report: {e}"),
+        )
+    })?;
+    Ok(Json::Obj(vec![
+        ("session".into(), Json::Num(ok.session as f64)),
+        (
+            "fingerprint".into(),
+            Json::Str(ir::Fingerprint(u128::from_le_bytes(ok.fingerprint)).to_string()),
+        ),
+        ("report".into(), Json::Str(report.render())),
+        ("fallback".into(), Json::Bool(ok.fallback)),
+        ("dirty_columns".into(), Json::Num(ok.dirty_columns as f64)),
+        ("total_columns".into(), Json::Num(ok.total_columns as f64)),
     ]))
 }
 

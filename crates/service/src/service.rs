@@ -18,8 +18,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use arrayflow_cluster::{Replicator, ReplicatorConfig};
-use arrayflow_engine::{BatchResult, Engine, EngineConfig, EngineStats, ProblemSet};
-use arrayflow_ir::parse_program_bytes;
+use arrayflow_engine::{
+    AnalysisReport, BatchResult, DeltaReport, Engine, EngineConfig, EngineStats, ProblemSet,
+};
+use arrayflow_ir::{parse_program_bytes, Edit, StmtId};
 use arrayflow_obs::{
     observed_span, with_current, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
     Registry, Trace, PHASE_BUCKETS_US,
@@ -29,7 +31,8 @@ use arrayflow_store::{PersistentTier, Store, StoreConfig};
 
 use crate::json::Json;
 use crate::proto::{
-    analyze_result_json, encode_err, encode_ok, ErrorKind, Request, ServiceError, Verb,
+    analyze_result_json, delta_result_json, encode_err, encode_ok, session_result_json, ErrorKind,
+    Request, ServiceError, Verb,
 };
 
 /// Upper edges of the request latency histogram, in microseconds; the
@@ -164,17 +167,64 @@ impl ServiceStats {
     }
 }
 
-/// How a finished `analyze` job reaches whoever is waiting: a boxed
+/// How a finished queued job reaches whoever is waiting: a boxed
 /// one-shot closure, so the blocking transports (an `mpsc` send the
 /// submitting thread waits on) and the event-driven server (append to a
 /// completion queue, wake the poll loop) share one queue and one worker
 /// pool.
-type Reply = Box<dyn FnOnce(Result<BatchResult, ServiceError>) + Send>;
+pub(crate) type Reply = Box<dyn FnOnce(Result<JobOutput, ServiceError>) + Send>;
+
+/// The engine work a queued job carries. Everything that runs a solver —
+/// full analyses, session opens (a full analysis that also retains
+/// state), and delta re-convergences — goes through the bounded queue so
+/// a flood degrades into explicit `overloaded` errors.
+pub(crate) enum Work {
+    /// A stateless `analyze`.
+    Analyze {
+        /// DSL source of the program to analyze.
+        program: String,
+        /// Which problem instances to solve.
+        problems: ProblemSet,
+        /// Dependence distance bound for the report.
+        distance_bound: u64,
+    },
+    /// An `open`: full analysis plus session retention.
+    Open {
+        /// DSL source of the program to open a session over.
+        program: String,
+    },
+    /// A `delta`: one statement replacement against an open session.
+    Delta {
+        /// The session id from a prior `open`.
+        session: u64,
+        /// The statement replacement to apply.
+        edit: Edit,
+    },
+}
+
+/// What a finished job produced, matching its [`Work`] variant.
+pub(crate) enum JobOutput {
+    /// The batch result of a stateless `analyze`.
+    Analyze(BatchResult),
+    /// The session id and initial report of an `open`.
+    Session(u64, Arc<AnalysisReport>),
+    /// The re-analysis of a `delta`.
+    Delta(DeltaReport),
+}
+
+impl JobOutput {
+    /// Renders this output as the JSON `result` object its verb returns.
+    pub(crate) fn to_json(&self) -> Json {
+        match self {
+            JobOutput::Analyze(r) => analyze_result_json(r),
+            JobOutput::Session(session, report) => session_result_json(*session, report),
+            JobOutput::Delta(d) => delta_result_json(d),
+        }
+    }
+}
 
 struct Job {
-    program: String,
-    problems: ProblemSet,
-    distance_bound: u64,
+    work: Work,
     /// When the frame was accepted by `handle_frame` — the deadline base.
     accepted: Instant,
     enqueued: Instant,
@@ -632,27 +682,21 @@ impl Service {
             Ok(req) => req,
         };
         let id = req.id.clone();
-        if req.verb != Verb::Analyze {
+        if !matches!(req.verb, Verb::Analyze | Verb::Open | Verb::Delta) {
             let is_shutdown = req.verb == Verb::Shutdown;
             let outcome = with_current(&trace, || self.dispatch_cheap(&req));
             respond(self.finish_json(&trace, accepted, &id, outcome, is_shutdown));
             return;
         }
-        let program = req.program.expect("decode guarantees program for analyze");
-        let problems = req.problems.unwrap_or(self.config.engine.problems);
-        let distance_bound = req
-            .distance_bound
-            .unwrap_or(self.config.engine.dep_max_distance);
+        let work = self.work_of(req);
         let svc = Arc::clone(self);
         let trace_done = Arc::clone(&trace);
         self.submit_async(
-            program,
-            problems,
-            distance_bound,
+            work,
             accepted,
             trace,
             Box::new(move |outcome| {
-                let outcome = outcome.map(|r| analyze_result_json(&r));
+                let outcome = outcome.map(|o| o.to_json());
                 respond(svc.finish_json(&trace_done, accepted, &id, outcome, false));
             }),
         );
@@ -698,13 +742,48 @@ impl Service {
 
     fn dispatch(&self, req: Request, accepted: Instant) -> Result<Json, ServiceError> {
         match req.verb {
-            Verb::Analyze => self.submit_and_wait(req, accepted),
+            Verb::Analyze | Verb::Open | Verb::Delta => {
+                let work = self.work_of(req);
+                self.submit_and_wait(work, accepted).map(|o| o.to_json())
+            }
             _ => self.dispatch_cheap(&req),
         }
     }
 
+    /// Builds the queued [`Work`] for a solver verb, resolving per-request
+    /// fields against the configured defaults. The decode layer guarantees
+    /// the per-verb required fields are present.
+    pub(crate) fn work_of(&self, req: Request) -> Work {
+        match req.verb {
+            Verb::Analyze => Work::Analyze {
+                program: req.program.expect("decode guarantees program for analyze"),
+                problems: req.problems.unwrap_or(self.config.engine.problems),
+                distance_bound: req
+                    .distance_bound
+                    .unwrap_or(self.config.engine.dep_max_distance),
+            },
+            Verb::Open => Work::Open {
+                program: req.program.expect("decode guarantees program for open"),
+            },
+            Verb::Delta => {
+                let stmt = req.stmt.expect("decode guarantees stmt for delta");
+                Work::Delta {
+                    session: req.session.expect("decode guarantees session for delta"),
+                    edit: Edit {
+                        // An out-of-u32-range id cannot name any statement;
+                        // saturating keeps it a clean "no such statement"
+                        // edit error instead of a silent wrap onto one.
+                        stmt: StmtId(u32::try_from(stmt).unwrap_or(u32::MAX)),
+                        text: req.text.expect("decode guarantees text for delta"),
+                    },
+                }
+            }
+            _ => unreachable!("only solver verbs carry queued work"),
+        }
+    }
+
     /// Every verb that answers without touching the worker pool.
-    /// `analyze` is the one verb that must not come through here.
+    /// The solver verbs must not come through here.
     fn dispatch_cheap(&self, req: &Request) -> Result<Json, ServiceError> {
         match req.verb {
             Verb::Ping => Ok(Json::Str("pong".into())),
@@ -716,7 +795,9 @@ impl Service {
                 self.shutdown();
                 Ok(Json::Str("shutting down".into()))
             }
-            Verb::Analyze => unreachable!("analyze is dispatched through the worker pool"),
+            Verb::Analyze | Verb::Open | Verb::Delta => {
+                unreachable!("solver verbs are dispatched through the worker pool")
+            }
         }
     }
 
@@ -743,20 +824,13 @@ impl Service {
         ]))
     }
 
-    fn submit_and_wait(&self, req: Request, accepted: Instant) -> Result<Json, ServiceError> {
-        let program = req.program.expect("decode guarantees program for analyze");
-        let problems = req.problems.unwrap_or(self.config.engine.problems);
-        let distance_bound = req
-            .distance_bound
-            .unwrap_or(self.config.engine.dep_max_distance);
+    fn submit_and_wait(&self, work: Work, accepted: Instant) -> Result<JobOutput, ServiceError> {
         let deadline = self.config.request_timeout;
         let trace = arrayflow_obs::trace::current().expect("handle_frame installed a trace");
 
         let (tx, rx) = mpsc::channel();
         self.enqueue_job(
-            program,
-            problems,
-            distance_bound,
+            work,
             accepted,
             trace,
             Box::new(move |outcome| {
@@ -770,7 +844,7 @@ impl Service {
         // enqueue, so decode time cannot silently extend the budget.
         let remaining = deadline.saturating_sub(accepted.elapsed());
         match rx.recv_timeout(remaining) {
-            Ok(outcome) => outcome.map(|r| analyze_result_json(&r)),
+            Ok(outcome) => outcome,
             Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::new(
                 ErrorKind::Timeout,
                 format!("deadline of {} ms exceeded", deadline.as_millis()),
@@ -784,16 +858,14 @@ impl Service {
         }
     }
 
-    /// Pushes an analyze job onto the bounded queue. On `Ok` the `reply`
-    /// closure is guaranteed to be invoked exactly once by a worker; on
-    /// rejection (`Overloaded`: queue full or service stopping) the
-    /// closure is handed back un-invoked along with the error, so the
-    /// caller decides how to deliver the rejection.
+    /// Pushes a job onto the bounded queue. On `Ok` the `reply` closure is
+    /// guaranteed to be invoked exactly once by a worker; on rejection
+    /// (`Overloaded`: queue full or service stopping) the closure is
+    /// handed back un-invoked along with the error, so the caller decides
+    /// how to deliver the rejection.
     fn enqueue_job(
         &self,
-        program: String,
-        problems: ProblemSet,
-        distance_bound: u64,
+        work: Work,
         accepted: Instant,
         trace: Arc<Trace>,
         reply: Reply,
@@ -816,9 +888,7 @@ impl Service {
                 ));
             }
             q.push_back(Job {
-                program,
-                problems,
-                distance_bound,
+                work,
                 accepted,
                 enqueued: Instant::now(),
                 deadline: self.config.request_timeout,
@@ -831,23 +901,19 @@ impl Service {
         Ok(())
     }
 
-    /// Fire-and-forget analyze submission for the event-driven server:
-    /// no thread blocks waiting, so the deadline is enforced only by the
+    /// Fire-and-forget job submission for the event-driven server: no
+    /// thread blocks waiting, so the deadline is enforced only by the
     /// worker when it dequeues the job. `reply` is invoked exactly once —
     /// inline (before this returns) when the queue rejects the job, from
     /// a worker otherwise.
-    pub fn submit_async(
+    pub(crate) fn submit_async(
         &self,
-        program: String,
-        problems: ProblemSet,
-        distance_bound: u64,
+        work: Work,
         accepted: Instant,
         trace: Arc<Trace>,
         reply: Reply,
     ) {
-        if let Err((e, reply)) =
-            self.enqueue_job(program, problems, distance_bound, accepted, trace, reply)
-        {
+        if let Err((e, reply)) = self.enqueue_job(work, accepted, trace, reply) {
             reply(Err(e));
         }
     }
@@ -931,25 +997,52 @@ impl Service {
         }
     }
 
-    fn run_job(&self, job: &Job) -> Result<BatchResult, ServiceError> {
+    fn run_job(&self, job: &Job) -> Result<JobOutput, ServiceError> {
         if job.accepted.elapsed() >= job.deadline {
             return Err(ServiceError::new(
                 ErrorKind::Timeout,
                 format!("spent over {} ms queued", job.deadline.as_millis()),
             ));
         }
-        let program = {
+        let parse = |source: &str| {
             let _span = observed_span("parse", &self.ins.phase_parse);
-            parse_program_bytes(job.program.as_bytes())
-                .map_err(|e| ServiceError::new(ErrorKind::Parse, e.to_string()))?
+            parse_program_bytes(source.as_bytes())
+                .map_err(|e| ServiceError::new(ErrorKind::Parse, e.to_string()))
         };
-        let result = self
-            .engine
-            .analyze_with(0, &program, job.problems, job.distance_bound);
-        if let Some(e) = &result.error {
-            return Err(ServiceError::new(ErrorKind::Analysis, e.to_string()));
+        match &job.work {
+            Work::Analyze {
+                program,
+                problems,
+                distance_bound,
+            } => {
+                let program = parse(program)?;
+                let result = self
+                    .engine
+                    .analyze_with(0, &program, *problems, *distance_bound);
+                if let Some(e) = &result.error {
+                    return Err(ServiceError::new(ErrorKind::Analysis, e.to_string()));
+                }
+                Ok(JobOutput::Analyze(result))
+            }
+            Work::Open { program } => {
+                let program = parse(program)?;
+                let (session, report) = self
+                    .engine
+                    .open_session(&program)
+                    .map_err(|e| ServiceError::new(ErrorKind::Analysis, e.to_string()))?;
+                Ok(JobOutput::Session(session, report))
+            }
+            Work::Delta { session, edit } => {
+                // Unknown/expired sessions and rejected edits both come
+                // back as analysis-kind errors: the frame was well-formed,
+                // the request could not be satisfied.
+                let delta = self
+                    .engine
+                    .analyze_delta(*session, edit)
+                    .map_err(|e| ServiceError::new(ErrorKind::Analysis, e.to_string()))?;
+                Ok(JobOutput::Delta(delta))
+            }
         }
-        Ok(result)
     }
 
     /// Snapshot of the service counters.
@@ -1054,6 +1147,24 @@ impl Service {
                 ]),
             ));
         }
+        let ss = self.engine.session_stats();
+        members.push((
+            "sessions".into(),
+            Json::Obj(vec![
+                ("open".into(), Json::Num(ss.open as f64)),
+                ("opened_total".into(), Json::Num(ss.opened_total as f64)),
+                (
+                    "evicted_capacity".into(),
+                    Json::Num(ss.evicted_capacity as f64),
+                ),
+                ("expired_ttl".into(), Json::Num(ss.expired_ttl as f64)),
+                ("deltas_total".into(), Json::Num(ss.deltas_total as f64)),
+                (
+                    "delta_fallbacks".into(),
+                    Json::Num(ss.delta_fallbacks as f64),
+                ),
+            ]),
+        ));
         members.extend([(
             "service".into(),
             Json::Obj(vec![

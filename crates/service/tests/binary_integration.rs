@@ -303,3 +303,101 @@ fn threaded_and_event_servers_share_handle_frame_semantics() {
 
     stop(addr, handle);
 }
+
+#[test]
+fn open_and_delta_round_trip_matches_fresh_analysis() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+    let mut c = client(addr);
+
+    let base = "do i = 1, 100 A[i+2] := A[i] + x; B[i] := A[i+1]; end";
+    let opened = c.open_session_binary(base).unwrap();
+    let base_fp = opened.fingerprint;
+
+    let stmt = {
+        let mut p = arrayflow_ir::parse_program(base).unwrap();
+        p.renumber();
+        arrayflow_workloads::assign_ids(&p)[1].0 as u64
+    };
+    let d = c
+        .delta_binary(opened.session, base_fp, stmt, "B[i] := A[i-3] * 2;")
+        .unwrap();
+    assert_eq!(d.session, opened.session);
+    assert!(!d.fallback);
+    assert!(d.dirty_columns <= d.total_columns && d.total_columns > 0);
+    assert_ne!(
+        d.fingerprint, base_fp,
+        "the edit changes the canonical loop"
+    );
+
+    // Fresh full analysis of the edited source: byte-identical report.
+    let fresh = c
+        .analyze_binary("do i = 1, 100 A[i+2] := A[i] + x; B[i] := A[i-3] * 2; end")
+        .unwrap();
+    assert_eq!(fresh.loops.len(), 1);
+    assert_eq!(fresh.loops[0].fingerprint, d.fingerprint);
+    assert_eq!(
+        decode_report(&fresh.loops[0].report).unwrap().render(),
+        decode_report(&d.report).unwrap().render()
+    );
+
+    // And the JSON verbs against the very same listener agree byte-for-byte.
+    let opened_json = c.open_session(base).unwrap();
+    assert_eq!(
+        opened_json.fingerprint,
+        format!("{:032x}", u128::from_le_bytes(base_fp))
+    );
+    let line = c
+        .delta(
+            opened_json.session,
+            &opened_json.fingerprint,
+            stmt,
+            "B[i] := A[i-3] * 2;",
+        )
+        .unwrap();
+    let json = Json::parse(line.as_bytes()).unwrap();
+    let result = json.get("result").unwrap();
+    assert_eq!(
+        result.get("report").and_then(Json::as_str).unwrap(),
+        decode_report(&d.report).unwrap().render()
+    );
+    assert_eq!(result.get("fallback").and_then(Json::as_bool), Some(false));
+
+    stop(addr, handle);
+}
+
+#[test]
+fn structural_delta_falls_back_and_expired_session_is_an_analysis_error() {
+    let (addr, handle) = start(ProtoMode::Auto, ServiceConfig::default());
+    let mut c = client(addr);
+
+    let base = "do i = 1, 50 A[i+1] := A[i]; B[i] := A[i]; end";
+    let opened = c.open_session_binary(base).unwrap();
+    let stmt = {
+        let mut p = arrayflow_ir::parse_program(base).unwrap();
+        p.renumber();
+        arrayflow_workloads::assign_ids(&p)[0].0 as u64
+    };
+
+    // A conditional replacement changes the flow graph: full re-analysis.
+    let d = c
+        .delta_binary(
+            opened.session,
+            opened.fingerprint,
+            stmt,
+            "if A[i] > 0 then A[i+1] := A[i]; end",
+        )
+        .unwrap();
+    assert!(d.fallback);
+    assert_eq!(d.dirty_columns, 0);
+
+    // Unknown sessions come back as analysis errors, not dead connections.
+    let err = c
+        .delta_binary(999_999, opened.fingerprint, stmt, "A[i+1] := A[i];")
+        .unwrap_err();
+    assert!(err.to_string().contains("session"), "{err}");
+
+    // The service survived both and still answers.
+    assert!(c.ping().is_ok());
+
+    stop(addr, handle);
+}

@@ -349,3 +349,91 @@ fn replication_keeps_each_replica_warm() {
 
     cluster.shutdown();
 }
+
+#[test]
+fn sessions_stay_pinned_to_one_shard_through_the_router() {
+    let cluster = boot_cluster("sessions", 3);
+    let mut c = JsonClient::connect(&cluster.router_addr);
+
+    // Open several sessions; each routes by its source's canonical
+    // fingerprint, so different loops may land on different shards.
+    let base = "do i = 1, 60 A[i+2] := A[i] + x; B[i] := A[i+1]; end";
+    let opened = c.request(&format!(
+        r#"{{"id": 1, "verb": "open", "program": "{base}"}}"#
+    ));
+    assert!(is_ok(&opened), "{opened:?}");
+    let result = opened.get("result").unwrap();
+    let session = result.get("session").and_then(Json::as_u64).unwrap();
+    let fp = result
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    let stmt = {
+        let mut p = arrayflow_ir::parse_program(base).unwrap();
+        p.renumber();
+        arrayflow_workloads::assign_ids(&p)[1].0
+    };
+
+    // A chain of edits, every delta carrying the *base* fingerprint: the
+    // router hashes it to the same shard each time, so the session state
+    // is found even though each edit changes the canonical fingerprint.
+    let texts = [
+        "B[i] := A[i-3] * 2;",
+        "B[i] := A[i] + y;",
+        "B[i+1] := A[i-1];",
+        "B[i] := A[i+1];",
+    ];
+    let mut last_fp = fp.clone();
+    for (step, text) in texts.iter().enumerate() {
+        let resp = c.request(&format!(
+            r#"{{"id": {}, "verb": "delta", "session": {session}, "fingerprint": "{fp}", "stmt": {stmt}, "text": "{text}"}}"#,
+            step + 2
+        ));
+        assert!(is_ok(&resp), "step {step}: {resp:?}");
+        let result = resp.get("result").unwrap();
+        assert_eq!(result.get("session").and_then(Json::as_u64), Some(session));
+        let new_fp = result
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_ne!(new_fp, last_fp, "step {step}: the edit changes the loop");
+        last_fp = new_fp;
+    }
+
+    // Exactly one node owns the session: the aggregated stats show one
+    // open session and four deltas across the cluster.
+    let stats = c.request(r#"{"id": 99, "verb": "stats"}"#);
+    assert!(is_ok(&stats), "{stats:?}");
+    let nodes = stats
+        .get("result")
+        .and_then(|r| r.get("nodes"))
+        .expect("router stats carry per-node sections");
+    let mut open_total = 0;
+    let mut deltas_total = 0;
+    let mut owners = 0;
+    for id in ["n1", "n2", "n3"] {
+        let node = nodes.get(id).unwrap_or_else(|| panic!("missing {id}"));
+        let Some(sessions) = node.get("sessions") else {
+            continue;
+        };
+        let open = sessions.get("open").and_then(Json::as_u64).unwrap_or(0);
+        let deltas = sessions
+            .get("deltas_total")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        open_total += open;
+        deltas_total += deltas;
+        if deltas > 0 {
+            owners += 1;
+            assert_eq!(deltas, 4, "all deltas on the owning shard");
+        }
+    }
+    assert_eq!(open_total, 1);
+    assert_eq!(deltas_total, 4);
+    assert_eq!(owners, 1, "the session never moved between shards");
+
+    cluster.shutdown();
+}

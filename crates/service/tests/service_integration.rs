@@ -475,3 +475,182 @@ fn stdio_like_loop_over_pipe_mode_frames() {
     assert!(saw_shutdown);
     service.join_workers();
 }
+
+#[test]
+fn open_then_delta_matches_fresh_analyze_byte_for_byte() {
+    let (addr, service) = spawn_server(ServiceConfig::default());
+    let mut client = Client::connect(addr);
+
+    let base = "do i = 1, 100 A[i+2] := A[i] + x; B[i] := A[i+1]; end";
+    let replacement = "B[i] := A[i-3] * 2;";
+    let edited = "do i = 1, 100 A[i+2] := A[i] + x; B[i] := A[i-3] * 2; end";
+
+    client.send(&format!(
+        r#"{{"id": 1, "verb": "open", "program": "{base}"}}"#
+    ));
+    let opened = client.recv_json();
+    assert_eq!(
+        opened.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{opened:?}"
+    );
+    let result = opened.get("result").unwrap();
+    let session = result.get("session").and_then(Json::as_u64).unwrap();
+    let base_fp = result
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(base_fp.len(), 32);
+
+    // The edit targets the second assignment; ids are the renumbered ones.
+    let stmt = {
+        let mut p = arrayflow_ir::parse_program(base).unwrap();
+        p.renumber();
+        arrayflow_workloads::assign_ids(&p)[1].0
+    };
+
+    // Every delta routes by the *base* fingerprint `open` returned.
+    client.send(&format!(
+        r#"{{"id": 2, "verb": "delta", "session": {session}, "fingerprint": "{base_fp}", "stmt": {stmt}, "text": "{replacement}"}}"#
+    ));
+    let delta = client.recv_json();
+    assert_eq!(
+        delta.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{delta:?}"
+    );
+    let dres = delta.get("result").unwrap();
+    assert_eq!(dres.get("session").and_then(Json::as_u64), Some(session));
+    assert_eq!(dres.get("fallback").and_then(Json::as_bool), Some(false));
+    let dirty = dres.get("dirty_columns").and_then(Json::as_u64).unwrap();
+    let total = dres.get("total_columns").and_then(Json::as_u64).unwrap();
+    assert!(dirty <= total && total > 0);
+    let delta_report = dres.get("report").and_then(Json::as_str).unwrap();
+    let delta_fp = dres.get("fingerprint").and_then(Json::as_str).unwrap();
+    assert_ne!(delta_fp, base_fp, "the edit changes the canonical loop");
+
+    // A fresh full analysis of the edited source must render byte-identically.
+    client.send(&format!(
+        r#"{{"id": 3, "verb": "analyze", "program": "{edited}"}}"#
+    ));
+    let fresh = client.recv_json();
+    assert_eq!(
+        fresh.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{fresh:?}"
+    );
+    let loops = fresh
+        .get("result")
+        .and_then(|r| r.get("loops"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(loops.len(), 1);
+    assert_eq!(
+        loops[0].get("report").and_then(Json::as_str).unwrap(),
+        delta_report
+    );
+    assert_eq!(
+        loops[0].get("fingerprint").and_then(Json::as_str).unwrap(),
+        delta_fp
+    );
+
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn delta_error_paths_are_analysis_errors_and_incomplete_requests_are_protocol_errors() {
+    let (addr, service) = spawn_server(ServiceConfig::default());
+    let mut client = Client::connect(addr);
+
+    // Unknown session: analysis-kind error, connection survives.
+    client.send(
+        r#"{"id": 1, "verb": "delta", "session": 424242, "fingerprint": "00000000000000000000000000000000", "stmt": 0, "text": "A[i] := 0;"}"#,
+    );
+    let resp = client.recv_json();
+    assert_eq!(error_kind(&resp), "analysis");
+
+    // Missing fields are rejected at decode time: protocol errors, like
+    // every other malformed request.
+    client.send(r#"{"id": 2, "verb": "delta", "session": 1}"#);
+    let resp = client.recv_json();
+    assert_eq!(error_kind(&resp), "protocol");
+
+    // A bad fingerprint string too.
+    client.send(
+        r#"{"id": 3, "verb": "delta", "session": 1, "fingerprint": "zz", "stmt": 0, "text": "A[i] := 0;"}"#,
+    );
+    let resp = client.recv_json();
+    assert_eq!(error_kind(&resp), "protocol");
+
+    // `open` still requires a program.
+    client.send(r#"{"id": 4, "verb": "open"}"#);
+    let resp = client.recv_json();
+    assert_eq!(error_kind(&resp), "protocol");
+
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn stats_verb_reports_session_counters() {
+    let (addr, service) = spawn_server(ServiceConfig::default());
+    let mut client = Client::connect(addr);
+
+    let base = "do i = 1, 50 A[i+1] := A[i]; B[i] := A[i]; end";
+    client.send(&format!(
+        r#"{{"id": 1, "verb": "open", "program": "{base}"}}"#
+    ));
+    let opened = client.recv_json();
+    let result = opened.get("result").unwrap();
+    let session = result.get("session").and_then(Json::as_u64).unwrap();
+    let fp = result
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let stmt = {
+        let mut p = arrayflow_ir::parse_program(base).unwrap();
+        p.renumber();
+        arrayflow_workloads::assign_ids(&p)[1].0
+    };
+
+    // One fast-path delta, one structural fallback.
+    client.send(&format!(
+        r#"{{"id": 2, "verb": "delta", "session": {session}, "fingerprint": "{fp}", "stmt": {stmt}, "text": "B[i] := A[i] + 1;"}}"#
+    ));
+    assert_eq!(
+        client.recv_json().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+    client.send(&format!(
+        r#"{{"id": 3, "verb": "delta", "session": {session}, "fingerprint": "{fp}", "stmt": {stmt}, "text": "if x > 0 then B[i] := A[i]; end"}}"#
+    ));
+    let fb = client.recv_json();
+    assert_eq!(
+        fb.get("result")
+            .and_then(|r| r.get("fallback"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "{fb:?}"
+    );
+
+    client.send(r#"{"id": 4, "verb": "stats"}"#);
+    let stats = client.recv_json();
+    let sessions = stats.get("result").and_then(|r| r.get("sessions")).unwrap();
+    assert_eq!(sessions.get("open").and_then(Json::as_u64), Some(1));
+    assert_eq!(sessions.get("opened_total").and_then(Json::as_u64), Some(1));
+    assert_eq!(sessions.get("deltas_total").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        sessions.get("delta_fallbacks").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        sessions.get("evicted_capacity").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    service.shutdown();
+    service.join_workers();
+}

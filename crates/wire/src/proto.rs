@@ -12,14 +12,16 @@
 //!
 //! ```text
 //! request tags            response tags
-//!   0x01 Ping               0x81 Ok   (body kind: 0 text, 1 analyze)
-//!   0x02 Analyze            0x82 Err  (kind byte + message)
-//!   0x03 Stats
+//!   0x01 Ping               0x81 Ok   (body kind: 0 text, 1 analyze,
+//!   0x02 Analyze                       2 session, 3 delta)
+//!   0x03 Stats               0x82 Err  (kind byte + message)
 //!   0x04 Metrics
 //!   0x05 Compact
 //!   0x06 Shutdown
 //!   0x07 Health
 //!   0x08 Replicate
+//!   0x09 Open
+//!   0x0A Delta
 //! ```
 //!
 //! `Health` is the cluster router's failover probe: a cheap liveness +
@@ -46,6 +48,10 @@ pub const TAG_SHUTDOWN: u8 = 0x06;
 pub const TAG_HEALTH: u8 = 0x07;
 /// Replication batch: store-codec record frames for a replica.
 pub const TAG_REPLICATE: u8 = 0x08;
+/// Open an interactive analysis session.
+pub const TAG_OPEN: u8 = 0x09;
+/// Apply a single-statement edit to an open session.
+pub const TAG_DELTA: u8 = 0x0A;
 /// Response frame tag: success.
 pub const TAG_OK: u8 = 0x81;
 /// Response frame tag: error.
@@ -53,6 +59,8 @@ pub const TAG_ERR: u8 = 0x82;
 
 const BODY_TEXT: u8 = 0;
 const BODY_ANALYZE: u8 = 1;
+const BODY_SESSION: u8 = 2;
+const BODY_DELTA: u8 = 3;
 
 const FLAG_SOURCE: u8 = 1 << 0;
 const FLAG_FINGERPRINT: u8 = 1 << 1;
@@ -125,6 +133,32 @@ pub enum Request {
         /// receiver (CRC + decode) before anything is applied.
         batch: Vec<u8>,
     },
+    /// Open an interactive analysis session over a program: analyze it
+    /// once, retain the converged state, answer with a session id.
+    Open {
+        /// Echoed id.
+        id: u64,
+        /// DSL program source (UTF-8).
+        source: Vec<u8>,
+    },
+    /// Apply one single-statement edit to an open session and re-converge.
+    Delta {
+        /// Echoed id.
+        id: u64,
+        /// The session id returned by the open (or previous delta)
+        /// response.
+        session: u64,
+        /// Canonical fingerprint of the session's *current* loop
+        /// (little-endian bytes), as returned by the previous response.
+        /// The cluster router routes deltas by this base fingerprint, so
+        /// a session stays pinned to the shard that holds it.
+        fingerprint: [u8; 16],
+        /// Statement id (textual order, 0-based) of the assignment to
+        /// replace.
+        stmt: u64,
+        /// Replacement statement source (UTF-8).
+        text: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -139,6 +173,8 @@ impl Request {
             Request::Shutdown { .. } => TAG_SHUTDOWN,
             Request::Health { .. } => TAG_HEALTH,
             Request::Replicate { .. } => TAG_REPLICATE,
+            Request::Open { .. } => TAG_OPEN,
+            Request::Delta { .. } => TAG_DELTA,
         }
     }
 
@@ -151,7 +187,9 @@ impl Request {
             | Request::Compact { id }
             | Request::Shutdown { id }
             | Request::Health { id }
-            | Request::Replicate { id, .. } => *id,
+            | Request::Replicate { id, .. }
+            | Request::Open { id, .. }
+            | Request::Delta { id, .. } => *id,
             Request::Analyze(a) => a.id,
         }
     }
@@ -169,6 +207,23 @@ impl Request {
             Request::Replicate { id, batch } => {
                 put_varint(&mut out, *id);
                 put_bytes(&mut out, batch);
+            }
+            Request::Open { id, source } => {
+                put_varint(&mut out, *id);
+                put_bytes(&mut out, source);
+            }
+            Request::Delta {
+                id,
+                session,
+                fingerprint,
+                stmt,
+                text,
+            } => {
+                put_varint(&mut out, *id);
+                put_varint(&mut out, *session);
+                out.extend_from_slice(fingerprint);
+                put_varint(&mut out, *stmt);
+                put_bytes(&mut out, text);
             }
             Request::Analyze(a) => {
                 put_varint(&mut out, a.id);
@@ -218,6 +273,24 @@ impl Request {
                 id,
                 batch: r.len_bytes()?.to_vec(),
             },
+            TAG_OPEN => Request::Open {
+                id,
+                source: r.len_bytes()?.to_vec(),
+            },
+            TAG_DELTA => {
+                let session = r.varint()?;
+                let mut fingerprint = [0u8; 16];
+                fingerprint.copy_from_slice(r.bytes(16)?);
+                let stmt = r.varint()?;
+                let text = r.len_bytes()?.to_vec();
+                Request::Delta {
+                    id,
+                    session,
+                    fingerprint,
+                    stmt,
+                    text,
+                }
+            }
             TAG_ANALYZE => {
                 let flags = r.u8()?;
                 if flags & !(FLAG_SOURCE | FLAG_FINGERPRINT | FLAG_PROBLEMS | FLAG_DISTANCE) != 0 {
@@ -290,6 +363,40 @@ pub struct AnalyzeOk {
     pub node_visits: u64,
 }
 
+/// A successful session-open response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOk {
+    /// Echoed request id.
+    pub id: u64,
+    /// The opened session's id — pass it to subsequent deltas.
+    pub session: u64,
+    /// Canonical fingerprint of the session's loop (little-endian bytes);
+    /// route subsequent deltas by this value.
+    pub fingerprint: [u8; 16],
+    /// Store-codec report bytes for the initial analysis.
+    pub report: Vec<u8>,
+}
+
+/// A successful delta response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaOk {
+    /// Echoed request id.
+    pub id: u64,
+    /// Echoed session id.
+    pub session: u64,
+    /// Canonical fingerprint of the loop *after* the edit — the base
+    /// fingerprint for the next delta.
+    pub fingerprint: [u8; 16],
+    /// Store-codec report bytes for the edited loop.
+    pub report: Vec<u8>,
+    /// True when the edit forced a full re-analysis.
+    pub fallback: bool,
+    /// Lattice columns re-solved incrementally (0 on fallback).
+    pub dirty_columns: u64,
+    /// Total lattice columns across the instances.
+    pub total_columns: u64,
+}
+
 /// A decoded response frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -302,6 +409,10 @@ pub enum Response {
     },
     /// Analyze result.
     Analyze(AnalyzeOk),
+    /// Session opened.
+    Session(SessionOk),
+    /// Delta applied.
+    Delta(DeltaOk),
     /// Error.
     Err {
         /// Echoed request id.
@@ -327,6 +438,8 @@ impl Response {
         match self {
             Response::Text { id, .. } | Response::Err { id, .. } => *id,
             Response::Analyze(a) => a.id,
+            Response::Session(s) => s.id,
+            Response::Delta(d) => d.id,
         }
     }
 
@@ -351,6 +464,23 @@ impl Response {
                 put_varint(&mut out, a.cache_misses);
                 put_varint(&mut out, a.solver_passes);
                 put_varint(&mut out, a.node_visits);
+            }
+            Response::Session(s) => {
+                put_varint(&mut out, s.id);
+                out.push(BODY_SESSION);
+                put_varint(&mut out, s.session);
+                put_u128(&mut out, u128::from_le_bytes(s.fingerprint));
+                put_bytes(&mut out, &s.report);
+            }
+            Response::Delta(d) => {
+                put_varint(&mut out, d.id);
+                out.push(BODY_DELTA);
+                put_varint(&mut out, d.session);
+                put_u128(&mut out, u128::from_le_bytes(d.fingerprint));
+                out.push(d.fallback as u8);
+                put_varint(&mut out, d.dirty_columns);
+                put_varint(&mut out, d.total_columns);
+                put_bytes(&mut out, &d.report);
             }
             Response::Err { id, kind, message } => {
                 put_varint(&mut out, *id);
@@ -394,6 +524,38 @@ impl Response {
                         cache_misses,
                         solver_passes,
                         node_visits,
+                    })
+                }
+                BODY_SESSION => {
+                    let session = r.varint()?;
+                    let fingerprint = r.u128()?.to_le_bytes();
+                    let report = r.len_bytes()?.to_vec();
+                    Response::Session(SessionOk {
+                        id,
+                        session,
+                        fingerprint,
+                        report,
+                    })
+                }
+                BODY_DELTA => {
+                    let session = r.varint()?;
+                    let fingerprint = r.u128()?.to_le_bytes();
+                    let fallback = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(DecodeError::BadDiscriminant),
+                    };
+                    let dirty_columns = r.varint()?;
+                    let total_columns = r.varint()?;
+                    let report = r.len_bytes()?.to_vec();
+                    Response::Delta(DeltaOk {
+                        id,
+                        session,
+                        fingerprint,
+                        report,
+                        fallback,
+                        dirty_columns,
+                        total_columns,
                     })
                 }
                 _ => return Err(DecodeError::BadDiscriminant),
@@ -464,6 +626,24 @@ mod tests {
             distance_bound: None,
             source: Some(b"x".to_vec()),
         }));
+        round_trip_request(Request::Open {
+            id: 14,
+            source: b"do i = 1, 10 A[i] := 0; end".to_vec(),
+        });
+        round_trip_request(Request::Delta {
+            id: 15,
+            session: 7,
+            fingerprint: [0xAB; 16],
+            stmt: 3,
+            text: b"A[i+1] := A[i];".to_vec(),
+        });
+        round_trip_request(Request::Delta {
+            id: 16,
+            session: u64::MAX,
+            fingerprint: [0; 16],
+            stmt: 0,
+            text: Vec::new(),
+        });
     }
 
     #[test]
@@ -494,6 +674,80 @@ mod tests {
             kind: 2,
             message: "deadline exceeded".into(),
         });
+        round_trip_response(Response::Session(SessionOk {
+            id: 8,
+            session: 77,
+            fingerprint: [3; 16],
+            report: vec![9, 8, 7],
+        }));
+        round_trip_response(Response::Delta(DeltaOk {
+            id: 9,
+            session: 77,
+            fingerprint: [4; 16],
+            report: vec![1],
+            fallback: true,
+            dirty_columns: 0,
+            total_columns: 12,
+        }));
+        round_trip_response(Response::Delta(DeltaOk {
+            id: 10,
+            session: 1,
+            fingerprint: [5; 16],
+            report: Vec::new(),
+            fallback: false,
+            dirty_columns: 3,
+            total_columns: 12,
+        }));
+    }
+
+    #[test]
+    fn hostile_session_frames_are_rejected() {
+        // Delta with a truncated fingerprint.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // id
+        put_varint(&mut payload, 2); // session
+        payload.extend_from_slice(&[0u8; 8]); // half a fingerprint
+        assert!(Request::decode(TAG_DELTA, &payload).is_err());
+
+        // Delta response with a fallback byte that is neither 0 nor 1.
+        let good = Response::Delta(DeltaOk {
+            id: 1,
+            session: 2,
+            fingerprint: [0; 16],
+            report: Vec::new(),
+            fallback: false,
+            dirty_columns: 0,
+            total_columns: 0,
+        });
+        let mut payload = good.encode_payload();
+        // Layout: varint id, kind byte, varint session, 16 fp bytes, fallback.
+        let fallback_at = 1 + 1 + 1 + 16;
+        payload[fallback_at] = 2;
+        assert_eq!(
+            Response::decode(TAG_OK, &payload),
+            Err(DecodeError::BadDiscriminant)
+        );
+
+        // Open with trailing bytes.
+        let mut payload = Request::Open {
+            id: 1,
+            source: b"x".to_vec(),
+        }
+        .encode_payload();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(TAG_OPEN, &payload),
+            Err(DecodeError::TrailingBytes)
+        );
+
+        // Delta with a text length prefix past the end of the payload.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1);
+        put_varint(&mut payload, 2);
+        payload.extend_from_slice(&[0u8; 16]);
+        put_varint(&mut payload, 0); // stmt
+        put_varint(&mut payload, 100); // text length, no bytes follow
+        assert!(Request::decode(TAG_DELTA, &payload).is_err());
     }
 
     #[test]

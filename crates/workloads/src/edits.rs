@@ -1,0 +1,129 @@
+//! Deterministic random single-statement edits.
+//!
+//! Drives the incremental-analysis property tests and the
+//! `incremental_throughput` bench: given a program, produce a seeded stream
+//! of [`Edit`]s that replace one assignment with a freshly generated one,
+//! rendered as source text exactly as an interactive client would submit it.
+
+use arrayflow_ir::{Edit, Program, Stmt, StmtId};
+
+use crate::prng::Prng;
+use crate::random::LoopShape;
+
+/// Statement ids of every assignment in the program, in textual order.
+pub fn assign_ids(program: &Program) -> Vec<StmtId> {
+    fn walk(block: &[Stmt], out: &mut Vec<StmtId>) {
+        for stmt in block {
+            match stmt {
+                Stmt::Assign(a) => out.push(a.id),
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    walk(then_blk, out);
+                    walk(else_blk, out);
+                }
+                Stmt::Do(l) => walk(&l.body, out),
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&program.body, &mut out);
+    out
+}
+
+fn subscript(shape: &LoopShape, rng: &mut Prng) -> String {
+    let coef = if rng.ratio(1, 8) {
+        0
+    } else {
+        rng.range_i64(1, shape.max_coef)
+    };
+    let off = rng.range_i64(-shape.max_offset, shape.max_offset);
+    match (coef, off) {
+        (0, o) => format!("{o}"),
+        (1, 0) => "i".to_string(),
+        (1, o) if o > 0 => format!("i + {o}"),
+        (1, o) => format!("i - {}", -o),
+        (c, 0) => format!("{c} * i"),
+        (c, o) if o > 0 => format!("{c} * i + {o}"),
+        (c, o) => format!("{c} * i - {}", -o),
+    }
+}
+
+fn array_ref(shape: &LoopShape, rng: &mut Prng) -> String {
+    let arr = rng.below_usize(shape.arrays);
+    format!("A{arr}[{}]", subscript(shape, rng))
+}
+
+/// Generates one random assignment-for-assignment edit against `program`.
+///
+/// The replacement is always an array-element assignment over the same
+/// array pool the [`crate::random_loop`] generator draws from, so chains of
+/// edits stay inside the incremental fast path. Returns `None` when the
+/// program contains no assignments.
+pub fn random_edit(program: &Program, shape: &LoopShape, seed: u64) -> Option<Edit> {
+    let ids = assign_ids(program);
+    if ids.is_empty() {
+        return None;
+    }
+    let mut rng = Prng::seed_from_u64(seed);
+    let stmt = ids[rng.below_usize(ids.len())];
+    let lhs = array_ref(shape, &mut rng);
+    let rhs = if rng.ratio(1, 2) {
+        format!(
+            "{} + {}",
+            array_ref(shape, &mut rng),
+            array_ref(shape, &mut rng)
+        )
+    } else {
+        format!("{} + {}", array_ref(shape, &mut rng), rng.range_i64(1, 4))
+    };
+    Some(Edit {
+        stmt,
+        text: format!("{lhs} := {rhs};"),
+    })
+}
+
+/// A seeded stream of `count` edits, each generated against the program as
+/// it would look after the previous edits were applied.
+pub fn random_edits(
+    program: &Program,
+    shape: &LoopShape,
+    count: usize,
+    base_seed: u64,
+) -> Vec<Edit> {
+    // Assignment-for-assignment replacement never changes the id set, so
+    // the stream can be generated up front from the original program.
+    (0..count)
+        .filter_map(|k| random_edit(program, shape, base_seed.wrapping_add(k as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_loop;
+    use arrayflow_ir::apply_edit;
+
+    #[test]
+    fn edits_parse_and_apply() {
+        let shape = LoopShape::default();
+        for seed in 0..16 {
+            let mut p = random_loop(&shape, seed);
+            p.renumber();
+            for e in random_edits(&p, &shape, 8, seed * 100) {
+                apply_edit(&mut p, &e).expect("generated edit must apply");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_ids_cover_conditionals() {
+        let shape = LoopShape {
+            cond_pct: 100,
+            ..LoopShape::default()
+        };
+        let mut p = random_loop(&shape, 7);
+        p.renumber();
+        assert!(!assign_ids(&p).is_empty());
+    }
+}

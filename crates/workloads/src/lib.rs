@@ -3,11 +3,13 @@
 //! kernels, and seeded random structured loops for property testing and
 //! benchmarking.
 
+pub mod edits;
 pub mod kernels;
 pub mod livermore;
 pub mod prng;
 pub mod random;
 
+pub use edits::{assign_ids, random_edit, random_edits};
 pub use kernels::{
     all_kernels, clipped_wavefront, dot, fig1, fig4, fig5, fig6, fig7, map_scale, pair_sum,
     recurrence, smooth3,

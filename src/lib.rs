@@ -67,6 +67,7 @@ pub use arrayflow_cluster as cluster;
 pub use arrayflow_core as core;
 pub use arrayflow_engine as engine;
 pub use arrayflow_graph as graph;
+pub use arrayflow_incremental as incremental;
 pub use arrayflow_ir as ir;
 pub use arrayflow_machine as machine;
 pub use arrayflow_obs as obs;
