@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use arrayflow_core::{Direction, Mode};
+use arrayflow_core::{CustomSpec, Direction, Mode};
 use arrayflow_graph::{build_loop_graph, LoopGraph};
 use arrayflow_ir::{Loop, Program, Stmt, SymbolTable};
 
@@ -133,6 +133,45 @@ impl LoopAnalysis {
     /// Renders a tracked generating reference.
     pub fn site_text_of(&self, gen: &arrayflow_core::GenRef) -> String {
         self.site_text_of_ref(&gen.aref)
+    }
+}
+
+/// One solved user-specified (G, K) instance over a normalized loop: the
+/// flow graph, the classified site table, and the converged instance —
+/// the custom-problem counterpart of [`LoopAnalysis`].
+#[derive(Debug, Clone)]
+pub struct CustomAnalysis {
+    /// The loop flow graph.
+    pub graph: LoopGraph,
+    /// Classified reference sites.
+    pub sites: Vec<Site>,
+    /// The solved instance under the requested roles/direction/mode.
+    pub instance: Instance,
+}
+
+impl CustomAnalysis {
+    /// Solves one wire-submitted [`CustomSpec`] over a normalized loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError::NotNormalized`] when the loop is not in
+    /// `do i = 1, UB` step-1 form.
+    pub fn of_loop(
+        l: &Loop,
+        symbols: &SymbolTable,
+        spec: CustomSpec,
+    ) -> Result<Self, AnalyzeError> {
+        if !l.is_normalized() {
+            return Err(AnalyzeError::NotNormalized);
+        }
+        let graph = build_loop_graph(l);
+        let (sites, _) = enumerate_sites(l, &graph, symbols);
+        let instance = Instance::run(&graph, &sites, spec.into(), spec.direction, spec.mode);
+        Ok(Self {
+            graph,
+            sites,
+            instance,
+        })
     }
 }
 

@@ -24,7 +24,9 @@ pub mod scalars;
 pub mod sites;
 pub mod spec;
 
-pub use driver::{analyze_loop, analyze_nest, loops_innermost_first, AnalyzeError, LoopAnalysis};
+pub use driver::{
+    analyze_loop, analyze_nest, loops_innermost_first, AnalyzeError, CustomAnalysis, LoopAnalysis,
+};
 pub use instances::{
     best_reuse, dependences, redundant_stores, reuse_pairs, Dep, DepKind, Instance, RedundantStore,
     Reuse,

@@ -1,6 +1,6 @@
 //! From classified sites to a solver-ready [`ProblemSpec`].
 
-use arrayflow_core::{Direction, KillKind, Mode, ProblemSpec, RefId};
+use arrayflow_core::{CustomSpec, Direction, KillKind, Mode, ProblemSpec, RefId};
 
 use crate::sites::Site;
 
@@ -59,6 +59,19 @@ impl GK {
         kill_defs: true,
         kill_uses: false,
     };
+}
+
+impl From<CustomSpec> for GK {
+    /// The role-selection half of a wire-submitted custom spec (direction
+    /// and mode travel separately into [`build_spec`]).
+    fn from(spec: CustomSpec) -> GK {
+        GK {
+            gen_defs: spec.gen_defs,
+            gen_uses: spec.gen_uses,
+            kill_defs: spec.kill_defs,
+            kill_uses: spec.kill_uses,
+        }
+    }
 }
 
 /// A [`ProblemSpec`] together with the mapping from its tracked references

@@ -42,6 +42,7 @@ fn key(fp: u128) -> CacheKey {
         fingerprint: Fingerprint(fp),
         problems: ProblemSet::ALL,
         dep_max_distance: 8,
+        custom: None,
     }
 }
 
@@ -59,6 +60,7 @@ fn report(fp: u128, sites: usize) -> AnalysisReport {
         reuses: Vec::new(),
         redundant_stores: Vec::new(),
         dependences: Vec::new(),
+        custom: None,
     }
 }
 

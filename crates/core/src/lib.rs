@@ -52,7 +52,7 @@ pub mod worklist;
 pub use flow::{FlowTable, NodeFlow};
 pub use lattice::{meet_max, meet_min, Dist, DistVec};
 pub use preserve::{node_preserve, preserve_constant};
-pub use problem::{Direction, GenRef, KillKind, KillSite, Mode, ProblemSpec, RefId};
+pub use problem::{CustomSpec, Direction, GenRef, KillKind, KillSite, Mode, ProblemSpec, RefId};
 pub use solver::{solve, solve_bounded, solve_traced, Snapshot, Solution, SolveStats};
 pub use worklist::{
     solve_profiled, solve_worklist, stats_from_profile, ColumnProfile, WorklistRun, WorklistStats,

@@ -101,6 +101,115 @@ pub struct KillSite {
     pub origin: Option<u32>,
 }
 
+/// A wire-expressible problem selection: which site roles generate (G),
+/// which kill (K), the [`Direction`] and the [`Mode`] — everything a
+/// client must say to name a framework instance over a program it
+/// submits. Six bits total, canonically encoded by [`CustomSpec::bits`]
+/// so memo caches, persistent stores and cluster routers all agree on
+/// the identity of a custom instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CustomSpec {
+    /// Definition sites generate.
+    pub gen_defs: bool,
+    /// Use sites generate.
+    pub gen_uses: bool,
+    /// Definition sites kill.
+    pub kill_defs: bool,
+    /// Use sites kill.
+    pub kill_uses: bool,
+    /// Propagation direction.
+    pub direction: Direction,
+    /// Must or may interpretation.
+    pub mode: Mode,
+}
+
+impl CustomSpec {
+    /// Largest dependence-distance bound a custom request may carry.
+    /// Decoders on untrusted paths reject anything above it: the bound
+    /// sizes a linear scan in dependence extraction, so an attacker's
+    /// `u64::MAX` must not become a near-infinite loop.
+    pub const MAX_DISTANCE_BOUND: u64 = 1_000_000;
+
+    /// Canonical 6-bit encoding: bit 0 `gen_defs`, bit 1 `gen_uses`,
+    /// bit 2 `kill_defs`, bit 3 `kill_uses`, bit 4 backward, bit 5 may.
+    pub fn bits(self) -> u8 {
+        (self.gen_defs as u8)
+            | (self.gen_uses as u8) << 1
+            | (self.kill_defs as u8) << 2
+            | (self.kill_uses as u8) << 3
+            | ((self.direction == Direction::Backward) as u8) << 4
+            | ((self.mode == Mode::May) as u8) << 5
+    }
+
+    /// Inverse of [`CustomSpec::bits`]; `None` on stray high bits or an
+    /// empty generating set. An empty G is contradictory — the instance
+    /// would track nothing — and rejecting it here keeps that validation
+    /// in one place for every untrusted decoder (JSON, binary, store).
+    pub fn from_bits(bits: u8) -> Option<CustomSpec> {
+        if bits & !0b11_1111 != 0 || bits & 0b11 == 0 {
+            return None;
+        }
+        Some(CustomSpec {
+            gen_defs: bits & 0b0001 != 0,
+            gen_uses: bits & 0b0010 != 0,
+            kill_defs: bits & 0b0100 != 0,
+            kill_uses: bits & 0b1000 != 0,
+            direction: if bits & 0b1_0000 != 0 {
+                Direction::Backward
+            } else {
+                Direction::Forward
+            },
+            mode: if bits & 0b10_0000 != 0 {
+                Mode::May
+            } else {
+                Mode::Must
+            },
+        })
+    }
+
+    /// A short, stable, label-safe name, e.g. `gdu-kd-fwd-may`: the
+    /// generating roles, the killing roles (`k0` when nothing kills),
+    /// direction and mode. Used as the per-spec metric label value and
+    /// in renderings; stable by contract.
+    pub fn label(self) -> String {
+        let mut s = String::with_capacity(16);
+        s.push('g');
+        if self.gen_defs {
+            s.push('d');
+        }
+        if self.gen_uses {
+            s.push('u');
+        }
+        s.push_str("-k");
+        if !self.kill_defs && !self.kill_uses {
+            s.push('0');
+        }
+        if self.kill_defs {
+            s.push('d');
+        }
+        if self.kill_uses {
+            s.push('u');
+        }
+        s.push('-');
+        s.push_str(match self.direction {
+            Direction::Forward => "fwd",
+            Direction::Backward => "bwd",
+        });
+        s.push('-');
+        s.push_str(match self.mode {
+            Mode::Must => "must",
+            Mode::May => "may",
+        });
+        s
+    }
+}
+
+impl std::fmt::Display for CustomSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// A complete problem instance over one loop flow graph.
 #[derive(Debug, Clone)]
 pub struct ProblemSpec {
@@ -172,5 +281,51 @@ impl ProblemSpec {
     /// The killing sites located in `node`.
     pub fn kills_in(&self, node: NodeId) -> impl Iterator<Item = &KillSite> {
         self.kills.iter().filter(move |k| k.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custom_spec_bits_round_trip() {
+        for bits in 0u8..=0b11_1111 {
+            match CustomSpec::from_bits(bits) {
+                Some(spec) => assert_eq!(spec.bits(), bits),
+                None => assert_eq!(bits & 0b11, 0, "only empty-G bits are rejected"),
+            }
+        }
+        for bits in 0b100_0000u8..=0xFF {
+            assert_eq!(CustomSpec::from_bits(bits), None, "high bits rejected");
+        }
+    }
+
+    #[test]
+    fn custom_spec_labels_are_distinct_and_stable() {
+        let reaching = CustomSpec {
+            gen_defs: true,
+            gen_uses: false,
+            kill_defs: true,
+            kill_uses: false,
+            direction: Direction::Forward,
+            mode: Mode::Must,
+        };
+        assert_eq!(reaching.label(), "gd-kd-fwd-must");
+        let live = CustomSpec {
+            gen_defs: false,
+            gen_uses: true,
+            kill_defs: true,
+            kill_uses: false,
+            direction: Direction::Backward,
+            mode: Mode::May,
+        };
+        assert_eq!(live.label(), "gu-kd-bwd-may");
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0u8..=0b11_1111 {
+            if let Some(spec) = CustomSpec::from_bits(bits) {
+                assert!(seen.insert(spec.label()), "duplicate label for {bits:#b}");
+            }
+        }
     }
 }

@@ -24,6 +24,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
+use arrayflow_core::CustomSpec;
 use arrayflow_ir::Fingerprint;
 use arrayflow_obs::{Counter, Registry};
 
@@ -34,10 +35,15 @@ use crate::report::{AnalysisReport, ProblemSet};
 pub struct CacheKey {
     /// Canonical structural fingerprint of the loop.
     pub fingerprint: Fingerprint,
-    /// Instances requested.
+    /// Canned instances requested ([`ProblemSet::NONE`] for custom-spec
+    /// queries, keeping `Eq`/`Hash` canonical).
     pub problems: ProblemSet,
     /// Dependence-extraction distance bound (changes report contents).
     pub dep_max_distance: u64,
+    /// The user-specified (G, K) instance, for `custom` queries. Part of
+    /// the key: two distinct specs over the same loop never collide, and
+    /// a custom query never aliases a canned one.
+    pub custom: Option<CustomSpec>,
 }
 
 impl CacheKey {
@@ -453,6 +459,7 @@ mod tests {
             fingerprint: Fingerprint(fp),
             problems: ProblemSet::ALL,
             dep_max_distance: 8,
+            custom: None,
         }
     }
 
@@ -470,6 +477,7 @@ mod tests {
             reuses: Vec::new(),
             redundant_stores: Vec::new(),
             dependences: Vec::new(),
+            custom: None,
         })
     }
 
@@ -498,6 +506,57 @@ mod tests {
             ..key(7)
         };
         assert!(c.get(&other).is_none());
+    }
+
+    #[test]
+    fn distinct_custom_specs_are_distinct_keys() {
+        let c = MemoCache::new(1, 64);
+        let spec = |bits| CustomSpec::from_bits(bits).expect("valid spec bits");
+        // δ-live elements: G = uses, K = defs, backward, may.
+        let live = CacheKey {
+            problems: ProblemSet::NONE,
+            custom: Some(spec(0b11_0110)),
+            ..key(7)
+        };
+        c.insert(live, dummy_report(7));
+        // A different spec over the same loop misses.
+        let other = CacheKey {
+            custom: Some(spec(0b00_0001)),
+            ..live
+        };
+        assert!(c.get(&other).is_none());
+        // A canned query over the same loop misses too — custom never
+        // aliases canned.
+        assert!(c.get(&key(7)).is_none());
+        assert!(c.get(&live).is_some());
+        // All analyses of one loop share the routing hash by design.
+        assert_eq!(live.route_hash(), key(7).route_hash());
+        assert_eq!(other.route_hash(), live.route_hash());
+    }
+
+    #[test]
+    fn custom_keys_stay_distinct_through_the_second_tier() {
+        let tier = Arc::new(MapTier::default());
+        let mut c = MemoCache::new(1, 8);
+        c.set_second_tier(Arc::clone(&tier) as Arc<dyn SecondTier>);
+        let spec = |bits| CustomSpec::from_bits(bits).expect("valid spec bits");
+        let a = CacheKey {
+            problems: ProblemSet::NONE,
+            custom: Some(spec(0b00_0101)),
+            ..key(9)
+        };
+        let b = CacheKey {
+            custom: Some(spec(0b10_0101)),
+            ..a
+        };
+        c.insert(a, dummy_report(9));
+        assert!(tier.map.lock().unwrap().contains_key(&a));
+        assert!(!tier.map.lock().unwrap().contains_key(&b));
+        // Seed `b` behind the cache's back; both promote independently.
+        tier.store(&b, &dummy_report(9));
+        assert!(c.get(&b).is_some());
+        assert!(c.get(&a).is_some());
+        assert_eq!(tier.map.lock().unwrap().len(), 2);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use arrayflow_analyses::loops_innermost_first;
+use arrayflow_core::CustomSpec;
 use arrayflow_incremental::{Session, SessionStats, SessionStore, StoreConfig};
 use arrayflow_ir::{fingerprint_loop, Edit, Fingerprint, Program};
 use arrayflow_obs::{observed_span, Counter, Gauge, Histogram, Registry, PHASE_BUCKETS_US};
@@ -100,13 +101,20 @@ pub enum AnalysisError {
     /// The engine failed while running the analysis; other programs of
     /// the batch are unaffected.
     Internal(String),
+    /// The session a `delta` targeted no longer exists on the answering
+    /// node — never opened there, evicted, TTL-expired, or lost to a
+    /// mid-session failover. Retrying the delta is pointless; the client
+    /// re-`open`s and replays its edits.
+    SessionLost(String),
 }
 
 impl AnalysisError {
     /// The human-readable message, without the kind prefix.
     pub fn message(&self) -> &str {
         match self {
-            AnalysisError::Analysis(m) | AnalysisError::Internal(m) => m,
+            AnalysisError::Analysis(m)
+            | AnalysisError::Internal(m)
+            | AnalysisError::SessionLost(m) => m,
         }
     }
 
@@ -119,7 +127,7 @@ impl AnalysisError {
 impl std::fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AnalysisError::Analysis(m) => f.write_str(m),
+            AnalysisError::Analysis(m) | AnalysisError::SessionLost(m) => f.write_str(m),
             AnalysisError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
@@ -267,8 +275,9 @@ pub struct DeltaReport {
 /// let results = engine.analyze_batch(&programs);
 /// assert_eq!(results.len(), 4);
 /// assert_eq!(results[0].loops[0].report.reuses.len(), 1);
-/// // 4 structurally identical programs: 1 solve, 3 cache hits.
-/// assert_eq!(engine.stats().cache.hits, 3);
+/// // 4 structurally identical programs dedup onto one cache entry; at
+/// // least 2 are hits (workers may race the very first solve).
+/// assert!(engine.stats().cache.hits >= 2);
 /// ```
 #[derive(Debug)]
 pub struct Engine {
@@ -294,6 +303,7 @@ struct EngineInstruments {
     pass_available: Histogram,
     pass_busy: Histogram,
     pass_reaching_refs: Histogram,
+    pass_custom: Histogram,
     phase_normalize: Histogram,
     phase_cache_get: Histogram,
     phase_solve: Histogram,
@@ -346,6 +356,7 @@ impl EngineInstruments {
             pass_available: pass("available"),
             pass_busy: pass("busy"),
             pass_reaching_refs: pass("reaching_refs"),
+            pass_custom: pass("custom"),
             phase_normalize: phase("normalize"),
             phase_cache_get: phase("cache_get"),
             phase_solve: phase("solve"),
@@ -384,6 +395,7 @@ impl EngineInstruments {
             "available" => Some(&self.pass_available),
             "busy" => Some(&self.pass_busy),
             "reaching_refs" => Some(&self.pass_reaching_refs),
+            "custom" => Some(&self.pass_custom),
             _ => None,
         }
     }
@@ -541,6 +553,7 @@ impl Engine {
                 fingerprint,
                 problems,
                 dep_max_distance,
+                custom: None,
             };
             let hit = {
                 let _span = observed_span("cache_get", &self.ins.phase_cache_get);
@@ -606,6 +619,163 @@ impl Engine {
         }
     }
 
+    /// When a wire-submitted spec names one of the canned instances, the
+    /// canned singleton [`ProblemSet`] to delegate to — so an equivalent
+    /// custom request shares the canned cache entry and produces a
+    /// byte-identical report to the built-in verb.
+    fn canned_equivalent(spec: CustomSpec) -> Option<ProblemSet> {
+        use arrayflow_core::{Direction, Mode};
+        let gk = (spec.gen_defs, spec.gen_uses, spec.kill_defs, spec.kill_uses);
+        let fwd = spec.direction == Direction::Forward;
+        let must = spec.mode == Mode::Must;
+        let pick = |reaching, available, busy, reaching_refs| ProblemSet {
+            reaching,
+            available,
+            busy,
+            reaching_refs,
+        };
+        match (gk, fwd, must) {
+            ((true, false, true, false), true, true) => Some(pick(true, false, false, false)),
+            ((true, true, true, false), true, true) => Some(pick(false, true, false, false)),
+            ((true, false, false, true), false, true) => Some(pick(false, false, true, false)),
+            ((true, true, true, false), true, false) => Some(pick(false, false, false, true)),
+            _ => None,
+        }
+    }
+
+    /// Analyzes one program under a user-specified (G, K) problem — the
+    /// engine half of the `custom` verb. The spec is part of the cache
+    /// key ([`CacheKey::custom`]), so distinct specs over the same loop
+    /// coexist in the memo cache and the persistent tier; a spec that
+    /// names a canned instance delegates to [`Engine::analyze_with`] with
+    /// the singleton selection, sharing the canned cache entry and
+    /// producing a byte-identical report to the built-in verb.
+    ///
+    /// Every request increments
+    /// `arrayflow_custom_requests_total{spec=...}` with the spec's
+    /// canonical label. Panic isolation matches [`Engine::analyze_with`].
+    pub fn analyze_custom(
+        &self,
+        index: usize,
+        program: &Program,
+        spec: CustomSpec,
+        dep_max_distance: u64,
+    ) -> BatchResult {
+        self.registry
+            .counter_with(
+                "arrayflow_custom_requests_total",
+                "custom (G, K) problems solved, by canonical spec label",
+                &[("spec", &spec.label())],
+            )
+            .inc();
+        if let Some(problems) = Self::canned_equivalent(spec) {
+            return self.analyze_with(index, program, problems, dep_max_distance);
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.analyze_custom_inner(index, program, spec, dep_max_distance)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.ins.worker_panics.inc();
+                BatchResult::internal_failure(
+                    index,
+                    format!("solver panicked: {}", panic_message(payload.as_ref())),
+                )
+            }
+        }
+    }
+
+    fn analyze_custom_inner(
+        &self,
+        index: usize,
+        program: &Program,
+        spec: CustomSpec,
+        dep_max_distance: u64,
+    ) -> BatchResult {
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut error: Option<AnalysisError> = None;
+
+        let mut p = program.clone();
+        {
+            let _span = observed_span("normalize", &self.ins.phase_normalize);
+            arrayflow_ir::normalize(&mut p);
+            p.renumber();
+        }
+
+        let mut loops = Vec::new();
+        for l in loops_innermost_first(&p) {
+            let fingerprint = fingerprint_loop(l, &p.symbols);
+            let key = CacheKey {
+                fingerprint,
+                problems: ProblemSet::NONE,
+                dep_max_distance,
+                custom: Some(spec),
+            };
+            let hit = {
+                let _span = observed_span("cache_get", &self.ins.phase_cache_get);
+                self.cache.get(&key)
+            };
+            let report = if let Some(hit) = hit {
+                stats.cache_hits += 1;
+                hit
+            } else {
+                stats.cache_misses += 1;
+                let solved = {
+                    let _span = observed_span("solve", &self.ins.phase_solve);
+                    if let Some(faults) = &self.faults {
+                        if let Some(delay) = faults.solve_latency() {
+                            std::thread::sleep(delay);
+                        }
+                        if faults.solver_panic() {
+                            panic!("injected solver fault");
+                        }
+                    }
+                    AnalysisReport::of_custom(l, &p.symbols, spec, dep_max_distance)
+                };
+                match solved {
+                    Ok(r) => {
+                        stats.solver_passes += r.solver_passes() as u64;
+                        stats.node_visits += r.node_visits() as u64;
+                        for (problem, s) in r.instance_stats() {
+                            if let Some(h) = self.ins.pass_histogram(problem) {
+                                h.observe(passes_to_fix(&s));
+                            }
+                        }
+                        let r = Arc::new(r);
+                        {
+                            let _span = observed_span("cache_insert", &self.ins.phase_cache_insert);
+                            self.cache.insert(key, Arc::clone(&r));
+                        }
+                        r
+                    }
+                    Err(e) => {
+                        error.get_or_insert_with(|| AnalysisError::Analysis(e.to_string()));
+                        continue;
+                    }
+                }
+            };
+            loops.push(LoopReport {
+                fingerprint,
+                report,
+            });
+        }
+
+        stats.micros = start.elapsed().as_micros() as u64;
+        self.ins.programs.inc();
+        self.ins.loops.add(stats.cache_hits + stats.cache_misses);
+        self.ins.solver_passes.add(stats.solver_passes);
+        self.ins.node_visits.add(stats.node_visits);
+        self.ins.busy_us.add(stats.micros);
+
+        BatchResult {
+            index,
+            loops,
+            error,
+            stats,
+        }
+    }
+
     /// The fingerprint-first fast path: probes the memo cache (and, on a
     /// memory miss, the persistent second tier, promoting a tier hit)
     /// for an already-analyzed loop — **before any parse or normalize
@@ -627,6 +797,7 @@ impl Engine {
             fingerprint,
             problems,
             dep_max_distance,
+            custom: None,
         };
         let hit = {
             let _span = observed_span("cache_get", &self.ins.phase_cache_get);
@@ -640,6 +811,43 @@ impl Engine {
             None => {
                 self.ins.fingerprint_misses.inc();
                 None
+            }
+        }
+    }
+
+    /// The custom-spec twin of [`Engine::analyze_by_fingerprint`]: probes
+    /// the cache tiers for a `(fingerprint, spec)` pair. Specs naming a
+    /// canned instance probe the canned key they delegate to, so a custom
+    /// probe hits entries the built-in verb populated (and vice versa).
+    pub fn analyze_custom_by_fingerprint(
+        &self,
+        fingerprint: Fingerprint,
+        spec: CustomSpec,
+        dep_max_distance: u64,
+    ) -> Option<Arc<AnalysisReport>> {
+        match Self::canned_equivalent(spec) {
+            Some(problems) => self.analyze_by_fingerprint(fingerprint, problems, dep_max_distance),
+            None => {
+                let key = CacheKey {
+                    fingerprint,
+                    problems: ProblemSet::NONE,
+                    dep_max_distance,
+                    custom: Some(spec),
+                };
+                let hit = {
+                    let _span = observed_span("cache_get", &self.ins.phase_cache_get);
+                    self.cache.get(&key)
+                };
+                match hit {
+                    Some(report) => {
+                        self.ins.fingerprint_fast_hits.inc();
+                        Some(report)
+                    }
+                    None => {
+                        self.ins.fingerprint_misses.inc();
+                        None
+                    }
+                }
             }
         }
     }
@@ -710,7 +918,7 @@ impl Engine {
             }
         };
         let Some(applied) = applied else {
-            return Err(AnalysisError::Analysis(format!(
+            return Err(AnalysisError::SessionLost(format!(
                 "unknown or expired session {session}"
             )));
         };
@@ -760,6 +968,7 @@ impl Engine {
             fingerprint: report.fingerprint,
             problems: ProblemSet::ALL,
             dep_max_distance: report.dep_max_distance,
+            custom: None,
         };
         let _span = observed_span("cache_insert", &self.ins.phase_cache_insert);
         self.cache.insert(key, Arc::clone(report));

@@ -45,6 +45,7 @@ pub mod cache;
 pub mod engine;
 pub mod report;
 
+pub use arrayflow_core::{CustomSpec, Direction, Mode};
 pub use cache::{
     fingerprint_route_hash, CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier,
 };
@@ -52,4 +53,4 @@ pub use engine::{
     passes_to_fix, AnalysisError, BatchResult, DeltaReport, Engine, EngineConfig, EngineStats,
     LoopReport, QueryStats, SOLVER_PASS_BUCKETS,
 };
-pub use report::{AnalysisReport, InstanceStats, ProblemSet};
+pub use report::{AnalysisReport, CustomResult, CustomValue, InstanceStats, ProblemSet};

@@ -11,10 +11,10 @@
 use std::fmt::Write as _;
 
 use arrayflow_analyses::{
-    dependences, redundant_stores, reuse_pairs, AnalyzeError, Dep, LoopAnalysis, RedundantStore,
-    Reuse,
+    dependences, redundant_stores, reuse_pairs, AnalyzeError, CustomAnalysis, Dep, LoopAnalysis,
+    RedundantStore, Reuse,
 };
-use arrayflow_core::SolveStats;
+use arrayflow_core::{CustomSpec, Dist, SolveStats};
 use arrayflow_ir::{Fingerprint, Loop, SymbolTable};
 
 /// Which framework instances a query runs (and therefore which report
@@ -39,6 +39,15 @@ impl ProblemSet {
         available: true,
         busy: true,
         reaching_refs: true,
+    };
+
+    /// No canonical instance — the selection a custom-spec report carries,
+    /// so its cache key and encoding stay canonical.
+    pub const NONE: ProblemSet = ProblemSet {
+        reaching: false,
+        available: false,
+        busy: false,
+        reaching_refs: false,
     };
 
     /// Compact encoding used in cache keys and renderings.
@@ -103,6 +112,37 @@ impl InstanceStats {
     }
 }
 
+/// One converged lattice value of a custom instance, stated structurally:
+/// the tracked reference (by component index and generator site index) and
+/// the flow-order input distance at a node. Bottom values are omitted from
+/// reports, so every recorded value is a fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomValue {
+    /// Component index of the tracked reference ([`arrayflow_core::RefId`]).
+    pub gen: u32,
+    /// Site-table index of the generating reference.
+    pub gen_site: u32,
+    /// Flow-graph node the value holds at (flow-order input).
+    pub node: u32,
+    /// The converged distance.
+    pub dist: Dist,
+}
+
+/// The converged facts of one user-specified (G, K) instance — the custom
+/// counterpart of the canned report sections, and alpha-invariant like
+/// them: component indices, site indices, node ids and distances only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomResult {
+    /// The spec that was solved.
+    pub spec: CustomSpec,
+    /// Solver-effort counters of the instance.
+    pub stats: InstanceStats,
+    /// Tracked components (`m = |G|` after dropping non-affine sites).
+    pub width: usize,
+    /// Every non-bottom converged input value, in (gen, node) order.
+    pub values: Vec<CustomValue>,
+}
+
 /// The complete, cacheable analysis of one loop level.
 ///
 /// Byte-identical across alpha-equivalent loops and across worker-thread
@@ -135,6 +175,10 @@ pub struct AnalysisReport {
     /// Potential dependences up to `dep_max_distance` (requires
     /// `reaching_refs`).
     pub dependences: Vec<Dep>,
+    /// The converged custom instance, when this report answers a `custom`
+    /// request (`problems` is then [`ProblemSet::NONE`] and the canned
+    /// sections are empty).
+    pub custom: Option<CustomResult>,
 }
 
 impl AnalysisReport {
@@ -202,16 +246,71 @@ impl AnalysisReport {
             reuses,
             redundant_stores: stores,
             dependences: deps,
+            custom: None,
         }
     }
 
-    /// Instances actually run, with their counters.
+    /// Analyzes one normalized loop under a user-specified (G, K) spec and
+    /// distills the cacheable report: empty canned sections, and the full
+    /// non-bottom fixed point in [`AnalysisReport::custom`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalyzeError`] (e.g. the loop is not normalized).
+    pub fn of_custom(
+        l: &Loop,
+        symbols: &SymbolTable,
+        spec: CustomSpec,
+        dep_max_distance: u64,
+    ) -> Result<Self, AnalyzeError> {
+        let fingerprint = arrayflow_ir::fingerprint_loop(l, symbols);
+        let a = CustomAnalysis::of_loop(l, symbols, spec)?;
+        let mut values = Vec::new();
+        for (gen_id, gen_site) in a.instance.gens() {
+            for node in 0..a.graph.len() {
+                let node = arrayflow_graph::NodeId(node as u32);
+                let dist = a.instance.before(node, gen_id);
+                if dist != Dist::Bottom {
+                    values.push(CustomValue {
+                        gen: gen_id.0,
+                        gen_site: gen_site as u32,
+                        node: node.0,
+                        dist,
+                    });
+                }
+            }
+        }
+        Ok(Self {
+            fingerprint,
+            problems: ProblemSet::NONE,
+            dep_max_distance,
+            nodes: a.graph.len(),
+            sites: a.sites.len(),
+            reaching_stats: None,
+            available_stats: None,
+            busy_stats: None,
+            reaching_refs_stats: None,
+            reuses: Vec::new(),
+            redundant_stores: Vec::new(),
+            dependences: Vec::new(),
+            custom: Some(CustomResult {
+                spec,
+                stats: (&a.instance.sol.stats).into(),
+                width: a.instance.built.spec.width(),
+                values,
+            }),
+        })
+    }
+
+    /// Instances actually run, with their counters (a custom instance
+    /// reports under the name `custom`).
     pub fn instance_stats(&self) -> impl Iterator<Item = (&'static str, InstanceStats)> + '_ {
         [
             ("reaching", self.reaching_stats),
             ("available", self.available_stats),
             ("busy", self.busy_stats),
             ("reaching_refs", self.reaching_refs_stats),
+            ("custom", self.custom.as_ref().map(|c| c.stats)),
         ]
         .into_iter()
         .filter_map(|(n, s)| s.map(|s| (n, s)))
@@ -242,12 +341,29 @@ impl AnalysisReport {
             self.nodes,
             self.sites
         );
+        if let Some(c) = &self.custom {
+            let _ = writeln!(out, "  custom spec={} width={}", c.spec.label(), c.width);
+        }
         for (name, s) in self.instance_stats() {
             let _ = writeln!(
                 out,
                 "  solve {name}: init={} iter={} passes={} changing={}",
                 s.init_visits, s.iter_visits, s.passes, s.changing_passes
             );
+        }
+        if let Some(c) = &self.custom {
+            for v in &c.values {
+                let dist = match v.dist {
+                    Dist::Bottom => "bot".to_string(),
+                    Dist::Fin(x) => x.to_string(),
+                    Dist::Top => "top".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  val gen={} site={} node={} dist={dist}",
+                    v.gen, v.gen_site, v.node
+                );
+            }
         }
         for r in &self.reuses {
             let _ = writeln!(

@@ -132,15 +132,38 @@ impl SessionStore {
 
     /// Runs `f` against the named session, refreshing its recency. Returns
     /// `None` if the session is unknown (never opened, evicted or expired).
+    ///
+    /// The requested id is refreshed *before* the sweep: a session that is
+    /// still inside its TTL at the moment of this call is in active use,
+    /// and the sweep this very call triggers must not be the thing that
+    /// expires it. Sessions already idle past the TTL still expire — the
+    /// touch does not resurrect them.
     pub fn with_session<T>(&self, id: u64, f: impl FnOnce(&mut Session) -> T) -> Option<T> {
         let now = Instant::now();
         let mut inner = self.lock();
-        Self::sweep(&mut inner, self.config.ttl, now);
         inner.clock += 1;
         let touched = inner.clock;
-        let entry = inner.entries.get_mut(&id)?;
-        entry.last_used = now;
-        entry.touched = touched;
+        let ttl = self.config.ttl;
+        let live = match inner.entries.get_mut(&id) {
+            Some(entry) => {
+                let fresh = ttl.is_none_or(|t| now.duration_since(entry.last_used) <= t);
+                if fresh {
+                    entry.last_used = now;
+                    entry.touched = touched;
+                }
+                fresh
+            }
+            None => false,
+        };
+        Self::sweep(&mut inner, ttl, now);
+        if !live {
+            inner.stats.open = inner.entries.len();
+            return None;
+        }
+        let entry = inner
+            .entries
+            .get_mut(&id)
+            .expect("the just-refreshed entry survives its own sweep");
         let out = f(&mut entry.session);
         inner.stats.open = inner.entries.len();
         Some(out)
@@ -234,6 +257,31 @@ mod tests {
         assert!(store.with_session(id, |_| ()).is_none());
         let stats = store.stats();
         assert_eq!(stats.open, 0);
+        assert_eq!(stats.expired_ttl, 1);
+    }
+
+    #[test]
+    fn an_actively_touched_session_survives_its_own_sweeps() {
+        // Regression: `with_session` swept TTL-expired entries before
+        // refreshing the requested id, so a get near the TTL boundary
+        // could expire the very session it was using. The touch now
+        // lands first; only sessions already idle past the TTL expire.
+        let store = SessionStore::new(StoreConfig {
+            capacity: 8,
+            ttl: Some(Duration::from_millis(500)),
+        });
+        let a = store.insert(session());
+        let b = store.insert(session());
+        std::thread::sleep(Duration::from_millis(300));
+        // `a` is inside its TTL: this get must refresh it, and the sweep
+        // the get itself triggers must not remove it.
+        assert!(store.with_session(a, |_| ()).is_some());
+        std::thread::sleep(Duration::from_millis(300));
+        // `a` was touched 300 ms ago (< ttl); `b` has idled 600 ms (> ttl).
+        assert!(store.with_session(a, |_| ()).is_some());
+        assert!(store.with_session(b, |_| ()).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.open, 1);
         assert_eq!(stats.expired_ttl, 1);
     }
 

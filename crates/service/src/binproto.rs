@@ -12,13 +12,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use arrayflow_engine::ProblemSet;
+use arrayflow_engine::{CustomSpec, ProblemSet};
 use arrayflow_ir::{Edit, Fingerprint, StmtId};
 use arrayflow_obs::{observed_span, Trace};
 use arrayflow_store::codec::encode_report;
 use arrayflow_wire::encode_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, DeltaOk, LoopEntry, Request, Response, SessionOk,
+    AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, LoopEntry, Request, Response, SessionOk,
 };
 
 use crate::proto::{ErrorKind, ServiceError};
@@ -42,6 +42,7 @@ pub fn kind_byte(kind: ErrorKind) -> u8 {
         ErrorKind::Timeout => 2,
         ErrorKind::Overloaded => 3,
         ErrorKind::Protocol => 4,
+        ErrorKind::SessionLost => 5,
     }
 }
 
@@ -53,6 +54,7 @@ pub fn kind_from_byte(b: u8) -> Option<ErrorKind> {
         2 => ErrorKind::Timeout,
         3 => ErrorKind::Overloaded,
         4 => ErrorKind::Protocol,
+        5 => ErrorKind::SessionLost,
         _ => return None,
     })
 }
@@ -156,6 +158,7 @@ impl Service {
                 respond(self.finish_binary(&trace, accepted, resp, true));
             }
             Request::Analyze(a) => self.analyze_binary(a, accepted, trace, respond),
+            Request::Custom(c) => self.custom_binary(c, accepted, trace, respond),
             Request::Open { id, source } => self.open_binary(id, source, accepted, trace, respond),
             // The carried fingerprint is the router's shard key; the node
             // itself resolves the session by id alone.
@@ -368,6 +371,123 @@ impl Service {
         );
     }
 
+    /// A `custom` frame: re-validate the spec byte and distance bound
+    /// (defense in depth behind the wire decoder — both checks reject,
+    /// never panic), probe the cache tiers by fingerprint when one came
+    /// along, and otherwise run the user's (G, K) problem through the
+    /// worker queue.
+    fn custom_binary(
+        self: &Arc<Self>,
+        req: CustomRequest,
+        accepted: Instant,
+        trace: Arc<Trace>,
+        respond: Box<dyn FnOnce(BinaryResponse) + Send>,
+    ) {
+        let id = req.id;
+        let Some(spec) = CustomSpec::from_bits(req.spec) else {
+            let resp = err_response(
+                id,
+                ErrorKind::Protocol,
+                format!("bad custom-spec bits {:#08b}", req.spec),
+            );
+            respond(self.finish_binary(&trace, accepted, resp, false));
+            return;
+        };
+        let distance_bound = req
+            .distance_bound
+            .unwrap_or(self.config().engine.dep_max_distance);
+        if distance_bound > CustomSpec::MAX_DISTANCE_BOUND {
+            let resp = err_response(
+                id,
+                ErrorKind::Protocol,
+                format!(
+                    "distance bound {distance_bound} exceeds the {} cap",
+                    CustomSpec::MAX_DISTANCE_BOUND
+                ),
+            );
+            respond(self.finish_binary(&trace, accepted, resp, false));
+            return;
+        }
+
+        // Fingerprint-first: the custom key probes the same tiers.
+        if let Some(fp_bytes) = req.fingerprint {
+            let fp = Fingerprint(u128::from_le_bytes(fp_bytes));
+            if let Some(report) =
+                self.engine()
+                    .analyze_custom_by_fingerprint(fp, spec, distance_bound)
+            {
+                let resp = Response::Analyze(AnalyzeOk {
+                    id,
+                    loops: vec![LoopEntry {
+                        fingerprint: fp_bytes,
+                        report: encode_report(&report),
+                    }],
+                    cache_hits: 1,
+                    cache_misses: 0,
+                    solver_passes: 0,
+                    node_visits: 0,
+                });
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+        }
+
+        let source = match req.source {
+            Some(src) => match String::from_utf8(src) {
+                Ok(s) => s,
+                Err(_) => {
+                    let resp =
+                        err_response(id, ErrorKind::Parse, "program source is not valid UTF-8");
+                    respond(self.finish_binary(&trace, accepted, resp, false));
+                    return;
+                }
+            },
+            None => {
+                let resp = err_response(
+                    id,
+                    ErrorKind::Analysis,
+                    "unknown fingerprint (supply program source to analyze)",
+                );
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+        };
+
+        let svc = Arc::clone(self);
+        let trace_done = Arc::clone(&trace);
+        self.submit_async(
+            Work::Custom {
+                program: source,
+                spec,
+                distance_bound,
+            },
+            accepted,
+            trace,
+            Box::new(move |outcome| {
+                let resp = match outcome {
+                    Ok(JobOutput::Analyze(result)) => Response::Analyze(AnalyzeOk {
+                        id,
+                        loops: result
+                            .loops
+                            .iter()
+                            .map(|l| LoopEntry {
+                                fingerprint: l.fingerprint.0.to_le_bytes(),
+                                report: encode_report(&l.report),
+                            })
+                            .collect(),
+                        cache_hits: result.stats.cache_hits,
+                        cache_misses: result.stats.cache_misses,
+                        solver_passes: result.stats.solver_passes,
+                        node_visits: result.stats.node_visits,
+                    }),
+                    Ok(_) => err_response(id, ErrorKind::Protocol, "internal: job output mismatch"),
+                    Err(e) => err_response(id, e.kind, e.message),
+                };
+                respond(svc.finish_binary(&trace_done, accepted, resp, false));
+            }),
+        );
+    }
+
     /// The binary counterpart of `finish_json`: outcome counters, latency
     /// histogram, slow-request log, then the encoded frame.
     fn finish_binary(
@@ -525,6 +645,141 @@ mod tests {
     }
 
     #[test]
+    fn custom_by_source_then_fingerprint_hit_is_byte_identical() {
+        let svc = svc();
+        // Live elements — gen uses, kill defs, backward, may — has no
+        // canned equivalent, so this exercises the true custom path.
+        let spec = 0b11_0110;
+        let req = Request::Custom(CustomRequest {
+            id: 1,
+            spec,
+            fingerprint: None,
+            distance_bound: None,
+            source: Some(SRC.as_bytes().to_vec()),
+        });
+        let full =
+            decode_response_frame(&binary_sync(&svc, req.tag(), &req.encode_payload()).frame);
+        let Response::Analyze(full) = full else {
+            panic!("expected analyze response, got {full:?}");
+        };
+        assert_eq!(full.loops.len(), 1);
+
+        let probe = Request::Custom(CustomRequest {
+            id: 2,
+            spec,
+            fingerprint: Some(full.loops[0].fingerprint),
+            distance_bound: None,
+            source: None,
+        });
+        let hit =
+            decode_response_frame(&binary_sync(&svc, probe.tag(), &probe.encode_payload()).frame);
+        let Response::Analyze(hit) = hit else {
+            panic!("expected analyze response, got {hit:?}");
+        };
+        assert_eq!(hit.cache_hits, 1);
+        assert_eq!(
+            hit.loops[0].report, full.loops[0].report,
+            "custom report bytes moved"
+        );
+
+        // A different spec over the same fingerprint is a distinct cache
+        // entry — it must miss, not serve the wrong problem's answer.
+        let other = Request::Custom(CustomRequest {
+            id: 3,
+            spec: 0b01_0110,
+            fingerprint: Some(full.loops[0].fingerprint),
+            distance_bound: None,
+            source: None,
+        });
+        let miss =
+            decode_response_frame(&binary_sync(&svc, other.tag(), &other.encode_payload()).frame);
+        let Response::Err { kind, .. } = miss else {
+            panic!("expected a miss error, got {miss:?}");
+        };
+        assert_eq!(kind_from_byte(kind), Some(ErrorKind::Analysis));
+    }
+
+    #[test]
+    fn custom_delegates_canned_specs_to_the_shared_cache_entry() {
+        let svc = svc();
+        // gen defs + kill defs, forward, must — exactly must-reaching.
+        let req = Request::Custom(CustomRequest {
+            id: 1,
+            spec: 0b00_0101,
+            fingerprint: None,
+            distance_bound: None,
+            source: Some(SRC.as_bytes().to_vec()),
+        });
+        let full =
+            decode_response_frame(&binary_sync(&svc, req.tag(), &req.encode_payload()).frame);
+        let Response::Analyze(full) = full else {
+            panic!("expected analyze response, got {full:?}");
+        };
+
+        // The canned verb probing the reaching-only selection by
+        // fingerprint must hit the entry the custom solve populated.
+        let reaching_only = ProblemSet {
+            reaching: true,
+            ..ProblemSet::NONE
+        };
+        let probe = Request::Analyze(AnalyzeRequest {
+            id: 2,
+            fingerprint: Some(full.loops[0].fingerprint),
+            problems: Some(reaching_only.bits()),
+            distance_bound: None,
+            source: None,
+        });
+        let hit =
+            decode_response_frame(&binary_sync(&svc, probe.tag(), &probe.encode_payload()).frame);
+        let Response::Analyze(hit) = hit else {
+            panic!("expected analyze response, got {hit:?}");
+        };
+        assert_eq!(hit.cache_hits, 1);
+        assert_eq!(
+            hit.loops[0].report, full.loops[0].report,
+            "delegated custom report must be byte-identical to the canned one"
+        );
+    }
+
+    #[test]
+    fn bad_custom_spec_or_distance_is_a_protocol_error() {
+        let svc = svc();
+        // An empty-G spec byte is rejected by the wire decoder before the
+        // service sees a request — tampering with the encoded payload
+        // exercises that path end to end.
+        let good = Request::Custom(CustomRequest {
+            id: 1,
+            spec: 0b00_0101,
+            fingerprint: None,
+            distance_bound: None,
+            source: Some(SRC.as_bytes().to_vec()),
+        });
+        let mut payload = good.encode_payload();
+        payload[1] = 0; // the spec byte sits right after the 1-byte id
+        let resp = decode_response_frame(&binary_sync(&svc, good.tag(), &payload).frame);
+        let Response::Err { kind, .. } = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(kind_from_byte(kind), Some(ErrorKind::Protocol));
+
+        // An absurd distance bound passes framing but fails validation.
+        let req = Request::Custom(CustomRequest {
+            id: 2,
+            spec: 0b00_0101,
+            fingerprint: None,
+            distance_bound: Some(CustomSpec::MAX_DISTANCE_BOUND + 1),
+            source: Some(SRC.as_bytes().to_vec()),
+        });
+        let resp =
+            decode_response_frame(&binary_sync(&svc, req.tag(), &req.encode_payload()).frame);
+        let Response::Err { id, kind, .. } = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(id, 2);
+        assert_eq!(kind_from_byte(kind), Some(ErrorKind::Protocol));
+    }
+
+    #[test]
     fn oversized_counts_in_its_own_counter_not_latency() {
         let svc = svc();
         let before = svc.stats();
@@ -662,6 +917,7 @@ mod tests {
             ErrorKind::Timeout,
             ErrorKind::Overloaded,
             ErrorKind::Protocol,
+            ErrorKind::SessionLost,
         ] {
             assert_eq!(kind_from_byte(kind_byte(kind)), Some(kind));
         }

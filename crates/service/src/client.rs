@@ -46,10 +46,12 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use arrayflow_engine::{CustomSpec, Direction, Mode};
 use arrayflow_resilience::Backoff;
 use arrayflow_wire::frame::read_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, DeltaOk, Request as WireRequest, Response as WireResponse, SessionOk,
+    AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, Request as WireRequest,
+    Response as WireResponse, SessionOk,
 };
 
 use crate::binproto::kind_from_byte;
@@ -102,7 +104,7 @@ pub enum ClientError {
     /// only lands here after the retry budget is spent.
     Service {
         /// The taxonomy kind from `error.kind`; `None` if the wire name
-        /// was not one of the known five.
+        /// was not a known kind.
         kind: Option<ErrorKind>,
         /// The human-readable `error.message`.
         message: String,
@@ -120,6 +122,22 @@ impl ClientError {
             ClientError::Service { kind, .. } => *kind == Some(ErrorKind::Overloaded),
             ClientError::Protocol(_) => false,
         }
+    }
+
+    /// True when the server answered `session_lost`: the session a
+    /// `delta` targeted no longer exists on the answering node — TTL
+    /// expiry, capacity eviction, or a mid-session failover to a replica
+    /// that never held it. The remedy is to re-open the session and
+    /// replay the edits; resending the delta as-is is pointless, so this
+    /// is deliberately not retryable.
+    pub fn is_session_lost(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Service {
+                kind: Some(ErrorKind::SessionLost),
+                ..
+            }
+        )
     }
 }
 
@@ -274,6 +292,21 @@ impl Client {
             ("id".into(), Json::Num(self.fresh_id() as f64)),
             ("verb".into(), Json::Str("analyze".into())),
             ("program".into(), Json::Str(program.into())),
+        ]);
+        self.request(&frame.to_string())
+    }
+
+    /// Solves a user-specified (G, K) problem over `program`; on success
+    /// returns the server's `ok` response line, whose rendered report
+    /// carries the spec label and the per-(generator, node) lattice
+    /// values in a `custom` section. Idempotent, so transport failures
+    /// and `overloaded` responses are retried.
+    pub fn custom(&mut self, program: &str, spec: CustomSpec) -> Result<String, ClientError> {
+        let frame = Json::Obj(vec![
+            ("id".into(), Json::Num(self.fresh_id() as f64)),
+            ("verb".into(), Json::Str("custom".into())),
+            ("program".into(), Json::Str(program.into())),
+            ("spec".into(), spec_to_json(spec)),
         ]);
         self.request(&frame.to_string())
     }
@@ -468,6 +501,53 @@ impl Client {
         }
     }
 
+    /// Solves a user-specified (G, K) problem over the binary protocol.
+    /// The response reuses the analyze shape: per-loop fingerprints and
+    /// store-codec report bytes whose decoded form carries the custom
+    /// section.
+    pub fn custom_binary(
+        &mut self,
+        program: &str,
+        spec: CustomSpec,
+    ) -> Result<AnalyzeOk, ClientError> {
+        let id = self.fresh_id();
+        self.custom_request(CustomRequest {
+            id,
+            spec: spec.bits(),
+            fingerprint: None,
+            distance_bound: None,
+            source: Some(program.as_bytes().to_vec()),
+        })
+    }
+
+    /// The fingerprint-first fast path for a custom problem: probes the
+    /// server's caches under the spec-extended key, optionally shipping
+    /// the source as fallback so a miss still solves instead of erroring.
+    pub fn custom_fingerprint(
+        &mut self,
+        fingerprint: [u8; 16],
+        spec: CustomSpec,
+        source: Option<&str>,
+    ) -> Result<AnalyzeOk, ClientError> {
+        let id = self.fresh_id();
+        self.custom_request(CustomRequest {
+            id,
+            spec: spec.bits(),
+            fingerprint: Some(fingerprint),
+            distance_bound: None,
+            source: source.map(|s| s.as_bytes().to_vec()),
+        })
+    }
+
+    fn custom_request(&mut self, req: CustomRequest) -> Result<AnalyzeOk, ClientError> {
+        match self.request_binary(&WireRequest::Custom(req))? {
+            WireResponse::Analyze(ok) => Ok(ok),
+            other => Err(ClientError::Protocol(format!(
+                "expected an analyze response, got {other:?}"
+            ))),
+        }
+    }
+
     fn analyze_request(&mut self, req: AnalyzeRequest) -> Result<AnalyzeOk, ClientError> {
         match self.request_binary(&WireRequest::Analyze(req))? {
             WireResponse::Analyze(ok) => Ok(ok),
@@ -645,6 +725,44 @@ impl fmt::Debug for Client {
             .field("failovers", &self.failovers)
             .finish()
     }
+}
+
+/// Renders a [`CustomSpec`] as the JSON `spec` object the protocol takes.
+fn spec_to_json(spec: CustomSpec) -> Json {
+    let roles = |defs: bool, uses: bool| {
+        let mut out = Vec::new();
+        if defs {
+            out.push(Json::Str("defs".into()));
+        }
+        if uses {
+            out.push(Json::Str("uses".into()));
+        }
+        Json::Arr(out)
+    };
+    Json::Obj(vec![
+        ("gen".into(), roles(spec.gen_defs, spec.gen_uses)),
+        ("kill".into(), roles(spec.kill_defs, spec.kill_uses)),
+        (
+            "direction".into(),
+            Json::Str(
+                match spec.direction {
+                    Direction::Forward => "forward",
+                    Direction::Backward => "backward",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "mode".into(),
+            Json::Str(
+                match spec.mode {
+                    Mode::Must => "must",
+                    Mode::May => "may",
+                }
+                .into(),
+            ),
+        ),
+    ])
 }
 
 /// Splits a response line into ok / structured error / protocol noise.
@@ -866,6 +984,68 @@ mod tests {
         assert!(line.contains("pong-B"), "{line}");
         assert!(client.failovers() >= 1, "{client:?}");
         assert_ne!(client.active_addr(), a);
+    }
+
+    /// Answers every `delta` with the typed `session_lost` error a
+    /// failed-over replica produces (it never held the session), and
+    /// everything else with ok — the client half of the failover drill.
+    fn session_lost_server() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    while let Some(line) = read_json_line(&mut stream, None) {
+                        let json = Json::parse(line.as_bytes()).ok();
+                        let id = json
+                            .as_ref()
+                            .and_then(|j| j.get("id").cloned())
+                            .unwrap_or(Json::Null);
+                        let verb = json
+                            .as_ref()
+                            .and_then(|j| j.get("verb"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_string();
+                        let resp = if verb == "delta" {
+                            format!(
+                                "{{\"id\":{id},\"ok\":false,\"error\":{{\"kind\":\"session_lost\",\
+                                 \"message\":\"unknown or expired session 7\"}}}}\n"
+                            )
+                        } else {
+                            format!("{{\"id\":{id},\"ok\":true,\"result\":\"pong\"}}\n")
+                        };
+                        if stream.write_all(resp.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn session_lost_is_typed_and_not_retried() {
+        let addr = session_lost_server();
+        let mut client = Client::new(addr, cfg());
+        let err = client
+            .delta(7, "000102030405060708090a0b0c0d0e0f", 1, "x := 1;")
+            .expect_err("the fake replica lost the session");
+        assert!(err.is_session_lost(), "{err:?}");
+        assert!(
+            !err.is_retryable(),
+            "replaying the same delta cannot succeed"
+        );
+        assert_eq!(client.retries(), 0, "{client:?}");
+        match err {
+            ClientError::Service { kind, message } => {
+                assert_eq!(kind, Some(ErrorKind::SessionLost));
+                assert!(message.contains("session"), "{message}");
+            }
+            other => panic!("expected a Service error, got {other:?}"),
+        }
     }
 
     #[test]

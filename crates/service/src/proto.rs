@@ -10,11 +10,20 @@
 //! ```
 //!
 //! Requests carry `id` (any JSON value, echoed back verbatim so clients
-//! can pipeline), `verb` (`analyze` | `open` | `delta` | `stats` |
-//! `metrics` | `ping` | `health` | `compact` | `shutdown`), and
+//! can pipeline), `verb` (`analyze` | `custom` | `open` | `delta` |
+//! `stats` | `metrics` | `ping` | `health` | `compact` | `shutdown`), and
 //! for `analyze`/`open`: `program` (DSL text), optional `problems` (array
 //! of instance names; default all) and optional `distance_bound` (default
-//! from the server config). `delta` carries `session` (the id `open`
+//! from the server config). `custom` carries `program` plus a `spec`
+//! object naming a user-defined (G, K) problem:
+//!
+//! ```text
+//! {"verb": "custom", "program": "...",
+//!  "spec": {"gen": ["uses"], "kill": ["defs"],
+//!           "direction": "backward", "mode": "may"}}
+//! ```
+//!
+//! `delta` carries `session` (the id `open`
 //! returned), `fingerprint` (the session's current base fingerprint, hex —
 //! the cluster router's shard key), `stmt` (the statement id to replace)
 //! and `text` (replacement source). Errors come back structured, never as
@@ -22,7 +31,9 @@
 
 use std::fmt;
 
-use arrayflow_engine::{AnalysisReport, BatchResult, DeltaReport, ProblemSet};
+use arrayflow_engine::{
+    AnalysisReport, BatchResult, CustomSpec, DeltaReport, Direction, Mode, ProblemSet,
+};
 
 use crate::json::Json;
 
@@ -31,6 +42,10 @@ use crate::json::Json;
 pub enum Verb {
     /// Parse `program` and analyze every loop.
     Analyze,
+    /// Parse `program` and solve a user-specified (G, K) problem over
+    /// every loop: the request's `spec` object picks which site roles
+    /// generate and kill, the direction, and the confluence mode.
+    Custom,
     /// Open an incremental analysis session over `program`: full
     /// analysis now, converged lattice state retained for `delta`.
     Open,
@@ -57,6 +72,7 @@ impl Verb {
     fn parse(s: &str) -> Option<Verb> {
         match s {
             "analyze" => Some(Verb::Analyze),
+            "custom" => Some(Verb::Custom),
             "open" => Some(Verb::Open),
             "delta" => Some(Verb::Delta),
             "stats" => Some(Verb::Stats),
@@ -70,7 +86,7 @@ impl Verb {
     }
 }
 
-/// The five failure classes a response can carry. Everything the server
+/// The six failure classes a response can carry. Everything the server
 /// can get wrong maps onto exactly one of these, so clients can switch on
 /// `error.kind` without string-matching messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +104,12 @@ pub enum ErrorKind {
     /// The frame itself was unusable: malformed JSON, oversized frame,
     /// unknown verb, missing/mistyped fields.
     Protocol,
+    /// The session named by a `delta` no longer exists on the node that
+    /// answered — typically because the cluster failed the request over to
+    /// a replica after the primary (which held the in-memory session) went
+    /// down. Unlike a plain `analysis` error, this one is retryable at the
+    /// protocol level: re-`open` the program and replay the edits.
+    SessionLost,
 }
 
 impl ErrorKind {
@@ -99,6 +121,7 @@ impl ErrorKind {
             ErrorKind::Timeout => "timeout",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Protocol => "protocol",
+            ErrorKind::SessionLost => "session_lost",
         }
     }
 
@@ -112,6 +135,7 @@ impl ErrorKind {
             "timeout" => Some(ErrorKind::Timeout),
             "overloaded" => Some(ErrorKind::Overloaded),
             "protocol" => Some(ErrorKind::Protocol),
+            "session_lost" => Some(ErrorKind::SessionLost),
             _ => None,
         }
     }
@@ -162,6 +186,8 @@ pub struct Request {
     pub program: Option<String>,
     /// Problem selection (default: all four instances).
     pub problems: Option<ProblemSet>,
+    /// User-specified (G, K) problem spec (required for `custom`).
+    pub spec: Option<CustomSpec>,
     /// Dependence distance bound (default: server config).
     pub distance_bound: Option<u64>,
     /// Session id from a prior `open` (required for `delta`).
@@ -209,6 +235,9 @@ impl Request {
         if verb == Verb::Analyze && program.is_none() {
             return Err(fail("`analyze` requires a `program` string".into()));
         }
+        if verb == Verb::Custom && program.is_none() {
+            return Err(fail("`custom` requires a `program` string".into()));
+        }
         if verb == Verb::Open && program.is_none() {
             return Err(fail("`open` requires a `program` string".into()));
         }
@@ -244,6 +273,28 @@ impl Request {
                     fail("`distance_bound` must be a non-negative integer".into())
                 })?),
             };
+
+        let spec = match v.get("spec") {
+            None | Some(Json::Null) => None,
+            Some(s @ Json::Obj(_)) => Some(parse_custom_spec(s).map_err(&fail)?),
+            Some(_) => return Err(fail("`spec` must be an object".into())),
+        };
+        if verb == Verb::Custom {
+            if spec.is_none() {
+                return Err(fail("`custom` requires a `spec` object".into()));
+            }
+            // Custom problems come from untrusted callers experimenting
+            // with the framework; bound the distance lattice they can ask
+            // for instead of letting a huge bound grind the solver.
+            if let Some(d) = distance_bound {
+                if d > CustomSpec::MAX_DISTANCE_BOUND {
+                    return Err(fail(format!(
+                        "`distance_bound` must be at most {}",
+                        CustomSpec::MAX_DISTANCE_BOUND
+                    )));
+                }
+            }
+        }
 
         let uint_field = |name: &str| -> Result<Option<u64>, (Json, ServiceError)> {
             match v.get(name) {
@@ -286,6 +337,7 @@ impl Request {
             verb,
             program,
             problems,
+            spec,
             distance_bound,
             session,
             fingerprint,
@@ -293,6 +345,72 @@ impl Request {
             text,
         })
     }
+}
+
+/// Parses and validates a `spec` object into a [`CustomSpec`]. Rejects
+/// unknown members, unknown site roles, oversized role arrays, empty G
+/// (a problem that generates nothing is always a client mistake) and
+/// mistyped `direction`/`mode` — with a message naming the offending
+/// field, never a panic.
+fn parse_custom_spec(v: &Json) -> Result<CustomSpec, String> {
+    if let Json::Obj(members) = v {
+        for (k, _) in members {
+            if !matches!(k.as_str(), "gen" | "kill" | "direction" | "mode") {
+                return Err(format!(
+                    "unknown `spec` member `{k}` (expected gen, kill, direction, mode)"
+                ));
+            }
+        }
+    }
+    let roles = |name: &str| -> Result<(bool, bool), String> {
+        match v.get(name) {
+            None | Some(Json::Null) => Ok((false, false)),
+            Some(Json::Arr(items)) => {
+                if items.len() > 2 {
+                    return Err(format!("`spec.{name}` lists more than the two site roles"));
+                }
+                let (mut defs, mut uses) = (false, false);
+                for item in items {
+                    match item.as_str() {
+                        Some("defs") => defs = true,
+                        Some("uses") => uses = true,
+                        Some(other) => {
+                            return Err(format!(
+                                "unknown site role `{other}` in `spec.{name}` \
+                                 (expected \"defs\" or \"uses\")"
+                            ))
+                        }
+                        None => return Err(format!("`spec.{name}` entries must be strings")),
+                    }
+                }
+                Ok((defs, uses))
+            }
+            Some(_) => Err(format!("`spec.{name}` must be an array of site roles")),
+        }
+    };
+    let (gen_defs, gen_uses) = roles("gen")?;
+    let (kill_defs, kill_uses) = roles("kill")?;
+    if !gen_defs && !gen_uses {
+        return Err("`spec.gen` must name at least one site role".into());
+    }
+    let direction = match v.get("direction").map(Json::as_str) {
+        None | Some(Some("forward")) => Direction::Forward,
+        Some(Some("backward")) => Direction::Backward,
+        _ => return Err("`spec.direction` must be \"forward\" or \"backward\"".into()),
+    };
+    let mode = match v.get("mode").map(Json::as_str) {
+        None | Some(Some("must")) => Mode::Must,
+        Some(Some("may")) => Mode::May,
+        _ => return Err("`spec.mode` must be \"must\" or \"may\"".into()),
+    };
+    Ok(CustomSpec {
+        gen_defs,
+        gen_uses,
+        kill_defs,
+        kill_uses,
+        direction,
+        mode,
+    })
 }
 
 /// Parses the 32-hex-char fingerprint rendering
@@ -484,6 +602,103 @@ mod tests {
 
         assert_eq!(parse_fingerprint_hex("0"), None);
         assert_eq!(parse_fingerprint_hex(&"f".repeat(32)), Some([0xff; 16]));
+    }
+
+    #[test]
+    fn decodes_custom_spec() {
+        let r = Request::decode(
+            br#"{"id": 4, "verb": "custom", "program": "x := 1;",
+                 "spec": {"gen": ["uses"], "kill": ["defs"],
+                          "direction": "backward", "mode": "may"}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.verb, Verb::Custom);
+        let spec = r.spec.unwrap();
+        assert!(!spec.gen_defs && spec.gen_uses && spec.kill_defs && !spec.kill_uses);
+        assert_eq!(spec.direction, Direction::Backward);
+        assert_eq!(spec.mode, Mode::May);
+        assert_eq!(spec.label(), "gu-kd-bwd-may");
+
+        // direction/mode default to forward/must; kill may be absent.
+        let r = Request::decode(
+            br#"{"verb": "custom", "program": "x := 1;", "spec": {"gen": ["defs", "uses"]}}"#,
+        )
+        .unwrap();
+        let spec = r.spec.unwrap();
+        assert!(spec.gen_defs && spec.gen_uses && !spec.kill_defs && !spec.kill_uses);
+        assert_eq!(spec.direction, Direction::Forward);
+        assert_eq!(spec.mode, Mode::Must);
+    }
+
+    #[test]
+    fn rejects_hostile_custom_specs() {
+        let err = |frame: &[u8]| Request::decode(frame).unwrap_err().1;
+
+        let e = err(br#"{"verb": "custom", "program": "x := 1;"}"#);
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("requires a `spec`"), "{}", e.message);
+
+        let e = err(br#"{"verb": "custom", "spec": {"gen": ["defs"]}}"#);
+        assert!(e.message.contains("requires a `program`"), "{}", e.message);
+
+        // Empty G: contradictory (nothing generates).
+        let e =
+            err(br#"{"verb": "custom", "program": "x;", "spec": {"gen": [], "kill": ["defs"]}}"#);
+        assert!(
+            e.message.contains("at least one site role"),
+            "{}",
+            e.message
+        );
+        let e = err(br#"{"verb": "custom", "program": "x;", "spec": {"kill": ["defs"]}}"#);
+        assert!(
+            e.message.contains("at least one site role"),
+            "{}",
+            e.message
+        );
+
+        // Unknown roles, members, shapes.
+        let e = err(br#"{"verb": "custom", "program": "x;", "spec": {"gen": ["stores"]}}"#);
+        assert!(e.message.contains("unknown site role"), "{}", e.message);
+        let e =
+            err(br#"{"verb": "custom", "program": "x;", "spec": {"gen": ["defs"], "bogus": 1}}"#);
+        assert!(e.message.contains("unknown `spec` member"), "{}", e.message);
+        let e = err(br#"{"verb": "custom", "program": "x;", "spec": {"gen": "defs"}}"#);
+        assert!(e.message.contains("array of site roles"), "{}", e.message);
+        let e = err(br#"{"verb": "custom", "program": "x;", "spec": 7}"#);
+        assert!(e.message.contains("must be an object"), "{}", e.message);
+
+        // Oversized role array.
+        let e =
+            err(br#"{"verb": "custom", "program": "x;", "spec": {"gen": ["defs","defs","defs"]}}"#);
+        assert!(e.message.contains("more than the two"), "{}", e.message);
+
+        // Bad direction / mode.
+        let e = err(
+            br#"{"verb": "custom", "program": "x;", "spec": {"gen": ["defs"], "direction": "up"}}"#,
+        );
+        assert!(e.message.contains("forward"), "{}", e.message);
+        let e =
+            err(br#"{"verb": "custom", "program": "x;", "spec": {"gen": ["defs"], "mode": 3}}"#);
+        assert!(e.message.contains("must"), "{}", e.message);
+
+        // Distance bound beyond the custom-path ceiling.
+        let frame = format!(
+            r#"{{"verb": "custom", "program": "x;", "spec": {{"gen": ["defs"]}}, "distance_bound": {}}}"#,
+            CustomSpec::MAX_DISTANCE_BOUND + 1
+        );
+        let e = err(frame.as_bytes());
+        assert!(e.message.contains("at most"), "{}", e.message);
+    }
+
+    #[test]
+    fn session_lost_round_trips_on_the_wire() {
+        assert_eq!(ErrorKind::SessionLost.as_str(), "session_lost");
+        assert_eq!(
+            ErrorKind::from_wire("session_lost"),
+            Some(ErrorKind::SessionLost)
+        );
+        // Unknown kinds still degrade gracefully.
+        assert_eq!(ErrorKind::from_wire("future_kind"), None);
     }
 
     #[test]

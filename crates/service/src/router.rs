@@ -46,7 +46,8 @@ use arrayflow_store::codec::decode_report;
 use arrayflow_wire::encode_frame;
 use arrayflow_wire::frame::read_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, DeltaOk, Request as WireRequest, Response as WireResponse, SessionOk,
+    AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, Request as WireRequest,
+    Response as WireResponse, SessionOk,
 };
 
 use crate::binproto::{kind_byte, kind_from_byte};
@@ -535,11 +536,21 @@ impl Router {
                     Err(e) => (err_frame(id, e.kind, e.message), false),
                 }
             }
+            WireRequest::Custom(ref c) => {
+                let id = c.id;
+                let hash = custom_route_hash(c);
+                let frame = encode_frame(tag, payload);
+                match self.forward_analyze(hash, &frame) {
+                    Ok((rtag, rpayload)) => (encode_frame(rtag, &rpayload), false),
+                    Err(e) => (err_frame(id, e.kind, e.message), false),
+                }
+            }
             // Sessions are shard-sticky: `open` routes by the source's
             // canonical fingerprint, and every `delta` carries that same
             // base fingerprint back, so the whole session lands on one
-            // node's session store. A failover mid-session surfaces as an
-            // unknown-session analysis error and the client re-opens.
+            // node's session store. A failover mid-session surfaces as a
+            // typed `session_lost` error — the replica never held the
+            // session — and the client re-opens and replays.
             WireRequest::Open { id, ref source } => {
                 let hash = open_route_hash(source);
                 let frame = encode_frame(tag, payload);
@@ -584,6 +595,7 @@ impl Router {
                 return (encode_ok(&id, Json::Str("shutting down".into())), true);
             }
             Verb::Analyze => self.analyze_json(&req),
+            Verb::Custom => self.custom_json(&req),
             Verb::Open => self.open_json(&req),
             Verb::Delta => self.delta_json(&req),
         };
@@ -596,10 +608,7 @@ impl Router {
     /// A JSON analyze: computed-fingerprint routing, binary forwarding,
     /// response re-rendered to the JSON shape a node would produce.
     fn analyze_json(&self, req: &Request) -> Result<Json, ServiceError> {
-        let source = req
-            .program
-            .as_deref()
-            .expect("proto::Request::decode enforces program on analyze");
+        let source = require(req.program.as_deref(), "analyze", "program")?;
         let fingerprint = fingerprint_of_source(source);
         let hash = match fingerprint {
             Some(fp) => fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fp))),
@@ -627,14 +636,46 @@ impl Router {
         }
     }
 
+    /// A JSON `custom`: the user's (G, K) problem forwarded as a binary
+    /// `custom` frame, routed exactly like `analyze` — by the source's
+    /// canonical fingerprint — so two specs over the same loop land on the
+    /// same node's memo cache (the spec is part of the cache key there,
+    /// never the routing key).
+    fn custom_json(&self, req: &Request) -> Result<Json, ServiceError> {
+        let source = require(req.program.as_deref(), "custom", "program")?;
+        let spec = require(req.spec, "custom", "spec")?;
+        let fingerprint = fingerprint_of_source(source);
+        let hash = match fingerprint {
+            Some(fp) => fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fp))),
+            None => source_route_hash(source.as_bytes()),
+        };
+        let wire = WireRequest::Custom(CustomRequest {
+            id: self.fresh_id(),
+            spec: spec.bits(),
+            fingerprint,
+            distance_bound: req.distance_bound,
+            source: Some(source.as_bytes().to_vec()),
+        });
+        let frame = encode_frame(wire.tag(), &wire.encode_payload());
+        let (tag, payload) = self.forward_analyze(hash, &frame)?;
+        match WireResponse::decode(tag, &payload) {
+            Ok(WireResponse::Analyze(ok)) => analyze_ok_to_json(&ok),
+            Ok(WireResponse::Err { kind, message, .. }) => Err(ServiceError::new(
+                kind_from_byte(kind).unwrap_or(ErrorKind::Protocol),
+                message,
+            )),
+            _ => Err(ServiceError::new(
+                ErrorKind::Protocol,
+                "node sent an unexpected response to custom",
+            )),
+        }
+    }
+
     /// A JSON `open`: route by the source's canonical fingerprint, forward
     /// as a binary `open` frame, re-render the node's session response to
     /// the JSON shape the node itself would produce.
     fn open_json(&self, req: &Request) -> Result<Json, ServiceError> {
-        let source = req
-            .program
-            .as_deref()
-            .expect("proto::Request::decode enforces program on open");
+        let source = require(req.program.as_deref(), "open", "program")?;
         let wire = WireRequest::Open {
             id: self.fresh_id(),
             source: source.as_bytes().to_vec(),
@@ -659,23 +700,13 @@ impl Router {
     /// `open` returned — the session's shard key), forward as a binary
     /// `delta` frame.
     fn delta_json(&self, req: &Request) -> Result<Json, ServiceError> {
-        let fingerprint = req
-            .fingerprint
-            .expect("proto::Request::decode enforces fingerprint on delta");
+        let fingerprint = require(req.fingerprint, "delta", "fingerprint")?;
         let wire = WireRequest::Delta {
             id: self.fresh_id(),
-            session: req
-                .session
-                .expect("proto::Request::decode enforces session on delta"),
+            session: require(req.session, "delta", "session")?,
             fingerprint,
-            stmt: req
-                .stmt
-                .expect("proto::Request::decode enforces stmt on delta"),
-            text: req
-                .text
-                .clone()
-                .expect("proto::Request::decode enforces text on delta")
-                .into_bytes(),
+            stmt: require(req.stmt, "delta", "stmt")?,
+            text: require(req.text.clone(), "delta", "text")?.into_bytes(),
         };
         let frame = encode_frame(wire.tag(), &wire.encode_payload());
         let hash = fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fingerprint)));
@@ -692,6 +723,39 @@ impl Router {
             )),
         }
     }
+}
+
+/// A field `proto::Request::decode` is supposed to guarantee. The router
+/// answers its absence with a protocol error rather than trusting the
+/// invariant with a panic — hand-crafted frames and decode-layer drift
+/// must never take the process down (they did: `delta` frames with a
+/// missing `fingerprint` or `session` hit an `.expect()` here).
+fn require<T>(value: Option<T>, verb: &str, field: &str) -> Result<T, ServiceError> {
+    value.ok_or_else(|| {
+        ServiceError::new(
+            ErrorKind::Protocol,
+            format!("`{verb}` requires a `{field}` field"),
+        )
+    })
+}
+
+/// The routing hash of a custom request: identical to
+/// [`analyze_route_hash`] — fingerprint first, canonicalized source next,
+/// stable byte hash last — because the spec is deliberately not part of
+/// the routing key. Every spec over one loop shards to the same node,
+/// where the spec-extended cache key keeps the entries distinct.
+fn custom_route_hash(req: &CustomRequest) -> u64 {
+    if let Some(fp) = req.fingerprint {
+        return fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fp)));
+    }
+    let source = req.source.as_deref().unwrap_or(b"");
+    if let Some(fp) = std::str::from_utf8(source)
+        .ok()
+        .and_then(fingerprint_of_source)
+    {
+        return fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fp)));
+    }
+    source_route_hash(source)
 }
 
 /// The routing hash of a binary analyze request: the canonical
@@ -1135,6 +1199,90 @@ mod tests {
         // The health view reflects the dead nodes after the attempts.
         let health = router.health_json().to_string();
         assert!(health.contains(r#""healthy":false"#), "{health}");
+    }
+
+    #[test]
+    fn delta_frames_missing_fields_answer_protocol_errors() {
+        // Regression: hand-crafted delta frames with a missing
+        // `fingerprint` or `session` used to reach `.expect()` calls that
+        // trusted decode invariants, taking the router thread down.
+        let topology = Topology::parse("a=127.0.0.1:1", 16).unwrap();
+        let router = Router::new(RouterConfig::new(topology));
+        let fp = "000102030405060708090a0b0c0d0e0f";
+        let frames = [
+            r#"{"id": 1, "verb": "delta", "stmt": 3, "text": "A[i] := 1;"}"#.to_string(),
+            format!(
+                r#"{{"id": 2, "verb": "delta", "fingerprint": "{fp}", "stmt": 3, "text": "x := 1;"}}"#
+            ),
+            format!(r#"{{"id": 3, "verb": "delta", "session": 7, "fingerprint": "{fp}"}}"#),
+            r#"{"id": 4, "verb": "delta"}"#.to_string(),
+        ];
+        for frame in frames {
+            let (line, is_shutdown) = router.handle_json(frame.as_bytes());
+            assert!(!is_shutdown);
+            assert!(line.contains(r#""kind":"protocol""#), "{line}");
+        }
+    }
+
+    #[test]
+    fn a_request_that_slips_past_decode_still_answers_not_panics() {
+        // Defense in depth behind `Request::decode`: even a request struct
+        // violating the per-verb invariants gets a protocol error from
+        // every forwarding handler, never a panic.
+        let topology = Topology::parse("a=127.0.0.1:1", 16).unwrap();
+        let router = Router::new(RouterConfig::new(topology));
+        let bare = Request {
+            id: Json::Num(1.0),
+            verb: Verb::Delta,
+            program: None,
+            problems: None,
+            spec: None,
+            distance_bound: None,
+            session: None,
+            fingerprint: None,
+            stmt: None,
+            text: None,
+        };
+        for result in [
+            router.delta_json(&bare),
+            router.analyze_json(&bare),
+            router.open_json(&bare),
+            router.custom_json(&bare),
+        ] {
+            let e = result.expect_err("missing fields must be an error");
+            assert_eq!(e.kind, ErrorKind::Protocol);
+        }
+    }
+
+    #[test]
+    fn custom_routes_by_the_same_keys_as_analyze() {
+        // The spec is part of the cache key, never the routing key: every
+        // spec over one loop must shard to the node that caches it.
+        let src = "do i = 1, 100 A[i+2] := A[i] + x; end";
+        let fp = fingerprint_of_source(src).unwrap();
+        let by_fp = custom_route_hash(&CustomRequest {
+            id: 1,
+            spec: 0b01,
+            fingerprint: Some(fp),
+            distance_bound: None,
+            source: None,
+        });
+        let by_source = custom_route_hash(&CustomRequest {
+            id: 2,
+            spec: 0b10_0110,
+            fingerprint: None,
+            distance_bound: None,
+            source: Some(src.as_bytes().to_vec()),
+        });
+        assert_eq!(by_fp, by_source);
+        let analyze = analyze_route_hash(&AnalyzeRequest {
+            id: 3,
+            fingerprint: Some(fp),
+            problems: None,
+            distance_bound: None,
+            source: None,
+        });
+        assert_eq!(by_fp, analyze);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use std::time::{Duration, Instant};
 
 use arrayflow_cluster::{Replicator, ReplicatorConfig};
 use arrayflow_engine::{
-    AnalysisReport, BatchResult, DeltaReport, Engine, EngineConfig, EngineStats, ProblemSet,
+    AnalysisReport, BatchResult, CustomSpec, DeltaReport, Engine, EngineConfig, EngineStats,
+    ProblemSet,
 };
 use arrayflow_ir::{parse_program_bytes, Edit, StmtId};
 use arrayflow_obs::{
@@ -142,6 +143,9 @@ pub struct ServiceStats {
     /// Malformed frames (bad JSON, unknown verb, bad fields). Oversized
     /// frames have their own counter and are *not* included here.
     pub protocol_errors: u64,
+    /// `delta` requests whose session no longer exists on the answering
+    /// node (mid-session failover); clients re-`open` and replay.
+    pub session_lost: u64,
     /// Frames discarded for exceeding [`ServiceConfig::max_frame_bytes`].
     /// Counted separately from `requests` so they never skew the latency
     /// distribution (the frame is discarded without being timed).
@@ -164,6 +168,7 @@ impl ServiceStats {
             + self.timeouts
             + self.overloaded
             + self.protocol_errors
+            + self.session_lost
     }
 }
 
@@ -185,6 +190,16 @@ pub(crate) enum Work {
         program: String,
         /// Which problem instances to solve.
         problems: ProblemSet,
+        /// Dependence distance bound for the report.
+        distance_bound: u64,
+    },
+    /// A `custom`: solve a user-specified (G, K) problem over a program.
+    Custom {
+        /// DSL source of the program to analyze.
+        program: String,
+        /// The user's (G, K) spec: which site roles generate and kill,
+        /// direction, and confluence mode.
+        spec: CustomSpec,
         /// Dependence distance bound for the report.
         distance_bound: u64,
     },
@@ -275,6 +290,7 @@ pub(crate) struct ServiceInstruments {
     pub(crate) timeouts: Counter,
     pub(crate) overloaded: Counter,
     pub(crate) protocol_errors: Counter,
+    pub(crate) session_lost: Counter,
     pub(crate) oversized_frames: Counter,
     pub(crate) worker_restarts: Counter,
     pub(crate) queue_depth_hwm: Gauge,
@@ -316,6 +332,7 @@ impl ServiceInstruments {
             timeouts: outcome("timeout"),
             overloaded: outcome("overloaded"),
             protocol_errors: outcome("protocol"),
+            session_lost: outcome("session_lost"),
             oversized_frames: registry.counter(
                 "arrayflow_oversized_frames_total",
                 "frames discarded for exceeding the size cap (excluded from request latency)",
@@ -682,7 +699,10 @@ impl Service {
             Ok(req) => req,
         };
         let id = req.id.clone();
-        if !matches!(req.verb, Verb::Analyze | Verb::Open | Verb::Delta) {
+        if !matches!(
+            req.verb,
+            Verb::Analyze | Verb::Custom | Verb::Open | Verb::Delta
+        ) {
             let is_shutdown = req.verb == Verb::Shutdown;
             let outcome = with_current(&trace, || self.dispatch_cheap(&req));
             respond(self.finish_json(&trace, accepted, &id, outcome, is_shutdown));
@@ -737,12 +757,13 @@ impl Service {
             ErrorKind::Timeout => &self.ins.timeouts,
             ErrorKind::Overloaded => &self.ins.overloaded,
             ErrorKind::Protocol => &self.ins.protocol_errors,
+            ErrorKind::SessionLost => &self.ins.session_lost,
         }
     }
 
     fn dispatch(&self, req: Request, accepted: Instant) -> Result<Json, ServiceError> {
         match req.verb {
-            Verb::Analyze | Verb::Open | Verb::Delta => {
+            Verb::Analyze | Verb::Custom | Verb::Open | Verb::Delta => {
                 let work = self.work_of(req);
                 self.submit_and_wait(work, accepted).map(|o| o.to_json())
             }
@@ -758,6 +779,13 @@ impl Service {
             Verb::Analyze => Work::Analyze {
                 program: req.program.expect("decode guarantees program for analyze"),
                 problems: req.problems.unwrap_or(self.config.engine.problems),
+                distance_bound: req
+                    .distance_bound
+                    .unwrap_or(self.config.engine.dep_max_distance),
+            },
+            Verb::Custom => Work::Custom {
+                program: req.program.expect("decode guarantees program for custom"),
+                spec: req.spec.expect("decode guarantees spec for custom"),
                 distance_bound: req
                     .distance_bound
                     .unwrap_or(self.config.engine.dep_max_distance),
@@ -795,7 +823,7 @@ impl Service {
                 self.shutdown();
                 Ok(Json::Str("shutting down".into()))
             }
-            Verb::Analyze | Verb::Open | Verb::Delta => {
+            Verb::Analyze | Verb::Custom | Verb::Open | Verb::Delta => {
                 unreachable!("solver verbs are dispatched through the worker pool")
             }
         }
@@ -1024,6 +1052,20 @@ impl Service {
                 }
                 Ok(JobOutput::Analyze(result))
             }
+            Work::Custom {
+                program,
+                spec,
+                distance_bound,
+            } => {
+                let program = parse(program)?;
+                let result = self
+                    .engine
+                    .analyze_custom(0, &program, *spec, *distance_bound);
+                if let Some(e) = &result.error {
+                    return Err(ServiceError::new(ErrorKind::Analysis, e.to_string()));
+                }
+                Ok(JobOutput::Analyze(result))
+            }
             Work::Open { program } => {
                 let program = parse(program)?;
                 let (session, report) = self
@@ -1033,13 +1075,19 @@ impl Service {
                 Ok(JobOutput::Session(session, report))
             }
             Work::Delta { session, edit } => {
-                // Unknown/expired sessions and rejected edits both come
-                // back as analysis-kind errors: the frame was well-formed,
-                // the request could not be satisfied.
-                let delta = self
-                    .engine
-                    .analyze_delta(*session, edit)
-                    .map_err(|e| ServiceError::new(ErrorKind::Analysis, e.to_string()))?;
+                // Rejected edits are analysis-kind errors (the frame was
+                // well-formed, the request could not be satisfied); a
+                // session the node does not hold — expired here, or never
+                // replicated to a failed-over replica — is the typed
+                // `session_lost`, telling the client to re-open and
+                // replay rather than treat it as an analysis failure.
+                let delta = self.engine.analyze_delta(*session, edit).map_err(|e| {
+                    let kind = match &e {
+                        arrayflow_engine::AnalysisError::SessionLost(_) => ErrorKind::SessionLost,
+                        _ => ErrorKind::Analysis,
+                    };
+                    ServiceError::new(kind, e.to_string())
+                })?;
                 Ok(JobOutput::Delta(delta))
             }
         }
@@ -1065,6 +1113,7 @@ impl Service {
             timeouts: self.ins.timeouts.get(),
             overloaded: self.ins.overloaded.get(),
             protocol_errors: self.ins.protocol_errors.get(),
+            session_lost: self.ins.session_lost.get(),
             oversized_frames: self.ins.oversized_frames.get(),
             queue_depth_hwm: self.ins.queue_depth_hwm.get() as usize,
             latency: buckets(&self.ins.latency),
@@ -1088,6 +1137,7 @@ impl Service {
             ("timeout".into(), Json::Num(s.timeouts as f64)),
             ("overloaded".into(), Json::Num(s.overloaded as f64)),
             ("protocol".into(), Json::Num(s.protocol_errors as f64)),
+            ("session_lost".into(), Json::Num(s.session_lost as f64)),
         ]);
         let hist_obj = |buckets: &[u64; LATENCY_BUCKETS_US.len() + 1]| {
             let mut members = Vec::new();
@@ -1449,6 +1499,94 @@ mod tests {
         );
         assert!(r.line.contains(r#""kind":"analysis""#), "{}", r.line);
         assert_eq!(svc.stats().analysis_errors, 2);
+        svc.shutdown();
+        svc.join_workers();
+    }
+
+    /// The acceptance bar for the `custom` verb: a wire spec equivalent to
+    /// a canned instance must produce a byte-identical report to the
+    /// built-in verb (the engine folds such specs onto the canned cache
+    /// key, so this holds by construction — but the wire layer could still
+    /// break it).
+    #[test]
+    fn custom_verb_matches_builtin_reports_byte_for_byte() {
+        let svc = start_small();
+        let program = "do i = 1, 9 A[i+2] := A[i]; end";
+        let loops = |line: &str| {
+            let start = line.find(r#""loops":"#).unwrap();
+            let end = line.find(r#","error":"#).unwrap();
+            line[start..end].to_string()
+        };
+        for (spec, problem) in [
+            (r#"{"gen": ["defs"], "kill": ["defs"]}"#, "reaching"),
+            (
+                r#"{"gen": ["defs", "uses"], "kill": ["defs"]}"#,
+                "available",
+            ),
+            (
+                r#"{"gen": ["defs"], "kill": ["uses"], "direction": "backward"}"#,
+                "busy",
+            ),
+            (
+                r#"{"gen": ["defs", "uses"], "kill": ["defs"], "mode": "may"}"#,
+                "reaching_refs",
+            ),
+        ] {
+            let canned = svc.handle_frame(
+                format!(
+                    r#"{{"verb": "analyze", "program": "{program}", "problems": ["{problem}"]}}"#
+                )
+                .as_bytes(),
+            );
+            let custom = svc.handle_frame(
+                format!(r#"{{"verb": "custom", "program": "{program}", "spec": {spec}}}"#)
+                    .as_bytes(),
+            );
+            assert!(canned.line.contains(r#""ok":true"#), "{}", canned.line);
+            assert!(custom.line.contains(r#""ok":true"#), "{}", custom.line);
+            assert_eq!(loops(&canned.line), loops(&custom.line), "spec {spec}");
+        }
+        svc.shutdown();
+        svc.join_workers();
+    }
+
+    #[test]
+    fn custom_verb_solves_non_canned_problems() {
+        let svc = start_small();
+        // Live array elements: G = uses, K = defs, backward, may — the
+        // canonical problem the canned quartet does not cover.
+        let r = svc.handle_frame(
+            br#"{"id": 1, "verb": "custom", "program": "do i = 1, 9 A[i+2] := A[i]; end",
+                 "spec": {"gen": ["uses"], "kill": ["defs"],
+                          "direction": "backward", "mode": "may"}}"#,
+        );
+        assert!(r.line.contains(r#""ok":true"#), "{}", r.line);
+        assert!(r.line.contains("custom spec=gu-kd-bwd-may"), "{}", r.line);
+        // Same program, same spec again: a cache hit, identical bytes.
+        let again = svc.handle_frame(
+            br#"{"id": 2, "verb": "custom", "program": "do i = 1, 9 A[i+2] := A[i]; end",
+                 "spec": {"gen": ["uses"], "kill": ["defs"],
+                          "direction": "backward", "mode": "may"}}"#,
+        );
+        let loops = |line: &str| {
+            let start = line.find(r#""loops":"#).unwrap();
+            let end = line.find(r#","error":"#).unwrap();
+            line[start..end].to_string()
+        };
+        assert_eq!(loops(&r.line), loops(&again.line));
+        assert_eq!(svc.engine_stats().cache.hits, 1);
+        // A different spec over the same program is a distinct cache key.
+        let other = svc.handle_frame(
+            br#"{"id": 3, "verb": "custom", "program": "do i = 1, 9 A[i+2] := A[i]; end",
+                 "spec": {"gen": ["uses"], "kill": ["defs"], "direction": "backward"}}"#,
+        );
+        assert!(
+            other.line.contains("custom spec=gu-kd-bwd-must"),
+            "{}",
+            other.line
+        );
+        assert_ne!(loops(&r.line), loops(&other.line));
+        assert_eq!(svc.engine_stats().cache.misses, 2);
         svc.shutdown();
         svc.join_workers();
     }

@@ -560,16 +560,18 @@ fn open_then_delta_matches_fresh_analyze_byte_for_byte() {
 }
 
 #[test]
-fn delta_error_paths_are_analysis_errors_and_incomplete_requests_are_protocol_errors() {
+fn delta_error_paths_are_typed_and_incomplete_requests_are_protocol_errors() {
     let (addr, service) = spawn_server(ServiceConfig::default());
     let mut client = Client::connect(addr);
 
-    // Unknown session: analysis-kind error, connection survives.
+    // Unknown session: the typed `session_lost` error — the client's cue
+    // to re-open and replay, distinct from a real analysis failure. The
+    // connection survives.
     client.send(
         r#"{"id": 1, "verb": "delta", "session": 424242, "fingerprint": "00000000000000000000000000000000", "stmt": 0, "text": "A[i] := 0;"}"#,
     );
     let resp = client.recv_json();
-    assert_eq!(error_kind(&resp), "analysis");
+    assert_eq!(error_kind(&resp), "session_lost");
 
     // Missing fields are rejected at decode time: protocol errors, like
     // every other malformed request.

@@ -18,8 +18,10 @@
 //! panics. Corrupt bytes come back as [`DecodeError`].
 
 use arrayflow_analyses::{Dep, DepKind, RedundantStore, Reuse};
-use arrayflow_core::RefId;
-use arrayflow_engine::{AnalysisReport, CacheKey, InstanceStats, ProblemSet};
+use arrayflow_core::{CustomSpec, Dist, RefId};
+use arrayflow_engine::{
+    AnalysisReport, CacheKey, CustomResult, CustomValue, InstanceStats, ProblemSet,
+};
 use arrayflow_ir::stmt::StmtId;
 use arrayflow_ir::Fingerprint;
 use arrayflow_wire::codec::{put_bool, put_u128, put_usize, put_varint, Reader};
@@ -56,8 +58,49 @@ fn read_instance_stats(r: &mut Reader<'_>) -> DecodeResult<Option<InstanceStats>
     }
 }
 
-fn read_problem_set(r: &mut Reader<'_>) -> DecodeResult<ProblemSet> {
-    ProblemSet::from_bits(r.u8()?).ok_or(DecodeError::BadDiscriminant)
+/// High bit of the problems byte: set when the key/report answers a
+/// custom (G, K) spec, with [`CustomSpec::bits`] in the low bits. Canned
+/// [`ProblemSet::bits`] never exceed `0b1111`, so every pre-custom byte
+/// stream decodes unchanged and canned encodings stay byte-identical.
+const CUSTOM_MARKER: u8 = 0x80;
+
+fn put_problems_byte(out: &mut Vec<u8>, problems: ProblemSet, custom: Option<CustomSpec>) {
+    match custom {
+        Some(spec) => out.push(CUSTOM_MARKER | spec.bits()),
+        None => out.push(problems.bits()),
+    }
+}
+
+fn read_problems_byte(r: &mut Reader<'_>) -> DecodeResult<(ProblemSet, Option<CustomSpec>)> {
+    let byte = r.u8()?;
+    if byte & CUSTOM_MARKER != 0 {
+        let spec =
+            CustomSpec::from_bits(byte & !CUSTOM_MARKER).ok_or(DecodeError::BadDiscriminant)?;
+        Ok((ProblemSet::NONE, Some(spec)))
+    } else {
+        let problems = ProblemSet::from_bits(byte).ok_or(DecodeError::BadDiscriminant)?;
+        Ok((problems, None))
+    }
+}
+
+fn put_dist(out: &mut Vec<u8>, dist: Dist) {
+    match dist {
+        Dist::Bottom => out.push(0),
+        Dist::Fin(x) => {
+            out.push(1);
+            put_varint(out, x);
+        }
+        Dist::Top => out.push(2),
+    }
+}
+
+fn read_dist(r: &mut Reader<'_>) -> DecodeResult<Dist> {
+    match r.u8()? {
+        0 => Ok(Dist::Bottom),
+        1 => Ok(Dist::Fin(r.varint()?)),
+        2 => Ok(Dist::Top),
+        _ => Err(DecodeError::BadDiscriminant),
+    }
 }
 
 // ------------------------------------------------------------- key
@@ -65,15 +108,18 @@ fn read_problem_set(r: &mut Reader<'_>) -> DecodeResult<ProblemSet> {
 /// Appends the canonical encoding of `key` to `out`.
 pub fn encode_key_into(out: &mut Vec<u8>, key: &CacheKey) {
     put_u128(out, key.fingerprint.0);
-    out.push(key.problems.bits());
+    put_problems_byte(out, key.problems, key.custom);
     put_varint(out, key.dep_max_distance);
 }
 
 fn decode_key(r: &mut Reader<'_>) -> DecodeResult<CacheKey> {
+    let fingerprint = Fingerprint(r.u128()?);
+    let (problems, custom) = read_problems_byte(r)?;
     Ok(CacheKey {
-        fingerprint: Fingerprint(r.u128()?),
-        problems: read_problem_set(r)?,
+        fingerprint,
+        problems,
         dep_max_distance: r.varint()?,
+        custom,
     })
 }
 
@@ -82,7 +128,7 @@ fn decode_key(r: &mut Reader<'_>) -> DecodeResult<CacheKey> {
 /// Appends the canonical encoding of `report` to `out`.
 pub fn encode_report_into(out: &mut Vec<u8>, report: &AnalysisReport) {
     put_u128(out, report.fingerprint.0);
-    out.push(report.problems.bits());
+    put_problems_byte(out, report.problems, report.custom.as_ref().map(|c| c.spec));
     put_varint(out, report.dep_max_distance);
     put_usize(out, report.nodes);
     put_usize(out, report.sites);
@@ -123,6 +169,23 @@ pub fn encode_report_into(out: &mut Vec<u8>, report: &AnalysisReport) {
             DepKind::Output => 2,
         });
     }
+    // The custom section rides behind the marker bit of the problems
+    // byte, so canned reports (the only kind older readers know) encode
+    // byte-identically to the pre-custom format.
+    if let Some(c) = &report.custom {
+        put_usize(out, c.stats.init_visits);
+        put_usize(out, c.stats.iter_visits);
+        put_usize(out, c.stats.passes);
+        put_usize(out, c.stats.changing_passes);
+        put_usize(out, c.width);
+        put_usize(out, c.values.len());
+        for v in &c.values {
+            put_varint(out, v.gen as u64);
+            put_varint(out, v.gen_site as u64);
+            put_varint(out, v.node as u64);
+            put_dist(out, v.dist);
+        }
+    }
 }
 
 /// The canonical encoding of one report, standalone.
@@ -134,7 +197,7 @@ pub fn encode_report(report: &AnalysisReport) -> Vec<u8> {
 
 fn decode_report_inner(r: &mut Reader<'_>) -> DecodeResult<AnalysisReport> {
     let fingerprint = Fingerprint(r.u128()?);
-    let problems = read_problem_set(r)?;
+    let (problems, custom_spec) = read_problems_byte(r)?;
     let dep_max_distance = r.varint()?;
     let nodes = r.usize()?;
     let sites = r.usize()?;
@@ -186,6 +249,35 @@ fn decode_report_inner(r: &mut Reader<'_>) -> DecodeResult<AnalysisReport> {
         });
     }
 
+    let custom = match custom_spec {
+        None => None,
+        Some(spec) => {
+            let stats = InstanceStats {
+                init_visits: r.usize()?,
+                iter_visits: r.usize()?,
+                passes: r.usize()?,
+                changing_passes: r.usize()?,
+            };
+            let width = r.usize()?;
+            let n = r.count(4)?; // gen, gen_site, node, dist tag
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(CustomValue {
+                    gen: r.u32()?,
+                    gen_site: r.u32()?,
+                    node: r.u32()?,
+                    dist: read_dist(r)?,
+                });
+            }
+            Some(CustomResult {
+                spec,
+                stats,
+                width,
+                values,
+            })
+        }
+    };
+
     Ok(AnalysisReport {
         fingerprint,
         problems,
@@ -199,6 +291,7 @@ fn decode_report_inner(r: &mut Reader<'_>) -> DecodeResult<AnalysisReport> {
         reuses,
         redundant_stores,
         dependences,
+        custom,
     })
 }
 
@@ -322,6 +415,7 @@ mod tests {
                 distance: 2,
                 kind: DepKind::Flow,
             }],
+            custom: None,
         }
     }
 
@@ -330,6 +424,49 @@ mod tests {
             fingerprint: Fingerprint(42),
             problems: ProblemSet::ALL,
             dep_max_distance: 8,
+            custom: None,
+        }
+    }
+
+    fn sample_custom_report() -> AnalysisReport {
+        let spec = CustomSpec::from_bits(0b11_0110).unwrap(); // live elements
+        AnalysisReport {
+            fingerprint: Fingerprint(0x0123_4567_89ab_cdef_dead_beef_cafe_f00d),
+            problems: ProblemSet::NONE,
+            dep_max_distance: 8,
+            nodes: 6,
+            sites: 3,
+            reaching_stats: None,
+            available_stats: None,
+            busy_stats: None,
+            reaching_refs_stats: None,
+            reuses: Vec::new(),
+            redundant_stores: Vec::new(),
+            dependences: Vec::new(),
+            custom: Some(CustomResult {
+                spec,
+                stats: InstanceStats {
+                    init_visits: 6,
+                    iter_visits: 12,
+                    passes: 2,
+                    changing_passes: 1,
+                },
+                width: 2,
+                values: vec![
+                    CustomValue {
+                        gen: 0,
+                        gen_site: 1,
+                        node: 2,
+                        dist: Dist::Fin(3),
+                    },
+                    CustomValue {
+                        gen: 1,
+                        gen_site: 2,
+                        node: 0,
+                        dist: Dist::Top,
+                    },
+                ],
+            }),
         }
     }
 
@@ -341,6 +478,68 @@ mod tests {
         assert_eq!(decoded, report);
         // Canonical: re-encoding the decoded value reproduces the bytes.
         assert_eq!(encode_report(&decoded), bytes);
+    }
+
+    #[test]
+    fn custom_report_round_trips_byte_exactly() {
+        let report = sample_custom_report();
+        let bytes = encode_report(&report);
+        let decoded = decode_report(&bytes).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(encode_report(&decoded), bytes);
+
+        let key = CacheKey {
+            fingerprint: report.fingerprint,
+            problems: ProblemSet::NONE,
+            dep_max_distance: 8,
+            custom: report.custom.as_ref().map(|c| c.spec),
+        };
+        let record = Record::Put {
+            key,
+            report: Box::new(report),
+        };
+        let bytes = encode_record(&record);
+        assert_eq!(decode_record(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn canned_encoding_is_unchanged_by_the_custom_extension() {
+        // The marker bit rides on the problems byte; a canned report must
+        // not grow a custom section or shift any field.
+        let bytes = encode_report(&sample_report());
+        assert_eq!(bytes[16], ProblemSet::ALL.bits());
+        assert!(bytes[16] & CUSTOM_MARKER == 0);
+    }
+
+    #[test]
+    fn bad_custom_spec_bytes_are_rejected() {
+        let report = sample_custom_report();
+        let mut bytes = encode_report(&report);
+        // The problems byte sits right after the 16-byte fingerprint.
+        assert_eq!(bytes[16], CUSTOM_MARKER | 0b11_0110);
+        // Marker with empty-G spec bits: invalid, must not panic.
+        bytes[16] = CUSTOM_MARKER;
+        assert_eq!(decode_report(&bytes), Err(DecodeError::BadDiscriminant));
+        bytes[16] = CUSTOM_MARKER | 0b11_1100; // G empty, K full
+        assert_eq!(decode_report(&bytes), Err(DecodeError::BadDiscriminant));
+    }
+
+    #[test]
+    fn bad_dist_tag_is_rejected() {
+        let report = sample_custom_report();
+        let mut bytes = encode_report(&report);
+        let last = bytes.len() - 1;
+        assert_eq!(bytes[last], 2); // trailing value's dist tag (Top)
+        bytes[last] = 3;
+        assert_eq!(decode_report(&bytes), Err(DecodeError::BadDiscriminant));
+    }
+
+    #[test]
+    fn custom_truncation_at_every_length_is_an_error_not_a_panic() {
+        let bytes = encode_report(&sample_custom_report());
+        for len in 0..bytes.len() {
+            assert!(decode_report(&bytes[..len]).is_err(), "len {len}");
+        }
     }
 
     #[test]

@@ -171,6 +171,7 @@ mod tests {
                 fingerprint: Fingerprint(fp),
                 problems: ProblemSet::ALL,
                 dep_max_distance: 8,
+                custom: None,
             },
         }
     }

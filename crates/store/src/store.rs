@@ -681,6 +681,7 @@ mod tests {
             fingerprint: Fingerprint(fp),
             problems: ProblemSet::ALL,
             dep_max_distance: 8,
+            custom: None,
         }
     }
 
@@ -698,6 +699,7 @@ mod tests {
             reuses: Vec::new(),
             redundant_stores: Vec::new(),
             dependences: Vec::new(),
+            custom: None,
         }
     }
 

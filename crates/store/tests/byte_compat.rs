@@ -61,6 +61,7 @@ fn golden_report() -> AnalysisReport {
             distance: 2,
             kind: DepKind::Flow,
         }],
+        custom: None,
     }
 }
 
@@ -69,6 +70,7 @@ fn golden_key() -> CacheKey {
         fingerprint: Fingerprint(0x0123_4567_89ab_cdef_0011_2233_4455_6677),
         problems: ProblemSet::ALL,
         dep_max_distance: 8,
+        custom: None,
     }
 }
 

@@ -40,6 +40,7 @@ fn key(fp: u128) -> CacheKey {
         fingerprint: Fingerprint(fp),
         problems: ProblemSet::ALL,
         dep_max_distance: 8,
+        custom: None,
     }
 }
 
@@ -57,6 +58,7 @@ fn report(fp: u128) -> AnalysisReport {
         reuses: Vec::new(),
         redundant_stores: Vec::new(),
         dependences: Vec::new(),
+        custom: None,
     }
 }
 

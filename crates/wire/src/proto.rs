@@ -22,6 +22,7 @@
 //!   0x08 Replicate
 //!   0x09 Open
 //!   0x0A Delta
+//!   0x0B Custom
 //! ```
 //!
 //! `Health` is the cluster router's failover probe: a cheap liveness +
@@ -52,6 +53,8 @@ pub const TAG_REPLICATE: u8 = 0x08;
 pub const TAG_OPEN: u8 = 0x09;
 /// Apply a single-statement edit to an open session.
 pub const TAG_DELTA: u8 = 0x0A;
+/// Analyze under a user-specified (G, K) problem spec.
+pub const TAG_CUSTOM: u8 = 0x0B;
 /// Response frame tag: success.
 pub const TAG_OK: u8 = 0x81;
 /// Response frame tag: error.
@@ -80,6 +83,33 @@ pub struct AnalyzeRequest {
     /// Problem-set bits (engine `ProblemSet::bits`); server default when
     /// absent.
     pub problems: Option<u8>,
+    /// Dependence distance bound; server default when absent.
+    pub distance_bound: Option<u64>,
+    /// DSL program source (UTF-8), if supplied.
+    pub source: Option<Vec<u8>>,
+}
+
+/// The valid range of a custom-spec byte: six low bits (`CustomSpec::bits`
+/// in `arrayflow-core`), and the two G bits must not both be clear — a
+/// problem that generates nothing solves to bottom everywhere and is
+/// always a client error. Checked at decode so hostile bytes die here.
+fn custom_spec_byte_is_valid(spec: u8) -> bool {
+    spec & !0b11_1111 == 0 && spec & 0b11 != 0
+}
+
+/// A custom-problem request: like [`AnalyzeRequest`], but instead of a
+/// canned problem selection it carries a (G, K) spec byte (core
+/// `CustomSpec::bits`) naming which site roles generate and kill, the
+/// direction, and the confluence mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// `CustomSpec::bits` encoding of the (G, K) problem.
+    pub spec: u8,
+    /// Canonical 128-bit fingerprint (little-endian bytes), if the client
+    /// precomputed it; enables the probe-only fast path.
+    pub fingerprint: Option<[u8; 16]>,
     /// Dependence distance bound; server default when absent.
     pub distance_bound: Option<u64>,
     /// DSL program source (UTF-8), if supplied.
@@ -159,6 +189,8 @@ pub enum Request {
         /// Replacement statement source (UTF-8).
         text: Vec<u8>,
     },
+    /// Run (or look up) an analysis under a user-specified (G, K) spec.
+    Custom(CustomRequest),
 }
 
 impl Request {
@@ -175,6 +207,7 @@ impl Request {
             Request::Replicate { .. } => TAG_REPLICATE,
             Request::Open { .. } => TAG_OPEN,
             Request::Delta { .. } => TAG_DELTA,
+            Request::Custom(_) => TAG_CUSTOM,
         }
     }
 
@@ -191,6 +224,7 @@ impl Request {
             | Request::Open { id, .. }
             | Request::Delta { id, .. } => *id,
             Request::Analyze(a) => a.id,
+            Request::Custom(c) => c.id,
         }
     }
 
@@ -251,6 +285,30 @@ impl Request {
                     put_varint(&mut out, d);
                 }
                 if let Some(src) = &a.source {
+                    put_bytes(&mut out, src);
+                }
+            }
+            Request::Custom(c) => {
+                put_varint(&mut out, c.id);
+                out.push(c.spec);
+                let mut flags = 0u8;
+                if c.source.is_some() {
+                    flags |= FLAG_SOURCE;
+                }
+                if c.fingerprint.is_some() {
+                    flags |= FLAG_FINGERPRINT;
+                }
+                if c.distance_bound.is_some() {
+                    flags |= FLAG_DISTANCE;
+                }
+                out.push(flags);
+                if let Some(fp) = &c.fingerprint {
+                    out.extend_from_slice(fp);
+                }
+                if let Some(d) = c.distance_bound {
+                    put_varint(&mut out, d);
+                }
+                if let Some(src) = &c.source {
                     put_bytes(&mut out, src);
                 }
             }
@@ -325,6 +383,43 @@ impl Request {
                     id,
                     fingerprint,
                     problems,
+                    distance_bound,
+                    source,
+                })
+            }
+            TAG_CUSTOM => {
+                let spec = r.u8()?;
+                if !custom_spec_byte_is_valid(spec) {
+                    return Err(DecodeError::BadDiscriminant);
+                }
+                let flags = r.u8()?;
+                if flags & !(FLAG_SOURCE | FLAG_FINGERPRINT | FLAG_DISTANCE) != 0 {
+                    return Err(DecodeError::BadDiscriminant);
+                }
+                let fingerprint = if flags & FLAG_FINGERPRINT != 0 {
+                    let mut fp = [0u8; 16];
+                    fp.copy_from_slice(r.bytes(16)?);
+                    Some(fp)
+                } else {
+                    None
+                };
+                let distance_bound = if flags & FLAG_DISTANCE != 0 {
+                    Some(r.varint()?)
+                } else {
+                    None
+                };
+                let source = if flags & FLAG_SOURCE != 0 {
+                    Some(r.len_bytes()?.to_vec())
+                } else {
+                    None
+                };
+                if fingerprint.is_none() && source.is_none() {
+                    return Err(DecodeError::BadDiscriminant);
+                }
+                Request::Custom(CustomRequest {
+                    id,
+                    spec,
+                    fingerprint,
                     distance_bound,
                     source,
                 })
@@ -644,6 +739,116 @@ mod tests {
             stmt: 0,
             text: Vec::new(),
         });
+        round_trip_request(Request::Custom(CustomRequest {
+            id: 17,
+            spec: 0b11_0110, // live elements: G=uses, K=defs, backward, may
+            fingerprint: Some([6; 16]),
+            distance_bound: Some(8),
+            source: Some(b"do i = 1, n A[i] := A[i]; end".to_vec()),
+        }));
+        round_trip_request(Request::Custom(CustomRequest {
+            id: 18,
+            spec: 0b00_0001, // G=defs, nothing kills, forward, must
+            fingerprint: None,
+            distance_bound: None,
+            source: Some(b"x".to_vec()),
+        }));
+        round_trip_request(Request::Custom(CustomRequest {
+            id: 19,
+            spec: 0b00_0111,
+            fingerprint: Some([0; 16]),
+            distance_bound: None,
+            source: None,
+        }));
+    }
+
+    #[test]
+    fn custom_spec_byte_validation_at_decode() {
+        let payload_for = |spec: u8| {
+            let mut payload = Vec::new();
+            put_varint(&mut payload, 1); // id
+            payload.push(spec);
+            payload.push(FLAG_SOURCE);
+            put_bytes(&mut payload, b"x");
+            payload
+        };
+        // High bits beyond the six spec bits: rejected.
+        assert_eq!(
+            Request::decode(TAG_CUSTOM, &payload_for(0b100_0001)),
+            Err(DecodeError::BadDiscriminant)
+        );
+        assert_eq!(
+            Request::decode(TAG_CUSTOM, &payload_for(0xFF)),
+            Err(DecodeError::BadDiscriminant)
+        );
+        // Empty G (nothing generates): rejected.
+        assert_eq!(
+            Request::decode(TAG_CUSTOM, &payload_for(0b00_0000)),
+            Err(DecodeError::BadDiscriminant)
+        );
+        assert_eq!(
+            Request::decode(TAG_CUSTOM, &payload_for(0b11_1100)),
+            Err(DecodeError::BadDiscriminant)
+        );
+        // Every valid byte decodes.
+        for spec in 0..=0b11_1111u8 {
+            let ok = Request::decode(TAG_CUSTOM, &payload_for(spec)).is_ok();
+            assert_eq!(ok, spec & 0b11 != 0, "spec {spec:#08b}");
+        }
+    }
+
+    #[test]
+    fn custom_without_source_or_fingerprint_is_rejected() {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1);
+        payload.push(0b00_0001);
+        payload.push(0); // flags: neither source nor fingerprint
+        assert_eq!(
+            Request::decode(TAG_CUSTOM, &payload),
+            Err(DecodeError::BadDiscriminant)
+        );
+        // Unknown flag bits (FLAG_PROBLEMS has no meaning here): rejected.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1);
+        payload.push(0b00_0001);
+        payload.push(FLAG_PROBLEMS);
+        assert_eq!(
+            Request::decode(TAG_CUSTOM, &payload),
+            Err(DecodeError::BadDiscriminant)
+        );
+    }
+
+    #[test]
+    fn custom_hostile_bytes_do_not_panic() {
+        // Truncation at every prefix of a full frame.
+        let payload = Request::Custom(CustomRequest {
+            id: 9,
+            spec: 0b10_0101,
+            fingerprint: Some([7; 16]),
+            distance_bound: Some(4),
+            source: Some(b"do i = 1, 2 A[i] := 0; end".to_vec()),
+        })
+        .encode_payload();
+        for len in 0..payload.len() {
+            assert!(
+                Request::decode(TAG_CUSTOM, &payload[..len]).is_err(),
+                "len {len}"
+            );
+        }
+        // Trailing bytes rejected.
+        let mut noisy = payload.clone();
+        noisy.push(0);
+        assert_eq!(
+            Request::decode(TAG_CUSTOM, &noisy),
+            Err(DecodeError::TrailingBytes)
+        );
+        // Source length prefix past the end of the payload.
+        let mut p = Vec::new();
+        put_varint(&mut p, 1);
+        p.push(0b00_0011);
+        p.push(FLAG_SOURCE);
+        put_varint(&mut p, 1 << 40); // claimed length, no bytes follow
+        assert!(Request::decode(TAG_CUSTOM, &p).is_err());
     }
 
     #[test]

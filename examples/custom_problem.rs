@@ -1,0 +1,75 @@
+//! Custom-problem smoke against an already-running `serve` process.
+//!
+//! Connects to the address given as the first argument (default
+//! `127.0.0.1:7433`) and solves a user-specified (G, K) problem over
+//! both protocols: live array elements (`gu-kd-bwd-may`) as a JSON
+//! `custom` request, then the same spec over the binary protocol
+//! (tag 0x0B) with a bare fingerprint probe that must hit the
+//! spec-extended cache key byte-identically. Prints the server's
+//! Prometheus exposition (so callers can grep
+//! `arrayflow_custom_requests_total`) and shuts the server down.
+//!
+//! ```text
+//! serve --listen 127.0.0.1:7433 &
+//! cargo run --example custom_problem -- 127.0.0.1:7433
+//! ```
+
+use arrayflow::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    let mut client = Client::connect(&addr, ClientConfig::default())
+        .map_err(|e| std::io::Error::other(format!("cannot reach {addr}: {e}")))?;
+
+    // Live array elements: uses generate, definitions kill, backward/may.
+    let live = CustomSpec {
+        gen_defs: false,
+        gen_uses: true,
+        kill_defs: true,
+        kill_uses: false,
+        direction: Direction::Backward,
+        mode: Mode::May,
+    };
+    let src = "do i = 1, 80 A[i+3] := A[i] + s; end";
+
+    // JSON protocol: the rendered report names the spec it solved.
+    let line = client
+        .custom(src, live)
+        .map_err(|e| std::io::Error::other(format!("json custom failed: {e}")))?;
+    assert!(
+        line.contains("custom spec=gu-kd-bwd-may"),
+        "json custom report must carry the spec label: {line}"
+    );
+    eprintln!("custom_problem: json custom ok (spec {live})");
+
+    // Binary protocol: solve by source, then probe by bare fingerprint
+    // under the same spec — must hit and ship identical report bytes.
+    let warm = client
+        .custom_binary(src, live)
+        .map_err(|e| std::io::Error::other(format!("binary custom failed: {e}")))?;
+    assert_eq!(warm.loops.len(), 1, "one loop analyzed");
+    let fp = fingerprint(src).expect("single-loop program");
+    let hit = client
+        .custom_fingerprint(fp, live, None)
+        .map_err(|e| std::io::Error::other(format!("custom fast path failed: {e}")))?;
+    assert_eq!(hit.cache_hits, 1, "bare fingerprint probe must hit");
+    assert_eq!(
+        hit.loops[0].report, warm.loops[0].report,
+        "custom fast path must ship byte-identical report bytes"
+    );
+    eprintln!("custom_problem: binary custom + fingerprint hit, byte-identical");
+
+    // The exposition goes to stdout for the caller to grep.
+    let metrics = client
+        .metrics_prometheus()
+        .map_err(|e| std::io::Error::other(format!("metrics failed: {e}")))?;
+    print!("{metrics}");
+
+    client
+        .shutdown()
+        .map_err(|e| std::io::Error::other(format!("shutdown failed: {e}")))?;
+    eprintln!("custom_problem: ok");
+    Ok(())
+}

@@ -82,7 +82,7 @@ pub use arrayflow_workloads as workloads;
 pub mod prelude {
     pub use arrayflow_analyses::{analyze_loop, LoopAnalysis};
     pub use arrayflow_cluster::{Ring, Topology};
-    pub use arrayflow_core::{Direction, Dist, Mode};
+    pub use arrayflow_core::{CustomSpec, Direction, Dist, Mode};
     pub use arrayflow_engine::{Engine, EngineConfig};
     pub use arrayflow_ir::{parse_program, Fingerprint, LoopBuilder, Program};
     pub use arrayflow_resilience::{CircuitBreaker, FaultPlan, FaultSurface};
