@@ -20,6 +20,13 @@ pub enum AnalyzeError {
     /// The target loop is not in normalized form (`do i = 1, UB` step 1);
     /// run [`arrayflow_ir::normalize()`] first.
     NotNormalized,
+    /// A cooperative stop check fired mid-analysis (cancelled or expired
+    /// request). Carries the solver passes completed across all instances
+    /// before the analysis yielded — the wasted work.
+    Stopped {
+        /// Iteration passes executed before the stop was observed.
+        passes: u64,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -30,6 +37,9 @@ impl fmt::Display for AnalyzeError {
             }
             AnalyzeError::NotNormalized => {
                 write!(f, "loop is not normalized (lower bound 1, step 1)")
+            }
+            AnalyzeError::Stopped { passes } => {
+                write!(f, "analysis stopped after {passes} solver passes")
             }
         }
     }
@@ -60,39 +70,50 @@ pub struct LoopAnalysis {
 impl LoopAnalysis {
     /// Analyzes one normalized loop.
     pub fn of_loop(l: &Loop, symbols: &SymbolTable) -> Result<Self, AnalyzeError> {
+        Self::of_loop_ctrl(l, symbols, None)
+    }
+
+    /// Like [`LoopAnalysis::of_loop`], but polls `should_stop` between
+    /// solver passes of each of the four instances and yields
+    /// [`AnalyzeError::Stopped`] — carrying the iteration passes already
+    /// spent — as soon as it returns `true`. With `None` the result is
+    /// identical to [`LoopAnalysis::of_loop`].
+    pub fn of_loop_ctrl(
+        l: &Loop,
+        symbols: &SymbolTable,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> Result<Self, AnalyzeError> {
         if !l.is_normalized() {
             return Err(AnalyzeError::NotNormalized);
         }
         let graph = build_loop_graph(l);
         let (sites, lin) = enumerate_sites(l, &graph, symbols);
-        let reaching = Instance::run(
+        let mut spent: u64 = 0;
+        let run = |gk, direction, mode, spent: &mut u64| match Instance::run_ctrl(
             &graph,
             &sites,
+            gk,
+            direction,
+            mode,
+            should_stop,
+        ) {
+            Ok(i) => {
+                *spent += i.sol.stats.passes as u64;
+                Ok(i)
+            }
+            Err(s) => Err(AnalyzeError::Stopped {
+                passes: *spent + s.passes_completed as u64,
+            }),
+        };
+        let reaching = run(
             GK::REACHING_DEFS,
             Direction::Forward,
             Mode::Must,
-        );
-        let available = Instance::run(
-            &graph,
-            &sites,
-            GK::AVAILABLE,
-            Direction::Forward,
-            Mode::Must,
-        );
-        let busy = Instance::run(
-            &graph,
-            &sites,
-            GK::BUSY_STORES,
-            Direction::Backward,
-            Mode::Must,
-        );
-        let reaching_refs = Instance::run(
-            &graph,
-            &sites,
-            GK::REACHING_REFS,
-            Direction::Forward,
-            Mode::May,
-        );
+            &mut spent,
+        )?;
+        let available = run(GK::AVAILABLE, Direction::Forward, Mode::Must, &mut spent)?;
+        let busy = run(GK::BUSY_STORES, Direction::Backward, Mode::Must, &mut spent)?;
+        let reaching_refs = run(GK::REACHING_REFS, Direction::Forward, Mode::May, &mut spent)?;
         Ok(Self {
             symbols: lin.symbols,
             graph,
@@ -161,12 +182,33 @@ impl CustomAnalysis {
         symbols: &SymbolTable,
         spec: CustomSpec,
     ) -> Result<Self, AnalyzeError> {
+        Self::of_loop_ctrl(l, symbols, spec, None)
+    }
+
+    /// [`CustomAnalysis::of_loop`] with a cooperative stop check (see
+    /// [`LoopAnalysis::of_loop_ctrl`]).
+    pub fn of_loop_ctrl(
+        l: &Loop,
+        symbols: &SymbolTable,
+        spec: CustomSpec,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> Result<Self, AnalyzeError> {
         if !l.is_normalized() {
             return Err(AnalyzeError::NotNormalized);
         }
         let graph = build_loop_graph(l);
         let (sites, _) = enumerate_sites(l, &graph, symbols);
-        let instance = Instance::run(&graph, &sites, spec.into(), spec.direction, spec.mode);
+        let instance = Instance::run_ctrl(
+            &graph,
+            &sites,
+            spec.into(),
+            spec.direction,
+            spec.mode,
+            should_stop,
+        )
+        .map_err(|s| AnalyzeError::Stopped {
+            passes: s.passes_completed as u64,
+        })?;
         Ok(Self {
             graph,
             sites,

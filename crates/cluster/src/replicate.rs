@@ -42,16 +42,22 @@ pub struct ReplicatorConfig {
     pub max_buffer: usize,
     /// Cap on a single replicate frame's payload.
     pub max_frame_bytes: usize,
+    /// Deadline on each replicate round trip (ack read and frame
+    /// write). A wedged replica costs at most this long per attempt
+    /// instead of hanging the ship thread indefinitely.
+    pub request_timeout: Duration,
 }
 
 impl ReplicatorConfig {
-    /// Defaults: 250 ms interval, 4096-record buffer, 64 MiB frames.
+    /// Defaults: 250 ms interval, 4096-record buffer, 64 MiB frames,
+    /// 10 s round-trip deadline.
     pub fn to(replica_addr: impl Into<String>) -> Self {
         ReplicatorConfig {
             replica_addr: replica_addr.into(),
             interval: Duration::from_millis(250),
             max_buffer: 4096,
             max_frame_bytes: 64 << 20,
+            request_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -260,7 +266,8 @@ impl Replicator {
             }
         };
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_read_timeout(Some(config.request_timeout));
+        let _ = stream.set_write_timeout(Some(config.request_timeout));
         let batch = store.export_live();
         if self.ship(&mut stream, config, next_id, batch) {
             self.ins.syncs.inc();

@@ -53,7 +53,11 @@ pub use flow::{FlowTable, NodeFlow};
 pub use lattice::{meet_max, meet_min, Dist, DistVec};
 pub use preserve::{node_preserve, preserve_constant};
 pub use problem::{CustomSpec, Direction, GenRef, KillKind, KillSite, Mode, ProblemSpec, RefId};
-pub use solver::{solve, solve_bounded, solve_traced, Snapshot, Solution, SolveStats};
+pub use solver::{
+    solve, solve_bounded, solve_ctrl, solve_traced, solve_traced_ctrl, Snapshot, Solution,
+    SolveStats, StopCheck, Stopped,
+};
 pub use worklist::{
-    solve_profiled, solve_worklist, stats_from_profile, ColumnProfile, WorklistRun, WorklistStats,
+    solve_profiled, solve_profiled_ctrl, solve_worklist, solve_worklist_ctrl, stats_from_profile,
+    ColumnProfile, WorklistRun, WorklistStats,
 };

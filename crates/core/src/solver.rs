@@ -105,6 +105,29 @@ impl<'g> View<'g> {
     }
 }
 
+/// A cooperative stop request observed between iteration passes: the
+/// caller's `should_stop` closure returned `true` before the fixed point
+/// was reached. Carries how many iteration passes completed before the
+/// solver yielded — the *wasted work* a cancelled request actually cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stopped {
+    /// Iteration passes fully executed before the stop was observed.
+    pub passes_completed: usize,
+}
+
+impl std::fmt::Display for Stopped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "solve stopped after {} passes", self.passes_completed)
+    }
+}
+
+impl std::error::Error for Stopped {}
+
+/// A cooperative stop check, polled by the solver between iteration
+/// passes. `None` costs a single branch per pass — the same dormant-seam
+/// contract as the fault surface.
+pub type StopCheck<'a> = &'a (dyn Fn() -> bool + 'a);
+
 /// Solves `spec` over `graph`, iterating to an observed fixed point.
 ///
 /// # Panics
@@ -114,6 +137,31 @@ impl<'g> View<'g> {
 /// acyclic.
 pub fn solve(graph: &LoopGraph, spec: &ProblemSpec) -> Solution {
     solve_with_passes(graph, spec, usize::MAX)
+}
+
+/// Like [`solve`], but polls `should_stop` between iteration passes and
+/// yields [`Stopped`] (with the pass count spent so far) as soon as it
+/// returns `true` — the cooperative-cancellation entry point the serving
+/// stack uses so an already-dead request costs at most one pass. With
+/// `None` the check is a single branch per pass and the result is
+/// identical to [`solve`].
+pub fn solve_ctrl(
+    graph: &LoopGraph,
+    spec: &ProblemSpec,
+    should_stop: Option<StopCheck<'_>>,
+) -> Result<Solution, Stopped> {
+    solve_impl(graph, spec, usize::MAX, None, should_stop)
+}
+
+/// [`solve_traced`] with a cooperative stop check (see [`solve_ctrl`]).
+pub fn solve_traced_ctrl(
+    graph: &LoopGraph,
+    spec: &ProblemSpec,
+    should_stop: Option<StopCheck<'_>>,
+) -> Result<(Solution, Vec<Snapshot>), Stopped> {
+    let mut snapshots = Vec::new();
+    let sol = solve_impl(graph, spec, usize::MAX, Some(&mut snapshots), should_stop)?;
+    Ok((sol, snapshots))
 }
 
 /// Runs exactly the paper's schedule: the initialization pass (must) plus
@@ -133,12 +181,13 @@ pub type Snapshot = (Vec<DistVec>, Vec<DistVec>);
 /// this regenerates the paper's Table 1 column by column.
 pub fn solve_traced(graph: &LoopGraph, spec: &ProblemSpec) -> (Solution, Vec<Snapshot>) {
     let mut snapshots = Vec::new();
-    let sol = solve_impl(graph, spec, usize::MAX, Some(&mut snapshots));
+    let sol = solve_impl(graph, spec, usize::MAX, Some(&mut snapshots), None)
+        .expect("no stop check installed");
     (sol, snapshots)
 }
 
 fn solve_with_passes(graph: &LoopGraph, spec: &ProblemSpec, max_passes: usize) -> Solution {
-    solve_impl(graph, spec, max_passes, None)
+    solve_impl(graph, spec, max_passes, None, None).expect("no stop check installed")
 }
 
 fn solve_impl(
@@ -146,7 +195,8 @@ fn solve_impl(
     spec: &ProblemSpec,
     max_passes: usize,
     mut trace: Option<&mut Vec<Snapshot>>,
-) -> Solution {
+    should_stop: Option<StopCheck<'_>>,
+) -> Result<Solution, Stopped> {
     let m = spec.width();
     let n = graph.len();
     let table = FlowTable::build(graph, spec);
@@ -193,6 +243,13 @@ fn solve_impl(
     let hard_cap = 64;
     let mut pass = 0;
     loop {
+        if let Some(stop) = should_stop {
+            if stop() {
+                return Err(Stopped {
+                    passes_completed: pass,
+                });
+            }
+        }
         pass += 1;
         let mut changed = false;
         for &node in &view.order {
@@ -230,11 +287,11 @@ fn solve_impl(
         );
     }
 
-    Solution {
+    Ok(Solution {
         before,
         after,
         stats,
-    }
+    })
 }
 
 pub(crate) fn meet_of_preds(
@@ -408,6 +465,41 @@ mod tests {
         let sol = solve(&graph, &spec);
         // IN[1] first component was 2 = UB − 1 → ⊤ after normalization.
         assert_eq!(sol.before[1][0], Dist::Top);
+    }
+
+    #[test]
+    fn solve_ctrl_without_stop_check_matches_solve() {
+        let (p, spec) = fig3_spec();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let sol = solve(&graph, &spec);
+        let ctrl = solve_ctrl(&graph, &spec, None).unwrap();
+        assert_eq!(sol.before, ctrl.before);
+        assert_eq!(sol.after, ctrl.after);
+        assert_eq!(sol.stats, ctrl.stats);
+    }
+
+    #[test]
+    fn solve_ctrl_stops_before_the_first_pass() {
+        let (p, spec) = fig3_spec();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let stop = || true;
+        let err = solve_ctrl(&graph, &spec, Some(&stop)).unwrap_err();
+        assert_eq!(err.passes_completed, 0);
+    }
+
+    #[test]
+    fn solve_ctrl_stop_after_one_pass_reports_one_wasted_pass() {
+        use std::cell::Cell;
+        let (p, spec) = fig3_spec();
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let polls = Cell::new(0usize);
+        let stop = || {
+            let n = polls.get() + 1;
+            polls.set(n);
+            n > 1 // allow exactly one pass, stop on the second poll
+        };
+        let err = solve_ctrl(&graph, &spec, Some(&stop)).unwrap_err();
+        assert_eq!(err.passes_completed, 1);
     }
 
     #[test]

@@ -33,7 +33,10 @@ use arrayflow_graph::LoopGraph;
 use crate::flow::FlowTable;
 use crate::lattice::{Dist, DistVec};
 use crate::problem::{Direction, Mode, ProblemSpec};
-use crate::solver::{meet_of_preds, solve_traced, Solution, SolveStats, View};
+use crate::solver::{
+    meet_of_preds, solve_traced, solve_traced_ctrl, Snapshot, Solution, SolveStats, StopCheck,
+    Stopped, View,
+};
 
 /// The visits a worklist run actually performed, next to the round-robin
 /// schedule it replaced. The `Solution` it accompanies reports the
@@ -85,6 +88,18 @@ pub struct WorklistRun {
 /// Panics if the fixed point is not reached within the same generous pass
 /// budget as the round-robin solver.
 pub fn solve_worklist(graph: &LoopGraph, spec: &ProblemSpec) -> WorklistRun {
+    solve_worklist_ctrl(graph, spec, None).expect("no stop check installed")
+}
+
+/// Like [`solve_worklist`], but polls `should_stop` between worklist
+/// passes and yields [`Stopped`] (with the passes spent so far) as soon
+/// as it returns `true`. With `None` the check is one branch per pass and
+/// the run is identical to [`solve_worklist`].
+pub fn solve_worklist_ctrl(
+    graph: &LoopGraph,
+    spec: &ProblemSpec,
+    should_stop: Option<StopCheck<'_>>,
+) -> Result<WorklistRun, Stopped> {
     let m = spec.width();
     let n = graph.len();
     let table = FlowTable::build(graph, spec);
@@ -134,6 +149,13 @@ pub fn solve_worklist(graph: &LoopGraph, spec: &ProblemSpec) -> WorklistRun {
     let mut changing_passes = 0;
     let mut profile = vec![0u32; m];
     while pending.iter().any(|&p| p) {
+        if let Some(stop) = should_stop {
+            if stop() {
+                return Err(Stopped {
+                    passes_completed: pass,
+                });
+            }
+        }
         pass += 1;
         assert!(
             pass <= hard_cap,
@@ -209,7 +231,7 @@ pub fn solve_worklist(graph: &LoopGraph, spec: &ProblemSpec) -> WorklistRun {
         passes: rr_passes,
         changing_passes,
     };
-    WorklistRun {
+    Ok(WorklistRun {
         solution: Solution {
             before,
             after,
@@ -217,7 +239,7 @@ pub fn solve_worklist(graph: &LoopGraph, spec: &ProblemSpec) -> WorklistRun {
         },
         profile,
         stats: actual,
-    }
+    })
 }
 
 /// Solves `spec` with the round-robin schedule, additionally recording the
@@ -225,6 +247,27 @@ pub fn solve_worklist(graph: &LoopGraph, spec: &ProblemSpec) -> WorklistRun {
 /// [`solve`](crate::solver::solve)'s.
 pub fn solve_profiled(graph: &LoopGraph, spec: &ProblemSpec) -> (Solution, ColumnProfile) {
     let (sol, snaps) = solve_traced(graph, spec);
+    profile_of(sol, snaps, spec, graph)
+}
+
+/// [`solve_profiled`] with a cooperative stop check (see
+/// [`solve_worklist_ctrl`]): yields [`Stopped`] between round-robin
+/// passes instead of running to the fixed point.
+pub fn solve_profiled_ctrl(
+    graph: &LoopGraph,
+    spec: &ProblemSpec,
+    should_stop: Option<StopCheck<'_>>,
+) -> Result<(Solution, ColumnProfile), Stopped> {
+    let (sol, snaps) = solve_traced_ctrl(graph, spec, should_stop)?;
+    Ok(profile_of(sol, snaps, spec, graph))
+}
+
+fn profile_of(
+    sol: Solution,
+    snaps: Vec<Snapshot>,
+    spec: &ProblemSpec,
+    graph: &LoopGraph,
+) -> (Solution, ColumnProfile) {
     let m = spec.width();
     let n = graph.len();
     let mut profile = vec![0u32; m];
@@ -354,6 +397,26 @@ mod tests {
             let run = solve_worklist(&graph, &spec);
             assert_eq!(profile, run.profile, "profiles diverge for {mode:?}");
         }
+    }
+
+    #[test]
+    fn worklist_ctrl_stops_between_passes() {
+        use std::cell::Cell;
+        let (p, spec) = fig3(Mode::Must);
+        let graph = build_loop_graph(p.sole_loop().unwrap());
+        let stop_now = || true;
+        let err = solve_worklist_ctrl(&graph, &spec, Some(&stop_now)).unwrap_err();
+        assert_eq!(err.passes_completed, 0);
+        let polls = Cell::new(0usize);
+        let stop_later = || {
+            polls.set(polls.get() + 1);
+            polls.get() > 1
+        };
+        let err = solve_worklist_ctrl(&graph, &spec, Some(&stop_later)).unwrap_err();
+        assert_eq!(err.passes_completed, 1);
+        // And with no check installed the run matches the plain entry point.
+        let run = solve_worklist_ctrl(&graph, &spec, None).unwrap();
+        assert_identical(&solve(&graph, &spec), &run.solution);
     }
 
     #[test]

@@ -106,6 +106,14 @@ pub enum AnalysisError {
     /// mid-session failover. Retrying the delta is pointless; the client
     /// re-`open`s and replays its edits.
     SessionLost(String),
+    /// The request's cooperative stop check fired mid-solve (client gone
+    /// or deadline exhausted) and the engine yielded. `passes` is the
+    /// solver iteration passes wasted before the stop was observed; no
+    /// partial result was cached or memoized anywhere.
+    Cancelled {
+        /// Solver passes completed before the stop was observed.
+        passes: u64,
+    },
 }
 
 impl AnalysisError {
@@ -115,12 +123,22 @@ impl AnalysisError {
             AnalysisError::Analysis(m)
             | AnalysisError::Internal(m)
             | AnalysisError::SessionLost(m) => m,
+            AnalysisError::Cancelled { .. } => "request cancelled before the solve completed",
         }
     }
 
     /// `true` for engine-side failures (panics, dead workers).
     pub fn is_internal(&self) -> bool {
         matches!(self, AnalysisError::Internal(_))
+    }
+
+    /// Solver passes wasted by a cancelled request, if this is a
+    /// cancellation.
+    pub fn wasted_passes(&self) -> Option<u64> {
+        match self {
+            AnalysisError::Cancelled { passes } => Some(*passes),
+            _ => None,
+        }
     }
 }
 
@@ -129,6 +147,9 @@ impl std::fmt::Display for AnalysisError {
         match self {
             AnalysisError::Analysis(m) | AnalysisError::SessionLost(m) => f.write_str(m),
             AnalysisError::Internal(m) => write!(f, "internal: {m}"),
+            AnalysisError::Cancelled { passes } => {
+                write!(f, "cancelled after {passes} solver passes")
+            }
         }
     }
 }
@@ -508,11 +529,29 @@ impl Engine {
         problems: ProblemSet,
         dep_max_distance: u64,
     ) -> BatchResult {
+        self.analyze_with_ctrl(index, program, problems, dep_max_distance, None)
+    }
+
+    /// Like [`Engine::analyze_with`], but polls `should_stop` between
+    /// solver passes. When the check fires the result carries
+    /// [`AnalysisError::Cancelled`] with the wasted pass count; loops
+    /// completed *before* the stop are cached normally (they are complete
+    /// solutions), the interrupted loop leaves no trace in any cache
+    /// tier. With `None` the result is identical to
+    /// [`Engine::analyze_with`].
+    pub fn analyze_with_ctrl(
+        &self,
+        index: usize,
+        program: &Program,
+        problems: ProblemSet,
+        dep_max_distance: u64,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> BatchResult {
         // The closure borrows `self` and `program` immutably; the caches
         // it touches guard their state behind their own locks, which a
         // panic in the (lock-free) solve phase cannot poison.
         match catch_unwind(AssertUnwindSafe(|| {
-            self.analyze_with_inner(index, program, problems, dep_max_distance)
+            self.analyze_with_inner(index, program, problems, dep_max_distance, should_stop)
         })) {
             Ok(result) => result,
             Err(payload) => {
@@ -531,6 +570,7 @@ impl Engine {
         program: &Program,
         problems: ProblemSet,
         dep_max_distance: u64,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
     ) -> BatchResult {
         let start = Instant::now();
         let mut stats = QueryStats::default();
@@ -574,7 +614,13 @@ impl Engine {
                             panic!("injected solver fault");
                         }
                     }
-                    AnalysisReport::of_loop(l, &p.symbols, problems, dep_max_distance)
+                    AnalysisReport::of_loop_ctrl(
+                        l,
+                        &p.symbols,
+                        problems,
+                        dep_max_distance,
+                        should_stop,
+                    )
                 };
                 match solved {
                     Ok(r) => {
@@ -591,6 +637,15 @@ impl Engine {
                             self.cache.insert(key, Arc::clone(&r));
                         }
                         r
+                    }
+                    Err(arrayflow_analyses::AnalyzeError::Stopped { passes }) => {
+                        // Wasted passes are real executed work — count them
+                        // in the effort counters, but never in the pass
+                        // histograms (those state the paper's bound over
+                        // *completed* instances) and never in any cache.
+                        stats.solver_passes += passes;
+                        error.get_or_insert(AnalysisError::Cancelled { passes });
+                        break;
                     }
                     Err(e) => {
                         error.get_or_insert_with(|| AnalysisError::Analysis(e.to_string()));
@@ -661,6 +716,19 @@ impl Engine {
         spec: CustomSpec,
         dep_max_distance: u64,
     ) -> BatchResult {
+        self.analyze_custom_ctrl(index, program, spec, dep_max_distance, None)
+    }
+
+    /// [`Engine::analyze_custom`] with a cooperative stop check (see
+    /// [`Engine::analyze_with_ctrl`]).
+    pub fn analyze_custom_ctrl(
+        &self,
+        index: usize,
+        program: &Program,
+        spec: CustomSpec,
+        dep_max_distance: u64,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> BatchResult {
         self.registry
             .counter_with(
                 "arrayflow_custom_requests_total",
@@ -669,10 +737,10 @@ impl Engine {
             )
             .inc();
         if let Some(problems) = Self::canned_equivalent(spec) {
-            return self.analyze_with(index, program, problems, dep_max_distance);
+            return self.analyze_with_ctrl(index, program, problems, dep_max_distance, should_stop);
         }
         match catch_unwind(AssertUnwindSafe(|| {
-            self.analyze_custom_inner(index, program, spec, dep_max_distance)
+            self.analyze_custom_inner(index, program, spec, dep_max_distance, should_stop)
         })) {
             Ok(result) => result,
             Err(payload) => {
@@ -691,6 +759,7 @@ impl Engine {
         program: &Program,
         spec: CustomSpec,
         dep_max_distance: u64,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
     ) -> BatchResult {
         let start = Instant::now();
         let mut stats = QueryStats::default();
@@ -731,7 +800,13 @@ impl Engine {
                             panic!("injected solver fault");
                         }
                     }
-                    AnalysisReport::of_custom(l, &p.symbols, spec, dep_max_distance)
+                    AnalysisReport::of_custom_ctrl(
+                        l,
+                        &p.symbols,
+                        spec,
+                        dep_max_distance,
+                        should_stop,
+                    )
                 };
                 match solved {
                     Ok(r) => {
@@ -748,6 +823,11 @@ impl Engine {
                             self.cache.insert(key, Arc::clone(&r));
                         }
                         r
+                    }
+                    Err(arrayflow_analyses::AnalyzeError::Stopped { passes }) => {
+                        stats.solver_passes += passes;
+                        error.get_or_insert(AnalysisError::Cancelled { passes });
+                        break;
                     }
                     Err(e) => {
                         error.get_or_insert_with(|| AnalysisError::Analysis(e.to_string()));
@@ -865,8 +945,24 @@ impl Engine {
         &self,
         program: &Program,
     ) -> Result<(u64, Arc<AnalysisReport>), AnalysisError> {
-        let session =
-            Session::open(program.clone()).map_err(|e| AnalysisError::Analysis(e.to_string()))?;
+        self.open_session_ctrl(program, None)
+    }
+
+    /// [`Engine::open_session`] with a cooperative stop check (see
+    /// [`Engine::analyze_with_ctrl`]): a cancelled open yields
+    /// [`AnalysisError::Cancelled`] before any session, cache entry or
+    /// memoization exists.
+    pub fn open_session_ctrl(
+        &self,
+        program: &Program,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> Result<(u64, Arc<AnalysisReport>), AnalysisError> {
+        let session = Session::open_ctrl(program.clone(), should_stop).map_err(|e| match e {
+            arrayflow_analyses::AnalyzeError::Stopped { passes } => {
+                AnalysisError::Cancelled { passes }
+            }
+            e => AnalysisError::Analysis(e.to_string()),
+        })?;
         let report = Arc::new(AnalysisReport::of_analysis(
             session.fingerprint(),
             session.analysis(),
@@ -892,11 +988,24 @@ impl Engine {
     /// they do batch solves (the reconstructed statistics respect the
     /// paper's pass bounds, so the histogram invariants hold).
     pub fn analyze_delta(&self, session: u64, edit: &Edit) -> Result<DeltaReport, AnalysisError> {
+        self.analyze_delta_ctrl(session, edit, None)
+    }
+
+    /// [`Engine::analyze_delta`] with a cooperative stop check (see
+    /// [`Engine::analyze_with_ctrl`]): a cancelled delta yields
+    /// [`AnalysisError::Cancelled`] and leaves the session byte-identical
+    /// to its pre-edit state — nothing is memoized, no delta is recorded.
+    pub fn analyze_delta_ctrl(
+        &self,
+        session: u64,
+        edit: &Edit,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> Result<DeltaReport, AnalysisError> {
         self.ins.delta_requests.inc();
         let dep_max_distance = self.config.dep_max_distance;
         let applied = catch_unwind(AssertUnwindSafe(|| {
             self.sessions.with_session(session, |s| {
-                s.apply(edit).map(|outcome| {
+                s.apply_ctrl(edit, should_stop).map(|outcome| {
                     let report = AnalysisReport::of_analysis(
                         s.fingerprint(),
                         s.analysis(),
@@ -922,7 +1031,12 @@ impl Engine {
                 "unknown or expired session {session}"
             )));
         };
-        let (outcome, report) = applied.map_err(|e| AnalysisError::Analysis(e.to_string()))?;
+        let (outcome, report) = applied.map_err(|e| match e {
+            arrayflow_incremental::DeltaError::Analyze(
+                arrayflow_analyses::AnalyzeError::Stopped { passes },
+            ) => AnalysisError::Cancelled { passes },
+            e => AnalysisError::Analysis(e.to_string()),
+        })?;
         self.sessions.record_delta(outcome.fallback);
         if outcome.fallback {
             self.ins.delta_fallbacks.inc();

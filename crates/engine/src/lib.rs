@@ -45,7 +45,7 @@ pub mod cache;
 pub mod engine;
 pub mod report;
 
-pub use arrayflow_core::{CustomSpec, Direction, Mode};
+pub use arrayflow_core::{CustomSpec, Direction, Mode, StopCheck};
 pub use cache::{
     fingerprint_route_hash, CacheCounters, CacheKey, EvictionPolicy, MemoCache, SecondTier,
 };

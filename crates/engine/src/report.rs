@@ -193,11 +193,25 @@ impl AnalysisReport {
         problems: ProblemSet,
         dep_max_distance: u64,
     ) -> Result<Self, AnalyzeError> {
+        Self::of_loop_ctrl(l, symbols, problems, dep_max_distance, None)
+    }
+
+    /// Like [`AnalysisReport::of_loop`], but polls `should_stop` between
+    /// solver passes and yields [`AnalyzeError::Stopped`] — with the
+    /// wasted pass count — instead of a report. With `None` the result is
+    /// identical to [`AnalysisReport::of_loop`].
+    pub fn of_loop_ctrl(
+        l: &Loop,
+        symbols: &SymbolTable,
+        problems: ProblemSet,
+        dep_max_distance: u64,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> Result<Self, AnalyzeError> {
         let fingerprint = arrayflow_ir::fingerprint_loop(l, symbols);
         // The full LoopAnalysis runs all four instances; distill only what
         // was asked for. The solver is cheap (≤ 3 passes per instance), so
         // a finer-grained lazy scheme is not worth the code.
-        let a = LoopAnalysis::of_loop(l, symbols)?;
+        let a = LoopAnalysis::of_loop_ctrl(l, symbols, should_stop)?;
         Ok(Self::of_analysis(
             fingerprint,
             &a,
@@ -263,8 +277,20 @@ impl AnalysisReport {
         spec: CustomSpec,
         dep_max_distance: u64,
     ) -> Result<Self, AnalyzeError> {
+        Self::of_custom_ctrl(l, symbols, spec, dep_max_distance, None)
+    }
+
+    /// [`AnalysisReport::of_custom`] with a cooperative stop check (see
+    /// [`AnalysisReport::of_loop_ctrl`]).
+    pub fn of_custom_ctrl(
+        l: &Loop,
+        symbols: &SymbolTable,
+        spec: CustomSpec,
+        dep_max_distance: u64,
+        should_stop: Option<arrayflow_core::StopCheck<'_>>,
+    ) -> Result<Self, AnalyzeError> {
         let fingerprint = arrayflow_ir::fingerprint_loop(l, symbols);
-        let a = CustomAnalysis::of_loop(l, symbols, spec)?;
+        let a = CustomAnalysis::of_loop_ctrl(l, symbols, spec, should_stop)?;
         let mut values = Vec::new();
         for (gen_id, gen_site) in a.instance.gens() {
             for node in 0..a.graph.len() {

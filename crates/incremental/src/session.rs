@@ -8,7 +8,8 @@ use arrayflow_analyses::sites::enumerate_sites;
 use arrayflow_analyses::spec::{build_spec, GK};
 use arrayflow_analyses::{AnalyzeError, LoopAnalysis};
 use arrayflow_core::{
-    solve_worklist, stats_from_profile, ColumnProfile, Direction, Mode, ProblemSpec, Solution,
+    solve_worklist_ctrl, stats_from_profile, ColumnProfile, Direction, Mode, ProblemSpec, Solution,
+    StopCheck,
 };
 use arrayflow_graph::build_loop_graph;
 use arrayflow_ir::{
@@ -94,8 +95,9 @@ pub struct Session {
     fallbacks: u64,
 }
 
-fn analyze_norm(
+fn analyze_norm_ctrl(
     norm: &Program,
+    should_stop: Option<StopCheck<'_>>,
 ) -> Result<(Fingerprint, LoopAnalysis, [ColumnProfile; 4]), AnalyzeError> {
     let l = norm.sole_loop().ok_or(AnalyzeError::NotASingleLoop)?;
     if !l.is_normalized() {
@@ -104,10 +106,21 @@ fn analyze_norm(
     let fingerprint = fingerprint_loop(l, &norm.symbols);
     let graph = build_loop_graph(l);
     let (sites, lin) = enumerate_sites(l, &graph, &norm.symbols);
-    let mut runs = INSTANCES
-        .iter()
-        .map(|&(gk, dir, mode)| Instance::run_profiled(&graph, &sites, gk, dir, mode))
-        .collect::<Vec<_>>();
+    let mut spent: u64 = 0;
+    let mut runs = Vec::with_capacity(INSTANCES.len());
+    for &(gk, dir, mode) in INSTANCES.iter() {
+        match Instance::run_profiled_ctrl(&graph, &sites, gk, dir, mode, should_stop) {
+            Ok((i, p)) => {
+                spent += i.sol.stats.passes as u64;
+                runs.push((i, p));
+            }
+            Err(s) => {
+                return Err(AnalyzeError::Stopped {
+                    passes: spent + s.passes_completed as u64,
+                })
+            }
+        }
+    }
     let (reaching_refs, p3) = runs.pop().expect("four instances");
     let (busy, p2) = runs.pop().expect("four instances");
     let (available, p1) = runs.pop().expect("four instances");
@@ -158,12 +171,23 @@ fn find_assign(block: &[Stmt], id: StmtId) -> Option<&Assign> {
 impl Session {
     /// Opens a session over a parsed program: normalizes, renumbers and
     /// runs the full analysis once.
-    pub fn open(mut program: Program) -> Result<Self, AnalyzeError> {
+    pub fn open(program: Program) -> Result<Self, AnalyzeError> {
+        Self::open_ctrl(program, None)
+    }
+
+    /// Like [`Session::open`], but polls `should_stop` between solver
+    /// passes and yields [`AnalyzeError::Stopped`] without constructing
+    /// the session — nothing is retained from a cancelled open. With
+    /// `None` the result is identical to [`Session::open`].
+    pub fn open_ctrl(
+        mut program: Program,
+        should_stop: Option<StopCheck<'_>>,
+    ) -> Result<Self, AnalyzeError> {
         program.renumber();
         let mut norm = program.clone();
         normalize(&mut norm);
         norm.renumber();
-        let (fingerprint, analysis, profiles) = analyze_norm(&norm)?;
+        let (fingerprint, analysis, profiles) = analyze_norm_ctrl(&norm, should_stop)?;
         Ok(Self {
             raw: program,
             norm,
@@ -208,6 +232,19 @@ impl Session {
     /// says whether the incremental path was taken and how much solver
     /// work it spent. On error the session is unchanged.
     pub fn apply(&mut self, edit: &Edit) -> Result<DeltaOutcome, DeltaError> {
+        self.apply_ctrl(edit, None)
+    }
+
+    /// Like [`Session::apply`], but polls `should_stop` between solver
+    /// passes. A stopped apply yields
+    /// [`AnalyzeError::Stopped`] (wrapped in [`DeltaError::Analyze`]) and
+    /// leaves the session byte-identical to its pre-edit state — exactly
+    /// like any other failed apply.
+    pub fn apply_ctrl(
+        &mut self,
+        edit: &Edit,
+        should_stop: Option<StopCheck<'_>>,
+    ) -> Result<DeltaOutcome, DeltaError> {
         // Capture what the edit replaces before touching anything.
         let old_node = self.analysis.graph.assign_node(edit.stmt);
         let old_assign = find_assign(&self.norm.body, edit.stmt).cloned();
@@ -223,13 +260,13 @@ impl Session {
             && old_assign.is_some()
             && norm.sole_loop().is_some_and(|l| l.is_normalized());
         if !fast {
-            return self.rebuild(raw, norm, shape);
+            return self.rebuild(raw, norm, shape, should_stop);
         }
         let en = old_node.expect("checked");
         let old_assign = old_assign.expect("checked");
         let new_assign = match find_assign(&norm.body, edit.stmt) {
             Some(a) => a.clone(),
-            None => return self.rebuild(raw, norm, shape),
+            None => return self.rebuild(raw, norm, shape, should_stop),
         };
         // A scalar assignment appearing or disappearing changes the scalar
         // environment that site classification depends on — for *every*
@@ -237,7 +274,7 @@ impl Session {
         if matches!(old_assign.lhs, LValue::Scalar(_))
             || matches!(new_assign.lhs, LValue::Scalar(_))
         {
-            return self.rebuild(raw, norm, shape);
+            return self.rebuild(raw, norm, shape, should_stop);
         }
 
         // ---- Fast path: patch the graph and re-solve dirty columns. ----
@@ -271,6 +308,7 @@ impl Session {
         let n = graph.len();
         let mut outcome = DeltaOutcome::default();
         let mut instances: Vec<(Instance, ColumnProfile)> = Vec::with_capacity(4);
+        let mut spent_passes: u64 = 0;
         for (k, &(gk, dir, mode)) in INSTANCES.iter().enumerate() {
             let built = build_spec(&sites, gk, dir, mode);
             let old = [
@@ -322,7 +360,12 @@ impl Session {
 
             // Re-converge the dirtied columns with the worklist solver and
             // splice the clean ones from the cached fixed point.
-            let run = solve_worklist(&graph, &narrow);
+            let run = solve_worklist_ctrl(&graph, &narrow, should_stop).map_err(|s| {
+                DeltaError::Analyze(AnalyzeError::Stopped {
+                    passes: spent_passes + s.passes_completed as u64,
+                })
+            })?;
+            spent_passes += run.stats.passes as u64;
             outcome.solver_visits += run.stats.init_visits + run.stats.iter_visits;
             let mut narrow_pos = vec![usize::MAX; m];
             for (pos, &col) in narrow_cols.iter().enumerate() {
@@ -400,8 +443,9 @@ impl Session {
         raw: Program,
         norm: Program,
         _shape: EditShape,
+        should_stop: Option<StopCheck<'_>>,
     ) -> Result<DeltaOutcome, DeltaError> {
-        let (fingerprint, analysis, profiles) = analyze_norm(&norm)?;
+        let (fingerprint, analysis, profiles) = analyze_norm_ctrl(&norm, should_stop)?;
         let mut outcome = DeltaOutcome {
             fallback: true,
             ..DeltaOutcome::default()

@@ -78,6 +78,14 @@ impl Trace {
         });
     }
 
+    /// Records a zero-duration marker at the current offset — a point
+    /// event rather than a phase (e.g. `shed` when a cancelled job is
+    /// dropped). Shows up in [`breakdown`](Self::breakdown) as
+    /// `name=0`, placing the event on the request's timeline.
+    pub fn mark(&self, name: &'static str) {
+        self.record(name, self.elapsed_us(), 0);
+    }
+
     /// A copy of the spans recorded so far, in recording order.
     pub fn spans(&self) -> Vec<Span> {
         self.spans.lock().unwrap().clone()

@@ -1,0 +1,103 @@
+//! Retry budgets: a token bucket capping total retry *volume* per window.
+//!
+//! Per-attempt exponential backoff ([`crate::Backoff`]) shapes when one
+//! caller retries; it does nothing about how *much* a fleet of callers
+//! retries in aggregate. Under overload that aggregate is the metastable
+//! amplifier: every timeout mints a retry, retries deepen the queues
+//! that caused the timeouts. A [`RetryBudget`] bounds the amplification
+//! factor — retries spend tokens, tokens refill at a fixed rate plus a
+//! small burst allowance, and when the bucket is dry the original error
+//! surfaces instead of another attempt.
+
+use std::time::Instant;
+
+/// A token bucket metering retries. Milli-token integer arithmetic keeps
+/// the type `Eq`-free of float drift and exactly testable.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Bucket capacity, in milli-tokens.
+    capacity_milli: u64,
+    /// Tokens currently in the bucket, in milli-tokens.
+    level_milli: u64,
+    /// Refill rate, in milli-tokens per second.
+    refill_milli_per_sec: u64,
+    /// Last refill time.
+    last: Instant,
+    /// Retries denied because the bucket was dry.
+    denied: u64,
+}
+
+impl RetryBudget {
+    /// A budget allowing `burst` back-to-back retries and a sustained
+    /// rate of `per_sec` retries per second thereafter. A `burst` of 0
+    /// disables retries outright.
+    pub fn new(burst: u32, per_sec: f64) -> Self {
+        let capacity_milli = burst as u64 * 1_000;
+        Self {
+            capacity_milli,
+            level_milli: capacity_milli,
+            refill_milli_per_sec: (per_sec.max(0.0) * 1_000.0) as u64,
+            last: Instant::now(),
+            denied: 0,
+        }
+    }
+
+    /// Takes one retry token if available. `false` means the budget is
+    /// exhausted and the caller should surface its error instead of
+    /// retrying.
+    pub fn try_acquire(&mut self) -> bool {
+        self.refill();
+        if self.level_milli >= 1_000 {
+            self.level_milli -= 1_000;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Retries denied so far because the bucket was dry.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    fn refill(&mut self) {
+        let now = Instant::now();
+        let elapsed_ms = now.duration_since(self.last).as_millis() as u64;
+        if elapsed_ms == 0 {
+            return;
+        }
+        self.last = now;
+        let add = self.refill_milli_per_sec.saturating_mul(elapsed_ms) / 1_000;
+        self.level_milli = (self.level_milli + add).min(self.capacity_milli);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_dry() {
+        let mut b = RetryBudget::new(3, 0.0);
+        assert!(b.try_acquire());
+        assert!(b.try_acquire());
+        assert!(b.try_acquire());
+        assert!(!b.try_acquire(), "burst of 3 must deny the 4th retry");
+        assert_eq!(b.denied(), 1);
+    }
+
+    #[test]
+    fn zero_burst_denies_everything() {
+        let mut b = RetryBudget::new(0, 0.0);
+        assert!(!b.try_acquire());
+    }
+
+    #[test]
+    fn refill_restores_tokens() {
+        let mut b = RetryBudget::new(1, 1000.0); // refills a token per ms
+        assert!(b.try_acquire());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(b.try_acquire(), "bucket should have refilled");
+    }
+}

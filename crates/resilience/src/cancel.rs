@@ -1,0 +1,52 @@
+//! Cooperative cancellation tokens.
+//!
+//! A [`CancelToken`] is the thinnest possible bridge between the layer
+//! that *learns* a request is dead (the event loop seeing `POLLHUP` on
+//! the owning connection) and the layer that is *spending* on it (a
+//! worker mid-solve): one shared atomic flag. The owner keeps a clone
+//! and flips it; every holder polls it at natural re-check points — job
+//! dequeue, and between solver passes via the `should_stop` seam in
+//! `arrayflow-core`. Cancellation is level-triggered and sticky: once
+//! cancelled, a token stays cancelled forever.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, sticky cancellation flag. Cloning is cheap (one `Arc`
+/// bump); all clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flips the flag. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+        // Sticky and idempotent.
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+}

@@ -23,15 +23,24 @@
 //!   request.
 //! * [`Backoff`] — capped exponential backoff with full jitter for
 //!   retrying clients.
+//! * [`RetryBudget`] — a token bucket capping total retry volume per
+//!   window, the aggregate complement of per-attempt backoff.
+//! * [`CancelToken`] — a shared sticky flag bridging the layer that
+//!   learns a request is dead (connection teardown) to the layer
+//!   spending on it (a worker mid-solve).
 //! * [`panic_message`] — extracts the human-readable payload of a caught
 //!   panic so `catch_unwind` sites can turn it into a typed error.
 
 pub mod backoff;
 pub mod breaker;
+pub mod budget;
+pub mod cancel;
 pub mod fault;
 
 pub use backoff::Backoff;
 pub use breaker::{BreakerState, CircuitBreaker, Transition};
+pub use budget::RetryBudget;
+pub use cancel::CancelToken;
 pub use fault::{FaultCounts, FaultPlan, FaultSurface};
 
 /// Extracts the human-readable message from a payload caught by

@@ -3,7 +3,7 @@
 //! ```text
 //! serve [--listen ADDR] [--stdio] [--io event|threads] [--proto auto|json]
 //!       [--workers N] [--engine-workers N]
-//!       [--queue N] [--timeout-ms N] [--max-frame BYTES]
+//!       [--queue N] [--timeout-ms N] [--idle-timeout-ms N] [--max-frame BYTES]
 //!       [--cache-capacity N] [--distance-bound N]
 //!       [--session-capacity N] [--session-ttl-ms N]
 //!       [--store DIR] [--store-segment-bytes N] [--store-queue N]
@@ -31,7 +31,13 @@
 //!
 //! Defaults: listen on 127.0.0.1:7433, one service worker and one engine
 //! worker per hardware thread, 256-deep queue, 5000 ms deadline, 1 MiB
-//! frames. With `--stdio` the protocol runs over stdin/stdout instead
+//! frames. On the event loop, `--idle-timeout-ms` (default 60000; 0
+//! disables) reaps connections that make no read progress and are owed
+//! nothing — the slow-loris guard. Clients may send a `deadline_ms`
+//! budget (JSON field or binary frame prefix); the effective deadline is
+//! the smaller of that budget and `--timeout-ms`, and expired or
+//! abandoned jobs are shed mid-analysis instead of running to
+//! completion. With `--stdio` the protocol runs over stdin/stdout instead
 //! (one request per line; diagnostics go to stderr). With `--store DIR`
 //! reports persist to a crash-safe segment log in `DIR`: the cache is
 //! warm-started from it on boot and fresh results are appended
@@ -126,6 +132,10 @@ fn parse_args() -> Result<Args, String> {
             "--timeout-ms" => {
                 args.config.request_timeout = Duration::from_millis(parse(&value("--timeout-ms")?)?)
             }
+            "--idle-timeout-ms" => {
+                args.config.idle_timeout =
+                    Duration::from_millis(parse(&value("--idle-timeout-ms")?)?)
+            }
             "--max-frame" => args.config.max_frame_bytes = parse(&value("--max-frame")?)?,
             "--cache-capacity" => {
                 args.config.engine.cache_capacity = parse(&value("--cache-capacity")?)?
@@ -188,7 +198,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "serve [--listen ADDR] [--stdio] [--io event|threads] [--proto auto|json] \
                      [--workers N] [--engine-workers N] \
-                     [--queue N] [--timeout-ms N] [--max-frame BYTES] [--cache-capacity N] \
+                     [--queue N] [--timeout-ms N] [--idle-timeout-ms N] [--max-frame BYTES] \
+                     [--cache-capacity N] \
                      [--distance-bound N] [--session-capacity N] [--session-ttl-ms N] \
                      [--store DIR] [--store-segment-bytes N] \
                      [--store-queue N] [--store-breaker-threshold N] \

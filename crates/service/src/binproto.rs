@@ -15,10 +15,12 @@ use std::time::Instant;
 use arrayflow_engine::{CustomSpec, ProblemSet};
 use arrayflow_ir::{Edit, Fingerprint, StmtId};
 use arrayflow_obs::{observed_span, Trace};
+use arrayflow_resilience::CancelToken;
 use arrayflow_store::codec::encode_report;
 use arrayflow_wire::encode_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, LoopEntry, Request, Response, SessionOk,
+    strip_deadline, AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, LoopEntry, Request,
+    Response, SessionOk,
 };
 
 use crate::proto::{ErrorKind, ServiceError};
@@ -43,6 +45,7 @@ pub fn kind_byte(kind: ErrorKind) -> u8 {
         ErrorKind::Overloaded => 3,
         ErrorKind::Protocol => 4,
         ErrorKind::SessionLost => 5,
+        ErrorKind::Cancelled => 6,
     }
 }
 
@@ -55,6 +58,7 @@ pub fn kind_from_byte(b: u8) -> Option<ErrorKind> {
         3 => ErrorKind::Overloaded,
         4 => ErrorKind::Protocol,
         5 => ErrorKind::SessionLost,
+        6 => ErrorKind::Cancelled,
         _ => return None,
     })
 }
@@ -82,8 +86,35 @@ impl Service {
         payload: &[u8],
         respond: Box<dyn FnOnce(BinaryResponse) + Send>,
     ) {
+        self.handle_binary_frame_async_ctrl(tag, payload, CancelToken::new(), respond)
+    }
+
+    /// [`Service::handle_binary_frame_async`] with a caller-owned
+    /// [`CancelToken`] — the event server hands each frame its
+    /// connection's token so a teardown cancels the connection's queued
+    /// and in-flight work.
+    pub fn handle_binary_frame_async_ctrl(
+        self: &Arc<Self>,
+        tag: u8,
+        payload: &[u8],
+        cancel: CancelToken,
+        respond: Box<dyn FnOnce(BinaryResponse) + Send>,
+    ) {
         let accepted = Instant::now();
         let trace = self.begin_trace();
+        // The deadline prefix is framing, not request content: strip it
+        // before the request decoder sees the payload. A frame whose
+        // prefix fails to decode is hostile by definition.
+        let (tag, budget_ms, offset) = match strip_deadline(tag, payload) {
+            Ok(parts) => parts,
+            Err(e) => {
+                let resp =
+                    err_response(0, ErrorKind::Protocol, format!("bad deadline prefix: {e}"));
+                respond(self.finish_binary(&trace, accepted, resp, false));
+                return;
+            }
+        };
+        let payload = &payload[offset..];
         let decoded = {
             let _span = observed_span("decode", &self.ins().phase_decode);
             Request::decode(tag, payload)
@@ -157,9 +188,15 @@ impl Service {
                 };
                 respond(self.finish_binary(&trace, accepted, resp, true));
             }
-            Request::Analyze(a) => self.analyze_binary(a, accepted, trace, respond),
-            Request::Custom(c) => self.custom_binary(c, accepted, trace, respond),
-            Request::Open { id, source } => self.open_binary(id, source, accepted, trace, respond),
+            Request::Analyze(a) => {
+                self.analyze_binary(a, budget_ms, cancel, accepted, trace, respond)
+            }
+            Request::Custom(c) => {
+                self.custom_binary(c, budget_ms, cancel, accepted, trace, respond)
+            }
+            Request::Open { id, source } => {
+                self.open_binary(id, source, budget_ms, cancel, accepted, trace, respond)
+            }
             // The carried fingerprint is the router's shard key; the node
             // itself resolves the session by id alone.
             Request::Delta {
@@ -168,16 +205,21 @@ impl Service {
                 fingerprint: _,
                 stmt,
                 text,
-            } => self.delta_binary(id, session, stmt, text, accepted, trace, respond),
+            } => self.delta_binary(
+                id, session, stmt, text, budget_ms, cancel, accepted, trace, respond,
+            ),
         }
     }
 
     /// An `open` frame: UTF-8-check the source, then run the full
     /// analysis + session retention through the worker queue.
+    #[allow(clippy::too_many_arguments)]
     fn open_binary(
         self: &Arc<Self>,
         id: u64,
         source: Vec<u8>,
+        budget_ms: Option<u64>,
+        cancel: CancelToken,
         accepted: Instant,
         trace: Arc<Trace>,
         respond: Box<dyn FnOnce(BinaryResponse) + Send>,
@@ -190,11 +232,14 @@ impl Service {
                 return;
             }
         };
+        let deadline = self.effective_deadline(budget_ms);
         let svc = Arc::clone(self);
         let trace_done = Arc::clone(&trace);
         self.submit_async(
             Work::Open { program: source },
             accepted,
+            deadline,
+            cancel,
             trace,
             Box::new(move |outcome| {
                 let resp = match outcome {
@@ -221,6 +266,8 @@ impl Service {
         session: u64,
         stmt: u64,
         text: Vec<u8>,
+        budget_ms: Option<u64>,
+        cancel: CancelToken,
         accepted: Instant,
         trace: Arc<Trace>,
         respond: Box<dyn FnOnce(BinaryResponse) + Send>,
@@ -239,11 +286,14 @@ impl Service {
             stmt: StmtId(u32::try_from(stmt).unwrap_or(u32::MAX)),
             text,
         };
+        let deadline = self.effective_deadline(budget_ms);
         let svc = Arc::clone(self);
         let trace_done = Arc::clone(&trace);
         self.submit_async(
             Work::Delta { session, edit },
             accepted,
+            deadline,
+            cancel,
             trace,
             Box::new(move |outcome| {
                 let resp = match outcome {
@@ -267,11 +317,14 @@ impl Service {
     fn analyze_binary(
         self: &Arc<Self>,
         req: AnalyzeRequest,
+        budget_ms: Option<u64>,
+        cancel: CancelToken,
         accepted: Instant,
         trace: Arc<Trace>,
         respond: Box<dyn FnOnce(BinaryResponse) + Send>,
     ) {
         let id = req.id;
+        let deadline = self.effective_deadline(budget_ms);
         let problems = match req.problems {
             None => self.config().engine.problems,
             Some(bits) => match ProblemSet::from_bits(bits) {
@@ -345,6 +398,8 @@ impl Service {
                 distance_bound,
             },
             accepted,
+            deadline,
+            cancel,
             trace,
             Box::new(move |outcome| {
                 let resp = match outcome {
@@ -379,11 +434,14 @@ impl Service {
     fn custom_binary(
         self: &Arc<Self>,
         req: CustomRequest,
+        budget_ms: Option<u64>,
+        cancel: CancelToken,
         accepted: Instant,
         trace: Arc<Trace>,
         respond: Box<dyn FnOnce(BinaryResponse) + Send>,
     ) {
         let id = req.id;
+        let deadline = self.effective_deadline(budget_ms);
         let Some(spec) = CustomSpec::from_bits(req.spec) else {
             let resp = err_response(
                 id,
@@ -462,6 +520,8 @@ impl Service {
                 distance_bound,
             },
             accepted,
+            deadline,
+            cancel,
             trace,
             Box::new(move |outcome| {
                 let resp = match outcome {
@@ -497,18 +557,22 @@ impl Service {
         resp: Response,
         is_shutdown: bool,
     ) -> BinaryResponse {
-        let outcome_name = match &resp {
+        let (outcome_name, cancelled) = match &resp {
             Response::Err { kind, .. } => {
                 let kind = kind_from_byte(*kind).unwrap_or(ErrorKind::Protocol);
                 self.counter_for(kind).inc();
-                kind.as_str()
+                (kind.as_str(), kind == ErrorKind::Cancelled)
             }
             _ => {
                 self.ins().ok.inc();
-                "ok"
+                ("ok", false)
             }
         };
-        self.observe_request(trace, accepted, outcome_name);
+        // Same accounting as the JSON path: cancelled work keeps its own
+        // counters and never skews `requests` or the latency histogram.
+        if !cancelled {
+            self.observe_request(trace, accepted, outcome_name);
+        }
         BinaryResponse {
             frame: frame_of(&resp),
             shutdown: is_shutdown && !matches!(resp, Response::Err { .. }),
@@ -918,6 +982,7 @@ mod tests {
             ErrorKind::Overloaded,
             ErrorKind::Protocol,
             ErrorKind::SessionLost,
+            ErrorKind::Cancelled,
         ] {
             assert_eq!(kind_from_byte(kind_byte(kind)), Some(kind));
         }

@@ -44,13 +44,13 @@
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use arrayflow_engine::{CustomSpec, Direction, Mode};
-use arrayflow_resilience::Backoff;
+use arrayflow_resilience::{Backoff, RetryBudget};
 use arrayflow_wire::frame::read_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, Request as WireRequest,
+    with_deadline, AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, Request as WireRequest,
     Response as WireResponse, SessionOk,
 };
 
@@ -79,6 +79,21 @@ pub struct ClientConfig {
     /// Seed for the jitter stream; `None` seeds from the clock. Fix it
     /// for reproducible retry timing in tests.
     pub backoff_seed: Option<u64>,
+    /// Overall per-request deadline budget. Sent to the server as
+    /// `deadline_ms` (JSON) or a deadline frame prefix (binary) so it can
+    /// shed the work when the budget runs out, and bounding the whole
+    /// retry envelope client-side: each attempt's socket timeout is the
+    /// *remaining* budget (never more than `request_timeout`), and no
+    /// attempt starts once the budget is spent. `None` keeps the
+    /// per-attempt `request_timeout` as the only deadline.
+    pub deadline: Option<Duration>,
+    /// Retry token bucket: back-to-back retries allowed before the
+    /// sustained rate applies. Retries across *all* requests spend from
+    /// one bucket, so a fleet-wide overload cannot be amplified by
+    /// unbounded resends. 0 disables retries outright.
+    pub retry_burst: u32,
+    /// Retry token bucket: sustained refill rate, retries per second.
+    pub retry_per_sec: f64,
 }
 
 impl Default for ClientConfig {
@@ -90,6 +105,9 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(20),
             backoff_cap: Duration::from_secs(2),
             backoff_seed: None,
+            deadline: None,
+            retry_burst: 16,
+            retry_per_sec: 4.0,
         }
     }
 }
@@ -111,6 +129,15 @@ pub enum ClientError {
     },
     /// The server's response line was not a valid protocol frame.
     Protocol(String),
+    /// The configured [`ClientConfig::deadline`] budget was spent before
+    /// another attempt could start. The last transport or service error
+    /// (if any attempt ran) is folded into the message.
+    DeadlineExhausted {
+        /// The configured overall budget.
+        budget: Duration,
+        /// What the final attempt (if any) failed with.
+        last_error: Option<Box<ClientError>>,
+    },
 }
 
 impl ClientError {
@@ -121,6 +148,7 @@ impl ClientError {
             ClientError::Io(_) => true,
             ClientError::Service { kind, .. } => *kind == Some(ErrorKind::Overloaded),
             ClientError::Protocol(_) => false,
+            ClientError::DeadlineExhausted { .. } => false,
         }
     }
 
@@ -150,6 +178,13 @@ impl fmt::Display for ClientError {
                 None => write!(f, "service: {message}"),
             },
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::DeadlineExhausted { budget, last_error } => {
+                write!(f, "deadline budget of {} ms exhausted", budget.as_millis())?;
+                if let Some(e) = last_error {
+                    write!(f, " (last attempt: {e})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -219,6 +254,10 @@ pub struct Client {
     connects: u64,
     retries: u64,
     failovers: u64,
+    /// One bucket across every request this client makes: retries spend
+    /// tokens; a dry bucket surfaces the original error instead of
+    /// amplifying an overload with resends.
+    retry_budget: RetryBudget,
 }
 
 impl Client {
@@ -242,6 +281,7 @@ impl Client {
     {
         let addrs: Vec<String> = addrs.into_iter().map(Into::into).collect();
         assert!(!addrs.is_empty(), "Client needs at least one address");
+        let retry_budget = RetryBudget::new(config.retry_burst, config.retry_per_sec);
         Client {
             addrs,
             active: 0,
@@ -251,6 +291,7 @@ impl Client {
             connects: 0,
             retries: 0,
             failovers: 0,
+            retry_budget,
         }
     }
 
@@ -279,6 +320,12 @@ impl Client {
         self.failovers
     }
 
+    /// Retries the token bucket denied; each surfaced the underlying
+    /// error instead of resending.
+    pub fn retries_denied(&self) -> u64 {
+        self.retry_budget.denied()
+    }
+
     /// The address requests currently dial.
     pub fn active_addr(&self) -> &str {
         &self.addrs[self.active]
@@ -288,12 +335,23 @@ impl Client {
     /// response line (reports, per-request cache stats). Idempotent, so
     /// transport failures and `overloaded` responses are retried.
     pub fn analyze(&mut self, program: &str) -> Result<String, ClientError> {
-        let frame = Json::Obj(vec![
-            ("id".into(), Json::Num(self.fresh_id() as f64)),
+        let id = self.fresh_id();
+        let frame = self.encode_request(vec![
+            ("id".into(), Json::Num(id as f64)),
             ("verb".into(), Json::Str("analyze".into())),
             ("program".into(), Json::Str(program.into())),
         ]);
-        self.request(&frame.to_string())
+        self.request(&frame)
+    }
+
+    /// Encodes a JSON request, appending the configured deadline budget
+    /// as `deadline_ms` so the server (and any router on the path) can
+    /// shed the work once the budget runs out.
+    fn encode_request(&self, mut fields: Vec<(String, Json)>) -> String {
+        if let Some(budget) = self.config.deadline {
+            fields.push(("deadline_ms".into(), Json::Num(budget.as_millis() as f64)));
+        }
+        Json::Obj(fields).to_string()
     }
 
     /// Solves a user-specified (G, K) problem over `program`; on success
@@ -302,13 +360,14 @@ impl Client {
     /// values in a `custom` section. Idempotent, so transport failures
     /// and `overloaded` responses are retried.
     pub fn custom(&mut self, program: &str, spec: CustomSpec) -> Result<String, ClientError> {
-        let frame = Json::Obj(vec![
-            ("id".into(), Json::Num(self.fresh_id() as f64)),
+        let id = self.fresh_id();
+        let frame = self.encode_request(vec![
+            ("id".into(), Json::Num(id as f64)),
             ("verb".into(), Json::Str("custom".into())),
             ("program".into(), Json::Str(program.into())),
             ("spec".into(), spec_to_json(spec)),
         ]);
-        self.request(&frame.to_string())
+        self.request(&frame)
     }
 
     /// Opens an incremental analysis session over `program`: the server
@@ -317,12 +376,13 @@ impl Client {
     /// (a retried open may leave an extra session behind; the server's
     /// TTL/capacity bounds reclaim it).
     pub fn open_session(&mut self, program: &str) -> Result<OpenedSession, ClientError> {
-        let frame = Json::Obj(vec![
-            ("id".into(), Json::Num(self.fresh_id() as f64)),
+        let id = self.fresh_id();
+        let frame = self.encode_request(vec![
+            ("id".into(), Json::Num(id as f64)),
             ("verb".into(), Json::Str("open".into())),
             ("program".into(), Json::Str(program.into())),
         ]);
-        let line = self.request(&frame.to_string())?;
+        let line = self.request(&frame)?;
         let json = Json::parse(line.as_bytes())
             .map_err(|e| ClientError::Protocol(format!("unparseable open result: {e}")))?;
         let result = json.get("result");
@@ -354,15 +414,16 @@ impl Client {
         stmt: u64,
         text: &str,
     ) -> Result<String, ClientError> {
-        let frame = Json::Obj(vec![
-            ("id".into(), Json::Num(self.fresh_id() as f64)),
+        let id = self.fresh_id();
+        let frame = self.encode_request(vec![
+            ("id".into(), Json::Num(id as f64)),
             ("verb".into(), Json::Str("delta".into())),
             ("session".into(), Json::Num(session as f64)),
             ("fingerprint".into(), Json::Str(fingerprint.into())),
             ("stmt".into(), Json::Num(stmt as f64)),
             ("text".into(), Json::Str(text.into())),
         ]);
-        self.request(&frame.to_string())
+        self.request(&frame)
     }
 
     /// `ping` round trip; proves liveness end to end.
@@ -400,27 +461,59 @@ impl Client {
     /// response line. Only send idempotent requests through this —
     /// ambiguous transport failures are resent.
     pub fn request(&mut self, frame: &str) -> Result<String, ClientError> {
-        let mut backoff = match self.config.backoff_seed {
-            // Vary the stream per request so concurrent clients with the
-            // same seed do not thunder in lockstep.
+        let mut backoff = self.fresh_backoff();
+        let started = Instant::now();
+        let mut last: Option<ClientError> = None;
+        loop {
+            let timeout = self.attempt_timeout(started, &mut last)?;
+            let err = match self.attempt(frame, timeout) {
+                Ok(line) => return Ok(line),
+                Err(e) => e,
+            };
+            if !err.is_retryable()
+                || backoff.attempt() >= self.config.max_retries
+                || !self.retry_budget.try_acquire()
+            {
+                return Err(err);
+            }
+            self.retries += 1;
+            last = Some(err);
+            std::thread::sleep(backoff.next_delay());
+        }
+    }
+
+    /// A fresh jitter stream, varied per request so concurrent clients
+    /// with the same seed do not thunder in lockstep.
+    fn fresh_backoff(&self) -> Backoff {
+        match self.config.backoff_seed {
             Some(seed) => Backoff::with_seed(
                 self.config.backoff_base,
                 self.config.backoff_cap,
                 seed.wrapping_add(self.next_id),
             ),
             None => Backoff::new(self.config.backoff_base, self.config.backoff_cap),
-        };
-        loop {
-            let err = match self.attempt(frame) {
-                Ok(line) => return Ok(line),
-                Err(e) => e,
-            };
-            if !err.is_retryable() || backoff.attempt() >= self.config.max_retries {
-                return Err(err);
-            }
-            self.retries += 1;
-            std::thread::sleep(backoff.next_delay());
         }
+    }
+
+    /// The next attempt's socket deadline: the remaining overall budget,
+    /// never more than `request_timeout`. `Err` when the budget is spent
+    /// before the attempt could start.
+    fn attempt_timeout(
+        &self,
+        started: Instant,
+        last: &mut Option<ClientError>,
+    ) -> Result<Duration, ClientError> {
+        let Some(budget) = self.config.deadline else {
+            return Ok(self.config.request_timeout);
+        };
+        let remaining = budget.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            return Err(ClientError::DeadlineExhausted {
+                budget,
+                last_error: last.take().map(Box::new),
+            });
+        }
+        Ok(remaining.min(self.config.request_timeout))
     }
 
     /// Analyzes one DSL program over the binary protocol, returning the
@@ -586,30 +679,46 @@ impl Client {
     /// backoff retries for `Io` and `overloaded` outcomes. The connection
     /// is (re)dialed in binary mode if it was speaking JSON.
     pub fn request_binary(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
-        let frame = arrayflow_wire::encode_frame(req.tag(), &req.encode_payload());
-        let mut backoff = match self.config.backoff_seed {
-            Some(seed) => Backoff::with_seed(
-                self.config.backoff_base,
-                self.config.backoff_cap,
-                seed.wrapping_add(self.next_id),
-            ),
-            None => Backoff::new(self.config.backoff_base, self.config.backoff_cap),
-        };
+        let (tag, payload) = (req.tag(), req.encode_payload());
+        let mut backoff = self.fresh_backoff();
+        let started = Instant::now();
+        let mut last: Option<ClientError> = None;
         loop {
-            let err = match self.attempt_binary(&frame) {
+            let timeout = self.attempt_timeout(started, &mut last)?;
+            // With a budget configured, each attempt carries the
+            // *remaining* milliseconds as its deadline prefix, so the
+            // server sheds the job right when the client stops waiting.
+            let frame = match self.config.deadline {
+                Some(budget) => {
+                    let remaining = budget.saturating_sub(started.elapsed());
+                    let (dtag, dpayload) =
+                        with_deadline(tag, &payload, remaining.as_millis() as u64);
+                    arrayflow_wire::encode_frame(dtag, &dpayload)
+                }
+                None => arrayflow_wire::encode_frame(tag, &payload),
+            };
+            let err = match self.attempt_binary(&frame, timeout) {
                 Ok(resp) => return Ok(resp),
                 Err(e) => e,
             };
-            if !err.is_retryable() || backoff.attempt() >= self.config.max_retries {
+            if !err.is_retryable()
+                || backoff.attempt() >= self.config.max_retries
+                || !self.retry_budget.try_acquire()
+            {
                 return Err(err);
             }
             self.retries += 1;
+            last = Some(err);
             std::thread::sleep(backoff.next_delay());
         }
     }
 
-    fn attempt_binary(&mut self, frame: &[u8]) -> Result<WireResponse, ClientError> {
-        let (tag, payload) = match self.send_recv_binary(frame) {
+    fn attempt_binary(
+        &mut self,
+        frame: &[u8],
+        timeout: Duration,
+    ) -> Result<WireResponse, ClientError> {
+        let (tag, payload) = match self.send_recv_binary(frame, timeout) {
             Ok(f) => f,
             Err(e) => {
                 self.transport_failure();
@@ -634,8 +743,12 @@ impl Client {
         }
     }
 
-    fn send_recv_binary(&mut self, frame: &[u8]) -> io::Result<(u8, Vec<u8>)> {
+    fn send_recv_binary(&mut self, frame: &[u8], timeout: Duration) -> io::Result<(u8, Vec<u8>)> {
         let conn = self.ensure_conn(ConnMode::Binary)?;
+        // Socket options live on the shared file description, so setting
+        // them on the write half also bounds the buffered reader's reads.
+        conn.writer.set_read_timeout(Some(timeout))?;
+        conn.writer.set_write_timeout(Some(timeout))?;
         conn.writer.write_all(frame)?;
         conn.writer.flush()?;
         read_frame(&mut conn.reader, MAX_RESPONSE_FRAME)
@@ -643,8 +756,8 @@ impl Client {
 
     /// One attempt: ensure a connection, write the frame, read and
     /// classify the response line.
-    fn attempt(&mut self, frame: &str) -> Result<String, ClientError> {
-        let line = match self.send_recv(frame) {
+    fn attempt(&mut self, frame: &str, timeout: Duration) -> Result<String, ClientError> {
+        let line = match self.send_recv(frame, timeout) {
             Ok(line) => line,
             Err(e) => {
                 // The socket is in an unknown state (a late response
@@ -669,8 +782,10 @@ impl Client {
         }
     }
 
-    fn send_recv(&mut self, frame: &str) -> io::Result<String> {
+    fn send_recv(&mut self, frame: &str, timeout: Duration) -> io::Result<String> {
         let conn = self.ensure_conn(ConnMode::Json)?;
+        conn.writer.set_read_timeout(Some(timeout))?;
+        conn.writer.set_write_timeout(Some(timeout))?;
         conn.writer.write_all(frame.as_bytes())?;
         conn.writer.write_all(b"\n")?;
         conn.writer.flush()?;
@@ -806,6 +921,7 @@ mod tests {
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(10),
             backoff_seed: Some(7),
+            ..ClientConfig::default()
         }
     }
 
@@ -1046,6 +1162,54 @@ mod tests {
             }
             other => panic!("expected a Service error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_budget_caps_resends_below_max_retries() {
+        // Nothing listens on port 1, so every attempt is a transport
+        // failure. With a burst of 1 and no refill the envelope spends
+        // exactly one retry before surfacing the error — max_retries
+        // alone would have allowed four.
+        let mut config = cfg();
+        config.connect_timeout = Duration::from_millis(100);
+        config.retry_burst = 1;
+        config.retry_per_sec = 0.0;
+        let mut client = Client::new("127.0.0.1:1", config);
+        let err = client.ping().expect_err("nothing listens there");
+        assert!(matches!(err, ClientError::Io(_)), "{err:?}");
+        assert_eq!(client.retries(), 1, "{client:?}");
+        assert!(client.retries_denied() >= 1, "{client:?}");
+    }
+
+    #[test]
+    fn spent_deadline_budget_fails_fast_without_an_attempt() {
+        let mut config = cfg();
+        config.deadline = Some(Duration::ZERO);
+        let mut client = Client::new("127.0.0.1:1", config);
+        let err = client.ping().expect_err("budget already spent");
+        assert!(
+            matches!(err, ClientError::DeadlineExhausted { .. }),
+            "{err:?}"
+        );
+        assert!(!err.is_retryable());
+        assert_eq!(client.retries(), 0, "{client:?}");
+        assert_eq!(client.connects(), 0, "no attempt may dial: {client:?}");
+    }
+
+    #[test]
+    fn configured_deadline_rides_on_json_requests() {
+        let mut config = cfg();
+        config.deadline = Some(Duration::from_millis(250));
+        let client = Client::new("127.0.0.1:1", config);
+        let frame = client.encode_request(vec![
+            ("id".into(), Json::Num(1.0)),
+            ("verb".into(), Json::Str("analyze".into())),
+        ]);
+        assert!(frame.contains(r#""deadline_ms":250"#), "{frame}");
+
+        let bare = Client::new("127.0.0.1:1", cfg());
+        let frame = bare.encode_request(vec![("id".into(), Json::Num(1.0))]);
+        assert!(!frame.contains("deadline_ms"), "{frame}");
     }
 
     #[test]

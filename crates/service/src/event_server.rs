@@ -39,8 +39,9 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use arrayflow_resilience::CancelToken;
 use arrayflow_wire::event::{set_backlog, wake_pair, Poller, Waker, POLLIN, POLLOUT};
 use arrayflow_wire::{detect, Detect, FrameDecoder, FrameEvent};
 
@@ -150,6 +151,11 @@ struct Conn {
     paused: bool,
     /// Interest bits currently registered with the poller.
     interest: i16,
+    /// Shared with every job this connection submitted; cancelled when
+    /// the connection is reaped so workers shed its dead work.
+    cancel: CancelToken,
+    /// Last read progress or response delivery, for the idle sweep.
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -164,6 +170,8 @@ impl Conn {
             closing: false,
             paused: false,
             interest: POLLIN,
+            cancel: CancelToken::new(),
+            last_activity: Instant::now(),
         }
     }
 
@@ -324,6 +332,7 @@ impl EventServer {
                     continue;
                 };
                 conn.ready.insert(c.seq, c.bytes);
+                conn.last_activity = Instant::now();
                 if c.shutdown {
                     conn.closing = true;
                 }
@@ -335,6 +344,23 @@ impl EventServer {
                     dead.push(c.conn);
                 } else {
                     touched.push(c.conn);
+                }
+            }
+
+            // Slow-loris guard: a connection that made no read progress for
+            // the idle timeout and is owed nothing (no in-flight response,
+            // nothing buffered) is reaped — half-open peers and half-frame
+            // writers can no longer pin a slot forever. ZERO disables it.
+            let idle_timeout = self.service.config().idle_timeout;
+            if !idle_timeout.is_zero() {
+                for (&id, conn) in conns.iter() {
+                    if !conn.closing
+                        && conn.flushed()
+                        && conn.last_activity.elapsed() >= idle_timeout
+                    {
+                        self.service.ins().idle_disconnects.inc();
+                        dead.push(id);
+                    }
                 }
             }
 
@@ -374,6 +400,10 @@ impl EventServer {
             }
             for &id in dead.iter() {
                 if let Some(conn) = conns.remove(&id) {
+                    // Nobody is left to read the answers: flag every job
+                    // this connection submitted so workers shed them
+                    // instead of burning solver passes on dead work.
+                    conn.cancel.cancel();
                     let fd = conn.stream.as_raw_fd();
                     poller.deregister(fd);
                     by_fd.remove(&fd);
@@ -408,6 +438,7 @@ fn read_conn(
                 return false;
             }
             Ok(n) => {
+                conn.last_activity = Instant::now();
                 feed_bytes(conn, id, &buf[..n], service, completions, waker, mode);
                 if conn.closing || conn.out.len() >= WRITE_HIGH_WATER {
                     return false;
@@ -472,8 +503,9 @@ fn feed_decided(
                     }
                     JsonEvent::Line(line) => {
                         let (completions, waker) = (Arc::clone(completions), waker.clone());
-                        service.handle_frame_async(
+                        service.handle_frame_async_ctrl(
                             &line,
+                            conn.cancel.clone(),
                             Box::new(move |resp| {
                                 let mut bytes = resp.line.into_bytes();
                                 bytes.push(b'\n');
@@ -506,9 +538,10 @@ fn feed_decided(
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
                         let (completions, waker) = (Arc::clone(completions), waker.clone());
-                        service.handle_binary_frame_async(
+                        service.handle_binary_frame_async_ctrl(
                             tag,
                             &payload,
+                            conn.cancel.clone(),
                             Box::new(move |resp| {
                                 push_completion(
                                     &completions,

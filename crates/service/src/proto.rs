@@ -86,7 +86,7 @@ impl Verb {
     }
 }
 
-/// The six failure classes a response can carry. Everything the server
+/// The failure classes a response can carry. Everything the server
 /// can get wrong maps onto exactly one of these, so clients can switch on
 /// `error.kind` without string-matching messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +110,11 @@ pub enum ErrorKind {
     /// down. Unlike a plain `analysis` error, this one is retryable at the
     /// protocol level: re-`open` the program and replay the edits.
     SessionLost,
+    /// The request was abandoned before its work completed: either the
+    /// owning connection dropped (nobody is waiting for the answer) or
+    /// the client's deadline budget expired mid-analysis. Not retryable —
+    /// a fresh request with a fresh budget is the only sensible follow-up.
+    Cancelled,
 }
 
 impl ErrorKind {
@@ -122,6 +127,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Protocol => "protocol",
             ErrorKind::SessionLost => "session_lost",
+            ErrorKind::Cancelled => "cancelled",
         }
     }
 
@@ -136,6 +142,7 @@ impl ErrorKind {
             "overloaded" => Some(ErrorKind::Overloaded),
             "protocol" => Some(ErrorKind::Protocol),
             "session_lost" => Some(ErrorKind::SessionLost),
+            "cancelled" => Some(ErrorKind::Cancelled),
             _ => None,
         }
     }
@@ -201,6 +208,12 @@ pub struct Request {
     pub stmt: Option<u64>,
     /// Replacement statement source (required for `delta`).
     pub text: Option<String>,
+    /// Client deadline budget in milliseconds, optional on any verb and
+    /// ignored by servers predating it (unknown JSON fields are skipped).
+    /// Clamped at decode to [`arrayflow_wire::proto::MAX_DEADLINE_MS`];
+    /// the server then enforces `min(budget, its own cap)`. Zero means
+    /// "already expired" — the request is shed before any work.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -306,6 +319,8 @@ impl Request {
         };
         let session = uint_field("session")?;
         let stmt = uint_field("stmt")?;
+        let deadline_ms =
+            uint_field("deadline_ms")?.map(|ms| ms.min(arrayflow_wire::proto::MAX_DEADLINE_MS));
         let text = match v.get("text") {
             None | Some(Json::Null) => None,
             Some(Json::Str(s)) => Some(s.clone()),
@@ -343,6 +358,7 @@ impl Request {
             fingerprint,
             stmt,
             text,
+            deadline_ms,
         })
     }
 }
@@ -688,6 +704,46 @@ mod tests {
         );
         let e = err(frame.as_bytes());
         assert!(e.message.contains("at most"), "{}", e.message);
+    }
+
+    #[test]
+    fn decodes_and_clamps_deadline_ms() {
+        let r =
+            Request::decode(br#"{"verb": "analyze", "program": "x := 1;", "deadline_ms": 250}"#)
+                .unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+
+        // Absent or null: no budget.
+        let r = Request::decode(br#"{"verb": "ping"}"#).unwrap();
+        assert_eq!(r.deadline_ms, None);
+        let r = Request::decode(br#"{"verb": "ping", "deadline_ms": null}"#).unwrap();
+        assert_eq!(r.deadline_ms, None);
+
+        // Zero is preserved (already expired), absurd values are clamped.
+        let r = Request::decode(br#"{"verb": "ping", "deadline_ms": 0}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(0));
+        let r = Request::decode(br#"{"verb": "ping", "deadline_ms": 99999999999999}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(arrayflow_wire::proto::MAX_DEADLINE_MS));
+
+        // Mistyped budgets are protocol errors, not panics.
+        for frame in [
+            br#"{"verb": "ping", "deadline_ms": -5}"#.as_slice(),
+            br#"{"verb": "ping", "deadline_ms": 1.5}"#.as_slice(),
+            br#"{"verb": "ping", "deadline_ms": "soon"}"#.as_slice(),
+        ] {
+            let (_, e) = Request::decode(frame).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Protocol);
+            assert!(e.message.contains("deadline_ms"), "{}", e.message);
+        }
+    }
+
+    #[test]
+    fn cancelled_round_trips_on_the_wire() {
+        assert_eq!(ErrorKind::Cancelled.as_str(), "cancelled");
+        assert_eq!(
+            ErrorKind::from_wire("cancelled"),
+            Some(ErrorKind::Cancelled)
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use arrayflow_cluster::{merge_expositions, Topology};
 use arrayflow_engine::fingerprint_route_hash;
@@ -46,8 +46,8 @@ use arrayflow_store::codec::decode_report;
 use arrayflow_wire::encode_frame;
 use arrayflow_wire::frame::read_frame;
 use arrayflow_wire::proto::{
-    AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk, Request as WireRequest,
-    Response as WireResponse, SessionOk,
+    strip_deadline, with_deadline, AnalyzeOk, AnalyzeRequest, CustomRequest, DeltaOk,
+    Request as WireRequest, Response as WireResponse, SessionOk,
 };
 
 use crate::binproto::{kind_byte, kind_from_byte};
@@ -70,7 +70,10 @@ pub struct RouterConfig {
     pub probe_interval: Duration,
     /// Deadline for dialing a backend.
     pub connect_timeout: Duration,
-    /// Per-forward deadline (write + read on the backend connection).
+    /// Per-forward deadline cap (write + read on the backend connection).
+    /// A client that sent a `deadline_ms` budget gets the *remaining*
+    /// budget — elapsed router time already subtracted — as its forward
+    /// deadline instead, never more than this cap.
     pub request_timeout: Duration,
     /// Cap on a single frame in either direction.
     pub max_frame_bytes: usize,
@@ -119,32 +122,37 @@ impl Backend {
         stream: &mut TcpStream,
         frame: &[u8],
         config: &RouterConfig,
+        deadline: Duration,
     ) -> io::Result<(u8, Vec<u8>)> {
+        stream.set_read_timeout(Some(deadline))?;
+        stream.set_write_timeout(Some(deadline))?;
         stream.write_all(frame)?;
         read_frame(stream, config.max_frame_bytes)
     }
 
-    /// One request/response round trip on a pooled connection. A stale
-    /// pooled connection gets exactly one fresh-dial retry; the caller
-    /// owns breaker/health accounting.
+    /// One request/response round trip on a pooled connection, bounded by
+    /// `deadline` (the caller's remaining budget, never more than the
+    /// configured per-forward cap). A stale pooled connection gets exactly
+    /// one fresh-dial retry; the caller owns breaker/health accounting.
     fn round_trip(
         &self,
         addr: &str,
         frame: &[u8],
         config: &RouterConfig,
+        deadline: Duration,
     ) -> io::Result<(u8, Vec<u8>)> {
         // Pop as a standalone statement: an `if let` on the lock would
         // keep the guard alive across `put_back`, re-locking the pool
         // mutex while it is still held.
         let pooled = self.pool.lock().unwrap().pop();
         if let Some(mut stream) = pooled {
-            if let Ok(resp) = Self::exchange(&mut stream, frame, config) {
+            if let Ok(resp) = Self::exchange(&mut stream, frame, config, deadline) {
                 self.put_back(stream);
                 return Ok(resp);
             }
         }
         let mut stream = self.dial(addr, config)?;
-        let resp = Self::exchange(&mut stream, frame, config)?;
+        let resp = Self::exchange(&mut stream, frame, config, deadline)?;
         self.put_back(stream);
         Ok(resp)
     }
@@ -166,6 +174,8 @@ struct RouterInstruments {
     unroutable: Counter,
     probes: Counter,
     probe_failures: Counter,
+    deadline_forwards: Counter,
+    expired_before_forward: Counter,
 }
 
 impl RouterInstruments {
@@ -198,6 +208,14 @@ impl RouterInstruments {
             probe_failures: registry.counter(
                 "arrayflow_router_probe_failures_total",
                 "backend health probes that failed",
+            ),
+            deadline_forwards: registry.counter(
+                "arrayflow_router_deadline_forwards_total",
+                "forwards carrying a propagated remaining-budget deadline",
+            ),
+            expired_before_forward: registry.counter(
+                "arrayflow_router_expired_before_forward_total",
+                "requests whose deadline budget was exhausted before any forward",
             ),
         }
     }
@@ -258,16 +276,17 @@ impl Router {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Sends `frame` to `slot`'s node if its breaker admits the attempt.
-    /// Success and failure both feed the breaker and health flag.
-    fn try_backend(&self, slot: usize, frame: &[u8]) -> Option<(u8, Vec<u8>)> {
+    /// Sends `frame` to `slot`'s node if its breaker admits the attempt,
+    /// bounded by `deadline`. Success and failure both feed the breaker
+    /// and health flag.
+    fn try_backend(&self, slot: usize, frame: &[u8], deadline: Duration) -> Option<(u8, Vec<u8>)> {
         let backend = &self.backends[slot];
         let (admitted, _) = backend.breaker.try_acquire();
         if !admitted {
             return None;
         }
         let addr = &self.config.topology.node(slot).addr;
-        match backend.round_trip(addr, frame, &self.config) {
+        match backend.round_trip(addr, frame, &self.config, deadline) {
             Ok(resp) => {
                 backend.breaker.record(true);
                 backend.healthy.store(true, Ordering::SeqCst);
@@ -281,22 +300,51 @@ impl Router {
         }
     }
 
-    /// Routes `frame` by `hash`: primary shard first, designated replica
-    /// on failure. Returns the raw response and whether the replica
-    /// answered.
+    /// The per-forward deadline for a request accepted at `accepted` with
+    /// client budget `budget`: the remaining budget (elapsed router time
+    /// subtracted), capped by the configured per-forward timeout. `Err`
+    /// when the budget is already exhausted — the forward is not attempted
+    /// and the backend never sees dead work.
+    fn forward_deadline(
+        &self,
+        accepted: Instant,
+        budget: Option<Duration>,
+    ) -> Result<(Duration, Option<u64>), ServiceError> {
+        let Some(budget) = budget else {
+            return Ok((self.config.request_timeout, None));
+        };
+        let remaining = budget.saturating_sub(accepted.elapsed());
+        if remaining.is_zero() {
+            self.ins.expired_before_forward.inc();
+            return Err(ServiceError::new(
+                ErrorKind::Cancelled,
+                format!(
+                    "deadline budget exhausted before the forward (budget {} ms)",
+                    budget.as_millis()
+                ),
+            ));
+        }
+        self.ins.deadline_forwards.inc();
+        Ok((remaining, Some(remaining.as_millis() as u64)))
+    }
+
+    /// Routes `frame` by `hash` under `deadline`: primary shard first,
+    /// designated replica on failure. Returns the raw response and whether
+    /// the replica answered.
     fn forward_routed(
         &self,
         hash: u64,
         frame: &[u8],
+        deadline: Duration,
     ) -> Result<((u8, Vec<u8>), bool), ServiceError> {
         let primary = self.config.topology.ring().node_for_hash(hash);
         let replica = self.config.topology.replica_of(primary);
-        if let Some(resp) = self.try_backend(primary, frame) {
+        if let Some(resp) = self.try_backend(primary, frame, deadline) {
             self.ins.forwards.inc();
             return Ok((resp, false));
         }
         if replica != primary {
-            if let Some(resp) = self.try_backend(replica, frame) {
+            if let Some(resp) = self.try_backend(replica, frame, deadline) {
                 self.ins.forwards.inc();
                 self.ins.failovers.inc();
                 return Ok((resp, true));
@@ -324,7 +372,7 @@ impl Router {
                 let req = make_req(self.fresh_id());
                 let frame = encode_frame(req.tag(), &req.encode_payload());
                 let resp = self
-                    .try_backend(slot, &frame)
+                    .try_backend(slot, &frame, self.config.request_timeout)
                     .and_then(|(tag, payload)| WireResponse::decode(tag, &payload).ok());
                 (self.config.topology.node(slot).id.clone(), resp)
             })
@@ -342,7 +390,7 @@ impl Router {
             self.ins.probes.inc();
             let backend = &self.backends[slot];
             let addr = &self.config.topology.node(slot).addr;
-            match backend.round_trip(addr, &frame, &self.config) {
+            match backend.round_trip(addr, &frame, &self.config, self.config.request_timeout) {
                 Ok(_) => {
                     backend.breaker.record(true);
                     backend.healthy.store(true, Ordering::SeqCst);
@@ -407,6 +455,14 @@ impl Router {
                 Json::Num(self.ins.unroutable.get() as f64),
             ),
             ("probes".into(), Json::Num(self.ins.probes.get() as f64)),
+            (
+                "deadline_forwards".into(),
+                Json::Num(self.ins.deadline_forwards.get() as f64),
+            ),
+            (
+                "expired_before_forward".into(),
+                Json::Num(self.ins.expired_before_forward.get() as f64),
+            ),
             ("nodes".into(), self.nodes_json()),
         ])
     }
@@ -483,10 +539,16 @@ impl Router {
         Json::Obj(vec![("nodes".into(), Json::Obj(nodes))])
     }
 
-    /// Routes one analyze request expressed as a binary frame, decoding
-    /// the response only as far as failover accounting needs.
-    fn forward_analyze(&self, hash: u64, frame: &[u8]) -> Result<(u8, Vec<u8>), ServiceError> {
-        let ((tag, payload), via_replica) = self.forward_routed(hash, frame)?;
+    /// Routes one analyze request expressed as a binary frame under
+    /// `deadline`, decoding the response only as far as failover
+    /// accounting needs.
+    fn forward_analyze(
+        &self,
+        hash: u64,
+        frame: &[u8],
+        deadline: Duration,
+    ) -> Result<(u8, Vec<u8>), ServiceError> {
+        let ((tag, payload), via_replica) = self.forward_routed(hash, frame, deadline)?;
         if via_replica {
             if let Ok(WireResponse::Analyze(ok)) = WireResponse::decode(tag, &payload) {
                 if ok.cache_hits > 0 {
@@ -498,8 +560,23 @@ impl Router {
     }
 
     /// Handles one decoded binary client frame; returns the response
-    /// frame and whether this was an accepted shutdown.
+    /// frame and whether this was an accepted shutdown. A deadline prefix
+    /// on the frame is stripped here and re-attached to the forward with
+    /// the *remaining* budget, so elapsed router time is never double-
+    /// spent on the node.
     fn handle_binary(&self, tag: u8, payload: &[u8]) -> (Vec<u8>, bool) {
+        let accepted = Instant::now();
+        let (tag, budget_ms, offset) = match strip_deadline(tag, payload) {
+            Ok(parts) => parts,
+            Err(e) => {
+                return (
+                    err_frame(0, ErrorKind::Protocol, format!("bad deadline prefix: {e}")),
+                    false,
+                )
+            }
+        };
+        let payload = &payload[offset..];
+        let budget = budget_ms.map(|ms| Duration::from_millis(ms).min(self.config.request_timeout));
         let req = match WireRequest::decode(tag, payload) {
             Ok(req) => req,
             Err(e) => {
@@ -527,55 +604,68 @@ impl Router {
                 ),
                 false,
             ),
-            WireRequest::Analyze(ref a) => {
-                let id = a.id;
-                let hash = analyze_route_hash(a);
-                let frame = encode_frame(tag, payload);
-                match self.forward_analyze(hash, &frame) {
-                    Ok((rtag, rpayload)) => (encode_frame(rtag, &rpayload), false),
-                    Err(e) => (err_frame(id, e.kind, e.message), false),
-                }
-            }
-            WireRequest::Custom(ref c) => {
-                let id = c.id;
-                let hash = custom_route_hash(c);
-                let frame = encode_frame(tag, payload);
-                match self.forward_analyze(hash, &frame) {
-                    Ok((rtag, rpayload)) => (encode_frame(rtag, &rpayload), false),
-                    Err(e) => (err_frame(id, e.kind, e.message), false),
-                }
-            }
+            WireRequest::Analyze(ref a) => (
+                self.forward_binary(a.id, analyze_route_hash(a), tag, payload, accepted, budget),
+                false,
+            ),
+            WireRequest::Custom(ref c) => (
+                self.forward_binary(c.id, custom_route_hash(c), tag, payload, accepted, budget),
+                false,
+            ),
             // Sessions are shard-sticky: `open` routes by the source's
             // canonical fingerprint, and every `delta` carries that same
             // base fingerprint back, so the whole session lands on one
             // node's session store. A failover mid-session surfaces as a
             // typed `session_lost` error — the replica never held the
             // session — and the client re-opens and replays.
-            WireRequest::Open { id, ref source } => {
-                let hash = open_route_hash(source);
-                let frame = encode_frame(tag, payload);
-                match self.forward_routed(hash, &frame) {
-                    Ok(((rtag, rpayload), _)) => (encode_frame(rtag, &rpayload), false),
-                    Err(e) => (err_frame(id, e.kind, e.message), false),
-                }
-            }
+            WireRequest::Open { id, ref source } => (
+                self.forward_binary(id, open_route_hash(source), tag, payload, accepted, budget),
+                false,
+            ),
             WireRequest::Delta {
                 id, fingerprint, ..
             } => {
                 let hash =
                     fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fingerprint)));
-                let frame = encode_frame(tag, payload);
-                match self.forward_routed(hash, &frame) {
-                    Ok(((rtag, rpayload), _)) => (encode_frame(rtag, &rpayload), false),
-                    Err(e) => (err_frame(id, e.kind, e.message), false),
-                }
+                (
+                    self.forward_binary(id, hash, tag, payload, accepted, budget),
+                    false,
+                )
             }
         }
     }
 
+    /// One routed binary forward under the request's remaining budget: the
+    /// stripped frame is re-encoded with the remaining milliseconds as its
+    /// deadline prefix (when the client sent one) so the node sheds the
+    /// job if the budget runs out there too.
+    fn forward_binary(
+        &self,
+        id: u64,
+        hash: u64,
+        tag: u8,
+        payload: &[u8],
+        accepted: Instant,
+        budget: Option<Duration>,
+    ) -> Vec<u8> {
+        let attempt =
+            self.forward_deadline(accepted, budget)
+                .and_then(|(deadline, remaining_ms)| {
+                    let frame = forward_frame(tag, payload, remaining_ms);
+                    self.forward_analyze(hash, &frame, deadline)
+                });
+        match attempt {
+            Ok((rtag, rpayload)) => encode_frame(rtag, &rpayload),
+            Err(e) => err_frame(id, e.kind, e.message),
+        }
+    }
+
     /// Handles one JSON client line; returns the response line (no
-    /// newline) and whether this was an accepted shutdown.
+    /// newline) and whether this was an accepted shutdown. A `deadline_ms`
+    /// field on the request becomes the forward's remaining-budget
+    /// deadline, exactly as the binary prefix does.
     fn handle_json(&self, frame: &[u8]) -> (String, bool) {
+        let accepted = Instant::now();
         let req = match Request::decode(frame) {
             Ok(req) => req,
             Err((id, e)) => return (encode_err(&id, &e), false),
@@ -594,10 +684,10 @@ impl Router {
                 self.shutdown();
                 return (encode_ok(&id, Json::Str("shutting down".into())), true);
             }
-            Verb::Analyze => self.analyze_json(&req),
-            Verb::Custom => self.custom_json(&req),
-            Verb::Open => self.open_json(&req),
-            Verb::Delta => self.delta_json(&req),
+            Verb::Analyze => self.analyze_json(&req, accepted),
+            Verb::Custom => self.custom_json(&req, accepted),
+            Verb::Open => self.open_json(&req, accepted),
+            Verb::Delta => self.delta_json(&req, accepted),
         };
         match result {
             Ok(json) => (encode_ok(&id, json), false),
@@ -605,9 +695,15 @@ impl Router {
         }
     }
 
+    /// A JSON request's deadline budget, capped by the per-forward limit.
+    fn json_budget(&self, req: &Request) -> Option<Duration> {
+        req.deadline_ms
+            .map(|ms| Duration::from_millis(ms).min(self.config.request_timeout))
+    }
+
     /// A JSON analyze: computed-fingerprint routing, binary forwarding,
     /// response re-rendered to the JSON shape a node would produce.
-    fn analyze_json(&self, req: &Request) -> Result<Json, ServiceError> {
+    fn analyze_json(&self, req: &Request, accepted: Instant) -> Result<Json, ServiceError> {
         let source = require(req.program.as_deref(), "analyze", "program")?;
         let fingerprint = fingerprint_of_source(source);
         let hash = match fingerprint {
@@ -621,8 +717,9 @@ impl Router {
             distance_bound: req.distance_bound,
             source: Some(source.as_bytes().to_vec()),
         });
-        let frame = encode_frame(wire.tag(), &wire.encode_payload());
-        let (tag, payload) = self.forward_analyze(hash, &frame)?;
+        let (deadline, remaining_ms) = self.forward_deadline(accepted, self.json_budget(req))?;
+        let frame = forward_frame(wire.tag(), &wire.encode_payload(), remaining_ms);
+        let (tag, payload) = self.forward_analyze(hash, &frame, deadline)?;
         match WireResponse::decode(tag, &payload) {
             Ok(WireResponse::Analyze(ok)) => analyze_ok_to_json(&ok),
             Ok(WireResponse::Err { kind, message, .. }) => Err(ServiceError::new(
@@ -641,7 +738,7 @@ impl Router {
     /// canonical fingerprint — so two specs over the same loop land on the
     /// same node's memo cache (the spec is part of the cache key there,
     /// never the routing key).
-    fn custom_json(&self, req: &Request) -> Result<Json, ServiceError> {
+    fn custom_json(&self, req: &Request, accepted: Instant) -> Result<Json, ServiceError> {
         let source = require(req.program.as_deref(), "custom", "program")?;
         let spec = require(req.spec, "custom", "spec")?;
         let fingerprint = fingerprint_of_source(source);
@@ -656,8 +753,9 @@ impl Router {
             distance_bound: req.distance_bound,
             source: Some(source.as_bytes().to_vec()),
         });
-        let frame = encode_frame(wire.tag(), &wire.encode_payload());
-        let (tag, payload) = self.forward_analyze(hash, &frame)?;
+        let (deadline, remaining_ms) = self.forward_deadline(accepted, self.json_budget(req))?;
+        let frame = forward_frame(wire.tag(), &wire.encode_payload(), remaining_ms);
+        let (tag, payload) = self.forward_analyze(hash, &frame, deadline)?;
         match WireResponse::decode(tag, &payload) {
             Ok(WireResponse::Analyze(ok)) => analyze_ok_to_json(&ok),
             Ok(WireResponse::Err { kind, message, .. }) => Err(ServiceError::new(
@@ -674,15 +772,16 @@ impl Router {
     /// A JSON `open`: route by the source's canonical fingerprint, forward
     /// as a binary `open` frame, re-render the node's session response to
     /// the JSON shape the node itself would produce.
-    fn open_json(&self, req: &Request) -> Result<Json, ServiceError> {
+    fn open_json(&self, req: &Request, accepted: Instant) -> Result<Json, ServiceError> {
         let source = require(req.program.as_deref(), "open", "program")?;
         let wire = WireRequest::Open {
             id: self.fresh_id(),
             source: source.as_bytes().to_vec(),
         };
-        let frame = encode_frame(wire.tag(), &wire.encode_payload());
+        let (deadline, remaining_ms) = self.forward_deadline(accepted, self.json_budget(req))?;
+        let frame = forward_frame(wire.tag(), &wire.encode_payload(), remaining_ms);
         let hash = open_route_hash(source.as_bytes());
-        let ((tag, payload), _) = self.forward_routed(hash, &frame)?;
+        let ((tag, payload), _) = self.forward_routed(hash, &frame, deadline)?;
         match WireResponse::decode(tag, &payload) {
             Ok(WireResponse::Session(ok)) => session_ok_to_json(&ok),
             Ok(WireResponse::Err { kind, message, .. }) => Err(ServiceError::new(
@@ -699,7 +798,7 @@ impl Router {
     /// A JSON `delta`: route by the carried base fingerprint (the one
     /// `open` returned — the session's shard key), forward as a binary
     /// `delta` frame.
-    fn delta_json(&self, req: &Request) -> Result<Json, ServiceError> {
+    fn delta_json(&self, req: &Request, accepted: Instant) -> Result<Json, ServiceError> {
         let fingerprint = require(req.fingerprint, "delta", "fingerprint")?;
         let wire = WireRequest::Delta {
             id: self.fresh_id(),
@@ -708,9 +807,10 @@ impl Router {
             stmt: require(req.stmt, "delta", "stmt")?,
             text: require(req.text.clone(), "delta", "text")?.into_bytes(),
         };
-        let frame = encode_frame(wire.tag(), &wire.encode_payload());
+        let (deadline, remaining_ms) = self.forward_deadline(accepted, self.json_budget(req))?;
+        let frame = forward_frame(wire.tag(), &wire.encode_payload(), remaining_ms);
         let hash = fingerprint_route_hash(ir::Fingerprint(u128::from_le_bytes(fingerprint)));
-        let ((tag, payload), _) = self.forward_routed(hash, &frame)?;
+        let ((tag, payload), _) = self.forward_routed(hash, &frame, deadline)?;
         match WireResponse::decode(tag, &payload) {
             Ok(WireResponse::Delta(ok)) => delta_ok_to_json(&ok),
             Ok(WireResponse::Err { kind, message, .. }) => Err(ServiceError::new(
@@ -910,6 +1010,18 @@ fn merge_numeric(into: &mut Json, from: &Json) {
             }
         }
         _ => {}
+    }
+}
+
+/// Encodes a forwarded request frame, re-attaching the remaining budget
+/// as a deadline prefix when the client sent one.
+fn forward_frame(tag: u8, payload: &[u8], remaining_ms: Option<u64>) -> Vec<u8> {
+    match remaining_ms {
+        Some(ms) => {
+            let (ftag, fpayload) = with_deadline(tag, payload, ms);
+            encode_frame(ftag, &fpayload)
+        }
+        None => encode_frame(tag, payload),
     }
 }
 
@@ -1242,12 +1354,14 @@ mod tests {
             fingerprint: None,
             stmt: None,
             text: None,
+            deadline_ms: None,
         };
+        let now = Instant::now();
         for result in [
-            router.delta_json(&bare),
-            router.analyze_json(&bare),
-            router.open_json(&bare),
-            router.custom_json(&bare),
+            router.delta_json(&bare, now),
+            router.analyze_json(&bare, now),
+            router.open_json(&bare, now),
+            router.custom_json(&bare, now),
         ] {
             let e = result.expect_err("missing fields must be an error");
             assert_eq!(e.kind, ErrorKind::Protocol);
@@ -1283,6 +1397,45 @@ mod tests {
             source: None,
         });
         assert_eq!(by_fp, analyze);
+    }
+
+    #[test]
+    fn zero_budget_requests_are_cancelled_without_a_forward() {
+        // A dead-on-arrival budget must never consume a backend round
+        // trip: the router answers `cancelled` itself, on both protocols.
+        let topology = Topology::parse("a=127.0.0.1:1", 16).unwrap();
+        let router = Router::new(RouterConfig::new(topology));
+
+        let (line, is_shutdown) = router.handle_json(
+            br#"{"id": 1, "verb": "analyze", "program": "do i = 1, 9 A[i] := 1; end", "deadline_ms": 0}"#,
+        );
+        assert!(!is_shutdown);
+        assert!(line.contains(r#""kind":"cancelled""#), "{line}");
+
+        let req = WireRequest::Analyze(AnalyzeRequest {
+            id: 2,
+            fingerprint: None,
+            problems: None,
+            distance_bound: None,
+            source: Some(b"do i = 1, 9 A[i] := 1; end".to_vec()),
+        });
+        let (tag, payload) = with_deadline(req.tag(), &req.encode_payload(), 0);
+        let (frame, is_shutdown) = router.handle_binary(tag, &payload);
+        assert!(!is_shutdown);
+        let (rtag, rpayload) = read_frame(&mut io::Cursor::new(frame), 1 << 20).unwrap();
+        match WireResponse::decode(rtag, &rpayload) {
+            Ok(WireResponse::Err { kind, message, .. }) => {
+                assert_eq!(
+                    kind_from_byte(kind),
+                    Some(ErrorKind::Cancelled),
+                    "{message}"
+                );
+            }
+            other => panic!("expected cancelled error, got {other:?}"),
+        }
+
+        assert_eq!(router.ins.forwards.get(), 0);
+        assert_eq!(router.ins.expired_before_forward.get(), 2);
     }
 
     #[test]
@@ -1325,7 +1478,7 @@ mod tests {
                 let req = WireRequest::Ping { id };
                 let frame = encode_frame(req.tag(), &req.encode_payload());
                 backend
-                    .round_trip(&addr, &frame, &config)
+                    .round_trip(&addr, &frame, &config, config.request_timeout)
                     .expect("round trip");
             }
             done_tx.send(()).unwrap();

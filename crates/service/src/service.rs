@@ -27,7 +27,7 @@ use arrayflow_obs::{
     observed_span, with_current, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
     Registry, Trace, PHASE_BUCKETS_US,
 };
-use arrayflow_resilience::{panic_message, FaultSurface};
+use arrayflow_resilience::{panic_message, CancelToken, FaultSurface};
 use arrayflow_store::{PersistentTier, Store, StoreConfig};
 
 use crate::json::Json;
@@ -39,6 +39,13 @@ use crate::proto::{
 /// Upper edges of the request latency histogram, in microseconds; the
 /// final bucket is unbounded.
 pub const LATENCY_BUCKETS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Upper edges of the wasted-work histogram: solver passes a job had
+/// completed when it was cancelled or expired. Mirrors the engine's
+/// per-instance pass buckets — the paper's bound says completed work
+/// clusters at 2–3 passes, so wasted work beyond a pass or two means the
+/// cooperative stop checks are not being polled often enough.
+pub const WASTED_PASS_BUCKETS: [u64; 5] = [1, 2, 3, 4, 6];
 
 /// Service construction parameters. `Default` is a reasonable single-host
 /// setup: engine defaults, one service worker per hardware thread, a
@@ -87,6 +94,12 @@ pub struct ServiceConfig {
     /// Ship interval for the replicator's incremental batches (a flush
     /// barrier ships sooner).
     pub replicate_interval: Duration,
+    /// Idle-connection timeout for the event-driven server (`serve
+    /// --idle-timeout-ms`): a connection that has sent no bytes for this
+    /// long — including a slow-loris peer parked mid-frame — is closed
+    /// and counted in `arrayflow_idle_disconnects_total`. `Duration::ZERO`
+    /// disables the sweep.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +116,7 @@ impl Default for ServiceConfig {
             node_id: None,
             replicate_to: None,
             replicate_interval: Duration::from_millis(250),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -146,6 +160,22 @@ pub struct ServiceStats {
     /// `delta` requests whose session no longer exists on the answering
     /// node (mid-session failover); clients re-`open` and replay.
     pub session_lost: u64,
+    /// `cancelled` responses: jobs abandoned because the owning connection
+    /// dropped or the deadline budget expired before/while the worker ran
+    /// them. Like oversized frames, these are *not* part of `requests` and
+    /// never touch the latency histogram — no client was answered in time,
+    /// so timing them would only skew the distribution.
+    pub cancelled: u64,
+    /// Jobs cancelled because the owning connection dropped.
+    pub cancelled_disconnect: u64,
+    /// Jobs cancelled because the deadline budget ran out.
+    pub cancelled_expired: u64,
+    /// Requests that arrived carrying a client deadline budget
+    /// (`deadline_ms` field or the binary deadline tag bit).
+    pub deadline_propagated: u64,
+    /// Connections reaped by the event server's idle sweep (slow-loris
+    /// peers included).
+    pub idle_disconnects: u64,
     /// Frames discarded for exceeding [`ServiceConfig::max_frame_bytes`].
     /// Counted separately from `requests` so they never skew the latency
     /// distribution (the frame is discarded without being timed).
@@ -169,6 +199,7 @@ impl ServiceStats {
             + self.overloaded
             + self.protocol_errors
             + self.session_lost
+            + self.cancelled
     }
 }
 
@@ -244,6 +275,11 @@ struct Job {
     accepted: Instant,
     enqueued: Instant,
     deadline: Duration,
+    /// Cooperative cancellation: set by whoever learns the request is dead
+    /// (the event loop on connection teardown, the blocking waiter on its
+    /// own timeout). Workers check it at dequeue, and the solver polls it
+    /// between iteration passes, so a dead request costs at most one pass.
+    cancel: CancelToken,
     /// The request's trace, carried across the queue so worker-side spans
     /// (parse, solve, tier I/O) land on the same per-request record.
     trace: Arc<Trace>,
@@ -291,11 +327,17 @@ pub(crate) struct ServiceInstruments {
     pub(crate) overloaded: Counter,
     pub(crate) protocol_errors: Counter,
     pub(crate) session_lost: Counter,
+    pub(crate) cancelled: Counter,
+    pub(crate) cancelled_disconnect: Counter,
+    pub(crate) cancelled_expired: Counter,
+    pub(crate) deadline_propagated: Counter,
+    pub(crate) idle_disconnects: Counter,
     pub(crate) oversized_frames: Counter,
     pub(crate) worker_restarts: Counter,
     pub(crate) queue_depth_hwm: Gauge,
     pub(crate) latency: Histogram,
     pub(crate) queue_wait: Histogram,
+    pub(crate) wasted_passes: Histogram,
     pub(crate) phase_decode: Histogram,
     pub(crate) phase_parse: Histogram,
 }
@@ -333,6 +375,25 @@ impl ServiceInstruments {
             overloaded: outcome("overloaded"),
             protocol_errors: outcome("protocol"),
             session_lost: outcome("session_lost"),
+            cancelled: outcome("cancelled"),
+            cancelled_disconnect: registry.counter_with(
+                "arrayflow_cancelled_jobs_total",
+                "jobs abandoned before completion, by reason",
+                &[("reason", "disconnect")],
+            ),
+            cancelled_expired: registry.counter_with(
+                "arrayflow_cancelled_jobs_total",
+                "jobs abandoned before completion, by reason",
+                &[("reason", "expired")],
+            ),
+            deadline_propagated: registry.counter(
+                "arrayflow_deadline_propagated_total",
+                "requests that arrived carrying a client deadline budget",
+            ),
+            idle_disconnects: registry.counter(
+                "arrayflow_idle_disconnects_total",
+                "connections closed by the idle sweep (slow-loris peers included)",
+            ),
             oversized_frames: registry.counter(
                 "arrayflow_oversized_frames_total",
                 "frames discarded for exceeding the size cap (excluded from request latency)",
@@ -354,6 +415,11 @@ impl ServiceInstruments {
                 "arrayflow_queue_wait_us",
                 "time analyze jobs spent queued before a worker picked them up, microseconds",
                 &LATENCY_BUCKETS_US,
+            ),
+            wasted_passes: registry.histogram(
+                "arrayflow_wasted_passes",
+                "solver passes completed by a job before it was cancelled or expired",
+                &WASTED_PASS_BUCKETS,
             ),
             phase_decode: phase("decode"),
             phase_parse: phase("parse"),
@@ -644,7 +710,13 @@ impl Service {
                 (encode_err(id, e), e.kind.as_str(), false)
             }
         };
-        self.observe_request(trace, accepted, outcome_name);
+        // Cancelled work answered nobody in time: like oversized frames it
+        // keeps its own counters and stays out of `requests` and the
+        // latency histogram, where a flood of dead requests would otherwise
+        // masquerade as a latency regression.
+        if !matches!(&outcome, Err(e) if e.kind == ErrorKind::Cancelled) {
+            self.observe_request(trace, accepted, outcome_name);
+        }
         FrameResponse {
             line,
             shutdown: is_shutdown,
@@ -685,6 +757,19 @@ impl Service {
         frame: &[u8],
         respond: Box<dyn FnOnce(FrameResponse) + Send>,
     ) {
+        self.handle_frame_async_ctrl(frame, CancelToken::new(), respond)
+    }
+
+    /// [`Service::handle_frame_async`] with a caller-owned [`CancelToken`]:
+    /// the event server hands each frame its connection's token, so a
+    /// teardown cancels everything that connection still has queued or
+    /// in flight.
+    pub fn handle_frame_async_ctrl(
+        self: &Arc<Self>,
+        frame: &[u8],
+        cancel: CancelToken,
+        respond: Box<dyn FnOnce(FrameResponse) + Send>,
+    ) {
         let accepted = Instant::now();
         let trace = Trace::start(self.next_trace_id.fetch_add(1, Ordering::Relaxed));
         let decoded = with_current(&trace, || {
@@ -708,18 +793,35 @@ impl Service {
             respond(self.finish_json(&trace, accepted, &id, outcome, is_shutdown));
             return;
         }
+        let deadline = self.effective_deadline(req.deadline_ms);
         let work = self.work_of(req);
         let svc = Arc::clone(self);
         let trace_done = Arc::clone(&trace);
         self.submit_async(
             work,
             accepted,
+            deadline,
+            cancel,
             trace,
             Box::new(move |outcome| {
                 let outcome = outcome.map(|o| o.to_json());
                 respond(svc.finish_json(&trace_done, accepted, &id, outcome, false));
             }),
         );
+    }
+
+    /// Resolves a request's effective deadline: `min(client budget, the
+    /// server's own cap)`. A client can only tighten the deadline, never
+    /// extend it; requests carrying a budget are counted so operators can
+    /// see propagation working end to end.
+    pub(crate) fn effective_deadline(&self, client_ms: Option<u64>) -> Duration {
+        match client_ms {
+            Some(ms) => {
+                self.ins.deadline_propagated.inc();
+                self.config.request_timeout.min(Duration::from_millis(ms))
+            }
+            None => self.config.request_timeout,
+        }
     }
 
     /// Builds (and counts) the response for a frame that exceeded
@@ -758,14 +860,17 @@ impl Service {
             ErrorKind::Overloaded => &self.ins.overloaded,
             ErrorKind::Protocol => &self.ins.protocol_errors,
             ErrorKind::SessionLost => &self.ins.session_lost,
+            ErrorKind::Cancelled => &self.ins.cancelled,
         }
     }
 
     fn dispatch(&self, req: Request, accepted: Instant) -> Result<Json, ServiceError> {
         match req.verb {
             Verb::Analyze | Verb::Custom | Verb::Open | Verb::Delta => {
+                let deadline = self.effective_deadline(req.deadline_ms);
                 let work = self.work_of(req);
-                self.submit_and_wait(work, accepted).map(|o| o.to_json())
+                self.submit_and_wait(work, accepted, deadline)
+                    .map(|o| o.to_json())
             }
             _ => self.dispatch_cheap(&req),
         }
@@ -852,14 +957,21 @@ impl Service {
         ]))
     }
 
-    fn submit_and_wait(&self, work: Work, accepted: Instant) -> Result<JobOutput, ServiceError> {
-        let deadline = self.config.request_timeout;
+    fn submit_and_wait(
+        &self,
+        work: Work,
+        accepted: Instant,
+        deadline: Duration,
+    ) -> Result<JobOutput, ServiceError> {
         let trace = arrayflow_obs::trace::current().expect("handle_frame installed a trace");
 
+        let cancel = CancelToken::new();
         let (tx, rx) = mpsc::channel();
         self.enqueue_job(
             work,
             accepted,
+            deadline,
+            cancel.clone(),
             trace,
             Box::new(move |outcome| {
                 // The waiter may have timed out and gone; that is fine.
@@ -871,12 +983,29 @@ impl Service {
         // The deadline is measured from frame acceptance, not from
         // enqueue, so decode time cannot silently extend the budget.
         let remaining = deadline.saturating_sub(accepted.elapsed());
-        match rx.recv_timeout(remaining) {
-            Ok(outcome) => outcome,
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::new(
+        if remaining.is_zero() {
+            // The budget was gone before we could wait. A worker will
+            // shed the queued job, but from the blocking caller's view
+            // this is a plain deadline miss — answer `timeout` without
+            // racing the worker's `cancelled` reply for the channel.
+            cancel.cancel();
+            return Err(ServiceError::new(
                 ErrorKind::Timeout,
                 format!("deadline of {} ms exceeded", deadline.as_millis()),
-            )),
+            ));
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Nobody is waiting for this answer anymore: flag the job
+                // so a worker sheds it at dequeue (or mid-solve) instead
+                // of finishing work whose reply lands in a dead channel.
+                cancel.cancel();
+                Err(ServiceError::new(
+                    ErrorKind::Timeout,
+                    format!("deadline of {} ms exceeded", deadline.as_millis()),
+                ))
+            }
             // Workers always reply before exiting (the queue is drained on
             // shutdown), so disconnection means the pool is gone entirely.
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::new(
@@ -895,6 +1024,8 @@ impl Service {
         &self,
         work: Work,
         accepted: Instant,
+        deadline: Duration,
+        cancel: CancelToken,
         trace: Arc<Trace>,
         reply: Reply,
     ) -> Result<(), (ServiceError, Reply)> {
@@ -919,7 +1050,8 @@ impl Service {
                 work,
                 accepted,
                 enqueued: Instant::now(),
-                deadline: self.config.request_timeout,
+                deadline,
+                cancel,
                 trace,
                 reply,
             });
@@ -938,10 +1070,12 @@ impl Service {
         &self,
         work: Work,
         accepted: Instant,
+        deadline: Duration,
+        cancel: CancelToken,
         trace: Arc<Trace>,
         reply: Reply,
     ) {
-        if let Err((e, reply)) = self.enqueue_job(work, accepted, trace, reply) {
+        if let Err((e, reply)) = self.enqueue_job(work, accepted, deadline, cancel, trace, reply) {
             reply(Err(e));
         }
     }
@@ -1025,13 +1159,50 @@ impl Service {
         }
     }
 
-    fn run_job(&self, job: &Job) -> Result<JobOutput, ServiceError> {
-        if job.accepted.elapsed() >= job.deadline {
-            return Err(ServiceError::new(
-                ErrorKind::Timeout,
-                format!("spent over {} ms queued", job.deadline.as_millis()),
-            ));
+    /// Counts one abandoned job (reason + wasted-work histogram) and
+    /// builds the `cancelled` response. `passes` is the solver work the
+    /// job burned before the stop landed — 0 for jobs shed at dequeue.
+    fn shed_job(&self, job: &Job, passes: u64, when: &str) -> ServiceError {
+        // A marker on the trace timeline pins down *where* the request
+        // died in the slow-request log's breakdown.
+        if let Some(trace) = arrayflow_obs::trace::current() {
+            trace.mark("shed");
         }
+        let reason = if job.cancel.is_cancelled() {
+            self.ins.cancelled_disconnect.inc();
+            "request abandoned"
+        } else {
+            self.ins.cancelled_expired.inc();
+            "deadline budget exhausted"
+        };
+        self.ins.wasted_passes.observe(passes);
+        ServiceError::new(
+            ErrorKind::Cancelled,
+            format!(
+                "{reason} {when} (budget {} ms, {passes} solver passes wasted)",
+                job.deadline.as_millis()
+            ),
+        )
+    }
+
+    fn run_job(&self, job: &Job) -> Result<JobOutput, ServiceError> {
+        // Dequeue-time shedding: a job whose client is gone or whose
+        // budget drained while it sat queued is dropped for the cost of
+        // two loads — the metastable-failure amplifier (a queue full of
+        // dead work keeping workers busy) never gets started.
+        if job.cancel.is_cancelled() || job.accepted.elapsed() >= job.deadline {
+            return Err(self.shed_job(job, 0, "while queued"));
+        }
+        // In-flight cancellation: the solver polls this between iteration
+        // passes, so once the connection drops or the budget runs out the
+        // job costs at most one further pass.
+        let stop_check = {
+            let cancel = job.cancel.clone();
+            let accepted = job.accepted;
+            let deadline = job.deadline;
+            move || cancel.is_cancelled() || accepted.elapsed() >= deadline
+        };
+        let should_stop: Option<arrayflow_engine::StopCheck<'_>> = Some(&stop_check);
         let parse = |source: &str| {
             let _span = observed_span("parse", &self.ins.phase_parse);
             parse_program_bytes(source.as_bytes())
@@ -1044,10 +1215,17 @@ impl Service {
                 distance_bound,
             } => {
                 let program = parse(program)?;
-                let result = self
-                    .engine
-                    .analyze_with(0, &program, *problems, *distance_bound);
+                let result = self.engine.analyze_with_ctrl(
+                    0,
+                    &program,
+                    *problems,
+                    *distance_bound,
+                    should_stop,
+                );
                 if let Some(e) = &result.error {
+                    if let Some(passes) = e.wasted_passes() {
+                        return Err(self.shed_job(job, passes, "mid-analysis"));
+                    }
                     return Err(ServiceError::new(ErrorKind::Analysis, e.to_string()));
                 }
                 Ok(JobOutput::Analyze(result))
@@ -1058,10 +1236,17 @@ impl Service {
                 distance_bound,
             } => {
                 let program = parse(program)?;
-                let result = self
-                    .engine
-                    .analyze_custom(0, &program, *spec, *distance_bound);
+                let result = self.engine.analyze_custom_ctrl(
+                    0,
+                    &program,
+                    *spec,
+                    *distance_bound,
+                    should_stop,
+                );
                 if let Some(e) = &result.error {
+                    if let Some(passes) = e.wasted_passes() {
+                        return Err(self.shed_job(job, passes, "mid-analysis"));
+                    }
                     return Err(ServiceError::new(ErrorKind::Analysis, e.to_string()));
                 }
                 Ok(JobOutput::Analyze(result))
@@ -1070,8 +1255,11 @@ impl Service {
                 let program = parse(program)?;
                 let (session, report) = self
                     .engine
-                    .open_session(&program)
-                    .map_err(|e| ServiceError::new(ErrorKind::Analysis, e.to_string()))?;
+                    .open_session_ctrl(&program, should_stop)
+                    .map_err(|e| match e.wasted_passes() {
+                        Some(passes) => self.shed_job(job, passes, "mid-analysis"),
+                        None => ServiceError::new(ErrorKind::Analysis, e.to_string()),
+                    })?;
                 Ok(JobOutput::Session(session, report))
             }
             Work::Delta { session, edit } => {
@@ -1081,13 +1269,21 @@ impl Service {
                 // replicated to a failed-over replica — is the typed
                 // `session_lost`, telling the client to re-open and
                 // replay rather than treat it as an analysis failure.
-                let delta = self.engine.analyze_delta(*session, edit).map_err(|e| {
-                    let kind = match &e {
-                        arrayflow_engine::AnalysisError::SessionLost(_) => ErrorKind::SessionLost,
-                        _ => ErrorKind::Analysis,
-                    };
-                    ServiceError::new(kind, e.to_string())
-                })?;
+                let delta = self
+                    .engine
+                    .analyze_delta_ctrl(*session, edit, should_stop)
+                    .map_err(|e| {
+                        if let Some(passes) = e.wasted_passes() {
+                            return self.shed_job(job, passes, "mid-analysis");
+                        }
+                        let kind = match &e {
+                            arrayflow_engine::AnalysisError::SessionLost(_) => {
+                                ErrorKind::SessionLost
+                            }
+                            _ => ErrorKind::Analysis,
+                        };
+                        ServiceError::new(kind, e.to_string())
+                    })?;
                 Ok(JobOutput::Delta(delta))
             }
         }
@@ -1114,6 +1310,11 @@ impl Service {
             overloaded: self.ins.overloaded.get(),
             protocol_errors: self.ins.protocol_errors.get(),
             session_lost: self.ins.session_lost.get(),
+            cancelled: self.ins.cancelled.get(),
+            cancelled_disconnect: self.ins.cancelled_disconnect.get(),
+            cancelled_expired: self.ins.cancelled_expired.get(),
+            deadline_propagated: self.ins.deadline_propagated.get(),
+            idle_disconnects: self.ins.idle_disconnects.get(),
             oversized_frames: self.ins.oversized_frames.get(),
             queue_depth_hwm: self.ins.queue_depth_hwm.get() as usize,
             latency: buckets(&self.ins.latency),
@@ -1138,6 +1339,7 @@ impl Service {
             ("overloaded".into(), Json::Num(s.overloaded as f64)),
             ("protocol".into(), Json::Num(s.protocol_errors as f64)),
             ("session_lost".into(), Json::Num(s.session_lost as f64)),
+            ("cancelled".into(), Json::Num(s.cancelled as f64)),
         ]);
         let hist_obj = |buckets: &[u64; LATENCY_BUCKETS_US.len() + 1]| {
             let mut members = Vec::new();
@@ -1225,6 +1427,24 @@ impl Service {
                 (
                     "oversized_frames".into(),
                     Json::Num(s.oversized_frames as f64),
+                ),
+                (
+                    "cancelled_jobs".into(),
+                    Json::Obj(vec![
+                        (
+                            "disconnect".into(),
+                            Json::Num(s.cancelled_disconnect as f64),
+                        ),
+                        ("expired".into(), Json::Num(s.cancelled_expired as f64)),
+                    ]),
+                ),
+                (
+                    "deadline_propagated".into(),
+                    Json::Num(s.deadline_propagated as f64),
+                ),
+                (
+                    "idle_disconnects".into(),
+                    Json::Num(s.idle_disconnects as f64),
                 ),
                 (
                     "queue_depth_hwm".into(),

@@ -20,6 +20,7 @@ fn test_config() -> ClientConfig {
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(10),
         backoff_seed: Some(7),
+        ..ClientConfig::default()
     }
 }
 

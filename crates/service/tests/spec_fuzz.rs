@@ -9,7 +9,10 @@
 //! result — never a panic, and never an unbounded response.
 
 use arrayflow_service::{Request, Service, ServiceConfig};
-use arrayflow_wire::proto::{CustomRequest, Request as WireRequest, TAG_CUSTOM};
+use arrayflow_wire::proto::{
+    strip_deadline, with_deadline, AnalyzeRequest, CustomRequest, Request as WireRequest,
+    MAX_DEADLINE_MS, TAG_ANALYZE, TAG_CUSTOM, TAG_DEADLINE_BIT,
+};
 
 /// SplitMix64 — the same tiny seeded generator the parser fuzz suite
 /// uses, so failures replay deterministically.
@@ -175,6 +178,151 @@ fn hostile_spec_frames_get_bounded_error_responses_end_to_end() {
         "{}",
         resp.line
     );
+    service.shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn random_deadline_prefixes_never_panic_the_binary_decoder() {
+    // The deadline tag bit prepends a varint to the payload; hostile
+    // prefixes (truncated, overlong, pure noise) must decode to an error
+    // or a clamped value, never a panic or an out-of-bounds read.
+    let mut rng = SplitMix64(0xdd11_u64 ^ 0x0dea_d1e5);
+    for _ in 0..4_000 {
+        let len = rng.below(32);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        let tag = (rng.next() as u8) | TAG_DEADLINE_BIT;
+        if let Ok((base, deadline, offset)) = strip_deadline(tag, &bytes) {
+            assert_eq!(base, tag & !TAG_DEADLINE_BIT);
+            assert!(deadline.unwrap() <= MAX_DEADLINE_MS, "unclamped deadline");
+            assert!(offset <= bytes.len(), "offset past payload end");
+        }
+    }
+}
+
+#[test]
+fn mutated_deadline_prefixes_on_valid_frames_never_panic() {
+    let valid = WireRequest::Analyze(AnalyzeRequest {
+        id: 3,
+        fingerprint: None,
+        problems: None,
+        distance_bound: None,
+        source: Some(b"do i = 1, 9 A[i] := 1; end".to_vec()),
+    });
+    let (tag, payload) = with_deadline(valid.tag(), &valid.encode_payload(), 250);
+
+    // Truncation at every prefix length: the varint header and the body
+    // both get cut.
+    for len in 0..payload.len() {
+        if let Ok((base, _, offset)) = strip_deadline(tag, &payload[..len]) {
+            let _ = WireRequest::decode(base, &payload[offset..len]);
+        }
+    }
+    // Structured hostile headers in place of the encoded varint.
+    let body = valid.encode_payload();
+    let hostile_headers: &[&[u8]] = &[
+        &[],                                                           // missing varint
+        &[0xFF; 11],                                                   // varint never terminates
+        &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F], // overlong u64
+        &[0x80],                                                       // continuation then EOF
+    ];
+    for header in hostile_headers {
+        let mut bytes = header.to_vec();
+        bytes.extend_from_slice(&body);
+        if let Ok((base, deadline, offset)) = strip_deadline(tag, &bytes) {
+            assert!(deadline.unwrap() <= MAX_DEADLINE_MS);
+            let _ = WireRequest::decode(base, &bytes[offset..]);
+        }
+    }
+    // Random corruption across header + body.
+    let mut rng = SplitMix64(0xbadd_11fe);
+    for _ in 0..4_000 {
+        let mut bytes = payload.clone();
+        for _ in 0..1 + rng.below(4) {
+            let pos = rng.below(bytes.len());
+            bytes[pos] = rng.next() as u8;
+        }
+        if let Ok((base, _, offset)) = strip_deadline(tag, &bytes) {
+            let _ = WireRequest::decode(base, &bytes[offset..]);
+        }
+    }
+}
+
+#[test]
+fn absurd_deadline_values_are_clamped_on_both_protocols() {
+    // Binary: any encodable budget survives the round trip clamped.
+    for ms in [0, 1, MAX_DEADLINE_MS, MAX_DEADLINE_MS + 1, u64::MAX] {
+        let ping = WireRequest::Ping { id: 1 };
+        let (tag, payload) = with_deadline(ping.tag(), &ping.encode_payload(), ms);
+        let (base, deadline, offset) = strip_deadline(tag, &payload).unwrap();
+        assert_eq!(base, ping.tag());
+        assert_eq!(deadline, Some(ms.min(MAX_DEADLINE_MS)));
+        assert!(WireRequest::decode(base, &payload[offset..]).is_ok());
+    }
+    // JSON: hostile deadline_ms shapes classify (clamped value or framed
+    // error), never panic — and huge-but-valid numbers clamp.
+    let hostile = [
+        r#"{"verb":"ping","deadline_ms":18446744073709551615}"#,
+        r#"{"verb":"ping","deadline_ms":1e308}"#,
+        r#"{"verb":"ping","deadline_ms":-1}"#,
+        r#"{"verb":"ping","deadline_ms":0.5}"#,
+        r#"{"verb":"ping","deadline_ms":"soon"}"#,
+        r#"{"verb":"ping","deadline_ms":[250]}"#,
+        r#"{"verb":"ping","deadline_ms":{"ms":250}}"#,
+        r#"{"verb":"ping","deadline_ms":}"#,
+    ];
+    for frame in hostile {
+        if let Ok(req) = Request::decode(frame.as_bytes()) {
+            assert!(req.deadline_ms.unwrap_or(0) <= MAX_DEADLINE_MS, "{frame}");
+        }
+    }
+}
+
+#[test]
+fn hostile_deadline_frames_get_bounded_error_responses_end_to_end() {
+    // The full binary path: deadline-bit frames with garbage payloads
+    // through a live service must answer with a bounded framed error (or
+    // a result), never a panic and never a hung worker.
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut rng = SplitMix64(0x005e_edd1);
+    for i in 0..500 {
+        let len = rng.below(64);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        let tag = if i % 2 == 0 {
+            TAG_ANALYZE | TAG_DEADLINE_BIT
+        } else {
+            (rng.next() as u8) | TAG_DEADLINE_BIT
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        service.handle_binary_frame_async(
+            tag,
+            &bytes,
+            Box::new(move |resp| {
+                let _ = tx.send(resp);
+            }),
+        );
+        let resp = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("frame must be answered");
+        assert!(resp.frame.len() < 64 << 10, "response must stay bounded");
+    }
+    // A well-formed budgeted frame still works after the barrage.
+    let ok = WireRequest::Ping { id: 9 };
+    let (tag, payload) = with_deadline(ok.tag(), &ok.encode_payload(), 5_000);
+    let (tx, rx) = std::sync::mpsc::channel();
+    service.handle_binary_frame_async(
+        tag,
+        &payload,
+        Box::new(move |resp| {
+            let _ = tx.send(resp);
+        }),
+    );
+    let resp = rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+    assert!(!resp.frame.is_empty());
     service.shutdown();
     service.join_workers();
 }

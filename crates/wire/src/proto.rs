@@ -60,6 +60,53 @@ pub const TAG_OK: u8 = 0x81;
 /// Response frame tag: error.
 pub const TAG_ERR: u8 = 0x82;
 
+/// Request-tag bit marking a frame that carries a deadline prefix: the
+/// payload starts with a varint `deadline_ms` budget, followed by the
+/// ordinary payload for the base tag (`tag & !TAG_DEADLINE_BIT`).
+///
+/// Servers predating this extension reject the unknown tag with a clean
+/// in-sync protocol error rather than misparsing the frame, so a client
+/// may always send the prefix and fall back on `protocol` errors.
+pub const TAG_DEADLINE_BIT: u8 = 0x40;
+
+/// Upper clamp on a wire-supplied deadline budget (one hour). Absurd
+/// values — hostile or buggy — are clamped here at decode rather than
+/// trusted; the server then takes `min(budget, its own cap)`.
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
+/// Splits a possibly-deadline-prefixed request frame into its base tag,
+/// the clamped deadline budget (if the [`TAG_DEADLINE_BIT`] is set), and
+/// the byte offset at which the base payload starts.
+///
+/// Without the bit this is a zero-cost passthrough. With it, the varint
+/// prefix is decoded strictly (truncated or overlong varints fail) and
+/// clamped to [`MAX_DEADLINE_MS`]; a zero budget is preserved — it means
+/// "already expired" and lets a server shed the request before parsing.
+pub fn strip_deadline(tag: u8, payload: &[u8]) -> DecodeResult<(u8, Option<u64>, usize)> {
+    if tag & TAG_DEADLINE_BIT == 0 {
+        return Ok((tag, None, 0));
+    }
+    let mut r = Reader::new(payload);
+    let ms = r.varint()?;
+    let consumed = payload.len() - r.remaining();
+    Ok((
+        tag & !TAG_DEADLINE_BIT,
+        Some(ms.min(MAX_DEADLINE_MS)),
+        consumed,
+    ))
+}
+
+/// Prefixes a request payload with a deadline budget: returns the tag
+/// with [`TAG_DEADLINE_BIT`] set and the payload with the varint
+/// `deadline_ms` (clamped to [`MAX_DEADLINE_MS`]) prepended. The inverse
+/// of [`strip_deadline`].
+pub fn with_deadline(tag: u8, payload: &[u8], deadline_ms: u64) -> (u8, Vec<u8>) {
+    let mut out = Vec::with_capacity(payload.len() + 10);
+    put_varint(&mut out, deadline_ms.min(MAX_DEADLINE_MS));
+    out.extend_from_slice(payload);
+    (tag | TAG_DEADLINE_BIT, out)
+}
+
 const BODY_TEXT: u8 = 0;
 const BODY_ANALYZE: u8 = 1;
 const BODY_SESSION: u8 = 2;
@@ -1004,6 +1051,56 @@ mod tests {
             Request::decode(TAG_REPLICATE, &payload),
             Err(DecodeError::TrailingBytes)
         );
+    }
+
+    #[test]
+    fn deadline_prefix_round_trips_and_clamps() {
+        let inner = Request::Ping { id: 9 }.encode_payload();
+        let (tag, payload) = with_deadline(TAG_PING, &inner, 1500);
+        assert_eq!(tag, TAG_PING | TAG_DEADLINE_BIT);
+        let (base, budget, off) = strip_deadline(tag, &payload).unwrap();
+        assert_eq!((base, budget), (TAG_PING, Some(1500)));
+        assert_eq!(
+            Request::decode(base, &payload[off..]),
+            Ok(Request::Ping { id: 9 })
+        );
+
+        // Without the bit: passthrough, no budget, zero offset.
+        assert_eq!(
+            strip_deadline(TAG_ANALYZE, &[1, 2, 3]),
+            Ok((TAG_ANALYZE, None, 0))
+        );
+
+        // Absurd budgets clamp at both ends of the pipe.
+        let (tag, payload) = with_deadline(TAG_PING, &inner, u64::MAX);
+        let (_, budget, _) = strip_deadline(tag, &payload).unwrap();
+        assert_eq!(budget, Some(MAX_DEADLINE_MS));
+        let mut hostile = Vec::new();
+        put_varint(&mut hostile, u64::MAX);
+        hostile.extend_from_slice(&inner);
+        let (_, budget, _) = strip_deadline(TAG_PING | TAG_DEADLINE_BIT, &hostile).unwrap();
+        assert_eq!(budget, Some(MAX_DEADLINE_MS));
+
+        // Zero means "already expired" and is preserved, not dropped.
+        let (tag, payload) = with_deadline(TAG_PING, &inner, 0);
+        let (_, budget, _) = strip_deadline(tag, &payload).unwrap();
+        assert_eq!(budget, Some(0));
+    }
+
+    #[test]
+    fn hostile_deadline_prefixes_are_rejected() {
+        // Empty payload with the deadline bit set: truncated varint.
+        assert!(strip_deadline(TAG_PING | TAG_DEADLINE_BIT, &[]).is_err());
+        // A varint that never terminates (all continuation bits set).
+        assert!(strip_deadline(TAG_PING | TAG_DEADLINE_BIT, &[0xFF; 11]).is_err());
+        // An overlong-but-terminated varint overflowing 64 bits.
+        let mut p = vec![0xFF; 9];
+        p.push(0x7F);
+        assert!(strip_deadline(TAG_PING | TAG_DEADLINE_BIT, &p).is_err());
+        // A valid prefix but garbage base payload still fails in decode.
+        let (tag, payload) = with_deadline(TAG_OPEN, &[0xFF, 0xFF], 10);
+        let (base, _, off) = strip_deadline(tag, &payload).unwrap();
+        assert!(Request::decode(base, &payload[off..]).is_err());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Deadline-storm smoke against an already-running `serve` process.
+//!
+//! Connects to the address given as the first argument (default
+//! `127.0.0.1:7433`), floods the server with analyze requests carrying a
+//! 1 ms deadline budget — dead on arrival once they queue — and then
+//! proves the server shed the storm instead of drowning in it: a live
+//! un-budgeted request answers normally, the `cancelled` counters moved,
+//! and the latency histogram never saw the doomed jobs. Prints the
+//! server's Prometheus exposition on stdout (so callers can grep
+//! `arrayflow_cancelled_jobs_total`) and shuts the server down. CI runs
+//! this against the release `serve` binary under a hard timeout.
+//!
+//! ```text
+//! serve --listen 127.0.0.1:7433 &
+//! cargo run --example deadline_storm -- 127.0.0.1:7433
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use arrayflow::prelude::*;
+
+const STORM: usize = 800;
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7433".to_string());
+
+    // The storm: one pipelined burst of budgeted requests. Every frame
+    // carries `deadline_ms: 1`, so by the time a worker dequeues one the
+    // budget is long gone and the job is shed without a solver pass.
+    eprintln!("deadline_storm: flooding {STORM} requests with a 1 ms budget -> {addr}");
+    let stream = TcpStream::connect(&addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut burst = String::new();
+    for k in 0..STORM {
+        burst.push_str(&format!(
+            "{{\"id\": {k}, \"verb\": \"analyze\", \"program\": \"do i = 1, {} S[i+1] := S[i] + z; end\", \"deadline_ms\": 1}}\n",
+            100 + k
+        ));
+    }
+    writer.write_all(burst.as_bytes())?;
+    let (mut cancelled, mut ok, mut other) = (0u64, 0u64, 0u64);
+    let mut lines = BufReader::new(stream).lines();
+    for _ in 0..STORM {
+        let line = lines.next().expect("storm response")?;
+        if line.contains("\"kind\":\"cancelled\"") {
+            cancelled += 1;
+        } else if line.contains("\"ok\":true") {
+            ok += 1;
+        } else {
+            other += 1;
+        }
+    }
+    eprintln!("deadline_storm: {STORM} answered: {cancelled} cancelled, {ok} ok, {other} other");
+    assert!(cancelled > 0, "the storm must be shed, not served");
+
+    // Live traffic afterwards: an un-budgeted request on a fresh
+    // connection must answer normally — the storm left no dead weight.
+    let mut client = Client::connect(&addr, ClientConfig::default())
+        .map_err(|e| std::io::Error::other(format!("cannot reach {addr}: {e}")))?;
+    let started = Instant::now();
+    let live = client
+        .analyze("do i = 1, 60 A[i+2] := A[i] + x; end")
+        .map_err(|e| std::io::Error::other(format!("live analyze failed: {e}")))?;
+    assert!(live.contains("\"ok\":true"), "live request must succeed");
+    eprintln!(
+        "deadline_storm: live un-budgeted analyze answered ok in {:.1} ms",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+
+    // The exposition goes to stdout for the caller to grep; pull the
+    // shed accounting out for the human-readable summary.
+    let metrics = client
+        .metrics_prometheus()
+        .map_err(|e| std::io::Error::other(format!("metrics failed: {e}")))?;
+    let counter = |needle: &str| -> u64 {
+        metrics
+            .lines()
+            .filter(|l| l.starts_with(needle))
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+            .sum()
+    };
+    eprintln!(
+        "deadline_storm: server counted {} cancelled (expired {}, disconnect {}), {} budgeted frames, latency histogram holds {} timed requests",
+        counter("arrayflow_cancelled_jobs_total"),
+        counter("arrayflow_cancelled_jobs_total{reason=\"expired\"}"),
+        counter("arrayflow_cancelled_jobs_total{reason=\"disconnect\"}"),
+        counter("arrayflow_deadline_propagated_total"),
+        counter("arrayflow_request_latency_us_count"),
+    );
+    print!("{metrics}");
+
+    client
+        .shutdown()
+        .map_err(|e| std::io::Error::other(format!("shutdown failed: {e}")))?;
+    eprintln!("deadline_storm: ok");
+    Ok(())
+}
